@@ -1,0 +1,110 @@
+"""CHAR experiments: the characterizations versus brute force.
+
+Proposition 3.3 / Corollaries 3.4–3.5 say the valuation-based conditions
+C1–C4 decide RCDP; Propositions 4.2/4.3 say E1–E6 decide RCQP.  These
+benches measure both sides of that trade on identical random workloads:
+
+* the characterization-based decider (polynomial-space enumeration over
+  the active domain), versus
+* the definition-level brute-force oracle (enumerating extension sets).
+
+Agreement is asserted on every instance; the timing ratio is the measured
+value of the small-model property.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.containment import satisfies_all
+from repro.constraints.ind import InclusionDependency
+from repro.core.bounded import brute_force_rcdp, brute_force_rcqp
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+IND = InclusionDependency(
+    "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+    SCHEMA, MASTER_SCHEMA)
+QUERY = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+
+def _random_databases(seed: int, count: int):
+    rng = random.Random(seed)
+    rows_space = [("e0", "c1"), ("e0", "c2"), ("e1", "c1"), ("e1", "c2")]
+    databases = []
+    for _ in range(count):
+        rows = {row for row in rows_space if rng.random() < 0.5}
+        databases.append(Instance(SCHEMA, {"S": rows}))
+    return databases
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_char_c_rcdp_characterization(benchmark, seed):
+    """CHAR-C: the C1–C3 decider on a batch of random databases."""
+    databases = [db for db in _random_databases(seed, 8)
+                 if satisfies_all(db, DM, [IND])]
+
+    def run():
+        return [decide_rcdp(QUERY, db, DM, [IND]) for db in databases]
+
+    verdicts = benchmark(run)
+    # agreement with the brute-force oracle on every instance
+    for db, verdict in zip(databases, verdicts):
+        oracle = brute_force_rcdp(QUERY, db, DM, [IND], max_extra_facts=1)
+        expected_incomplete = oracle.status is RCDPStatus.INCOMPLETE
+        assert verdict.is_incomplete == expected_incomplete
+    benchmark.extra_info["databases"] = len(databases)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_char_c_brute_force_baseline(benchmark, seed):
+    """The definition-level oracle on the same batch (the baseline)."""
+    databases = [db for db in _random_databases(seed, 8)
+                 if satisfies_all(db, DM, [IND])]
+
+    def run():
+        return [brute_force_rcdp(QUERY, db, DM, [IND], max_extra_facts=1)
+                for db in databases]
+
+    benchmark(run)
+    benchmark.extra_info["databases"] = len(databases)
+
+
+def test_char_e_rcqp_characterization_vs_witness_search(benchmark):
+    """CHAR-E: the E-condition decider vs brute-force witness search on
+    the Example 4.1 workload."""
+    constraints = FunctionalDependency(
+        "S", ["eid"], ["cid"]).to_containment_constraints(SCHEMA)
+    query = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+    result = benchmark(decide_rcqp, query, Instance(MASTER_SCHEMA),
+                       constraints, SCHEMA)
+    assert result.status is RCQPStatus.NONEMPTY
+    # the oracle agrees
+    oracle = brute_force_rcqp(query, Instance(MASTER_SCHEMA), constraints,
+                              SCHEMA, max_database_size=1)
+    assert oracle.status is RCQPStatus.NONEMPTY
+
+
+def test_char_e_witness_search_baseline(benchmark):
+    constraints = FunctionalDependency(
+        "S", ["eid"], ["cid"]).to_containment_constraints(SCHEMA)
+    query = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+    result = benchmark(brute_force_rcqp, query, Instance(MASTER_SCHEMA),
+                       constraints, SCHEMA, max_database_size=1)
+    assert result.status is RCQPStatus.NONEMPTY

@@ -1,0 +1,86 @@
+"""Benchmarks for the extension features: missing values (§5), the
+completeness margin, and semi-naive datalog.
+
+These are not rows of the paper's tables; they measure the library's
+extension surface so regressions show up alongside the table benches.
+"""
+
+import pytest
+
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import enumerate_missing_answers
+from repro.incomplete.completeness import decide_rcdp_with_missing_values
+from repro.incomplete.nulls import MarkedNull
+from repro.incomplete.tables import IncompleteDatabase
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.datalog import DatalogQuery, rule
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",), ("c3",)}})
+IND = InclusionDependency(
+    "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+    SCHEMA, MASTER_SCHEMA)
+Q = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+
+@pytest.mark.parametrize("num_nulls", [1, 2, 3])
+def test_possible_worlds_scaling(benchmark, num_nulls):
+    """EXT-1: world count is |domain|^#nulls — the enumerative price of
+    the §5 extension."""
+    rows = {("e0", "c1")} | {
+        ("e0", MarkedNull(f"x{i}")) for i in range(num_nulls)}
+    db = IncompleteDatabase(SCHEMA, {"S": rows})
+    domain = ["c1", "c2", "c3"]
+
+    report = benchmark(
+        decide_rcdp_with_missing_values, Q, db, DM, [IND], domain)
+    assert report.worlds_total == 3 ** num_nulls
+    benchmark.extra_info["nulls"] = num_nulls
+    benchmark.extra_info["worlds"] = report.worlds_total
+
+
+@pytest.mark.parametrize("known", [0, 1, 2, 3])
+def test_missing_answer_margin(benchmark, known):
+    """EXT-2: the completeness margin shrinks as data is collected."""
+    rows = {("e0", f"c{i + 1}") for i in range(known)}
+    db = Instance(SCHEMA, {"S": rows})
+
+    missing = benchmark(enumerate_missing_answers, Q, db, DM, [IND])
+    assert len(missing) == 3 - known
+    benchmark.extra_info["known"] = known
+    benchmark.extra_info["margin"] = len(missing)
+
+
+GRAPH = DatabaseSchema([RelationSchema("E", ["src", "dst"])])
+
+
+def _chain(length: int) -> Instance:
+    return Instance(GRAPH, {"E": {(i, i + 1) for i in range(length)}})
+
+
+def _tc(strategy: str) -> DatalogQuery:
+    x, y, z = var("x"), var("y"), var("z")
+    return DatalogQuery([
+        rule(rel("T", x, y), rel("E", x, y)),
+        rule(rel("T", x, z), rel("E", x, y), rel("T", y, z)),
+    ], goal="T", strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", ["seminaive", "naive"])
+def test_datalog_strategy_comparison(benchmark, strategy):
+    """EXT-3: semi-naive vs naive on a 24-edge chain (closure has 300
+    facts; naive rederives all of them every round)."""
+    instance = _chain(24)
+    query = _tc(strategy)
+
+    closure = benchmark(query.evaluate, instance)
+    assert len(closure) == 24 * 25 // 2
+    benchmark.extra_info["strategy"] = strategy

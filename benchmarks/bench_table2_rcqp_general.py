@@ -1,0 +1,145 @@
+"""Table II, NEXPTIME rows: RCQP for (CQ, CQ), (UCQ, UCQ), (∃FO⁺, ∃FO⁺) —
+Theorem 4.5(2), Propositions 4.2 / Corollary 4.4.
+
+* The E1/E2 valuation-set search is run on the paper's own Example 4.1
+  workloads (FD constraints), where the decider must both *find* bounding
+  valuation sets (Q2 with the full FD, Q4's blocking witness) and
+  *exhaust* the space (Q2 with the partial FD).
+* The NEXPTIME lower-bound construction (tiling) is exercised by building
+  the hypertile witness from a solved board and verifying its relative
+  completeness — board exponents 1 and 2 (the bound forbids more).
+"""
+
+import pytest
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.reductions.tiling_to_rcqp import reduce_tiling_to_rcqp
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.solvers.tiling import TilingInstance, solve_tiling
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+SCHEMA = DatabaseSchema([RelationSchema("Supt", ["eid", "dept", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("Empty", ["z"])])
+MASTER = Instance(MASTER_SCHEMA)
+
+
+def q2():
+    return cq([var("e"), var("d"), var("c")],
+              [rel("Supt", var("e"), var("d"), var("c")),
+               eq(var("e"), "e0")], name="Q2")
+
+
+def q4():
+    return cq([var("e"), var("d"), var("c")],
+              [rel("Supt", var("e"), var("d"), var("c")),
+               eq(var("e"), "e0"), eq(var("d"), "d0")], name="Q4")
+
+
+def test_rcqp_e2_full_fd_nonempty(benchmark):
+    """Example 4.1: Q2 with FD eid→dept,cid — a bounding set exists."""
+    constraints = FunctionalDependency(
+        "Supt", ["eid"], ["dept", "cid"]).to_containment_constraints(
+        SCHEMA)
+
+    result = benchmark(decide_rcqp, q2(), MASTER, constraints, SCHEMA)
+    assert result.status is RCQPStatus.NONEMPTY
+    benchmark.extra_info["sets_examined"] = \
+        result.statistics.candidate_sets_examined
+
+
+def test_rcqp_e2_partial_fd_exhaustive_search(benchmark):
+    """Example 4.1: Q2 with only FD eid→dept — cid unbounded, the search
+    must exhaust its budget without finding a bounding set."""
+    constraints = FunctionalDependency(
+        "Supt", ["eid"], ["dept"]).to_containment_constraints(SCHEMA)
+
+    result = benchmark(decide_rcqp, q2(), MASTER, constraints, SCHEMA,
+                       max_valuation_set_size=2)
+    assert result.status in (RCQPStatus.EMPTY,
+                             RCQPStatus.EMPTY_UP_TO_BOUND)
+    benchmark.extra_info["sets_examined"] = \
+        result.statistics.candidate_sets_examined
+
+
+def test_rcqp_e2_blocking_witness(benchmark):
+    """Example 4.1: Q4 is relatively complete via a *blocking* witness
+    whose query answer is empty."""
+    constraints = FunctionalDependency(
+        "Supt", ["eid"], ["dept"]).to_containment_constraints(SCHEMA)
+
+    result = benchmark(decide_rcqp, q4(), MASTER, constraints, SCHEMA)
+    assert result.status is RCQPStatus.NONEMPTY
+    assert q4().evaluate(result.witness) == frozenset()
+
+
+def test_rcqp_e1_finite_domains(benchmark):
+    """Condition E1/E5: finite-domain outputs are trivially bounded."""
+    from repro.relational.domain import BOOLEAN
+    from repro.relational.schema import Attribute
+
+    schema = DatabaseSchema([
+        RelationSchema("Flag", [Attribute("b", BOOLEAN)])])
+    constraints = []
+    query = cq([var("b")], [rel("Flag", var("b"))], name="Qflag")
+
+    result = benchmark(decide_rcqp, query, MASTER, constraints, schema)
+    assert result.status is RCQPStatus.NONEMPTY
+
+
+# ---------------------------------------------------------------------------
+# The NEXPTIME lower bound: tiling
+# ---------------------------------------------------------------------------
+
+
+def checkerboard(exponent: int) -> TilingInstance:
+    return TilingInstance(
+        tiles=(0, 1), vertical={(0, 1), (1, 0)},
+        horizontal={(0, 1), (1, 0)}, first_tile=0, exponent=exponent)
+
+
+def unsolvable(exponent: int) -> TilingInstance:
+    return TilingInstance(
+        tiles=(0, 1), vertical={(a, b) for a in (0, 1) for b in (0, 1)},
+        horizontal={(1, 1)}, first_tile=0, exponent=exponent)
+
+
+@pytest.mark.parametrize("exponent", [1, 2])
+def test_tiling_witness_verification(benchmark, exponent):
+    """T2 NEXPTIME rows: verify the hypertile witness of a solved board
+    is relatively complete (the constructive half of Theorem 4.5(2))."""
+    tiling = checkerboard(exponent)
+    grid = solve_tiling(tiling)
+    reduction = reduce_tiling_to_rcqp(tiling)
+    witness = reduction.witness_from_grid(grid)
+
+    result = benchmark(
+        decide_rcdp, reduction.query, witness, reduction.master,
+        list(reduction.constraints))
+    assert result.status is RCDPStatus.COMPLETE
+    benchmark.extra_info["board"] = f"{2 ** exponent}x{2 ** exponent}"
+    benchmark.extra_info["constraints"] = len(reduction.constraints)
+
+
+@pytest.mark.parametrize("exponent", [1, 2])
+def test_tiling_unsolvable_probe_unbounded(benchmark, exponent):
+    """The other half: without a tiling the probe stays unbounded, so
+    candidates are never complete."""
+    tiling = unsolvable(exponent)
+    assert solve_tiling(tiling) is None
+    reduction = reduce_tiling_to_rcqp(tiling)
+    candidate = reduction.empty_candidate()
+
+    result = benchmark(
+        decide_rcdp, reduction.query, candidate, reduction.master,
+        list(reduction.constraints))
+    assert result.status is RCDPStatus.INCOMPLETE

@@ -1,0 +1,124 @@
+"""Table II, coNP rows: RCQP for (CQ, INDs), (UCQ, INDs), (∃FO⁺, INDs) —
+Theorem 4.5(1) and Proposition 4.3.
+
+Two regimes, matching the theorem's structure:
+
+* the *syntactic* boundedness test (conditions E3/E4) is cheap — its cost
+  grows polynomially with query size;
+* the hardness lives in the valid-valuation existence check, exercised via
+  the 3SAT reduction: satisfiable formulas (checked against DPLL) mean
+  **no** relatively complete database exists.
+"""
+
+import random
+
+import pytest
+
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcqp import decide_rcqp_with_inds
+from repro.core.results import RCQPStatus
+from repro.queries.atoms import RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Var
+from repro.reductions.sat_to_rcqp import reduce_3sat_to_rcqp
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.solvers.sat import dpll_satisfiable, random_3sat
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+
+@pytest.mark.parametrize("num_vars", [3, 4, 5])
+def test_rcqp_inds_3sat_scaling(benchmark, num_vars):
+    """T2 row (CQ, INDs): the 3SAT reduction with growing variable count;
+    verdicts cross-checked against DPLL."""
+    rng = random.Random(num_vars)
+    cnf = random_3sat(num_vars, 2 * num_vars, rng)
+    instance = reduce_3sat_to_rcqp(cnf)
+
+    result = benchmark(
+        decide_rcqp_with_inds, instance.query, instance.master,
+        list(instance.constraints), instance.schema)
+    satisfiable = dpll_satisfiable(cnf) is not None
+    assert (result.status is RCQPStatus.EMPTY) == satisfiable
+    benchmark.extra_info["variables"] = num_vars
+    benchmark.extra_info["satisfiable"] = satisfiable
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_rcqp_inds_agreement_batch(benchmark, seed):
+    rng = random.Random(seed)
+    cnfs = [random_3sat(3, rng.randint(1, 10), rng) for _ in range(5)]
+    instances = [reduce_3sat_to_rcqp(c) for c in cnfs]
+
+    def run_batch():
+        return [decide_rcqp_with_inds(
+            inst.query, inst.master, list(inst.constraints), inst.schema)
+            for inst in instances]
+
+    verdicts = benchmark(run_batch)
+    agreement = sum(
+        (v.status is RCQPStatus.EMPTY)
+        == (dpll_satisfiable(c) is not None)
+        for v, c in zip(verdicts, cnfs))
+    assert agreement == len(cnfs)
+    benchmark.extra_info["agreement"] = f"{agreement}/{len(cnfs)}"
+
+
+# ---------------------------------------------------------------------------
+# The polynomial syntactic test (E3/E4) on wide queries
+# ---------------------------------------------------------------------------
+
+
+def _wide_world(num_columns: int):
+    schema = DatabaseSchema([
+        RelationSchema("R", [f"a{i}" for i in range(num_columns)])])
+    master_schema = DatabaseSchema([
+        RelationSchema("M", [f"a{i}" for i in range(num_columns)])])
+    master = Instance(master_schema, {
+        "M": {tuple(f"v{i}" for i in range(num_columns))}})
+    constraints = [InclusionDependency(
+        "R", [f"a{i}" for i in range(num_columns)],
+        "M", [f"a{i}" for i in range(num_columns)],
+        name="covering").to_containment_constraint(schema, master_schema)]
+    variables = [Var(f"x{i}") for i in range(num_columns)]
+    query = ConjunctiveQuery(variables, [RelAtom("R", variables)],
+                             name="Qwide")
+    return query, master, constraints, schema
+
+
+@pytest.mark.parametrize("num_columns", [2, 4, 6])
+def test_rcqp_syntactic_check_polynomial(benchmark, num_columns):
+    """The E3/E4 test over growing arity: all output variables covered by
+    the IND → NONEMPTY, cheaply.  Witness construction (exponential in
+    arity by design — it covers every achievable output tuple) is
+    disabled: this bench isolates the *decision* cost."""
+    query, master, constraints, schema = _wide_world(num_columns)
+    result = benchmark(decide_rcqp_with_inds, query, master, constraints,
+                       schema, construct_witness=False)
+    assert result.status is RCQPStatus.NONEMPTY
+    benchmark.extra_info["columns"] = num_columns
+
+
+def test_rcqp_uncovered_column_empty(benchmark):
+    """Dropping one column from the IND flips the verdict to EMPTY."""
+    num_columns = 4
+    schema = DatabaseSchema([
+        RelationSchema("R", [f"a{i}" for i in range(num_columns)])])
+    master_schema = DatabaseSchema([
+        RelationSchema("M", [f"a{i}" for i in range(num_columns - 1)])])
+    master = Instance(master_schema, {
+        "M": {tuple(f"v{i}" for i in range(num_columns - 1))}})
+    constraints = [InclusionDependency(
+        "R", [f"a{i}" for i in range(num_columns - 1)],
+        "M", [f"a{i}" for i in range(num_columns - 1)],
+        name="partial").to_containment_constraint(schema, master_schema)]
+    variables = [Var(f"x{i}") for i in range(num_columns)]
+    query = ConjunctiveQuery(variables, [RelAtom("R", variables)],
+                             name="Qwide")
+
+    result = benchmark(decide_rcqp_with_inds, query, master, constraints,
+                       schema)
+    assert result.status is RCQPStatus.EMPTY

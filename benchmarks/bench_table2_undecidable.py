@@ -1,0 +1,80 @@
+"""Table II, undecidable rows: RCQP for (FO, fixed FO), (CQ, FO),
+(FP, fixed FP), (CQ, FP) — Theorem 4.1.
+
+As with Table I's undecidable rows, no decision procedure can exist; the
+reproduction demonstrates the guard behaviour and the bounded witness
+search on the FP-query side (the 2-head DFA encoding), where a machine
+with empty language trivially admits the empty database as 'complete up to
+the bound', while a machine with nonempty language keeps every candidate
+incomplete within the explored pool.
+"""
+
+import pytest
+
+from repro.core.bounded import brute_force_rcqp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCQPStatus
+from repro.errors import UndecidableConfigurationError
+from repro.reductions.dfa_encodings import reduce_dfa_emptiness_to_rcdp
+from repro.solvers.twohead import EPSILON, TwoHeadDFA
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+
+def zeros_then_ones() -> TwoHeadDFA:
+    return TwoHeadDFA(
+        states={"s", "m", "acc"},
+        transitions={
+            ("s", "0", "0"): ("s", 0, 1),
+            ("s", "0", "1"): ("m", 1, 1),
+            ("m", "0", "1"): ("m", 1, 1),
+            ("m", "1", EPSILON): ("acc", 0, 0),
+        },
+        initial="s", accepting="acc")
+
+
+def dead_machine() -> TwoHeadDFA:
+    return TwoHeadDFA(states={"q", "acc"}, transitions={},
+                      initial="q", accepting="acc")
+
+
+def test_exact_rcqp_refuses_fp(benchmark):
+    """T2 rows (FP, ·): the guard must fire."""
+    instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+
+    def attempt():
+        try:
+            decide_rcqp(instance.query, instance.master,
+                        list(instance.constraints), instance.schema)
+        except UndecidableConfigurationError:
+            return "refused"
+        return "accepted"
+
+    assert benchmark(attempt) == "refused"
+
+
+def test_bounded_rcqp_empty_language(benchmark):
+    """A dead machine: the empty database is a bounded witness (the FP
+    query never fires), found immediately."""
+    instance = reduce_dfa_emptiness_to_rcdp(dead_machine())
+
+    result = benchmark(
+        brute_force_rcqp, instance.query, instance.master,
+        list(instance.constraints), instance.schema,
+        max_database_size=0, values=[0], completeness_bound=2)
+    assert result.status is RCQPStatus.NONEMPTY
+    assert "undecidable" in result.explanation
+
+
+def test_bounded_rcqp_nonempty_language(benchmark):
+    """A live machine: within a small pool no candidate database is
+    complete (the encoding of '01' always extends it)."""
+    instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+
+    result = benchmark(
+        brute_force_rcqp, instance.query, instance.master,
+        list(instance.constraints), instance.schema,
+        max_database_size=0, values=[0, 1, 2], completeness_bound=5)
+    assert result.status is RCQPStatus.EMPTY_UP_TO_BOUND

@@ -1,0 +1,20 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates part of Table I or Table II of the paper (the
+complexity bounds for RCDP/RCQP).  Since the paper's "evaluation" is a
+complexity table rather than a measurements table, each bench:
+
+1. runs the decision procedure on generated instances,
+2. **asserts agreement with an independent reference solver** (DPLL, QBF
+   expansion, tiling search, brute-force oracle), and
+3. records timing so the scaling *shape* (exponential for the hard rows,
+   polynomial for the syntactic IND test) is visible in the
+   pytest-benchmark output.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

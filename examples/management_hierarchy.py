@@ -1,0 +1,67 @@
+"""Example 1.1's Q3: completeness is relative to the query language.
+
+``Manage`` contains all master reporting pairs and is bounded by them, so
+under the IND ``Manage ⊆ Managem`` the relation cannot grow at all — it is
+closed.  The *datalog* query "everyone above e0" is therefore complete.
+The *CQ* approximation (paths of one fixed length) is complete too, but it
+answers a different, weaker question; and without the closing IND, the CQ
+answer is incomplete as soon as master data would admit longer chains.
+
+The exact deciders refuse FP (RCDP is undecidable there — Theorem 3.1);
+the bounded procedure is the honest tool, and because the IND freezes
+``Manage``, its COMPLETE_UP_TO_BOUND verdict is conclusive here.
+
+Run:  python examples/management_hierarchy.py
+"""
+
+from repro.core import brute_force_rcdp, decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import UndecidableConfigurationError
+from repro.mdm import CRMScenario
+
+
+def main() -> None:
+    scenario = CRMScenario.example()
+    database = scenario.database()
+    master = scenario.master()
+    constraints = [scenario.manage_ind()]
+
+    q3_fp = scenario.q3_management_chain("e0")
+    print(f"FP query Q3: {q3_fp}")
+    print("answer:", sorted(q3_fp.evaluate(database)))
+    print()
+
+    # The exact decider refuses FP — Theorem 3.1 says it must.
+    try:
+        decide_rcdp(q3_fp, database, master, constraints)
+    except UndecidableConfigurationError as error:
+        print(f"exact decider: {error}")
+    print()
+
+    # Bounded procedure: Manage is frozen by the IND, so no extension of
+    # any size exists — the bounded verdict is conclusive.
+    employees = sorted({e for pair in scenario.manage_master
+                        for e in pair} | {"e9"})
+    verdict = brute_force_rcdp(
+        q3_fp, database, master, constraints, max_extra_facts=2,
+        values=employees, relations=["Manage"])
+    print(f"bounded RCDP for Q3 (FP): {verdict.status.value}")
+    print(f"  {verdict.explanation}")
+    assert verdict.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+    print()
+
+    # The CQ variant asks only for managers exactly 2 levels up.
+    q3_cq = scenario.q3_management_chain_cq("e0", depth=2)
+    print(f"CQ variant: {q3_cq}")
+    print("answer:", sorted(q3_cq.evaluate(database)))
+    exact = decide_rcdp(q3_cq, database, master, constraints)
+    print(f"exact RCDP for the CQ variant: {exact.status.value}")
+    print()
+    print("with the closing IND both are complete — but only the FP")
+    print("query computes the full chain; a CQ of any fixed depth")
+    print("answers a strictly weaker question (the paper's point that")
+    print("completeness is relative to the query language).")
+
+
+if __name__ == "__main__":
+    main()

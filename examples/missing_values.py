@@ -1,0 +1,76 @@
+"""Missing values, not just missing tuples (the paper's §5 extension).
+
+A support record is known to exist but its customer field was never filled
+in.  With v-tables/c-tables we can still ask: *is the answer to Q complete
+no matter what the missing value turns out to be?*
+
+Run:  python examples/missing_values.py
+"""
+
+from repro import (DatabaseSchema, InclusionDependency, Instance,
+                   RelationSchema, cq, rel, var)
+from repro.incomplete import (ConditionalRow, IncompleteDatabase,
+                              MarkedNull, NeqCondition, conjunction,
+                              decide_rcdp_with_missing_values)
+
+
+def main() -> None:
+    schema = DatabaseSchema([RelationSchema("Supt", ["eid", "cid"])])
+    master_schema = DatabaseSchema([RelationSchema("M", ["cid"])])
+    master = Instance(master_schema, {"M": {("c1",), ("c2",)}})
+    constraints = [InclusionDependency(
+        "Supt", ["cid"], "M", ["cid"]).to_containment_constraint(
+        schema, master_schema)]
+    query = cq([var("c")], [rel("Supt", "e0", var("c"))], name="Q")
+    domain = ["c1", "c2"]
+
+    x = MarkedNull("x")
+
+    print("=" * 64)
+    print("Case 1: the unknown value decides completeness")
+    print("=" * 64)
+    db1 = IncompleteDatabase(schema, {"Supt": {("e0", "c1"), ("e0", x)}})
+    print(f"D = {db1}")
+    print("certain answers:", sorted(db1.certain_answers(query, domain)))
+    print("possible answers:",
+          sorted(db1.possible_answers(query, domain)))
+    report = decide_rcdp_with_missing_values(
+        query, db1, master, constraints, domain)
+    print(report)
+    print(f"certainly complete: {report.certainly_complete}")
+    print(f"possibly complete:  {report.possibly_complete}")
+    print("→ if ⊥x turns out to be c2, e0 covers all master customers;")
+    print("  if it is c1, customer c2 is still missing.")
+    print()
+
+    print("=" * 64)
+    print("Case 2: complete whatever the unknown value is")
+    print("=" * 64)
+    db2 = IncompleteDatabase(schema, {
+        "Supt": {("e0", "c1"), ("e0", "c2"), ("e0", x)}})
+    report2 = decide_rcdp_with_missing_values(
+        query, db2, master, constraints, domain)
+    print(f"D = {db2}")
+    print(report2)
+    assert report2.certainly_complete
+    print("→ both master customers are covered by known records, so the")
+    print("  unknown value cannot break completeness.")
+    print()
+
+    print("=" * 64)
+    print("Case 3: a c-table condition prunes worlds")
+    print("=" * 64)
+    row = ConditionalRow(("e0", x), conjunction(NeqCondition(x, "c1")))
+    db3 = IncompleteDatabase(schema, {"Supt": [("e0", "c1"), row]})
+    report3 = decide_rcdp_with_missing_values(
+        query, db3, master, constraints, domain)
+    print(f"D = {db3}")
+    print(report3)
+    print("→ the condition ⊥x ≠ c1 kills the world where the unknown row")
+    print("  duplicates (e0, c1); in the surviving world ⊥x = c2 and the")
+    print("  database is complete — but the x=c1 world has an EMPTY row")
+    print("  set for the conditional tuple, leaving c2 unsupported.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: is my database complete enough to answer this query?
+
+A support desk stores which employee supports which customer.  Master data
+holds the closed-world list of customers.  The containment constraint says
+every supported customer must be a master customer — so once employee e0
+supports *all* master customers, no consistent extension can change the
+answer to "which customers does e0 support?".
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (ContainmentConstraint, DatabaseSchema, Instance,
+                   InclusionDependency, RCDPStatus, RCQPStatus,
+                   RelationSchema, cq, decide_rcdp, decide_rcqp,
+                   make_complete, rel, var)
+
+
+def build_world():
+    schema = DatabaseSchema([RelationSchema("Supt", ["eid", "cid"])])
+    master_schema = DatabaseSchema([RelationSchema("Customers", ["cid"])])
+    master = Instance(master_schema, {
+        "Customers": {("c1",), ("c2",), ("c3",)}})
+    constraint = InclusionDependency(
+        "Supt", ["cid"], "Customers", ["cid"],
+        name="supported⊆customers").to_containment_constraint(
+        schema, master_schema)
+    return schema, master, [constraint]
+
+
+def main() -> None:
+    schema, master, constraints = build_world()
+    query = cq([var("c")], [rel("Supt", "e0", var("c"))], name="Q")
+    print(f"query: {query}")
+    print(f"constraint: {constraints[0]}")
+    print()
+
+    # An incomplete database: e0 supports only c1.
+    partial = Instance(schema, {"Supt": {("e0", "c1")}})
+    verdict = decide_rcdp(query, partial, master, constraints)
+    print(f"D = {partial}")
+    print(f"RCDP: {verdict.status.value} — {verdict.explanation}")
+    assert verdict.status is RCDPStatus.INCOMPLETE
+    print(f"certificate: {verdict.certificate}")
+    print()
+
+    # Does a complete database exist at all?  (It does: the output column
+    # is bounded by the IND.)
+    existence = decide_rcqp(query, master, constraints, schema)
+    print(f"RCQP: {existence.status.value} — {existence.explanation}")
+    assert existence.status is RCQPStatus.NONEMPTY
+    print()
+
+    # The §2.3 guidance: what should we collect?
+    outcome = make_complete(query, partial, master, constraints)
+    print(f"completion: {outcome}")
+    for name, row in outcome.added_facts:
+        print(f"  collect {name}{row!r}")
+    final = decide_rcdp(query, outcome.database, master, constraints)
+    print(f"after collection RCDP: {final.status.value}")
+    assert final.status is RCDPStatus.COMPLETE
+
+
+if __name__ == "__main__":
+    main()

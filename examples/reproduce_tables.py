@@ -1,0 +1,183 @@
+"""Regenerate Tables I and II of the paper, row by row, with evidence.
+
+The paper's evaluation is two complexity tables.  For every row this
+script prints the paper's bound next to what this implementation
+*demonstrates* for it: verdict agreement between the decision procedure
+and an independent reference solver on reduction-generated instances, or
+— for the undecidable rows — the guard/bounded behaviour.
+
+Run:  python examples/reproduce_tables.py        (~20 s)
+"""
+
+import itertools
+import random
+import time
+
+from repro.core import (brute_force_rcdp, decide_rcdp,
+                        decide_rcqp, decide_rcqp_with_inds)
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.errors import UndecidableConfigurationError
+from repro.reductions import (reduce_3sat_to_rcqp,
+                              reduce_dfa_emptiness_to_rcdp,
+                              reduce_exists_forall_3sat_to_rcqp,
+                              reduce_forall_exists_3sat_to_rcdp,
+                              reduce_tiling_to_rcqp)
+from repro.solvers import (TilingInstance, TwoHeadDFA, dpll_satisfiable,
+                           random_3sat, random_exists_forall_3sat,
+                           random_forall_exists_3sat, solve_tiling)
+from repro.solvers.twohead import EPSILON
+
+WIDTH = 78
+
+
+def row(cells: tuple[str, str, str]) -> None:
+    name, bound, evidence = cells
+    print(f"  {name:<22} {bound:<18} {evidence}")
+
+
+def header(title: str) -> None:
+    print()
+    print("=" * WIDTH)
+    print(title)
+    print("=" * WIDTH)
+    row(("(L_Q, L_C)", "paper bound", "measured evidence"))
+    print("-" * WIDTH)
+
+
+def table_one() -> None:
+    header("Table I — RCDP(L_Q, L_C)")
+
+    # Undecidable rows: guard + DFA encoding behaviour.
+    automaton = TwoHeadDFA(
+        states={"s", "m", "acc"},
+        transitions={
+            ("s", "0", "0"): ("s", 0, 1),
+            ("s", "0", "1"): ("m", 1, 1),
+            ("m", "0", "1"): ("m", 1, 1),
+            ("m", "1", EPSILON): ("acc", 0, 0),
+        },
+        initial="s", accepting="acc")
+    instance = reduce_dfa_emptiness_to_rcdp(automaton)
+    try:
+        decide_rcdp(instance.query, instance.database, instance.master,
+                    list(instance.constraints))
+        guard = "GUARD MISSING!"
+    except UndecidableConfigurationError:
+        guard = "exact decider refuses; "
+    bounded = brute_force_rcdp(
+        instance.query, instance.database, instance.master,
+        list(instance.constraints), max_extra_facts=5, values=[0, 1, 2])
+    guard += f"bounded search: {bounded.status.value} (L(A) ∋ '01')"
+    for name in ("(FO, CQ)", "(CQ, FO)", "(FP, CQ)", "(fix FP, FP)"):
+        row((name, "undecidable", guard if name == "(FP, CQ)"
+             else "exact decider refuses the configuration"))
+
+    # Πᵖ₂ rows: ∀∃-3SAT reduction vs QBF.
+    rng = random.Random(0)
+    agree = total = 0
+    start = time.perf_counter()
+    for _ in range(6):
+        formula = random_forall_exists_3sat(2, 2, rng.randint(1, 6), rng)
+        red = reduce_forall_exists_3sat_to_rcdp(formula)
+        verdict = decide_rcdp(red.query, red.database, red.master,
+                              list(red.constraints))
+        agree += ((verdict.status is RCDPStatus.COMPLETE)
+                  == formula.is_true())
+        total += 1
+    elapsed = time.perf_counter() - start
+    evidence = (f"∀∃-3SAT reduction: {agree}/{total} agree with QBF "
+                f"({elapsed:.2f}s)")
+    for name in ("(CQ, INDs)", "(∃FO⁺, INDs)", "(CQ, CQ)",
+                 "(UCQ, UCQ)", "(∃FO⁺, ∃FO⁺)"):
+        row((name, "Πᵖ₂-complete", evidence if name == "(CQ, INDs)"
+             else "same decider; see bench_table1_rcdp.py"))
+
+
+def table_two() -> None:
+    header("Table II — RCQP(L_Q, L_C)")
+
+    for name in ("(FO, fix FO)", "(CQ, FO)", "(FP, fix FP)", "(CQ, FP)"):
+        row((name, "undecidable",
+             "exact decider refuses; bounded witness search only"))
+
+    # coNP rows: 3SAT reduction vs DPLL.
+    rng = random.Random(1)
+    agree = total = 0
+    start = time.perf_counter()
+    for _ in range(6):
+        cnf = random_3sat(3, rng.randint(1, 9), rng)
+        red = reduce_3sat_to_rcqp(cnf)
+        verdict = decide_rcqp_with_inds(
+            red.query, red.master, list(red.constraints), red.schema,
+            construct_witness=False)
+        agree += ((verdict.status is RCQPStatus.EMPTY)
+                  == (dpll_satisfiable(cnf) is not None))
+        total += 1
+    elapsed = time.perf_counter() - start
+    evidence = (f"3SAT reduction: {agree}/{total} agree with DPLL "
+                f"({elapsed:.2f}s)")
+    for name in ("(CQ, INDs)", "(UCQ, INDs)", "(∃FO⁺, INDs)"):
+        row((name, "coNP-complete", evidence if name == "(CQ, INDs)"
+             else "same syntactic E3/E4 decider"))
+
+    # NEXPTIME rows: tiling reduction vs solver.
+    start = time.perf_counter()
+    checker = TilingInstance((0, 1), {(0, 1), (1, 0)}, {(0, 1), (1, 0)},
+                             0, 2)
+    grid = solve_tiling(checker)
+    red = reduce_tiling_to_rcqp(checker)
+    witness = red.witness_from_grid(grid)
+    ok = decide_rcdp(red.query, witness, red.master,
+                     list(red.constraints)).status is RCDPStatus.COMPLETE
+    broken = TilingInstance((0, 1),
+                            {(a, b) for a in (0, 1) for b in (0, 1)},
+                            {(1, 1)}, 0, 2)
+    red2 = reduce_tiling_to_rcqp(broken)
+    bad = decide_rcdp(red2.query, red2.empty_candidate(), red2.master,
+                      list(red2.constraints)).status \
+        is RCDPStatus.INCOMPLETE
+    elapsed = time.perf_counter() - start
+    evidence = (f"4×4 tiling: witness {'✓' if ok else '✗'}, "
+                f"unsolvable stays incomplete {'✓' if bad else '✗'} "
+                f"({elapsed:.2f}s)")
+    for name in ("(CQ, CQ)", "(UCQ, UCQ)", "(∃FO⁺, ∃FO⁺)"):
+        row((name, "NEXPTIME-complete",
+             evidence if name == "(CQ, CQ)"
+             else "same construction; see bench_table2_rcqp_general.py"))
+
+    # Fixed (Dm, V) rows.
+    rng = random.Random(2)
+    agree = total = 0
+    start = time.perf_counter()
+    for _ in range(4):
+        formula = random_exists_forall_3sat(2, 2, rng.randint(1, 5), rng)
+        red = reduce_exists_forall_3sat_to_rcqp(formula)
+        found = False
+        for values in itertools.product(
+                (False, True), repeat=len(formula.existential)):
+            witness = red.witness_for(
+                dict(zip(formula.existential, values)))
+            verdict = decide_rcdp(red.query, witness, red.master,
+                                  list(red.constraints))
+            if verdict.status is RCDPStatus.COMPLETE:
+                found = True
+                break
+        agree += (found == formula.is_true())
+        total += 1
+    elapsed = time.perf_counter() - start
+    row(("fixed (Dm, V)", "Σᵖ₃-complete",
+         f"∃∀ fragment executable: {agree}/{total} agree with QBF "
+         f"({elapsed:.2f}s; see EXPERIMENTS.md deviation note)"))
+
+
+def main() -> None:
+    print("Regenerating the paper's complexity tables with executable")
+    print("evidence (verdict agreement against independent solvers).")
+    table_one()
+    table_two()
+    print()
+    print("Full matrices: pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — relative information completeness for partially closed databases.
+
+A from-scratch reproduction of *Relative Information Completeness*
+(Wenfei Fan and Floris Geerts, PODS 2009 / ACM TODS 35(4), 2010).
+
+The library models databases that are *partially closed* with respect to
+master data ``Dm`` through containment constraints ``V`` (``q(D) ⊆ p(Dm)``),
+and decides:
+
+* **RCDP** — is a given database ``D`` complete for a query ``Q`` relative
+  to ``(Dm, V)``?  (:func:`repro.core.decide_rcdp`)
+* **RCQP** — does *any* relatively complete database exist for ``Q``?
+  (:func:`repro.core.decide_rcqp`)
+
+Quick example::
+
+    from repro import (Attribute, DatabaseSchema, Instance, RelationSchema,
+                       decide_rcdp, cq, rel, var, InclusionDependency)
+
+    schema = DatabaseSchema([RelationSchema("Supt", ["eid", "dept", "cid"])])
+    master_schema = DatabaseSchema([RelationSchema("DCust", ["cid"])])
+    dm = Instance(master_schema, {"DCust": {("c1",), ("c2",)}})
+    d = Instance(schema, {"Supt": {("e0", "sales", "c1"),
+                                   ("e0", "sales", "c2")}})
+    v = [InclusionDependency("Supt", ["cid"], "DCust", ["cid"])
+         .to_containment_constraint(schema, master_schema)]
+    q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+    result = decide_rcdp(q, d, dm, v)
+    assert result.status.value == "complete"
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
+the reproduction of the paper's complexity tables.
+"""
+
+from repro.constraints import (ConditionalFunctionalDependency,
+                               ConditionalInclusionDependency,
+                               ContainmentConstraint, DenialConstraint,
+                               FunctionalDependency, InclusionDependency,
+                               Projection, compile_all,
+                               compile_to_containment, satisfies_all,
+                               violated_constraints)
+from repro.core import (ActiveDomain, CompletionOutcome,
+                        IncompletenessCertificate, RCDPResult, RCDPStatus,
+                        RCQPResult, RCQPStatus, brute_force_rcdp,
+                        brute_force_rcqp, decide_rcdp, decide_rcqp,
+                        decide_rcqp_with_inds, enumerate_missing_answers,
+                        make_complete, minimize_witness)
+from repro.errors import (ConstraintError, DomainError, EvaluationError,
+                          NotPartiallyClosedError, ParseError, QueryError,
+                          ReproError, SchemaError,
+                          SearchBudgetExceededError,
+                          UndecidableConfigurationError,
+                          UnsatisfiableQueryError)
+from repro.queries import (ConjunctiveQuery, Const, DatalogQuery, EFOQuery,
+                           Eq, FOQuery, Neq, RelAtom, Rule, Tableau,
+                           UnionOfConjunctiveQueries, Var, cq, eq, neq,
+                           rel, rule, ucq, var)
+from repro.relational import (Attribute, BOOLEAN, DatabaseSchema,
+                              FiniteDomain, FreshValue, INFINITE, Instance,
+                              RelationSchema)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveDomain", "Attribute", "BOOLEAN", "CompletionOutcome",
+    "ConditionalFunctionalDependency", "ConditionalInclusionDependency",
+    "ConjunctiveQuery", "Const", "ConstraintError",
+    "ContainmentConstraint", "DatabaseSchema", "DatalogQuery",
+    "DenialConstraint", "DomainError", "EFOQuery", "Eq", "EvaluationError",
+    "FOQuery", "FiniteDomain", "FreshValue", "FunctionalDependency",
+    "INFINITE", "InclusionDependency", "IncompletenessCertificate",
+    "Instance", "Neq", "NotPartiallyClosedError", "ParseError",
+    "Projection", "QueryError", "RCDPResult", "RCDPStatus", "RCQPResult",
+    "RCQPStatus", "RelAtom", "RelationSchema", "ReproError", "Rule",
+    "SchemaError", "SearchBudgetExceededError", "Tableau",
+    "UndecidableConfigurationError", "UnionOfConjunctiveQueries",
+    "UnsatisfiableQueryError", "Var", "brute_force_rcdp",
+    "brute_force_rcqp", "compile_all", "compile_to_containment", "cq",
+    "decide_rcdp", "decide_rcqp", "decide_rcqp_with_inds", "eq",
+    "enumerate_missing_answers", "make_complete", "minimize_witness",
+    "neq", "rel", "rule", "satisfies_all", "ucq", "var",
+    "violated_constraints",
+]

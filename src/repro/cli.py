@@ -1,0 +1,206 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+
+``rcdp BUNDLE.json``
+    Decide whether the bundle's database is complete for its query
+    relative to its master data and constraints; print the verdict and,
+    when incomplete, the counterexample extension.
+
+``rcqp BUNDLE.json``
+    Decide whether any relatively complete database exists for the
+    bundle's query; print the verdict and witness.
+
+``complete BUNDLE.json``
+    Run the certificate-completion loop and print the facts that would
+    make the database complete.
+
+``audit BUNDLE.json``
+    Run the full §2.3 cascade (RCDP → RCQP → completion guidance →
+    master-data expansion advice) and print the report.
+
+``missing BUNDLE.json``
+    Enumerate the answers the query could still gain over the active
+    domain (the completeness *margin*).
+
+``demo``
+    Run the paper's CRM example end to end and print the §2.3 audit.
+
+Bundles are JSON files in the format of :mod:`repro.io.json_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.core.witness import make_complete
+from repro.errors import ReproError
+from repro.io.json_io import load_bundle
+
+__all__ = ["main"]
+
+
+def _cmd_rcdp(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    result = decide_rcdp(bundle["query"], bundle["database"],
+                         bundle["master"], bundle["constraints"])
+    print(f"RCDP: {result.status.value}")
+    print(result.explanation)
+    if result.certificate is not None:
+        print("counterexample extension:")
+        for name, row in result.certificate.extension_facts:
+            print(f"  + {name}{row!r}")
+        print(f"new answer: {result.certificate.new_answer!r}")
+    return 0 if result.status is RCDPStatus.COMPLETE else 1
+
+
+def _cmd_rcqp(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    result = decide_rcqp(bundle["query"], bundle["master"],
+                         bundle["constraints"], bundle["schema"],
+                         max_valuation_set_size=args.max_set_size)
+    print(f"RCQP: {result.status.value}")
+    print(result.explanation)
+    if result.witness is not None:
+        print("witness database:")
+        print(result.witness.pretty())
+    return 0 if result.status is RCQPStatus.NONEMPTY else 1
+
+
+def _cmd_complete(args: argparse.Namespace) -> int:
+    bundle = load_bundle(args.bundle)
+    outcome = make_complete(bundle["query"], bundle["database"],
+                            bundle["master"], bundle["constraints"],
+                            max_rounds=args.max_rounds)
+    if outcome.complete:
+        print(f"complete after {outcome.rounds} round(s); collect:")
+    else:
+        print(f"NOT complete after {outcome.rounds} round(s); "
+              f"partial guidance:")
+    for name, row in outcome.added_facts:
+        print(f"  + {name}{row!r}")
+    return 0 if outcome.complete else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.mdm.audit import CompletenessAudit
+
+    bundle = load_bundle(args.bundle)
+    audit = CompletenessAudit(
+        master=bundle["master"], constraints=bundle["constraints"],
+        schema=bundle["schema"],
+        rcqp_valuation_set_size=args.max_set_size)
+    report = audit.assess(bundle["query"], bundle["database"])
+    print(report.summary())
+    return 0 if report.verdict.value == "trustworthy" else 1
+
+
+def _cmd_missing(args: argparse.Namespace) -> int:
+    from repro.core.rcdp import enumerate_missing_answers
+
+    bundle = load_bundle(args.bundle)
+    missing = enumerate_missing_answers(
+        bundle["query"], bundle["database"], bundle["master"],
+        bundle["constraints"], limit=args.limit)
+    if not missing:
+        print("no missing answers: the database is relatively complete")
+        return 0
+    print(f"{len(missing)} answer(s) the query could still gain:")
+    for row in sorted(missing, key=repr):
+        print(f"  ? {row!r}")
+    return 1
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.mdm.audit import CompletenessAudit
+    from repro.mdm.scenario import CRMScenario
+
+    scenario = CRMScenario.example()
+    # The strict supt⊆dcust IND only holds for domestic support tuples.
+    scenario.support = {(e, d, c) for e, d, c in scenario.support
+                        if not c.startswith("i")}
+    audit = CompletenessAudit(
+        master=scenario.master(),
+        constraints=[scenario.supt_cid_ind()],
+        schema=scenario.schema)
+    database = scenario.database()
+    print("master data:")
+    print(scenario.master().pretty())
+    print()
+    print("database:")
+    print(database.pretty())
+    print()
+    for query in (scenario.q2_all_supported_by("e0"),
+                  scenario.q2_all_supported_by("e1")):
+        report = audit.assess(query, database)
+        print(f"--- audit of {query.name} ({query!r})")
+        print(report.summary())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Relative information completeness (Fan & Geerts, "
+                    "PODS 2009) — completeness checks for partially "
+                    "closed databases.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    rcdp = subparsers.add_parser(
+        "rcdp", help="is the database complete for the query?")
+    rcdp.add_argument("bundle", help="JSON problem bundle")
+    rcdp.set_defaults(func=_cmd_rcdp)
+
+    rcqp = subparsers.add_parser(
+        "rcqp", help="does any relatively complete database exist?")
+    rcqp.add_argument("bundle", help="JSON problem bundle")
+    rcqp.add_argument("--max-set-size", type=int, default=2,
+                      help="valuation-set budget for the E2 search")
+    rcqp.set_defaults(func=_cmd_rcqp)
+
+    complete = subparsers.add_parser(
+        "complete", help="suggest the facts that make the database "
+                         "complete")
+    complete.add_argument("bundle", help="JSON problem bundle")
+    complete.add_argument("--max-rounds", type=int, default=32)
+    complete.set_defaults(func=_cmd_complete)
+
+    audit = subparsers.add_parser(
+        "audit", help="run the full §2.3 audit cascade")
+    audit.add_argument("bundle", help="JSON problem bundle")
+    audit.add_argument("--max-set-size", type=int, default=1,
+                       help="valuation-set budget for the RCQP step")
+    audit.set_defaults(func=_cmd_audit)
+
+    missing = subparsers.add_parser(
+        "missing", help="enumerate answers the query could still gain")
+    missing.add_argument("bundle", help="JSON problem bundle")
+    missing.add_argument("--limit", type=int, default=None,
+                         help="stop after this many missing answers")
+    missing.set_defaults(func=_cmd_missing)
+
+    demo = subparsers.add_parser(
+        "demo", help="run the paper's CRM example")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

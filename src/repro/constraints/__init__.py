@@ -1,0 +1,25 @@
+"""Containment constraints and the integrity constraints of Section 2.2."""
+
+from repro.constraints.cfd import (ConditionalFunctionalDependency,
+                                   FunctionalDependency)
+from repro.constraints.cind import ConditionalInclusionDependency
+from repro.constraints.compile import compile_all, compile_to_containment
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection, satisfies_all,
+                                           violated_constraints)
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.ind import InclusionDependency
+
+__all__ = [
+    "ConditionalFunctionalDependency",
+    "ConditionalInclusionDependency",
+    "ContainmentConstraint",
+    "DenialConstraint",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "Projection",
+    "compile_all",
+    "compile_to_containment",
+    "satisfies_all",
+    "violated_constraints",
+]

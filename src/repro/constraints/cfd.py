@@ -1,0 +1,176 @@
+"""Conditional functional dependencies (CFDs) and plain FDs.
+
+A CFD extends an FD ``X → Y`` on a relation ``R`` with constant patterns:
+``φ(x̄)`` constrains the ``X`` attributes and ``ψ(ȳ)`` the ``Y`` attributes
+(Section 2.2, following Fan et al. 2008).  A plain FD is the pattern-free
+special case.
+
+Both direct semantics (:meth:`ConditionalFunctionalDependency.is_satisfied`)
+and the Proposition 2.1(b) compilation to CQ containment constraints with
+empty target are provided; tests check they agree on random instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ConstraintError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const, Var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["ConditionalFunctionalDependency", "FunctionalDependency"]
+
+
+@dataclass(frozen=True)
+class ConditionalFunctionalDependency:
+    """``R: (X → Y, (pattern_x ∥ pattern_y))``.
+
+    *lhs* / *rhs* are attribute-name tuples; *lhs_pattern* / *rhs_pattern*
+    map a subset of those attributes to required constants.
+    """
+
+    relation: str
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+    lhs_pattern: Mapping[str, Any] = field(default_factory=dict)
+    rhs_pattern: Mapping[str, Any] = field(default_factory=dict)
+    name: str = "cfd"
+
+    def __init__(self, relation: str, lhs: Iterable[str],
+                 rhs: Iterable[str],
+                 lhs_pattern: Mapping[str, Any] | None = None,
+                 rhs_pattern: Mapping[str, Any] | None = None,
+                 name: str = "cfd") -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", tuple(rhs))
+        object.__setattr__(self, "lhs_pattern", dict(lhs_pattern or {}))
+        object.__setattr__(self, "rhs_pattern", dict(rhs_pattern or {}))
+        object.__setattr__(self, "name", name)
+        if not self.rhs:
+            raise ConstraintError(f"CFD {name!r} needs at least one RHS "
+                                  f"attribute")
+        bad = set(self.lhs_pattern) - set(self.lhs)
+        if bad:
+            raise ConstraintError(
+                f"CFD {name!r}: pattern attributes {sorted(bad)} are not "
+                f"in the LHS {self.lhs}")
+        bad = set(self.rhs_pattern) - set(self.rhs)
+        if bad:
+            raise ConstraintError(
+                f"CFD {name!r}: pattern attributes {sorted(bad)} are not "
+                f"in the RHS {self.rhs}")
+
+    # ------------------------------------------------------------------
+    # Direct semantics
+    # ------------------------------------------------------------------
+
+    def _matches_lhs_pattern(self, row: tuple, positions: dict[str, int]
+                             ) -> bool:
+        return all(row[positions[attr]] == value
+                   for attr, value in self.lhs_pattern.items())
+
+    def is_satisfied(self, database: Instance) -> bool:
+        """Direct CFD semantics over *database*."""
+        relation = database.schema.relation(self.relation)
+        positions = {attr: relation.position_of(attr)
+                     for attr in set(self.lhs) | set(self.rhs)}
+        rows = [row for row in database.relation(self.relation)
+                if self._matches_lhs_pattern(row, positions)]
+        # Single-tuple condition: ψ constants must hold.
+        for row in rows:
+            for attr, value in self.rhs_pattern.items():
+                if row[positions[attr]] != value:
+                    return False
+        # Pairwise condition: equal X implies equal Y.
+        by_key: dict[tuple, tuple] = {}
+        for row in rows:
+            key = tuple(row[positions[attr]] for attr in self.lhs)
+            rhs_value = tuple(row[positions[attr]] for attr in self.rhs)
+            existing = by_key.get(key)
+            if existing is None:
+                by_key[key] = rhs_value
+            elif existing != rhs_value:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Proposition 2.1(b): compilation to CCs in CQ
+    # ------------------------------------------------------------------
+
+    def to_containment_constraints(
+            self, schema: DatabaseSchema) -> list[ContainmentConstraint]:
+        """Compile into CQ CCs with target ``∅``.
+
+        Two families, following the proof of Proposition 2.1:
+
+        1. for each RHS attribute ``y``: the pair query
+           ``R(t1) ∧ R(t2) ∧ φ(t1) ∧ φ(t2) ∧ t1[X]=t2[X] ∧ t1[y]≠t2[y] ⊆ ∅``;
+        2. for each ``y = c`` in ψ: the single-tuple query
+           ``R(t) ∧ φ(t) ∧ t[y]≠c ⊆ ∅``.
+        """
+        relation = schema.relation(self.relation)
+        attrs = relation.attribute_names
+        constraints: list[ContainmentConstraint] = []
+
+        def fresh_atom(tag: str) -> tuple[RelAtom, dict[str, Var]]:
+            variables = {attr: Var(f"{self.name}.{tag}.{attr}")
+                         for attr in attrs}
+            atom = RelAtom(self.relation,
+                           [variables[attr] for attr in attrs])
+            return atom, variables
+
+        def pattern_atoms(variables: dict[str, Var]) -> list[Eq]:
+            return [Eq(variables[attr], Const(value))
+                    for attr, value in self.lhs_pattern.items()]
+
+        for index, y in enumerate(self.rhs):
+            atom1, vars1 = fresh_atom("t1")
+            atom2, vars2 = fresh_atom("t2")
+            body: list[Any] = [atom1, atom2]
+            body += pattern_atoms(vars1) + pattern_atoms(vars2)
+            body += [Eq(vars1[attr], vars2[attr]) for attr in self.lhs]
+            body.append(Neq(vars1[y], vars2[y]))
+            # The paper's query keeps all variables in the head
+            # (q(x̄1, z̄1, ȳ1, x̄2, z̄2, ȳ2) ⊆ ∅); the head is irrelevant for
+            # satisfaction of an empty-target CC, but the RCQP boundedness
+            # characterization (condition E2) reads the CC summary, so we
+            # preserve it.
+            head = tuple(atom1.terms) + tuple(atom2.terms)
+            query = ConjunctiveQuery(
+                head, body, name=f"q[{self.name}.pair.{index}]")
+            constraints.append(ContainmentConstraint(
+                query, Projection.empty(),
+                name=f"{self.name}.pair.{y}"))
+
+        for y, value in self.rhs_pattern.items():
+            atom, variables = fresh_atom("t")
+            body = [atom] + pattern_atoms(variables)
+            body.append(Neq(variables[y], Const(value)))
+            query = ConjunctiveQuery(
+                tuple(atom.terms), body, name=f"q[{self.name}.const.{y}]")
+            constraints.append(ContainmentConstraint(
+                query, Projection.empty(),
+                name=f"{self.name}.const.{y}"))
+        return constraints
+
+    def __repr__(self) -> str:
+        phi = ", ".join(f"{a}={v!r}" for a, v in self.lhs_pattern.items())
+        psi = ", ".join(f"{a}={v!r}" for a, v in self.rhs_pattern.items())
+        pattern = f" | φ({phi}) ψ({psi})" if (phi or psi) else ""
+        return (f"{self.relation}: {', '.join(self.lhs) or '∅'} → "
+                f"{', '.join(self.rhs)}{pattern}")
+
+
+class FunctionalDependency(ConditionalFunctionalDependency):
+    """A traditional FD ``R: X → Y`` (pattern-free CFD)."""
+
+    def __init__(self, relation: str, lhs: Iterable[str],
+                 rhs: Iterable[str], name: str = "fd") -> None:
+        super().__init__(relation, lhs, rhs, name=name)

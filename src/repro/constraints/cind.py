@@ -1,0 +1,161 @@
+"""Conditional inclusion dependencies (CINDs).
+
+A CIND extends an IND ``R1[X] ⊆ R2[X']`` with constant patterns:
+``∀x̄ȳ1z̄1 (R1(x̄, ȳ1, z̄1) ∧ φ(ȳ1) → ∃ȳ2z̄2 (R2(x̄, ȳ2, z̄2) ∧ ψ(ȳ2)))``
+(Section 2.2, following Bravo et al. 2007).
+
+Proposition 2.1(c) compiles a CIND to a single CC **in FO** with empty
+target; FO is required because of the negated existential.  Both relations
+live in the *database* schema here — a CIND is an intra-database integrity
+constraint, unlike an IND-to-master CC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ConstraintError
+from repro.queries.atoms import Eq, RelAtom
+from repro.queries.fo import (FOQuery, fo_and, fo_atom, fo_exists,
+                              fo_not)
+from repro.queries.terms import Const, Var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["ConditionalInclusionDependency"]
+
+
+@dataclass(frozen=True)
+class ConditionalInclusionDependency:
+    """``(R1[X; lhs_pattern] ⊆ R2[Y; rhs_pattern])``.
+
+    *lhs_attributes* of *source* must match *rhs_attributes* of *target*
+    position-wise; patterns map further attributes to required constants.
+    """
+
+    source: str
+    lhs_attributes: tuple[str, ...]
+    target: str
+    rhs_attributes: tuple[str, ...]
+    lhs_pattern: Mapping[str, Any] = field(default_factory=dict)
+    rhs_pattern: Mapping[str, Any] = field(default_factory=dict)
+    name: str = "cind"
+
+    def __init__(self, source: str, lhs_attributes: Iterable[str],
+                 target: str, rhs_attributes: Iterable[str],
+                 lhs_pattern: Mapping[str, Any] | None = None,
+                 rhs_pattern: Mapping[str, Any] | None = None,
+                 name: str = "cind") -> None:
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "lhs_attributes", tuple(lhs_attributes))
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "rhs_attributes", tuple(rhs_attributes))
+        object.__setattr__(self, "lhs_pattern", dict(lhs_pattern or {}))
+        object.__setattr__(self, "rhs_pattern", dict(rhs_pattern or {}))
+        object.__setattr__(self, "name", name)
+        if len(self.lhs_attributes) != len(self.rhs_attributes):
+            raise ConstraintError(
+                f"CIND {name!r}: attribute lists must have equal length")
+        overlap = set(self.lhs_pattern) & set(self.lhs_attributes)
+        if overlap:
+            raise ConstraintError(
+                f"CIND {name!r}: pattern attributes {sorted(overlap)} "
+                f"overlap the correspondence attributes")
+
+    # ------------------------------------------------------------------
+    # Direct semantics
+    # ------------------------------------------------------------------
+
+    def is_satisfied(self, database: Instance) -> bool:
+        """Direct CIND semantics over *database*."""
+        source = database.schema.relation(self.source)
+        target = database.schema.relation(self.target)
+        src_pos = {a: source.position_of(a)
+                   for a in self.lhs_attributes}
+        src_pat_pos = {a: source.position_of(a) for a in self.lhs_pattern}
+        tgt_pos = {a: target.position_of(a) for a in self.rhs_attributes}
+        tgt_pat_pos = {a: target.position_of(a) for a in self.rhs_pattern}
+
+        matching_targets: set[tuple] = set()
+        for row in database.relation(self.target):
+            if all(row[tgt_pat_pos[a]] == v
+                   for a, v in self.rhs_pattern.items()):
+                matching_targets.add(
+                    tuple(row[tgt_pos[a]] for a in self.rhs_attributes))
+
+        for row in database.relation(self.source):
+            if not all(row[src_pat_pos[a]] == v
+                       for a, v in self.lhs_pattern.items()):
+                continue
+            key = tuple(row[src_pos[a]] for a in self.lhs_attributes)
+            if key not in matching_targets:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Proposition 2.1(c): compilation to a CC in FO
+    # ------------------------------------------------------------------
+
+    def to_containment_constraint(
+            self, schema: DatabaseSchema) -> ContainmentConstraint:
+        """The FO CC ``q ⊆ ∅`` with
+        ``q = ∃t1 (R1(t1) ∧ φ(t1) ∧ ∀t2 (¬R2(t2 matching) ∨ ¬ψ(t2)))``.
+
+        We emit the Boolean (fully quantified) form of the proof's query:
+        emptiness of the two versions coincides, and the Boolean form is
+        cheaper to evaluate.
+        """
+        source = schema.relation(self.source)
+        target = schema.relation(self.target)
+        src_vars = {a: Var(f"{self.name}.s.{a}")
+                    for a in source.attribute_names}
+        tgt_vars = {a: Var(f"{self.name}.t.{a}")
+                    for a in target.attribute_names}
+        # Share variables across the correspondence attributes x̄.
+        for src_attr, tgt_attr in zip(self.lhs_attributes,
+                                      self.rhs_attributes):
+            tgt_vars[tgt_attr] = src_vars[src_attr]
+
+        src_atom = fo_atom(RelAtom(
+            self.source,
+            [src_vars[a] for a in source.attribute_names]))
+        lhs_pattern = [
+            fo_atom(Eq(src_vars[a], Const(v)))
+            for a, v in self.lhs_pattern.items()]
+
+        tgt_atom = fo_atom(RelAtom(
+            self.target,
+            [tgt_vars[a] for a in target.attribute_names]))
+        rhs_pattern = [
+            fo_atom(Eq(tgt_vars[a], Const(v)))
+            for a, v in self.rhs_pattern.items()]
+        matched = (fo_and(tgt_atom, *rhs_pattern)
+                   if rhs_pattern else tgt_atom)
+
+        # Bound variables of the inner quantifier: all target columns that
+        # are not tied to source columns.
+        tied = set(self.rhs_attributes)
+        inner_bound = [tgt_vars[a] for a in target.attribute_names
+                       if a not in tied]
+
+        no_witness = fo_not(fo_exists(inner_bound, matched)) \
+            if inner_bound else fo_not(matched)
+        body_parts = [src_atom] + lhs_pattern + [no_witness]
+        body = fo_and(*body_parts) if len(body_parts) > 1 else body_parts[0]
+        outer_bound = list(dict.fromkeys(src_vars.values()))
+        formula = fo_exists(outer_bound, body)
+        query = FOQuery((), formula, name=f"q[{self.name}]")
+        return ContainmentConstraint(query, Projection.empty(),
+                                     name=self.name)
+
+    def __repr__(self) -> str:
+        phi = ", ".join(f"{a}={v!r}" for a, v in self.lhs_pattern.items())
+        psi = ", ".join(f"{a}={v!r}" for a, v in self.rhs_pattern.items())
+        lhs = f"{self.source}[{', '.join(self.lhs_attributes)}"
+        lhs += f"; {phi}]" if phi else "]"
+        rhs = f"{self.target}[{', '.join(self.rhs_attributes)}"
+        rhs += f"; {psi}]" if psi else "]"
+        return f"{lhs} ⊆ {rhs}"

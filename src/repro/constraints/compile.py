@@ -1,0 +1,65 @@
+"""Proposition 2.1: compiling integrity constraints to containment
+constraints.
+
+One uniform entry point, :func:`compile_to_containment`, turns any supported
+integrity constraint (denial constraint, FD, CFD, CIND, IND) into a list of
+:class:`~repro.constraints.containment.ContainmentConstraint` objects, so
+that a single set ``V`` of CCs enforces both relative completeness and data
+consistency ("there is no need to overburden the notion with a set of
+integrity constraints").
+
+Denial constraints and CFDs compile to CCs in CQ; CINDs need FO (and hence
+push the exact deciders into the undecidable regime — the paper makes the
+same observation implicitly via Theorems 3.1(2) and 4.1(2)).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.constraints.cfd import ConditionalFunctionalDependency
+from repro.constraints.cind import ConditionalInclusionDependency
+from repro.constraints.containment import ContainmentConstraint
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.ind import InclusionDependency
+from repro.errors import ConstraintError
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["compile_to_containment", "compile_all"]
+
+
+def compile_to_containment(constraint: Any, schema: DatabaseSchema,
+                           master_schema: DatabaseSchema | None = None,
+                           ) -> list[ContainmentConstraint]:
+    """Compile one integrity constraint into CCs (Proposition 2.1).
+
+    ``ContainmentConstraint`` objects pass through unchanged, so mixed lists
+    of CCs and integrity constraints can be compiled uniformly.
+    """
+    if isinstance(constraint, ContainmentConstraint):
+        return [constraint]
+    if isinstance(constraint, DenialConstraint):
+        return [constraint.to_containment_constraint()]
+    if isinstance(constraint, ConditionalFunctionalDependency):
+        return constraint.to_containment_constraints(schema)
+    if isinstance(constraint, ConditionalInclusionDependency):
+        return [constraint.to_containment_constraint(schema)]
+    if isinstance(constraint, InclusionDependency):
+        if master_schema is None:
+            raise ConstraintError(
+                "compiling an IND requires the master schema")
+        return [constraint.to_containment_constraint(schema, master_schema)]
+    raise ConstraintError(
+        f"cannot compile {type(constraint).__name__} to containment "
+        f"constraints")
+
+
+def compile_all(constraints: Iterable[Any], schema: DatabaseSchema,
+                master_schema: DatabaseSchema | None = None,
+                ) -> list[ContainmentConstraint]:
+    """Compile a mixed sequence of constraints into one flat list of CCs."""
+    compiled: list[ContainmentConstraint] = []
+    for constraint in constraints:
+        compiled.extend(
+            compile_to_containment(constraint, schema, master_schema))
+    return compiled

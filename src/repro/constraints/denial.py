@@ -1,0 +1,74 @@
+"""Denial constraints.
+
+A denial constraint forbids a pattern:
+``∀x̄1...x̄k ¬(R1(x̄1) ∧ ... ∧ Rk(x̄k) ∧ φ(x̄1, ..., x̄k))`` where ``φ`` is a
+conjunction of ``=`` / ``≠`` (Section 2.2, following Arenas et al. 1999).
+
+We represent the forbidden pattern directly as the body of a Boolean CQ;
+``D ⊨ ϕ_d`` iff that CQ has no answer in ``D``.  Proposition 2.1(a) compiles
+it to the single CC ``q ⊆ ∅``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ConstraintError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+
+__all__ = ["DenialConstraint"]
+
+
+class DenialConstraint:
+    """``¬(atom1 ∧ atom2 ∧ ... ∧ comparisons)``."""
+
+    __slots__ = ("name", "atoms")
+
+    def __init__(self, atoms: Iterable[Any], name: str = "dc") -> None:
+        self.atoms = tuple(atoms)
+        self.name = name
+        if not any(isinstance(a, RelAtom) for a in self.atoms):
+            raise ConstraintError(
+                f"denial constraint {name!r} needs at least one relation "
+                f"atom")
+        for atom in self.atoms:
+            if not isinstance(atom, (RelAtom, Eq, Neq)):
+                raise ConstraintError(
+                    f"denial constraint {name!r}: unsupported atom "
+                    f"{atom!r}")
+
+    def _pattern_query(self) -> ConjunctiveQuery:
+        # The paper compiles ϕ_d to q(x̄1, ..., x̄k) ⊆ ∅ with all variables
+        # in the head; the head does not affect emptiness, but the RCQP
+        # boundedness characterization (condition E2) reads CC summaries,
+        # so we keep them, in first-occurrence order.
+        head: list[Any] = []
+        seen = set()
+        for atom in self.atoms:
+            if isinstance(atom, RelAtom):
+                for term in atom.terms:
+                    if term not in seen:
+                        seen.add(term)
+                        head.append(term)
+        return ConjunctiveQuery(head, self.atoms, name=f"q[{self.name}]")
+
+    def is_satisfied(self, database: Instance) -> bool:
+        """Direct semantics: the forbidden pattern has no match."""
+        return not self._pattern_query().holds_in(database)
+
+    def violations(self, database: Instance) -> bool:
+        """True when the pattern matches (evidence of inconsistency)."""
+        return self._pattern_query().holds_in(database)
+
+    def to_containment_constraint(self) -> ContainmentConstraint:
+        """Proposition 2.1(a): the CC ``q ⊆ ∅``."""
+        return ContainmentConstraint(
+            self._pattern_query(), Projection.empty(), name=self.name)
+
+    def __repr__(self) -> str:
+        inner = " ∧ ".join(repr(a) for a in self.atoms)
+        return f"¬({inner})"

@@ -1,0 +1,88 @@
+"""Inclusion dependencies (INDs) from the database to master data.
+
+An IND is the special case of a CC whose left-hand query is itself a
+projection: ``π_X(R) ⊆ π_Y(Rm)`` (Section 2.1: "a CC ``qv(R) ⊆ p(Rm)`` is an
+inclusion dependency when ``qv`` is also a projection query").
+
+The class stores attribute *names* for readability and compiles to a
+:class:`~repro.constraints.containment.ContainmentConstraint` whose query is
+the corresponding CQ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ConstraintError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.atoms import RelAtom
+from repro.queries.terms import Var
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["InclusionDependency"]
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``source[source_attributes] ⊆ target[target_attributes]``.
+
+    *source* is a relation of the database schema; *target* a relation of
+    the master schema (or ``None`` for the empty target ``∅``).
+    """
+
+    source: str
+    source_attributes: tuple[str, ...]
+    target: str | None
+    target_attributes: tuple[str, ...] = ()
+    name: str = "ind"
+
+    def __init__(self, source: str, source_attributes: Iterable[str],
+                 target: str | None,
+                 target_attributes: Iterable[str] = (),
+                 name: str = "ind") -> None:
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "source_attributes",
+                           tuple(source_attributes))
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "target_attributes",
+                           tuple(target_attributes))
+        object.__setattr__(self, "name", name)
+        if target is not None and (len(self.source_attributes)
+                                   != len(self.target_attributes)):
+            raise ConstraintError(
+                f"IND {name!r}: attribute lists must have equal length, "
+                f"got {self.source_attributes} and {self.target_attributes}")
+
+    def to_containment_constraint(
+            self, schema: DatabaseSchema,
+            master_schema: DatabaseSchema) -> ContainmentConstraint:
+        """Compile into a CC whose query is a projection CQ."""
+        relation = schema.relation(self.source)
+        variables = tuple(
+            Var(f"{self.name}.{attr}") for attr in relation.attribute_names)
+        head = tuple(
+            variables[relation.position_of(attr)]
+            for attr in self.source_attributes)
+        query = ConjunctiveQuery(
+            head, [RelAtom(self.source, variables)], name=f"q[{self.name}]")
+        if self.target is None:
+            projection = Projection.empty()
+        else:
+            master_relation = master_schema.relation(self.target)
+            projection = Projection.on(
+                self.target,
+                (master_relation.position_of(attr)
+                 for attr in self.target_attributes))
+        cc = ContainmentConstraint(query, projection, name=self.name)
+        cc.validate(schema, master_schema)
+        return cc
+
+    def __repr__(self) -> str:
+        lhs = f"{self.source}[{', '.join(self.source_attributes)}]"
+        if self.target is None:
+            return f"{lhs} ⊆ ∅"
+        rhs = f"{self.target}[{', '.join(self.target_attributes)}]"
+        return f"{lhs} ⊆ {rhs}"

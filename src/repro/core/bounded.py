@@ -1,0 +1,227 @@
+"""Brute-force oracles and bounded semi-decision procedures.
+
+Two roles:
+
+1. **Cross-validation.**  ``brute_force_rcdp`` enumerates *all* extension
+   sets ``Δ`` up to a size bound over an explicit value pool and checks the
+   definition of relative completeness directly.  On decidable
+   configurations, with the pool set to the active domain and the bound to
+   the tableau size, it must agree with the characterization-based decider —
+   the test suite and benchmarks exploit this.
+
+2. **FO / FP.**  RCDP and RCQP are undecidable once FO or FP appears on
+   either side (Theorems 3.1 and 4.1).  The bounded procedures here are the
+   honest fallback: they can certify INCOMPLETE (a counterexample is a
+   finite object) but only ever report ``COMPLETE_UP_TO_BOUND`` /
+   ``EMPTY_UP_TO_BOUND`` on the other side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           satisfies_all)
+from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
+                             ensure_partially_closed)
+from repro.core.results import (IncompletenessCertificate, RCDPResult,
+                                RCDPStatus, RCQPResult, RCQPStatus,
+                                SearchStatistics)
+from repro.errors import UndecidableConfigurationError
+from repro.relational.domain import FreshValueSupply
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["candidate_fact_pool", "default_value_pool",
+           "brute_force_rcdp", "brute_force_rcqp"]
+
+Fact = tuple[str, tuple]
+
+
+def default_value_pool(schema: DatabaseSchema,
+                       instances: Iterable[Instance],
+                       queries: Iterable[Any],
+                       fresh_count: int = 2) -> list[Any]:
+    """Constants of *instances* and *queries* plus *fresh_count* fresh
+    values — a sensible default pool for the brute-force procedures."""
+    values: set[Any] = set()
+    for instance in instances:
+        values |= instance.active_domain()
+    for query in queries:
+        values |= set(query.constants())
+    supply = FreshValueSupply(prefix="brute")
+    pool = sorted(values, key=repr)
+    pool.extend(supply.take_many(fresh_count))
+    return pool
+
+
+def candidate_fact_pool(schema: DatabaseSchema,
+                        values: Sequence[Any],
+                        relations: Iterable[str] | None = None,
+                        ) -> list[Fact]:
+    """All facts over *schema* whose infinite columns draw from *values*
+    and whose finite columns draw from their (full) finite domains.
+
+    *relations* optionally restricts the pool to a subset of relations —
+    essential on wide schemas, where the full pool is ``|values|^arity``
+    per relation.
+    """
+    facts: list[Fact] = []
+    chosen = None if relations is None else set(relations)
+    for relation in schema:
+        if chosen is not None and relation.name not in chosen:
+            continue
+        per_column: list[list[Any]] = []
+        for attribute in relation.attributes:
+            if attribute.domain.is_infinite:
+                per_column.append(list(values))
+            else:
+                per_column.append(
+                    sorted(attribute.domain.values, key=repr))
+        for row in itertools.product(*per_column):
+            facts.append((relation.name, row))
+    return facts
+
+
+def brute_force_rcdp(query: Any, database: Instance, master: Instance,
+                     constraints: Sequence[ContainmentConstraint],
+                     *, max_extra_facts: int,
+                     values: Sequence[Any] | None = None,
+                     relations: Iterable[str] | None = None,
+                     check_partially_closed: bool = True) -> RCDPResult:
+    """Check relative completeness by exhaustive extension enumeration.
+
+    Enumerates every set ``Δ`` of at most *max_extra_facts* new facts over
+    the value pool, smallest first; the first ``Δ`` with
+    ``(D ∪ Δ, Dm) ⊨ V`` and ``Q(D ∪ Δ) ≠ Q(D)`` yields INCOMPLETE.
+    Otherwise the verdict is ``COMPLETE_UP_TO_BOUND`` — a genuine COMPLETE
+    claim would require the characterization-based decider.
+
+    Works for **any** query language the library evaluates, including FO
+    and FP, where this is the only procedure available.
+    """
+    if check_partially_closed:
+        ensure_partially_closed(database, master, constraints)
+    if values is None:
+        values = default_value_pool(
+            database.schema, (database, master),
+            [query] + [c.query for c in constraints])
+    baseline = query.evaluate(database)
+    existing = set(database.facts())
+    pool = [fact for fact in candidate_fact_pool(database.schema, values,
+                                                 relations=relations)
+            if fact not in existing]
+
+    examined = 0
+    checks = 0
+    for size in range(1, max_extra_facts + 1):
+        for combo in itertools.combinations(pool, size):
+            examined += 1
+            extended = _extend_unvalidated(database, list(combo))
+            checks += 1
+            if not satisfies_all(extended, master, constraints):
+                continue
+            if query.evaluate(extended) != baseline:
+                new_answers = query.evaluate(extended) - baseline
+                answer = next(iter(new_answers)) if new_answers else ()
+                return RCDPResult(
+                    status=RCDPStatus.INCOMPLETE,
+                    certificate=IncompletenessCertificate(
+                        extension_facts=tuple(combo), new_answer=answer),
+                    explanation=(
+                        f"brute force found a {size}-fact consistent "
+                        f"extension changing the answer"),
+                    statistics=SearchStatistics(
+                        valuations_examined=examined,
+                        constraint_checks=checks),
+                    bound=max_extra_facts)
+    return RCDPResult(
+        status=RCDPStatus.COMPLETE_UP_TO_BOUND,
+        explanation=(
+            f"no consistent answer-changing extension of ≤ "
+            f"{max_extra_facts} fact(s) over a pool of {len(pool)} "
+            f"candidates"),
+        statistics=SearchStatistics(valuations_examined=examined,
+                                    constraint_checks=checks),
+        bound=max_extra_facts)
+
+
+def brute_force_rcqp(query: Any, master: Instance,
+                     constraints: Sequence[ContainmentConstraint],
+                     schema: DatabaseSchema,
+                     *, max_database_size: int,
+                     values: Sequence[Any] | None = None,
+                     completeness_bound: int | None = None) -> RCQPResult:
+    """Search for a relatively complete database by enumeration.
+
+    Enumerates candidate databases ``D`` of at most *max_database_size*
+    facts over the value pool (smallest first); each partially closed
+    candidate is tested for completeness:
+
+    * for decidable configurations, with the exact RCDP decider — a hit is
+      a sound NONEMPTY verdict with ``D`` as witness;
+    * for FO/FP (undecidable), with :func:`brute_force_rcdp` under
+      *completeness_bound* — a hit is then only evidence, and the result
+      explanation says so.
+
+    Exhausting the search yields ``EMPTY_UP_TO_BOUND``; an exact EMPTY
+    answer for decidable configurations comes from
+    :func:`repro.core.rcqp.decide_rcqp`.
+    """
+    if values is None:
+        values = default_value_pool(
+            schema, (master,),
+            [query] + [c.query for c in constraints])
+    pool = candidate_fact_pool(schema, values)
+    empty = Instance.empty(schema)
+
+    decidable = True
+    try:
+        from repro.core.rcdp import assert_decidable_configuration
+
+        assert_decidable_configuration(query, constraints)
+    except UndecidableConfigurationError:
+        decidable = False
+        if completeness_bound is None:
+            raise UndecidableConfigurationError(
+                "brute_force_rcqp on an undecidable configuration needs "
+                "an explicit completeness_bound")
+
+    examined = 0
+    for size in range(0, max_database_size + 1):
+        for combo in itertools.combinations(pool, size):
+            examined += 1
+            candidate = _extend_unvalidated(empty, list(combo))
+            if not satisfies_all(candidate, master, constraints):
+                continue
+            if decidable:
+                verdict = decide_rcdp(query, candidate, master, constraints,
+                                      check_partially_closed=False)
+                sound = verdict.status is RCDPStatus.COMPLETE
+            else:
+                verdict = brute_force_rcdp(
+                    query, candidate, master, constraints,
+                    max_extra_facts=completeness_bound,
+                    values=values, check_partially_closed=False)
+                sound = verdict.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+            if sound:
+                note = ("witness verified by the exact RCDP decider"
+                        if decidable else
+                        f"witness only checked up to extensions of "
+                        f"{completeness_bound} fact(s) — configuration is "
+                        f"undecidable")
+                return RCQPResult(
+                    status=RCQPStatus.NONEMPTY,
+                    witness=candidate,
+                    explanation=note,
+                    statistics=SearchStatistics(
+                        candidate_sets_examined=examined),
+                    bound=max_database_size)
+    return RCQPResult(
+        status=RCQPStatus.EMPTY_UP_TO_BOUND,
+        explanation=(
+            f"no relatively complete database of ≤ {max_database_size} "
+            f"fact(s) over a pool of {len(pool)} candidate facts"),
+        statistics=SearchStatistics(candidate_sets_examined=examined),
+        bound=max_database_size)

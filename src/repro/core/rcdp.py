@@ -1,0 +1,279 @@
+"""RCDP — the relatively complete database problem (Section 3).
+
+Given a query ``Q`` (CQ / UCQ / ∃FO⁺), master data ``Dm``, containment
+constraints ``V`` (same languages, or INDs), and a partially closed ``D``,
+decide whether ``D ∈ RCQ(Q, Dm, V)``.
+
+The decider implements the Σᵖ₂ algorithm from the proof of Theorem 3.6,
+justified by the characterizations of Proposition 3.3 (conditions C1/C2 for
+CQ), Corollary 3.4 (C3 for INDs), and Corollary 3.5 (C4 for UCQ):
+
+1. enumerate a CQ disjunct ``Q_i = (T_i, u_i)`` of ``Q``;
+2. enumerate a *valid valuation* ``μ`` of ``T_i`` over the active domain;
+3. reject the guess when ``μ(u_i) ∈ Q(D)``;
+4. otherwise test ``(D ∪ μ(T_i), Dm) ⊨ V`` — when ``V`` consists of INDs,
+   testing ``(μ(T_i), Dm) ⊨ V`` suffices (Corollary 3.4), since ``D`` is
+   already partially closed and IND satisfaction is tuple-local;
+5. a surviving guess is a counterexample: ``D`` is INCOMPLETE, and the
+   instantiated tableau is returned as a certificate.  If no guess survives,
+   ``D`` is COMPLETE.
+
+FO / FP queries or constraints raise
+:class:`~repro.errors.UndecidableConfigurationError` (Theorem 3.1); use
+:mod:`repro.core.bounded` for best-effort semi-decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           satisfies_all,
+                                           violated_constraints)
+from repro.core.results import (IncompletenessCertificate, RCDPResult,
+                                RCDPStatus, SearchStatistics)
+from repro.core.valuations import ActiveDomain, iter_valid_valuations
+from repro.errors import (NotPartiallyClosedError,
+                          SearchBudgetExceededError,
+                          UndecidableConfigurationError)
+from repro.queries.tableau import Tableau
+from repro.relational.instance import Instance
+
+__all__ = ["decide_rcdp", "enumerate_missing_answers",
+           "assert_decidable_configuration", "ensure_partially_closed"]
+
+_DECIDABLE = frozenset({"CQ", "UCQ", "EFO"})
+
+
+def assert_decidable_configuration(
+        query: Any,
+        constraints: Sequence[ContainmentConstraint]) -> None:
+    """Raise unless ``(L_Q, L_C)`` is a decidable configuration.
+
+    By Theorems 3.1 and 4.1, FO or FP on either side makes both problems
+    undecidable.
+    """
+    language = getattr(query, "language", None)
+    if language not in _DECIDABLE:
+        raise UndecidableConfigurationError(
+            f"L_Q = {language}: RCDP/RCQP are undecidable beyond ∃FO⁺ "
+            f"(Theorem 3.1 / 4.1); use repro.core.bounded for a bounded "
+            f"semi-decision")
+    for constraint in constraints:
+        if not constraint.is_decidable_language:
+            raise UndecidableConfigurationError(
+                f"containment constraint {constraint.name!r} is in "
+                f"{constraint.language}: RCDP/RCQP are undecidable beyond "
+                f"∃FO⁺ (Theorem 3.1 / 4.1); use repro.core.bounded for a "
+                f"bounded semi-decision")
+
+
+def ensure_partially_closed(
+        database: Instance, master: Instance,
+        constraints: Sequence[ContainmentConstraint]) -> None:
+    """Raise :class:`NotPartiallyClosedError` unless ``(D, Dm) ⊨ V``."""
+    violated = violated_constraints(database, master, constraints)
+    if violated:
+        names = ", ".join(c.name for c in violated)
+        raise NotPartiallyClosedError(
+            f"database is not partially closed: violates {names}")
+
+
+def _extend_unvalidated(database: Instance,
+                        facts: list[tuple[str, tuple]]) -> Instance:
+    """``D ∪ Δ`` without re-validating domains (Δ may hold fresh values)."""
+    contents = {name: set(rows) for name, rows in database}
+    for name, row in facts:
+        contents[name].add(row)
+    return Instance(database.schema, contents, validate=False)
+
+
+def decide_rcdp(query: Any, database: Instance, master: Instance,
+                constraints: Sequence[ContainmentConstraint],
+                *, check_partially_closed: bool = True,
+                budget: int | None = None,
+                use_ind_pruning: bool = True) -> RCDPResult:
+    """Decide whether *database* is complete for *query* relative to
+    ``(master, constraints)``.
+
+    Parameters
+    ----------
+    query:
+        A CQ, UCQ, or ∃FO⁺ query over the database schema.
+    database, master:
+        The partially closed database ``D`` and master data ``Dm``.
+    constraints:
+        Containment constraints ``V`` (CQ/UCQ/∃FO⁺ queries on the left).
+    check_partially_closed:
+        When True (default), verify ``(D, Dm) ⊨ V`` first and raise
+        :class:`NotPartiallyClosedError` otherwise — RCDP is only defined
+        for partially closed inputs.
+    budget:
+        Optional cap on the number of valuations examined; exceeding it
+        raises :class:`SearchBudgetExceededError`.  The problem is
+        Πᵖ₂-complete, so adversarial inputs are necessarily expensive.
+    use_ind_pruning:
+        When True (default), IND constraints prune the valuation
+        enumeration row-by-row instead of being re-checked per candidate
+        extension (Corollary 3.4 made operational).  Setting it to False
+        is for the ablation benchmarks only — the verdict is identical.
+
+    Returns
+    -------
+    RCDPResult
+        COMPLETE, or INCOMPLETE with an
+        :class:`~repro.core.results.IncompletenessCertificate`.
+    """
+    assert_decidable_configuration(query, constraints)
+    query.validate(database.schema)
+    if check_partially_closed:
+        ensure_partially_closed(database, master, constraints)
+
+    disjuncts = query.to_cq_disjuncts()
+    tableaux = [Tableau(d, database.schema) for d in disjuncts]
+    adom = ActiveDomain.build(
+        instances=(database, master),
+        queries=[query] + [c.query for c in constraints],
+        tableaux=[t for t in tableaux if t.satisfiable])
+
+    answers = query.evaluate(database)
+
+    # IND constraints are tuple-local, so they prune the valuation
+    # enumeration row-by-row (Corollary 3.4): a single instantiated tableau
+    # row whose projection leaves the master projection kills the branch.
+    # Only the remaining (non-IND) constraints need the full
+    # ``(D ∪ Δ, Dm) ⊨ V`` check per surviving valuation.
+    ind_projections: dict[str, list[tuple[tuple[int, ...], frozenset]]] = {}
+    other_constraints = []
+    for constraint in constraints:
+        if use_ind_pruning and constraint.is_ind():
+            relation, columns = constraint.ind_source()
+            ind_projections.setdefault(relation, []).append(
+                (columns, constraint.projection.evaluate(master)))
+        else:
+            other_constraints.append(constraint)
+
+    def row_filter(relation: str, row: tuple) -> bool:
+        for columns, allowed in ind_projections.get(relation, ()):
+            if tuple(row[c] for c in columns) not in allowed:
+                return False
+        return True
+
+    examined = 0
+    constraint_checks = 0
+    for tableau in tableaux:
+        if not tableau.satisfiable:
+            continue
+        for valuation in iter_valid_valuations(
+                tableau, adom, fresh="own",
+                row_filter=row_filter if ind_projections else None):
+            examined += 1
+            if budget is not None and examined > budget:
+                raise SearchBudgetExceededError(
+                    f"RCDP budget of {budget} valuations exceeded")
+            summary = tableau.summary_under(valuation)
+            if summary in answers:
+                continue
+            delta = tableau.instantiate(valuation)
+            constraint_checks += 1
+            if not other_constraints:
+                satisfied = True
+            else:
+                candidate = _extend_unvalidated(database, delta)
+                satisfied = satisfies_all(candidate, master,
+                                          other_constraints)
+            if satisfied:
+                stats = SearchStatistics(
+                    valuations_examined=examined,
+                    constraint_checks=constraint_checks)
+                certificate = IncompletenessCertificate(
+                    extension_facts=tuple(delta),
+                    new_answer=summary,
+                    disjunct_name=tableau.query.name)
+                return RCDPResult(
+                    status=RCDPStatus.INCOMPLETE,
+                    certificate=certificate,
+                    explanation=(
+                        f"adding {len(delta)} fact(s) keeps V satisfied "
+                        f"but produces the new answer {summary!r}"),
+                    statistics=stats)
+
+    stats = SearchStatistics(valuations_examined=examined,
+                             constraint_checks=constraint_checks)
+    return RCDPResult(
+        status=RCDPStatus.COMPLETE,
+        explanation=(
+            "no valid valuation over the active domain extends D "
+            "consistently with V while changing Q(D) "
+            "(conditions C1/C2 hold)"),
+        statistics=stats)
+
+
+def enumerate_missing_answers(query: Any, database: Instance,
+                              master: Instance,
+                              constraints: Sequence[ContainmentConstraint],
+                              *, limit: int | None = None,
+                              check_partially_closed: bool = True,
+                              ) -> frozenset[tuple]:
+    """All answers the query could still gain over the active domain.
+
+    Example 1.1 observes that when an employee supports at most ``k``
+    customers and ``k'`` are known, "we need to add at most ``k − k'``
+    tuples to make it complete": this function makes that kind of margin
+    computable.  It returns every tuple ``s ∉ Q(D)`` such that some valid
+    valuation over the active domain yields ``s`` via a constraint-
+    consistent extension.  The database is relatively complete iff the
+    result is empty (same enumeration as :func:`decide_rcdp`, without the
+    early exit).
+
+    *limit*, when given, truncates the enumeration once that many missing
+    answers have been found (the set is then a lower bound).
+    """
+    assert_decidable_configuration(query, constraints)
+    query.validate(database.schema)
+    if check_partially_closed:
+        ensure_partially_closed(database, master, constraints)
+
+    disjuncts = query.to_cq_disjuncts()
+    tableaux = [Tableau(d, database.schema) for d in disjuncts]
+    adom = ActiveDomain.build(
+        instances=(database, master),
+        queries=[query] + [c.query for c in constraints],
+        tableaux=[t for t in tableaux if t.satisfiable])
+    answers = query.evaluate(database)
+
+    ind_projections: dict[str, list[tuple[tuple[int, ...], frozenset]]] = {}
+    other_constraints = []
+    for constraint in constraints:
+        if constraint.is_ind():
+            relation, columns = constraint.ind_source()
+            ind_projections.setdefault(relation, []).append(
+                (columns, constraint.projection.evaluate(master)))
+        else:
+            other_constraints.append(constraint)
+
+    def row_filter(relation: str, row: tuple) -> bool:
+        for columns, allowed in ind_projections.get(relation, ()):
+            if tuple(row[c] for c in columns) not in allowed:
+                return False
+        return True
+
+    missing: set[tuple] = set()
+    for tableau in tableaux:
+        if not tableau.satisfiable:
+            continue
+        for valuation in iter_valid_valuations(
+                tableau, adom, fresh="own",
+                row_filter=row_filter if ind_projections else None):
+            summary = tableau.summary_under(valuation)
+            if summary in answers or summary in missing:
+                continue
+            if other_constraints:
+                candidate = _extend_unvalidated(
+                    database, tableau.instantiate(valuation))
+                if not satisfies_all(candidate, master, other_constraints):
+                    continue
+            missing.add(summary)
+            if limit is not None and len(missing) >= limit:
+                return frozenset(missing)
+    return frozenset(missing)

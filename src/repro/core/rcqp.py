@@ -1,0 +1,422 @@
+"""RCQP — the relatively complete query problem (Section 4).
+
+Given ``Q``, ``Dm``, and ``V``, decide whether some relatively complete
+database exists, i.e. whether ``RCQ(Q, Dm, V)`` is nonempty.
+
+Two exact engines:
+
+* :func:`decide_rcqp_with_inds` — the coNP procedure of Theorem 4.5(1),
+  driven by the *syntactic* boundedness characterization of
+  Proposition 4.3 (conditions E3/E4): every infinite-domain output variable
+  must sit in an IND-projected column, unless the disjunct admits no
+  constraint-compatible valid valuation at all.
+
+* :func:`decide_rcqp` — the general characterization of Propositions 4.2 /
+  Corollary 4.4 (conditions E1/E2, E5/E6): search for a set ``V`` of partial
+  valuations of the constraint tableaux such that ``D_V`` satisfies ``V``
+  and *bounds* every constraint-compatible valid valuation of the query
+  tableau.  NONEMPTY verdicts construct the witness database (``D_V`` plus
+  the ground tableau rows) and re-verify it through the exact RCDP decider,
+  so they are sound by construction.
+
+The general search is parameterized (valuation-set size, rows instantiated
+per partial valuation); the problem is NEXPTIME-complete, so *some* budget
+is unavoidable.  When the budget covers the whole unit space the EMPTY
+verdict is exact; otherwise it is reported as ``EMPTY_UP_TO_BOUND``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           satisfies_all)
+from repro.core.rcdp import (_extend_unvalidated,
+                             assert_decidable_configuration, decide_rcdp)
+from repro.core.results import (RCDPStatus, RCQPResult, RCQPStatus,
+                                SearchStatistics)
+from repro.core.valuations import ActiveDomain, iter_valid_valuations
+from repro.core.witness import make_complete
+from repro.errors import ConstraintError, ReproError
+from repro.queries.tableau import Tableau
+from repro.queries.terms import Const, Var
+from repro.relational.domain import is_fresh
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["decide_rcqp", "decide_rcqp_with_inds", "ValuationUnit"]
+
+Fact = tuple[str, tuple]
+
+
+def _query_tableaux(query: Any, schema: DatabaseSchema) -> list[Tableau]:
+    """Satisfiable tableaux of the CQ disjuncts of *query*."""
+    return [t for t in (Tableau(d, schema) for d in query.to_cq_disjuncts())
+            if t.satisfiable]
+
+
+def _facts_instance(schema: DatabaseSchema,
+                    facts: Iterable[Fact]) -> Instance:
+    return _extend_unvalidated(Instance.empty(schema), list(facts))
+
+
+# ---------------------------------------------------------------------------
+# INDs: the coNP algorithm (Theorem 4.5(1), Proposition 4.3)
+# ---------------------------------------------------------------------------
+
+
+def _ind_covers_variable(tableau: Tableau, variable: Var,
+                         constraints: Sequence[ContainmentConstraint],
+                         ) -> bool:
+    """Condition E4: *variable* occurs in a column projected by some IND."""
+    for constraint in constraints:
+        relation, columns = constraint.ind_source()
+        column_set = set(columns)
+        for row in tableau.rows:
+            if row.relation != relation:
+                continue
+            for position, term in enumerate(row.terms):
+                if term == variable and position in column_set:
+                    return True
+    return False
+
+
+def decide_rcqp_with_inds(query: Any, master: Instance,
+                          constraints: Sequence[ContainmentConstraint],
+                          schema: DatabaseSchema,
+                          *, construct_witness: bool = True,
+                          verify_witness: bool = True) -> RCQPResult:
+    """Decide RCQP when every containment constraint is an IND.
+
+    Implements Proposition 4.3: ``RCQ(Q, Dm, V)`` is nonempty iff every
+    disjunct is syntactically bounded (each infinite-domain output variable
+    has a finite attribute domain (E3) or is IND-covered (E4)), or the
+    disjunct admits no valid valuation satisfying ``V``.
+
+    On NONEMPTY the witness database from the proof is constructed: for
+    every achievable output tuple over the active domain, one instantiated
+    tableau producing it.
+    """
+    assert_decidable_configuration(query, constraints)
+    for constraint in constraints:
+        if not constraint.is_ind():
+            raise ConstraintError(
+                f"decide_rcqp_with_inds requires IND constraints; "
+                f"{constraint.name!r} is not an IND")
+    query.validate(schema)
+
+    tableaux = _query_tableaux(query, schema)
+    adom = ActiveDomain.build(
+        instances=(master,),
+        queries=[query] + [c.query for c in constraints],
+        tableaux=tableaux)
+
+    examined = 0
+    relevant: list[Tableau] = []
+    for tableau in tableaux:
+        compatible_exists = False
+        for valuation in iter_valid_valuations(tableau, adom, fresh="own"):
+            examined += 1
+            delta = _facts_instance(schema, tableau.instantiate(valuation))
+            if satisfies_all(delta, master, constraints):
+                compatible_exists = True
+                break
+        if not compatible_exists:
+            # The disjunct can never fire in a partially closed database;
+            # it cannot break boundedness (second case of Prop. 4.3).
+            continue
+        relevant.append(tableau)
+        for variable in sorted(tableau.summary_variables(),
+                               key=lambda v: v.name):
+            if tableau.has_finite_domain(variable):
+                continue  # condition E3
+            if not _ind_covers_variable(tableau, variable, constraints):
+                return RCQPResult(
+                    status=RCQPStatus.EMPTY,
+                    explanation=(
+                        f"output variable {variable!r} of disjunct "
+                        f"{tableau.query.name!r} has an infinite domain and "
+                        f"is not covered by any IND (conditions E3/E4 both "
+                        f"fail)"),
+                    statistics=SearchStatistics(
+                        valuations_examined=examined))
+
+    witness = None
+    if construct_witness:
+        witness = _build_ind_witness(schema, master, constraints, relevant,
+                                     adom)
+        if verify_witness:
+            verdict = decide_rcdp(query, witness, master, constraints)
+            if verdict.status is not RCDPStatus.COMPLETE:
+                raise ReproError(
+                    "internal error: Proposition 4.3 witness failed RCDP "
+                    "verification — please report this as a bug")
+    return RCQPResult(
+        status=RCQPStatus.NONEMPTY,
+        witness=witness,
+        explanation=(
+            "every relevant disjunct is syntactically bounded "
+            "(conditions E3/E4); witness covers all achievable output "
+            "tuples over the active domain"),
+        statistics=SearchStatistics(valuations_examined=examined))
+
+
+def _build_ind_witness(schema: DatabaseSchema, master: Instance,
+                       constraints: Sequence[ContainmentConstraint],
+                       tableaux: Sequence[Tableau],
+                       adom: ActiveDomain) -> Instance:
+    """Proof of Proposition 4.3: a minimal relatively complete database.
+
+    For each distinct output tuple achievable by a constraint-compatible
+    valid valuation over the active domain, include one instantiated
+    tableau that produces it.
+    """
+    facts: list[Fact] = []
+    for tableau in tableaux:
+        covered: set[tuple] = set()
+        for valuation in iter_valid_valuations(tableau, adom, fresh="own"):
+            summary = tableau.summary_under(valuation)
+            if summary in covered:
+                continue
+            delta = tableau.instantiate(valuation)
+            if satisfies_all(_facts_instance(schema, delta), master,
+                             constraints):
+                covered.add(summary)
+                facts.extend(delta)
+    return _facts_instance(schema, facts)
+
+
+# ---------------------------------------------------------------------------
+# General case: conditions E1/E2 and E5/E6 (Propositions 4.2, Corollary 4.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValuationUnit:
+    """One partial valuation ``ν_i`` of one constraint tableau.
+
+    *facts* are the instantiated tuple templates ``ν_i(S)`` for the chosen
+    row subset ``S``; *summary_values* the values of the constraint-query
+    summary positions that the valuation defines (used by the boundedness
+    test "μ(y) appears in ν_j(u_j)").
+    """
+
+    facts: frozenset[Fact]
+    summary_values: frozenset
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}{r!r}" for n, r in sorted(
+            self.facts, key=repr))
+        return f"Unit[{{{inner}}} ↦ {sorted(self.summary_values, key=repr)}]"
+
+
+def _constraint_tableaux(constraints: Sequence[ContainmentConstraint],
+                         schema: DatabaseSchema) -> list[Tableau]:
+    tableaux: list[Tableau] = []
+    for constraint in constraints:
+        for disjunct in constraint.query.to_cq_disjuncts():
+            tableau = Tableau(disjunct, schema)
+            if tableau.satisfiable:
+                tableaux.append(tableau)
+    return tableaux
+
+
+def _enumerate_units(cc_tableaux: Sequence[Tableau], adom: ActiveDomain,
+                     max_rows_per_unit: int) -> list[ValuationUnit]:
+    """All partial valuations of constraint tableaux over the active domain.
+
+    Each infinite-domain variable ranges over the shared constants plus its
+    own dedicated fresh value (see the dedicated-fresh discussion in
+    :mod:`repro.core.valuations`); *max_rows_per_unit* caps how many tuple
+    templates one partial valuation instantiates.
+    """
+    units: list[ValuationUnit] = []
+    seen: set[tuple[frozenset, frozenset]] = set()
+    for tableau in cc_tableaux:
+        rows = tableau.rows
+        row_indices = range(len(rows))
+        max_rows = min(max_rows_per_unit, len(rows))
+        for size in range(1, max_rows + 1):
+            for subset in itertools.combinations(row_indices, size):
+                chosen = [rows[i] for i in subset]
+                variables = sorted(
+                    {v for row in chosen for v in row.variables()},
+                    key=lambda v: v.name)
+                candidate_lists = [
+                    adom.candidates_for(tableau, v, fresh="own")
+                    for v in variables]
+                for combo in itertools.product(*candidate_lists):
+                    valuation = dict(zip(variables, combo))
+                    facts = frozenset(
+                        (row.relation, row.instantiate(valuation))
+                        for row in chosen)
+                    summary_values = []
+                    for term in tableau.summary:
+                        if isinstance(term, Const):
+                            summary_values.append(term.value)
+                        elif term in valuation:
+                            summary_values.append(valuation[term])
+                    key = (facts, frozenset(summary_values))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    units.append(ValuationUnit(
+                        facts=facts,
+                        summary_values=frozenset(summary_values)))
+    return units
+
+
+def _candidate_is_bounding(schema: DatabaseSchema, master: Instance,
+                           constraints: Sequence[ContainmentConstraint],
+                           q_tableaux: Sequence[Tableau],
+                           adom: ActiveDomain,
+                           dv_facts: frozenset[Fact],
+                           bound_values: frozenset) -> bool:
+    """Condition E2/E6 for one candidate set: every constraint-compatible
+    valid valuation must have all its infinite-domain output variables
+    bounded by the candidate's summary values."""
+    dv_instance = _facts_instance(schema, dv_facts)
+    if not satisfies_all(dv_instance, master, constraints):
+        return False
+    extra_values = {value for _, row in dv_facts for value in row
+                    if is_fresh(value)}
+    extra_values |= {value for value in bound_values if is_fresh(value)}
+    for tableau in q_tableaux:
+        infinite_vars = [
+            v for v in sorted(tableau.summary_variables(),
+                              key=lambda v: v.name)
+            if not tableau.has_finite_domain(v)]
+        for valuation in iter_valid_valuations(
+                tableau, adom, fresh="own", extra=sorted(
+                    extra_values, key=repr)):
+            if all(valuation[v] in bound_values for v in infinite_vars):
+                continue
+            extended = _extend_unvalidated(
+                dv_instance, tableau.instantiate(valuation))
+            if satisfies_all(extended, master, constraints):
+                return False
+    return True
+
+
+def decide_rcqp(query: Any, master: Instance,
+                constraints: Sequence[ContainmentConstraint],
+                schema: DatabaseSchema,
+                *, max_valuation_set_size: int = 2,
+                max_rows_per_unit: int = 1,
+                max_completion_rounds: int = 64,
+                verify_witness: bool = True) -> RCQPResult:
+    """Decide RCQP for CQ/UCQ/∃FO⁺ queries and constraints.
+
+    Dispatches to the syntactic IND algorithm when every constraint is an
+    IND.  Otherwise implements the boundedness characterization:
+
+    * **E1/E5** — if every output variable of every (relevant) disjunct has
+      a finite domain, the query is relatively complete; the witness is
+      built by certificate-completion from the empty database, which
+      terminates because the answer space over the active domain is finite.
+    * **E2/E6** — search over candidate sets ``V`` of partial valuations of
+      the constraint tableaux (at most *max_valuation_set_size* units, each
+      instantiating at most *max_rows_per_unit* tuple templates).  A
+      candidate is *bounding* when ``D_V ⊨ V`` and every
+      constraint-compatible valid valuation of the query has its
+      infinite-domain output values among the candidate's summary values.
+      Bounding candidates yield a witness (``D_V`` plus ground tableau
+      rows, closed under certificate completion) that is re-verified with
+      the exact RCDP decider before NONEMPTY is returned.
+
+    EMPTY is exact when the unit budget covers the whole unit space;
+    otherwise ``EMPTY_UP_TO_BOUND`` is returned.
+    """
+    assert_decidable_configuration(query, constraints)
+    if constraints and all(c.is_ind() for c in constraints):
+        return decide_rcqp_with_inds(query, master, constraints, schema,
+                                     verify_witness=verify_witness)
+    query.validate(schema)
+
+    q_tableaux = _query_tableaux(query, schema)
+    cc_tableaux = _constraint_tableaux(constraints, schema)
+    adom = ActiveDomain.build(
+        instances=(master,),
+        queries=[query] + [c.query for c in constraints],
+        tableaux=list(q_tableaux) + cc_tableaux)
+
+    if not q_tableaux:
+        return RCQPResult(
+            status=RCQPStatus.NONEMPTY,
+            witness=Instance.empty(schema),
+            explanation="the query is unsatisfiable; every partially "
+                        "closed database is trivially complete")
+
+    # Condition E1/E5: all output variables range over finite domains.
+    if all(tableau.has_finite_domain(v)
+           for tableau in q_tableaux
+           for v in tableau.summary_variables()):
+        outcome = make_complete(
+            query, Instance.empty(schema), master, constraints,
+            max_rounds=max_completion_rounds)
+        if outcome.complete:
+            return RCQPResult(
+                status=RCQPStatus.NONEMPTY,
+                witness=outcome.database,
+                explanation=(
+                    "all output variables have finite domains "
+                    "(condition E1/E5); witness built by certificate "
+                    "completion"))
+        raise ReproError(
+            "internal error: E1/E5 completion did not converge — raise "
+            "max_completion_rounds or report this as a bug")
+
+    # Condition E2/E6: search for a bounding set of partial valuations.
+    units = _enumerate_units(cc_tableaux, adom, max_rows_per_unit)
+    examined = 0
+    ground_rows: list[Fact] = [
+        (row.relation, row.instantiate({}))
+        for tableau in q_tableaux for row in tableau.ground_rows()]
+    max_size = min(max_valuation_set_size, len(units))
+    for size in range(0, max_size + 1):
+        for combo in itertools.combinations(units, size):
+            examined += 1
+            dv_facts = frozenset().union(*(u.facts for u in combo)) \
+                if combo else frozenset()
+            bound_values = frozenset().union(
+                *(u.summary_values for u in combo)) if combo else frozenset()
+            if not _candidate_is_bounding(
+                    schema, master, constraints, q_tableaux, adom,
+                    dv_facts, bound_values):
+                continue
+            witness = _facts_instance(
+                schema, list(dv_facts) + ground_rows)
+            if not satisfies_all(witness, master, constraints):
+                continue
+            outcome = make_complete(
+                query, witness, master, constraints,
+                max_rounds=max_completion_rounds)
+            if not outcome.complete:
+                continue
+            if verify_witness:
+                verdict = decide_rcdp(query, outcome.database, master,
+                                      constraints)
+                if verdict.status is not RCDPStatus.COMPLETE:
+                    continue  # conservative: keep searching
+            return RCQPResult(
+                status=RCQPStatus.NONEMPTY,
+                witness=outcome.database,
+                explanation=(
+                    f"bounding valuation set of size {size} found "
+                    f"(condition E2/E6); witness verified complete"),
+                statistics=SearchStatistics(
+                    candidate_sets_examined=examined))
+
+    exhausted = max_valuation_set_size >= len(units)
+    status = RCQPStatus.EMPTY if exhausted else RCQPStatus.EMPTY_UP_TO_BOUND
+    return RCQPResult(
+        status=status,
+        explanation=(
+            f"no bounding valuation set among {examined} candidate "
+            f"set(s) over {len(units)} unit(s)"
+            + ("" if exhausted else
+               f" (search capped at size {max_valuation_set_size})")),
+        statistics=SearchStatistics(candidate_sets_examined=examined),
+        bound=None if exhausted else max_valuation_set_size)

@@ -1,0 +1,138 @@
+"""Result types of the RCDP / RCQP decision procedures.
+
+Every verdict is explicit about its strength:
+
+* :class:`RCDPStatus.COMPLETE` / :class:`RCQPStatus.NONEMPTY` etc. are exact
+  answers from the characterization-based deciders;
+* the ``*_UP_TO_BOUND`` statuses come from the bounded semi-decision
+  procedures (the only ones available for FO/FP, where the problems are
+  undecidable) and make no claim beyond the explored bound.
+
+INCOMPLETE verdicts carry a *certificate*: a concrete set of facts whose
+addition is consistent with the containment constraints yet changes the
+query answer.  This doubles as the paper's Section 2.3 guidance for what
+data to collect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.relational.instance import Instance
+
+__all__ = [
+    "RCDPStatus", "RCQPStatus", "IncompletenessCertificate", "RCDPResult",
+    "RCQPResult", "SearchStatistics",
+]
+
+Fact = tuple[str, tuple]
+
+
+class RCDPStatus(enum.Enum):
+    """Verdicts for the relatively complete database problem."""
+
+    COMPLETE = "complete"
+    INCOMPLETE = "incomplete"
+    #: Bounded procedure found no counterexample within the bound.
+    COMPLETE_UP_TO_BOUND = "complete-up-to-bound"
+
+
+class RCQPStatus(enum.Enum):
+    """Verdicts for the relatively complete query problem."""
+
+    NONEMPTY = "nonempty"
+    EMPTY = "empty"
+    #: Bounded search found no witness within the bound.
+    EMPTY_UP_TO_BOUND = "empty-up-to-bound"
+
+
+@dataclass(frozen=True)
+class IncompletenessCertificate:
+    """Evidence that ``D`` is not complete for ``Q`` relative to ``(Dm, V)``.
+
+    Attributes
+    ----------
+    extension_facts:
+        Facts ``Δ`` such that ``(D ∪ Δ, Dm) ⊨ V`` yet
+        ``Q(D ∪ Δ) ≠ Q(D)``.
+    new_answer:
+        A tuple in ``Q(D ∪ Δ) \\ Q(D)``.
+    disjunct_name:
+        Which CQ disjunct of ``Q`` produced the witness.
+    """
+
+    extension_facts: tuple[Fact, ...]
+    new_answer: tuple
+    disjunct_name: str = ""
+
+    def apply_to(self, database: Instance) -> Instance:
+        """Return ``D ∪ Δ``."""
+        return database.with_facts(self.extension_facts)
+
+    def __repr__(self) -> str:
+        facts = ", ".join(f"{name}{row!r}"
+                          for name, row in self.extension_facts)
+        return (f"Certificate[add {{{facts}}} ⇒ new answer "
+                f"{self.new_answer!r}]")
+
+
+@dataclass(frozen=True)
+class SearchStatistics:
+    """Counters the deciders expose for the benchmark harness."""
+
+    valuations_examined: int = 0
+    constraint_checks: int = 0
+    candidate_sets_examined: int = 0
+
+
+@dataclass(frozen=True)
+class RCDPResult:
+    """Outcome of an RCDP decision."""
+
+    status: RCDPStatus
+    certificate: IncompletenessCertificate | None = None
+    explanation: str = ""
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    #: For bounded procedures: the explored extension-size bound.
+    bound: int | None = None
+
+    @property
+    def is_complete(self) -> bool:
+        """True only for an exact COMPLETE verdict."""
+        return self.status is RCDPStatus.COMPLETE
+
+    @property
+    def is_incomplete(self) -> bool:
+        return self.status is RCDPStatus.INCOMPLETE
+
+    def __bool__(self) -> bool:
+        # Deliberately undefined truthiness: force callers to test the
+        # status explicitly rather than accidentally treating
+        # COMPLETE_UP_TO_BOUND as COMPLETE.
+        raise TypeError(
+            "RCDPResult has no truth value; inspect .status instead")
+
+
+@dataclass(frozen=True)
+class RCQPResult:
+    """Outcome of an RCQP decision."""
+
+    status: RCQPStatus
+    witness: Instance | None = None
+    explanation: str = ""
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    bound: int | None = None
+
+    @property
+    def is_nonempty(self) -> bool:
+        return self.status is RCQPStatus.NONEMPTY
+
+    @property
+    def is_empty(self) -> bool:
+        """True only for an exact EMPTY verdict."""
+        return self.status is RCQPStatus.EMPTY
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "RCQPResult has no truth value; inspect .status instead")

@@ -1,0 +1,132 @@
+"""Witness construction and data-collection guidance (Section 2.3).
+
+The characterizations are constructive: an INCOMPLETE verdict comes with a
+certificate extension, and repeatedly *applying* certificates drives a
+database toward relative completeness.  :func:`make_complete` implements
+that loop — it is the executable form of the paper's paradigm (2), "guidance
+for what data should be collected in a database".
+
+The loop need not terminate in general (the query may not be relatively
+complete at all — paradigm (3) then says the *master data* must grow), so it
+is bounded by ``max_rounds``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           satisfies_all)
+from repro.core.rcdp import _extend_unvalidated, decide_rcdp
+from repro.core.results import RCDPResult, RCDPStatus
+from repro.errors import ReproError
+from repro.relational.instance import Instance
+
+__all__ = ["CompletionOutcome", "make_complete", "minimize_witness"]
+
+
+@dataclass(frozen=True)
+class CompletionOutcome:
+    """Result of :func:`make_complete`.
+
+    Attributes
+    ----------
+    database:
+        The final database (the input extended with all applied
+        certificates).
+    complete:
+        True when the final database is relatively complete for the query.
+    rounds:
+        Number of certificates applied.
+    added_facts:
+        All facts added across rounds, in application order.
+    """
+
+    database: Instance
+    complete: bool
+    rounds: int
+    added_facts: tuple[tuple[str, tuple], ...]
+
+    def __repr__(self) -> str:
+        state = "complete" if self.complete else "still incomplete"
+        return (f"CompletionOutcome[{state} after {self.rounds} round(s), "
+                f"{len(self.added_facts)} fact(s) added]")
+
+
+def make_complete(query: Any, database: Instance, master: Instance,
+                  constraints: Sequence[ContainmentConstraint],
+                  *, max_rounds: int = 32) -> CompletionOutcome:
+    """Repeatedly apply incompleteness certificates until the database is
+    complete for *query* relative to ``(master, constraints)`` or
+    *max_rounds* certificates have been applied.
+
+    Each round asks the exact RCDP decider for a counterexample extension
+    and merges it into the database.  Certificates built over the active
+    domain may contain fresh placeholder values — in a real deployment these
+    mark *which* records are missing (e.g. "a domestic customer with this
+    id"); here they make the final database a genuine member of
+    ``RCQ(Q, Dm, V)`` whenever the loop converges.
+    """
+    current = database
+    added: list[tuple[str, tuple]] = []
+    for round_index in range(max_rounds):
+        verdict: RCDPResult = decide_rcdp(
+            query, current, master, constraints,
+            check_partially_closed=(round_index == 0))
+        if verdict.status is RCDPStatus.COMPLETE:
+            return CompletionOutcome(
+                database=current, complete=True, rounds=round_index,
+                added_facts=tuple(added))
+        certificate = verdict.certificate
+        assert certificate is not None
+        new_facts = [
+            fact for fact in certificate.extension_facts
+            if fact[1] not in current.relation(fact[0])]
+        if not new_facts:  # pragma: no cover - certificate always adds
+            break
+        added.extend(new_facts)
+        current = _extend_unvalidated(current, new_facts)
+    verdict = decide_rcdp(query, current, master, constraints,
+                          check_partially_closed=False)
+    return CompletionOutcome(
+        database=current,
+        complete=verdict.status is RCDPStatus.COMPLETE,
+        rounds=max_rounds,
+        added_facts=tuple(added))
+
+
+def minimize_witness(query: Any, database: Instance, master: Instance,
+                     constraints: Sequence[ContainmentConstraint],
+                     ) -> Instance:
+    """Shrink a relatively complete database while keeping it complete.
+
+    RCQP witnesses (and completion results) can contain more facts than
+    necessary; this greedily drops facts whose removal preserves both
+    partial closure and relative completeness.  The result is *minimal*
+    (no single fact can be removed) but not necessarily minimum.
+
+    Raises :class:`~repro.errors.ReproError` if *database* is not
+    relatively complete to begin with.
+    """
+    verdict = decide_rcdp(query, database, master, constraints)
+    if verdict.status is not RCDPStatus.COMPLETE:
+        raise ReproError(
+            "minimize_witness requires a relatively complete database")
+    current = database
+    changed = True
+    while changed:
+        changed = False
+        for name, row in sorted(current.facts(), key=repr):
+            contents = {rel_name: set(rows) for rel_name, rows in current}
+            contents[name] = contents[name] - {row}
+            candidate = Instance(current.schema, contents, validate=False)
+            if not satisfies_all(candidate, master, constraints):
+                continue
+            shrunk = decide_rcdp(query, candidate, master, constraints,
+                                 check_partially_closed=False)
+            if shrunk.status is RCDPStatus.COMPLETE:
+                current = candidate
+                changed = True
+                break
+    return current

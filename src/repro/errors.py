@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so callers can catch one type to handle all library
+failures while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an object refers to an unknown relation,
+    attribute, or has the wrong arity."""
+
+
+class DomainError(ReproError):
+    """A value does not belong to the domain of the attribute it is used in."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown relation, arity mismatch, unsafe head
+    variable, unbound variable in a comparison, ...)."""
+
+
+class UnsatisfiableQueryError(QueryError):
+    """Raised when an operation requires a satisfiable query but the query's
+    equality atoms are contradictory (e.g. ``x = 'a' AND x = 'b'``)."""
+
+
+class ConstraintError(ReproError):
+    """A containment or integrity constraint is malformed."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated over the given instance."""
+
+
+class ParseError(ReproError):
+    """The textual query/constraint syntax could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class UndecidableConfigurationError(ReproError):
+    """Raised when an exact decision procedure is invoked on a language
+    combination the paper proves undecidable (FO or FP on either side).
+
+    Callers who want a best-effort answer must explicitly use the bounded
+    semi-decision procedures in :mod:`repro.core.bounded`.
+    """
+
+
+class NotPartiallyClosedError(ReproError):
+    """The database handed to RCDP does not satisfy the containment
+    constraints, i.e. it is not partially closed w.r.t. ``(Dm, V)``."""
+
+
+class SearchBudgetExceededError(ReproError):
+    """An exact decision procedure exceeded its configured search budget.
+
+    The exact deciders solve problems that are Πᵖ₂- to NEXPTIME-complete;
+    budgets keep runaway instances from hanging the caller.
+    """

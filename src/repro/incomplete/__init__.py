@@ -1,0 +1,32 @@
+"""Missing values: v-tables, c-tables, and possible-world completeness.
+
+Implements the Section 5 extension the paper defers to representation
+systems (and the companion PODS 2010 paper develops), in honest
+enumerative form: possible worlds over an explicit null domain, certain
+and possible answers, and relative completeness across worlds.
+"""
+
+from repro.incomplete.completeness import (IncompleteRCDPReport,
+                                           WorldVerdict,
+                                           decide_rcdp_with_missing_values)
+from repro.incomplete.conditions import (Condition, EqCondition,
+                                         NeqCondition, TRUE_CONDITION,
+                                         conjunction)
+from repro.incomplete.nulls import MarkedNull, is_null, nulls_in_row
+from repro.incomplete.tables import ConditionalRow, IncompleteDatabase
+
+__all__ = [
+    "Condition",
+    "ConditionalRow",
+    "EqCondition",
+    "IncompleteDatabase",
+    "IncompleteRCDPReport",
+    "MarkedNull",
+    "NeqCondition",
+    "TRUE_CONDITION",
+    "WorldVerdict",
+    "conjunction",
+    "decide_rcdp_with_missing_values",
+    "is_null",
+    "nulls_in_row",
+]

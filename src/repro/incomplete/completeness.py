@@ -1,0 +1,116 @@
+"""Relative completeness for databases with missing values.
+
+Section 5 of the paper: "One issue is about how to incorporate missing
+values, together with missing tuples, into the framework … by capitalizing
+on representation systems for possible worlds."  The companion paper
+(Fan & Geerts, PODS 2010) develops the exact theory; this module provides
+the *enumerative* semantics over an explicit null domain, which is exact
+whenever the caller supplies the relevant value domain:
+
+A c-table ``T`` is **complete for Q relative to (Dm, V)** under the
+possible-worlds reading used here iff every possible world of ``T`` that is
+partially closed w.r.t. ``(Dm, V)`` is relatively complete in the paper's
+original (missing-tuples) sense.  Worlds that violate ``V`` are not
+legitimate databases and are skipped (and reported).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           satisfies_all)
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPResult, RCDPStatus
+from repro.errors import ReproError
+from repro.incomplete.tables import IncompleteDatabase
+from repro.relational.instance import Instance
+
+__all__ = ["WorldVerdict", "IncompleteRCDPReport",
+           "decide_rcdp_with_missing_values"]
+
+
+@dataclass(frozen=True)
+class WorldVerdict:
+    """Outcome for one possible world."""
+
+    world: Instance
+    partially_closed: bool
+    verdict: RCDPResult | None  # None when not partially closed
+
+
+@dataclass(frozen=True)
+class IncompleteRCDPReport:
+    """Aggregate over all possible worlds of a c-table database."""
+
+    worlds_total: int
+    worlds_partially_closed: int
+    worlds_complete: int
+    samples: tuple[WorldVerdict, ...]
+
+    @property
+    def certainly_complete(self) -> bool:
+        """Every legitimate (partially closed) world is complete — the
+        answer to Q can be trusted regardless of the unknown values."""
+        return (self.worlds_partially_closed > 0
+                and self.worlds_complete == self.worlds_partially_closed)
+
+    @property
+    def possibly_complete(self) -> bool:
+        """At least one legitimate world is complete."""
+        return self.worlds_complete > 0
+
+    def __repr__(self) -> str:
+        return (f"IncompleteRCDPReport[{self.worlds_complete}/"
+                f"{self.worlds_partially_closed} legitimate world(s) "
+                f"complete, {self.worlds_total} total]")
+
+
+def decide_rcdp_with_missing_values(
+        query: Any, database: IncompleteDatabase, master: Instance,
+        constraints: Sequence[ContainmentConstraint],
+        domain: Sequence[Any],
+        *, world_limit: int = 4096,
+        keep_samples: int = 4) -> IncompleteRCDPReport:
+    """Assess relative completeness across the possible worlds of a
+    c-table database.
+
+    Parameters
+    ----------
+    domain:
+        Values the marked nulls may take.  With ``k`` nulls the procedure
+        examines ``|domain|^k`` worlds; *world_limit* bounds that count.
+    keep_samples:
+        How many per-world verdicts to retain in the report (the first
+        few, for explanation purposes).
+
+    Returns an :class:`IncompleteRCDPReport`; its
+    :attr:`~IncompleteRCDPReport.certainly_complete` /
+    :attr:`~IncompleteRCDPReport.possibly_complete` flags are the certain/
+    possible readings of completeness under missing values.
+    """
+    total = 0
+    closed = 0
+    complete = 0
+    samples: list[WorldVerdict] = []
+    for world in database.possible_worlds(domain, limit=world_limit):
+        total += 1
+        if not satisfies_all(world, master, constraints):
+            if len(samples) < keep_samples:
+                samples.append(WorldVerdict(
+                    world=world, partially_closed=False, verdict=None))
+            continue
+        closed += 1
+        verdict = decide_rcdp(query, world, master, constraints,
+                              check_partially_closed=False)
+        if verdict.status is RCDPStatus.COMPLETE:
+            complete += 1
+        if len(samples) < keep_samples:
+            samples.append(WorldVerdict(
+                world=world, partially_closed=True, verdict=verdict))
+    if total == 0:
+        raise ReproError("no possible worlds (empty domain with nulls?)")
+    return IncompleteRCDPReport(
+        worlds_total=total, worlds_partially_closed=closed,
+        worlds_complete=complete, samples=tuple(samples))

@@ -1,0 +1,106 @@
+"""Local conditions for c-tables.
+
+A condition is a conjunction of (in)equalities over marked nulls and
+constants, attached to a c-table row; the row is present in a possible
+world exactly when the valuation of the nulls satisfies the condition
+(Imieliński & Lipski 1984).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ReproError
+from repro.incomplete.nulls import MarkedNull, is_null
+
+__all__ = ["EqCondition", "NeqCondition", "Condition", "TRUE_CONDITION",
+           "conjunction"]
+
+
+def _resolve(term: Any, valuation: Mapping[MarkedNull, Any]) -> Any:
+    if is_null(term):
+        try:
+            return valuation[term]
+        except KeyError:
+            raise ReproError(
+                f"valuation does not cover null {term!r}") from None
+    return term
+
+
+@dataclass(frozen=True, slots=True)
+class EqCondition:
+    """``left = right`` where either side is a null or a constant."""
+
+    left: Any
+    right: Any
+
+    def holds(self, valuation: Mapping[MarkedNull, Any]) -> bool:
+        return _resolve(self.left, valuation) == \
+            _resolve(self.right, valuation)
+
+    def nulls(self) -> set[MarkedNull]:
+        return {t for t in (self.left, self.right) if is_null(t)}
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True, slots=True)
+class NeqCondition:
+    """``left ≠ right``."""
+
+    left: Any
+    right: Any
+
+    def holds(self, valuation: Mapping[MarkedNull, Any]) -> bool:
+        return _resolve(self.left, valuation) != \
+            _resolve(self.right, valuation)
+
+    def nulls(self) -> set[MarkedNull]:
+        return {t for t in (self.left, self.right) if is_null(t)}
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} ≠ {self.right!r}"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A conjunction of atomic conditions (empty = true)."""
+
+    atoms: tuple = ()
+
+    def __init__(self, atoms: Iterable[Any] = ()) -> None:
+        frozen = tuple(atoms)
+        for atom in frozen:
+            if not isinstance(atom, (EqCondition, NeqCondition)):
+                raise ReproError(
+                    f"unsupported condition atom {atom!r}")
+        object.__setattr__(self, "atoms", frozen)
+
+    def holds(self, valuation: Mapping[MarkedNull, Any]) -> bool:
+        return all(atom.holds(valuation) for atom in self.atoms)
+
+    def nulls(self) -> set[MarkedNull]:
+        result: set[MarkedNull] = set()
+        for atom in self.atoms:
+            result |= atom.nulls()
+        return result
+
+    @property
+    def is_trivially_true(self) -> bool:
+        return not self.atoms
+
+    def __repr__(self) -> str:
+        if not self.atoms:
+            return "⊤"
+        return " ∧ ".join(repr(a) for a in self.atoms)
+
+
+#: The always-true condition.
+TRUE_CONDITION = Condition()
+
+
+def conjunction(*atoms: Any) -> Condition:
+    """Shorthand constructor."""
+    return Condition(atoms)

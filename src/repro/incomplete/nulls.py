@@ -1,0 +1,39 @@
+"""Marked (labeled) nulls for representation systems.
+
+Section 5 of the paper defers *missing values* to representation systems
+for possible worlds (v-tables / c-tables, Imieliński & Lipski 1984; Grahne
+1991), which the companion paper (Fan & Geerts, "Capturing missing tuples
+and missing values", PODS 2010) develops.  This subpackage implements the
+classic machinery so the completeness analyses extend to databases with
+missing values.
+
+A :class:`MarkedNull` is a named unknown ``⊥name``; the same null may occur
+in several fields, and every occurrence denotes the same (unknown) value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["MarkedNull", "is_null", "nulls_in_row"]
+
+
+@dataclass(frozen=True, slots=True)
+class MarkedNull:
+    """A named unknown value.  Equality is by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"⊥{self.name}"
+
+
+def is_null(value: Any) -> bool:
+    """True when *value* is a marked null."""
+    return isinstance(value, MarkedNull)
+
+
+def nulls_in_row(row: tuple) -> set[MarkedNull]:
+    """The marked nulls occurring in *row*."""
+    return {value for value in row if isinstance(value, MarkedNull)}

@@ -1,0 +1,300 @@
+"""JSON (de)serialization for schemas, instances, queries, constraints.
+
+The wire format is intentionally explicit:
+
+* schema: ``{"relations": [{"name": "R", "attributes":
+  [{"name": "a"}, {"name": "b", "domain": ["x", "y"]}]}]}`` — an attribute
+  without ``"domain"`` is infinite, with it a finite domain;
+* instance: ``{"R": [[1, 2], [3, 4]]}``;
+* query: ``{"language": "CQ" | "UCQ" | "FP", "text": "...", "goal": "T"}``
+  using the textual rule syntax of :mod:`repro.queries.parser`;
+* constraint: ``{"name": "φ0", "query": {...},
+  "projection": {"relation": "DCust", "columns": [0]}}`` where a null
+  relation means the empty target ``∅``.
+
+Values round-trip as JSON scalars; tuples inside instances become lists on
+disk and tuples again on load.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ReproError
+from repro.queries.parser import parse_program, parse_query
+from repro.relational.domain import FiniteDomain, INFINITE
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+__all__ = [
+    "schema_to_dict", "schema_from_dict",
+    "instance_to_dict", "instance_from_dict",
+    "query_to_dict", "query_from_dict",
+    "constraint_to_dict", "constraint_from_dict",
+    "incomplete_to_dict", "incomplete_from_dict",
+    "dump_bundle", "load_bundle",
+]
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+
+def schema_to_dict(schema: DatabaseSchema) -> dict:
+    relations = []
+    for relation in schema:
+        attributes = []
+        for attribute in relation.attributes:
+            entry: dict[str, Any] = {"name": attribute.name}
+            if not attribute.domain.is_infinite:
+                entry["domain"] = sorted(
+                    attribute.domain.values, key=repr)
+            attributes.append(entry)
+        relations.append({"name": relation.name, "attributes": attributes})
+    return {"relations": relations}
+
+
+def schema_from_dict(data: dict) -> DatabaseSchema:
+    relations = []
+    for relation in data["relations"]:
+        attributes = []
+        for attribute in relation["attributes"]:
+            if "domain" in attribute:
+                domain = FiniteDomain(attribute["domain"],
+                                      name=f"{attribute['name']}-domain")
+            else:
+                domain = INFINITE
+            attributes.append(Attribute(attribute["name"], domain))
+        relations.append(RelationSchema(relation["name"], attributes))
+    return DatabaseSchema(relations)
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    return {name: sorted([list(row) for row in rows])
+            for name, rows in instance if rows}
+
+
+def instance_from_dict(data: dict, schema: DatabaseSchema) -> Instance:
+    contents = {name: {tuple(row) for row in rows}
+                for name, rows in data.items()}
+    return Instance(schema, contents)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+def query_to_dict(query: Any) -> dict:
+    language = getattr(query, "language", None)
+    if language in ("CQ", "UCQ"):
+        disjuncts = query.to_cq_disjuncts()
+        text = "\n".join(_render_cq(d) for d in disjuncts)
+        return {"language": language, "text": text}
+    if language == "FP":
+        text = "\n".join(_render_rule(r.head, r.body) for r in query.rules)
+        return {"language": "FP", "text": text, "goal": query.goal}
+    raise ReproError(
+        f"JSON serialization supports CQ/UCQ/FP queries, not {language}")
+
+
+def _render_term(term: Any) -> str:
+    from repro.queries.terms import Var
+
+    if isinstance(term, Var):
+        return term.name
+    value = term.value
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise ReproError(
+            f"the textual wire format supports int and str constants "
+            f"only, got {value!r} ({type(value).__name__})")
+    if isinstance(value, int):
+        return str(value)
+    if "'" in value:
+        raise ReproError(
+            f"string constant {value!r} contains a quote; not "
+            f"representable in the textual wire format")
+    return "'" + value + "'"
+
+
+def _render_atom(atom: Any) -> str:
+    from repro.queries.atoms import Eq, RelAtom
+
+    if isinstance(atom, RelAtom):
+        inner = ", ".join(_render_term(t) for t in atom.terms)
+        return f"{atom.relation}({inner})"
+    symbol = "=" if isinstance(atom, Eq) else "!="
+    return f"{_render_term(atom.left)} {symbol} {_render_term(atom.right)}"
+
+
+def _render_rule(head: Any, body: Any) -> str:
+    head_text = _render_atom(head)
+    if not body:
+        return head_text
+    return head_text + " :- " + ", ".join(_render_atom(a) for a in body)
+
+
+def _render_cq(query: Any) -> str:
+    from repro.queries.atoms import RelAtom
+
+    head = RelAtom("Q", query.head)
+    return _render_rule(head, query.body)
+
+
+def query_from_dict(data: dict) -> Any:
+    language = data.get("language", "CQ")
+    if language in ("CQ", "UCQ"):
+        return parse_query(data["text"])
+    if language == "FP":
+        return parse_program(data["text"], goal=data["goal"])
+    raise ReproError(f"unsupported query language {language!r}")
+
+
+# ---------------------------------------------------------------------------
+# Constraints
+# ---------------------------------------------------------------------------
+
+
+def constraint_to_dict(constraint: ContainmentConstraint) -> dict:
+    projection = constraint.projection
+    return {
+        "name": constraint.name,
+        "query": query_to_dict(constraint.query),
+        "projection": {
+            "relation": projection.relation,
+            "columns": list(projection.columns),
+        },
+    }
+
+
+def constraint_from_dict(data: dict) -> ContainmentConstraint:
+    projection_data = data["projection"]
+    if projection_data["relation"] is None:
+        projection = Projection.empty()
+    else:
+        projection = Projection.on(projection_data["relation"],
+                                   projection_data["columns"])
+    return ContainmentConstraint(
+        query_from_dict(data["query"]), projection,
+        name=data.get("name", "φ"))
+
+
+# ---------------------------------------------------------------------------
+# Bundles
+# ---------------------------------------------------------------------------
+
+
+def dump_bundle(path: str, *, schema: DatabaseSchema,
+                master_schema: DatabaseSchema, database: Instance,
+                master: Instance, query: Any,
+                constraints: list[ContainmentConstraint]) -> None:
+    """Write a whole RCDP problem instance to a JSON file."""
+    payload = {
+        "schema": schema_to_dict(schema),
+        "master_schema": schema_to_dict(master_schema),
+        "database": instance_to_dict(database),
+        "master": instance_to_dict(master),
+        "query": query_to_dict(query),
+        "constraints": [constraint_to_dict(c) for c in constraints],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_bundle(path: str) -> dict:
+    """Load a bundle written by :func:`dump_bundle`; returns a dict with
+    keys ``schema``, ``master_schema``, ``database``, ``master``,
+    ``query``, ``constraints``."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    schema = schema_from_dict(payload["schema"])
+    master_schema = schema_from_dict(payload["master_schema"])
+    return {
+        "schema": schema,
+        "master_schema": master_schema,
+        "database": instance_from_dict(payload["database"], schema),
+        "master": instance_from_dict(payload["master"], master_schema),
+        "query": query_from_dict(payload["query"]),
+        "constraints": [constraint_from_dict(c)
+                        for c in payload["constraints"]],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Incomplete databases (marked nulls, c-tables)
+# ---------------------------------------------------------------------------
+
+_NULL_KEY = "⊥"
+
+
+def _encode_value(value: Any) -> Any:
+    from repro.incomplete.nulls import MarkedNull
+
+    if isinstance(value, MarkedNull):
+        return {_NULL_KEY: value.name}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    from repro.incomplete.nulls import MarkedNull
+
+    if isinstance(value, dict) and set(value) == {_NULL_KEY}:
+        return MarkedNull(value[_NULL_KEY])
+    return value
+
+
+def incomplete_to_dict(database: Any) -> dict:
+    """Serialize an :class:`~repro.incomplete.tables.IncompleteDatabase`.
+
+    Marked nulls become ``{"⊥": name}`` objects; row conditions become
+    ``[op, left, right]`` triples with ``op ∈ {"=", "!="}``.
+    """
+    from repro.incomplete.conditions import EqCondition
+
+    payload: dict[str, list] = {}
+    for name in database.schema.relation_names:
+        rows = []
+        for conditional in database.rows(name):
+            entry: dict[str, Any] = {
+                "row": [_encode_value(v) for v in conditional.row]}
+            if not conditional.condition.is_trivially_true:
+                entry["if"] = [
+                    ["=" if isinstance(atom, EqCondition) else "!=",
+                     _encode_value(atom.left), _encode_value(atom.right)]
+                    for atom in conditional.condition.atoms]
+            rows.append(entry)
+        if rows:
+            payload[name] = rows
+    return payload
+
+
+def incomplete_from_dict(data: dict, schema: DatabaseSchema) -> Any:
+    """Inverse of :func:`incomplete_to_dict`."""
+    from repro.incomplete.conditions import (Condition, EqCondition,
+                                             NeqCondition)
+    from repro.incomplete.tables import (ConditionalRow,
+                                         IncompleteDatabase)
+
+    contents: dict[str, list] = {}
+    for name, rows in data.items():
+        decoded = []
+        for entry in rows:
+            row = tuple(_decode_value(v) for v in entry["row"])
+            atoms = []
+            for op, left, right in entry.get("if", []):
+                kind = EqCondition if op == "=" else NeqCondition
+                atoms.append(kind(_decode_value(left),
+                                  _decode_value(right)))
+            decoded.append(ConditionalRow(row, Condition(atoms)))
+        contents[name] = decoded
+    return IncompleteDatabase(schema, contents)

@@ -1,0 +1,19 @@
+"""Master-data-management scenario, generators, and audit workflows."""
+
+from repro.mdm.audit import AuditReport, AuditVerdict, CompletenessAudit
+from repro.mdm.generators import GeneratorConfig, generate_scenario
+from repro.mdm.scenario import (CRMScenario, CustomerRecord,
+                                DOMESTIC_COUNTRY_CODE)
+from repro.mdm.scm import SCMScenario
+
+__all__ = [
+    "AuditReport",
+    "AuditVerdict",
+    "CompletenessAudit",
+    "CRMScenario",
+    "CustomerRecord",
+    "DOMESTIC_COUNTRY_CODE",
+    "GeneratorConfig",
+    "SCMScenario",
+    "generate_scenario",
+]

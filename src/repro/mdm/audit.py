@@ -1,0 +1,118 @@
+"""The Section 2.3 audit paradigms, as a workflow object.
+
+Given master data, containment constraints, a database, and a query, an
+:class:`CompletenessAudit` runs the three analyses the paper describes:
+
+1. **Assess the data** (RCDP): can the query answer be trusted?
+2. **Guide data collection** (RCQP + certificates): if not, can the
+   database be expanded into a complete one, and with what records?
+3. **Guide master-data expansion**: if no complete database exists, the
+   master data itself must grow — the audit names the unbounded output
+   attributes as the expansion targets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.core.analysis import BoundednessReport, analyze_boundedness
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import (RCDPResult, RCDPStatus, RCQPResult,
+                                RCQPStatus)
+from repro.core.witness import CompletionOutcome, make_complete
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["AuditVerdict", "AuditReport", "CompletenessAudit"]
+
+
+class AuditVerdict(enum.Enum):
+    """Top-level outcome of an audit, following §2.3."""
+
+    #: The answer in the current database is complete — trust it.
+    TRUSTWORTHY = "trustworthy"
+    #: Incomplete, but a complete database exists: collect more data.
+    COLLECT_DATA = "collect-data"
+    #: No complete database exists: the master data must be expanded.
+    EXPAND_MASTER_DATA = "expand-master-data"
+    #: Incomplete; the bounded RCQP search found no witness, so the
+    #: recommendation is heuristic.
+    COLLECT_DATA_OR_EXPAND = "collect-data-or-expand"
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """Everything the three analyses produced."""
+
+    verdict: AuditVerdict
+    rcdp: RCDPResult
+    rcqp: RCQPResult | None = None
+    completion: CompletionOutcome | None = None
+    boundedness: BoundednessReport | None = None
+
+    @property
+    def suggested_facts(self) -> tuple[tuple[str, tuple], ...]:
+        """Records whose collection would make the database complete
+        (paradigm 2), when the completion loop converged."""
+        if self.completion is not None and self.completion.complete:
+            return self.completion.added_facts
+        if self.rcdp.certificate is not None:
+            return self.rcdp.certificate.extension_facts
+        return ()
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [f"verdict: {self.verdict.value}"]
+        lines.append(f"RCDP: {self.rcdp.status.value}")
+        if self.rcqp is not None:
+            lines.append(f"RCQP: {self.rcqp.status.value}")
+        if self.suggested_facts:
+            facts = ", ".join(
+                f"{name}{row!r}" for name, row in self.suggested_facts[:5])
+            more = (" …" if len(self.suggested_facts) > 5 else "")
+            lines.append(f"collect: {facts}{more}")
+        if self.boundedness is not None:
+            for suggestion in self.boundedness.master_data_suggestions():
+                lines.append(f"expand master data: {suggestion}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompletenessAudit:
+    """Reusable audit context: fixed ``(Dm, V)``, varying databases and
+    queries — the deployment shape §2.3 describes."""
+
+    master: Instance
+    constraints: Sequence[ContainmentConstraint]
+    schema: DatabaseSchema
+    max_completion_rounds: int = 32
+    rcqp_valuation_set_size: int = 1
+
+    def assess(self, query: Any, database: Instance) -> AuditReport:
+        """Run the full §2.3 cascade for *query* on *database*."""
+        rcdp = decide_rcdp(query, database, self.master,
+                           list(self.constraints))
+        if rcdp.status is RCDPStatus.COMPLETE:
+            return AuditReport(verdict=AuditVerdict.TRUSTWORTHY, rcdp=rcdp)
+
+        rcqp = decide_rcqp(
+            query, self.master, list(self.constraints), self.schema,
+            max_valuation_set_size=self.rcqp_valuation_set_size)
+        if rcqp.status is RCQPStatus.NONEMPTY:
+            completion = make_complete(
+                query, database, self.master, list(self.constraints),
+                max_rounds=self.max_completion_rounds)
+            return AuditReport(verdict=AuditVerdict.COLLECT_DATA,
+                               rcdp=rcdp, rcqp=rcqp, completion=completion)
+        boundedness = analyze_boundedness(query, list(self.constraints),
+                                          self.schema)
+        if rcqp.status is RCQPStatus.EMPTY:
+            return AuditReport(verdict=AuditVerdict.EXPAND_MASTER_DATA,
+                               rcdp=rcdp, rcqp=rcqp,
+                               boundedness=boundedness)
+        return AuditReport(verdict=AuditVerdict.COLLECT_DATA_OR_EXPAND,
+                           rcdp=rcdp, rcqp=rcqp, boundedness=boundedness)

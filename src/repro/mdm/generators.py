@@ -1,0 +1,92 @@
+"""Synthetic CRM workload generators.
+
+Benchmarks scale the paper's CRM scenario with generated customers,
+employees, support assignments, and management hierarchies.  All generation
+is driven by an explicit :class:`random.Random` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.mdm.scenario import CRMScenario, CustomerRecord
+
+__all__ = ["GeneratorConfig", "generate_scenario"]
+
+_AREA_CODES = ("908", "212", "973", "201", "609")
+_DEPARTMENTS = ("sales", "support", "BU")
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for :func:`generate_scenario`.
+
+    Attributes
+    ----------
+    num_domestic / num_international:
+        Customer counts per segment.
+    num_employees:
+        Number of support employees ``e0..``.
+    support_probability:
+        Probability an (employee, domestic customer) pair is in ``Supt``.
+    missing_support_fraction:
+        Fraction of generated support tuples *dropped* from the database —
+        the incompleteness knob.
+    management_depth:
+        Height of the complete binary management hierarchy in master data.
+    """
+
+    num_domestic: int = 10
+    num_international: int = 3
+    num_employees: int = 3
+    support_probability: float = 0.5
+    missing_support_fraction: float = 0.0
+    management_depth: int = 2
+
+
+def generate_scenario(config: GeneratorConfig,
+                      rng: random.Random) -> CRMScenario:
+    """Generate a reproducible CRM scenario per *config*."""
+    domestic = [
+        CustomerRecord(
+            cid=f"c{i}", name=f"customer-{i}",
+            ac=rng.choice(_AREA_CODES),
+            phn=f"555-{i:04d}")
+        for i in range(config.num_domestic)]
+    international = [
+        CustomerRecord(
+            cid=f"i{i}", name=f"intl-{i}", ac=f"+{30 + i}",
+            phn=f"777-{i:04d}")
+        for i in range(config.num_international)]
+
+    employees = [f"e{i}" for i in range(config.num_employees)]
+    support = set()
+    for employee in employees:
+        for record in domestic:
+            if rng.random() < config.support_probability:
+                support.add((employee, rng.choice(_DEPARTMENTS),
+                             record.cid))
+
+    # Drop a fraction of support tuples to simulate missing data.
+    dropped = max(0, int(len(support) * config.missing_support_fraction))
+    support_list = sorted(support)
+    rng.shuffle(support_list)
+    kept = set(support_list[dropped:])
+
+    manage_master = set()
+    frontier = ["m0"]
+    counter = 1
+    for _ in range(config.management_depth):
+        next_frontier = []
+        for manager in frontier:
+            for _ in range(2):
+                child = f"m{counter}"
+                counter += 1
+                manage_master.add((manager, child))
+                next_frontier.append(child)
+        frontier = next_frontier
+
+    return CRMScenario(
+        domestic=domestic, international=international, support=kept,
+        manage_master=manage_master, manage=set(manage_master))

@@ -1,0 +1,249 @@
+"""The paper's running CRM scenario (Examples 1.1, 2.1, 2.2, §2.3).
+
+A company maintains master data ``DCust`` (the complete list of domestic
+customers) plus operational relations:
+
+* ``Cust(cid, name, cc, ac, phn)`` — all customers, domestic (cc = '01')
+  or international; only the *domestic* part is bounded by master data
+  (the CC φ0 of Example 2.1);
+* ``Supt(eid, dept, cid)`` — which employee supports which customer;
+* ``Manage(eid1, eid2)`` — the reporting hierarchy, a superset of master
+  ``Managem``.
+
+The scenario bundles schemas, instances, constraints, and the example
+queries Q0–Q3, so examples, tests, and benchmarks all speak about the same
+objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.ind import InclusionDependency
+from repro.queries.atoms import RelAtom, eq, neq, rel
+from repro.queries.cq import ConjunctiveQuery, cq
+from repro.queries.datalog import DatalogQuery, rule
+from repro.queries.terms import Var, var
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+__all__ = ["CustomerRecord", "CRMScenario", "DOMESTIC_COUNTRY_CODE"]
+
+DOMESTIC_COUNTRY_CODE = "01"
+
+
+@dataclass(frozen=True)
+class CustomerRecord:
+    """One customer row shared between master data and the database."""
+
+    cid: str
+    name: str
+    ac: str
+    phn: str
+
+    def as_master_row(self) -> tuple:
+        return (self.cid, self.name, self.ac, self.phn)
+
+    def as_cust_row(self, cc: str = DOMESTIC_COUNTRY_CODE) -> tuple:
+        return (self.cid, self.name, cc, self.ac, self.phn)
+
+
+@dataclass
+class CRMScenario:
+    """Schemas, instances, constraints, and queries of the CRM example."""
+
+    domestic: list[CustomerRecord] = field(default_factory=list)
+    international: list[CustomerRecord] = field(default_factory=list)
+    support: set[tuple[str, str, str]] = field(default_factory=set)
+    manage_master: set[tuple[str, str]] = field(default_factory=set)
+    manage: set[tuple[str, str]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Schemas
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema([
+            RelationSchema("Cust", ["cid", "name", "cc", "ac", "phn"]),
+            RelationSchema("Supt", ["eid", "dept", "cid"]),
+            RelationSchema("Manage", ["eid1", "eid2"]),
+        ])
+
+    @property
+    def master_schema(self) -> DatabaseSchema:
+        return DatabaseSchema([
+            RelationSchema("DCust", ["cid", "name", "ac", "phn"]),
+            RelationSchema("Managem", ["eid1", "eid2"]),
+            RelationSchema("Empty", ["z"]),
+        ])
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+
+    def master(self) -> Instance:
+        """``Dm``: the closed-world master data."""
+        return Instance(self.master_schema, {
+            "DCust": {r.as_master_row() for r in self.domestic},
+            "Managem": set(self.manage_master),
+        })
+
+    def database(self, *, missing_customers: Iterable[str] = (),
+                 missing_support: Iterable[tuple[str, str]] = (),
+                 ) -> Instance:
+        """``D``: the partially closed operational database.
+
+        *missing_customers* drops domestic customers from ``Cust``;
+        *missing_support* drops ``(eid, cid)`` pairs from ``Supt`` — the
+        knobs tests and benchmarks use to create incompleteness.
+        """
+        missing_customers = set(missing_customers)
+        missing_support = set(missing_support)
+        cust = {r.as_cust_row() for r in self.domestic
+                if r.cid not in missing_customers}
+        cust |= {r.as_cust_row(cc="44") for r in self.international}
+        supt = {(eid, dept, cid) for eid, dept, cid in self.support
+                if (eid, cid) not in missing_support}
+        return Instance(self.schema, {
+            "Cust": cust, "Supt": supt, "Manage": set(self.manage)})
+
+    # ------------------------------------------------------------------
+    # Containment constraints
+    # ------------------------------------------------------------------
+
+    def phi0(self) -> ContainmentConstraint:
+        """φ0 of Example 2.1: the cids of supported domestic customers are
+        bounded by master data."""
+        c, n, ccv, a, p = (var(x) for x in ("c", "n", "ccv", "a", "p"))
+        e, d = var("e"), var("d")
+        query = cq([c],
+                   [rel("Cust", c, n, ccv, a, p), rel("Supt", e, d, c),
+                    eq(ccv, DOMESTIC_COUNTRY_CODE)],
+                   name="q[φ0]")
+        return ContainmentConstraint(
+            query, Projection.on("DCust", [0]), name="φ0")
+
+    def domestic_cust_ind(self) -> ContainmentConstraint:
+        """Domestic ``Cust`` rows are bounded *as whole records* by
+        ``DCust`` (the strong variant used by the Q0/Q1 analyses)."""
+        c, n, ccv, a, p = (var(x) for x in ("c", "n", "ccv", "a", "p"))
+        query = cq([c, n, a, p],
+                   [rel("Cust", c, n, ccv, a, p),
+                    eq(ccv, DOMESTIC_COUNTRY_CODE)],
+                   name="q[cust01]")
+        return ContainmentConstraint(
+            query, Projection.on("DCust", [0, 1, 2, 3]), name="cust01")
+
+    def supt_cid_ind(self) -> ContainmentConstraint:
+        """Every supported customer is a master customer (an IND)."""
+        return InclusionDependency(
+            "Supt", ["cid"], "DCust", ["cid"],
+            name="supt⊆dcust").to_containment_constraint(
+            self.schema, self.master_schema)
+
+    def manage_ind(self) -> ContainmentConstraint:
+        """``Manage`` pairs are bounded by master ``Managem`` pairs."""
+        return InclusionDependency(
+            "Manage", ["eid1", "eid2"], "Managem", ["eid1", "eid2"],
+            name="manage⊆managem").to_containment_constraint(
+            self.schema, self.master_schema)
+
+    def phi1_at_most_k(self, k: int) -> ContainmentConstraint:
+        """φ1 of Example 2.1: each employee supports at most *k*
+        customers."""
+        e = var("e")
+        body: list = []
+        for i in range(k + 1):
+            body.append(rel("Supt", e, var(f"d{i}"), var(f"c{i}")))
+        for i in range(k + 1):
+            for j in range(i + 1, k + 1):
+                body.append(neq(var(f"c{i}"), var(f"c{j}")))
+        query = ConjunctiveQuery([e], body, name=f"q[φ1,k={k}]")
+        return ContainmentConstraint(query, Projection.empty(),
+                                     name=f"φ1(k={k})")
+
+    def default_constraints(self) -> list[ContainmentConstraint]:
+        """The paper-faithful constraint set: φ0 bounds *domestic*
+        supported customers, whole domestic customer records are bounded
+        by master data, and the management hierarchy by ``Managem``.
+
+        :meth:`supt_cid_ind` is deliberately not included: it also bounds
+        *international* support and only holds for scenarios without
+        international customers in ``Supt``.
+        """
+        return [self.phi0(), self.domestic_cust_ind(), self.manage_ind()]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def q0_customers_with_area_code(self, ac: str = "908",
+                                    ) -> ConjunctiveQuery:
+        """Q0 (§2.3): all customers based in the *ac* area."""
+        c, n, ccv, a, p = (var(x) for x in ("c", "n", "ccv", "a", "p"))
+        return cq([c], [rel("Cust", c, n, ccv, a, p), eq(a, ac)],
+                  name="Q0")
+
+    def q1_customers_supported_by(self, eid: str = "e0", ac: str = "908",
+                                  ) -> ConjunctiveQuery:
+        """Q1 (Example 1.1): *ac*-area customers supported by *eid*."""
+        c, n, ccv, a, p, d = (var(x)
+                              for x in ("c", "n", "ccv", "a", "p", "d"))
+        return cq([c],
+                  [rel("Supt", eid, d, c),
+                   rel("Cust", c, n, ccv, a, p), eq(a, ac)],
+                  name="Q1")
+
+    def q2_all_supported_by(self, eid: str = "e0") -> ConjunctiveQuery:
+        """Q2 (Example 1.1): all customers supported by *eid*."""
+        c, d = var("c"), var("d")
+        return cq([c], [rel("Supt", eid, d, c)], name="Q2")
+
+    def q3_management_chain(self, eid: str = "e0") -> DatalogQuery:
+        """Q3 (Example 1.1) in FP: everybody above *eid* in the
+        management hierarchy."""
+        x, y, z = var("x"), var("y"), var("z")
+        return DatalogQuery([
+            rule(RelAtom("Above", (x,)), rel("Manage", x, eid)),
+            rule(RelAtom("Above", (x,)), rel("Manage", x, y),
+                 RelAtom("Above", (y,))),
+        ], goal="Above", name="Q3")
+
+    def q3_management_chain_cq(self, eid: str = "e0",
+                               depth: int = 2) -> ConjunctiveQuery:
+        """Q3 as a CQ of bounded *depth*: only managers exactly *depth*
+        levels up (the paper's point: CQ cannot express the closure)."""
+        chain = [var(f"m{i}") for i in range(depth + 1)]
+        body = [rel("Manage", chain[i + 1], chain[i])
+                for i in range(depth)]
+        body.append(eq(chain[0], eid))
+        return ConjunctiveQuery([chain[-1]], body, name=f"Q3[{depth}]")
+
+    # ------------------------------------------------------------------
+    # Canonical populated scenario
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def example(cls) -> "CRMScenario":
+        """The hand-sized instance used by the paper's narrative."""
+        domestic = [
+            CustomerRecord("c1", "ann", "908", "555-0001"),
+            CustomerRecord("c2", "bob", "908", "555-0002"),
+            CustomerRecord("c3", "cecilia", "212", "555-0003"),
+        ]
+        international = [
+            CustomerRecord("i1", "ines", "+44-20", "555-1001"),
+        ]
+        support = {
+            ("e0", "sales", "c1"), ("e0", "sales", "c2"),
+            ("e1", "sales", "c3"), ("e1", "sales", "i1"),
+        }
+        manage_master = {("e2", "e0"), ("e2", "e1"), ("e3", "e2")}
+        return cls(domestic=domestic, international=international,
+                   support=support, manage_master=manage_master,
+                   manage=set(manage_master))

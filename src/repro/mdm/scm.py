@@ -1,0 +1,164 @@
+"""A second MDM domain: supply-chain management (SCM).
+
+Section 2.3 notes that relative completeness "also finds similar
+applications in Enterprise Resource Planning (ERP), Supply Chain
+Management (SCM)…".  This scenario exercises the same machinery on a
+different shape of schema: two master relations (approved suppliers and a
+part catalog), a shipment fact table keyed by shipment id, and a local
+copy of part metadata.
+
+Completeness questions it supports:
+
+* *can we trust "which parts did supplier s ship"?* — complete once every
+  catalog part (of the relevant category) appears in a shipment from s,
+  or the shipment key constraint caps further additions;
+* *can we trust "which suppliers shipped category c"?* — bounded by the
+  approved-supplier master relation;
+* *"which shipment ids exist"* can never be complete — shipment ids are
+  not mastered, so the audit recommends expanding master data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.containment import ContainmentConstraint
+from repro.constraints.ind import InclusionDependency
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import ConjunctiveQuery, cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = ["SCMScenario"]
+
+
+@dataclass
+class SCMScenario:
+    """Schemas, instances, constraints, and queries of the SCM example."""
+
+    #: master: approved suppliers (closed world)
+    approved_suppliers: set[str] = field(default_factory=set)
+    #: master: the part catalog as (part, category) pairs (closed world)
+    catalog: set[tuple[str, str]] = field(default_factory=set)
+    #: operational: shipments (sid, supplier, part)
+    shipments: set[tuple[str, str, str]] = field(default_factory=set)
+    #: operational: local copy of part metadata (part, category)
+    part_info: set[tuple[str, str]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Schemas and instances
+    # ------------------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema([
+            RelationSchema("Ship", ["sid", "supplier", "part"]),
+            RelationSchema("PartInfo", ["part", "category"]),
+        ])
+
+    @property
+    def master_schema(self) -> DatabaseSchema:
+        return DatabaseSchema([
+            RelationSchema("ApprovedSup", ["supplier"]),
+            RelationSchema("Catalog", ["part", "category"]),
+        ])
+
+    def master(self) -> Instance:
+        return Instance(self.master_schema, {
+            "ApprovedSup": {(s,) for s in self.approved_suppliers},
+            "Catalog": set(self.catalog),
+        })
+
+    def database(self, *, missing_shipments: Iterable[str] = (),
+                 ) -> Instance:
+        """The operational database; *missing_shipments* drops shipment
+        ids (the incompleteness knob)."""
+        missing = set(missing_shipments)
+        return Instance(self.schema, {
+            "Ship": {(sid, sup, part)
+                     for sid, sup, part in self.shipments
+                     if sid not in missing},
+            "PartInfo": set(self.part_info),
+        })
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def supplier_ind(self) -> ContainmentConstraint:
+        """Only approved suppliers ship."""
+        return InclusionDependency(
+            "Ship", ["supplier"], "ApprovedSup", ["supplier"],
+            name="ship⊆approved").to_containment_constraint(
+            self.schema, self.master_schema)
+
+    def part_ind(self) -> ContainmentConstraint:
+        """Every shipped part is in the catalog."""
+        return InclusionDependency(
+            "Ship", ["part"], "Catalog", ["part"],
+            name="ship⊆catalog").to_containment_constraint(
+            self.schema, self.master_schema)
+
+    def part_info_ind(self) -> ContainmentConstraint:
+        """The local part metadata mirrors the catalog."""
+        return InclusionDependency(
+            "PartInfo", ["part", "category"],
+            "Catalog", ["part", "category"],
+            name="partinfo⊆catalog").to_containment_constraint(
+            self.schema, self.master_schema)
+
+    def sid_key(self) -> list[ContainmentConstraint]:
+        """FD sid → supplier, part (shipment ids identify shipments)."""
+        return FunctionalDependency(
+            "Ship", ["sid"], ["supplier", "part"],
+            name="sid-key").to_containment_constraints(self.schema)
+
+    def default_constraints(self) -> list[ContainmentConstraint]:
+        return ([self.supplier_ind(), self.part_ind(),
+                 self.part_info_ind()] + self.sid_key())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def q_parts_from(self, supplier: str) -> ConjunctiveQuery:
+        """All parts shipped by *supplier*."""
+        return cq([var("p")],
+                  [rel("Ship", var("s"), supplier, var("p"))],
+                  name=f"Qparts[{supplier}]")
+
+    def q_suppliers_of_category(self, category: str) -> ConjunctiveQuery:
+        """Suppliers that shipped a part of *category*."""
+        return cq([var("sup")],
+                  [rel("Ship", var("s"), var("sup"), var("p")),
+                   rel("PartInfo", var("p"), var("cat")),
+                   eq(var("cat"), category)],
+                  name=f"Qsup[{category}]")
+
+    def q_shipment_ids(self) -> ConjunctiveQuery:
+        """All shipment ids — never relatively complete (ids are not
+        mastered)."""
+        return cq([var("s")],
+                  [rel("Ship", var("s"), var("sup"), var("p"))],
+                  name="Qsid")
+
+    # ------------------------------------------------------------------
+    # Canonical populated scenario
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def example(cls) -> "SCMScenario":
+        catalog = {("p1", "bolts"), ("p2", "bolts"), ("p3", "panels")}
+        return cls(
+            approved_suppliers={"acme", "globex"},
+            catalog=catalog,
+            shipments={
+                ("s1", "acme", "p1"),
+                ("s2", "acme", "p2"),
+                ("s3", "globex", "p3"),
+            },
+            part_info=set(catalog),
+        )

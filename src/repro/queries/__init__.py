@@ -1,0 +1,24 @@
+"""Query languages of the paper: CQ, UCQ, ∃FO⁺, FO, and datalog (FP)."""
+
+from repro.queries.atoms import Eq, Neq, RelAtom, eq, neq, rel
+from repro.queries.cq import ConjunctiveQuery, cq
+from repro.queries.datalog import DatalogQuery, Rule, rule
+from repro.queries.efo import (And, AtomF, EFOQuery, Exists, Or, and_,
+                               atom_f, exists, or_)
+from repro.queries.fo import (FOAnd, FOAtom, FOExists, FOForall, FOImplies,
+                              FONot, FOOr, FOQuery, fo_and, fo_atom,
+                              fo_exists, fo_forall, fo_implies, fo_not,
+                              fo_or)
+from repro.queries.tableau import Tableau, TableauRow
+from repro.queries.terms import Const, Var, as_term, const, var
+from repro.queries.ucq import UnionOfConjunctiveQueries, ucq
+
+__all__ = [
+    "And", "AtomF", "ConjunctiveQuery", "Const", "DatalogQuery", "EFOQuery",
+    "Eq", "Exists", "FOAnd", "FOAtom", "FOExists", "FOForall", "FOImplies",
+    "FONot", "FOOr", "FOQuery", "Neq", "Or", "RelAtom", "Rule", "Tableau",
+    "TableauRow", "UnionOfConjunctiveQueries", "Var",
+    "and_", "as_term", "atom_f", "const", "cq", "eq", "exists", "fo_and",
+    "fo_atom", "fo_exists", "fo_forall", "fo_implies", "fo_not", "fo_or",
+    "neq", "or_", "rel", "rule", "ucq", "var",
+]

@@ -1,0 +1,124 @@
+"""Atomic formulas: relation atoms and (in)equality comparisons.
+
+The paper's languages all include equality ``=`` and inequality ``≠`` over
+terms (Section 2.1).  A :class:`RelAtom` refers to a relation by name; its
+terms may be variables or constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import QueryError, SchemaError
+from repro.queries.terms import Const, Term, Var, as_term, vars_of
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["Atom", "RelAtom", "Eq", "Neq", "Comparison", "rel", "eq", "neq"]
+
+
+@dataclass(frozen=True, slots=True)
+class RelAtom:
+    """A relation atom ``R(t1, ..., tk)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Iterable[Any]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(
+            self, "terms", tuple(as_term(t) for t in terms))
+        if not relation or not isinstance(relation, str):
+            raise QueryError(
+                f"relation name must be a non-empty string, got {relation!r}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[Var]:
+        return vars_of(self.terms)
+
+    def constants(self) -> set[Any]:
+        return {t.value for t in self.terms if isinstance(t, Const)}
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check relation existence, arity, and constant domains."""
+        try:
+            relation = schema.relation(self.relation)
+        except SchemaError as exc:
+            raise QueryError(str(exc)) from None
+        if relation.arity != self.arity:
+            raise QueryError(
+                f"atom {self!r} has arity {self.arity}, but relation "
+                f"{self.relation!r} has arity {relation.arity}")
+        for pos, term in enumerate(self.terms):
+            if isinstance(term, Const):
+                relation.domain_at(pos).validate(
+                    term.value, context=f"atom {self!r}, column {pos}")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True, slots=True)
+class _BinaryComparison:
+    left: Term
+    right: Term
+
+    _symbol = "?"
+
+    def __init__(self, left: Any, right: Any) -> None:
+        object.__setattr__(self, "left", as_term(left))
+        object.__setattr__(self, "right", as_term(right))
+
+    def variables(self) -> set[Var]:
+        return vars_of((self.left, self.right))
+
+    def constants(self) -> set[Any]:
+        return {t.value for t in (self.left, self.right)
+                if isinstance(t, Const)}
+
+    def holds(self, left_value: Any, right_value: Any) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self._symbol} {self.right!r}"
+
+
+class Eq(_BinaryComparison):
+    """Equality atom ``t1 = t2``."""
+
+    _symbol = "="
+
+    def holds(self, left_value: Any, right_value: Any) -> bool:
+        return left_value == right_value
+
+
+class Neq(_BinaryComparison):
+    """Inequality atom ``t1 ≠ t2``."""
+
+    _symbol = "≠"
+
+    def holds(self, left_value: Any, right_value: Any) -> bool:
+        return left_value != right_value
+
+
+Comparison = (Eq, Neq)
+Atom = (RelAtom, Eq, Neq)
+
+
+def rel(relation: str, *terms: Any) -> RelAtom:
+    """Shorthand constructor: ``rel("R", var("x"), 1)``."""
+    return RelAtom(relation, terms)
+
+
+def eq(left: Any, right: Any) -> Eq:
+    """Shorthand constructor for :class:`Eq`."""
+    return Eq(left, right)
+
+
+def neq(left: Any, right: Any) -> Neq:
+    """Shorthand constructor for :class:`Neq`."""
+    return Neq(left, right)

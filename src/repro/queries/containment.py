@@ -1,0 +1,159 @@
+"""Classic CQ containment via Chandra–Merlin homomorphisms.
+
+``Q1 ⊆ Q2`` holds iff there is a homomorphism from ``Q2`` to ``Q1``
+(equivalently, iff ``u_{Q1} ∈ Q2(canonical database of Q1)``).  The paper
+cites Chandra & Merlin [1977] for the NP membership of answer testing; we
+provide the containment utilities both because they are generally useful for
+query analysis and because tests use them to sanity-check the tableau and
+evaluation machinery against each other.
+
+For queries **with inequality atoms** containment is no longer characterized
+by a single canonical database, so :func:`is_contained_in` refuses them
+(raising :class:`QueryError`) rather than silently answering wrongly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import QueryError, UnsatisfiableQueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.tableau import Tableau
+from repro.relational.domain import FreshValueSupply
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+from repro.queries.terms import Const, Var
+
+__all__ = ["canonical_database", "is_contained_in", "is_equivalent",
+           "is_ucq_contained_in", "minimize"]
+
+
+def canonical_database(query: ConjunctiveQuery, schema: DatabaseSchema,
+                       ) -> tuple[Instance, tuple]:
+    """Build the canonical (frozen) database of *query*.
+
+    Variables are frozen to distinct fresh values; the function returns the
+    frozen instance together with the frozen head tuple.  Raises
+    :class:`UnsatisfiableQueryError` if the query's equalities contradict.
+    """
+    tableau = Tableau(query, schema)
+    if not tableau.satisfiable:
+        raise UnsatisfiableQueryError(
+            f"query {query.name!r} is unsatisfiable; it has no canonical "
+            f"database")
+    supply = FreshValueSupply(prefix=f"canon.{query.name}")
+    valuation: dict[Var, Any] = {
+        v: supply.take(v.name) for v in tableau.ordered_variables()}
+    grouped: dict[str, set[tuple]] = {}
+    for name, row in tableau.instantiate(valuation):
+        grouped.setdefault(name, set()).add(row)
+    # validate=False: frozen variables are FreshValues, which may land in
+    # finite-domain columns; the classic construction ignores domains.
+    instance = Instance(schema, grouped, validate=False)
+    head = tableau.summary_under(valuation)
+    return instance, head
+
+
+def _require_inequality_free(query: ConjunctiveQuery) -> None:
+    from repro.queries.atoms import Neq
+
+    if any(isinstance(c, Neq) for c in query.comparisons):
+        raise QueryError(
+            f"containment test supports inequality-free CQs only; "
+            f"{query.name!r} uses ≠ (containment with ≠ is "
+            f"Πᵖ₂-complete and needs a different algorithm)")
+
+
+def is_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery,
+                    schema: DatabaseSchema) -> bool:
+    """Decide ``sub ⊆ sup`` for inequality-free CQs (Chandra–Merlin).
+
+    An unsatisfiable *sub* is contained in everything; containment in an
+    unsatisfiable *sup* holds only if *sub* is unsatisfiable too.
+    """
+    _require_inequality_free(sub)
+    _require_inequality_free(sup)
+    if sub.arity != sup.arity:
+        raise QueryError(
+            f"containment needs equal arities, got {sub.arity} and "
+            f"{sup.arity}")
+    try:
+        frozen, head = canonical_database(sub, schema)
+    except UnsatisfiableQueryError:
+        return True
+    return head in sup.evaluate(frozen)
+
+
+def is_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery,
+                  schema: DatabaseSchema) -> bool:
+    """Mutual containment."""
+    return (is_contained_in(left, right, schema)
+            and is_contained_in(right, left, schema))
+
+
+def minimize(query: ConjunctiveQuery,
+             schema: DatabaseSchema) -> ConjunctiveQuery:
+    """Compute a minimal equivalent CQ (the *core*), for inequality-free
+    queries.
+
+    Classic Chandra–Merlin minimization: repeatedly drop a relation atom
+    whenever the shrunken query is still equivalent to the original (it is
+    always contained in the original; only the converse needs checking).
+    The result has no redundant atoms; it is unique up to variable
+    renaming.
+    """
+    _require_inequality_free(query)
+    current_atoms = list(query.relation_atoms)
+    comparisons = [c for c in query.body
+                   if c not in query.relation_atoms]
+    changed = True
+    while changed:
+        changed = False
+        for index in range(len(current_atoms)):
+            candidate_atoms = (current_atoms[:index]
+                               + current_atoms[index + 1:])
+            if not candidate_atoms:
+                continue
+            try:
+                candidate = ConjunctiveQuery(
+                    query.head, candidate_atoms + comparisons,
+                    name=query.name)
+            except QueryError:
+                continue  # removal broke safety; atom is needed
+            # original ⊆ candidate always holds (fewer atoms is more
+            # general); equivalence needs candidate ⊆ original.
+            if is_contained_in(candidate, query, schema):
+                current_atoms = candidate_atoms
+                changed = True
+                break
+    return ConjunctiveQuery(query.head, current_atoms + comparisons,
+                            name=query.name)
+
+
+def is_ucq_contained_in(sub: Any, sup: Any,
+                        schema: DatabaseSchema) -> bool:
+    """Sagiv–Yannakakis containment for unions of conjunctive queries.
+
+    ``Q1 ⊆ Q2`` holds iff every disjunct of ``Q1`` is contained in ``Q2``,
+    which the canonical-database test decides: freeze the disjunct and
+    check its head against the *whole* union ``Q2``.  Plain CQs are
+    accepted on either side (a CQ is a one-disjunct union).  Inequality
+    atoms are rejected as in :func:`is_contained_in`.
+    """
+    sub_disjuncts = sub.to_cq_disjuncts()
+    sup_disjuncts = sup.to_cq_disjuncts()
+    for disjunct in sub_disjuncts + sup_disjuncts:
+        _require_inequality_free(disjunct)
+    if sub.arity != sup.arity:
+        raise QueryError(
+            f"containment needs equal arities, got {sub.arity} and "
+            f"{sup.arity}")
+    for disjunct in sub_disjuncts:
+        try:
+            frozen, head = canonical_database(disjunct, schema)
+        except UnsatisfiableQueryError:
+            continue  # an unsatisfiable disjunct is contained in anything
+        if not any(head in other.evaluate(frozen)
+                   for other in sup_disjuncts):
+            return False
+    return True

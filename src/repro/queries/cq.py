@@ -1,0 +1,281 @@
+"""Conjunctive queries (CQ) with equality and inequality.
+
+A conjunctive query is built from relation atoms, ``=`` and ``≠``, closed
+under conjunction and existential quantification (Section 2.1).  We use the
+standard rule-like normal form: a head tuple of output terms plus a body that
+is a set of atoms; all body variables not in the head are implicitly
+existentially quantified.
+
+Evaluation is by backtracking join over the instance, with eager checking of
+comparisons as soon as both sides are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import EvaluationError, QueryError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.terms import Const, Term, Var, as_term
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["ConjunctiveQuery", "cq"]
+
+Binding = dict[Var, Any]
+
+
+class ConjunctiveQuery:
+    """A conjunctive query ``Q(head) :- body``.
+
+    *head* is a sequence of terms (variables or constants); *body* a sequence
+    of :class:`RelAtom`, :class:`Eq`, and :class:`Neq` atoms.  A query with an
+    empty head is Boolean: it evaluates to ``{()}`` (true) or ``∅`` (false).
+
+    Safety requirement: every variable occurring in the head or in a
+    comparison must also occur in some relation atom, so that evaluation
+    ranges over the instance only.  (The hardness constructions in the paper
+    all satisfy this.)
+    """
+
+    language = "CQ"
+
+    __slots__ = ("name", "head", "body", "_rel_atoms", "_comparisons")
+
+    def __init__(self, head: Sequence[Any], body: Iterable[Any],
+                 name: str = "Q") -> None:
+        self.name = name
+        self.head = tuple(as_term(t) for t in head)
+        self.body = tuple(body)
+        rel_atoms: list[RelAtom] = []
+        comparisons: list[Eq | Neq] = []
+        for atom in self.body:
+            if isinstance(atom, RelAtom):
+                rel_atoms.append(atom)
+            elif isinstance(atom, (Eq, Neq)):
+                comparisons.append(atom)
+            else:
+                raise QueryError(
+                    f"unsupported atom in CQ body: {atom!r} "
+                    f"({type(atom).__name__})")
+        self._rel_atoms = tuple(rel_atoms)
+        self._comparisons = tuple(comparisons)
+        self._check_safety()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    @property
+    def relation_atoms(self) -> tuple[RelAtom, ...]:
+        return self._rel_atoms
+
+    @property
+    def comparisons(self) -> tuple[Eq | Neq, ...]:
+        return self._comparisons
+
+    def head_variables(self) -> set[Var]:
+        return {t for t in self.head if isinstance(t, Var)}
+
+    def variables(self) -> set[Var]:
+        """All variables of the query (head and body)."""
+        result: set[Var] = set(self.head_variables())
+        for atom in self.body:
+            result |= atom.variables()
+        return result
+
+    def constants(self) -> set[Any]:
+        """All constants mentioned anywhere in the query."""
+        result: set[Any] = {
+            t.value for t in self.head if isinstance(t, Const)}
+        for atom in self.body:
+            result |= atom.constants()
+        return result
+
+    def relations_used(self) -> set[str]:
+        return {atom.relation for atom in self._rel_atoms}
+
+    def _check_safety(self) -> None:
+        bound = set()
+        for atom in self._rel_atoms:
+            bound |= atom.variables()
+        unsafe = (self.head_variables() - bound)
+        for comparison in self._comparisons:
+            unsafe |= comparison.variables() - bound
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise QueryError(
+                f"unsafe variables in query {self.name!r}: {names} do not "
+                f"occur in any relation atom")
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Validate all relation atoms against *schema*."""
+        for atom in self._rel_atoms:
+            atom.validate(schema)
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def to_cq_disjuncts(self) -> list["ConjunctiveQuery"]:
+        """Every query exposes itself as a union of CQs; a CQ is one."""
+        return [self]
+
+    def rename_variables(self, mapping: Mapping[Var, Var]
+                         ) -> "ConjunctiveQuery":
+        """Return a copy with variables renamed per *mapping*."""
+
+        def sub(term: Term) -> Term:
+            if isinstance(term, Var):
+                return mapping.get(term, term)
+            return term
+
+        head = tuple(sub(t) for t in self.head)
+        body = []
+        for atom in self.body:
+            if isinstance(atom, RelAtom):
+                body.append(RelAtom(atom.relation,
+                                    [sub(t) for t in atom.terms]))
+            else:
+                body.append(type(atom)(sub(atom.left), sub(atom.right)))
+        return ConjunctiveQuery(head, body, name=self.name)
+
+    def with_standardized_apart(self, suffix: str) -> "ConjunctiveQuery":
+        """Rename every variable ``x`` to ``x<suffix>`` (fresh copies for
+        combining queries without capture)."""
+        mapping = {v: Var(v.name + suffix) for v in self.variables()}
+        return self.rename_variables(mapping)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        """Evaluate the query over *instance* (set semantics)."""
+        results: set[tuple] = set()
+        for binding in self._bindings(instance):
+            row = tuple(self._apply(term, binding) for term in self.head)
+            results.add(row)
+        return frozenset(results)
+
+    def holds_in(self, instance: Instance) -> bool:
+        """True when the query has at least one answer in *instance*."""
+        return any(True for _ in self._bindings(instance))
+
+    def _bindings(self, instance: Instance) -> Iterator[Binding]:
+        """Yield all satisfying bindings of the body over *instance*."""
+        atoms = self._ordered_atoms()
+        yield from self._search(instance, atoms, 0, {})
+
+    def _ordered_atoms(self) -> list[RelAtom]:
+        """Greedy join order: repeatedly pick the atom sharing the most
+        variables with those already bound (simple but effective)."""
+        remaining = list(self._rel_atoms)
+        ordered: list[RelAtom] = []
+        bound: set[Var] = set()
+        while remaining:
+            best = max(remaining,
+                       key=lambda a: (len(a.variables() & bound),
+                                      -len(a.variables())))
+            ordered.append(best)
+            remaining.remove(best)
+            bound |= best.variables()
+        return ordered
+
+    def _search(self, instance: Instance, atoms: list[RelAtom],
+                index: int, binding: Binding) -> Iterator[Binding]:
+        if index == len(atoms):
+            if self._comparisons_hold(binding):
+                yield dict(binding)
+            return
+        atom = atoms[index]
+        try:
+            rows = instance.relation(atom.relation)
+        except Exception as exc:  # unknown relation
+            raise EvaluationError(
+                f"cannot evaluate {self.name!r}: {exc}") from exc
+        for row in rows:
+            extension = self._match(atom, row, binding)
+            if extension is None:
+                continue
+            binding.update(extension)
+            yield from self._search(instance, atoms, index + 1, binding)
+            for key in extension:
+                del binding[key]
+
+    @staticmethod
+    def _match(atom: RelAtom, row: tuple, binding: Binding
+               ) -> Binding | None:
+        """Try to unify *atom* with *row* under *binding*; return the new
+        bindings or None on mismatch."""
+        extension: Binding = {}
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Const):
+                if term.value != value:
+                    return None
+            else:
+                current = binding.get(term, extension.get(term, _MISSING))
+                if current is _MISSING:
+                    extension[term] = value
+                elif current != value:
+                    return None
+        return extension
+
+    def _comparisons_hold(self, binding: Binding) -> bool:
+        for comparison in self._comparisons:
+            left = self._apply(comparison.left, binding)
+            right = self._apply(comparison.right, binding)
+            if not comparison.holds(left, right):
+                return False
+        return True
+
+    @staticmethod
+    def _apply(term: Term, binding: Binding) -> Any:
+        if isinstance(term, Const):
+            return term.value
+        try:
+            return binding[term]
+        except KeyError:
+            raise EvaluationError(
+                f"unbound variable {term!r} during evaluation") from None
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConjunctiveQuery)
+                and self.head == other.head
+                and self.body == other.body)
+
+    def __hash__(self) -> int:
+        return hash((self.head, self.body))
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(t) for t in self.head)
+        body = ", ".join(repr(a) for a in self.body)
+        return f"{self.name}({head}) :- {body}"
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def cq(head: Sequence[Any], body: Iterable[Any],
+       name: str = "Q") -> ConjunctiveQuery:
+    """Shorthand constructor for :class:`ConjunctiveQuery`."""
+    return ConjunctiveQuery(head, body, name=name)

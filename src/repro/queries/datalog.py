@@ -1,0 +1,288 @@
+"""Datalog (FP): positive rules with an inflationary fixpoint.
+
+The paper's FP is an extension of ∃FO⁺ with an inflationary fixpoint
+operator: a collection of rules ``p(x̄) ← p1(x̄1), ..., pn(x̄n)`` where each
+``pi`` is a relation atom over the database schema, ``=``, ``≠``, or an IDB
+predicate (Section 2.1).
+
+Evaluation is bottom-up to the least fixpoint (recursion is positive, so
+least and inflationary fixpoints coincide).  Two strategies are provided:
+
+* ``"seminaive"`` (default): per iteration, a rule with IDB body atoms is
+  evaluated once per IDB atom position, with that position restricted to
+  the previous iteration's *delta* — the classic optimization that avoids
+  rederiving old facts;
+* ``"naive"``: re-evaluate every rule against the full instance each
+  round; retained as the executable specification the semi-naive engine is
+  tested against.
+
+Rule bodies are reused as :class:`~repro.queries.cq.ConjunctiveQuery`
+evaluations over a combined EDB+IDB instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Var
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+__all__ = ["Rule", "DatalogQuery", "rule"]
+
+
+class Rule:
+    """A datalog rule ``head :- body``.
+
+    The head must be a relation atom over an IDB predicate; the body may mix
+    EDB atoms, IDB atoms, and comparisons.  Safety: every variable of the
+    head and of every comparison occurs in some body relation atom.
+    """
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: RelAtom, body: Iterable[Any]) -> None:
+        if not isinstance(head, RelAtom):
+            raise QueryError(
+                f"rule head must be a relation atom, got "
+                f"{type(head).__name__}")
+        self.head = head
+        self.body = tuple(body)
+        bound: set[Var] = set()
+        for atom in self.body:
+            if isinstance(atom, RelAtom):
+                bound |= atom.variables()
+            elif not isinstance(atom, (Eq, Neq)):
+                raise QueryError(
+                    f"unsupported atom in rule body: {atom!r}")
+        unsafe = head.variables() - bound
+        for atom in self.body:
+            if isinstance(atom, (Eq, Neq)):
+                unsafe |= atom.variables() - bound
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise QueryError(f"unsafe rule variables: {names}")
+
+    def variables(self) -> set[Var]:
+        result = set(self.head.variables())
+        for atom in self.body:
+            result |= atom.variables()
+        return result
+
+    def constants(self) -> set[Any]:
+        result = set(self.head.constants())
+        for atom in self.body:
+            result |= atom.constants()
+        return result
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body)
+        return f"{self.head!r} :- {body}"
+
+
+def rule(head: RelAtom, *body: Any) -> Rule:
+    """Shorthand constructor for :class:`Rule`."""
+    return Rule(head, body)
+
+
+class DatalogQuery:
+    """A datalog program with a designated goal predicate.
+
+    ``evaluate`` computes the least fixpoint of the program over the input
+    instance and returns the contents of the goal predicate.  The goal may
+    also be an EDB relation (a program with no rules then acts as identity).
+    """
+
+    language = "FP"
+
+    __slots__ = ("name", "rules", "goal", "strategy", "_idb_arity")
+
+    def __init__(self, rules: Sequence[Rule], goal: str,
+                 name: str = "Q", strategy: str = "seminaive") -> None:
+        if strategy not in ("seminaive", "naive"):
+            raise QueryError(f"unknown evaluation strategy {strategy!r}")
+        self.name = name
+        self.rules = tuple(rules)
+        self.goal = goal
+        self.strategy = strategy
+        arities: dict[str, int] = {}
+        for r in self.rules:
+            known = arities.get(r.head.relation)
+            if known is not None and known != r.head.arity:
+                raise QueryError(
+                    f"IDB predicate {r.head.relation!r} used with arities "
+                    f"{known} and {r.head.arity}")
+            arities[r.head.relation] = r.head.arity
+        self._idb_arity = arities
+
+    @property
+    def idb_predicates(self) -> frozenset[str]:
+        return frozenset(self._idb_arity)
+
+    @property
+    def arity(self) -> int | None:
+        """Arity of the goal predicate if it is an IDB predicate."""
+        return self._idb_arity.get(self.goal)
+
+    def variables(self) -> set[Var]:
+        result: set[Var] = set()
+        for r in self.rules:
+            result |= r.variables()
+        return result
+
+    def constants(self) -> set[Any]:
+        result: set[Any] = set()
+        for r in self.rules:
+            result |= r.constants()
+        return result
+
+    def relations_used(self) -> set[str]:
+        used: set[str] = set()
+        for r in self.rules:
+            for atom in r.body:
+                if isinstance(atom, RelAtom):
+                    used.add(atom.relation)
+        return (used - self.idb_predicates)
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Check all EDB atoms against *schema* and goal resolvability."""
+        for r in self.rules:
+            for atom in r.body:
+                if (isinstance(atom, RelAtom)
+                        and atom.relation not in self.idb_predicates):
+                    atom.validate(schema)
+        if self.goal not in self.idb_predicates and self.goal not in schema:
+            raise QueryError(
+                f"goal {self.goal!r} is neither an IDB predicate nor an "
+                f"EDB relation")
+
+    def _combined_schema(self, schema: DatabaseSchema) -> DatabaseSchema:
+        extra = []
+        for predicate, arity in self._idb_arity.items():
+            if predicate in schema:
+                raise QueryError(
+                    f"IDB predicate {predicate!r} clashes with an EDB "
+                    f"relation")
+            extra.append(RelationSchema(
+                predicate,
+                [Attribute(f"c{i}") for i in range(arity)]))
+        return schema.extended_with(*extra)
+
+    def fixpoint(self, instance: Instance) -> Instance:
+        """Compute the least fixpoint: the instance extended with all
+        derivable IDB facts (strategy per :attr:`strategy`)."""
+        if self.strategy == "naive":
+            return self._fixpoint_naive(instance)
+        return self._fixpoint_seminaive(instance)
+
+    def _fixpoint_naive(self, instance: Instance) -> Instance:
+        combined_schema = self._combined_schema(instance.schema)
+        contents = {name: set(rows) for name, rows in instance}
+        for predicate in self._idb_arity:
+            contents[predicate] = set()
+        current = Instance(combined_schema, contents, validate=False)
+        body_queries = [
+            ConjunctiveQuery(r.head.terms, r.body,
+                             name=f"{self.name}:rule{i}")
+            for i, r in enumerate(self.rules)]
+        changed = True
+        while changed:
+            changed = False
+            new_facts: list[tuple[str, tuple]] = []
+            for r, body_query in zip(self.rules, body_queries):
+                derived = body_query.evaluate(current)
+                existing = current.relation(r.head.relation)
+                for row in derived - existing:
+                    new_facts.append((r.head.relation, row))
+            if new_facts:
+                current = current.with_facts(new_facts)
+                changed = True
+        return current
+
+    def _fixpoint_seminaive(self, instance: Instance) -> Instance:
+        """Semi-naive evaluation with per-predicate deltas.
+
+        Per iteration, a rule with ``k`` IDB body atoms contributes ``k``
+        delta-rewritings: the i-th rewriting reads the i-th IDB atom from
+        ``Δ<predicate>`` (the facts new in the previous round) and the
+        others from the full predicate.  Rules without IDB body atoms fire
+        once, in the seeding round.
+        """
+        idb = set(self._idb_arity)
+        delta_name = {p: f"Δ{p}" for p in idb}
+        combined_schema = self._combined_schema(instance.schema)
+        delta_relations = [
+            RelationSchema(delta_name[p],
+                           [Attribute(f"c{i}")
+                            for i in range(self._idb_arity[p])])
+            for p in sorted(idb)]
+        working_schema = combined_schema.extended_with(*delta_relations)
+
+        contents = {name: set(rows) for name, rows in instance}
+        for predicate in idb:
+            contents[predicate] = set()
+            contents[delta_name[predicate]] = set()
+
+        # Delta-rewritings per rule: (head, body-query) pairs.
+        rewritings: list[tuple[RelAtom, ConjunctiveQuery]] = []
+        seeding: list[tuple[RelAtom, ConjunctiveQuery]] = []
+        for index, r in enumerate(self.rules):
+            idb_positions = [i for i, atom in enumerate(r.body)
+                             if isinstance(atom, RelAtom)
+                             and atom.relation in idb]
+            if not idb_positions:
+                seeding.append((r.head, ConjunctiveQuery(
+                    r.head.terms, r.body, name=f"{self.name}:seed{index}")))
+                continue
+            for position in idb_positions:
+                body = []
+                for i, atom in enumerate(r.body):
+                    if i == position:
+                        body.append(RelAtom(
+                            delta_name[atom.relation], atom.terms))
+                    else:
+                        body.append(atom)
+                rewritings.append((r.head, ConjunctiveQuery(
+                    r.head.terms, body,
+                    name=f"{self.name}:rule{index}δ{position}")))
+
+        def materialize() -> Instance:
+            return Instance(working_schema, contents, validate=False)
+
+        # Seeding round: IDB-free rules, plus delta = everything derived.
+        current = materialize()
+        for head, query in seeding:
+            derived = query.evaluate(current)
+            contents[head.relation] |= derived
+            contents[delta_name[head.relation]] |= derived
+
+        while any(contents[delta_name[p]] for p in idb):
+            current = materialize()
+            new_delta: dict[str, set[tuple]] = {p: set() for p in idb}
+            for head, query in rewritings:
+                for row in query.evaluate(current):
+                    if row not in contents[head.relation]:
+                        new_delta[head.relation].add(row)
+            for predicate in idb:
+                contents[predicate] |= new_delta[predicate]
+                contents[delta_name[predicate]] = new_delta[predicate]
+
+        delta_names = set(delta_name.values())
+        final = {name: rows for name, rows in contents.items()
+                 if name not in delta_names}
+        return Instance(combined_schema, final, validate=False)
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        fixpoint = self.fixpoint(instance)
+        return fixpoint.relation(self.goal)
+
+    def holds_in(self, instance: Instance) -> bool:
+        return bool(self.evaluate(instance))
+
+    def __repr__(self) -> str:
+        rules = "; ".join(repr(r) for r in self.rules)
+        return f"{self.name}[goal={self.goal}]{{{rules}}}"

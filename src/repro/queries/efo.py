@@ -1,0 +1,291 @@
+"""Positive existential first-order queries (∃FO⁺).
+
+∃FO⁺ is built from atomic formulas (relation atoms, ``=``, ``≠``) by closing
+under conjunction, disjunction, and existential quantification
+(Section 2.1).  An ∃FO⁺ query is equivalent to a union of conjunctive
+queries of possibly exponential size; :meth:`EFOQuery.to_ucq` performs that
+unfolding (after rectifying bound variables so distinct quantifiers never
+capture each other), and evaluation goes through the unfolded UCQ, computed
+once and cached.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const, Term, Var, as_term
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["Formula", "AtomF", "And", "Or", "Exists", "EFOQuery",
+           "atom_f", "and_", "or_", "exists"]
+
+
+class Formula:
+    """Base class of ∃FO⁺ formula nodes."""
+
+    def free_variables(self) -> set[Var]:
+        raise NotImplementedError
+
+    def constants(self) -> set[Any]:
+        raise NotImplementedError
+
+    def relations_used(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class AtomF(Formula):
+    """A leaf node wrapping a relation atom or comparison."""
+
+    atom: Any
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atom, (RelAtom, Eq, Neq)):
+            raise QueryError(
+                f"∃FO⁺ leaves must be relation atoms or comparisons, "
+                f"got {type(self.atom).__name__}")
+
+    def free_variables(self) -> set[Var]:
+        return self.atom.variables()
+
+    def constants(self) -> set[Any]:
+        return self.atom.constants()
+
+    def relations_used(self) -> set[str]:
+        if isinstance(self.atom, RelAtom):
+            return {self.atom.relation}
+        return set()
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    """Conjunction of subformulas."""
+
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+        if not self.parts:
+            raise QueryError("empty conjunction")
+
+    def free_variables(self) -> set[Var]:
+        return set().union(*(p.free_variables() for p in self.parts))
+
+    def constants(self) -> set[Any]:
+        return set().union(*(p.constants() for p in self.parts))
+
+    def relations_used(self) -> set[str]:
+        return set().union(*(p.relations_used() for p in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    """Disjunction of subformulas."""
+
+    parts: tuple[Formula, ...]
+
+    def __init__(self, parts: Iterable[Formula]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+        if not self.parts:
+            raise QueryError("empty disjunction")
+
+    def free_variables(self) -> set[Var]:
+        return set().union(*(p.free_variables() for p in self.parts))
+
+    def constants(self) -> set[Any]:
+        return set().union(*(p.constants() for p in self.parts))
+
+    def relations_used(self) -> set[str]:
+        return set().union(*(p.relations_used() for p in self.parts))
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    """Existential quantification ``∃x1...xk φ``."""
+
+    variables: tuple[Var, ...]
+    body: Formula
+
+    def __init__(self, variables: Iterable[Var], body: Formula) -> None:
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "body", body)
+        if not all(isinstance(v, Var) for v in self.variables):
+            raise QueryError("Exists binds variables only")
+
+    def free_variables(self) -> set[Var]:
+        return self.body.free_variables() - set(self.variables)
+
+    def constants(self) -> set[Any]:
+        return self.body.constants()
+
+    def relations_used(self) -> set[str]:
+        return self.body.relations_used()
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∃{names}.{self.body!r}"
+
+
+def atom_f(atom: Any) -> AtomF:
+    """Wrap an atom as a formula leaf."""
+    return AtomF(atom)
+
+
+def and_(*parts: Formula) -> And:
+    """Conjunction shorthand."""
+    return And(parts)
+
+
+def or_(*parts: Formula) -> Or:
+    """Disjunction shorthand."""
+    return Or(parts)
+
+
+def exists(variables: Iterable[Var], body: Formula) -> Exists:
+    """Existential-quantification shorthand."""
+    return Exists(variables, body)
+
+
+def _rectify(formula: Formula, renaming: dict[Var, Var],
+             counter: itertools.count) -> Formula:
+    """Rename bound variables apart so DNF conversion cannot capture."""
+    if isinstance(formula, AtomF):
+        atom = formula.atom
+
+        def sub(term: Term) -> Term:
+            if isinstance(term, Var):
+                return renaming.get(term, term)
+            return term
+
+        if isinstance(atom, RelAtom):
+            return AtomF(RelAtom(atom.relation, [sub(t) for t in atom.terms]))
+        return AtomF(type(atom)(sub(atom.left), sub(atom.right)))
+    if isinstance(formula, (And, Or)):
+        parts = tuple(_rectify(p, renaming, counter) for p in formula.parts)
+        return type(formula)(parts)
+    if isinstance(formula, Exists):
+        inner = dict(renaming)
+        fresh_vars = []
+        for v in formula.variables:
+            fresh = Var(f"{v.name}#{next(counter)}")
+            inner[v] = fresh
+            fresh_vars.append(fresh)
+        return Exists(fresh_vars, _rectify(formula.body, inner, counter))
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+def _dnf(formula: Formula) -> list[list[Any]]:
+    """Convert a rectified formula to a list of conjunctions of atoms."""
+    if isinstance(formula, AtomF):
+        return [[formula.atom]]
+    if isinstance(formula, Exists):
+        # After rectification the quantifier can simply be dropped: bound
+        # variables are unique, and CQ normal form quantifies non-head
+        # variables implicitly.
+        return _dnf(formula.body)
+    if isinstance(formula, Or):
+        result: list[list[Any]] = []
+        for part in formula.parts:
+            result.extend(_dnf(part))
+        return result
+    if isinstance(formula, And):
+        product: list[list[Any]] = [[]]
+        for part in formula.parts:
+            branches = _dnf(part)
+            product = [combo + branch
+                       for combo in product for branch in branches]
+        return product
+    raise QueryError(f"unknown formula node {type(formula).__name__}")
+
+
+class EFOQuery:
+    """An ∃FO⁺ query: a head of output terms over a positive formula.
+
+    Free variables of the formula that are not in the head are implicitly
+    existentially quantified (as in CQ normal form).
+    """
+
+    language = "EFO"
+
+    __slots__ = ("name", "head", "formula", "_ucq_cache")
+
+    def __init__(self, head: Sequence[Any], formula: Formula,
+                 name: str = "Q") -> None:
+        self.name = name
+        self.head = tuple(as_term(t) for t in head)
+        if not isinstance(formula, Formula):
+            raise QueryError(
+                f"expected Formula, got {type(formula).__name__}")
+        self.formula = formula
+        self._ucq_cache: UnionOfConjunctiveQueries | None = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def head_variables(self) -> set[Var]:
+        return {t for t in self.head if isinstance(t, Var)}
+
+    def variables(self) -> set[Var]:
+        return self.head_variables() | self.formula.free_variables()
+
+    def constants(self) -> set[Any]:
+        consts = {t.value for t in self.head if isinstance(t, Const)}
+        return consts | self.formula.constants()
+
+    def relations_used(self) -> set[str]:
+        return self.formula.relations_used()
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        self.to_ucq().validate(schema)
+
+    def to_ucq(self) -> UnionOfConjunctiveQueries:
+        """Unfold into an equivalent UCQ (computed once, then cached).
+
+        Disjuncts whose safety check fails (a head variable that the branch
+        never binds) are rejected with :class:`QueryError`, mirroring the
+        safe-query requirement for CQs.
+        """
+        if self._ucq_cache is None:
+            counter = itertools.count()
+            rectified = _rectify(self.formula, {}, counter)
+            disjuncts = []
+            for index, atoms in enumerate(_dnf(rectified)):
+                disjuncts.append(ConjunctiveQuery(
+                    self.head, atoms, name=f"{self.name}.{index}"))
+            self._ucq_cache = UnionOfConjunctiveQueries(
+                disjuncts, name=self.name)
+        return self._ucq_cache
+
+    def to_cq_disjuncts(self) -> list[ConjunctiveQuery]:
+        return self.to_ucq().to_cq_disjuncts()
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        return self.to_ucq().evaluate(instance)
+
+    def holds_in(self, instance: Instance) -> bool:
+        return self.to_ucq().holds_in(instance)
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(t) for t in self.head)
+        return f"{self.name}({head}) := {self.formula!r}"

@@ -1,0 +1,388 @@
+"""First-order queries (FO) under active-domain semantics.
+
+FO adds negation and universal quantification to ∃FO⁺ (Section 2.1).  As is
+standard for finite model theory, quantifiers range over the *active domain*:
+all constants of the instance plus all constants of the query.  This is the
+convention under which the paper's undecidability encodings (Theorems 3.1 and
+4.1) are read.
+
+FO queries are evaluated recursively; they cannot be unfolded into UCQs
+(negation), so the exact RCDP/RCQP deciders reject them — the problems are
+undecidable for FO — and only the bounded procedures accept them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import EvaluationError, QueryError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.terms import Const, Term, Var, as_term
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = [
+    "FOFormula", "FOAtom", "FONot", "FOAnd", "FOOr", "FOImplies",
+    "FOExists", "FOForall", "FOQuery",
+    "fo_atom", "fo_not", "fo_and", "fo_or", "fo_implies", "fo_exists",
+    "fo_forall",
+]
+
+
+class FOFormula:
+    """Base class of FO formula nodes."""
+
+    def free_variables(self) -> set[Var]:
+        raise NotImplementedError
+
+    def constants(self) -> set[Any]:
+        raise NotImplementedError
+
+    def relations_used(self) -> set[str]:
+        raise NotImplementedError
+
+    def _eval(self, instance: Instance, env: dict[Var, Any],
+              domain: frozenset) -> bool:
+        raise NotImplementedError
+
+
+def _term_value(term: Term, env: dict[Var, Any]) -> Any:
+    if isinstance(term, Const):
+        return term.value
+    try:
+        return env[term]
+    except KeyError:
+        raise EvaluationError(
+            f"unbound variable {term!r} in FO evaluation") from None
+
+
+@dataclass(frozen=True, slots=True)
+class FOAtom(FOFormula):
+    """Leaf: a relation atom or comparison."""
+
+    atom: Any
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.atom, (RelAtom, Eq, Neq)):
+            raise QueryError(
+                f"FO leaves must be relation atoms or comparisons, got "
+                f"{type(self.atom).__name__}")
+
+    def free_variables(self) -> set[Var]:
+        return self.atom.variables()
+
+    def constants(self) -> set[Any]:
+        return self.atom.constants()
+
+    def relations_used(self) -> set[str]:
+        if isinstance(self.atom, RelAtom):
+            return {self.atom.relation}
+        return set()
+
+    def _eval(self, instance: Instance, env: dict[Var, Any],
+              domain: frozenset) -> bool:
+        atom = self.atom
+        if isinstance(atom, RelAtom):
+            row = tuple(_term_value(t, env) for t in atom.terms)
+            return row in instance.relation(atom.relation)
+        return atom.holds(_term_value(atom.left, env),
+                          _term_value(atom.right, env))
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True, slots=True)
+class FONot(FOFormula):
+    """Negation."""
+
+    body: FOFormula
+
+    def free_variables(self) -> set[Var]:
+        return self.body.free_variables()
+
+    def constants(self) -> set[Any]:
+        return self.body.constants()
+
+    def relations_used(self) -> set[str]:
+        return self.body.relations_used()
+
+    def _eval(self, instance, env, domain) -> bool:
+        return not self.body._eval(instance, env, domain)
+
+    def __repr__(self) -> str:
+        return f"¬{self.body!r}"
+
+
+class _NaryFormula(FOFormula):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[FOFormula]) -> None:
+        self.parts = tuple(parts)
+        if not self.parts:
+            raise QueryError("empty connective")
+
+    def free_variables(self) -> set[Var]:
+        return set().union(*(p.free_variables() for p in self.parts))
+
+    def constants(self) -> set[Any]:
+        return set().union(*(p.constants() for p in self.parts))
+
+    def relations_used(self) -> set[str]:
+        return set().union(*(p.relations_used() for p in self.parts))
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.parts == other.parts
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.parts))
+
+
+class FOAnd(_NaryFormula):
+    """Conjunction."""
+
+    def _eval(self, instance, env, domain) -> bool:
+        return all(p._eval(instance, env, domain) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+class FOOr(_NaryFormula):
+    """Disjunction."""
+
+    def _eval(self, instance, env, domain) -> bool:
+        return any(p._eval(instance, env, domain) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True, slots=True)
+class FOImplies(FOFormula):
+    """Implication (syntactic sugar for ¬left ∨ right)."""
+
+    left: FOFormula
+    right: FOFormula
+
+    def free_variables(self) -> set[Var]:
+        return self.left.free_variables() | self.right.free_variables()
+
+    def constants(self) -> set[Any]:
+        return self.left.constants() | self.right.constants()
+
+    def relations_used(self) -> set[str]:
+        return self.left.relations_used() | self.right.relations_used()
+
+    def _eval(self, instance, env, domain) -> bool:
+        if not self.left._eval(instance, env, domain):
+            return True
+        return self.right._eval(instance, env, domain)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} → {self.right!r})"
+
+
+class _Quantifier(FOFormula):
+    __slots__ = ("variables", "body")
+
+    def __init__(self, variables: Iterable[Var], body: FOFormula) -> None:
+        self.variables = tuple(variables)
+        self.body = body
+        if not all(isinstance(v, Var) for v in self.variables):
+            raise QueryError("quantifiers bind variables only")
+
+    def free_variables(self) -> set[Var]:
+        return self.body.free_variables() - set(self.variables)
+
+    def constants(self) -> set[Any]:
+        return self.body.constants()
+
+    def relations_used(self) -> set[str]:
+        return self.body.relations_used()
+
+    def _assignments(self, env: dict[Var, Any], domain: frozenset):
+        """Yield environments extending *env* over the bound variables."""
+        variables = self.variables
+
+        def extend(index: int):
+            if index == len(variables):
+                yield env
+                return
+            v = variables[index]
+            for value in domain:
+                env[v] = value
+                yield from extend(index + 1)
+            env.pop(variables[index], None)
+
+        yield from extend(0)
+
+    def __eq__(self, other: object) -> bool:
+        return (type(self) is type(other)
+                and self.variables == other.variables
+                and self.body == other.body)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.variables, self.body))
+
+
+class FOExists(_Quantifier):
+    """Existential quantification over the active domain."""
+
+    def _eval(self, instance, env, domain) -> bool:
+        saved = {v: env[v] for v in self.variables if v in env}
+        try:
+            for extended in self._assignments(env, domain):
+                if self.body._eval(instance, extended, domain):
+                    return True
+            return False
+        finally:
+            for v in self.variables:
+                env.pop(v, None)
+            env.update(saved)
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∃{names}.{self.body!r}"
+
+
+class FOForall(_Quantifier):
+    """Universal quantification over the active domain."""
+
+    def _eval(self, instance, env, domain) -> bool:
+        saved = {v: env[v] for v in self.variables if v in env}
+        try:
+            for extended in self._assignments(env, domain):
+                if not self.body._eval(instance, extended, domain):
+                    return False
+            return True
+        finally:
+            for v in self.variables:
+                env.pop(v, None)
+            env.update(saved)
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∀{names}.{self.body!r}"
+
+
+def fo_atom(atom: Any) -> FOAtom:
+    """Wrap an atom as an FO leaf."""
+    return FOAtom(atom)
+
+
+def fo_not(body: FOFormula) -> FONot:
+    """Negation shorthand."""
+    return FONot(body)
+
+
+def fo_and(*parts: FOFormula) -> FOAnd:
+    """Conjunction shorthand."""
+    return FOAnd(parts)
+
+
+def fo_or(*parts: FOFormula) -> FOOr:
+    """Disjunction shorthand."""
+    return FOOr(parts)
+
+
+def fo_implies(left: FOFormula, right: FOFormula) -> FOImplies:
+    """Implication shorthand."""
+    return FOImplies(left, right)
+
+
+def fo_exists(variables: Iterable[Var], body: FOFormula) -> FOExists:
+    """Existential shorthand."""
+    return FOExists(variables, body)
+
+
+def fo_forall(variables: Iterable[Var], body: FOFormula) -> FOForall:
+    """Universal shorthand."""
+    return FOForall(variables, body)
+
+
+class FOQuery:
+    """A first-order query: output variables over an FO formula.
+
+    Evaluation enumerates assignments of the head variables over the active
+    domain (instance constants plus query constants) and keeps those under
+    which the formula holds.
+    """
+
+    language = "FO"
+
+    __slots__ = ("name", "head", "formula")
+
+    def __init__(self, head: Sequence[Any], formula: FOFormula,
+                 name: str = "Q") -> None:
+        self.name = name
+        self.head = tuple(as_term(t) for t in head)
+        if not isinstance(formula, FOFormula):
+            raise QueryError(
+                f"expected FOFormula, got {type(formula).__name__}")
+        self.formula = formula
+        unbound = self.formula.free_variables() - self.head_variables()
+        if unbound:
+            names = ", ".join(sorted(v.name for v in unbound))
+            raise QueryError(
+                f"FO query {name!r} has free formula variables not in the "
+                f"head: {names} (quantify them explicitly)")
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def head_variables(self) -> set[Var]:
+        return {t for t in self.head if isinstance(t, Var)}
+
+    def variables(self) -> set[Var]:
+        return self.head_variables() | self.formula.free_variables()
+
+    def constants(self) -> set[Any]:
+        consts = {t.value for t in self.head if isinstance(t, Const)}
+        return consts | self.formula.constants()
+
+    def relations_used(self) -> set[str]:
+        return self.formula.relations_used()
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        for name in self.relations_used():
+            schema.relation(name)
+
+    def evaluation_domain(self, instance: Instance) -> frozenset:
+        """Active domain used for quantification."""
+        return instance.active_domain() | frozenset(self.constants())
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        domain = self.evaluation_domain(instance)
+        head_vars = tuple(sorted(self.head_variables(),
+                                 key=lambda v: v.name))
+        results: set[tuple] = set()
+
+        def assign(index: int, env: dict[Var, Any]) -> None:
+            if index == len(head_vars):
+                if self.formula._eval(instance, env, domain):
+                    row = tuple(
+                        t.value if isinstance(t, Const) else env[t]
+                        for t in self.head)
+                    results.add(row)
+                return
+            for value in domain:
+                env[head_vars[index]] = value
+                assign(index + 1, env)
+            env.pop(head_vars[index], None)
+
+        assign(0, {})
+        return frozenset(results)
+
+    def holds_in(self, instance: Instance) -> bool:
+        return bool(self.evaluate(instance))
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(t) for t in self.head)
+        return f"{self.name}({head}) := {self.formula!r}"

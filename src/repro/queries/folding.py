@@ -1,0 +1,139 @@
+"""Lemma 3.2: folding a multi-relation database into a single relation.
+
+For each relational schema ``R = (R1, ..., Rn)`` there is a single relation
+schema ``R``, a linear-time function ``f_D`` on instances, and a linear-time
+function ``f_Q`` on CQs with ``Q(D) = f_Q(Q)(f_D(D))``.
+
+Construction (following the paper's proof):
+
+* all relations are made uniform by padding to the maximum arity with a
+  reserved padding constant;
+* a tag attribute ``AR`` is appended whose value identifies the source
+  relation (column index ``arity_max``);
+* ``f_D(D) = ⋃_j I_j × {AR = j}``;
+* ``f_Q`` replaces every atom ``Rj(t̄)`` by ``R(t̄, pad..., j)`` where the
+  padding positions hold fresh existential variables.
+
+The fold is exact for CQ (and by disjunct-wise application for UCQ/∃FO⁺).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.errors import SchemaError
+from repro.queries.atoms import RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const, Var
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.domain import FiniteDomain, FreshValue, INFINITE
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+__all__ = ["Folding", "PAD"]
+
+#: Reserved padding constant used to fill dummy columns; a fresh value, so it
+#: can never collide with user data.
+PAD = FreshValue("fold.pad")
+
+
+@dataclass(frozen=True)
+class Folding:
+    """The single-relation encoding of a multi-relation schema.
+
+    Create one with :meth:`Folding.of`; then use :meth:`fold_instance`
+    (``f_D``) and :meth:`fold_query` (``f_Q``).
+    """
+
+    source: DatabaseSchema
+    folded: DatabaseSchema
+    relation_name: str
+    tag_of: dict[str, int]
+    max_arity: int
+
+    @classmethod
+    def of(cls, schema: DatabaseSchema,
+           relation_name: str = "Rfold") -> "Folding":
+        """Build the folding of *schema*."""
+        names = schema.relation_names
+        if not names:
+            raise SchemaError("cannot fold an empty schema")
+        if relation_name in schema:
+            raise SchemaError(
+                f"folded relation name {relation_name!r} clashes with a "
+                f"source relation")
+        max_arity = max(schema.relation(n).arity for n in names)
+        tag_of = {name: index + 1 for index, name in enumerate(names)}
+        tag_values = set(tag_of.values()) | {0}  # 0 pads to ≥ 2 values
+        attributes = [Attribute(f"c{i}", INFINITE) for i in range(max_arity)]
+        attributes.append(Attribute(
+            "AR", FiniteDomain(tag_values, name="tags")))
+        folded = DatabaseSchema([RelationSchema(relation_name, attributes)])
+        return cls(source=schema, folded=folded,
+                   relation_name=relation_name, tag_of=dict(tag_of),
+                   max_arity=max_arity)
+
+    # ------------------------------------------------------------------
+    # f_D
+    # ------------------------------------------------------------------
+
+    def fold_instance(self, instance: Instance) -> Instance:
+        """``f_D``: encode *instance* as an instance of the folded schema."""
+        rows: set[tuple] = set()
+        for name, tag in self.tag_of.items():
+            for row in instance.relation(name):
+                padded = row + (PAD,) * (self.max_arity - len(row)) + (tag,)
+                rows.add(padded)
+        return Instance(self.folded, {self.relation_name: rows},
+                        validate=False)
+
+    def unfold_instance(self, folded_instance: Instance) -> Instance:
+        """Inverse of :meth:`fold_instance` (for round-trip tests)."""
+        arity_of = {name: self.source.relation(name).arity
+                    for name in self.source.relation_names}
+        tag_to_name = {tag: name for name, tag in self.tag_of.items()}
+        contents: dict[str, set[tuple]] = {
+            name: set() for name in self.source.relation_names}
+        for row in folded_instance.relation(self.relation_name):
+            *values, tag = row
+            name = tag_to_name.get(tag)
+            if name is None:
+                raise SchemaError(f"unknown relation tag {tag!r}")
+            arity = arity_of[name]
+            contents[name].add(tuple(values[:arity]))
+        return Instance(self.source, contents, validate=False)
+
+    # ------------------------------------------------------------------
+    # f_Q
+    # ------------------------------------------------------------------
+
+    def fold_query(self, query: ConjunctiveQuery) -> ConjunctiveQuery:
+        """``f_Q``: rewrite a CQ over the source schema to the folded one."""
+        counter = itertools.count()
+        body = []
+        for atom in query.body:
+            if not isinstance(atom, RelAtom):
+                body.append(atom)
+                continue
+            tag = self.tag_of.get(atom.relation)
+            if tag is None:
+                raise SchemaError(
+                    f"query uses relation {atom.relation!r} not in the "
+                    f"folded schema")
+            pad_vars = tuple(
+                Var(f"_pad{next(counter)}")
+                for _ in range(self.max_arity - len(atom.terms)))
+            body.append(RelAtom(
+                self.relation_name,
+                tuple(atom.terms) + pad_vars + (Const(tag),)))
+        return ConjunctiveQuery(query.head, body,
+                                name=f"fold.{query.name}")
+
+    def fold_ucq(self, query: UnionOfConjunctiveQueries
+                 ) -> UnionOfConjunctiveQueries:
+        """Disjunct-wise folding of a UCQ."""
+        return UnionOfConjunctiveQueries(
+            [self.fold_query(d) for d in query.disjuncts],
+            name=f"fold.{query.name}")

@@ -1,0 +1,233 @@
+"""A small textual syntax for rules, CQs, UCQs, and datalog programs.
+
+Grammar (informal)::
+
+    program   := rule (";" | newline)* ...
+    rule      := head [ ":-" body ]
+    head      := NAME "(" terms? ")"
+    body      := literal ("," literal)*
+    literal   := atom | comparison
+    atom      := NAME "(" terms? ")"
+    comparison:= term ("=" | "!=") term
+    term      := NAME            -- variable (lowercase start)
+               | STRING          -- quoted constant: 'abc' or "abc"
+               | NUMBER          -- integer constant
+
+Examples::
+
+    Q(c) :- Supt('e0', d, c)
+    Q(c) :- Cust(c, n, cc, a, p), cc = '01', a != '908'
+
+    T(x, y) :- E(x, y)
+    T(x, z) :- E(x, y), T(y, z)
+
+* :func:`parse_query` accepts one or more rules sharing a head predicate
+  and no recursion, returning a CQ (one rule) or a UCQ (several);
+* :func:`parse_program` accepts arbitrary rules and a goal predicate,
+  returning a :class:`~repro.queries.datalog.DatalogQuery`.
+
+Variables are identifiers; anything quoted or numeric is a constant.
+Comments run from ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ParseError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.datalog import DatalogQuery, Rule
+from repro.queries.terms import Const, Term, Var
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+__all__ = ["parse_query", "parse_program", "parse_rules"]
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("ARROW", r":-"),
+    ("NEQ", r"!="),
+    ("EQ", r"="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("NUMBER", r"-?\d+"),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("BAD", r"."),
+]
+_TOKEN_RE = re.compile(
+    "|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    line_start = 0
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            yield _Token("NEWLINE", value, line, column)
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "BAD":
+            raise ParseError(f"unexpected character {value!r}",
+                             line=line, column=column)
+        yield _Token(kind, value, line, column)
+    yield _Token("EOF", "", line, 0)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._position = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._position]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._position]
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}",
+                line=token.line, column=token.column)
+        return self._advance()
+
+    def _skip_separators(self) -> None:
+        while self._peek().kind in ("NEWLINE", "SEMI"):
+            self._advance()
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_rules(self) -> list[tuple[RelAtom, list[Any]]]:
+        rules = []
+        self._skip_separators()
+        while self._peek().kind != "EOF":
+            rules.append(self._rule())
+            self._skip_separators()
+        if not rules:
+            raise ParseError("no rules found")
+        return rules
+
+    def _rule(self) -> tuple[RelAtom, list[Any]]:
+        head = self._atom()
+        body: list[Any] = []
+        if self._peek().kind == "ARROW":
+            self._advance()
+            body.append(self._literal())
+            while self._peek().kind == "COMMA":
+                self._advance()
+                # tolerate a line break after the comma
+                while self._peek().kind == "NEWLINE":
+                    self._advance()
+                body.append(self._literal())
+        return head, body
+
+    def _literal(self) -> Any:
+        # Lookahead: NAME "(" → atom; otherwise comparison.
+        token = self._peek()
+        if (token.kind == "NAME"
+                and self._tokens[self._position + 1].kind == "LPAREN"):
+            return self._atom()
+        left = self._term()
+        op = self._peek()
+        if op.kind == "EQ":
+            self._advance()
+            return Eq(left, self._term())
+        if op.kind == "NEQ":
+            self._advance()
+            return Neq(left, self._term())
+        raise ParseError(
+            f"expected '=' or '!=' after term, found {op.text!r}",
+            line=op.line, column=op.column)
+
+    def _atom(self) -> RelAtom:
+        name = self._expect("NAME")
+        self._expect("LPAREN")
+        terms: list[Term] = []
+        if self._peek().kind != "RPAREN":
+            terms.append(self._term())
+            while self._peek().kind == "COMMA":
+                self._advance()
+                terms.append(self._term())
+        self._expect("RPAREN")
+        return RelAtom(name.text, terms)
+
+    def _term(self) -> Term:
+        token = self._peek()
+        if token.kind == "NAME":
+            self._advance()
+            return Var(token.text)
+        if token.kind == "STRING":
+            self._advance()
+            return Const(token.text[1:-1])
+        if token.kind == "NUMBER":
+            self._advance()
+            return Const(int(token.text))
+        raise ParseError(
+            f"expected a term, found {token.kind} {token.text!r}",
+            line=token.line, column=token.column)
+
+
+def parse_rules(text: str) -> list[tuple[RelAtom, list[Any]]]:
+    """Parse *text* into raw ``(head, body)`` rule pairs."""
+    return _Parser(text).parse_rules()
+
+
+def parse_query(text: str):
+    """Parse a CQ or UCQ.
+
+    Every rule must share the head predicate; the head predicate must not
+    occur in any body (no recursion — use :func:`parse_program` for that).
+    One rule yields a :class:`ConjunctiveQuery`, several a
+    :class:`UnionOfConjunctiveQueries`.
+    """
+    rules = parse_rules(text)
+    head_name = rules[0][0].relation
+    disjuncts = []
+    for index, (head, body) in enumerate(rules):
+        if head.relation != head_name:
+            raise ParseError(
+                f"all rules of a query must share one head predicate; "
+                f"found {head.relation!r} and {head_name!r}")
+        for atom in body:
+            if isinstance(atom, RelAtom) and atom.relation == head_name:
+                raise ParseError(
+                    f"recursive use of {head_name!r}: use parse_program "
+                    f"for datalog")
+        disjuncts.append(ConjunctiveQuery(
+            head.terms, body, name=f"{head_name}.{index}"
+            if len(rules) > 1 else head_name))
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return UnionOfConjunctiveQueries(disjuncts, name=head_name)
+
+
+def parse_program(text: str, goal: str, name: str = "Q") -> DatalogQuery:
+    """Parse a datalog program with designated *goal* predicate."""
+    rules = [Rule(head, body) for head, body in parse_rules(text)]
+    return DatalogQuery(rules, goal=goal, name=name)

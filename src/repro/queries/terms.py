@@ -1,0 +1,69 @@
+"""Terms: variables and constants.
+
+Query atoms are built from :class:`Var` and :class:`Const` terms.  The helper
+:func:`as_term` coerces raw Python values (strings are **not** auto-promoted
+to variables — use :func:`var` explicitly, matching the guide's "explicit is
+better than implicit").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.errors import QueryError
+
+__all__ = ["Term", "Var", "Const", "var", "const", "as_term", "vars_of"]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A query variable, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise QueryError(
+                f"variable name must be a non-empty string, got {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant term wrapping an arbitrary hashable value."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+def var(name: str) -> Var:
+    """Shorthand constructor for :class:`Var`."""
+    return Var(name)
+
+
+def const(value: Any) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+def as_term(value: Any) -> Term:
+    """Coerce *value* into a term.
+
+    ``Var`` and ``Const`` pass through; any other value becomes a constant.
+    """
+    if isinstance(value, (Var, Const)):
+        return value
+    return Const(value)
+
+
+def vars_of(terms: Any) -> set[Var]:
+    """Collect the variables in an iterable of terms."""
+    return {t for t in terms if isinstance(t, Var)}

@@ -1,0 +1,100 @@
+"""Unions of conjunctive queries (UCQ).
+
+``Q = Q1 ∪ ... ∪ Qk`` where each ``Qi`` is a CQ of the same arity
+(Section 2.1).  Evaluation is the union of the disjunct answers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.queries.cq import ConjunctiveQuery
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["UnionOfConjunctiveQueries", "ucq"]
+
+
+class UnionOfConjunctiveQueries:
+    """A union of same-arity conjunctive queries."""
+
+    language = "UCQ"
+
+    __slots__ = ("name", "disjuncts")
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery],
+                 name: str = "Q") -> None:
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise QueryError("a UCQ needs at least one disjunct")
+        arity = disjuncts[0].arity
+        for disjunct in disjuncts:
+            if not isinstance(disjunct, ConjunctiveQuery):
+                raise QueryError(
+                    f"UCQ disjuncts must be CQs, got "
+                    f"{type(disjunct).__name__}")
+            if disjunct.arity != arity:
+                raise QueryError(
+                    f"UCQ disjuncts must share one arity; got {arity} "
+                    f"and {disjunct.arity}")
+        self.name = name
+        self.disjuncts = disjuncts
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.arity == 0
+
+    def variables(self):
+        result = set()
+        for disjunct in self.disjuncts:
+            result |= disjunct.variables()
+        return result
+
+    def constants(self) -> set:
+        result: set = set()
+        for disjunct in self.disjuncts:
+            result |= disjunct.constants()
+        return result
+
+    def relations_used(self) -> set[str]:
+        result: set[str] = set()
+        for disjunct in self.disjuncts:
+            result |= disjunct.relations_used()
+        return result
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        for disjunct in self.disjuncts:
+            disjunct.validate(schema)
+
+    def to_cq_disjuncts(self) -> list[ConjunctiveQuery]:
+        return list(self.disjuncts)
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        answers: set[tuple] = set()
+        for disjunct in self.disjuncts:
+            answers |= disjunct.evaluate(instance)
+        return frozenset(answers)
+
+    def holds_in(self, instance: Instance) -> bool:
+        return any(d.holds_in(instance) for d in self.disjuncts)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, UnionOfConjunctiveQueries)
+                and self.disjuncts == other.disjuncts)
+
+    def __hash__(self) -> int:
+        return hash(self.disjuncts)
+
+    def __repr__(self) -> str:
+        return " ∪ ".join(repr(d) for d in self.disjuncts)
+
+
+def ucq(disjuncts: Iterable[ConjunctiveQuery],
+        name: str = "Q") -> UnionOfConjunctiveQueries:
+    """Shorthand constructor for :class:`UnionOfConjunctiveQueries`."""
+    return UnionOfConjunctiveQueries(tuple(disjuncts), name=name)

@@ -1,0 +1,223 @@
+"""Theorems 3.1 and 4.1: undecidability encodings via 2-head DFAs and FO
+satisfiability.
+
+These constructions witness why RCDP/RCQP become undecidable once FO or FP
+enters: they embed undecidable problems (2-head DFA emptiness, FO finite
+satisfiability) into completeness questions.  Since no decision procedure
+can exist, the library pairs each encoding with the *bounded* procedures of
+:mod:`repro.core.bounded` and with direct validators (e.g. "this word is
+accepted iff the FP query fires on its relational encoding").
+
+Encodings provided:
+
+* :func:`reduce_dfa_emptiness_to_rcdp` — Theorem 3.1(3): a **fixed** empty
+  database and master data, CQ containment constraints ``V1–V3`` enforcing
+  well-formed string encodings, and an FP (datalog) query ``Q`` that fires
+  exactly on well-formed encodings of accepted inputs.  ``D = ∅`` is
+  complete for ``Q`` iff ``L(A) = ∅``.
+* :func:`encode_word` — the relational encoding of an input string over
+  relations ``P`` (positions carrying 1), ``Pbar`` (positions carrying 0),
+  and ``F`` (successor, with the self-loop marking the final position).
+* :func:`reduce_fo_satisfiability_to_rcdp` — Theorem 3.1(1): ``D = ∅`` with
+  ``V = ∅`` is complete for the Boolean closure of an FO query ``Q`` iff
+  ``Q`` is finitely unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.queries.atoms import Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.datalog import DatalogQuery, Rule
+from repro.queries.fo import FOExists, FOQuery
+from repro.queries.terms import Const, Var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.solvers.twohead import TwoHeadDFA
+
+__all__ = ["DFAEmptinessRCDPInstance", "reduce_dfa_emptiness_to_rcdp",
+           "encode_word", "reduce_fo_satisfiability_to_rcdp",
+           "FOSatisfiabilityRCDPInstance"]
+
+
+@dataclass(frozen=True)
+class DFAEmptinessRCDPInstance:
+    """The RCDP(FP, CQ) instance for a 2-head DFA's emptiness problem."""
+
+    automaton: TwoHeadDFA
+    query: DatalogQuery
+    database: Instance
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+
+def _string_schema() -> DatabaseSchema:
+    return DatabaseSchema([
+        RelationSchema("P", ["pos"]),
+        RelationSchema("Pbar", ["pos"]),
+        RelationSchema("F", ["pos", "next"]),
+    ])
+
+
+def encode_word(word: str, schema: DatabaseSchema | None = None,
+                ) -> Instance:
+    """Encode *word* ∈ {0,1}* as a well-formed (P, Pbar, F) instance.
+
+    Positions are the integers ``0..len(word)``; ``F`` chains consecutive
+    positions and loops on the final position ``len(word)`` (the paper's
+    "unique tuple of the form (k, k)").
+    """
+    schema = schema or _string_schema()
+    length = len(word)
+    p_rows = {(i,) for i, symbol in enumerate(word) if symbol == "1"}
+    pbar_rows = {(i,) for i, symbol in enumerate(word) if symbol == "0"}
+    f_rows = {(i, i + 1) for i in range(length)} | {(length, length)}
+    return Instance(schema, {"P": p_rows, "Pbar": pbar_rows, "F": f_rows})
+
+
+def reduce_dfa_emptiness_to_rcdp(
+        automaton: TwoHeadDFA) -> DFAEmptinessRCDPInstance:
+    """Build the Theorem 3.1(3) RCDP(FP, CQ) instance for *automaton*.
+
+    ``L(A) = ∅`` iff the (fixed, empty) database is complete for the
+    datalog query.  Deciding this is impossible in general — that is the
+    theorem — so the instance is consumed by bounded procedures and by the
+    direct word-level validator in the tests.
+
+    Containment constraints (all CQ, fixed):
+
+    * ``V1``: no position carries both a 0 and a 1;
+    * ``V2``: ``F`` is a function;
+    * ``V3``: at most one self-loop (the final-position marker).
+    """
+    schema = _string_schema()
+    master_schema = DatabaseSchema([RelationSchema("Rm1", ["z"])])
+    database = Instance.empty(schema)
+    master = Instance.empty(master_schema)
+
+    x, y, z = Var("x"), Var("y"), Var("z")
+    v1 = ContainmentConstraint(
+        ConjunctiveQuery((x,), [RelAtom("P", (x,)),
+                                RelAtom("Pbar", (x,))], name="q[V1]"),
+        Projection.empty(), name="V1")
+    v2 = ContainmentConstraint(
+        ConjunctiveQuery((x, y, z),
+                         [RelAtom("F", (x, y)), RelAtom("F", (x, z)),
+                          Neq(y, z)], name="q[V2]"),
+        Projection.empty(), name="V2")
+    v3 = ContainmentConstraint(
+        ConjunctiveQuery((x, y),
+                         [RelAtom("F", (x, x)), RelAtom("F", (y, y)),
+                          Neq(x, y)], name="q[V3]"),
+        Projection.empty(), name="V3")
+
+    query = _acceptance_program(automaton)
+    return DFAEmptinessRCDPInstance(
+        automaton=automaton, query=query, database=database, master=master,
+        constraints=(v1, v2, v3), schema=schema,
+        master_schema=master_schema)
+
+
+def _alpha_atoms(symbol: str, position: Var, aux: Var) -> list[Any]:
+    """The paper's ``α(x)``: what a head reads at *position*.
+
+    * reading '1': ``F(x, aux) ∧ x ≠ aux ∧ P(x)`` — a non-final 1-position;
+    * reading '0': same with ``Pbar``;
+    * reading ε: ``F(x, x)`` — the final position.
+    """
+    if symbol == "1":
+        return [RelAtom("F", (position, aux)), Neq(position, aux),
+                RelAtom("P", (position,))]
+    if symbol == "0":
+        return [RelAtom("F", (position, aux)), Neq(position, aux),
+                RelAtom("Pbar", (position,))]
+    return [RelAtom("F", (position, position))]
+
+
+def _acceptance_program(automaton: TwoHeadDFA) -> DatalogQuery:
+    """The FP query: reachability over the transition formulas ``ϕ_δ``,
+    seeded at ``(q0, 0, 0)``, accepting at ``q_acc``, conjoined with
+    ``Q_ini = ∃x F(0, x)`` and ``Q_fin = ∃x F(x, x)``."""
+    rules: list[Rule] = []
+    y, z = Var("y"), Var("z")
+    yp, zp = Var("yp"), Var("zp")
+
+    rules.append(Rule(RelAtom("Reach", (Const(automaton.initial),
+                                        Const(0), Const(0))),
+                      [RelAtom("F", (Const(0), Var("w")))]))
+
+    aux_counter = 0
+    for (state, read1, read2), (target, move1, move2) in sorted(
+            automaton.transitions.items()):
+        body: list[Any] = [RelAtom("Reach", (Const(state), y, z))]
+        aux1 = Var(f"a{aux_counter}")
+        aux2 = Var(f"b{aux_counter}")
+        aux_counter += 1
+        body.extend(_alpha_atoms(read1, y, aux1))
+        body.extend(_alpha_atoms(read2, z, aux2))
+        # β: the new head positions.
+        if move1 == 1:
+            new_y = Var("ny")
+            body.append(RelAtom("F", (y, new_y)))
+        else:
+            new_y = y
+        if move2 == 1:
+            new_z = Var("nz")
+            body.append(RelAtom("F", (z, new_z)))
+        else:
+            new_z = z
+        rules.append(Rule(
+            RelAtom("Reach", (Const(target), new_y, new_z)), body))
+
+    # Accept: reached q_acc, and the encoding has initial and final
+    # positions (Q_ini ∧ Q_fin).
+    rules.append(Rule(
+        RelAtom("Accept", (Const(1),)),
+        [RelAtom("Reach", (Const(automaton.accepting), y, z)),
+         RelAtom("F", (Const(0), Var("w"))),
+         RelAtom("F", (Var("u"), Var("u")))]))
+    return DatalogQuery(rules, goal="Accept", name="Q[A]")
+
+
+@dataclass(frozen=True)
+class FOSatisfiabilityRCDPInstance:
+    """The RCDP(FO, —) instance for an FO query's satisfiability."""
+
+    query: FOQuery
+    database: Instance
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+
+def reduce_fo_satisfiability_to_rcdp(
+        fo_query: FOQuery, schema: DatabaseSchema,
+        ) -> FOSatisfiabilityRCDPInstance:
+    """Theorem 3.1(1): the empty database (with ``V = ∅``) is complete for
+    the Boolean closure of *fo_query* iff *fo_query* is unsatisfiable over
+    finite instances of *schema*.
+
+    Since FO finite satisfiability is undecidable (Trakhtenbrot), so is
+    RCDP(FO, CQ) — the library's exact decider refuses the instance, and
+    only bounded extension search applies.
+    """
+    head_vars = sorted(fo_query.head_variables(), key=lambda v: v.name)
+    boolean = FOQuery(
+        (), FOExists(tuple(head_vars), fo_query.formula)
+        if head_vars else fo_query.formula,
+        name=f"∃·{fo_query.name}")
+    master_schema = DatabaseSchema([RelationSchema("Rm1", ["z"])])
+    return FOSatisfiabilityRCDPInstance(
+        query=boolean,
+        database=Instance.empty(schema),
+        master=Instance.empty(master_schema),
+        constraints=(),
+        schema=schema,
+        master_schema=master_schema)

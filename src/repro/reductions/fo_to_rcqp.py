@@ -1,0 +1,107 @@
+"""Theorem 4.1(2): FO satisfiability ⟶ RCQP(CQ, FO).
+
+Given an FO query ``q`` over a schema ``R``, the construction adds a unary
+relation ``Ru``, keeps master data empty, and uses a single **FO**
+containment constraint that is satisfied by ``(D', Dm)`` exactly when
+``q(D') ≠ ∅`` or the ``R``-part of ``D'`` is empty (the paper's
+``{()} \\ q' ⊆ ∅``).  The query returns ``Ru`` tagged by nonemptiness of
+the ``R``-part:
+
+* if ``q`` is **unsatisfiable**, only databases with an empty ``R``-part
+  are partially closed; on those the query is constant-empty, so any such
+  database (e.g. the fully empty one) is relatively complete — RCQ is
+  nonempty;
+* if ``q`` is **satisfiable**, every partially closed database with
+  nonempty ``R``-part returns ``{(1)} × Iu``, and ``Iu`` is unconstrained
+  — adding a fresh ``Ru``-tuple always changes the answer, so no
+  relatively complete database exists.
+
+Since FO (finite) satisfiability is undecidable, so is RCQP(CQ, FO); the
+exact deciders refuse the instance, and the tests validate both directions
+through the bounded procedures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ReproError
+from repro.queries.atoms import RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.fo import (FOAnd, FOAtom, FOExists, FONot, FOOr,
+                              FOQuery)
+from repro.queries.terms import Var
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+__all__ = ["FORCQPInstance", "reduce_fo_satisfiability_to_rcqp"]
+
+
+@dataclass(frozen=True)
+class FORCQPInstance:
+    """The RCQP(CQ/UCQ, FO) instance produced by the reduction."""
+
+    source_query: FOQuery
+    query: Any  # CQ when the source schema has one relation, else UCQ
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+
+def reduce_fo_satisfiability_to_rcqp(
+        fo_query: FOQuery, schema: DatabaseSchema) -> FORCQPInstance:
+    """Build the Theorem 4.1(2) RCQP instance for *fo_query* over
+    *schema*.
+
+    ``RCQ(Q, Dm, V)`` is nonempty iff *fo_query* is finitely
+    unsatisfiable over *schema*.
+    """
+    source_names = list(schema.relation_names)
+    if not source_names:
+        raise ReproError("the source schema needs at least one relation")
+    if "Ru" in schema:
+        raise ReproError("the source schema may not contain 'Ru'")
+    extended = schema.extended_with(RelationSchema("Ru", ["u"]))
+    master_schema = DatabaseSchema([RelationSchema("Rm1", ["z"])])
+    master = Instance.empty(master_schema)
+
+    # q' as a Boolean FO query: q fires, or the R-part is empty.  The CC
+    # forbids its complement: ¬(∃x̄ q ∨ empty) ⊆ ∅.
+    head_vars = sorted(fo_query.head_variables(), key=lambda v: v.name)
+    fires = (FOExists(tuple(head_vars), fo_query.formula)
+             if head_vars else fo_query.formula)
+    empty_part = FOAnd([
+        FONot(_nonempty_single(extended, name)) for name in source_names])
+    violation = FONot(FOOr([fires, empty_part]))
+    constraint = ContainmentConstraint(
+        FOQuery((), violation, name="q[V]"), Projection.empty(),
+        name="V[q-or-empty]")
+
+    # Q(u): the R-part is nonempty, tagged by Ru.
+    u = Var("u")
+    disjuncts = []
+    for name in source_names:
+        relation = schema.relation(name)
+        variables = [Var(f"q.{name}.{i}") for i in range(relation.arity)]
+        disjuncts.append(ConjunctiveQuery(
+            (u,), [RelAtom(name, variables), RelAtom("Ru", (u,))],
+            name=f"Q.{name}"))
+    query: Any = (disjuncts[0] if len(disjuncts) == 1
+                  else UnionOfConjunctiveQueries(disjuncts, name="Q"))
+
+    return FORCQPInstance(
+        source_query=fo_query, query=query, master=master,
+        constraints=(constraint,), schema=extended,
+        master_schema=master_schema)
+
+
+def _nonempty_single(schema: DatabaseSchema, name: str):
+    relation = schema.relation(name)
+    variables = [Var(f"ne.{name}.{i}") for i in range(relation.arity)]
+    atom = FOAtom(RelAtom(name, variables))
+    return FOExists(variables, atom) if variables else atom

@@ -1,0 +1,170 @@
+"""Theorem 3.6 lower bound: ∀∗∃∗-3SAT ⟶ RCDP(CQ, INDs).
+
+Given ``ϕ = ∀X ∃Y (C1 ∧ ... ∧ Cr)``, the construction produces a fixed-shape
+database ``D``, master data ``Dm``, a set ``V`` of INDs, and a CQ query ``Q``
+such that **D is complete for Q relative to (Dm, V) iff ϕ is true**.
+
+Following the proof:
+
+* six relations hold the Boolean domain ``I01``, the truth tables of ``∨``,
+  ``∧``, ``¬``, the selector table
+  ``Ic = {(0,0,1), (0,1,1), (1,0,0), (1,1,1)}`` and the switch relation
+  ``R6`` with ``I6 = {(1)}`` in ``D`` but ``Im6 = {(0), (1)}`` in master
+  data;
+* the INDs ``Ri ⊆ Rmi`` freeze every relation except ``R6``, which may only
+  grow by the tuple ``(0)``;
+* the query joins a truth assignment for ``X ∪ Y`` against the gate tables
+  to compute ``z`` = the truth value of the 3CNF matrix, and selects through
+  ``R6(z') × R5(z', z, 1)``: with ``z' = 1`` only satisfying assignments
+  project onto ``x̄``; once ``(0)`` enters ``R6``, *every* assignment does.
+
+``D`` is complete iff already with ``z' = 1`` all ``2ⁿ`` assignments of
+``X`` appear — i.e. iff ``∀X ∃Y ψ``.
+
+All columns use the finite Boolean domain, matching the paper's ``d_f``;
+this keeps the decider's valuation space at the (necessarily exponential)
+``2^{#variables}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.constraints.ind import InclusionDependency
+from repro.errors import ReproError
+from repro.queries.atoms import RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const, Var
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+from repro.solvers.qbf import ForallExists3SAT
+
+__all__ = ["ForallExistsRCDPInstance", "reduce_forall_exists_3sat_to_rcdp"]
+
+I01 = {(0,), (1,)}
+I_OR = {(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)}
+I_AND = {(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)}
+I_NOT = {(0, 1), (1, 0)}
+I_C = {(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 1)}
+
+
+@dataclass(frozen=True)
+class ForallExistsRCDPInstance:
+    """The RCDP instance produced by the reduction."""
+
+    formula: ForallExists3SAT
+    query: ConjunctiveQuery
+    database: Instance
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+
+def _bool_relation(name: str, arity: int) -> RelationSchema:
+    return RelationSchema(
+        name, [Attribute(f"c{i}", BOOLEAN) for i in range(arity)])
+
+
+def reduce_forall_exists_3sat_to_rcdp(
+        formula: ForallExists3SAT) -> ForallExistsRCDPInstance:
+    """Build the Theorem 3.6 RCDP instance for *formula*.
+
+    ``formula.is_true()`` iff the returned database is relatively complete
+    for the returned query.
+    """
+    if not formula.universal:
+        raise ReproError(
+            "the reduction needs at least one universally quantified "
+            "variable (the query head would otherwise be empty)")
+
+    schema = DatabaseSchema([
+        _bool_relation("R1", 1),   # Boolean domain
+        _bool_relation("R2", 3),   # ∨
+        _bool_relation("R3", 3),   # ∧
+        _bool_relation("R4", 2),   # ¬
+        _bool_relation("R5", 3),   # selector Ic
+        _bool_relation("R6", 1),   # switch
+    ])
+    master_schema = DatabaseSchema([
+        _bool_relation("Rm1", 1), _bool_relation("Rm2", 3),
+        _bool_relation("Rm3", 3), _bool_relation("Rm4", 2),
+        _bool_relation("Rm5", 3), _bool_relation("Rm6", 1),
+    ])
+    database = Instance(schema, {
+        "R1": I01, "R2": I_OR, "R3": I_AND, "R4": I_NOT, "R5": I_C,
+        "R6": {(1,)},
+    })
+    master = Instance(master_schema, {
+        "Rm1": I01, "Rm2": I_OR, "Rm3": I_AND, "Rm4": I_NOT, "Rm5": I_C,
+        "Rm6": I01,
+    })
+    constraints = tuple(
+        InclusionDependency(
+            f"R{i}", schema.relation(f"R{i}").attribute_names,
+            f"Rm{i}", master_schema.relation(f"Rm{i}").attribute_names,
+            name=f"R{i}⊆Rm{i}").to_containment_constraint(
+            schema, master_schema)
+        for i in range(1, 7))
+
+    query = _build_query(formula)
+    return ForallExistsRCDPInstance(
+        formula=formula, query=query, database=database, master=master,
+        constraints=constraints, schema=schema,
+        master_schema=master_schema)
+
+
+def _build_query(formula: ForallExists3SAT) -> ConjunctiveQuery:
+    """The CQ computing ψ's truth value and selecting via R6 × R5.
+
+    Variables: ``v<i>`` for each propositional variable ``i``; ``n<i>`` for
+    negated occurrences; ``g…`` for gate outputs; ``zp`` for the switch.
+    """
+    body: list[Any] = []
+    value: dict[int, Var] = {}
+    for variable in formula.matrix.variables:
+        value[variable] = Var(f"v{variable}")
+        body.append(RelAtom("R1", (value[variable],)))
+    negation: dict[int, Var] = {}
+
+    def literal_var(literal: int) -> Var:
+        variable = abs(literal)
+        if literal > 0:
+            return value[variable]
+        if variable not in negation:
+            negation[variable] = Var(f"n{variable}")
+            body.append(RelAtom(
+                "R4", (value[variable], negation[variable])))
+        return negation[variable]
+
+    gate_count = 0
+
+    def gate(table: str, left: Var, right: Var) -> Var:
+        nonlocal gate_count
+        output = Var(f"g{gate_count}")
+        gate_count += 1
+        body.append(RelAtom(table, (left, right, output)))
+        return output
+
+    clause_outputs: list[Var] = []
+    for clause in formula.matrix.clauses:
+        literals = [literal_var(l) for l in clause]
+        output = literals[0]
+        for lit in literals[1:]:
+            output = gate("R2", output, lit)
+        clause_outputs.append(output)
+
+    z = clause_outputs[0]
+    for output in clause_outputs[1:]:
+        z = gate("R3", z, output)
+
+    zp = Var("zp")
+    body.append(RelAtom("R6", (zp,)))
+    body.append(RelAtom("R5", (zp, z, Const(1))))
+
+    head = tuple(value[v] for v in formula.universal)
+    return ConjunctiveQuery(head, body, name="Q∀∃")

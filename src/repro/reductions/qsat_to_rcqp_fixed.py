@@ -1,0 +1,193 @@
+"""Corollary 4.6: hardness of RCQP with *fixed* master data and constraints.
+
+The paper proves RCQP(CQ, CQ) Σᵖ₃-complete for fixed ``(Dm, V)`` by a
+reduction from ∃∗∀∗∃∗-3SAT.  Its proof sketch, however, relies on a CQ
+subquery ``Q1`` that "returns q = 1 when ∃Z C1∧···∧Cr holds …, and q = 0
+otherwise" — a *non-monotone* behaviour (answering ``q = 0`` requires
+certifying that **no** ``Z`` works) that no conjunctive query can have: a
+CQ answer is always witnessed by a homomorphism, so ``(ȳ, 0)`` can only
+witness ``∃Z ¬ψ``, never ``∀Z ¬ψ``.  The preprint leaves ``Q1``
+underspecified at exactly this point.
+
+This module therefore implements the same machinery for the **∃∗∀∗
+fragment** (Σᵖ₂), which the construction does support: given
+``ϕ = ∃X ∀Y ψ(X, Y)`` with a 3CNF ψ, it produces *fixed* ``Dm`` and ``V``
+(independent of ϕ) plus a CQ ``Q`` such that
+
+    **RCQ(Q, Dm, V) is nonempty iff ϕ is true.**
+
+That still exhibits the headline phenomenon of Corollary 4.6 — fixing
+``(Dm, V)`` keeps RCQP well above the coNP of the IND case — with a
+construction that is executable and machine-checkable.  The deviation is
+recorded in DESIGN.md and EXPERIMENTS.md.
+
+Construction (mirroring the proof's ingredients):
+
+* Boolean gate tables ``R1..R4`` frozen by CCs against master copies;
+* ``RX(A, id)``: the stored ∃-assignment, with a key CC ``id → A``
+  (expressed as a CQ with empty target, as in the proof);
+* ``Rb(q, A)``: the probe relation; the fixed CC ``Rb(1, A) ⊆ Rmb`` bounds
+  the infinite tag column ``A`` only when ``q = 1``;
+* ``Q(ȳ, A)`` joins the stored assignment (``RX(x_i, i)``), a universal
+  assignment (``R1(y_j)``), the deterministic gate evaluation of ψ into
+  ``q``, and ``Rb(q, A)``.
+
+When ϕ is true, storing a winning ``X*`` with ``Rb = {(1, 0)}`` yields a
+complete database: ``q`` is forced to 1, so fresh ``Rb(0, a)`` tuples never
+produce answers and fresh ``Rb(1, a)`` tuples violate the CC.  When ϕ is
+false, every stored (or completable) assignment has a falsified universal
+branch, so a fresh ``Rb(0, a)`` tuple always mints a brand-new answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.ind import InclusionDependency
+from repro.errors import ReproError
+from repro.queries.atoms import Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const, Var
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+from repro.reductions.qsat_to_rcdp import I01, I_AND, I_NOT, I_OR
+from repro.solvers.qbf import ExistsForall3SAT
+
+__all__ = ["ExistsForallRCQPInstance", "reduce_exists_forall_3sat_to_rcqp"]
+
+
+@dataclass(frozen=True)
+class ExistsForallRCQPInstance:
+    """The fixed-(Dm, V) RCQP instance produced by the reduction."""
+
+    formula: ExistsForall3SAT
+    query: ConjunctiveQuery
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+    def witness_for(self, assignment: Mapping[int, bool]) -> Instance:
+        """The candidate complete database storing *assignment* for the
+        ∃-block (the proof's ``D``)."""
+        rx = {(int(assignment[v]), v) for v in self.formula.existential}
+        return Instance(self.schema, {
+            "R1": I01, "R2": I_OR, "R3": I_AND, "R4": I_NOT,
+            "RX": rx, "Rb": {(1, 0)},
+        })
+
+
+def _bool_relation(name: str, arity: int) -> RelationSchema:
+    return RelationSchema(
+        name, [Attribute(f"c{i}", BOOLEAN) for i in range(arity)])
+
+
+def reduce_exists_forall_3sat_to_rcqp(
+        formula: ExistsForall3SAT) -> ExistsForallRCQPInstance:
+    """Build the fixed-(Dm, V) RCQP instance for ``∃X ∀Y ψ``.
+
+    ``formula.is_true()`` iff ``RCQ(Q, Dm, V)`` is nonempty.
+    """
+    if not formula.universal:
+        raise ReproError("the reduction needs at least one universal "
+                         "variable")
+    schema = DatabaseSchema([
+        _bool_relation("R1", 1), _bool_relation("R2", 3),
+        _bool_relation("R3", 3), _bool_relation("R4", 2),
+        RelationSchema("RX", [Attribute("A", BOOLEAN), Attribute("id")]),
+        RelationSchema("Rb", [Attribute("q", BOOLEAN), Attribute("A")]),
+    ])
+    master_schema = DatabaseSchema([
+        _bool_relation("Rm1", 1), _bool_relation("Rm2", 3),
+        _bool_relation("Rm3", 3), _bool_relation("Rm4", 2),
+        RelationSchema("Rmb", ["A"]),
+        RelationSchema("Rme", ["z"]),
+    ])
+    master = Instance(master_schema, {
+        "Rm1": I01, "Rm2": I_OR, "Rm3": I_AND, "Rm4": I_NOT,
+        "Rmb": {(0,)},
+    })
+
+    constraints: list[ContainmentConstraint] = [
+        InclusionDependency(
+            f"R{i}", schema.relation(f"R{i}").attribute_names,
+            f"Rm{i}", master_schema.relation(f"Rm{i}").attribute_names,
+            name=f"R{i}⊆Rm{i}").to_containment_constraint(
+            schema, master_schema)
+        for i in range(1, 5)]
+    # V_key: id → A on RX, as a CQ with empty target (full-variable head,
+    # as in Proposition 2.1).
+    a1, a2, i = Var("a1"), Var("a2"), Var("i")
+    key_query = ConjunctiveQuery(
+        (a1, i, a2, i),
+        [RelAtom("RX", (a1, i)), RelAtom("RX", (a2, i)), Neq(a1, a2)],
+        name="q[Vkey]")
+    constraints.append(ContainmentConstraint(
+        key_query, Projection.empty(), name="Vkey"))
+    # q_b: Rb(1, A) ⊆ Rmb — the probe column is bounded only when q = 1.
+    a = Var("a")
+    probe_query = ConjunctiveQuery(
+        (a,), [RelAtom("Rb", (Const(1), a))], name="q[qb]")
+    constraints.append(ContainmentConstraint(
+        probe_query, Projection.on("Rmb", [0]), name="qb"))
+
+    query = _build_query(formula)
+    return ExistsForallRCQPInstance(
+        formula=formula, query=query, master=master,
+        constraints=tuple(constraints), schema=schema,
+        master_schema=master_schema)
+
+
+def _build_query(formula: ExistsForall3SAT) -> ConjunctiveQuery:
+    """``Q(ȳ, A)``: stored ∃-assignment ⋈ universal assignment ⋈ gate
+    evaluation of ψ into ``q`` ⋈ ``Rb(q, A)``."""
+    body: list[Any] = []
+    value: dict[int, Var] = {}
+    for v in formula.existential:
+        value[v] = Var(f"x{v}")
+        body.append(RelAtom("RX", (value[v], Const(v))))
+    for v in formula.universal:
+        value[v] = Var(f"y{v}")
+        body.append(RelAtom("R1", (value[v],)))
+
+    negation: dict[int, Var] = {}
+
+    def literal_var(literal: int) -> Var:
+        variable = abs(literal)
+        if literal > 0:
+            return value[variable]
+        if variable not in negation:
+            negation[variable] = Var(f"n{variable}")
+            body.append(RelAtom(
+                "R4", (value[variable], negation[variable])))
+        return negation[variable]
+
+    gate_count = 0
+
+    def gate(table: str, left: Var, right: Var) -> Var:
+        nonlocal gate_count
+        output = Var(f"g{gate_count}")
+        gate_count += 1
+        body.append(RelAtom(table, (left, right, output)))
+        return output
+
+    clause_outputs = []
+    for clause in formula.matrix.clauses:
+        literals = [literal_var(l) for l in clause]
+        output = literals[0]
+        for lit in literals[1:]:
+            output = gate("R2", output, lit)
+        clause_outputs.append(output)
+    q = clause_outputs[0]
+    for output in clause_outputs[1:]:
+        q = gate("R3", q, output)
+
+    tag = Var("Atag")
+    body.append(RelAtom("Rb", (q, tag)))
+    head = tuple(value[v] for v in formula.universal) + (tag,)
+    return ConjunctiveQuery(head, body, name="Q∃∀")

@@ -1,0 +1,123 @@
+"""Theorem 4.5(1) lower bound: 3SAT ⟶ complement of RCQP(CQ, INDs).
+
+Given a 3SAT instance ``φ = C1 ∧ ... ∧ Cr`` over variables ``x1..xn``, the
+construction produces fixed master data ``Dm``, fixed INDs ``V``, and a CQ
+``Q`` such that **φ is satisfiable iff RCQ(Q, Dm, V) is empty**.
+
+Following the proof:
+
+* ``Rt(x, x̄)`` is bounded by master ``Rmt = {(0,1), (1,0)}`` — its tuples
+  are consistent (value, complement) pairs;
+* ``R∨(l1, l2, l3)`` is bounded by the seven satisfying rows of a 3-clause;
+* ``R(A, x1, x̄1, ..., xn, x̄n)`` carries a truth assignment tagged by an
+  **unconstrained infinite-domain attribute** ``A``;
+* ``Q(z)`` returns the tag of every stored assignment that satisfies φ.
+
+If φ is satisfiable, any candidate complete database can be extended with a
+fresh tag on a satisfying assignment, changing the answer — no relatively
+complete database exists.  If φ is unsatisfiable, ``Q`` is constant-empty
+and the empty database is complete.
+
+The output variable ``z`` has an infinite domain and no IND covers it, so
+the syntactic decider (conditions E3/E4) answers exactly along this line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.constraints.ind import InclusionDependency
+from repro.queries.atoms import RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Var
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+from repro.solvers.sat import CNF
+
+__all__ = ["SatRCQPInstance", "reduce_3sat_to_rcqp"]
+
+# The seven satisfying assignments of l1 ∨ l2 ∨ l3.
+I_SAT3 = {(a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)
+          if a or b or c}
+I_T = {(0, 1), (1, 0)}
+
+
+@dataclass(frozen=True)
+class SatRCQPInstance:
+    """The RCQP instance produced by the reduction."""
+
+    cnf: CNF
+    query: ConjunctiveQuery
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+
+def reduce_3sat_to_rcqp(cnf: CNF) -> SatRCQPInstance:
+    """Build the Theorem 4.5(1) RCQP instance for *cnf*.
+
+    ``dpll_satisfiable(cnf) is not None`` iff ``RCQ(Q, Dm, V)`` is empty.
+    Clauses must have (up to) three literals; wider clauses are rejected by
+    the ``R∨`` arity.
+    """
+    n = cnf.num_variables
+    assignment_columns: list[Attribute] = [Attribute("A")]
+    for v in range(1, n + 1):
+        assignment_columns.append(Attribute(f"x{v}", BOOLEAN))
+        assignment_columns.append(Attribute(f"nx{v}", BOOLEAN))
+    schema = DatabaseSchema([
+        RelationSchema("Rt", [Attribute("x", BOOLEAN),
+                              Attribute("xbar", BOOLEAN)]),
+        RelationSchema("Ror", [Attribute(f"l{i}", BOOLEAN)
+                               for i in (1, 2, 3)]),
+        RelationSchema("R", assignment_columns),
+    ])
+    master_schema = DatabaseSchema([
+        RelationSchema("Rmt", [Attribute("x", BOOLEAN),
+                               Attribute("xbar", BOOLEAN)]),
+        RelationSchema("Rmor", [Attribute(f"l{i}", BOOLEAN)
+                                for i in (1, 2, 3)]),
+    ])
+    master = Instance(master_schema, {"Rmt": I_T, "Rmor": I_SAT3})
+    constraints = (
+        InclusionDependency(
+            "Rt", ("x", "xbar"), "Rmt", ("x", "xbar"),
+            name="Rt⊆Rmt").to_containment_constraint(schema, master_schema),
+        InclusionDependency(
+            "Ror", ("l1", "l2", "l3"), "Rmor", ("l1", "l2", "l3"),
+            name="R∨⊆Rm∨").to_containment_constraint(schema, master_schema),
+    )
+
+    body: list[Any] = []
+    z = Var("z")
+    positive = {v: Var(f"p{v}") for v in range(1, n + 1)}
+    negative = {v: Var(f"m{v}") for v in range(1, n + 1)}
+    assignment_terms: list[Any] = [z]
+    for v in range(1, n + 1):
+        assignment_terms.extend((positive[v], negative[v]))
+    body.append(RelAtom("R", assignment_terms))
+    for v in range(1, n + 1):
+        body.append(RelAtom("Rt", (positive[v], negative[v])))
+
+    def literal_term(literal: int) -> Var:
+        return positive[abs(literal)] if literal > 0 \
+            else negative[abs(literal)]
+
+    for clause in cnf.clauses:
+        literals = list(clause)
+        if len(literals) > 3:
+            raise ValueError("the reduction encodes 3-clauses only")
+        while len(literals) < 3:
+            literals.append(literals[-1])  # pad by repetition
+        body.append(RelAtom("Ror", tuple(
+            literal_term(l) for l in literals)))
+
+    query = ConjunctiveQuery((z,), body, name="Q3SAT")
+    return SatRCQPInstance(
+        cnf=cnf, query=query, master=master, constraints=constraints,
+        schema=schema, master_schema=master_schema)

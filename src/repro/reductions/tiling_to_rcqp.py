@@ -1,0 +1,377 @@
+"""Theorem 4.5(2) lower bound: 2ⁿ×2ⁿ-TILING ⟶ RCQP(CQ, CQ).
+
+Given a tiling instance (tiles ``T``, compatibility relations ``V``/``H``,
+first tile ``t0``, exponent ``n``), the construction produces master data,
+CQ containment constraints, and a CQ query such that **a tiling exists iff
+RCQ(Q, Dm, V) is nonempty**.
+
+Following the proof (Dantsin & Voronkov 1997 via the paper):
+
+* ``R1(id, X1, X2, X3, X4, Z)`` stores rank-1 hypertiles (2×2 squares of
+  tiles) under unique ids, with ``Z`` the top-left tile;
+* ``Ri(id, id1..id4, id12, id13, id24, id34, id1234, Z)`` for ``i ≥ 2``
+  stores rank-i hypertiles as quadruples of rank-(i-1) ids, plus the five
+  *seam* hypertiles that overlap the quadrants and enforce internal
+  compatibility;
+* key CCs make ``id`` a key per rank; projection CCs bound tiles by the
+  master tile set and enforce V/H compatibility inside rank-1 hypertiles;
+  join CCs (CQ, empty target) enforce the seam equations at higher ranks;
+* the *probe* relation ``Rb(w)`` has an infinite column; the final CC
+  ``q(w) = [∃ rank-n hypertile with Z = t0, traceable to rank 1] ∧ Rb(w)
+  ⊆ Rmb`` bounds ``Rb`` **only when a tiling exists**.
+
+``Q`` simply returns ``Rb``: when a tiling exists, a database storing its
+hypertile decomposition plus ``Rb = {(0)}`` is complete (new probes violate
+the final CC); otherwise ``Rb`` is unbounded and no database is complete.
+
+The seam equations are the paper's, with its evident typos normalized to
+the geometric reading: for a rank-i hypertile ``(T1 T2 / T3 T4)`` with
+``Tk = (a, b, c, d)`` quadrants of rank i-1,
+
+* ``id12`` (top seam)        = (T1.b, T2.a, T1.d, T2.c)
+* ``id13`` (left seam)       = (T1.c, T1.d, T3.a, T3.b)
+* ``id24`` (right seam)      = (T2.c, T2.d, T4.a, T4.b)
+* ``id34`` (bottom seam)     = (T3.b, T4.a, T3.d, T4.c)
+* ``id1234`` (center)        = (T1.d, T2.c, T3.b, T4.a)
+
+Because a seam hypertile must itself be stored (and thus internally
+compatible, recursively), all adjacency constraints across quadrant borders
+are enforced.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ReproError
+from repro.queries.atoms import Eq, Neq, RelAtom
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const, Var
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+from repro.solvers.tiling import TilingInstance
+
+__all__ = ["TilingRCQPInstance", "reduce_tiling_to_rcqp"]
+
+# Seam equations: each seam id maps to the quadrant cells it is built from,
+# as (quadrant index 1..4, cell index 0..3 for (a, b, c, d)).
+_SEAMS: dict[str, tuple[tuple[int, int], ...]] = {
+    "id12": ((1, 1), (2, 0), (1, 3), (2, 2)),
+    "id13": ((1, 2), (1, 3), (3, 0), (3, 1)),
+    "id24": ((2, 2), (2, 3), (4, 0), (4, 1)),
+    "id34": ((3, 1), (4, 0), (3, 3), (4, 2)),
+    "id1234": ((1, 3), (2, 2), (3, 1), (4, 0)),
+}
+
+_HIGH_RANK_COLUMNS = ("id", "id1", "id2", "id3", "id4",
+                      "id12", "id13", "id24", "id34", "id1234", "Z")
+
+
+@dataclass(frozen=True)
+class TilingRCQPInstance:
+    """The RCQP instance produced by the reduction."""
+
+    tiling: TilingInstance
+    query: ConjunctiveQuery
+    master: Instance
+    constraints: tuple[ContainmentConstraint, ...]
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+
+    def witness_from_grid(self, grid: Sequence[Sequence[int]]) -> Instance:
+        """Build the candidate complete database from a solved grid:
+        every aligned *and seam* hypertile of every rank, plus
+        ``Rb = {(0)}``."""
+        return _witness_from_grid(self, grid)
+
+    def empty_candidate(self) -> Instance:
+        """A partially closed database with no hypertiles and one probe."""
+        return Instance(self.schema, {"Rb": {(0,)}}, validate=False)
+
+
+def _key_constraints(relation: str, columns: Sequence[str], key: str,
+                     prefix: str) -> list[ContainmentConstraint]:
+    """``key → column`` CCs (one per non-key column), empty target."""
+    constraints = []
+    for column in columns:
+        if column == key:
+            continue
+        vars1 = {c: Var(f"{prefix}.{column}.t1.{c}") for c in columns}
+        vars2 = {c: Var(f"{prefix}.{column}.t2.{c}") for c in columns}
+        vars2[key] = vars1[key]
+        body = [
+            RelAtom(relation, tuple(vars1[c] for c in columns)),
+            RelAtom(relation, tuple(vars2[c] for c in columns)),
+            Neq(vars1[column], vars2[column]),
+        ]
+        head = tuple(vars1[c] for c in columns) + tuple(
+            vars2[c] for c in columns)
+        query = ConjunctiveQuery(
+            head, body, name=f"q[{prefix}.key.{column}]")
+        constraints.append(ContainmentConstraint(
+            query, Projection.empty(), name=f"{prefix}.key.{column}"))
+    return constraints
+
+
+def _projection_cc(relation: str, columns: Sequence[str],
+                   projected: Sequence[str], target: str,
+                   target_columns: Sequence[int],
+                   name: str) -> ContainmentConstraint:
+    """``π_projected(relation) ⊆ π_target_columns(target)`` as a CC."""
+    variables = {c: Var(f"{name}.{c}") for c in columns}
+    body = [RelAtom(relation, tuple(variables[c] for c in columns))]
+    head = tuple(variables[c] for c in projected)
+    query = ConjunctiveQuery(head, body, name=f"q[{name}]")
+    return ContainmentConstraint(
+        query, Projection.on(target, target_columns), name=name)
+
+
+def reduce_tiling_to_rcqp(tiling: TilingInstance) -> TilingRCQPInstance:
+    """Build the Theorem 4.5(2) RCQP instance for *tiling*.
+
+    A tiling exists iff ``RCQ(Q, Dm, V)`` is nonempty.  The exponent must
+    be ≥ 1 (the paper's boards are at least 2×2).
+    """
+    n = tiling.exponent
+    if n < 1:
+        raise ReproError("the reduction needs exponent ≥ 1")
+
+    rank1_columns = ("id", "X1", "X2", "X3", "X4", "Z")
+    relations = [RelationSchema("R1", [Attribute(c) for c in
+                                       rank1_columns])]
+    for i in range(2, n + 1):
+        relations.append(RelationSchema(
+            f"R{i}", [Attribute(c) for c in _HIGH_RANK_COLUMNS]))
+    relations.append(RelationSchema("Rb", ["w"]))
+    schema = DatabaseSchema(relations)
+
+    master_schema = DatabaseSchema([
+        RelationSchema("RmT", ["t"]),
+        RelationSchema("RmV", ["a", "b"]),
+        RelationSchema("RmH", ["a", "b"]),
+        RelationSchema("Rmb", ["w"]),
+        RelationSchema("Rme", ["z"]),
+    ])
+    master = Instance(master_schema, {
+        "RmT": {(t,) for t in tiling.tiles},
+        "RmV": set(tiling.vertical),
+        "RmH": set(tiling.horizontal),
+        "Rmb": {(0,)},
+    })
+
+    constraints: list[ContainmentConstraint] = []
+    # Rank-1 well-formedness: tiles in RmT, internal V/H compatibility,
+    # Z equals the top-left tile, id is a key.
+    for column in ("X1", "X2", "X3", "X4", "Z"):
+        constraints.append(_projection_cc(
+            "R1", rank1_columns, (column,), "RmT", (0,),
+            name=f"R1.{column}⊆T"))
+    for pair, target in ((("X1", "X3"), "RmV"), (("X2", "X4"), "RmV"),
+                         (("X1", "X2"), "RmH"), (("X3", "X4"), "RmH")):
+        constraints.append(_projection_cc(
+            "R1", rank1_columns, pair, target, (0, 1),
+            name=f"R1.{pair[0]}{pair[1]}⊆{target[-1]}"))
+    # V_topl: X1 ≠ Z is forbidden.
+    v1 = {c: Var(f"topl.{c}") for c in rank1_columns}
+    constraints.append(ContainmentConstraint(
+        ConjunctiveQuery(
+            tuple(v1[c] for c in rank1_columns),
+            [RelAtom("R1", tuple(v1[c] for c in rank1_columns)),
+             Neq(v1["X1"], v1["Z"])],
+            name="q[topl1]"),
+        Projection.empty(), name="R1.topl"))
+    constraints.extend(_key_constraints("R1", rank1_columns, "id", "R1"))
+
+    # Higher ranks: id keys, seam equations, Z propagation.
+    for i in range(2, n + 1):
+        constraints.extend(_key_constraints(
+            f"R{i}", _HIGH_RANK_COLUMNS, "id", f"R{i}"))
+        constraints.extend(_seam_constraints(i))
+        constraints.append(_z_propagation_constraint(i))
+
+    # The final CC: a traceable rank-n hypertile with Z = t0 bounds Rb.
+    constraints.append(_probe_constraint(tiling, n))
+
+    w = Var("w")
+    query = ConjunctiveQuery((w,), [RelAtom("Rb", (w,))], name="Qtiling")
+    return TilingRCQPInstance(
+        tiling=tiling, query=query, master=master,
+        constraints=tuple(constraints), schema=schema,
+        master_schema=master_schema)
+
+
+def _sub_columns(rank: int) -> tuple[str, ...]:
+    """The four 'quadrant cell' columns of a rank-*rank* row."""
+    if rank == 1:
+        return ("X1", "X2", "X3", "X4")
+    return ("id1", "id2", "id3", "id4")
+
+
+def _row_columns(rank: int) -> tuple[str, ...]:
+    return _HIGH_RANK_COLUMNS if rank > 1 else \
+        ("id", "X1", "X2", "X3", "X4", "Z")
+
+
+def _seam_constraints(i: int) -> list[ContainmentConstraint]:
+    """For each seam column of ``Ri`` and each of its four cells: the seam
+    hypertile's cell must equal the corresponding quadrant cell.
+
+    Emitted as CCs with empty target: *violations* (≠) are forbidden.
+    """
+    constraints = []
+    lower = i - 1
+    lower_rel = f"R{lower}"
+    lower_cols = _row_columns(lower)
+    sub_cols = _sub_columns(lower)
+    for seam, cells in _SEAMS.items():
+        for cell_index, (quadrant, sub_cell) in enumerate(cells):
+            prefix = f"R{i}.{seam}.{cell_index}"
+            t = {c: Var(f"{prefix}.t.{c}") for c in _HIGH_RANK_COLUMNS}
+            s1 = {c: Var(f"{prefix}.q.{c}") for c in lower_cols}
+            s2 = {c: Var(f"{prefix}.s.{c}") for c in lower_cols}
+            # join: quadrant row via id_{quadrant}, seam row via seam id
+            s1["id"] = t[f"id{quadrant}"]
+            s2["id"] = t[seam]
+            body = [
+                RelAtom(f"R{i}",
+                        tuple(t[c] for c in _HIGH_RANK_COLUMNS)),
+                RelAtom(lower_rel, tuple(s1[c] for c in lower_cols)),
+                RelAtom(lower_rel, tuple(s2[c] for c in lower_cols)),
+                Neq(s2[sub_cols[cell_index]], s1[sub_cols[sub_cell]]),
+            ]
+            head = tuple(t[c] for c in _HIGH_RANK_COLUMNS)
+            query = ConjunctiveQuery(head, body, name=f"q[{prefix}]")
+            constraints.append(ContainmentConstraint(
+                query, Projection.empty(), name=prefix))
+    return constraints
+
+
+def _z_propagation_constraint(i: int) -> ContainmentConstraint:
+    """``Ri.Z`` must equal the ``Z`` of the first quadrant (recursively
+    the top-left tile)."""
+    lower_cols = _row_columns(i - 1)
+    t = {c: Var(f"R{i}.z.t.{c}") for c in _HIGH_RANK_COLUMNS}
+    s = {c: Var(f"R{i}.z.s.{c}") for c in lower_cols}
+    s["id"] = t["id1"]
+    body = [
+        RelAtom(f"R{i}", tuple(t[c] for c in _HIGH_RANK_COLUMNS)),
+        RelAtom(f"R{i - 1}", tuple(s[c] for c in lower_cols)),
+        Neq(t["Z"], s["Z"]),
+    ]
+    query = ConjunctiveQuery(
+        tuple(t[c] for c in _HIGH_RANK_COLUMNS), body, name=f"q[R{i}.z]")
+    return ContainmentConstraint(query, Projection.empty(), name=f"R{i}.z")
+
+
+def _probe_constraint(tiling: TilingInstance, n: int,
+                      ) -> ContainmentConstraint:
+    """``q(w) = [∃ rank-n row, all sub-ids joined down to rank 1,
+    Z = t0] ∧ Rb(w) ⊆ Rmb``.
+
+    The paper's ``Qs`` chain selects rank-i rows whose identifiers appear
+    at rank i-1; joining every id column of every rank down to rank 1 has
+    the same effect for the purposes of the probe (a traceable hypertile
+    witnesses the CC firing).
+    """
+    body: list[Any] = []
+    counter = itertools.count()
+
+    def join_down(rank: int, id_var: Var) -> None:
+        """Require the row with id *id_var* to exist at *rank*, and
+        recursively trace its sub-ids."""
+        columns = _row_columns(rank)
+        row = {c: Var(f"probe.{rank}.{next(counter)}.{c}")
+               for c in columns}
+        row["id"] = id_var
+        body.append(RelAtom(f"R{rank}",
+                            tuple(row[c] for c in columns)))
+        if rank > 1:
+            for column in ("id1", "id2", "id3", "id4", "id12", "id13",
+                           "id24", "id34", "id1234"):
+                join_down(rank - 1, row[column])
+
+    top_columns = _row_columns(n)
+    top = {c: Var(f"probe.top.{c}") for c in top_columns}
+    body.append(RelAtom(f"R{n}", tuple(top[c] for c in top_columns)))
+    body.append(Eq(top["Z"], Const(tiling.first_tile)))
+    if n > 1:
+        for column in ("id1", "id2", "id3", "id4", "id12", "id13",
+                       "id24", "id34", "id1234"):
+            join_down(n - 1, top[column])
+    w = Var("probe.w")
+    body.append(RelAtom("Rb", (w,)))
+    query = ConjunctiveQuery((w,), body, name="q[probe]")
+    return ContainmentConstraint(query, Projection.on("Rmb", (0,)),
+                                 name="probe")
+
+
+# ---------------------------------------------------------------------------
+# Witness construction from a solved grid
+# ---------------------------------------------------------------------------
+
+
+def _witness_from_grid(instance: TilingRCQPInstance,
+                       grid: Sequence[Sequence[int]]) -> Instance:
+    """Store every hypertile (aligned and seam-shifted) of every rank.
+
+    Hypertile ids are canonical: the tuple of the 2×2 sub-ids (tiles at
+    rank 1), so identical squares share one id and the key CCs hold by
+    construction.
+    """
+    tiling = instance.tiling
+    n = tiling.exponent
+    side = tiling.side
+
+    # square(rank) maps top-left coordinates (i, j) to the hypertile id of
+    # the 2^rank × 2^rank square anchored there (only anchors whose square
+    # fits on the board).
+    contents: dict[str, set[tuple]] = {f"R{r}": set()
+                                       for r in range(1, n + 1)}
+    contents["Rb"] = {(0,)}
+
+    ids: dict[tuple[int, int, int], Any] = {}  # (rank, i, j) -> id
+
+    def square_id(rank: int, i: int, j: int) -> Any:
+        key = (rank, i, j)
+        if key in ids:
+            return ids[key]
+        half = 2 ** (rank - 1)
+        if rank == 1:
+            quadrants = (grid[i][j], grid[i][j + 1],
+                         grid[i + 1][j], grid[i + 1][j + 1])
+            identifier = ("h1",) + quadrants
+            row = (identifier,) + quadrants + (grid[i][j],)
+        else:
+            quadrants = (
+                square_id(rank - 1, i, j),
+                square_id(rank - 1, i, j + half),
+                square_id(rank - 1, i + half, j),
+                square_id(rank - 1, i + half, j + half),
+            )
+            seams = (
+                square_id(rank - 1, i, j + half // 2),
+                square_id(rank - 1, i + half // 2, j),
+                square_id(rank - 1, i + half // 2, j + half),
+                square_id(rank - 1, i + half, j + half // 2),
+                square_id(rank - 1, i + half // 2, j + half // 2),
+            ) if rank >= 2 else ()
+            identifier = (f"h{rank}",) + quadrants
+            row = (identifier,) + quadrants + seams + (grid[i][j],)
+        ids[key] = identifier
+        contents[f"R{rank}"].add(row)
+        return identifier
+
+    # Materialize every anchored square of every rank (so that all seam
+    # squares referenced at rank r+1 exist at rank r).
+    for rank in range(1, n + 1):
+        size = 2 ** rank
+        for i in range(side - size + 1):
+            for j in range(side - size + 1):
+                square_id(rank, i, j)
+
+    return Instance(instance.schema, contents, validate=False)

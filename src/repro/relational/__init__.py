@@ -1,0 +1,22 @@
+"""Relational substrate: domains, schemas, and set-semantics instances."""
+
+from repro.relational.domain import (BOOLEAN, FiniteDomain, FreshValue,
+                                     FreshValueSupply, INFINITE,
+                                     InfiniteDomain, is_fresh)
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+__all__ = [
+    "Attribute",
+    "BOOLEAN",
+    "DatabaseSchema",
+    "FiniteDomain",
+    "FreshValue",
+    "FreshValueSupply",
+    "INFINITE",
+    "InfiniteDomain",
+    "Instance",
+    "RelationSchema",
+    "is_fresh",
+]

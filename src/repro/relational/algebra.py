@@ -1,0 +1,269 @@
+"""A small relational algebra over named relations.
+
+The paper phrases several constructions algebraically ("take the product
+``R6 × T``", "π_x̄(...)", "σ_{X1 ≠ Z}(R1)"); this module provides those
+operators directly, both as a convenience for users who think in algebra
+and as an independent evaluation path the tests use to cross-validate the
+CQ engine (select–project–join expressions and their CQ renderings must
+agree on random instances).
+
+Expressions are immutable trees over *named columns*; evaluation against an
+:class:`~repro.relational.instance.Instance` yields a
+:class:`NamedRelation` (a schema-of-names plus a set of rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import EvaluationError, SchemaError
+from repro.relational.instance import Instance
+
+__all__ = ["NamedRelation", "Expression", "Relation", "Selection",
+           "Projection", "Rename", "NaturalJoin", "Product", "Union",
+           "Difference", "scan", "select_eq", "select_neq"]
+
+
+@dataclass(frozen=True)
+class NamedRelation:
+    """An evaluation result: column names plus rows."""
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple]
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate columns in {self.columns}")
+
+    def index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise EvaluationError(
+                f"no column {column!r}; available {self.columns}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_set_of_dicts(self) -> set[tuple]:
+        """Rows as sorted (column, value) tuples — order-insensitive."""
+        return {tuple(sorted(zip(self.columns, row)))
+                for row in self.rows}
+
+
+class Expression:
+    """Base class of algebra expression nodes."""
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        raise NotImplementedError
+
+    # Fluent combinators -------------------------------------------------
+
+    def where(self, predicate: "Callable[[dict], bool]",
+              description: str = "λ") -> "Selection":
+        return Selection(self, predicate, description)
+
+    def project(self, columns: Sequence[str]) -> "Projection":
+        return Projection(self, tuple(columns))
+
+    def rename(self, mapping: dict[str, str]) -> "Rename":
+        return Rename(self, dict(mapping))
+
+    def join(self, other: "Expression") -> "NaturalJoin":
+        return NaturalJoin(self, other)
+
+    def product(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Expression") -> "Difference":
+        return Difference(self, other)
+
+
+@dataclass(frozen=True)
+class Relation(Expression):
+    """A base-relation scan; columns default to the schema's names."""
+
+    name: str
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        schema = instance.schema.relation(self.name)
+        return NamedRelation(schema.attribute_names,
+                             instance.relation(self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Selection(Expression):
+    """``σ_predicate(child)`` — the predicate sees a column→value dict."""
+
+    child: Expression
+    predicate: Callable[[dict], bool]
+    description: str = "λ"
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        child = self.child.evaluate(instance)
+        rows = frozenset(
+            row for row in child.rows
+            if self.predicate(dict(zip(child.columns, row))))
+        return NamedRelation(child.columns, rows)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.description}]({self.child!r})"
+
+
+def select_eq(child: Expression, column: str, value: Any) -> Selection:
+    """``σ_{column = value}``."""
+    return Selection(child, lambda row: row[column] == value,
+                     description=f"{column}={value!r}")
+
+
+def select_neq(child: Expression, column: str, value: Any) -> Selection:
+    """``σ_{column ≠ value}``."""
+    return Selection(child, lambda row: row[column] != value,
+                     description=f"{column}≠{value!r}")
+
+
+@dataclass(frozen=True)
+class Projection(Expression):
+    """``π_columns(child)`` (set semantics: duplicates collapse)."""
+
+    child: Expression
+    columns: tuple[str, ...]
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        child = self.child.evaluate(instance)
+        indices = [child.index_of(c) for c in self.columns]
+        rows = frozenset(
+            tuple(row[i] for i in indices) for row in child.rows)
+        return NamedRelation(self.columns, rows)
+
+    def __repr__(self) -> str:
+        return f"π[{', '.join(self.columns)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Rename(Expression):
+    """``ρ_{old→new}(child)``."""
+
+    child: Expression
+    mapping: dict[str, str]
+
+    def __init__(self, child: Expression, mapping: dict[str, str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping", dict(mapping))
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        child = self.child.evaluate(instance)
+        columns = tuple(self.mapping.get(c, c) for c in child.columns)
+        return NamedRelation(columns, child.rows)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}→{b}" for a, b in self.mapping.items())
+        return f"ρ[{inner}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Expression):
+    """``child ⋈ other`` on all shared column names."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        shared = [c for c in left.columns if c in right.columns]
+        right_only = [c for c in right.columns if c not in shared]
+        left_key = [left.index_of(c) for c in shared]
+        right_key = [right.index_of(c) for c in shared]
+        right_rest = [right.index_of(c) for c in right_only]
+
+        by_key: dict[tuple, list[tuple]] = {}
+        for row in right.rows:
+            key = tuple(row[i] for i in right_key)
+            by_key.setdefault(key, []).append(
+                tuple(row[i] for i in right_rest))
+
+        rows = set()
+        for row in left.rows:
+            key = tuple(row[i] for i in left_key)
+            for rest in by_key.get(key, ()):
+                rows.add(row + rest)
+        return NamedRelation(left.columns + tuple(right_only),
+                             frozenset(rows))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Product(Expression):
+    """``child × other``; column names must be disjoint."""
+
+    left: Expression
+    right: Expression
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        clash = set(left.columns) & set(right.columns)
+        if clash:
+            raise EvaluationError(
+                f"product columns clash: {sorted(clash)}; rename first")
+        rows = frozenset(l + r for l in left.rows for r in right.rows)
+        return NamedRelation(left.columns + right.columns, rows)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+class _SetOperation(Expression):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expression, right: Expression) -> None:
+        self.left = left
+        self.right = right
+
+    def _operands(self, instance: Instance
+                  ) -> tuple[NamedRelation, NamedRelation]:
+        left = self.left.evaluate(instance)
+        right = self.right.evaluate(instance)
+        if len(left.columns) != len(right.columns):
+            raise EvaluationError(
+                f"set operation arity mismatch: {left.columns} vs "
+                f"{right.columns}")
+        return left, right
+
+
+class Union(_SetOperation):
+    """``child ∪ other`` (columns taken from the left operand)."""
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        left, right = self._operands(instance)
+        return NamedRelation(left.columns, left.rows | right.rows)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+class Difference(_SetOperation):
+    """``child − other``."""
+
+    def evaluate(self, instance: Instance) -> NamedRelation:
+        left, right = self._operands(instance)
+        return NamedRelation(left.columns, left.rows - right.rows)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+def scan(name: str) -> Relation:
+    """Shorthand for :class:`Relation`."""
+    return Relation(name)

@@ -1,0 +1,205 @@
+"""Database instances under set semantics.
+
+An instance ``D = (I1, ..., In)`` of a schema ``R`` maps each relation name
+to a frozen set of tuples.  Instances are immutable; all operations
+(:meth:`Instance.union`, :meth:`Instance.with_tuples`, ...) return new
+instances.  Containment ``D ⊆ D'`` (relation-wise) is the paper's notion of
+*extension* (Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.schema import DatabaseSchema
+
+__all__ = ["Instance"]
+
+Row = tuple
+
+
+class Instance:
+    """An immutable database instance of a :class:`DatabaseSchema`.
+
+    Relations not mentioned in *contents* are empty.  Every tuple is
+    validated against its relation schema (arity and domains) on
+    construction, so downstream algorithms can assume well-formed data.
+    """
+
+    __slots__ = ("schema", "_relations")
+
+    def __init__(self, schema: DatabaseSchema,
+                 contents: Mapping[str, Iterable[Row]] | None = None,
+                 *, validate: bool = True) -> None:
+        if not isinstance(schema, DatabaseSchema):
+            raise SchemaError(
+                f"expected DatabaseSchema, got {type(schema).__name__}")
+        self.schema = schema
+        relations: dict[str, frozenset[Row]] = {
+            name: frozenset() for name in schema.relation_names}
+        if contents:
+            for name, rows in contents.items():
+                rel = schema.relation(name)
+                frozen = frozenset(tuple(row) for row in rows)
+                if validate:
+                    for row in frozen:
+                        rel.validate_tuple(row)
+                relations[name] = frozen
+        self._relations = relations
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "Instance":
+        """The empty instance of *schema*."""
+        return cls(schema)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def relation(self, name: str) -> frozenset[Row]:
+        """Return the set of tuples of relation *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"instance schema has no relation {name!r}") from None
+
+    def __getitem__(self, name: str) -> frozenset[Row]:
+        return self.relation(name)
+
+    def __iter__(self) -> Iterator[tuple[str, frozenset[Row]]]:
+        return iter(self._relations.items())
+
+    @property
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def is_empty(self) -> bool:
+        """True when every relation is empty."""
+        return all(not rows for rows in self._relations.values())
+
+    def active_domain(self) -> frozenset[Any]:
+        """All constants appearing in any tuple of the instance."""
+        values: set[Any] = set()
+        for rows in self._relations.values():
+            for row in rows:
+                values.update(row)
+        return frozenset(values)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def contains(self, other: "Instance") -> bool:
+        """True when ``other ⊆ self`` relation-wise.
+
+        Both instances must share relation names (schemas need not be
+        identical objects, only compatible).
+        """
+        for name, rows in other._relations.items():
+            if rows and not rows <= self._relations.get(name, frozenset()):
+                return False
+        return True
+
+    def is_extension_of(self, other: "Instance") -> bool:
+        """True when ``self ⊇ other``; the paper's *extension* relation."""
+        return self.contains(other)
+
+    def union(self, other: "Instance") -> "Instance":
+        """Relation-wise union; schemas are merged."""
+        schema = self.schema.merged_with(other.schema)
+        merged: dict[str, set[Row]] = {
+            name: set(rows) for name, rows in self._relations.items()}
+        for name, rows in other._relations.items():
+            merged.setdefault(name, set()).update(rows)
+        return Instance(schema, merged, validate=False)
+
+    def with_tuples(self, name: str, rows: Iterable[Row]) -> "Instance":
+        """Return a new instance with *rows* added to relation *name*."""
+        rel = self.schema.relation(name)
+        new_rows = set(self._relations[name])
+        for row in rows:
+            row = tuple(row)
+            rel.validate_tuple(row)
+            new_rows.add(row)
+        contents = dict(self._relations)
+        contents[name] = frozenset(new_rows)
+        return Instance(self.schema, contents, validate=False)
+
+    def with_facts(self, facts: Iterable[tuple[str, Row]]) -> "Instance":
+        """Return a new instance extended with ``(relation, row)`` facts."""
+        grouped: dict[str, set[Row]] = {}
+        for name, row in facts:
+            grouped.setdefault(name, set()).add(tuple(row))
+        result = self
+        for name, rows in grouped.items():
+            result = result.with_tuples(name, rows)
+        return result
+
+    def restricted_to(self, names: Iterable[str]) -> "Instance":
+        """Project the instance onto a subset of its relations."""
+        names = set(names)
+        schema = DatabaseSchema(
+            rel for rel in self.schema if rel.name in names)
+        contents = {name: rows for name, rows in self._relations.items()
+                    if name in names}
+        return Instance(schema, contents, validate=False)
+
+    def facts(self) -> Iterator[tuple[str, Row]]:
+        """Iterate over all ``(relation name, tuple)`` facts."""
+        for name, rows in self._relations.items():
+            for row in rows:
+                yield name, row
+
+    def difference_facts(self, other: "Instance") -> list[tuple[str, Row]]:
+        """Facts of *self* missing from *other* (used in counterexamples)."""
+        missing = []
+        for name, rows in self._relations.items():
+            other_rows = other._relations.get(name, frozenset())
+            for row in rows - other_rows:
+                missing.append((name, row))
+        return missing
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / printing
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        if set(self._relations) != set(other._relations):
+            return False
+        return all(self._relations[name] == other._relations[name]
+                   for name in self._relations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(
+            (name, rows) for name, rows in self._relations.items()))
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._relations):
+            rows = self._relations[name]
+            if rows:
+                body = ", ".join(
+                    repr(row) for row in sorted(rows, key=repr))
+                parts.append(f"{name}={{{body}}}")
+        inner = "; ".join(parts) if parts else "∅"
+        return f"Instance[{inner}]"
+
+    def pretty(self) -> str:
+        """Multi-line rendering, one relation per block."""
+        lines = []
+        for rel in self.schema:
+            rows = self._relations[rel.name]
+            header = ", ".join(rel.attribute_names)
+            lines.append(f"{rel.name}({header}): {len(rows)} tuple(s)")
+            for row in sorted(rows, key=repr):
+                lines.append("  " + ", ".join(repr(v) for v in row))
+        return "\n".join(lines)

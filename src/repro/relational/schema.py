@@ -1,0 +1,188 @@
+"""Relation and database schemas.
+
+A database is specified by a relational schema ``R = (R1, ..., Rn)``; each
+relation schema is a named sequence of attributes, and each attribute carries
+a :class:`~repro.relational.domain.Domain` (Section 2.1 of the paper).
+
+Master data is just another database schema; no restrictions are imposed on
+either (the paper explicitly imposes none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.domain import Domain, INFINITE
+
+__all__ = ["Attribute", "RelationSchema", "DatabaseSchema"]
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named attribute with a domain.
+
+    ``Attribute("cid")`` defaults to the infinite domain; pass an explicit
+    :class:`~repro.relational.domain.FiniteDomain` for finite attributes.
+    """
+
+    name: str
+    domain: Domain = INFINITE
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise SchemaError(f"attribute name must be a non-empty string, "
+                              f"got {self.name!r}")
+
+    def __repr__(self) -> str:
+        if self.domain is INFINITE or self.domain == INFINITE:
+            return self.name
+        return f"{self.name}:{self.domain!r}"
+
+
+class RelationSchema:
+    """A relation schema: a name plus an ordered tuple of attributes.
+
+    Attribute names must be unique within the relation.  Nullary relations
+    (arity 0) are allowed — the paper's reductions use them (e.g. ``Rme``).
+    """
+
+    __slots__ = ("name", "attributes", "_index")
+
+    def __init__(self, name: str,
+                 attributes: Iterable[Attribute | str] = ()) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(
+                f"relation name must be a non-empty string, got {name!r}")
+        attrs = tuple(
+            attr if isinstance(attr, Attribute) else Attribute(attr)
+            for attr in attributes)
+        seen: set[str] = set()
+        for attr in attrs:
+            if attr.name in seen:
+                raise SchemaError(
+                    f"duplicate attribute {attr.name!r} in relation {name!r}")
+            seen.add(attr.name)
+        self.name = name
+        self.attributes = attrs
+        self._index = {attr.name: pos for pos, attr in enumerate(attrs)}
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self.attributes)
+
+    def position_of(self, attribute_name: str) -> int:
+        """Return the 0-based column index of *attribute_name*."""
+        try:
+            return self._index[attribute_name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute "
+                f"{attribute_name!r}; available: {self.attribute_names}"
+            ) from None
+
+    def domain_at(self, position: int) -> Domain:
+        """Return the domain of the column at *position*."""
+        if not 0 <= position < self.arity:
+            raise SchemaError(
+                f"column {position} out of range for relation "
+                f"{self.name!r} of arity {self.arity}")
+        return self.attributes[position].domain
+
+    def validate_tuple(self, row: tuple) -> None:
+        """Raise unless *row* has the right arity and in-domain values."""
+        if len(row) != self.arity:
+            raise SchemaError(
+                f"tuple {row!r} has arity {len(row)}, but relation "
+                f"{self.name!r} has arity {self.arity}")
+        for value, attr in zip(row, self.attributes):
+            attr.domain.validate(
+                value, context=f"{self.name}.{attr.name}")
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RelationSchema)
+                and self.name == other.name
+                and self.attributes == other.attributes)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.attributes)
+        return f"{self.name}({inner})"
+
+
+class DatabaseSchema:
+    """An ordered collection of relation schemas with unique names."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        mapping: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if not isinstance(rel, RelationSchema):
+                raise SchemaError(
+                    f"expected RelationSchema, got {type(rel).__name__}")
+            if rel.name in mapping:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            mapping[rel.name] = rel
+        self._relations = mapping
+
+    @property
+    def relations(self) -> Mapping[str, RelationSchema]:
+        return dict(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Return the relation schema called *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no relation {name!r}; available: "
+                f"{self.relation_names}") from None
+
+    def extended_with(self, *relations: RelationSchema) -> "DatabaseSchema":
+        """Return a new schema with *relations* appended."""
+        return DatabaseSchema(tuple(self._relations.values()) + relations)
+
+    def merged_with(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """Union of two schemas; shared names must agree exactly."""
+        merged = dict(self._relations)
+        for rel in other:
+            existing = merged.get(rel.name)
+            if existing is not None and existing != rel:
+                raise SchemaError(
+                    f"conflicting definitions for relation {rel.name!r}")
+            merged[rel.name] = rel
+        return DatabaseSchema(merged.values())
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, DatabaseSchema)
+                and tuple(self._relations.items())
+                == tuple(other._relations.items()))
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._relations.items()))
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(r) for r in self._relations.values())
+        return f"DatabaseSchema[{inner}]"

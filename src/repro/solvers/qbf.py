@@ -1,0 +1,171 @@
+"""Quantified Boolean formulas with fixed prefixes (∀∃ and ∃∀∃).
+
+The Πᵖ₂ lower bound of Theorem 3.6 reduces from ∀∗∃∗-3SAT and the Σᵖ₃
+lower bound of Corollary 4.6 from ∃∗∀∗∃∗-3SAT.  These evaluators decide the
+source instances by expansion over the outer blocks, delegating the
+innermost existential block to DPLL — exactly the oracle hierarchy the
+classes describe, and independent of the reduction code they validate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.solvers.sat import CNF, dpll_satisfiable, random_3sat
+
+__all__ = ["ForallExists3SAT", "ExistsForall3SAT", "ExistsForallExists3SAT",
+           "random_forall_exists_3sat", "random_exists_forall_3sat",
+           "random_exists_forall_exists_3sat"]
+
+
+def _check_partition(cnf: CNF, *blocks: Sequence[int]) -> None:
+    flat = [v for block in blocks for v in block]
+    if sorted(flat) != cnf.variables:
+        raise ReproError(
+            f"quantifier blocks {blocks} do not partition the variables "
+            f"1..{cnf.num_variables}")
+
+
+@dataclass(frozen=True)
+class ForallExists3SAT:
+    """``∀X ∃Y. matrix`` with a 3CNF matrix."""
+
+    universal: tuple[int, ...]
+    existential: tuple[int, ...]
+    matrix: CNF
+
+    def __init__(self, universal: Sequence[int],
+                 existential: Sequence[int], matrix: CNF) -> None:
+        object.__setattr__(self, "universal", tuple(universal))
+        object.__setattr__(self, "existential", tuple(existential))
+        object.__setattr__(self, "matrix", matrix)
+        _check_partition(matrix, self.universal, self.existential)
+
+    def is_true(self) -> bool:
+        """Evaluate by expanding the ∀ block and calling DPLL per branch."""
+        for values in itertools.product((False, True),
+                                        repeat=len(self.universal)):
+            assumptions = dict(zip(self.universal, values))
+            if dpll_satisfiable(self.matrix, assumptions) is None:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (f"∀{list(self.universal)}∃{list(self.existential)}."
+                f"{self.matrix!r}")
+
+
+@dataclass(frozen=True)
+class ExistsForall3SAT:
+    """``∃X ∀Y. matrix`` with a 3CNF matrix (Σᵖ₂)."""
+
+    existential: tuple[int, ...]
+    universal: tuple[int, ...]
+    matrix: CNF
+
+    def __init__(self, existential: Sequence[int],
+                 universal: Sequence[int], matrix: CNF) -> None:
+        object.__setattr__(self, "existential", tuple(existential))
+        object.__setattr__(self, "universal", tuple(universal))
+        object.__setattr__(self, "matrix", matrix)
+        _check_partition(matrix, self.existential, self.universal)
+
+    def is_true(self) -> bool:
+        """Evaluate by expanding both blocks (the matrix is quantifier
+        free, so the inner check is plain CNF evaluation)."""
+        from repro.solvers.sat import evaluate_cnf
+
+        for x_values in itertools.product((False, True),
+                                          repeat=len(self.existential)):
+            x_map = dict(zip(self.existential, x_values))
+            if all(evaluate_cnf(self.matrix,
+                                {**x_map, **dict(zip(self.universal, y))})
+                   for y in itertools.product(
+                       (False, True), repeat=len(self.universal))):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"∃{list(self.existential)}∀{list(self.universal)}."
+                f"{self.matrix!r}")
+
+
+def random_exists_forall_3sat(num_existential: int, num_universal: int,
+                              num_clauses: int, rng: random.Random,
+                              ) -> ExistsForall3SAT:
+    """Random ∃∀-3SAT instance over consecutive variable blocks."""
+    total = num_existential + num_universal
+    matrix = random_3sat(total, num_clauses, rng)
+    return ExistsForall3SAT(
+        existential=range(1, num_existential + 1),
+        universal=range(num_existential + 1, total + 1),
+        matrix=matrix)
+
+
+@dataclass(frozen=True)
+class ExistsForallExists3SAT:
+    """``∃X ∀Y ∃Z. matrix`` with a 3CNF matrix."""
+
+    outer_existential: tuple[int, ...]
+    universal: tuple[int, ...]
+    inner_existential: tuple[int, ...]
+    matrix: CNF
+
+    def __init__(self, outer_existential: Sequence[int],
+                 universal: Sequence[int],
+                 inner_existential: Sequence[int], matrix: CNF) -> None:
+        object.__setattr__(self, "outer_existential",
+                           tuple(outer_existential))
+        object.__setattr__(self, "universal", tuple(universal))
+        object.__setattr__(self, "inner_existential",
+                           tuple(inner_existential))
+        object.__setattr__(self, "matrix", matrix)
+        _check_partition(matrix, self.outer_existential, self.universal,
+                         self.inner_existential)
+
+    def is_true(self) -> bool:
+        """Expand ∃X and ∀Y; decide the innermost ∃Z with DPLL."""
+        for x_values in itertools.product((False, True),
+                                          repeat=len(self.outer_existential)):
+            x_assumptions = dict(zip(self.outer_existential, x_values))
+            if all(dpll_satisfiable(
+                    self.matrix,
+                    {**x_assumptions, **dict(zip(self.universal, y_values))})
+                    is not None
+                   for y_values in itertools.product(
+                       (False, True), repeat=len(self.universal))):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"∃{list(self.outer_existential)}∀{list(self.universal)}"
+                f"∃{list(self.inner_existential)}.{self.matrix!r}")
+
+
+def random_forall_exists_3sat(num_universal: int, num_existential: int,
+                              num_clauses: int, rng: random.Random,
+                              ) -> ForallExists3SAT:
+    """Random ∀∃-3SAT instance: variables 1..n universal, rest existential."""
+    total = num_universal + num_existential
+    matrix = random_3sat(total, num_clauses, rng)
+    return ForallExists3SAT(
+        universal=range(1, num_universal + 1),
+        existential=range(num_universal + 1, total + 1),
+        matrix=matrix)
+
+
+def random_exists_forall_exists_3sat(
+        num_outer: int, num_universal: int, num_inner: int,
+        num_clauses: int, rng: random.Random) -> ExistsForallExists3SAT:
+    """Random ∃∀∃-3SAT instance over consecutive variable blocks."""
+    total = num_outer + num_universal + num_inner
+    matrix = random_3sat(total, num_clauses, rng)
+    return ExistsForallExists3SAT(
+        outer_existential=range(1, num_outer + 1),
+        universal=range(num_outer + 1, num_outer + num_universal + 1),
+        inner_existential=range(num_outer + num_universal + 1, total + 1),
+        matrix=matrix)

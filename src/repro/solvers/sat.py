@@ -1,0 +1,182 @@
+"""Propositional CNF formulas and a DPLL SAT solver.
+
+The paper's lower bounds reduce from 3SAT (Theorem 4.5(1)), ∀∃-3SAT
+(Theorem 3.6), and ∃∀∃-3SAT (Corollary 4.6).  This module is the substrate:
+CNF representation, random instance generation, and an independent DPLL
+decision procedure used to cross-check the reductions.
+
+Literals are nonzero integers (DIMACS convention): ``+v`` is the variable
+``v``, ``-v`` its negation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["CNF", "dpll_satisfiable", "random_3sat", "evaluate_cnf"]
+
+Assignment = dict[int, bool]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula: a tuple of clauses, each a tuple of literals."""
+
+    clauses: tuple[tuple[int, ...], ...]
+    num_variables: int
+
+    def __init__(self, clauses: Iterable[Iterable[int]],
+                 num_variables: int | None = None) -> None:
+        frozen = tuple(tuple(clause) for clause in clauses)
+        for clause in frozen:
+            for literal in clause:
+                if literal == 0:
+                    raise ReproError("0 is not a valid literal")
+        highest = max((abs(lit) for clause in frozen for lit in clause),
+                      default=0)
+        if num_variables is None:
+            num_variables = highest
+        elif num_variables < highest:
+            raise ReproError(
+                f"num_variables={num_variables} but literal mentions "
+                f"variable {highest}")
+        object.__setattr__(self, "clauses", frozen)
+        object.__setattr__(self, "num_variables", num_variables)
+
+    @property
+    def variables(self) -> list[int]:
+        return list(range(1, self.num_variables + 1))
+
+    def __repr__(self) -> str:
+        inner = " ∧ ".join(
+            "(" + " ∨ ".join(str(l) for l in clause) + ")"
+            for clause in self.clauses)
+        return f"CNF[{inner or '⊤'}]"
+
+
+def evaluate_cnf(cnf: CNF, assignment: Mapping[int, bool]) -> bool:
+    """Evaluate *cnf* under a (total) assignment."""
+    for clause in cnf.clauses:
+        if not any((literal > 0) == assignment[abs(literal)]
+                   for literal in clause):
+            return False
+    return True
+
+
+def _simplify(clauses: list[tuple[int, ...]], literal: int
+              ) -> list[tuple[int, ...]] | None:
+    """Assign *literal* true; drop satisfied clauses, shrink the rest.
+    Returns None when an empty clause appears (conflict)."""
+    result: list[tuple[int, ...]] = []
+    for clause in clauses:
+        if literal in clause:
+            continue
+        if -literal in clause:
+            shrunk = tuple(l for l in clause if l != -literal)
+            if not shrunk:
+                return None
+            result.append(shrunk)
+        else:
+            result.append(clause)
+    return result
+
+
+def dpll_satisfiable(cnf: CNF,
+                     assumptions: Mapping[int, bool] | None = None,
+                     ) -> Assignment | None:
+    """DPLL with unit propagation and pure-literal elimination.
+
+    Returns a satisfying total assignment, or None when unsatisfiable.
+    *assumptions* pre-assigns some variables (used by the QBF expander).
+    """
+    clauses = list(cnf.clauses)
+    assignment: Assignment = {}
+    if assumptions:
+        for variable, value in assumptions.items():
+            literal = variable if value else -variable
+            assignment[variable] = value
+            simplified = _simplify(clauses, literal)
+            if simplified is None:
+                return None
+            clauses = simplified
+
+    def search(clauses: list[tuple[int, ...]],
+               assignment: Assignment) -> Assignment | None:
+        # Unit propagation.
+        while True:
+            units = [clause[0] for clause in clauses if len(clause) == 1]
+            if not units:
+                break
+            for literal in units:
+                variable = abs(literal)
+                value = literal > 0
+                if assignment.get(variable, value) != value:
+                    return None
+                if variable in assignment:
+                    continue
+                assignment[variable] = value
+                simplified = _simplify(clauses, literal)
+                if simplified is None:
+                    return None
+                clauses = simplified
+                break  # re-scan: simplification may create new units
+        if not clauses:
+            return assignment
+        # Pure literal elimination.
+        polarity: dict[int, int] = {}
+        for clause in clauses:
+            for literal in clause:
+                variable = abs(literal)
+                sign = 1 if literal > 0 else -1
+                polarity[variable] = (
+                    sign if variable not in polarity
+                    else (polarity[variable] if polarity[variable] == sign
+                          else 0))
+        for variable, sign in polarity.items():
+            if sign != 0:
+                literal = variable * sign
+                assignment[variable] = sign > 0
+                simplified = _simplify(clauses, literal)
+                if simplified is None:  # pragma: no cover - pure is safe
+                    return None
+                return search(simplified, assignment)
+        # Branch on the first literal of the shortest clause.
+        shortest = min(clauses, key=len)
+        literal = shortest[0]
+        for chosen in (literal, -literal):
+            trial = dict(assignment)
+            trial[abs(chosen)] = chosen > 0
+            simplified = _simplify(clauses, chosen)
+            if simplified is not None:
+                solution = search(simplified, trial)
+                if solution is not None:
+                    return solution
+        return None
+
+    solution = search(clauses, assignment)
+    if solution is None:
+        return None
+    for variable in cnf.variables:
+        solution.setdefault(variable, False)
+    if assumptions:
+        for variable, value in assumptions.items():
+            solution[variable] = value
+    return solution
+
+
+def random_3sat(num_variables: int, num_clauses: int,
+                rng: random.Random) -> CNF:
+    """A random 3SAT instance: clauses of three distinct variables with
+    random polarities."""
+    if num_variables < 3:
+        raise ReproError("random_3sat needs at least 3 variables")
+    clauses = []
+    for _ in range(num_clauses):
+        chosen = rng.sample(range(1, num_variables + 1), 3)
+        clauses.append(tuple(
+            v if rng.random() < 0.5 else -v for v in chosen))
+    return CNF(clauses, num_variables=num_variables)

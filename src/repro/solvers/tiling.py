@@ -1,0 +1,135 @@
+"""The 2ⁿ×2ⁿ tiling problem (NEXPTIME-complete source of Theorem 4.5(2)).
+
+An instance is a finite tile set with vertical/horizontal compatibility
+relations and a designated first tile; a solution is a function
+``f : [1, 2ⁿ]² → T`` with ``V(f(i,j), f(i+1,j))``, ``H(f(i,j), f(i,j+1))``
+and ``f(1,1) = t0``.  We index rows downward, following the paper's
+hypertile layout.
+
+:func:`solve_tiling` is a brute-force backtracking solver over the expanded
+``2ⁿ×2ⁿ`` board — usable for the tiny exponents the benches exercise and as
+the independent reference against the RCQP reduction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["TilingInstance", "solve_tiling", "random_tiling_instance",
+           "verify_tiling"]
+
+Tile = int
+Grid = list[list[Tile]]
+
+
+@dataclass(frozen=True)
+class TilingInstance:
+    """Tiles ``0..k``, compatibility relations, first tile, and exponent n.
+
+    ``vertical`` contains pairs ``(a, b)`` meaning tile ``b`` may appear
+    directly below tile ``a``; ``horizontal`` pairs ``(a, b)`` meaning ``b``
+    may appear directly to the right of ``a``.
+    """
+
+    tiles: tuple[Tile, ...]
+    vertical: frozenset[tuple[Tile, Tile]]
+    horizontal: frozenset[tuple[Tile, Tile]]
+    first_tile: Tile
+    exponent: int
+
+    def __init__(self, tiles: Iterable[Tile],
+                 vertical: Iterable[tuple[Tile, Tile]],
+                 horizontal: Iterable[tuple[Tile, Tile]],
+                 first_tile: Tile, exponent: int) -> None:
+        object.__setattr__(self, "tiles", tuple(tiles))
+        object.__setattr__(self, "vertical", frozenset(vertical))
+        object.__setattr__(self, "horizontal", frozenset(horizontal))
+        object.__setattr__(self, "first_tile", first_tile)
+        object.__setattr__(self, "exponent", exponent)
+        if first_tile not in self.tiles:
+            raise ReproError(
+                f"first tile {first_tile!r} is not in the tile set")
+        if exponent < 0:
+            raise ReproError("exponent must be nonnegative")
+
+    @property
+    def side(self) -> int:
+        """Board side length 2ⁿ."""
+        return 2 ** self.exponent
+
+
+def verify_tiling(instance: TilingInstance, grid: Sequence[Sequence[Tile]],
+                  ) -> bool:
+    """Check that *grid* is a valid tiling of *instance*."""
+    side = instance.side
+    if len(grid) != side or any(len(row) != side for row in grid):
+        return False
+    if grid[0][0] != instance.first_tile:
+        return False
+    for i in range(side):
+        for j in range(side):
+            tile = grid[i][j]
+            if tile not in instance.tiles:
+                return False
+            if i + 1 < side and (tile, grid[i + 1][j]) not in \
+                    instance.vertical:
+                return False
+            if j + 1 < side and (tile, grid[i][j + 1]) not in \
+                    instance.horizontal:
+                return False
+    return True
+
+
+def solve_tiling(instance: TilingInstance) -> Grid | None:
+    """Backtracking search for a tiling; None when none exists.
+
+    Cells are filled row-major; each placement is checked against the tile
+    above and to the left, so the partial grid is always consistent.
+    """
+    side = instance.side
+    grid: Grid = [[-1] * side for _ in range(side)]
+
+    def candidates(i: int, j: int) -> Iterable[Tile]:
+        if i == 0 and j == 0:
+            return (instance.first_tile,)
+        return instance.tiles
+
+    def fits(i: int, j: int, tile: Tile) -> bool:
+        if i > 0 and (grid[i - 1][j], tile) not in instance.vertical:
+            return False
+        if j > 0 and (grid[i][j - 1], tile) not in instance.horizontal:
+            return False
+        return True
+
+    def fill(position: int) -> bool:
+        if position == side * side:
+            return True
+        i, j = divmod(position, side)
+        for tile in candidates(i, j):
+            if fits(i, j, tile):
+                grid[i][j] = tile
+                if fill(position + 1):
+                    return True
+                grid[i][j] = -1
+        return False
+
+    if fill(0):
+        return grid
+    return None
+
+
+def random_tiling_instance(num_tiles: int, density: float, exponent: int,
+                           rng: random.Random) -> TilingInstance:
+    """A random instance: each compatibility pair is included independently
+    with probability *density*."""
+    tiles = tuple(range(num_tiles))
+    vertical = {(a, b) for a in tiles for b in tiles
+                if rng.random() < density}
+    horizontal = {(a, b) for a in tiles for b in tiles
+                  if rng.random() < density}
+    return TilingInstance(tiles, vertical, horizontal,
+                          first_tile=0, exponent=exponent)

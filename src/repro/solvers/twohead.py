@@ -1,0 +1,141 @@
+"""Deterministic finite 2-head automata (2-head DFAs).
+
+The undecidability proofs of Theorems 3.1(3,4) and 4.1(1,3,4) reduce from
+the emptiness problem for 2-head DFAs (Spielmann 2000), which is
+undecidable.  This module implements the machine model faithfully:
+
+* a 2-head DFA is ``(Q, Σ={0,1}, δ, q0, qacc)`` with
+  ``δ : Q × Σε × Σε → Q × {0,+1} × {0,+1}``, ``Σε = Σ ∪ {ε}``;
+* a configuration is ``(q, w1, w2)`` — the state plus the suffixes under
+  the two heads; a head reads ``ε`` once it has consumed its entire suffix;
+* the machine accepts ``w`` when a run from ``(q0, w, w)`` reaches
+  ``qacc``.
+
+Emptiness is undecidable, so :func:`bounded_emptiness` searches inputs up
+to a length bound — the honest semi-decision the encodings are checked
+against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ReproError
+
+__all__ = ["TwoHeadDFA", "bounded_emptiness"]
+
+EPSILON = "ε"
+
+TransitionKey = tuple[str, str, str]        # (state, read1, read2)
+TransitionValue = tuple[str, int, int]      # (state', move1, move2)
+
+
+@dataclass(frozen=True)
+class TwoHeadDFA:
+    """A deterministic finite 2-head automaton over Σ = {0, 1}."""
+
+    states: frozenset[str]
+    transitions: Mapping[TransitionKey, TransitionValue]
+    initial: str
+    accepting: str
+
+    def __init__(self, states: Iterable[str],
+                 transitions: Mapping[TransitionKey, TransitionValue],
+                 initial: str, accepting: str) -> None:
+        states = frozenset(states)
+        if initial not in states or accepting not in states:
+            raise ReproError("initial/accepting state not in state set")
+        for (state, read1, read2), (target, move1, move2) in \
+                transitions.items():
+            if state not in states or target not in states:
+                raise ReproError(
+                    f"transition {state}->{target} uses unknown states")
+            for read in (read1, read2):
+                if read not in ("0", "1", EPSILON):
+                    raise ReproError(f"invalid read symbol {read!r}")
+            for move in (move1, move2):
+                if move not in (0, 1):
+                    raise ReproError(f"invalid head move {move!r}")
+        object.__setattr__(self, "states", states)
+        object.__setattr__(self, "transitions", dict(transitions))
+        object.__setattr__(self, "initial", initial)
+        object.__setattr__(self, "accepting", accepting)
+
+    def _step(self, state: str, word: str, pos1: int, pos2: int,
+              ) -> tuple[str, int, int] | None:
+        read1 = word[pos1] if pos1 < len(word) else EPSILON
+        read2 = word[pos2] if pos2 < len(word) else EPSILON
+        transition = self.transitions.get((state, read1, read2))
+        if transition is None:
+            return None
+        target, move1, move2 = transition
+        # Positions beyond the end of the input all read ε and are
+        # behaviourally identical, so cap them at len(word).  This keeps
+        # the configuration space finite, making the loop detector in
+        # :meth:`accepts` a sound divergence test, and matches the
+        # relational encoding where the final position is a self-loop.
+        return (target, min(pos1 + move1, len(word)),
+                min(pos2 + move2, len(word)))
+
+    def accepts(self, word: str, max_steps: int | None = None) -> bool:
+        """Simulate the (deterministic) run on *word*.
+
+        The run halts on the accepting state, a missing transition, or a
+        repeated configuration (the machine is deterministic, so a repeat
+        means divergence).  *max_steps* optionally caps the run length.
+        """
+        if any(symbol not in "01" for symbol in word):
+            raise ReproError(f"input {word!r} is not over Σ = {{0,1}}")
+        state, pos1, pos2 = self.initial, 0, 0
+        seen: set[tuple[str, int, int]] = set()
+        steps = 0
+        while True:
+            if state == self.accepting:
+                return True
+            config = (state, pos1, pos2)
+            if config in seen:
+                return False
+            seen.add(config)
+            if max_steps is not None and steps >= max_steps:
+                return False
+            step = self._step(state, word, pos1, pos2)
+            if step is None:
+                return False
+            state, pos1, pos2 = step
+            steps += 1
+
+    def accepting_run(self, word: str) -> list[tuple[str, int, int]] | None:
+        """The configuration sequence of an accepting run, or None."""
+        state, pos1, pos2 = self.initial, 0, 0
+        run = [(state, pos1, pos2)]
+        seen = {(state, pos1, pos2)}
+        while state != self.accepting:
+            step = self._step(state, word, pos1, pos2)
+            if step is None:
+                return None
+            state, pos1, pos2 = step
+            config = (state, pos1, pos2)
+            if config in seen:
+                return None
+            seen.add(config)
+            run.append(config)
+        return run
+
+
+def bounded_emptiness(automaton: TwoHeadDFA, max_length: int,
+                      ) -> str | None:
+    """Search for an accepted word of length ≤ *max_length*.
+
+    Returns the shortest accepted word, or None if every word up to the
+    bound is rejected.  Emptiness itself is undecidable (Spielmann 2000),
+    which is exactly why the paper's Theorems 3.1 and 4.1 hold; this
+    bounded search is the best any implementation can do.
+    """
+    for length in range(max_length + 1):
+        for symbols in itertools.product("01", repeat=length):
+            word = "".join(symbols)
+            if automaton.accepts(word):
+                return word
+    return None

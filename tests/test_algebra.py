@@ -1,0 +1,161 @@
+"""Tests for the relational algebra, including cross-validation against
+the CQ engine on random instances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError, SchemaError
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.algebra import (Difference, NamedRelation, Product,
+                                      Rename, Union, scan, select_eq,
+                                      select_neq)
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("E", ["src", "dst"]),
+    RelationSchema("L", ["node", "label"]),
+])
+
+
+@pytest.fixture
+def graph():
+    return Instance(SCHEMA, {
+        "E": {(1, 2), (2, 3), (3, 1)},
+        "L": {(1, "a"), (2, "b"), (3, "a")},
+    })
+
+
+class TestOperators:
+    def test_scan(self, graph):
+        result = scan("E").evaluate(graph)
+        assert result.columns == ("src", "dst")
+        assert result.rows == graph["E"]
+
+    def test_selection(self, graph):
+        result = select_eq(scan("L"), "label", "a").evaluate(graph)
+        assert result.rows == frozenset({(1, "a"), (3, "a")})
+
+    def test_selection_neq(self, graph):
+        result = select_neq(scan("L"), "label", "a").evaluate(graph)
+        assert result.rows == frozenset({(2, "b")})
+
+    def test_projection_collapses_duplicates(self, graph):
+        result = scan("L").project(["label"]).evaluate(graph)
+        assert result.rows == frozenset({("a",), ("b",)})
+
+    def test_rename(self, graph):
+        result = scan("E").rename({"src": "from"}).evaluate(graph)
+        assert result.columns == ("from", "dst")
+
+    def test_natural_join_on_shared_column(self, graph):
+        # E(src,dst) ⋈ ρ(L)(dst,label): label the destination node.
+        expr = scan("E").join(scan("L").rename({"node": "dst"}))
+        result = expr.evaluate(graph)
+        assert result.columns == ("src", "dst", "label")
+        assert (1, 2, "b") in result.rows
+        assert len(result) == 3
+
+    def test_join_without_shared_columns_is_product(self, graph):
+        expr = scan("E").join(scan("L"))
+        result = expr.evaluate(graph)
+        assert len(result) == len(graph["E"]) * len(graph["L"])
+
+    def test_product_requires_disjoint_columns(self, graph):
+        with pytest.raises(EvaluationError):
+            scan("E").product(scan("E")).evaluate(graph)
+
+    def test_product(self, graph):
+        expr = scan("E").product(
+            scan("E").rename({"src": "s2", "dst": "d2"}))
+        result = expr.evaluate(graph)
+        assert len(result) == 9
+
+    def test_union_and_difference(self, graph):
+        a_nodes = select_eq(scan("L"), "label", "a").project(["node"])
+        b_nodes = select_eq(scan("L"), "label", "b").project(["node"])
+        union = Union(a_nodes, b_nodes).evaluate(graph)
+        assert union.rows == frozenset({(1,), (2,), (3,)})
+        diff = Difference(scan("L").project(["node"]), b_nodes)
+        assert diff.evaluate(graph).rows == frozenset({(1,), (3,)})
+
+    def test_set_operation_arity_mismatch(self, graph):
+        with pytest.raises(EvaluationError):
+            Union(scan("E"), scan("L").project(["node"])).evaluate(graph)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            NamedRelation(("a", "a"), frozenset())
+
+    def test_unknown_column_in_projection(self, graph):
+        with pytest.raises(EvaluationError):
+            scan("E").project(["nope"]).evaluate(graph)
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation: algebra vs CQ on random instances
+# ---------------------------------------------------------------------------
+
+_edges = st.frozensets(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8)
+_labels = st.frozensets(
+    st.tuples(st.integers(0, 3), st.sampled_from("ab")), max_size=6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edges=_edges, labels=_labels)
+def test_join_agrees_with_cq(edges, labels):
+    instance = Instance(SCHEMA, {"E": edges, "L": labels})
+    expr = (scan("E")
+            .join(scan("L").rename({"node": "dst"}))
+            .project(["src", "label"]))
+    algebra_rows = expr.evaluate(instance).rows
+    query = cq([var("s"), var("l")],
+               [rel("E", var("s"), var("d")),
+                rel("L", var("d"), var("l"))])
+    assert algebra_rows == query.evaluate(instance)
+
+
+@settings(max_examples=50, deadline=None)
+@given(labels=_labels)
+def test_selection_agrees_with_cq(labels):
+    instance = Instance(SCHEMA, {"L": labels})
+    expr = select_eq(scan("L"), "label", "a").project(["node"])
+    query = cq([var("n")],
+               [rel("L", var("n"), var("l")), eq(var("l"), "a")])
+    assert expr.evaluate(instance).rows == query.evaluate(instance)
+
+
+@settings(max_examples=50, deadline=None)
+@given(edges=_edges)
+def test_self_join_agrees_with_cq(edges):
+    instance = Instance(SCHEMA, {"E": edges})
+    expr = (scan("E")
+            .join(scan("E").rename({"src": "dst", "dst": "next"}))
+            .project(["src", "next"]))
+    query = cq([var("x"), var("z")],
+               [rel("E", var("x"), var("y")),
+                rel("E", var("y"), var("z"))])
+    assert expr.evaluate(instance).rows == query.evaluate(instance)
+
+
+class TestFluentAPI:
+    def test_where_predicate(self, graph):
+        result = scan("E").where(
+            lambda row: row["src"] < row["dst"], "src<dst").evaluate(graph)
+        assert result.rows == frozenset({(1, 2), (2, 3)})
+
+    def test_union_difference_combinators(self, graph):
+        everything = scan("L").project(["node"])
+        nothing = everything.difference(everything)
+        assert nothing.evaluate(graph).rows == frozenset()
+        doubled = everything.union(everything)
+        assert doubled.evaluate(graph).rows == \
+            everything.evaluate(graph).rows
+
+    def test_as_set_of_dicts(self, graph):
+        result = scan("L").evaluate(graph)
+        assert (("label", "a"), ("node", 1)) in result.as_set_of_dicts()

@@ -1,0 +1,117 @@
+"""Tests for the brute-force oracles and bounded FO/FP procedures."""
+
+import pytest
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.ind import InclusionDependency
+from repro.core.bounded import (brute_force_rcdp, brute_force_rcqp,
+                                candidate_fact_pool, default_value_pool)
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.errors import UndecidableConfigurationError
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.datalog import DatalogQuery, rule
+from repro.queries.fo import FOQuery, fo_and, fo_atom, fo_exists, fo_not
+from repro.queries.terms import var
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+
+
+def ind():
+    return InclusionDependency("S", ["cid"], "M", ["cid"]
+                               ).to_containment_constraint(SCHEMA,
+                                                           MASTER_SCHEMA)
+
+
+class TestPools:
+    def test_candidate_fact_pool_respects_finite_domains(self):
+        schema = DatabaseSchema([
+            RelationSchema("F", [Attribute("b", BOOLEAN)])])
+        pool = candidate_fact_pool(schema, values=["x"])
+        assert set(pool) == {("F", (0,)), ("F", (1,))}
+
+    def test_candidate_fact_pool_infinite_columns_use_values(self):
+        pool = candidate_fact_pool(SCHEMA, values=[1, 2])
+        assert len(pool) == 4
+
+    def test_default_value_pool_contains_fresh(self):
+        q = cq([], [rel("S", "e0", var("c"))])
+        pool = default_value_pool(SCHEMA, (DM,), (q,), fresh_count=3)
+        assert "e0" in pool
+        assert len(pool) == len(set(pool))
+
+
+class TestBruteForceRCDPAgreesWithDecider:
+    def test_complete_case(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1"), ("e0", "c2")}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        exact = decide_rcdp(q, db, DM, [ind()])
+        brute = brute_force_rcdp(q, db, DM, [ind()], max_extra_facts=1)
+        assert exact.status is RCDPStatus.COMPLETE
+        assert brute.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+
+    def test_incomplete_case(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        exact = decide_rcdp(q, db, DM, [ind()])
+        brute = brute_force_rcdp(q, db, DM, [ind()], max_extra_facts=1)
+        assert exact.status is RCDPStatus.INCOMPLETE
+        assert brute.status is RCDPStatus.INCOMPLETE
+        extended = brute.certificate.apply_to(db)
+        assert q.evaluate(extended) != q.evaluate(db)
+
+    def test_works_for_fo_queries(self):
+        # FO query: customers NOT supported by e0 — RCDP undecidable in
+        # general, but brute force still finds counterexamples.
+        q = FOQuery([var("c")], fo_and(
+            fo_exists([var("e")], fo_atom(rel("S", var("e"), var("c")))),
+            fo_not(fo_atom(rel("S", "e0", var("c"))))))
+        db = Instance(SCHEMA, {"S": {("e1", "c1")}})
+        result = brute_force_rcdp(q, db, DM, [ind()], max_extra_facts=1)
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_works_for_fp_queries(self):
+        q = DatalogQuery(
+            [rule(rel("T", var("c")), rel("S", "e0", var("c")))], goal="T")
+        db = Instance(SCHEMA, {"S": {("e0", "c1"), ("e0", "c2")}})
+        result = brute_force_rcdp(q, db, DM, [ind()], max_extra_facts=2)
+        assert result.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+
+
+class TestBruteForceRCQP:
+    def test_finds_witness(self):
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        result = brute_force_rcqp(q, DM, [ind()], SCHEMA,
+                                  max_database_size=2)
+        assert result.status is RCQPStatus.NONEMPTY
+        verdict = decide_rcdp(q, result.witness, DM, [ind()])
+        assert verdict.status is RCDPStatus.COMPLETE
+
+    def test_no_witness_up_to_bound(self):
+        q = cq([var("e")], [rel("S", var("e"), var("c"))])  # eid unbounded
+        result = brute_force_rcqp(q, DM, [ind()], SCHEMA,
+                                  max_database_size=1)
+        assert result.status is RCQPStatus.EMPTY_UP_TO_BOUND
+
+    def test_undecidable_needs_completeness_bound(self):
+        q = DatalogQuery(
+            [rule(rel("T", var("c")), rel("S", "e0", var("c")))], goal="T")
+        with pytest.raises(UndecidableConfigurationError):
+            brute_force_rcqp(q, DM, [ind()], SCHEMA, max_database_size=1)
+
+    def test_undecidable_with_bound_reports_evidence(self):
+        q = DatalogQuery(
+            [rule(rel("T", var("c")), rel("S", "e0", var("c")))], goal="T")
+        result = brute_force_rcqp(q, DM, [ind()], SCHEMA,
+                                  max_database_size=2,
+                                  completeness_bound=1)
+        assert result.status is RCQPStatus.NONEMPTY
+        assert "undecidable" in result.explanation

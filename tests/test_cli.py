@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.io.json_io import dump_bundle
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+
+
+@pytest.fixture
+def bundle_path(tmp_path):
+    def write(support):
+        database = Instance(SCHEMA, {"S": set(support)})
+        master = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        cc = ContainmentConstraint(
+            cq([var("c")], [rel("S", var("e"), var("c"))]),
+            Projection.on("M", [0]), name="ind")
+        path = tmp_path / "bundle.json"
+        dump_bundle(str(path), schema=SCHEMA,
+                    master_schema=MASTER_SCHEMA, database=database,
+                    master=master, query=q, constraints=[cc])
+        return str(path)
+
+    return write
+
+
+class TestRCDPCommand:
+    def test_complete_exit_zero(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1"), ("e0", "c2")})
+        assert main(["rcdp", path]) == 0
+        assert "complete" in capsys.readouterr().out
+
+    def test_incomplete_exit_one_with_certificate(self, bundle_path,
+                                                  capsys):
+        path = bundle_path({("e0", "c1")})
+        assert main(["rcdp", path]) == 1
+        out = capsys.readouterr().out
+        assert "incomplete" in out
+        assert "counterexample" in out
+
+
+class TestRCQPCommand:
+    def test_nonempty_exit_zero_with_witness(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1")})
+        assert main(["rcqp", path]) == 0
+        out = capsys.readouterr().out
+        assert "nonempty" in out
+        assert "witness" in out
+
+
+class TestCompleteCommand:
+    def test_suggests_missing_facts(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1")})
+        assert main(["complete", path]) == 0
+        out = capsys.readouterr().out
+        assert "collect" in out
+        assert "c2" in out
+
+
+class TestDemoCommand:
+    def test_runs_and_prints_audit(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "master data" in out
+        assert "verdict" in out
+
+
+class TestErrors:
+    def test_missing_bundle_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["rcdp"])  # argparse: missing argument
+
+    def test_broken_bundle_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": {"relations": []}, '
+                        '"master_schema": {"relations": []}, '
+                        '"database": {}, "master": {}, '
+                        '"query": {"language": "CQ", "text": ""}, '
+                        '"constraints": []}')
+        assert main(["rcdp", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestAuditCommand:
+    def test_trustworthy_exit_zero(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1"), ("e0", "c2")})
+        assert main(["audit", path]) == 0
+        assert "trustworthy" in capsys.readouterr().out
+
+    def test_collect_data_exit_one(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1")})
+        assert main(["audit", path]) == 1
+        out = capsys.readouterr().out
+        assert "collect" in out
+
+
+class TestMissingCommand:
+    def test_lists_missing_answers(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1")})
+        assert main(["missing", path]) == 1
+        out = capsys.readouterr().out
+        assert "c2" in out
+
+    def test_complete_database_reports_none(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1"), ("e0", "c2")})
+        assert main(["missing", path]) == 0
+        assert "relatively complete" in capsys.readouterr().out
+
+    def test_limit_flag(self, bundle_path, capsys):
+        path = bundle_path(set())
+        assert main(["missing", path, "--limit", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "1 answer(s)" in out

@@ -1,0 +1,156 @@
+"""Tests for containment constraints (CCs) and projections."""
+
+import pytest
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection, satisfies_all,
+                                           violated_constraints)
+from repro.constraints.ind import InclusionDependency
+from repro.errors import ConstraintError
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("Cust", ["cid", "name", "cc"]),
+        RelationSchema("Supt", ["eid", "cid"]),
+    ])
+
+
+@pytest.fixture
+def master_schema():
+    return DatabaseSchema([RelationSchema("DCust", ["cid", "name"])])
+
+
+@pytest.fixture
+def master(master_schema):
+    return Instance(master_schema, {
+        "DCust": {("c1", "ann"), ("c2", "bob")}})
+
+
+def domestic_cc(schema_unused=None):
+    """φ0 of Example 2.1: domestic customers bounded by DCust."""
+    q = cq([var("c")],
+           [rel("Cust", var("c"), var("n"), var("cc")),
+            eq(var("cc"), "01")], name="domestic")
+    return ContainmentConstraint(q, Projection.on("DCust", [0]), name="φ0")
+
+
+class TestProjection:
+    def test_evaluate(self, master):
+        assert Projection.on("DCust", [0]).evaluate(master) == frozenset(
+            {("c1",), ("c2",)})
+
+    def test_full(self, master):
+        assert Projection.full("DCust", 2).evaluate(master) == master["DCust"]
+
+    def test_reordered_columns(self, master):
+        assert Projection.on("DCust", [1, 0]).evaluate(master) == frozenset(
+            {("ann", "c1"), ("bob", "c2")})
+
+    def test_empty_target(self, master):
+        assert Projection.empty().evaluate(master) == frozenset()
+        assert Projection.empty().is_empty_target
+
+    def test_validate_column_range(self, master_schema):
+        with pytest.raises(ConstraintError):
+            Projection.on("DCust", [5]).validate(master_schema)
+
+
+class TestContainmentConstraint:
+    def test_satisfied(self, schema, master):
+        db = Instance(schema, {
+            "Cust": {("c1", "ann", "01"), ("c9", "zoe", "44")}})
+        assert domestic_cc().is_satisfied(db, master)
+
+    def test_violated(self, schema, master):
+        db = Instance(schema, {"Cust": {("c9", "zoe", "01")}})
+        cc = domestic_cc()
+        assert not cc.is_satisfied(db, master)
+        assert cc.violating_answers(db, master) == frozenset({("c9",)})
+
+    def test_empty_target_requires_empty_answer(self, schema, master):
+        q = cq([var("e")], [rel("Supt", var("e"), var("c"))])
+        cc = ContainmentConstraint(q, Projection.empty())
+        assert cc.is_satisfied(Instance.empty(schema), master)
+        assert not cc.is_satisfied(
+            Instance(schema, {"Supt": {("e0", "c1")}}), master)
+
+    def test_arity_mismatch_rejected(self):
+        q = cq([var("c"), var("n")],
+               [rel("Cust", var("c"), var("n"), var("cc"))])
+        with pytest.raises(ConstraintError):
+            ContainmentConstraint(q, Projection.on("DCust", [0]))
+
+    def test_satisfies_all_and_violated(self, schema, master):
+        db = Instance(schema, {"Cust": {("c9", "zoe", "01")}})
+        good = ContainmentConstraint(
+            cq([var("e")], [rel("Supt", var("e"), var("c"))]),
+            Projection.empty(), name="no-support")
+        bad = domestic_cc()
+        assert not satisfies_all(db, master, [good, bad])
+        assert violated_constraints(db, master, [good, bad]) == [bad]
+
+    def test_language_flag(self):
+        cc = domestic_cc()
+        assert cc.language == "CQ"
+        assert cc.is_decidable_language
+
+
+class TestINDDetection:
+    def test_projection_query_is_ind(self, schema, master_schema):
+        ind = InclusionDependency("Supt", ["cid"], "DCust", ["cid"])
+        cc = ind.to_containment_constraint(schema, master_schema)
+        assert cc.is_ind()
+        relation, columns = cc.ind_source()
+        assert relation == "Supt"
+        assert columns == (1,)
+
+    def test_selection_query_is_not_ind(self):
+        assert not domestic_cc().is_ind()
+
+    def test_join_query_is_not_ind(self):
+        q = cq([var("c")],
+               [rel("Supt", var("e"), var("c")),
+                rel("Cust", var("c"), var("n"), var("cc"))])
+        cc = ContainmentConstraint(q, Projection.on("DCust", [0]))
+        assert not cc.is_ind()
+
+    def test_constant_in_atom_is_not_ind(self):
+        q = cq([var("c")], [rel("Supt", "e0", var("c"))])
+        cc = ContainmentConstraint(q, Projection.on("DCust", [0]))
+        assert not cc.is_ind()
+
+    def test_ind_source_on_non_ind_raises(self):
+        with pytest.raises(ConstraintError):
+            domestic_cc().ind_source()
+
+
+class TestINDClass:
+    def test_satisfaction_through_cc(self, schema, master_schema, master):
+        ind = InclusionDependency("Supt", ["cid"], "DCust", ["cid"])
+        cc = ind.to_containment_constraint(schema, master_schema)
+        ok = Instance(schema, {"Supt": {("e0", "c1")}})
+        bad = Instance(schema, {"Supt": {("e0", "c9")}})
+        assert cc.is_satisfied(ok, master)
+        assert not cc.is_satisfied(bad, master)
+
+    def test_empty_target_ind(self, schema, master_schema, master):
+        ind = InclusionDependency("Supt", ["eid"], None)
+        cc = ind.to_containment_constraint(schema, master_schema)
+        assert cc.is_satisfied(Instance.empty(schema), master)
+        assert not cc.is_satisfied(
+            Instance(schema, {"Supt": {("e0", "c1")}}), master)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConstraintError):
+            InclusionDependency("Supt", ["cid", "eid"], "DCust", ["cid"])
+
+    def test_repr_readable(self):
+        ind = InclusionDependency("Supt", ["cid"], "DCust", ["cid"])
+        assert "Supt[cid]" in repr(ind)

@@ -1,0 +1,159 @@
+"""Tests for conjunctive query construction and evaluation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import ConjunctiveQuery, cq
+from repro.queries.terms import Const, Var, var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("E", ["src", "dst"]),
+        RelationSchema("L", ["node", "label"]),
+    ])
+
+
+@pytest.fixture
+def graph(schema):
+    return Instance(schema, {
+        "E": {(1, 2), (2, 3), (3, 1), (1, 3)},
+        "L": {(1, "a"), (2, "b"), (3, "a")},
+    })
+
+
+class TestConstruction:
+    def test_unsafe_head_variable_rejected(self):
+        with pytest.raises(QueryError):
+            cq([var("x")], [rel("E", var("y"), var("z"))])
+
+    def test_unsafe_comparison_variable_rejected(self):
+        with pytest.raises(QueryError):
+            cq([], [rel("E", var("x"), var("y")), eq(var("z"), 1)])
+
+    def test_constants_in_head_allowed(self, graph):
+        q = cq([Const("fixed"), var("x")], [rel("L", var("x"), "a")])
+        assert ("fixed", 1) in q.evaluate(graph)
+
+    def test_unknown_atom_type_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([], ["not-an-atom"])
+
+    def test_validate_checks_relations(self, schema):
+        q = cq([], [rel("Nope", var("x"))])
+        with pytest.raises(QueryError):
+            q.validate(schema)
+
+    def test_validate_checks_arity(self, schema):
+        q = cq([], [rel("E", var("x"))])
+        with pytest.raises(QueryError):
+            q.validate(schema)
+
+
+class TestEvaluation:
+    def test_single_atom(self, graph):
+        q = cq([var("x"), var("y")], [rel("E", var("x"), var("y"))])
+        assert q.evaluate(graph) == graph["E"]
+
+    def test_join(self, graph):
+        q = cq([var("x"), var("z")],
+               [rel("E", var("x"), var("y")), rel("E", var("y"), var("z"))])
+        answers = q.evaluate(graph)
+        assert (1, 3) in answers  # 1->2->3
+        assert (3, 2) in answers  # 3->1->2
+
+    def test_repeated_variable_forces_equality(self, graph):
+        q = cq([var("x")], [rel("E", var("x"), var("x"))])
+        assert q.evaluate(graph) == frozenset()
+
+    def test_constant_in_atom(self, graph):
+        q = cq([var("y")], [rel("E", 1, var("y"))])
+        assert q.evaluate(graph) == frozenset({(2,), (3,)})
+
+    def test_equality_atom(self, graph):
+        q = cq([var("x")],
+               [rel("L", var("x"), var("l")), eq(var("l"), "a")])
+        assert q.evaluate(graph) == frozenset({(1,), (3,)})
+
+    def test_inequality_atom(self, graph):
+        q = cq([var("x")],
+               [rel("L", var("x"), var("l")), neq(var("l"), "a")])
+        assert q.evaluate(graph) == frozenset({(2,)})
+
+    def test_inequality_between_variables(self, graph):
+        q = cq([var("x"), var("y")],
+               [rel("L", var("x"), var("l")), rel("L", var("y"), var("l")),
+                neq(var("x"), var("y"))])
+        assert q.evaluate(graph) == frozenset({(1, 3), (3, 1)})
+
+    def test_boolean_query_true(self, graph):
+        q = cq([], [rel("E", 1, 2)])
+        assert q.evaluate(graph) == frozenset({()})
+        assert q.holds_in(graph)
+
+    def test_boolean_query_false(self, graph):
+        q = cq([], [rel("E", 2, 1)])
+        assert q.evaluate(graph) == frozenset()
+        assert not q.holds_in(graph)
+
+    def test_cross_product(self, graph):
+        q = cq([var("x"), var("y")],
+               [rel("L", var("x"), "b"), rel("L", var("y"), "b")])
+        assert q.evaluate(graph) == frozenset({(2, 2)})
+
+    def test_empty_instance(self, schema):
+        q = cq([var("x")], [rel("L", var("x"), "a")])
+        assert q.evaluate(Instance.empty(schema)) == frozenset()
+
+    def test_triangle(self, graph):
+        q = cq([var("x")],
+               [rel("E", var("x"), var("y")), rel("E", var("y"), var("z")),
+                rel("E", var("z"), var("x"))])
+        assert q.evaluate(graph) == frozenset({(1,), (2,), (3,)})
+
+    def test_monotonicity(self, schema, graph):
+        q = cq([var("x"), var("z")],
+               [rel("E", var("x"), var("y")), rel("E", var("y"), var("z"))])
+        smaller = Instance(schema, {"E": {(1, 2), (2, 3)}})
+        assert q.evaluate(smaller) <= q.evaluate(graph)
+
+
+class TestTransformation:
+    def test_rename_variables(self, graph):
+        q = cq([var("x")], [rel("L", var("x"), "a")])
+        renamed = q.rename_variables({Var("x"): Var("u")})
+        assert renamed.evaluate(graph) == q.evaluate(graph)
+        assert Var("u") in renamed.variables()
+        assert Var("x") not in renamed.variables()
+
+    def test_standardize_apart(self):
+        q = cq([var("x")], [rel("E", var("x"), var("y"))])
+        apart = q.with_standardized_apart("_1")
+        assert apart.variables().isdisjoint(q.variables())
+
+    def test_to_cq_disjuncts_is_self(self):
+        q = cq([var("x")], [rel("E", var("x"), var("y"))])
+        assert q.to_cq_disjuncts() == [q]
+
+
+class TestIntrospection:
+    def test_constants(self):
+        q = cq([Const(7), var("x")],
+               [rel("E", var("x"), 3), eq(var("x"), 5)])
+        assert q.constants() == {7, 3, 5}
+
+    def test_variables(self):
+        q = cq([var("x")], [rel("E", var("x"), var("y")), neq(var("y"), 1)])
+        assert q.variables() == {Var("x"), Var("y")}
+
+    def test_relations_used(self):
+        q = cq([], [rel("E", 1, 2), rel("L", 1, "a")])
+        assert q.relations_used() == {"E", "L"}
+
+    def test_arity_and_boolean(self):
+        assert cq([var("x")], [rel("L", var("x"), "a")]).arity == 1
+        assert cq([], [rel("E", 1, 2)]).is_boolean

@@ -1,0 +1,121 @@
+"""Tests for the datalog (FP) engine."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import neq, rel
+from repro.queries.datalog import DatalogQuery, Rule, rule
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([RelationSchema("E", ["src", "dst"])])
+
+
+@pytest.fixture
+def chain(schema):
+    return Instance(schema, {"E": {(1, 2), (2, 3), (3, 4)}})
+
+
+def transitive_closure_program() -> DatalogQuery:
+    x, y, z = var("x"), var("y"), var("z")
+    return DatalogQuery([
+        rule(rel("T", x, y), rel("E", x, y)),
+        rule(rel("T", x, z), rel("E", x, y), rel("T", y, z)),
+    ], goal="T")
+
+
+class TestTransitiveClosure:
+    def test_chain(self, chain):
+        q = transitive_closure_program()
+        expected = {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+        assert q.evaluate(chain) == frozenset(expected)
+
+    def test_cycle(self, schema):
+        inst = Instance(schema, {"E": {(1, 2), (2, 1)}})
+        q = transitive_closure_program()
+        assert q.evaluate(inst) == frozenset(
+            {(1, 2), (2, 1), (1, 1), (2, 2)})
+
+    def test_empty_edb(self, schema):
+        q = transitive_closure_program()
+        assert q.evaluate(Instance.empty(schema)) == frozenset()
+
+    def test_fixpoint_preserves_edb(self, chain):
+        q = transitive_closure_program()
+        fp = q.fixpoint(chain)
+        assert fp.relation("E") == chain["E"]
+
+
+class TestRuleValidation:
+    def test_unsafe_head_variable(self):
+        with pytest.raises(QueryError):
+            rule(rel("T", var("x"), var("q")), rel("E", var("x"), var("y")))
+
+    def test_unsafe_comparison_variable(self):
+        with pytest.raises(QueryError):
+            rule(rel("T", var("x")), rel("E", var("x"), var("x")),
+                 neq(var("z"), 1))
+
+    def test_head_must_be_relation_atom(self):
+        with pytest.raises(QueryError):
+            Rule(neq(var("x"), 1), [rel("E", var("x"), var("x"))])
+
+    def test_inconsistent_idb_arity(self):
+        with pytest.raises(QueryError):
+            DatalogQuery([
+                rule(rel("T", var("x")), rel("E", var("x"), var("y"))),
+                rule(rel("T", var("x"), var("y")),
+                     rel("E", var("x"), var("y"))),
+            ], goal="T")
+
+    def test_idb_clash_with_edb(self, chain):
+        q = DatalogQuery(
+            [rule(rel("E", var("x"), var("y")),
+                  rel("E", var("y"), var("x")))], goal="E")
+        with pytest.raises(QueryError):
+            q.evaluate(chain)
+
+    def test_goal_must_resolve(self, schema):
+        q = DatalogQuery([], goal="Nope")
+        with pytest.raises(QueryError):
+            q.validate(schema)
+
+
+class TestFeatures:
+    def test_inequality_in_body(self, schema):
+        inst = Instance(schema, {"E": {(1, 1), (1, 2)}})
+        x, y = var("x"), var("y")
+        q = DatalogQuery(
+            [rule(rel("Proper", x, y), rel("E", x, y), neq(x, y))],
+            goal="Proper")
+        assert q.evaluate(inst) == frozenset({(1, 2)})
+
+    def test_goal_can_be_edb(self, chain):
+        q = DatalogQuery([], goal="E")
+        assert q.evaluate(chain) == chain["E"]
+
+    def test_mutual_recursion(self, schema):
+        # Even/odd distance from node 1.
+        inst = Instance(schema, {"E": {(1, 2), (2, 3), (3, 4)}})
+        x, y = var("x"), var("y")
+        q = DatalogQuery([
+            rule(rel("Even", 1)),
+            rule(rel("Odd", y), rel("Even", x), rel("E", x, y)),
+            rule(rel("Even", y), rel("Odd", x), rel("E", x, y)),
+        ], goal="Even")
+        assert q.evaluate(inst) == frozenset({(1,), (3,)})
+
+    def test_constant_only_rule(self, schema):
+        q = DatalogQuery([rule(rel("Fact", 42))], goal="Fact")
+        assert q.evaluate(Instance.empty(schema)) == frozenset({(42,)})
+
+    def test_language_tag(self):
+        assert transitive_closure_program().language == "FP"
+
+    def test_holds_in(self, chain):
+        q = transitive_closure_program()
+        assert q.holds_in(chain)

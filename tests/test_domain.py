@@ -1,0 +1,94 @@
+"""Tests for attribute domains and fresh values."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.relational.domain import (BOOLEAN, FiniteDomain, FreshValue,
+                                     FreshValueSupply, INFINITE,
+                                     InfiniteDomain, is_fresh)
+
+
+class TestInfiniteDomain:
+    def test_contains_arbitrary_hashables(self):
+        assert "abc" in INFINITE
+        assert 42 in INFINITE
+        assert (1, "a") in INFINITE
+
+    def test_contains_fresh_values(self):
+        assert FreshValue("x") in INFINITE
+
+    def test_is_infinite(self):
+        assert INFINITE.is_infinite
+
+    def test_equality(self):
+        assert INFINITE == InfiniteDomain()
+        assert hash(INFINITE) == hash(InfiniteDomain())
+
+    def test_validate_passes(self):
+        INFINITE.validate("anything")
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        dom = FiniteDomain({"a", "b", "c"})
+        assert "a" in dom
+        assert "z" not in dom
+
+    def test_not_infinite(self):
+        assert not FiniteDomain({"a", "b"}).is_infinite
+
+    def test_requires_two_elements(self):
+        with pytest.raises(DomainError):
+            FiniteDomain({"only"})
+
+    def test_rejects_fresh_values(self):
+        with pytest.raises(DomainError):
+            FiniteDomain({FreshValue("x"), "a"})
+
+    def test_validate_raises_outside(self):
+        dom = FiniteDomain({0, 1})
+        with pytest.raises(DomainError):
+            dom.validate(2, context="test")
+
+    def test_iteration_is_deterministic(self):
+        dom = FiniteDomain({"b", "a", "c"})
+        assert list(dom) == list(dom)
+
+    def test_len(self):
+        assert len(FiniteDomain(range(5))) == 5
+
+    def test_boolean_domain(self):
+        assert 0 in BOOLEAN
+        assert 1 in BOOLEAN
+        assert 2 not in BOOLEAN
+        assert len(BOOLEAN) == 2
+
+
+class TestFreshValues:
+    def test_identity_by_label(self):
+        assert FreshValue("a") == FreshValue("a")
+        assert FreshValue("a") != FreshValue("b")
+
+    def test_never_equals_user_constants(self):
+        assert FreshValue("a") != "a"
+
+    def test_is_fresh(self):
+        assert is_fresh(FreshValue("x"))
+        assert not is_fresh("x")
+
+    def test_supply_produces_distinct_values(self):
+        supply = FreshValueSupply()
+        values = supply.take_many(10)
+        assert len(set(values)) == 10
+
+    def test_distinct_supplies_distinct_prefixes(self):
+        a = FreshValueSupply(prefix="a").take()
+        b = FreshValueSupply(prefix="b").take()
+        assert a != b
+
+    def test_hint_embedded_in_label(self):
+        value = FreshValueSupply().take(hint="myvar")
+        assert "myvar" in value.label
+
+    def test_hashable(self):
+        assert len({FreshValue("a"), FreshValue("a"), FreshValue("b")}) == 2

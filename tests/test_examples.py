@@ -1,0 +1,34 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples contain their own assertions (they double as executable
+documentation), so a clean exit is a meaningful check.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "crm_completeness_audit",
+    "consistency_constraints",
+    "management_hierarchy",
+    "hardness_frontier",
+    "missing_values",
+    "supply_chain",
+    "reproduce_tables",
+])
+def test_example_runs(name, capsys):
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = importlib.import_module(name)
+        module.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    out = capsys.readouterr().out
+    assert out  # each example narrates what it does

@@ -1,0 +1,115 @@
+"""Tests for first-order queries under active-domain semantics."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.fo import (FOQuery, fo_and, fo_atom, fo_exists,
+                              fo_forall, fo_implies, fo_not, fo_or)
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("E", ["src", "dst"]),
+        RelationSchema("P", ["x"]),
+    ])
+
+
+@pytest.fixture
+def graph(schema):
+    return Instance(schema, {
+        "E": {(1, 2), (2, 3), (3, 3)},
+        "P": {(1,), (2,)},
+    })
+
+
+class TestFOEvaluation:
+    def test_negation(self, graph):
+        # nodes in P with no outgoing edge to 3
+        q = FOQuery([var("x")],
+                    fo_and(fo_atom(rel("P", var("x"))),
+                           fo_not(fo_atom(rel("E", var("x"), 3)))))
+        assert q.evaluate(graph) == frozenset({(1,)})
+
+    def test_universal_quantification(self, graph):
+        # nodes x such that every edge from x goes to 3
+        q = FOQuery([var("x")],
+                    fo_and(
+                        fo_atom(rel("P", var("x"))),
+                        fo_forall([var("y")], fo_implies(
+                            fo_atom(rel("E", var("x"), var("y"))),
+                            fo_atom(eq(var("y"), 3))))))
+        assert q.evaluate(graph) == frozenset({(2,)})
+
+    def test_existential(self, graph):
+        q = FOQuery([var("x")],
+                    fo_exists([var("y")],
+                              fo_atom(rel("E", var("x"), var("y")))))
+        assert q.evaluate(graph) == frozenset({(1,), (2,), (3,)})
+
+    def test_boolean_query(self, graph):
+        q = FOQuery([], fo_exists([var("x")],
+                                  fo_atom(rel("E", var("x"), var("x")))))
+        assert q.holds_in(graph)
+
+    def test_boolean_false(self, graph):
+        q = FOQuery([], fo_forall([var("x")],
+                                  fo_atom(rel("P", var("x")))))
+        assert not q.holds_in(graph)
+
+    def test_implication_truth_table(self, graph):
+        # ∀x (P(x) → ∃y E(x,y)) holds: 1 and 2 both have edges
+        q = FOQuery([], fo_forall([var("x")], fo_implies(
+            fo_atom(rel("P", var("x"))),
+            fo_exists([var("y")], fo_atom(rel("E", var("x"), var("y")))))))
+        assert q.holds_in(graph)
+
+    def test_inequality(self, graph):
+        q = FOQuery([var("x")],
+                    fo_exists([var("y")], fo_and(
+                        fo_atom(rel("E", var("x"), var("y"))),
+                        fo_atom(neq(var("x"), var("y"))))))
+        assert q.evaluate(graph) == frozenset({(1,), (2,)})
+
+    def test_domain_includes_query_constants(self, schema):
+        # Constant 99 is not in the instance; quantifiers still see it.
+        inst = Instance(schema, {"P": {(1,)}})
+        q = FOQuery([], fo_exists([var("x")], fo_and(
+            fo_atom(eq(var("x"), 99)),
+            fo_not(fo_atom(rel("P", var("x")))))))
+        assert q.holds_in(inst)
+
+    def test_quantifier_over_empty_domain(self, schema):
+        empty = Instance.empty(schema)
+        q_exists = FOQuery([], fo_exists([var("x")],
+                                         fo_atom(rel("P", var("x")))))
+        q_forall = FOQuery([], fo_forall([var("x")],
+                                         fo_atom(rel("P", var("x")))))
+        assert not q_exists.holds_in(empty)
+        assert q_forall.holds_in(empty)  # vacuously true
+
+    def test_free_variable_not_in_head_rejected(self):
+        with pytest.raises(QueryError):
+            FOQuery([], fo_atom(rel("P", var("x"))))
+
+    def test_language_tag(self):
+        q = FOQuery([], fo_exists([var("x")], fo_atom(rel("P", var("x")))))
+        assert q.language == "FO"
+
+    def test_relations_used(self):
+        q = FOQuery([], fo_exists([var("x")], fo_or(
+            fo_atom(rel("P", var("x"))),
+            fo_atom(rel("E", var("x"), var("x"))))))
+        assert q.relations_used() == {"P", "E"}
+
+    def test_nested_quantifier_restores_environment(self, graph):
+        # x is both quantified inside and a head variable: inner binding
+        # must not leak.
+        q = FOQuery([var("x")], fo_and(
+            fo_atom(rel("P", var("x"))),
+            fo_exists([var("y")], fo_atom(rel("E", var("y"), var("y"))))))
+        assert q.evaluate(graph) == frozenset({(1,), (2,)})

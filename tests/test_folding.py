@@ -1,0 +1,100 @@
+"""Tests for the Lemma 3.2 single-relation folding."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.folding import Folding
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("E", ["src", "dst"]),
+        RelationSchema("L", ["node", "label", "extra"]),
+        RelationSchema("U", ["only"]),
+    ])
+
+
+@pytest.fixture
+def instance(schema):
+    return Instance(schema, {
+        "E": {(1, 2), (2, 3)},
+        "L": {(1, "a", "x"), (3, "b", "y")},
+        "U": {(9,)},
+    })
+
+
+class TestFolding:
+    def test_folded_schema_has_single_relation(self, schema):
+        folding = Folding.of(schema)
+        assert len(folding.folded) == 1
+        rel_schema = folding.folded.relation(folding.relation_name)
+        assert rel_schema.arity == folding.max_arity + 1
+
+    def test_fold_instance_tuple_count(self, schema, instance):
+        folding = Folding.of(schema)
+        folded = folding.fold_instance(instance)
+        assert len(folded[folding.relation_name]) == instance.total_tuples
+
+    def test_round_trip(self, schema, instance):
+        folding = Folding.of(schema)
+        assert folding.unfold_instance(
+            folding.fold_instance(instance)) == instance
+
+    def test_lemma_32_equivalence_simple(self, schema, instance):
+        folding = Folding.of(schema)
+        q = cq([var("x"), var("y")], [rel("E", var("x"), var("y"))])
+        assert (folding.fold_query(q).evaluate(folding.fold_instance(instance))
+                == q.evaluate(instance))
+
+    def test_lemma_32_equivalence_join(self, schema, instance):
+        folding = Folding.of(schema)
+        q = cq([var("x"), var("l")],
+               [rel("E", var("x"), var("y")),
+                rel("L", var("y"), var("l"), var("e"))])
+        assert (folding.fold_query(q).evaluate(folding.fold_instance(instance))
+                == q.evaluate(instance))
+
+    def test_lemma_32_with_comparisons(self, schema, instance):
+        folding = Folding.of(schema)
+        q = cq([var("n")],
+               [rel("L", var("n"), var("lab"), var("e")),
+                eq(var("lab"), "a")])
+        assert (folding.fold_query(q).evaluate(folding.fold_instance(instance))
+                == q.evaluate(instance))
+
+    def test_lemma_32_ucq(self, schema, instance):
+        folding = Folding.of(schema)
+        q = ucq([
+            cq([var("x")], [rel("U", var("x"))]),
+            cq([var("x")], [rel("E", var("x"), var("y"))]),
+        ])
+        assert (folding.fold_ucq(q).evaluate(folding.fold_instance(instance))
+                == q.evaluate(instance))
+
+    def test_pad_values_do_not_leak_into_answers(self, schema, instance):
+        folding = Folding.of(schema)
+        q = cq([var("x")], [rel("U", var("x"))])
+        answers = folding.fold_query(q).evaluate(
+            folding.fold_instance(instance))
+        assert answers == frozenset({(9,)})
+
+    def test_unknown_relation_in_query_rejected(self, schema):
+        folding = Folding.of(schema)
+        q = cq([], [rel("Nope", var("x"))])
+        with pytest.raises(SchemaError):
+            folding.fold_query(q)
+
+    def test_name_clash_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Folding.of(schema, relation_name="E")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Folding.of(DatabaseSchema([]))

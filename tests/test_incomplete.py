@@ -1,0 +1,153 @@
+"""Tests for the missing-values extension (v-tables / c-tables)."""
+
+import pytest
+
+from repro.constraints.ind import InclusionDependency
+from repro.errors import ReproError
+from repro.incomplete.completeness import decide_rcdp_with_missing_values
+from repro.incomplete.conditions import (EqCondition, NeqCondition,
+                                         conjunction)
+from repro.incomplete.nulls import MarkedNull, is_null
+from repro.incomplete.tables import ConditionalRow, IncompleteDatabase
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+IND = InclusionDependency(
+    "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+    SCHEMA, MASTER_SCHEMA)
+Q = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+X = MarkedNull("x")
+Y = MarkedNull("y")
+
+
+class TestNulls:
+    def test_identity_by_name(self):
+        assert MarkedNull("a") == MarkedNull("a")
+        assert MarkedNull("a") != MarkedNull("b")
+        assert is_null(X)
+        assert not is_null("x")
+
+
+class TestConditions:
+    def test_eq_condition(self):
+        cond = conjunction(EqCondition(X, "c1"))
+        assert cond.holds({X: "c1"})
+        assert not cond.holds({X: "c2"})
+
+    def test_neq_condition(self):
+        cond = conjunction(NeqCondition(X, Y))
+        assert cond.holds({X: 1, Y: 2})
+        assert not cond.holds({X: 1, Y: 1})
+
+    def test_conjunction_semantics(self):
+        cond = conjunction(EqCondition(X, "c1"), NeqCondition(Y, "c1"))
+        assert cond.holds({X: "c1", Y: "c2"})
+        assert not cond.holds({X: "c1", Y: "c1"})
+
+    def test_uncovered_null_raises(self):
+        cond = conjunction(EqCondition(X, "c1"))
+        with pytest.raises(ReproError):
+            cond.holds({})
+
+
+class TestPossibleWorlds:
+    def test_vtable_world_count(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", X)}})
+        worlds = list(db.possible_worlds(["c1", "c2"]))
+        assert len(worlds) == 2
+        answers = {frozenset(w["S"]) for w in worlds}
+        assert answers == {frozenset({("e0", "c1")}),
+                           frozenset({("e0", "c2")})}
+
+    def test_shared_null_is_consistent(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", X), ("e1", X)}})
+        for world in db.possible_worlds(["c1", "c2"]):
+            cids = {row[1] for row in world["S"]}
+            assert len(cids) == 1  # both occurrences agree
+
+    def test_condition_filters_rows(self):
+        row = ConditionalRow(("e0", X),
+                             conjunction(NeqCondition(X, "c1")))
+        db = IncompleteDatabase(SCHEMA, {"S": [row]})
+        worlds = list(db.possible_worlds(["c1", "c2"]))
+        sizes = sorted(len(w["S"]) for w in worlds)
+        assert sizes == [0, 1]  # the c1-world drops the row
+
+    def test_world_limit_enforced(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", X), ("e1", Y)}})
+        with pytest.raises(ReproError):
+            list(db.possible_worlds(["c1", "c2"], limit=3))
+
+    def test_complete_database_single_world(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", "c1")}})
+        assert db.is_complete()
+        (world,) = db.possible_worlds(["c1"])
+        assert world["S"] == frozenset({("e0", "c1")})
+
+    def test_arity_checked(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            IncompleteDatabase(SCHEMA, {"S": {("e0",)}})
+
+
+class TestAnswers:
+    def test_certain_vs_possible(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", "c1"), ("e0", X)}})
+        domain = ["c1", "c2"]
+        certain = db.certain_answers(Q, domain)
+        possible = db.possible_answers(Q, domain)
+        assert certain == frozenset({("c1",)})
+        assert possible == frozenset({("c1",), ("c2",)})
+
+    def test_certain_answers_empty_when_worlds_disagree(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", X)}})
+        assert db.certain_answers(Q, ["c1", "c2"]) == frozenset()
+
+
+class TestCompletenessAcrossWorlds:
+    def test_certainly_complete(self):
+        # Whatever X is (c1 or c2), e0 supports both master customers in
+        # every legitimate world: S has (e0,c1), (e0,c2) plus a null row
+        # that can only duplicate one of them.
+        db = IncompleteDatabase(SCHEMA, {
+            "S": {("e0", "c1"), ("e0", "c2"), ("e0", X)}})
+        report = decide_rcdp_with_missing_values(
+            Q, db, DM, [IND], domain=["c1", "c2"])
+        assert report.certainly_complete
+
+    def test_possibly_but_not_certainly_complete(self):
+        # X decides whether c2 is supported: world X=c2 is complete,
+        # world X=c1 is not.
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", "c1"), ("e0", X)}})
+        report = decide_rcdp_with_missing_values(
+            Q, db, DM, [IND], domain=["c1", "c2"])
+        assert report.possibly_complete
+        assert not report.certainly_complete
+        assert report.worlds_partially_closed == 2
+        assert report.worlds_complete == 1
+
+    def test_illegitimate_worlds_skipped(self):
+        # X = "c9" would violate the IND; restricting to the domain below,
+        # one of three worlds is not partially closed.
+        db = IncompleteDatabase(SCHEMA, {
+            "S": {("e0", "c1"), ("e0", "c2"), ("e0", X)}})
+        report = decide_rcdp_with_missing_values(
+            Q, db, DM, [IND], domain=["c1", "c2", "c9"])
+        assert report.worlds_total == 3
+        assert report.worlds_partially_closed == 2
+        assert report.certainly_complete
+
+    def test_samples_are_reported(self):
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", X)}})
+        report = decide_rcdp_with_missing_values(
+            Q, db, DM, [IND], domain=["c1", "c2"], keep_samples=2)
+        assert len(report.samples) == 2
+        assert all(s.partially_closed for s in report.samples)

@@ -1,0 +1,114 @@
+"""Tests for set-semantics database instances."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("R", ["a", "b"]),
+        RelationSchema("S", ["x"]),
+    ])
+
+
+class TestConstruction:
+    def test_empty(self, schema):
+        empty = Instance.empty(schema)
+        assert empty.is_empty()
+        assert empty.total_tuples == 0
+
+    def test_unmentioned_relations_are_empty(self, schema):
+        inst = Instance(schema, {"R": {(1, 2)}})
+        assert inst["S"] == frozenset()
+
+    def test_arity_validation(self, schema):
+        with pytest.raises(SchemaError):
+            Instance(schema, {"R": {(1,)}})
+
+    def test_unknown_relation_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Instance(schema, {"T": {(1,)}})
+
+    def test_finite_domain_validation(self):
+        schema = DatabaseSchema([
+            RelationSchema("F", [Attribute("v", BOOLEAN)])])
+        Instance(schema, {"F": {(0,), (1,)}})
+        with pytest.raises(Exception):
+            Instance(schema, {"F": {(7,)}})
+
+    def test_rows_coerced_to_tuples(self, schema):
+        inst = Instance(schema, {"R": [[1, 2]]})
+        assert (1, 2) in inst["R"]
+
+
+class TestAlgebra:
+    def test_containment_and_extension(self, schema):
+        small = Instance(schema, {"R": {(1, 2)}})
+        big = Instance(schema, {"R": {(1, 2), (3, 4)}, "S": {(5,)}})
+        assert big.contains(small)
+        assert big.is_extension_of(small)
+        assert not small.contains(big)
+
+    def test_every_instance_extends_itself(self, schema):
+        inst = Instance(schema, {"R": {(1, 2)}})
+        assert inst.is_extension_of(inst)
+
+    def test_union(self, schema):
+        a = Instance(schema, {"R": {(1, 2)}})
+        b = Instance(schema, {"R": {(3, 4)}, "S": {(5,)}})
+        u = a.union(b)
+        assert u["R"] == frozenset({(1, 2), (3, 4)})
+        assert u["S"] == frozenset({(5,)})
+
+    def test_with_tuples_returns_new_instance(self, schema):
+        a = Instance(schema, {"R": {(1, 2)}})
+        b = a.with_tuples("R", [(3, 4)])
+        assert (3, 4) in b["R"]
+        assert (3, 4) not in a["R"]
+
+    def test_with_facts(self, schema):
+        inst = Instance.empty(schema).with_facts(
+            [("R", (1, 2)), ("S", (9,)), ("R", (1, 2))])
+        assert inst.total_tuples == 2
+
+    def test_restricted_to(self, schema):
+        inst = Instance(schema, {"R": {(1, 2)}, "S": {(5,)}})
+        only_r = inst.restricted_to(["R"])
+        assert "S" not in only_r.schema
+        assert only_r["R"] == frozenset({(1, 2)})
+
+    def test_active_domain(self, schema):
+        inst = Instance(schema, {"R": {(1, 2)}, "S": {("x",)}})
+        assert inst.active_domain() == frozenset({1, 2, "x"})
+
+    def test_facts_iteration(self, schema):
+        inst = Instance(schema, {"R": {(1, 2)}, "S": {(5,)}})
+        assert set(inst.facts()) == {("R", (1, 2)), ("S", (5,))}
+
+    def test_difference_facts(self, schema):
+        big = Instance(schema, {"R": {(1, 2), (3, 4)}})
+        small = Instance(schema, {"R": {(1, 2)}})
+        assert big.difference_facts(small) == [("R", (3, 4))]
+
+
+class TestEqualityHash:
+    def test_equality_ignores_insertion_order(self, schema):
+        a = Instance(schema, {"R": {(1, 2), (3, 4)}})
+        b = Instance(schema, {"R": {(3, 4), (1, 2)}})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self, schema):
+        a = Instance(schema, {"R": {(1, 2)}})
+        b = Instance(schema, {"R": {(1, 3)}})
+        assert a != b
+
+    def test_pretty_mentions_relations(self, schema):
+        text = Instance(schema, {"R": {(1, 2)}}).pretty()
+        assert "R(a, b)" in text

@@ -1,0 +1,242 @@
+"""Tests for Proposition 2.1: integrity constraints as containment
+constraints.
+
+The key property, checked both on hand-picked and on randomly generated
+instances: for every database ``D``, ``D`` satisfies the integrity
+constraint directly **iff** ``(D, Dm)`` satisfies the compiled CCs (with an
+empty master relation).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.cfd import (ConditionalFunctionalDependency,
+                                   FunctionalDependency)
+from repro.constraints.cind import ConditionalInclusionDependency
+from repro.constraints.compile import compile_all, compile_to_containment
+from repro.constraints.containment import satisfies_all
+from repro.constraints.denial import DenialConstraint
+from repro.errors import ConstraintError
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("Supt", ["eid", "dept", "cid"]),
+    RelationSchema("Emp", ["eid", "dept"]),
+])
+
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("Empty", ["z"])])
+MASTER = Instance(MASTER_SCHEMA)
+
+
+def _compiled_agree(constraint, database) -> None:
+    compiled = compile_to_containment(constraint, SCHEMA, MASTER_SCHEMA)
+    direct = constraint.is_satisfied(database)
+    via_cc = satisfies_all(database, MASTER, compiled)
+    assert direct == via_cc, (
+        f"direct={direct} compiled={via_cc} for {constraint!r} "
+        f"on {database!r}")
+
+
+class TestFD:
+    fd = FunctionalDependency("Supt", ["eid"], ["dept", "cid"])
+
+    def test_satisfied(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0"),
+                                        ("e1", "d0", "c0")}})
+        assert self.fd.is_satisfied(db)
+        _compiled_agree(self.fd, db)
+
+    def test_violated(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0"),
+                                        ("e0", "d1", "c0")}})
+        assert not self.fd.is_satisfied(db)
+        _compiled_agree(self.fd, db)
+
+    def test_empty_db_satisfies(self):
+        _compiled_agree(self.fd, Instance.empty(SCHEMA))
+
+    def test_compiles_to_one_cc_per_rhs_attr(self):
+        ccs = self.fd.to_containment_constraints(SCHEMA)
+        assert len(ccs) == 2
+        assert all(cc.projection.is_empty_target for cc in ccs)
+
+    def test_rhs_required(self):
+        with pytest.raises(ConstraintError):
+            FunctionalDependency("Supt", ["eid"], [])
+
+
+class TestCFD:
+    # dept = "BU" → eid is a key for cid (the paper's example in §2.2)
+    cfd = ConditionalFunctionalDependency(
+        "Supt", ["eid", "dept"], ["cid"], lhs_pattern={"dept": "BU"})
+
+    def test_pattern_restricts_scope(self):
+        # Violation outside the BU department is fine.
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c0"),
+                                        ("e0", "sales", "c1")}})
+        assert self.cfd.is_satisfied(db)
+        _compiled_agree(self.cfd, db)
+
+    def test_violation_inside_pattern(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "BU", "c0"),
+                                        ("e0", "BU", "c1")}})
+        assert not self.cfd.is_satisfied(db)
+        _compiled_agree(self.cfd, db)
+
+    def test_rhs_pattern_single_tuple_violation(self):
+        cfd = ConditionalFunctionalDependency(
+            "Supt", ["eid"], ["dept"],
+            lhs_pattern={}, rhs_pattern={"dept": "BU"})
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c0")}})
+        assert not cfd.is_satisfied(db)
+        _compiled_agree(cfd, db)
+
+    def test_rhs_pattern_satisfied(self):
+        cfd = ConditionalFunctionalDependency(
+            "Supt", ["eid"], ["dept"], rhs_pattern={"dept": "BU"})
+        db = Instance(SCHEMA, {"Supt": {("e0", "BU", "c0")}})
+        assert cfd.is_satisfied(db)
+        _compiled_agree(cfd, db)
+
+    def test_pattern_attr_must_be_in_lhs(self):
+        with pytest.raises(ConstraintError):
+            ConditionalFunctionalDependency(
+                "Supt", ["eid"], ["cid"], lhs_pattern={"dept": "BU"})
+
+
+class TestDenial:
+    # no employee supports customer c0 in department d9
+    dc = DenialConstraint([rel("Supt", var("e"), "d9", "c0")])
+
+    def test_satisfied(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0")}})
+        assert self.dc.is_satisfied(db)
+        _compiled_agree(self.dc, db)
+
+    def test_violated(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "d9", "c0")}})
+        assert not self.dc.is_satisfied(db)
+        _compiled_agree(self.dc, db)
+
+    def test_with_comparison(self):
+        # forbid two distinct depts for one employee (FD as denial)
+        dc = DenialConstraint([
+            rel("Supt", var("e"), var("d1"), var("c1")),
+            rel("Supt", var("e"), var("d2"), var("c2")),
+            neq(var("d1"), var("d2"))])
+        ok = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0")}})
+        bad = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0"),
+                                         ("e0", "d1", "c0")}})
+        assert dc.is_satisfied(ok)
+        assert not dc.is_satisfied(bad)
+        _compiled_agree(dc, ok)
+        _compiled_agree(dc, bad)
+
+    def test_needs_relation_atom(self):
+        with pytest.raises(ConstraintError):
+            DenialConstraint([eq(var("x"), 1)])
+
+
+class TestCIND:
+    cind = ConditionalInclusionDependency(
+        "Supt", ["eid", "dept"], "Emp", ["eid", "dept"])
+
+    def test_satisfied(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0")},
+                               "Emp": {("e0", "d0")}})
+        assert self.cind.is_satisfied(db)
+        _compiled_agree(self.cind, db)
+
+    def test_violated(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "d0", "c0")},
+                               "Emp": {("e0", "d1")}})
+        assert not self.cind.is_satisfied(db)
+        _compiled_agree(self.cind, db)
+
+    def test_with_patterns(self):
+        cind = ConditionalInclusionDependency(
+            "Supt", ["eid"], "Emp", ["eid"],
+            lhs_pattern={"dept": "BU"}, rhs_pattern={"dept": "BU"})
+        ok = Instance(SCHEMA, {"Supt": {("e0", "sales", "c0")}})
+        needs = Instance(SCHEMA, {"Supt": {("e0", "BU", "c0")},
+                                  "Emp": {("e0", "sales")}})
+        good = Instance(SCHEMA, {"Supt": {("e0", "BU", "c0")},
+                                 "Emp": {("e0", "BU")}})
+        assert cind.is_satisfied(ok)       # pattern does not fire
+        assert not cind.is_satisfied(needs)
+        assert cind.is_satisfied(good)
+        for db in (ok, needs, good):
+            _compiled_agree(cind, db)
+
+    def test_compiles_to_fo(self):
+        (cc,) = compile_to_containment(self.cind, SCHEMA, MASTER_SCHEMA)
+        assert cc.language == "FO"
+        assert not cc.is_decidable_language
+
+    def test_attribute_length_mismatch(self):
+        with pytest.raises(ConstraintError):
+            ConditionalInclusionDependency(
+                "Supt", ["eid"], "Emp", ["eid", "dept"])
+
+
+class TestCompileAll:
+    def test_mixed_list(self):
+        constraints = [
+            FunctionalDependency("Supt", ["eid"], ["dept"]),
+            DenialConstraint([rel("Supt", var("e"), "d9", "c0")]),
+        ]
+        compiled = compile_all(constraints, SCHEMA, MASTER_SCHEMA)
+        assert len(compiled) == 2
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConstraintError):
+            compile_to_containment(object(), SCHEMA, MASTER_SCHEMA)
+
+
+# ---------------------------------------------------------------------------
+# Property-based agreement between direct and compiled semantics
+# ---------------------------------------------------------------------------
+
+_eids = st.sampled_from(["e0", "e1"])
+_depts = st.sampled_from(["d0", "d1"])
+_cids = st.sampled_from(["c0", "c1"])
+_supt_rows = st.frozensets(
+    st.tuples(_eids, _depts, _cids), max_size=5)
+_emp_rows = st.frozensets(st.tuples(_eids, _depts), max_size=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_supt_rows)
+def test_fd_compilation_agrees_on_random_instances(rows):
+    fd = FunctionalDependency("Supt", ["eid"], ["dept", "cid"])
+    _compiled_agree(fd, Instance(SCHEMA, {"Supt": rows}))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_supt_rows)
+def test_cfd_compilation_agrees_on_random_instances(rows):
+    cfd = ConditionalFunctionalDependency(
+        "Supt", ["eid", "dept"], ["cid"], lhs_pattern={"dept": "d0"})
+    _compiled_agree(cfd, Instance(SCHEMA, {"Supt": rows}))
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_supt_rows)
+def test_denial_compilation_agrees_on_random_instances(rows):
+    dc = DenialConstraint([
+        rel("Supt", var("e"), var("d1"), var("c")),
+        rel("Supt", var("e"), var("d2"), var("c")),
+        neq(var("d1"), var("d2"))])
+    _compiled_agree(dc, Instance(SCHEMA, {"Supt": rows}))
+
+
+@settings(max_examples=40, deadline=None)
+@given(supt=_supt_rows, emp=_emp_rows)
+def test_cind_compilation_agrees_on_random_instances(supt, emp):
+    cind = ConditionalInclusionDependency(
+        "Supt", ["eid", "dept"], "Emp", ["eid", "dept"])
+    _compiled_agree(cind, Instance(SCHEMA, {"Supt": supt, "Emp": emp}))

@@ -1,0 +1,191 @@
+"""Tests for JSON serialization round-trips."""
+
+import pytest
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.errors import ReproError
+from repro.io.json_io import (constraint_from_dict, constraint_to_dict,
+                              dump_bundle, instance_from_dict,
+                              instance_to_dict, load_bundle,
+                              query_from_dict, query_to_dict,
+                              schema_from_dict, schema_to_dict)
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.parser import parse_program, parse_query
+from repro.queries.terms import var
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("S", ["eid", "cid"]),
+    RelationSchema("F", [Attribute("b", BOOLEAN)]),
+])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+
+
+class TestSchemaRoundTrip:
+    def test_infinite_and_finite_domains(self):
+        data = schema_to_dict(SCHEMA)
+        restored = schema_from_dict(data)
+        assert restored.relation_names == SCHEMA.relation_names
+        assert restored.relation("S").arity == 2
+        assert not restored.relation("F").domain_at(0).is_infinite
+
+    def test_finite_domain_values_preserved(self):
+        restored = schema_from_dict(schema_to_dict(SCHEMA))
+        assert set(restored.relation("F").attributes[0].domain.values) \
+            == {0, 1}
+
+
+class TestInstanceRoundTrip:
+    def test_round_trip(self):
+        inst = Instance(SCHEMA, {"S": {("e0", "c1"), ("e1", "c2")},
+                                 "F": {(0,)}})
+        restored = instance_from_dict(instance_to_dict(inst), SCHEMA)
+        assert restored == inst
+
+    def test_empty_relations_omitted(self):
+        inst = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        data = instance_to_dict(inst)
+        assert "F" not in data
+
+
+class TestQueryRoundTrip:
+    def test_cq(self):
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        restored = query_from_dict(query_to_dict(q))
+        inst = Instance(SCHEMA, {"S": {("e0", "c1"), ("e1", "c2")}})
+        assert restored.evaluate(inst) == q.evaluate(inst)
+
+    def test_cq_with_comparison(self):
+        q = cq([var("e")], [rel("S", var("e"), var("c")),
+                            eq(var("c"), "c1")])
+        restored = query_from_dict(query_to_dict(q))
+        inst = Instance(SCHEMA, {"S": {("e0", "c1"), ("e1", "c2")}})
+        assert restored.evaluate(inst) == q.evaluate(inst)
+
+    def test_ucq(self):
+        q = parse_query("Q(c) :- S('e0', c); Q(c) :- S('e1', c)")
+        restored = query_from_dict(query_to_dict(q))
+        inst = Instance(SCHEMA, {"S": {("e0", "c1"), ("e1", "c2")}})
+        assert restored.evaluate(inst) == q.evaluate(inst)
+
+    def test_datalog(self):
+        program = parse_program(
+            "T(x) :- S(x, y)\nT(y) :- S(x, y), T(x)", goal="T")
+        restored = query_from_dict(query_to_dict(program))
+        inst = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        assert restored.evaluate(inst) == program.evaluate(inst)
+
+    def test_fo_rejected(self):
+        from repro.queries.fo import FOQuery, fo_atom
+
+        q = FOQuery([var("x")], fo_atom(rel("M", var("x"))))
+        with pytest.raises(ReproError):
+            query_to_dict(q)
+
+
+class TestConstraintRoundTrip:
+    def test_projection_target(self):
+        q = cq([var("c")], [rel("S", var("e"), var("c"))])
+        cc = ContainmentConstraint(q, Projection.on("M", [0]), name="φ")
+        restored = constraint_from_dict(constraint_to_dict(cc))
+        assert restored.name == "φ"
+        assert restored.projection.relation == "M"
+        assert restored.projection.columns == (0,)
+
+    def test_empty_target(self):
+        q = cq([var("e")], [rel("S", var("e"), var("c"))])
+        cc = ContainmentConstraint(q, Projection.empty(), name="ψ")
+        restored = constraint_from_dict(constraint_to_dict(cc))
+        assert restored.projection.is_empty_target
+
+
+class TestBundle:
+    def test_dump_and_load(self, tmp_path):
+        database = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        master = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        cc = ContainmentConstraint(
+            cq([var("c")], [rel("S", var("e"), var("c"))]),
+            Projection.on("M", [0]), name="ind")
+        path = tmp_path / "bundle.json"
+        dump_bundle(str(path), schema=SCHEMA,
+                    master_schema=MASTER_SCHEMA, database=database,
+                    master=master, query=q, constraints=[cc])
+        bundle = load_bundle(str(path))
+        assert bundle["database"] == database
+        assert bundle["master"] == master
+        assert bundle["query"].evaluate(database) == q.evaluate(database)
+        assert len(bundle["constraints"]) == 1
+
+    def test_loaded_bundle_drives_decider(self, tmp_path):
+        from repro.core.rcdp import decide_rcdp
+        from repro.core.results import RCDPStatus
+
+        database = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        master = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        cc = ContainmentConstraint(
+            cq([var("c")], [rel("S", var("e"), var("c"))]),
+            Projection.on("M", [0]), name="ind")
+        path = tmp_path / "bundle.json"
+        dump_bundle(str(path), schema=SCHEMA,
+                    master_schema=MASTER_SCHEMA, database=database,
+                    master=master, query=q, constraints=[cc])
+        bundle = load_bundle(str(path))
+        result = decide_rcdp(bundle["query"], bundle["database"],
+                             bundle["master"], bundle["constraints"])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+
+class TestIncompleteRoundTrip:
+    def test_nulls_round_trip(self):
+        import json
+
+        from repro.incomplete.nulls import MarkedNull
+        from repro.incomplete.tables import IncompleteDatabase
+        from repro.io.json_io import (incomplete_from_dict,
+                                      incomplete_to_dict)
+
+        x = MarkedNull("x")
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", x), ("e1", "c1")}})
+        payload = incomplete_to_dict(db)
+        # must be plain JSON
+        text = json.dumps(payload)
+        restored = incomplete_from_dict(json.loads(text), SCHEMA)
+        assert restored.nulls() == {x}
+        worlds_a = {w for w in db.possible_worlds(["c1", "c2"])}
+        worlds_b = {w for w in restored.possible_worlds(["c1", "c2"])}
+        assert worlds_a == worlds_b
+
+    def test_conditions_round_trip(self):
+        from repro.incomplete.conditions import (NeqCondition, conjunction)
+        from repro.incomplete.nulls import MarkedNull
+        from repro.incomplete.tables import (ConditionalRow,
+                                             IncompleteDatabase)
+        from repro.io.json_io import (incomplete_from_dict,
+                                      incomplete_to_dict)
+
+        x = MarkedNull("x")
+        row = ConditionalRow(("e0", x), conjunction(NeqCondition(x, "c1")))
+        db = IncompleteDatabase(SCHEMA, {"S": [row]})
+        restored = incomplete_from_dict(incomplete_to_dict(db), SCHEMA)
+        worlds_a = sorted(
+            repr(w) for w in db.possible_worlds(["c1", "c2"]))
+        worlds_b = sorted(
+            repr(w) for w in restored.possible_worlds(["c1", "c2"]))
+        assert worlds_a == worlds_b
+
+    def test_null_encoding_shape(self):
+        from repro.incomplete.nulls import MarkedNull
+        from repro.incomplete.tables import IncompleteDatabase
+        from repro.io.json_io import incomplete_to_dict
+
+        db = IncompleteDatabase(SCHEMA, {"S": {("e0", MarkedNull("u"))}})
+        payload = incomplete_to_dict(db)
+        (entry,) = payload["S"]
+        assert entry["row"][1] == {"⊥": "u"}

@@ -1,0 +1,124 @@
+"""The decidable (L_Q, L_C) matrix, exercised pair by pair.
+
+Tables I and II enumerate language pairs; this module runs both deciders
+on one CRM-style scenario for every decidable combination of
+L_Q ∈ {CQ, UCQ, ∃FO⁺} and L_C ∈ {INDs, CQ, UCQ, ∃FO⁺}, asserting the
+expected verdicts.  It is the unit-test mirror of the benchmark tables.
+"""
+
+import pytest
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.efo import EFOQuery, and_, atom_f, exists, or_
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+
+COMPLETE_DB = Instance(SCHEMA, {
+    "S": {("e0", "c1"), ("e0", "c2"), ("e1", "c1"), ("e1", "c2")}})
+PARTIAL_DB = Instance(SCHEMA, {"S": {("e0", "c1"), ("e1", "c1")}})
+
+
+# --- L_Q variants: "customers supported by e0 (or e1)" ------------------
+
+def q_cq():
+    return cq([var("c")], [rel("S", "e0", var("c"))], name="q.cq")
+
+
+def q_ucq():
+    return ucq([
+        cq([var("c")], [rel("S", "e0", var("c"))]),
+        cq([var("c")], [rel("S", "e1", var("c"))]),
+    ], name="q.ucq")
+
+
+def q_efo():
+    formula = or_(atom_f(rel("S", "e0", var("c"))),
+                  atom_f(rel("S", "e1", var("c"))))
+    return EFOQuery([var("c")], formula, name="q.efo")
+
+
+# --- L_C variants: "supported customers are master customers" -----------
+
+def v_ind():
+    return [InclusionDependency(
+        "S", ["cid"], "M", ["cid"],
+        name="v.ind").to_containment_constraint(SCHEMA, MASTER_SCHEMA)]
+
+
+def v_cq():
+    # selection-style CQ (not a projection, hence not an IND)
+    query = cq([var("c")],
+               [rel("S", var("e"), var("c")), eq(var("e"), var("e"))],
+               name="qv.cq")
+    return [ContainmentConstraint(query, Projection.on("M", [0]),
+                                  name="v.cq")]
+
+
+def v_ucq():
+    query = ucq([
+        cq([var("c")], [rel("S", "e0", var("c"))]),
+        cq([var("c")], [rel("S", var("e"), var("c"))]),
+    ], name="qv.ucq")
+    return [ContainmentConstraint(query, Projection.on("M", [0]),
+                                  name="v.ucq")]
+
+
+def v_efo():
+    formula = exists([var("e")], and_(atom_f(rel("S", var("e"), var("c")))))
+    query = EFOQuery([var("c")], formula, name="qv.efo")
+    return [ContainmentConstraint(query, Projection.on("M", [0]),
+                                  name="v.efo")]
+
+
+QUERIES = {"CQ": q_cq, "UCQ": q_ucq, "EFO": q_efo}
+CONSTRAINTS = {"IND": v_ind, "CQ": v_cq, "UCQ": v_ucq, "EFO": v_efo}
+PAIRS = [(lq, lc) for lq in QUERIES for lc in CONSTRAINTS]
+IDS = [f"{lq}-{lc}" for lq, lc in PAIRS]
+
+
+@pytest.mark.parametrize("lq, lc", PAIRS, ids=IDS)
+def test_rcdp_complete_case(lq, lc):
+    """With every master customer supported by both employees, every
+    language pair yields COMPLETE."""
+    query = QUERIES[lq]()
+    constraints = CONSTRAINTS[lc]()
+    result = decide_rcdp(query, COMPLETE_DB, DM, constraints)
+    assert result.status is RCDPStatus.COMPLETE, (lq, lc)
+
+
+@pytest.mark.parametrize("lq, lc", PAIRS, ids=IDS)
+def test_rcdp_incomplete_case(lq, lc):
+    """With c2 unsupported, every pair yields INCOMPLETE with an
+    actionable certificate."""
+    query = QUERIES[lq]()
+    constraints = CONSTRAINTS[lc]()
+    result = decide_rcdp(query, PARTIAL_DB, DM, constraints)
+    assert result.status is RCDPStatus.INCOMPLETE, (lq, lc)
+    extended = result.certificate.apply_to(PARTIAL_DB)
+    assert result.certificate.new_answer in query.evaluate(extended)
+
+
+@pytest.mark.parametrize("lq, lc", PAIRS, ids=IDS)
+def test_rcqp_nonempty(lq, lc):
+    """The output column is bounded by master data under every constraint
+    variant, so a relatively complete database exists for every pair."""
+    query = QUERIES[lq]()
+    constraints = CONSTRAINTS[lc]()
+    result = decide_rcqp(query, DM, constraints, SCHEMA,
+                         max_valuation_set_size=2)
+    assert result.status is RCQPStatus.NONEMPTY, (lq, lc)
+    verdict = decide_rcdp(query, result.witness, DM, constraints)
+    assert verdict.status is RCDPStatus.COMPLETE

@@ -1,0 +1,79 @@
+"""Tests for witness minimization."""
+
+import pytest
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.core.witness import minimize_witness
+from repro.errors import ReproError
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+IND = InclusionDependency(
+    "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+    SCHEMA, MASTER_SCHEMA)
+Q = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+
+class TestMinimizeWitness:
+    def test_drops_irrelevant_facts(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1"), ("e0", "c2"),
+                                     ("e1", "c1"), ("e1", "c2")}})
+        minimal = minimize_witness(Q, db, DM, [IND])
+        assert minimal["S"] == frozenset({("e0", "c1"), ("e0", "c2")})
+
+    def test_result_is_still_complete(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1"), ("e0", "c2"),
+                                     ("e1", "c2")}})
+        minimal = minimize_witness(Q, db, DM, [IND])
+        verdict = decide_rcdp(Q, minimal, DM, [IND])
+        assert verdict.status is RCDPStatus.COMPLETE
+
+    def test_result_is_minimal(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1"), ("e0", "c2")}})
+        minimal = minimize_witness(Q, db, DM, [IND])
+        # removing any single remaining fact breaks completeness
+        for name, row in minimal.facts():
+            contents = {r: set(rows) for r, rows in minimal}
+            contents[name].discard(row)
+            shrunk = Instance(SCHEMA, contents, validate=False)
+            verdict = decide_rcdp(Q, shrunk, DM, [IND])
+            assert verdict.status is RCDPStatus.INCOMPLETE
+
+    def test_incomplete_input_rejected(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        with pytest.raises(ReproError):
+            minimize_witness(Q, db, DM, [IND])
+
+    def test_shrinks_rcqp_witness(self):
+        # The Prop. 4.3 witness construction can over-approximate; the
+        # minimizer brings it down to a minimal one.
+        result = decide_rcqp(Q, DM, [IND], SCHEMA)
+        assert result.status is RCQPStatus.NONEMPTY
+        minimal = minimize_witness(Q, result.witness, DM, [IND])
+        assert minimal.total_tuples <= result.witness.total_tuples
+        verdict = decide_rcdp(Q, minimal, DM, [IND])
+        assert verdict.status is RCDPStatus.COMPLETE
+
+    def test_blocking_witness_preserved(self):
+        # Example 4.1: the blocking tuple cannot be dropped.
+        schema = DatabaseSchema([
+            RelationSchema("Supt", ["eid", "dept", "cid"])])
+        master = Instance(DatabaseSchema([RelationSchema("X", ["z"])]))
+        constraints = FunctionalDependency(
+            "Supt", ["eid"], ["dept"]).to_containment_constraints(schema)
+        q4 = cq([var("e"), var("d"), var("c")],
+                [rel("Supt", var("e"), var("d"), var("c")),
+                 eq(var("e"), "e0"), eq(var("d"), "d0")])
+        blocker = Instance(schema, {"Supt": {("e0", "other", "c")}})
+        minimal = minimize_witness(q4, blocker, master, constraints)
+        assert minimal["Supt"]  # the blocker survives

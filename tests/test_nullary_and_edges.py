@@ -1,0 +1,103 @@
+"""Edge cases: nullary relations, empty bodies, and other corners the
+paper's constructions rely on (e.g. the 0-ary ``Rme`` relation)."""
+
+import pytest
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.parser import parse_query
+from repro.queries.tableau import Tableau
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("Flag"),          # nullary
+    RelationSchema("S", ["a"]),
+])
+MASTER_SCHEMA = DatabaseSchema([
+    RelationSchema("Me"),            # nullary master relation (the Rme)
+    RelationSchema("M", ["a"]),
+])
+
+
+class TestNullaryRelations:
+    def test_nullary_instance_contents(self):
+        inst = Instance(SCHEMA, {"Flag": {()}})
+        assert inst["Flag"] == frozenset({()})
+        assert inst.total_tuples == 1
+
+    def test_nullary_atom_in_query(self):
+        q = cq([var("x")], [rel("S", var("x")), rel("Flag")])
+        with_flag = Instance(SCHEMA, {"S": {(1,)}, "Flag": {()}})
+        without = Instance(SCHEMA, {"S": {(1,)}})
+        assert q.evaluate(with_flag) == frozenset({(1,)})
+        assert q.evaluate(without) == frozenset()
+
+    def test_nullary_in_tableau(self):
+        q = cq([var("x")], [rel("S", var("x")), rel("Flag")])
+        t = Tableau(q, SCHEMA)
+        assert any(row.relation == "Flag" and row.is_ground()
+                   for row in t.rows)
+
+    def test_nullary_projection_target(self):
+        # q ⊆ π()(Me): satisfied iff q empty or Me nonempty.
+        q = cq([], [rel("S", var("x"))])
+        cc = ContainmentConstraint(q, Projection.on("Me", []), name="φ")
+        db = Instance(SCHEMA, {"S": {(1,)}})
+        master_with = Instance(MASTER_SCHEMA, {"Me": {()}})
+        master_without = Instance(MASTER_SCHEMA)
+        assert cc.is_satisfied(db, master_with)
+        assert not cc.is_satisfied(db, master_without)
+
+    def test_rcdp_with_nullary_switch(self):
+        # The Flag relation acts as the R6-style switch: the Boolean query
+        # 'Flag holds' is incomplete while false (Flag can be added), and
+        # complete once true.
+        q = cq([], [rel("Flag")])
+        master = Instance(MASTER_SCHEMA)
+        off = Instance(SCHEMA)
+        on = Instance(SCHEMA, {"Flag": {()}})
+        assert decide_rcdp(q, off, master, []).status \
+            is RCDPStatus.INCOMPLETE
+        assert decide_rcdp(q, on, master, []).status \
+            is RCDPStatus.COMPLETE
+
+    def test_parser_accepts_nullary_atoms(self):
+        q = parse_query("Q(x) :- S(x), Flag()")
+        db = Instance(SCHEMA, {"S": {(1,)}, "Flag": {()}})
+        assert q.evaluate(db) == frozenset({(1,)})
+
+
+class TestDegenerateQueries:
+    def test_constant_only_head(self):
+        q = cq([1, 2], [rel("S", var("x"))])
+        db = Instance(SCHEMA, {"S": {(9,)}})
+        assert q.evaluate(db) == frozenset({(1, 2)})
+        assert q.evaluate(Instance(SCHEMA)) == frozenset()
+
+    def test_empty_body_query(self):
+        q = cq([7], [])
+        assert q.evaluate(Instance(SCHEMA)) == frozenset({(7,)})
+
+    def test_empty_body_is_always_complete(self):
+        q = cq([7], [])
+        master = Instance(MASTER_SCHEMA)
+        result = decide_rcdp(q, Instance(SCHEMA), master, [])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_cross_product_query(self):
+        q = cq([var("x"), var("y")],
+               [rel("S", var("x")), rel("S", var("y"))])
+        db = Instance(SCHEMA, {"S": {(1,), (2,)}})
+        assert len(q.evaluate(db)) == 4
+
+    def test_repeated_atom_is_idempotent(self):
+        q1 = cq([var("x")], [rel("S", var("x"))])
+        q2 = cq([var("x")], [rel("S", var("x")), rel("S", var("x"))])
+        db = Instance(SCHEMA, {"S": {(1,), (2,)}})
+        assert q1.evaluate(db) == q2.evaluate(db)

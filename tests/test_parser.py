@@ -1,0 +1,129 @@
+"""Tests for the textual query syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.parser import parse_program, parse_query, parse_rules
+from repro.queries.terms import Const, Var
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("E", ["src", "dst"]),
+    RelationSchema("L", ["node", "label"]),
+])
+GRAPH = Instance(SCHEMA, {
+    "E": {(1, 2), (2, 3)},
+    "L": {(1, "a"), (2, "b"), (3, "a")},
+})
+
+
+class TestParseQuery:
+    def test_single_rule_is_cq(self):
+        q = parse_query("Q(x) :- E(x, y)")
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.evaluate(GRAPH) == frozenset({(1,), (2,)})
+
+    def test_constants_and_comparisons(self):
+        q = parse_query("Q(x) :- L(x, l), l = 'a', x != 3")
+        assert q.evaluate(GRAPH) == frozenset({(1,)})
+
+    def test_numbers_are_constants(self):
+        q = parse_query("Q(y) :- E(1, y)")
+        assert q.evaluate(GRAPH) == frozenset({(2,)})
+
+    def test_double_quotes(self):
+        q = parse_query('Q(x) :- L(x, "b")')
+        assert q.evaluate(GRAPH) == frozenset({(2,)})
+
+    def test_multiple_rules_are_ucq(self):
+        q = parse_query("""
+            Q(x) :- L(x, 'a')
+            Q(x) :- L(x, 'b')
+        """)
+        assert isinstance(q, UnionOfConjunctiveQueries)
+        assert q.evaluate(GRAPH) == frozenset({(1,), (2,), (3,)})
+
+    def test_semicolon_separated(self):
+        q = parse_query("Q(x) :- L(x, 'a'); Q(x) :- L(x, 'b')")
+        assert len(q.disjuncts) == 2
+
+    def test_comments_ignored(self):
+        q = parse_query("""
+            # all nodes with an outgoing edge
+            Q(x) :- E(x, y)  # the body
+        """)
+        assert q.evaluate(GRAPH) == frozenset({(1,), (2,)})
+
+    def test_boolean_query(self):
+        q = parse_query("Q() :- E(1, 2)")
+        assert q.is_boolean
+        assert q.holds_in(GRAPH)
+
+    def test_fact_rule(self):
+        head, body = parse_rules("F(42)")[0]
+        assert head.terms == (Const(42),)
+        assert body == []
+
+    def test_multiline_body(self):
+        q = parse_query("""
+            Q(x) :- E(x, y),
+                    L(y, 'b')
+        """)
+        assert q.evaluate(GRAPH) == frozenset({(1,)})
+
+
+class TestParseErrors:
+    def test_mixed_head_predicates_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- E(x, y); P(x) :- E(x, y)")
+
+    def test_recursion_rejected_in_query(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- E(x, y), Q(y)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- E(x, y) @")
+
+    def test_missing_comparison_operator(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x) :- E(x, y), x y")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse_query("   \n  ")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(x :- E(x, y)")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_query("Q(x) :- E(x, y) @")
+        assert "line" in str(excinfo.value)
+
+
+class TestParseProgram:
+    def test_transitive_closure(self):
+        program = parse_program("""
+            T(x, y) :- E(x, y)
+            T(x, z) :- E(x, y), T(y, z)
+        """, goal="T")
+        assert program.evaluate(GRAPH) == frozenset(
+            {(1, 2), (2, 3), (1, 3)})
+
+    def test_facts_in_program(self):
+        program = parse_program("""
+            Seed(1)
+            Reach(x) :- Seed(x)
+            Reach(y) :- Reach(x), E(x, y)
+        """, goal="Reach")
+        assert program.evaluate(GRAPH) == frozenset({(1,), (2,), (3,)})
+
+    def test_inequality_in_program(self):
+        program = parse_program(
+            "P(x, y) :- E(x, y), x != 1", goal="P")
+        assert program.evaluate(GRAPH) == frozenset({(2, 3)})

@@ -1,0 +1,91 @@
+"""Tests for the ∀∃ / ∃∀∃ QBF evaluators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.solvers.qbf import (ExistsForallExists3SAT, ForallExists3SAT,
+                               random_exists_forall_exists_3sat,
+                               random_forall_exists_3sat)
+from repro.solvers.sat import CNF, evaluate_cnf
+
+
+def brute_forall_exists(formula: ForallExists3SAT) -> bool:
+    for x in itertools.product((False, True), repeat=len(formula.universal)):
+        x_map = dict(zip(formula.universal, x))
+        if not any(
+                evaluate_cnf(formula.matrix,
+                             {**x_map,
+                              **dict(zip(formula.existential, y))})
+                for y in itertools.product(
+                    (False, True), repeat=len(formula.existential))):
+            return False
+    return True
+
+
+def brute_exists_forall_exists(formula: ExistsForallExists3SAT) -> bool:
+    for x in itertools.product((False, True),
+                               repeat=len(formula.outer_existential)):
+        x_map = dict(zip(formula.outer_existential, x))
+        # check ∀y ∃z with x fixed, fully by brute force
+        holds = True
+        for y in itertools.product((False, True),
+                                   repeat=len(formula.universal)):
+            y_map = dict(zip(formula.universal, y))
+            if not any(
+                    evaluate_cnf(formula.matrix,
+                                 {**x_map, **y_map,
+                                  **dict(zip(formula.inner_existential, z))})
+                    for z in itertools.product(
+                        (False, True),
+                        repeat=len(formula.inner_existential))):
+                holds = False
+                break
+        if holds:
+            return True
+    return False
+
+
+class TestForallExists:
+    def test_true_instance(self):
+        # ∀x ∃y. (x ∨ y) ∧ (¬x ∨ ¬y): y = ¬x always works
+        formula = ForallExists3SAT([1], [2], CNF([(1, 2), (-1, -2)]))
+        assert formula.is_true()
+
+    def test_false_instance(self):
+        # ∀x ∃y. x : fails for x = false
+        formula = ForallExists3SAT([1], [2], CNF([(1,), (2, -2)]))
+        assert not formula.is_true()
+
+    def test_blocks_must_partition(self):
+        with pytest.raises(ReproError):
+            ForallExists3SAT([1], [1], CNF([(1,)]))
+
+    def test_agrees_with_brute_force_on_random_instances(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            formula = random_forall_exists_3sat(2, 3, rng.randint(1, 8), rng)
+            assert formula.is_true() == brute_forall_exists(formula)
+
+
+class TestExistsForallExists:
+    def test_true_instance(self):
+        # ∃x ∀y ∃z. (x) ∧ (z ∨ ¬y) ∧ (z ∨ y): pick x=1, z=1
+        formula = ExistsForallExists3SAT(
+            [1], [2], [3], CNF([(1,), (3, -2), (3, 2)]))
+        assert formula.is_true()
+
+    def test_false_instance(self):
+        # ∃x ∀y ∃z. (y): fails for y = false whatever x, z
+        formula = ExistsForallExists3SAT(
+            [1], [2], [3], CNF([(2,), (1, -1), (3, -3)]))
+        assert not formula.is_true()
+
+    def test_agrees_with_brute_force_on_random_instances(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            formula = random_exists_forall_exists_3sat(
+                2, 2, 2, rng.randint(1, 8), rng)
+            assert formula.is_true() == brute_exists_forall_exists(formula)

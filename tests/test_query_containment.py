@@ -1,0 +1,73 @@
+"""Tests for Chandra–Merlin CQ containment."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import neq, rel
+from repro.queries.containment import (canonical_database, is_contained_in,
+                                       is_equivalent)
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([RelationSchema("E", ["src", "dst"])])
+
+
+def path(length: int):
+    """CQ asking for endpoints of a directed path of *length* edges."""
+    atoms = [rel("E", var(f"v{i}"), var(f"v{i+1}")) for i in range(length)]
+    return cq([var("v0"), var(f"v{length}")], atoms)
+
+
+class TestContainment:
+    def test_longer_path_contained_in_shorter(self, schema):
+        # a 2-path maps homomorphically onto ... no: path2 ⊆ path1 fails,
+        # path1 ⊆ path1 holds, and path2 ⊆ path2 holds.
+        assert is_contained_in(path(1), path(1), schema)
+        assert not is_contained_in(path(1), path(2), schema)
+
+    def test_self_loop_contained_in_path(self, schema):
+        loop = cq([var("x"), var("x")], [rel("E", var("x"), var("x"))])
+        # loop answers are (x, x) with E(x,x); a 2-path folds onto the loop
+        assert is_contained_in(loop, path(2), schema)
+        assert not is_contained_in(path(2), loop, schema)
+
+    def test_equivalence_with_redundant_atom(self, schema):
+        q1 = path(1)
+        q2 = cq([var("x"), var("y")],
+                [rel("E", var("x"), var("y")),
+                 rel("E", var("x"), var("y2"))])
+        assert is_equivalent(q1, q2, schema)
+
+    def test_constant_specialization(self, schema):
+        general = cq([var("y")], [rel("E", var("x"), var("y"))])
+        specific = cq([var("y")], [rel("E", 1, var("y"))])
+        assert is_contained_in(specific, general, schema)
+        assert not is_contained_in(general, specific, schema)
+
+    def test_arity_mismatch_rejected(self, schema):
+        with pytest.raises(QueryError):
+            is_contained_in(path(1), cq([var("x")],
+                                        [rel("E", var("x"), var("y"))]),
+                            schema)
+
+    def test_inequalities_rejected(self, schema):
+        q = cq([var("x"), var("y")],
+               [rel("E", var("x"), var("y")), neq(var("x"), var("y"))])
+        with pytest.raises(QueryError):
+            is_contained_in(q, path(1), schema)
+
+
+class TestCanonicalDatabase:
+    def test_canonical_database_satisfies_query(self, schema):
+        q = path(2)
+        frozen, head = canonical_database(q, schema)
+        assert head in q.evaluate(frozen)
+
+    def test_distinct_variables_frozen_distinctly(self, schema):
+        q = path(2)
+        frozen, _ = canonical_database(q, schema)
+        assert len(frozen["E"]) == 2

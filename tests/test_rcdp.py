@@ -1,0 +1,302 @@
+"""Tests for the RCDP decider, including the paper's running examples."""
+
+import pytest
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import (NotPartiallyClosedError,
+                          SearchBudgetExceededError,
+                          UndecidableConfigurationError)
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import cq
+from repro.queries.datalog import DatalogQuery, rule
+from repro.queries.efo import EFOQuery, atom_f, exists, or_
+from repro.queries.fo import FOQuery, fo_atom, fo_exists, fo_not
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+# The CRM scenario of Examples 1.1 / 2.1 / 2.2.  CustD holds the local copy
+# of the domestic customer data and is fully bounded by master data; Supt's
+# customers are bounded by the master cid column.
+SCHEMA = DatabaseSchema([
+    RelationSchema("CustD", ["cid", "name", "ac", "phn"]),
+    RelationSchema("Supt", ["eid", "dept", "cid"]),
+])
+MASTER_SCHEMA = DatabaseSchema([
+    RelationSchema("DCust", ["cid", "name", "ac", "phn"]),
+    RelationSchema("Empty", ["z"]),
+])
+
+DM = Instance(MASTER_SCHEMA, {
+    "DCust": {("c1", "ann", "908", "555-0001"),
+              ("c2", "bob", "908", "555-0002"),
+              ("c3", "cecilia", "212", "555-0003")},
+})
+
+
+def supt_cid_ind():
+    """All supported customers are domestic (bounded by DCust)."""
+    return InclusionDependency(
+        "Supt", ["cid"], "DCust", ["cid"],
+        name="supt⊆dcust").to_containment_constraint(SCHEMA, MASTER_SCHEMA)
+
+
+def custd_ind():
+    """The local customer relation is a subset of master data."""
+    return InclusionDependency(
+        "CustD", ["cid", "name", "ac", "phn"],
+        "DCust", ["cid", "name", "ac", "phn"],
+        name="custd⊆dcust").to_containment_constraint(SCHEMA, MASTER_SCHEMA)
+
+
+def q1_nj_customers():
+    """Q1: customers with ac=908 supported by employee e0."""
+    return cq([var("c")],
+              [rel("Supt", "e0", var("d"), var("c")),
+               rel("CustD", var("c"), var("n"), "908", var("p"))],
+              name="Q1")
+
+
+class TestPaperExampleQ1:
+    """Example 1.1/2.2: Q1 is complete iff all 908 master customers are
+    already supported by e0 (and present in the local customer copy)."""
+
+    def _database(self, supported):
+        custd = {("c1", "ann", "908", "555-0001"),
+                 ("c2", "bob", "908", "555-0002"),
+                 ("c3", "cecilia", "212", "555-0003")}
+        supt = {("e0", "sales", c) for c in supported}
+        return Instance(SCHEMA, {"CustD": custd, "Supt": supt})
+
+    def test_complete_when_all_908_customers_supported(self):
+        db = self._database({"c1", "c2", "c3"})
+        result = decide_rcdp(q1_nj_customers(), db, DM,
+                             [supt_cid_ind(), custd_ind()])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_incomplete_when_a_908_customer_is_missing(self):
+        db = self._database({"c1"})
+        result = decide_rcdp(q1_nj_customers(), db, DM,
+                             [supt_cid_ind(), custd_ind()])
+        assert result.status is RCDPStatus.INCOMPLETE
+        certificate = result.certificate
+        assert certificate is not None
+        # The certificate's extension must be consistent and answer-changing.
+        extended = certificate.apply_to(db)
+        q = q1_nj_customers()
+        assert q.evaluate(extended) != q.evaluate(db)
+        assert certificate.new_answer in q.evaluate(extended)
+
+
+class TestAtMostKConstraint:
+    """Example 2.1 φ1 / Example 3.1: an employee supports ≤ k customers,
+    so k distinct answers make the database complete for Q2."""
+
+    K = 2
+
+    def _at_most_k(self):
+        # q(e) = ∃ c1..ck+1 distinct: Supt(e, ·, ci)  ⊆ ∅
+        body = []
+        for i in range(self.K + 1):
+            body.append(rel("Supt", var("e"), var(f"d{i}"), var(f"c{i}")))
+        for i in range(self.K + 1):
+            for j in range(i + 1, self.K + 1):
+                body.append(neq(var(f"c{i}"), var(f"c{j}")))
+        return ContainmentConstraint(
+            cq([var("e")], body, name="q_k"), Projection.empty(), name="φ1")
+
+    def _q2(self):
+        return cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))],
+                  name="Q2")
+
+    def test_k_answers_make_complete(self):
+        db = Instance(SCHEMA, {
+            "Supt": {("e0", "sales", "c1"), ("e0", "sales", "c2")}})
+        result = decide_rcdp(self._q2(), db, DM, [self._at_most_k()])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_fewer_answers_incomplete(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+        result = decide_rcdp(self._q2(), db, DM, [self._at_most_k()])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_unconstrained_employee_does_not_matter(self):
+        # Another employee's tuples never change Q2's answer.
+        db = Instance(SCHEMA, {
+            "Supt": {("e0", "sales", "c1"), ("e0", "sales", "c2"),
+                     ("e9", "sales", "c3")}})
+        result = decide_rcdp(self._q2(), db, DM, [self._at_most_k()])
+        assert result.status is RCDPStatus.COMPLETE
+
+
+class TestFDExample31:
+    """Example 3.1 second part: with FD eid → dept, cid the answer to Q2
+    is complete as soon as it is nonempty."""
+
+    def _v(self):
+        return FunctionalDependency(
+            "Supt", ["eid"], ["dept", "cid"]).to_containment_constraints(
+                SCHEMA)
+
+    def _q2(self):
+        return cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))],
+                  name="Q2")
+
+    def test_nonempty_answer_complete(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+        result = decide_rcdp(self._q2(), db, DM, self._v())
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_empty_answer_incomplete(self):
+        db = Instance(SCHEMA, {"Supt": {("e9", "sales", "c1")}})
+        result = decide_rcdp(self._q2(), db, DM, self._v())
+        assert result.status is RCDPStatus.INCOMPLETE
+
+
+class TestNoConstraints:
+    """With V = ∅ the database is open-world: only trivially complete
+    queries stay complete."""
+
+    def test_open_world_incomplete(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        result = decide_rcdp(q, db, DM, [])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_unsatisfiable_query_complete(self):
+        db = Instance.empty(SCHEMA)
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c")),
+                            eq(var("c"), "a"), eq(var("c"), "b")])
+        result = decide_rcdp(q, db, DM, [])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_boolean_query_complete_once_true(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+        q = cq([], [rel("Supt", var("e"), var("d"), var("c"))])
+        result = decide_rcdp(q, db, DM, [])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_boolean_query_incomplete_while_false(self):
+        q = cq([], [rel("Supt", var("e"), var("d"), var("c"))])
+        result = decide_rcdp(q, Instance.empty(SCHEMA), DM, [])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+
+class TestUCQAndEFO:
+    def test_ucq_incomplete_until_master_exhausted(self):
+        db = Instance(SCHEMA, {
+            "Supt": {("e0", "sales", "c1"), ("e1", "sales", "c1")}})
+        q = ucq([
+            cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))]),
+            cq([var("c")], [rel("Supt", "e1", var("d"), var("c"))]),
+        ])
+        # Any new customer must be in DCust, and c2/c3 are not yet
+        # supported by either employee — incomplete.
+        result = decide_rcdp(q, db, DM, [supt_cid_ind()])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_ucq_complete_when_both_employees_cover_master(self):
+        rows = {("e0", "s", c) for c in ("c1", "c2", "c3")}
+        rows |= {("e1", "s", c) for c in ("c1", "c2", "c3")}
+        db = Instance(SCHEMA, {"Supt": rows})
+        q = ucq([
+            cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))]),
+            cq([var("c")], [rel("Supt", "e1", var("d"), var("c"))]),
+        ])
+        result = decide_rcdp(q, db, DM, [supt_cid_ind()])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_efo_query(self):
+        formula = or_(
+            atom_f(rel("Supt", "e0", var("d"), var("c"))),
+            atom_f(rel("Supt", "e1", var("d"), var("c"))))
+        q = EFOQuery([var("c")], exists([var("d")], formula))
+        db = Instance(SCHEMA, {
+            "Supt": {("e0", "s", c) for c in ("c1", "c2", "c3")}
+                    | {("e1", "s", c) for c in ("c1", "c2", "c3")}})
+        # every master customer is supported by both: complete
+        result = decide_rcdp(q, db, DM, [supt_cid_ind()])
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_efo_incomplete(self):
+        formula = or_(
+            atom_f(rel("Supt", "e0", var("d"), var("c"))),
+            atom_f(rel("Supt", "e1", var("d"), var("c"))))
+        q = EFOQuery([var("c")], exists([var("d")], formula))
+        db = Instance(SCHEMA, {"Supt": {("e0", "s", "c1")}})
+        result = decide_rcdp(q, db, DM, [supt_cid_ind()])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+
+class TestGuards:
+    def test_fo_query_rejected(self):
+        q = FOQuery([], fo_exists(
+            [var("e"), var("d"), var("c")],
+            fo_atom(rel("Supt", var("e"), var("d"), var("c")))))
+        with pytest.raises(UndecidableConfigurationError):
+            decide_rcdp(q, Instance.empty(SCHEMA), DM, [])
+
+    def test_fp_query_rejected(self):
+        q = DatalogQuery(
+            [rule(rel("T", var("e")),
+                  rel("Supt", var("e"), var("d"), var("c")))], goal="T")
+        with pytest.raises(UndecidableConfigurationError):
+            decide_rcdp(q, Instance.empty(SCHEMA), DM, [])
+
+    def test_fo_constraint_rejected(self):
+        q_fo = FOQuery([], fo_not(fo_exists(
+            [var("e"), var("d"), var("c")],
+            fo_atom(rel("Supt", var("e"), var("d"), var("c"))))))
+        cc = ContainmentConstraint(q_fo, Projection.empty(), name="fo-cc")
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        with pytest.raises(UndecidableConfigurationError):
+            decide_rcdp(q, Instance.empty(SCHEMA), DM, [cc])
+
+    def test_not_partially_closed_rejected(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c-unknown")}})
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        with pytest.raises(NotPartiallyClosedError):
+            decide_rcdp(q, db, DM, [supt_cid_ind()])
+
+    def test_budget_enforced(self):
+        # A COMPLETE verdict must exhaust the valuation space, so a tiny
+        # budget is necessarily exceeded.
+        db = Instance(SCHEMA, {
+            "Supt": {("e0", "s", c) for c in ("c1", "c2", "c3")}})
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        with pytest.raises(SearchBudgetExceededError):
+            decide_rcdp(q, db, DM, [supt_cid_ind()], budget=1)
+
+
+class TestCertificates:
+    def test_certificate_is_actionable(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        result = decide_rcdp(q, db, DM, [supt_cid_ind()])
+        assert result.status is RCDPStatus.INCOMPLETE
+        cert = result.certificate
+        extended = cert.apply_to(db)
+        # extension keeps V satisfied
+        assert supt_cid_ind().is_satisfied(extended, DM)
+        # and adds the promised answer
+        assert cert.new_answer in q.evaluate(extended)
+        assert cert.new_answer not in q.evaluate(db)
+
+    def test_statistics_populated(self):
+        db = Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        result = decide_rcdp(q, db, DM, [supt_cid_ind()])
+        assert result.statistics.valuations_examined > 0
+
+    def test_result_truthiness_is_undefined(self):
+        db = Instance.empty(SCHEMA)
+        q = cq([], [rel("Supt", "e0", var("d"), var("c"))])
+        result = decide_rcdp(q, db, DM, [])
+        with pytest.raises(TypeError):
+            bool(result)

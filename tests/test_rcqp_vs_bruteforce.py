@@ -1,0 +1,111 @@
+"""Cross-validation of the RCQP engines.
+
+The characterization-based decider (:func:`repro.core.rcqp.decide_rcqp`)
+and the definition-level witness search
+(:func:`repro.core.bounded.brute_force_rcqp`) must never contradict each
+other:
+
+* an exact EMPTY from the characterization forbids the search from finding
+  any witness;
+* a NONEMPTY from either engine must come with a witness the exact RCDP
+  decider certifies.
+"""
+
+import pytest
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.ind import InclusionDependency
+from repro.core.bounded import brute_force_rcqp
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.queries.atoms import eq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.domain import BOOLEAN
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("S", ["eid", "cid"]),
+    RelationSchema("F", [Attribute("b", BOOLEAN)]),
+])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+EMPTY_DM = Instance(MASTER_SCHEMA)
+
+
+def _ind():
+    return InclusionDependency(
+        "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+        SCHEMA, MASTER_SCHEMA)
+
+
+def _fd(*rhs):
+    return FunctionalDependency(
+        "S", ["eid"], list(rhs)).to_containment_constraints(SCHEMA)
+
+
+CONFIGURATIONS = [
+    # (name, query, master, constraints)
+    ("ind-covered",
+     cq([var("c")], [rel("S", "e0", var("c"))]), DM, [_ind()]),
+    ("ind-uncovered",
+     cq([var("e")], [rel("S", var("e"), var("c"))]), DM, [_ind()]),
+    ("fd-full",
+     cq([var("e"), var("c")],
+        [rel("S", var("e"), var("c")), eq(var("e"), "e0")]),
+     EMPTY_DM, _fd("cid")),
+    ("no-constraints-finite",
+     cq([var("b")], [rel("F", var("b"))]), EMPTY_DM, []),
+    ("no-constraints-infinite",
+     cq([var("c")], [rel("S", "e0", var("c"))]), EMPTY_DM, []),
+    ("at-most-one-blocking",
+     cq([var("e"), var("c")],
+        [rel("S", var("e"), var("c")), eq(var("e"), "e0"),
+         eq(var("c"), "c0")]),
+     EMPTY_DM, _fd("cid")),
+]
+
+
+@pytest.mark.parametrize(
+    "name, query, master, constraints",
+    CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS])
+def test_engines_never_contradict(name, query, master, constraints):
+    exact = decide_rcqp(query, master, constraints, SCHEMA,
+                        max_valuation_set_size=2)
+    search = brute_force_rcqp(query, master, constraints, SCHEMA,
+                              max_database_size=2)
+
+    if exact.status is RCQPStatus.NONEMPTY:
+        # the witness must be genuinely complete
+        verdict = decide_rcdp(query, exact.witness, master, constraints)
+        assert verdict.status is RCDPStatus.COMPLETE
+    if exact.status is RCQPStatus.EMPTY:
+        # the definition-level search cannot find what does not exist
+        assert search.status is not RCQPStatus.NONEMPTY
+    if search.status is RCQPStatus.NONEMPTY:
+        assert exact.status is not RCQPStatus.EMPTY
+        verdict = decide_rcdp(query, search.witness, master, constraints)
+        assert verdict.status is RCDPStatus.COMPLETE
+
+
+@pytest.mark.parametrize(
+    "name, query, master, constraints",
+    CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS])
+def test_expected_verdicts(name, query, master, constraints):
+    """Pin the expected verdict per configuration (regression guard)."""
+    expected = {
+        "ind-covered": RCQPStatus.NONEMPTY,
+        "ind-uncovered": RCQPStatus.EMPTY,
+        "fd-full": RCQPStatus.NONEMPTY,
+        "no-constraints-finite": RCQPStatus.NONEMPTY,
+        "no-constraints-infinite": RCQPStatus.EMPTY,
+        "at-most-one-blocking": RCQPStatus.NONEMPTY,
+    }[name]
+    result = decide_rcqp(query, master, constraints, SCHEMA,
+                         max_valuation_set_size=2)
+    assert result.status is expected

@@ -1,0 +1,133 @@
+"""Tests for the Theorem 3.1 undecidability encodings (2-head DFA, FO)."""
+
+import pytest
+
+from repro.constraints.containment import satisfies_all
+from repro.core.bounded import brute_force_rcdp
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import UndecidableConfigurationError
+from repro.queries.atoms import rel
+from repro.queries.fo import FOQuery, fo_and, fo_atom, fo_exists, fo_not
+from repro.queries.terms import var
+from repro.reductions.dfa_encodings import (encode_word,
+                                            reduce_dfa_emptiness_to_rcdp,
+                                            reduce_fo_satisfiability_to_rcdp)
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.solvers.twohead import EPSILON, TwoHeadDFA
+
+
+def zeros_then_ones() -> TwoHeadDFA:
+    """Accepts 0ⁿ1ⁿ, n ≥ 1."""
+    return TwoHeadDFA(
+        states={"s", "m", "acc"},
+        transitions={
+            ("s", "0", "0"): ("s", 0, 1),
+            ("s", "0", "1"): ("m", 1, 1),
+            ("m", "0", "1"): ("m", 1, 1),
+            ("m", "1", EPSILON): ("acc", 0, 0),
+        },
+        initial="s", accepting="acc")
+
+
+def dead_machine() -> TwoHeadDFA:
+    return TwoHeadDFA(states={"q", "acc"}, transitions={},
+                      initial="q", accepting="acc")
+
+
+class TestWordLevelAgreement:
+    """The FP query fires on an encoding iff the automaton accepts."""
+
+    @pytest.mark.parametrize("word, expected", [
+        ("01", True), ("0011", True), ("000111", True),
+        ("", False), ("0", False), ("1", False), ("10", False),
+        ("011", False), ("0101", False),
+    ])
+    def test_query_fires_iff_accepted(self, word, expected):
+        automaton = zeros_then_ones()
+        instance = reduce_dfa_emptiness_to_rcdp(automaton)
+        encoding = encode_word(word, instance.schema)
+        assert bool(instance.query.evaluate(encoding)) == expected
+        assert automaton.accepts(word) == expected
+
+    def test_encodings_are_well_formed(self):
+        instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+        for word in ("", "0", "01", "0011"):
+            encoding = encode_word(word, instance.schema)
+            assert satisfies_all(encoding, instance.master,
+                                 list(instance.constraints))
+
+    def test_malformed_encoding_violates_constraints(self):
+        instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+        # position 0 carries both a 0 and a 1 → violates V1
+        bad = encode_word("01", instance.schema).with_tuples("P", [(0,)])
+        assert not satisfies_all(bad, instance.master,
+                                 list(instance.constraints))
+
+    def test_non_functional_f_violates_constraints(self):
+        instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+        bad = encode_word("01", instance.schema).with_tuples("F", [(0, 5)])
+        assert not satisfies_all(bad, instance.master,
+                                 list(instance.constraints))
+
+
+class TestRCDPFraming:
+    def test_exact_decider_refuses_fp(self):
+        instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+        with pytest.raises(UndecidableConfigurationError):
+            decide_rcdp(instance.query, instance.database, instance.master,
+                        list(instance.constraints))
+
+    def test_nonempty_language_bounded_incomplete(self):
+        # L(A) ∋ "01": the empty database is NOT complete, and bounded
+        # search with enough positions finds the counterexample.
+        instance = reduce_dfa_emptiness_to_rcdp(zeros_then_ones())
+        result = brute_force_rcdp(
+            instance.query, instance.database, instance.master,
+            list(instance.constraints), max_extra_facts=5,
+            values=[0, 1, 2])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_empty_language_bounded_complete(self):
+        instance = reduce_dfa_emptiness_to_rcdp(dead_machine())
+        result = brute_force_rcdp(
+            instance.query, instance.database, instance.master,
+            list(instance.constraints), max_extra_facts=3,
+            values=[0, 1])
+        assert result.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+
+
+class TestFOSatisfiability:
+    SCHEMA = DatabaseSchema([RelationSchema("P", ["x"]),
+                             RelationSchema("R", ["x", "y"])])
+
+    def test_satisfiable_query_incomplete(self):
+        q = FOQuery([var("x")], fo_atom(rel("P", var("x"))))
+        instance = reduce_fo_satisfiability_to_rcdp(q, self.SCHEMA)
+        result = brute_force_rcdp(
+            instance.query, instance.database, instance.master,
+            list(instance.constraints), max_extra_facts=1, values=[0])
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_unsatisfiable_query_complete_up_to_bound(self):
+        # P(x) ∧ ¬P(x) — no finite model makes it true.
+        q = FOQuery([var("x")], fo_and(
+            fo_atom(rel("P", var("x"))),
+            fo_not(fo_atom(rel("P", var("x"))))))
+        instance = reduce_fo_satisfiability_to_rcdp(q, self.SCHEMA)
+        result = brute_force_rcdp(
+            instance.query, instance.database, instance.master,
+            list(instance.constraints), max_extra_facts=2, values=[0, 1])
+        assert result.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+
+    def test_boolean_closure(self):
+        q = FOQuery([var("x")], fo_atom(rel("P", var("x"))))
+        instance = reduce_fo_satisfiability_to_rcdp(q, self.SCHEMA)
+        assert instance.query.is_boolean
+
+    def test_exact_decider_refuses_fo(self):
+        q = FOQuery([var("x")], fo_atom(rel("P", var("x"))))
+        instance = reduce_fo_satisfiability_to_rcdp(q, self.SCHEMA)
+        with pytest.raises(UndecidableConfigurationError):
+            decide_rcdp(instance.query, instance.database,
+                        instance.master, list(instance.constraints))

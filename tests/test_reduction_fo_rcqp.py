@@ -1,0 +1,117 @@
+"""Tests for the Theorem 4.1(2) reduction: FO satisfiability ⟶
+RCQP(CQ, FO)."""
+
+import pytest
+
+from repro.constraints.containment import satisfies_all
+from repro.core.bounded import brute_force_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus
+from repro.errors import ReproError, UndecidableConfigurationError
+from repro.queries.atoms import rel
+from repro.queries.fo import FOQuery, fo_and, fo_atom, fo_not
+from repro.queries.terms import var
+from repro.reductions.fo_to_rcqp import reduce_fo_satisfiability_to_rcqp
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([RelationSchema("P", ["x"])])
+
+
+def satisfiable_query() -> FOQuery:
+    return FOQuery([var("x")], fo_atom(rel("P", var("x"))), name="qsat")
+
+
+def unsatisfiable_query() -> FOQuery:
+    return FOQuery([var("x")], fo_and(
+        fo_atom(rel("P", var("x"))),
+        fo_not(fo_atom(rel("P", var("x"))))), name="qunsat")
+
+
+class TestConstruction:
+    def test_exact_decider_refuses(self):
+        instance = reduce_fo_satisfiability_to_rcqp(
+            satisfiable_query(), SCHEMA)
+        with pytest.raises(UndecidableConfigurationError):
+            decide_rcqp(instance.query, instance.master,
+                        list(instance.constraints), instance.schema)
+
+    def test_schema_extended_with_ru(self):
+        instance = reduce_fo_satisfiability_to_rcqp(
+            satisfiable_query(), SCHEMA)
+        assert "Ru" in instance.schema
+
+    def test_ru_clash_rejected(self):
+        bad = DatabaseSchema([RelationSchema("Ru", ["x"])])
+        q = FOQuery([var("x")], fo_atom(rel("Ru", var("x"))))
+        with pytest.raises(ReproError):
+            reduce_fo_satisfiability_to_rcqp(q, bad)
+
+    def test_multi_relation_source_gives_ucq(self):
+        schema = DatabaseSchema([RelationSchema("P", ["x"]),
+                                 RelationSchema("R", ["x", "y"])])
+        q = FOQuery([var("x")], fo_atom(rel("P", var("x"))))
+        instance = reduce_fo_satisfiability_to_rcqp(q, schema)
+        assert instance.query.language == "UCQ"
+
+
+class TestConstraintSemantics:
+    def test_empty_database_is_partially_closed(self):
+        instance = reduce_fo_satisfiability_to_rcqp(
+            satisfiable_query(), SCHEMA)
+        empty = Instance.empty(instance.schema)
+        assert satisfies_all(empty, instance.master,
+                             list(instance.constraints))
+
+    def test_q_firing_database_is_partially_closed(self):
+        instance = reduce_fo_satisfiability_to_rcqp(
+            satisfiable_query(), SCHEMA)
+        db = Instance(instance.schema, {"P": {(1,)}})
+        assert satisfies_all(db, instance.master,
+                             list(instance.constraints))
+
+    def test_q_silent_nonempty_database_violates(self):
+        # With the unsatisfiable q, any nonempty P-part violates V.
+        instance = reduce_fo_satisfiability_to_rcqp(
+            unsatisfiable_query(), SCHEMA)
+        db = Instance(instance.schema, {"P": {(1,)}})
+        assert not satisfies_all(db, instance.master,
+                                 list(instance.constraints))
+
+    def test_ru_part_is_unconstrained(self):
+        instance = reduce_fo_satisfiability_to_rcqp(
+            unsatisfiable_query(), SCHEMA)
+        db = Instance(instance.schema, {"Ru": {("tag",)}})
+        assert satisfies_all(db, instance.master,
+                             list(instance.constraints))
+
+
+class TestBothDirections:
+    def test_unsatisfiable_q_gives_complete_database(self):
+        """q unsatisfiable ⇒ the empty database is relatively complete:
+        bounded search over a meaningful pool finds no counterexample."""
+        instance = reduce_fo_satisfiability_to_rcqp(
+            unsatisfiable_query(), SCHEMA)
+        empty = Instance.empty(instance.schema)
+        verdict = brute_force_rcdp(
+            instance.query, empty, instance.master,
+            list(instance.constraints), max_extra_facts=2,
+            values=[0, 1])
+        assert verdict.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+
+    def test_satisfiable_q_defeats_every_candidate(self):
+        """q satisfiable ⇒ any partially closed candidate is incomplete:
+        a fresh Ru-tuple (plus a q-witness) changes the answer."""
+        instance = reduce_fo_satisfiability_to_rcqp(
+            satisfiable_query(), SCHEMA)
+        candidates = [
+            Instance.empty(instance.schema),
+            Instance(instance.schema, {"P": {(1,)}}),
+            Instance(instance.schema, {"P": {(1,)}, "Ru": {(7,)}}),
+        ]
+        for candidate in candidates:
+            verdict = brute_force_rcdp(
+                instance.query, candidate, instance.master,
+                list(instance.constraints), max_extra_facts=2,
+                values=[0, 1, 7, 99])
+            assert verdict.status is RCDPStatus.INCOMPLETE

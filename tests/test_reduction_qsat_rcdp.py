@@ -1,0 +1,89 @@
+"""Tests for the Theorem 3.6 reduction: ∀∃-3SAT ⟶ RCDP(CQ, INDs).
+
+The defining property — ϕ is true iff the produced database is relatively
+complete — is checked against the independent QBF evaluator on both
+hand-picked and random instances.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import ReproError
+from repro.reductions.qsat_to_rcdp import reduce_forall_exists_3sat_to_rcdp
+from repro.solvers.qbf import ForallExists3SAT, random_forall_exists_3sat
+from repro.solvers.sat import CNF
+
+
+def _decide(instance):
+    return decide_rcdp(instance.query, instance.database, instance.master,
+                       list(instance.constraints))
+
+
+class TestHandPicked:
+    def test_true_formula_gives_complete(self):
+        # ∀x ∃y. (x ∨ y) ∧ (¬x ∨ ¬y)
+        formula = ForallExists3SAT([1], [2], CNF([(1, 2), (-1, -2)]))
+        assert formula.is_true()
+        result = _decide(reduce_forall_exists_3sat_to_rcdp(formula))
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_false_formula_gives_incomplete(self):
+        # ∀x ∃y. x — fails at x = 0
+        formula = ForallExists3SAT([1], [2], CNF([(1,), (2, -2)]))
+        assert not formula.is_true()
+        result = _decide(reduce_forall_exists_3sat_to_rcdp(formula))
+        assert result.status is RCDPStatus.INCOMPLETE
+
+    def test_incompleteness_certificate_flips_the_switch(self):
+        formula = ForallExists3SAT([1], [2], CNF([(1,), (2, -2)]))
+        instance = reduce_forall_exists_3sat_to_rcdp(formula)
+        result = _decide(instance)
+        # The counterexample necessarily adds the tuple (0) to R6.
+        facts = dict(result.certificate.extension_facts)
+        assert ("R6", (0,)) in result.certificate.extension_facts
+
+    def test_two_universals(self):
+        # ∀x1 x2 ∃y. (x1 ∨ x2 ∨ y) — pick y = 1
+        formula = ForallExists3SAT([1, 2], [3], CNF([(1, 2, 3)]))
+        assert formula.is_true()
+        result = _decide(reduce_forall_exists_3sat_to_rcdp(formula))
+        assert result.status is RCDPStatus.COMPLETE
+
+    def test_requires_universal_block(self):
+        formula = ForallExists3SAT([], [1], CNF([(1,)]))
+        with pytest.raises(ReproError):
+            reduce_forall_exists_3sat_to_rcdp(formula)
+
+    def test_constraints_are_inds(self):
+        formula = ForallExists3SAT([1], [2], CNF([(1, 2)]))
+        instance = reduce_forall_exists_3sat_to_rcdp(formula)
+        assert all(c.is_ind() for c in instance.constraints)
+
+    def test_database_partially_closed(self):
+        from repro.constraints.containment import satisfies_all
+
+        formula = ForallExists3SAT([1], [2], CNF([(1, 2)]))
+        instance = reduce_forall_exists_3sat_to_rcdp(formula)
+        assert satisfies_all(instance.database, instance.master,
+                             list(instance.constraints))
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_agrees_with_qbf_solver_on_random_instances(seed):
+    rng = random.Random(seed)
+    formula = random_forall_exists_3sat(2, 2, rng.randint(1, 6), rng)
+    instance = reduce_forall_exists_3sat_to_rcdp(formula)
+    result = _decide(instance)
+    expected = formula.is_true()
+    assert (result.status is RCDPStatus.COMPLETE) == expected
+
+
+def test_slightly_larger_instance():
+    rng = random.Random(99)
+    formula = random_forall_exists_3sat(3, 3, 5, rng)
+    instance = reduce_forall_exists_3sat_to_rcdp(formula)
+    result = _decide(instance)
+    assert (result.status is RCDPStatus.COMPLETE) == formula.is_true()

@@ -1,0 +1,87 @@
+"""Tests for the fixed-(Dm, V) RCQP hardness construction (Corollary 4.6,
+∃∀ fragment — see the module docstring for the documented deviation)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import ReproError
+from repro.reductions.qsat_to_rcqp_fixed import (
+    reduce_exists_forall_3sat_to_rcqp)
+from repro.solvers.qbf import ExistsForall3SAT, random_exists_forall_3sat
+from repro.solvers.sat import CNF
+
+
+def _witness_exists(instance) -> bool:
+    """Search over all ∃-assignments for a complete witness database."""
+    formula = instance.formula
+    for values in itertools.product((False, True),
+                                    repeat=len(formula.existential)):
+        assignment = dict(zip(formula.existential, values))
+        witness = instance.witness_for(assignment)
+        verdict = decide_rcdp(instance.query, witness, instance.master,
+                              list(instance.constraints))
+        if verdict.status is RCDPStatus.COMPLETE:
+            return True
+    return False
+
+
+class TestHandPicked:
+    def test_true_formula_has_complete_witness(self):
+        # ∃x ∀y. (x ∨ y ∨ y): x = 1 works
+        formula = ExistsForall3SAT([1], [2], CNF([(1, 2, 2)]))
+        assert formula.is_true()
+        instance = reduce_exists_forall_3sat_to_rcqp(formula)
+        assert _witness_exists(instance)
+
+    def test_false_formula_has_no_complete_witness(self):
+        # ∃x ∀y. (y): fails at y = 0 for every x
+        formula = ExistsForall3SAT([1], [2], CNF([(2, 2, 2)]))
+        assert not formula.is_true()
+        instance = reduce_exists_forall_3sat_to_rcqp(formula)
+        assert not _witness_exists(instance)
+
+    def test_master_and_constraints_independent_of_formula(self):
+        # Fixed (Dm, V): two different formulas share master data and
+        # constraint names/shapes.
+        f1 = ExistsForall3SAT([1], [2], CNF([(1, 2, 2)]))
+        f2 = ExistsForall3SAT([1, 2], [3], CNF([(1, -2, 3), (-1, 2, -3)]))
+        i1 = reduce_exists_forall_3sat_to_rcqp(f1)
+        i2 = reduce_exists_forall_3sat_to_rcqp(f2)
+        assert i1.master == i2.master
+        assert [c.name for c in i1.constraints] == \
+            [c.name for c in i2.constraints]
+
+    def test_witness_satisfies_constraints(self):
+        from repro.constraints.containment import satisfies_all
+
+        formula = ExistsForall3SAT([1], [2], CNF([(1, 2, 2)]))
+        instance = reduce_exists_forall_3sat_to_rcqp(formula)
+        witness = instance.witness_for({1: True})
+        assert satisfies_all(witness, instance.master,
+                             list(instance.constraints))
+
+    def test_requires_universal_block(self):
+        formula = ExistsForall3SAT([1], [], CNF([(1, 1, 1)]))
+        with pytest.raises(ReproError):
+            reduce_exists_forall_3sat_to_rcqp(formula)
+
+    def test_losing_assignment_witness_is_incomplete(self):
+        # For ∃x ∀y. (x ∨ y): x = 0 loses (y = 0 falsifies).
+        formula = ExistsForall3SAT([1], [2], CNF([(1, 2, 2)]))
+        instance = reduce_exists_forall_3sat_to_rcqp(formula)
+        witness = instance.witness_for({1: False})
+        verdict = decide_rcdp(instance.query, witness, instance.master,
+                              list(instance.constraints))
+        assert verdict.status is RCDPStatus.INCOMPLETE
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_agrees_with_qbf_solver_on_random_instances(seed):
+    rng = random.Random(seed)
+    formula = random_exists_forall_3sat(2, 2, rng.randint(1, 5), rng)
+    instance = reduce_exists_forall_3sat_to_rcqp(formula)
+    assert _witness_exists(instance) == formula.is_true()

@@ -1,0 +1,130 @@
+"""Tests for the Theorem 4.5(2) reduction: 2ⁿ×2ⁿ tiling ⟶ RCQP(CQ, CQ)."""
+
+import random
+
+import pytest
+
+from repro.constraints.containment import satisfies_all
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.errors import ReproError
+from repro.reductions.tiling_to_rcqp import reduce_tiling_to_rcqp
+from repro.solvers.tiling import (TilingInstance, random_tiling_instance,
+                                  solve_tiling)
+
+
+def all_pairs(tiles):
+    return {(a, b) for a in tiles for b in tiles}
+
+
+def checkerboard(exponent):
+    return TilingInstance(
+        tiles=(0, 1), vertical={(0, 1), (1, 0)},
+        horizontal={(0, 1), (1, 0)}, first_tile=0, exponent=exponent)
+
+
+def unsolvable(exponent):
+    # tile 0 has no compatible right neighbour
+    return TilingInstance(
+        tiles=(0, 1), vertical=all_pairs((0, 1)),
+        horizontal={(1, 1)}, first_tile=0, exponent=exponent)
+
+
+class TestSolvableSide:
+    @pytest.mark.parametrize("exponent", [1, 2])
+    def test_grid_witness_is_partially_closed(self, exponent):
+        tiling = checkerboard(exponent)
+        grid = solve_tiling(tiling)
+        reduction = reduce_tiling_to_rcqp(tiling)
+        witness = reduction.witness_from_grid(grid)
+        assert satisfies_all(witness, reduction.master,
+                             list(reduction.constraints))
+
+    @pytest.mark.parametrize("exponent", [1, 2])
+    def test_grid_witness_is_relatively_complete(self, exponent):
+        tiling = checkerboard(exponent)
+        grid = solve_tiling(tiling)
+        reduction = reduce_tiling_to_rcqp(tiling)
+        witness = reduction.witness_from_grid(grid)
+        verdict = decide_rcdp(reduction.query, witness, reduction.master,
+                              list(reduction.constraints))
+        assert verdict.status is RCDPStatus.COMPLETE
+
+    def test_full_compatibility_board(self):
+        tiling = TilingInstance((0, 1), all_pairs((0, 1)),
+                                all_pairs((0, 1)), 0, 1)
+        grid = solve_tiling(tiling)
+        reduction = reduce_tiling_to_rcqp(tiling)
+        witness = reduction.witness_from_grid(grid)
+        verdict = decide_rcdp(reduction.query, witness, reduction.master,
+                              list(reduction.constraints))
+        assert verdict.status is RCDPStatus.COMPLETE
+
+
+class TestUnsolvableSide:
+    @pytest.mark.parametrize("exponent", [1, 2])
+    def test_probe_never_bounded(self, exponent):
+        tiling = unsolvable(exponent)
+        assert solve_tiling(tiling) is None
+        reduction = reduce_tiling_to_rcqp(tiling)
+        candidate = reduction.empty_candidate()
+        assert satisfies_all(candidate, reduction.master,
+                             list(reduction.constraints))
+        verdict = decide_rcdp(reduction.query, candidate, reduction.master,
+                              list(reduction.constraints))
+        assert verdict.status is RCDPStatus.INCOMPLETE
+
+    def test_storing_an_invalid_square_violates_constraints(self):
+        tiling = unsolvable(1)
+        reduction = reduce_tiling_to_rcqp(tiling)
+        # (0, 0 / 1, 1) breaks the horizontal condition of the top row.
+        bad = reduction.empty_candidate().with_tuples(
+            "R1", [("h", 0, 0, 1, 1, 0)])
+        assert not satisfies_all(bad, reduction.master,
+                                 list(reduction.constraints))
+
+    def test_valid_square_with_wrong_first_tile_stays_incomplete(self):
+        # A compatible square exists with top-left tile 1, but Z = t0 = 0
+        # is required for the probe CC to fire, so Rb stays unbounded.
+        tiling = unsolvable(1)
+        reduction = reduce_tiling_to_rcqp(tiling)
+        candidate = reduction.empty_candidate().with_tuples(
+            "R1", [("h", 1, 1, 1, 1, 1)])
+        assert satisfies_all(candidate, reduction.master,
+                             list(reduction.constraints))
+        verdict = decide_rcdp(reduction.query, candidate, reduction.master,
+                              list(reduction.constraints))
+        assert verdict.status is RCDPStatus.INCOMPLETE
+
+
+class TestRandomInstances:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_solver_and_reduction_agree_on_witnesses(self, seed):
+        rng = random.Random(seed)
+        tiling = random_tiling_instance(2, 0.55, 1, rng)
+        grid = solve_tiling(tiling)
+        reduction = reduce_tiling_to_rcqp(tiling)
+        if grid is not None:
+            witness = reduction.witness_from_grid(grid)
+            verdict = decide_rcdp(
+                reduction.query, witness, reduction.master,
+                list(reduction.constraints))
+            assert verdict.status is RCDPStatus.COMPLETE
+        else:
+            candidate = reduction.empty_candidate()
+            verdict = decide_rcdp(
+                reduction.query, candidate, reduction.master,
+                list(reduction.constraints))
+            assert verdict.status is RCDPStatus.INCOMPLETE
+
+
+class TestConstruction:
+    def test_exponent_zero_rejected(self):
+        with pytest.raises(ReproError):
+            reduce_tiling_to_rcqp(TilingInstance(
+                (0,), set(), set(), first_tile=0, exponent=0))
+
+    def test_constraint_count_grows_with_rank(self):
+        r1 = reduce_tiling_to_rcqp(checkerboard(1))
+        r2 = reduce_tiling_to_rcqp(checkerboard(2))
+        assert len(r2.constraints) > len(r1.constraints)

@@ -1,0 +1,106 @@
+"""Tests for the CNF representation and DPLL solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.solvers.sat import (CNF, dpll_satisfiable, evaluate_cnf,
+                               random_3sat)
+
+
+def brute_force_satisfiable(cnf: CNF) -> bool:
+    for values in itertools.product((False, True),
+                                    repeat=cnf.num_variables):
+        if evaluate_cnf(cnf, dict(zip(cnf.variables, values))):
+            return True
+    return False
+
+
+class TestCNF:
+    def test_variable_inference(self):
+        cnf = CNF([(1, -3)])
+        assert cnf.num_variables == 3
+        assert cnf.variables == [1, 2, 3]
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ReproError):
+            CNF([(0,)])
+
+    def test_num_variables_lower_than_literals_rejected(self):
+        with pytest.raises(ReproError):
+            CNF([(5,)], num_variables=2)
+
+    def test_evaluate(self):
+        cnf = CNF([(1, 2), (-1, 2)])
+        assert evaluate_cnf(cnf, {1: True, 2: True})
+        assert not evaluate_cnf(cnf, {1: True, 2: False})
+
+
+class TestDPLL:
+    def test_trivially_satisfiable(self):
+        assert dpll_satisfiable(CNF([(1,)])) == {1: True}
+
+    def test_trivially_unsatisfiable(self):
+        assert dpll_satisfiable(CNF([(1,), (-1,)])) is None
+
+    def test_empty_formula_satisfiable(self):
+        assert dpll_satisfiable(CNF([], num_variables=2)) is not None
+
+    def test_model_is_verified(self):
+        cnf = CNF([(1, 2, 3), (-1, -2), (-2, -3), (2,)])
+        model = dpll_satisfiable(cnf)
+        assert model is not None
+        assert evaluate_cnf(cnf, model)
+
+    def test_assumptions_respected(self):
+        cnf = CNF([(1, 2)])
+        model = dpll_satisfiable(cnf, assumptions={1: False})
+        assert model is not None
+        assert model[1] is False
+        assert model[2] is True
+
+    def test_conflicting_assumptions(self):
+        cnf = CNF([(1,)])
+        assert dpll_satisfiable(cnf, assumptions={1: False}) is None
+
+    def test_pigeonhole_unsat(self):
+        # 3 pigeons, 2 holes: variable p*2+h+1 = pigeon p in hole h.
+        def v(p, h):
+            return p * 2 + h + 1
+        clauses = [(v(p, 0), v(p, 1)) for p in range(3)]
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    clauses.append((-v(p1, h), -v(p2, h)))
+        assert dpll_satisfiable(CNF(clauses)) is None
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), num_clauses=st.integers(1, 20))
+    def test_agrees_with_brute_force(self, seed, num_clauses):
+        cnf = random_3sat(5, num_clauses, random.Random(seed))
+        model = dpll_satisfiable(cnf)
+        if model is None:
+            assert not brute_force_satisfiable(cnf)
+        else:
+            assert evaluate_cnf(cnf, model)
+
+
+class TestRandom3SAT:
+    def test_shape(self):
+        cnf = random_3sat(6, 10, random.Random(0))
+        assert len(cnf.clauses) == 10
+        assert all(len(c) == 3 for c in cnf.clauses)
+        assert all(len({abs(l) for l in c}) == 3 for c in cnf.clauses)
+
+    def test_deterministic_under_seed(self):
+        a = random_3sat(6, 10, random.Random(42))
+        b = random_3sat(6, 10, random.Random(42))
+        assert a == b
+
+    def test_too_few_variables_rejected(self):
+        with pytest.raises(ReproError):
+            random_3sat(2, 1, random.Random(0))

@@ -1,0 +1,114 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.domain import BOOLEAN, FiniteDomain, INFINITE
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+
+class TestAttribute:
+    def test_default_domain_is_infinite(self):
+        assert Attribute("x").domain is INFINITE
+
+    def test_explicit_finite_domain(self):
+        attr = Attribute("flag", BOOLEAN)
+        assert not attr.domain.is_infinite
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRelationSchema:
+    def test_string_attributes_promoted(self):
+        rel = RelationSchema("R", ["a", "b"])
+        assert rel.arity == 2
+        assert rel.attribute_names == ("a", "b")
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_nullary_relation_allowed(self):
+        assert RelationSchema("E").arity == 0
+
+    def test_position_of(self):
+        rel = RelationSchema("R", ["a", "b", "c"])
+        assert rel.position_of("b") == 1
+
+    def test_position_of_unknown_raises(self):
+        rel = RelationSchema("R", ["a"])
+        with pytest.raises(SchemaError):
+            rel.position_of("z")
+
+    def test_domain_at(self):
+        rel = RelationSchema("R", [Attribute("a"), Attribute("f", BOOLEAN)])
+        assert rel.domain_at(0).is_infinite
+        assert not rel.domain_at(1).is_infinite
+
+    def test_domain_at_out_of_range(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"]).domain_at(3)
+
+    def test_validate_tuple_arity(self):
+        rel = RelationSchema("R", ["a", "b"])
+        with pytest.raises(SchemaError):
+            rel.validate_tuple(("x",))
+
+    def test_validate_tuple_domain(self):
+        rel = RelationSchema("R", [Attribute("f", BOOLEAN)])
+        rel.validate_tuple((1,))
+        with pytest.raises(Exception):
+            rel.validate_tuple(("not-bool",))
+
+    def test_equality_and_hash(self):
+        a = RelationSchema("R", ["x"])
+        b = RelationSchema("R", ["x"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != RelationSchema("R", ["y"])
+
+
+class TestDatabaseSchema:
+    def test_relation_lookup(self):
+        schema = DatabaseSchema([RelationSchema("R", ["a"])])
+        assert schema.relation("R").arity == 1
+        assert "R" in schema
+        assert "S" not in schema
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([RelationSchema("R", ["a"]),
+                            RelationSchema("R", ["b"])])
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([]).relation("R")
+
+    def test_extended_with(self):
+        schema = DatabaseSchema([RelationSchema("R", ["a"])])
+        bigger = schema.extended_with(RelationSchema("S", ["b"]))
+        assert "S" in bigger
+        assert "S" not in schema  # original untouched
+
+    def test_merged_with_compatible(self):
+        r = RelationSchema("R", ["a"])
+        s = RelationSchema("S", ["b"])
+        merged = DatabaseSchema([r]).merged_with(DatabaseSchema([r, s]))
+        assert set(merged.relation_names) == {"R", "S"}
+
+    def test_merged_with_conflicting_raises(self):
+        left = DatabaseSchema([RelationSchema("R", ["a"])])
+        right = DatabaseSchema([RelationSchema("R", ["a", "b"])])
+        with pytest.raises(SchemaError):
+            left.merged_with(right)
+
+    def test_iteration_order_preserved(self):
+        schema = DatabaseSchema([RelationSchema("B", ["x"]),
+                                 RelationSchema("A", ["y"])])
+        assert schema.relation_names == ("B", "A")
+
+    def test_len(self):
+        assert len(DatabaseSchema([RelationSchema("R", ["a"])])) == 1

@@ -1,0 +1,146 @@
+"""Tests for the tableau representation (T_Q, u_Q)."""
+
+import pytest
+
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import cq
+from repro.queries.tableau import Tableau
+from repro.queries.terms import Const, Var, var
+from repro.relational.domain import BOOLEAN, FiniteDomain
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("R", ["a", "b"]),
+        RelationSchema("F", [Attribute("u", BOOLEAN), Attribute("v")]),
+    ])
+
+
+class TestEqualityFolding:
+    def test_variable_merge(self, schema):
+        q = cq([var("x")],
+               [rel("R", var("x"), var("y")), eq(var("x"), var("y"))])
+        t = Tableau(q, schema)
+        (row,) = t.rows
+        assert row.terms[0] == row.terms[1]
+        assert t.satisfiable
+
+    def test_constant_pinning(self, schema):
+        q = cq([var("x")], [rel("R", var("x"), var("y")),
+                            eq(var("y"), "c0")])
+        t = Tableau(q, schema)
+        (row,) = t.rows
+        assert row.terms[1] == Const("c0")
+
+    def test_pin_propagates_through_merge(self, schema):
+        q = cq([var("x")],
+               [rel("R", var("x"), var("y")), eq(var("x"), var("y")),
+                eq(var("y"), 7)])
+        t = Tableau(q, schema)
+        assert t.summary == (Const(7),)
+
+    def test_conflicting_pins_unsatisfiable(self, schema):
+        q = cq([var("x")], [rel("R", var("x"), var("x")),
+                            eq(var("x"), 1), eq(var("x"), 2)])
+        assert not Tableau(q, schema).satisfiable
+
+    def test_constant_equality_checked(self, schema):
+        sat = cq([], [rel("R", 1, 2), eq(Const(1), Const(1))])
+        unsat = cq([], [rel("R", 1, 2), eq(Const(1), Const(2))])
+        assert Tableau(sat, schema).satisfiable
+        assert not Tableau(unsat, schema).satisfiable
+
+
+class TestInequalities:
+    def test_trivially_true_dropped(self, schema):
+        q = cq([], [rel("R", var("x"), var("y")), neq(Const(1), Const(2))])
+        assert Tableau(q, schema).inequalities == ()
+
+    def test_ground_false_unsatisfiable(self, schema):
+        q = cq([], [rel("R", var("x"), var("y")), neq(Const(1), Const(1))])
+        assert not Tableau(q, schema).satisfiable
+
+    def test_x_neq_x_after_folding_unsatisfiable(self, schema):
+        q = cq([], [rel("R", var("x"), var("y")), eq(var("x"), var("y")),
+                    neq(var("x"), var("y"))])
+        assert not Tableau(q, schema).satisfiable
+
+    def test_respects_inequalities(self, schema):
+        q = cq([var("x")], [rel("R", var("x"), var("y")),
+                            neq(var("x"), var("y"))])
+        t = Tableau(q, schema)
+        assert t.respects_inequalities({Var("x"): 1, Var("y"): 2})
+        assert not t.respects_inequalities({Var("x"): 1, Var("y"): 1})
+
+    def test_var_const_inequality(self, schema):
+        q = cq([var("x")], [rel("R", var("x"), var("y")),
+                            neq(var("x"), "bad")])
+        t = Tableau(q, schema)
+        assert not t.respects_inequalities({Var("x"): "bad", Var("y"): 1})
+        assert t.respects_inequalities({Var("x"): "ok", Var("y"): 1})
+
+
+class TestDomains:
+    def test_infinite_by_default(self, schema):
+        q = cq([var("x")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, schema)
+        assert not t.has_finite_domain(Var("x"))
+
+    def test_finite_column_gives_finite_domain(self, schema):
+        q = cq([var("u")], [rel("F", var("u"), var("v"))])
+        t = Tableau(q, schema)
+        assert t.has_finite_domain(Var("u"))
+        assert not t.has_finite_domain(Var("v"))
+
+    def test_finite_wins_over_infinite(self, schema):
+        # u occurs both in the boolean column of F and an infinite column
+        # of R: the effective domain is finite.
+        q = cq([var("u")], [rel("F", var("u"), var("v")),
+                            rel("R", var("u"), var("w"))])
+        t = Tableau(q, schema)
+        assert t.has_finite_domain(Var("u"))
+
+    def test_intersection_of_finite_domains(self):
+        schema = DatabaseSchema([
+            RelationSchema("A", [Attribute("x", FiniteDomain({1, 2, 3}))]),
+            RelationSchema("B", [Attribute("x", FiniteDomain({2, 3, 4}))]),
+        ])
+        q = cq([var("x")], [rel("A", var("x")), rel("B", var("x"))])
+        t = Tableau(q, schema)
+        domain = t.domain_of(Var("x"))
+        assert set(domain.values) == {2, 3}
+
+
+class TestStructure:
+    def test_summary_and_instantiation(self, schema):
+        q = cq([var("x"), Const("k")],
+               [rel("R", var("x"), var("y"))])
+        t = Tableau(q, schema)
+        mu = {Var("x"): 1, Var("y"): 2}
+        assert t.summary_under(mu) == (1, "k")
+        assert t.instantiate(mu) == [("R", (1, 2))]
+
+    def test_ground_rows(self, schema):
+        q = cq([], [rel("R", 1, 2), rel("R", var("x"), var("y"))])
+        t = Tableau(q, schema)
+        ground = t.ground_rows()
+        assert len(ground) == 1
+        assert ground[0].instantiate({}) == (1, 2)
+
+    def test_ordered_variables_deterministic(self, schema):
+        q = cq([], [rel("R", var("zz"), var("aa"))])
+        t = Tableau(q, schema)
+        assert t.ordered_variables() == (Var("aa"), Var("zz"))
+
+    def test_constants_collected(self, schema):
+        q = cq([Const(9)], [rel("R", var("x"), 5), neq(var("x"), 7)])
+        t = Tableau(q, schema)
+        assert t.constants() == {9, 5, 7}
+
+    def test_columns_of(self, schema):
+        q = cq([], [rel("R", var("x"), var("x"))])
+        t = Tableau(q, schema)
+        assert set(t.columns_of(Var("x"))) == {("R", 0), ("R", 1)}

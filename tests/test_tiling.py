@@ -1,0 +1,97 @@
+"""Tests for the 2ⁿ×2ⁿ tiling solver."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.solvers.tiling import (TilingInstance, random_tiling_instance,
+                                  solve_tiling, verify_tiling)
+
+
+def all_pairs(tiles):
+    return {(a, b) for a in tiles for b in tiles}
+
+
+class TestSolver:
+    def test_fully_compatible_always_solvable(self):
+        instance = TilingInstance(
+            tiles=(0, 1), vertical=all_pairs((0, 1)),
+            horizontal=all_pairs((0, 1)), first_tile=0, exponent=1)
+        grid = solve_tiling(instance)
+        assert grid is not None
+        assert verify_tiling(instance, grid)
+
+    def test_checkerboard(self):
+        # Only alternating neighbours allowed: the unique solution is a
+        # checkerboard starting with tile 0.
+        instance = TilingInstance(
+            tiles=(0, 1),
+            vertical={(0, 1), (1, 0)},
+            horizontal={(0, 1), (1, 0)},
+            first_tile=0, exponent=1)
+        grid = solve_tiling(instance)
+        assert grid == [[0, 1], [1, 0]]
+        assert verify_tiling(instance, grid)
+
+    def test_unsolvable_instance(self):
+        # Tile 0 has no compatible right neighbour.
+        instance = TilingInstance(
+            tiles=(0, 1), vertical=all_pairs((0, 1)),
+            horizontal={(1, 1)}, first_tile=0, exponent=1)
+        assert solve_tiling(instance) is None
+
+    def test_exponent_zero_trivial(self):
+        instance = TilingInstance(
+            tiles=(0,), vertical=set(), horizontal=set(),
+            first_tile=0, exponent=0)
+        assert solve_tiling(instance) == [[0]]
+
+    def test_exponent_two_board(self):
+        instance = TilingInstance(
+            tiles=(0, 1),
+            vertical={(0, 1), (1, 0)},
+            horizontal={(0, 1), (1, 0)},
+            first_tile=0, exponent=2)
+        grid = solve_tiling(instance)
+        assert grid is not None
+        assert len(grid) == 4
+        assert verify_tiling(instance, grid)
+
+
+class TestVerify:
+    def test_rejects_wrong_first_tile(self):
+        instance = TilingInstance(
+            tiles=(0, 1), vertical=all_pairs((0, 1)),
+            horizontal=all_pairs((0, 1)), first_tile=0, exponent=1)
+        assert not verify_tiling(instance, [[1, 0], [0, 1]])
+
+    def test_rejects_bad_adjacency(self):
+        instance = TilingInstance(
+            tiles=(0, 1), vertical={(0, 1), (1, 0)},
+            horizontal={(0, 1), (1, 0)}, first_tile=0, exponent=1)
+        assert not verify_tiling(instance, [[0, 0], [1, 0]])
+
+    def test_rejects_wrong_shape(self):
+        instance = TilingInstance(
+            tiles=(0, 1), vertical=all_pairs((0, 1)),
+            horizontal=all_pairs((0, 1)), first_tile=0, exponent=1)
+        assert not verify_tiling(instance, [[0, 1]])
+
+
+class TestConstruction:
+    def test_first_tile_must_exist(self):
+        with pytest.raises(ReproError):
+            TilingInstance((0, 1), set(), set(), first_tile=7, exponent=1)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ReproError):
+            TilingInstance((0, 1), set(), set(), first_tile=0, exponent=-1)
+
+    def test_random_instances_solver_consistency(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            instance = random_tiling_instance(3, 0.6, 1, rng)
+            grid = solve_tiling(instance)
+            if grid is not None:
+                assert verify_tiling(instance, grid)

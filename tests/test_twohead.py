@@ -1,0 +1,104 @@
+"""Tests for the deterministic 2-head DFA simulator."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.solvers.twohead import EPSILON, TwoHeadDFA, bounded_emptiness
+
+
+def equal_halves_automaton() -> TwoHeadDFA:
+    """Accepts strings of the form 0ⁿ1ⁿ (n ≥ 1) — a classic non-regular
+    language a 2-head DFA recognizes.
+
+    Head 2 first skips to the first '1' (verifying a 0-block); then both
+    heads advance together, head 1 over the 0s and head 2 over the 1s;
+    acceptance when head 1 reads '1' exactly when head 2 falls off the end.
+    """
+    transitions = {
+        # Phase A (state s): head 2 scans over the 0-block.
+        ("s", "0", "0"): ("s", 0, 1),
+        # Head 2 found the first 1: start matching (requires ≥ one 0).
+        ("s", "0", "1"): ("m", 1, 1),
+        # Phase M: head 1 consumes a 0 for every 1 head 2 consumes.
+        ("m", "0", "1"): ("m", 1, 1),
+        # Head 1 reaches the 1-block exactly when head 2 reaches the end.
+        ("m", "1", EPSILON): ("acc", 0, 0),
+    }
+    return TwoHeadDFA(states={"s", "m", "acc"}, transitions=transitions,
+                      initial="s", accepting="acc")
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("word", ["01", "0011", "000111"])
+    def test_accepts_equal_halves(self, word):
+        assert equal_halves_automaton().accepts(word)
+
+    @pytest.mark.parametrize(
+        "word", ["", "0", "1", "10", "001", "011", "0101", "00011"])
+    def test_rejects_others(self, word):
+        assert not equal_halves_automaton().accepts(word)
+
+    def test_invalid_alphabet_rejected(self):
+        with pytest.raises(ReproError):
+            equal_halves_automaton().accepts("2")
+
+    def test_accepting_run_recorded(self):
+        run = equal_halves_automaton().accepting_run("0011")
+        assert run is not None
+        assert run[0] == ("s", 0, 0)
+        assert run[-1][0] == "acc"
+
+    def test_accepting_run_none_on_reject(self):
+        assert equal_halves_automaton().accepting_run("10") is None
+
+    def test_loop_detection_terminates(self):
+        # A machine that spins in place forever.
+        spinner = TwoHeadDFA(
+            states={"q", "acc"},
+            transitions={("q", "0", "0"): ("q", 0, 0)},
+            initial="q", accepting="acc")
+        assert not spinner.accepts("0")
+
+    def test_max_steps_cap(self):
+        automaton = equal_halves_automaton()
+        assert not automaton.accepts("000111", max_steps=1)
+
+
+class TestConstruction:
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ReproError):
+            TwoHeadDFA(states={"a"},
+                       transitions={("a", "0", "0"): ("zzz", 0, 0)},
+                       initial="a", accepting="a")
+
+    def test_invalid_read_symbol_rejected(self):
+        with pytest.raises(ReproError):
+            TwoHeadDFA(states={"a"},
+                       transitions={("a", "x", "0"): ("a", 0, 0)},
+                       initial="a", accepting="a")
+
+    def test_invalid_move_rejected(self):
+        with pytest.raises(ReproError):
+            TwoHeadDFA(states={"a"},
+                       transitions={("a", "0", "0"): ("a", -1, 0)},
+                       initial="a", accepting="a")
+
+
+class TestBoundedEmptiness:
+    def test_finds_shortest_witness(self):
+        assert bounded_emptiness(equal_halves_automaton(), 4) == "01"
+
+    def test_reports_none_below_threshold(self):
+        assert bounded_emptiness(equal_halves_automaton(), 1) is None
+
+    def test_empty_language_machine(self):
+        dead = TwoHeadDFA(states={"q", "acc"}, transitions={},
+                          initial="q", accepting="acc")
+        assert bounded_emptiness(dead, 4) is None
+
+    def test_accepts_empty_word_machine(self):
+        trivial = TwoHeadDFA(
+            states={"q", "acc"},
+            transitions={("q", EPSILON, EPSILON): ("acc", 0, 0)},
+            initial="q", accepting="acc")
+        assert bounded_emptiness(trivial, 2) == ""

@@ -1,0 +1,79 @@
+"""Tests for Sagiv–Yannakakis UCQ containment."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import eq, rel
+from repro.queries.containment import is_ucq_contained_in
+from repro.queries.cq import cq
+from repro.queries.efo import EFOQuery, atom_f, or_
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("L", ["node", "label"]),
+    RelationSchema("E", ["src", "dst"]),
+])
+
+
+def labelled(label):
+    return cq([var("x")], [rel("L", var("x"), label)])
+
+
+def any_label():
+    return cq([var("x")], [rel("L", var("x"), var("t"))])
+
+
+class TestUCQContainment:
+    def test_union_contained_in_generalization(self):
+        union = ucq([labelled("a"), labelled("b")])
+        assert is_ucq_contained_in(union, ucq([any_label()]), SCHEMA)
+
+    def test_generalization_not_contained_in_union(self):
+        union = ucq([labelled("a"), labelled("b")])
+        assert not is_ucq_contained_in(ucq([any_label()]), union, SCHEMA)
+
+    def test_sub_union_contained(self):
+        small = ucq([labelled("a")])
+        big = ucq([labelled("a"), labelled("b")])
+        assert is_ucq_contained_in(small, big, SCHEMA)
+        assert not is_ucq_contained_in(big, small, SCHEMA)
+
+    def test_each_disjunct_needs_a_home(self):
+        # {a, c} ⊄ {a, b} because 'c' has no covering disjunct.
+        left = ucq([labelled("a"), labelled("c")])
+        right = ucq([labelled("a"), labelled("b")])
+        assert not is_ucq_contained_in(left, right, SCHEMA)
+
+    def test_plain_cqs_accepted(self):
+        assert is_ucq_contained_in(labelled("a"), any_label(), SCHEMA)
+
+    def test_unsatisfiable_disjunct_ignored(self):
+        broken = cq([var("x")],
+                    [rel("L", var("x"), var("t")),
+                     eq(var("t"), "a"), eq(var("t"), "b")])
+        union = ucq([labelled("a"), broken])
+        assert is_ucq_contained_in(union, ucq([labelled("a")]), SCHEMA)
+
+    def test_efo_through_unfolding(self):
+        formula = or_(atom_f(rel("L", var("x"), "a")),
+                      atom_f(rel("L", var("x"), "b")))
+        efo = EFOQuery([var("x")], formula)
+        assert is_ucq_contained_in(efo, any_label(), SCHEMA)
+
+    def test_arity_mismatch_rejected(self):
+        pair = cq([var("x"), var("y")], [rel("E", var("x"), var("y"))])
+        with pytest.raises(QueryError):
+            is_ucq_contained_in(labelled("a"), pair, SCHEMA)
+
+    def test_cross_shaped_containment(self):
+        # path-2 ⊆ edge-query (project endpoints of first edge).
+        edge = cq([var("x"), var("y")], [rel("E", var("x"), var("y"))])
+        path2_start = cq([var("x"), var("y")],
+                         [rel("E", var("x"), var("y")),
+                          rel("E", var("y"), var("z"))])
+        assert is_ucq_contained_in(ucq([path2_start]), ucq([edge]),
+                                   SCHEMA)
+        assert not is_ucq_contained_in(ucq([edge]), ucq([path2_start]),
+                                       SCHEMA)

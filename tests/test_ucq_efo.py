@@ -1,0 +1,124 @@
+"""Tests for UCQ and ∃FO⁺ queries."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import cq
+from repro.queries.efo import (EFOQuery, and_, atom_f, exists, or_)
+from repro.queries.terms import Var, var
+from repro.queries.ucq import UnionOfConjunctiveQueries, ucq
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return DatabaseSchema([
+        RelationSchema("E", ["src", "dst"]),
+        RelationSchema("L", ["node", "label"]),
+    ])
+
+
+@pytest.fixture
+def graph(schema):
+    return Instance(schema, {
+        "E": {(1, 2), (2, 3)},
+        "L": {(1, "a"), (2, "b"), (3, "a")},
+    })
+
+
+class TestUCQ:
+    def test_union_semantics(self, graph):
+        q = ucq([
+            cq([var("x")], [rel("L", var("x"), "a")]),
+            cq([var("x")], [rel("L", var("x"), "b")]),
+        ])
+        assert q.evaluate(graph) == frozenset({(1,), (2,), (3,)})
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(QueryError):
+            ucq([])
+
+    def test_mixed_arity_rejected(self):
+        with pytest.raises(QueryError):
+            ucq([cq([var("x")], [rel("L", var("x"), "a")]),
+                 cq([], [rel("E", 1, 2)])])
+
+    def test_to_cq_disjuncts(self):
+        disjuncts = [cq([var("x")], [rel("L", var("x"), "a")]),
+                     cq([var("x")], [rel("L", var("x"), "b")])]
+        assert ucq(disjuncts).to_cq_disjuncts() == disjuncts
+
+    def test_holds_in(self, graph):
+        q = ucq([cq([], [rel("E", 5, 6)]), cq([], [rel("E", 1, 2)])])
+        assert q.holds_in(graph)
+
+    def test_constants_and_variables_union(self):
+        q = ucq([cq([var("x")], [rel("L", var("x"), "a")]),
+                 cq([var("y")], [rel("L", var("y"), "b")])])
+        assert q.constants() == {"a", "b"}
+        assert q.variables() == {Var("x"), Var("y")}
+
+
+class TestEFO:
+    def test_disjunction_unfolds_to_ucq(self, graph):
+        formula = or_(
+            atom_f(rel("L", var("x"), "a")),
+            atom_f(rel("L", var("x"), "b")))
+        q = EFOQuery([var("x")], formula)
+        assert len(q.to_ucq().disjuncts) == 2
+        assert q.evaluate(graph) == frozenset({(1,), (2,), (3,)})
+
+    def test_conjunction_of_disjunctions_distributes(self, graph):
+        formula = and_(
+            or_(atom_f(rel("L", var("x"), "a")),
+                atom_f(rel("L", var("x"), "b"))),
+            or_(atom_f(rel("E", var("x"), var("y"))),
+                atom_f(rel("E", var("y"), var("x")))))
+        q = EFOQuery([var("x")], exists([var("y")], formula))
+        assert len(q.to_ucq().disjuncts) == 4
+        # every labelled node with any incident edge
+        assert q.evaluate(graph) == frozenset({(1,), (2,), (3,)})
+
+    def test_quantifier_rectification_avoids_capture(self, graph):
+        # (∃y E(x,y)) ∧ (∃y E(y,x)): the two y's are different variables.
+        formula = and_(
+            exists([var("y")], atom_f(rel("E", var("x"), var("y")))),
+            exists([var("y")], atom_f(rel("E", var("y"), var("x")))))
+        q = EFOQuery([var("x")], formula)
+        # only node 2 has both an outgoing and an incoming edge
+        assert q.evaluate(graph) == frozenset({(2,)})
+
+    def test_equivalent_to_manual_ucq(self, graph):
+        formula = or_(
+            and_(atom_f(rel("E", var("x"), var("y"))),
+                 atom_f(eq(var("y"), 2))),
+            atom_f(rel("L", var("x"), "b")))
+        efo = EFOQuery([var("x")], exists([var("y")], formula))
+        manual = ucq([
+            cq([var("x")], [rel("E", var("x"), var("y")), eq(var("y"), 2)]),
+            cq([var("x")], [rel("L", var("x"), "b")]),
+        ])
+        assert efo.evaluate(graph) == manual.evaluate(graph)
+
+    def test_inequality_in_efo(self, graph):
+        formula = and_(atom_f(rel("L", var("x"), var("l"))),
+                       atom_f(neq(var("l"), "a")))
+        q = EFOQuery([var("x")], exists([var("l")], formula))
+        assert q.evaluate(graph) == frozenset({(2,)})
+
+    def test_ucq_cache_reused(self):
+        q = EFOQuery([var("x")], atom_f(rel("L", var("x"), "a")))
+        assert q.to_ucq() is q.to_ucq()
+
+    def test_boolean_efo(self, graph):
+        q = EFOQuery([], exists([var("x"), var("y")],
+                                atom_f(rel("E", var("x"), var("y")))))
+        assert q.holds_in(graph)
+
+    def test_language_tags(self):
+        q1 = cq([], [rel("E", 1, 2)])
+        q2 = ucq([q1])
+        q3 = EFOQuery([], atom_f(rel("E", 1, 2)))
+        assert (q1.language, q2.language, q3.language) == ("CQ", "UCQ", "EFO")

@@ -1,0 +1,120 @@
+"""Tests for active domains and valid-valuation enumeration."""
+
+import pytest
+
+from repro.core.valuations import ActiveDomain, iter_valid_valuations
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import cq
+from repro.queries.tableau import Tableau
+from repro.queries.terms import Var, var
+from repro.relational.domain import BOOLEAN, is_fresh
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("R", ["a", "b"]),
+    RelationSchema("F", [Attribute("u", BOOLEAN)]),
+])
+
+
+@pytest.fixture
+def adom():
+    inst = Instance(SCHEMA, {"R": {(1, 2)}})
+    q = cq([var("x")], [rel("R", var("x"), 3)])
+    return ActiveDomain.build(instances=(inst,), queries=(q,))
+
+
+class TestActiveDomain:
+    def test_constants_collected(self, adom):
+        assert adom.constants == frozenset({1, 2, 3})
+
+    def test_fresh_values_dedicated_and_stable(self, adom):
+        a = adom.fresh_for(Var("x"))
+        b = adom.fresh_for(Var("x"))
+        c = adom.fresh_for(Var("y"))
+        assert a == b
+        assert a != c
+        assert is_fresh(a)
+
+    def test_candidates_infinite_var(self, adom):
+        q = cq([var("x")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        candidates = adom.candidates_for(t, Var("x"), fresh="own")
+        assert set(candidates) == {1, 2, 3, adom.fresh_for(Var("x"))}
+
+    def test_candidates_finite_var_ignore_fresh(self, adom):
+        q = cq([var("u")], [rel("F", var("u"))])
+        t = Tableau(q, SCHEMA)
+        assert set(adom.candidates_for(t, Var("u"), fresh="own")) == {0, 1}
+
+    def test_candidates_fresh_all(self, adom):
+        adom.fresh_for(Var("x"))
+        adom.fresh_for(Var("y"))
+        q = cq([var("x")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        candidates = adom.candidates_for(t, Var("x"), fresh="all")
+        assert len([v for v in candidates if is_fresh(v)]) == 2
+
+    def test_candidates_fresh_none(self, adom):
+        q = cq([var("x")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        candidates = adom.candidates_for(t, Var("x"), fresh="none")
+        assert not any(is_fresh(v) for v in candidates)
+
+    def test_extra_values_appended_without_duplicates(self, adom):
+        q = cq([var("x")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        candidates = adom.candidates_for(t, Var("x"), fresh="none",
+                                         extra=[1, "new"])
+        assert candidates.count(1) == 1
+        assert "new" in candidates
+
+
+class TestValuationEnumeration:
+    def test_counts(self, adom):
+        q = cq([var("x"), var("y")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        adom.register_tableau(t)
+        vals = list(iter_valid_valuations(t, adom, fresh="own"))
+        # 4 candidates per variable (3 constants + own fresh)
+        assert len(vals) == 16
+
+    def test_inequality_pruning(self, adom):
+        q = cq([var("x"), var("y")],
+               [rel("R", var("x"), var("y")), neq(var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        vals = list(iter_valid_valuations(t, adom, fresh="own"))
+        assert all(v[Var("x")] != v[Var("y")] for v in vals)
+        # 16 total minus the 3 equal-constant pairs (fresh values differ)
+        assert len(vals) == 13
+
+    def test_constant_inequality(self, adom):
+        q = cq([var("x")], [rel("R", var("x"), var("y")), neq(var("x"), 1)])
+        t = Tableau(q, SCHEMA)
+        vals = list(iter_valid_valuations(t, adom, fresh="own"))
+        assert all(v[Var("x")] != 1 for v in vals)
+
+    def test_unsatisfiable_tableau_yields_nothing(self, adom):
+        q = cq([], [rel("R", var("x"), var("y")),
+                    eq(var("x"), 1), eq(var("x"), 2)])
+        t = Tableau(q, SCHEMA)
+        assert list(iter_valid_valuations(t, adom)) == []
+
+    def test_ground_tableau_yields_empty_valuation(self, adom):
+        q = cq([], [rel("R", 1, 2)])
+        t = Tableau(q, SCHEMA)
+        assert list(iter_valid_valuations(t, adom)) == [{}]
+
+    def test_finite_domain_variable_ranges_over_domain(self, adom):
+        q = cq([var("u")], [rel("F", var("u"))])
+        t = Tableau(q, SCHEMA)
+        vals = list(iter_valid_valuations(t, adom, fresh="own"))
+        assert {v[Var("u")] for v in vals} == {0, 1}
+
+    def test_determinism(self, adom):
+        q = cq([var("x"), var("y")], [rel("R", var("x"), var("y"))])
+        t = Tableau(q, SCHEMA)
+        first = list(iter_valid_valuations(t, adom, fresh="own"))
+        second = list(iter_valid_valuations(t, adom, fresh="own"))
+        assert first == second

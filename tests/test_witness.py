@@ -1,0 +1,65 @@
+"""Tests for certificate-driven completion (Section 2.3 guidance)."""
+
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.core.witness import make_complete
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+DM = Instance(MASTER_SCHEMA, {"M": {("c1",), ("c2",), ("c3",)}})
+
+
+def ind():
+    return InclusionDependency(
+        "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+        SCHEMA, MASTER_SCHEMA)
+
+
+class TestMakeComplete:
+    def test_completes_missing_customers(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        outcome = make_complete(q, db, DM, [ind()])
+        assert outcome.complete
+        assert outcome.rounds >= 1
+        verdict = decide_rcdp(q, outcome.database, DM, [ind()])
+        assert verdict.status is RCDPStatus.COMPLETE
+        # the guidance names the missing customers
+        added_cids = {row[1] for name, row in outcome.added_facts
+                      if name == "S"}
+        assert added_cids == {"c2", "c3"}
+
+    def test_already_complete_zero_rounds(self):
+        db = Instance(SCHEMA, {"S": {("e0", c) for c in
+                                     ("c1", "c2", "c3")}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        outcome = make_complete(q, db, DM, [ind()])
+        assert outcome.complete
+        assert outcome.rounds == 0
+        assert outcome.added_facts == ()
+
+    def test_hopeless_query_does_not_converge(self):
+        # eid is unconstrained: no finite database is ever complete.
+        db = Instance.empty(SCHEMA)
+        q = cq([var("e")], [rel("S", var("e"), var("c"))])
+        outcome = make_complete(q, db, DM, [ind()], max_rounds=3)
+        assert not outcome.complete
+        assert outcome.rounds == 3
+
+    def test_original_database_preserved(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        make_complete(q, db, DM, [ind()])
+        assert db["S"] == frozenset({("e0", "c1")})
+
+    def test_outcome_repr(self):
+        db = Instance(SCHEMA, {"S": {("e0", "c1")}})
+        q = cq([var("c")], [rel("S", "e0", var("c"))])
+        outcome = make_complete(q, db, DM, [ind()])
+        assert "complete" in repr(outcome)
