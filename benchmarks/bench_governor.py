@@ -1,0 +1,124 @@
+"""Overhead of the execution governor on the core decision procedures.
+
+The governor's tick is a counter increment plus a few ``None`` checks per
+enumeration step.  This bench pins that claim: governed runs (bare
+governor, budget, and deadline variants) are timed against the same
+ungoverned decision and must stay within noise of it — while a run with
+a tight budget must degrade gracefully instead of paying for the full
+search.
+"""
+
+import random
+
+import pytest
+
+from repro.core.rcdp import decide_rcdp
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.mdm.generators import GeneratorConfig, generate_scenario
+from repro.runtime import Budget, Deadline, ExecutionGovernor
+from repro.solvers.qbf import random_forall_exists_3sat
+from repro.reductions.qsat_to_rcdp import reduce_forall_exists_3sat_to_rcdp
+
+pytestmark = pytest.mark.benchmark(
+    min_rounds=1, max_time=0.5, warmup=False)
+
+
+def _qsat_instance(num_vars=3, seed=3):
+    rng = random.Random(seed)
+    formula = random_forall_exists_3sat(num_vars, num_vars, 4, rng)
+    return reduce_forall_exists_3sat_to_rcdp(formula)
+
+
+def _decide(instance, governor=None, on_exhausted="error"):
+    return decide_rcdp(instance.query, instance.database, instance.master,
+                       list(instance.constraints), governor=governor,
+                       on_exhausted=on_exhausted)
+
+
+def test_rcdp_ungoverned_baseline(benchmark):
+    instance = _qsat_instance()
+    result = benchmark(_decide, instance)
+    assert result.status is not RCDPStatus.EXHAUSTED
+    benchmark.extra_info["valuations"] = \
+        result.statistics.valuations_examined
+
+
+def test_rcdp_bare_governor_overhead(benchmark):
+    """A governor with no limits: pure tick-counting overhead."""
+    instance = _qsat_instance()
+    result = benchmark(lambda: _decide(instance,
+                                       governor=ExecutionGovernor()))
+    assert result.status is not RCDPStatus.EXHAUSTED
+
+
+def test_rcdp_budget_and_deadline_overhead(benchmark):
+    """Generous limits that never trip: the full tick path is exercised."""
+    instance = _qsat_instance()
+
+    def governed():
+        governor = ExecutionGovernor(budget=Budget(limit=10_000_000),
+                                     deadline=Deadline.after(600))
+        return _decide(instance, governor=governor)
+
+    result = benchmark(governed)
+    assert result.status is not RCDPStatus.EXHAUSTED
+
+
+def test_rcdp_tight_budget_degrades_cheaply(benchmark):
+    """Exhaustion must cost ~the budget, not ~the search."""
+    instance = _qsat_instance(num_vars=4, seed=5)
+
+    def exhausted():
+        governor = ExecutionGovernor(budget=Budget(limit=16))
+        return _decide(instance, governor=governor,
+                       on_exhausted="partial")
+
+    result = benchmark(exhausted)
+    assert result.status is RCDPStatus.EXHAUSTED
+    assert result.checkpoint is not None
+    benchmark.extra_info["valuations_at_interrupt"] = \
+        result.statistics.valuations_examined
+
+
+def test_rcdp_crm_governed_scenario(benchmark):
+    """Governed decision on the CRM generator workload."""
+    config = GeneratorConfig(num_domestic=6, num_international=0,
+                             num_employees=2, support_probability=1.0)
+    scenario = generate_scenario(config, random.Random(11))
+    query = scenario.q2_all_supported_by("e0")
+
+    def governed():
+        governor = ExecutionGovernor(budget=Budget(limit=1_000_000))
+        return decide_rcdp(query, scenario.database(), scenario.master(),
+                           [scenario.supt_cid_ind()], governor=governor)
+
+    result = benchmark(governed)
+    assert result.status is not RCDPStatus.EXHAUSTED
+
+
+def test_rcqp_governed_search(benchmark):
+    """Governed RCQP candidate-set search (general path, FD constraints)."""
+    from repro.constraints.cfd import FunctionalDependency
+    from repro.queries.atoms import eq, rel
+    from repro.queries.cq import cq
+    from repro.queries.terms import var
+    from repro.relational.instance import Instance
+    from repro.relational.schema import DatabaseSchema, RelationSchema
+
+    schema = DatabaseSchema([RelationSchema("Supt",
+                                            ["eid", "dept", "cid"])])
+    master_schema = DatabaseSchema([RelationSchema("DCust", ["cid"])])
+    constraints = FunctionalDependency(
+        "Supt", ["eid"], ["dept"]).to_containment_constraints(schema)
+    query = cq([var("e"), var("d"), var("c")],
+               [rel("Supt", var("e"), var("d"), var("c")),
+                eq(var("e"), "e0"), eq(var("d"), "d0")])
+
+    def governed():
+        governor = ExecutionGovernor(budget=Budget(limit=1_000_000))
+        return decide_rcqp(query, Instance(master_schema),
+                           list(constraints), schema, governor=governor)
+
+    result = benchmark(governed)
+    assert result.status is RCQPStatus.NONEMPTY

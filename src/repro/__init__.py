@@ -40,17 +40,22 @@ from repro.constraints import (ConditionalFunctionalDependency,
                                compile_to_containment, satisfies_all,
                                violated_constraints)
 from repro.core import (ActiveDomain, CompletionOutcome,
-                        IncompletenessCertificate, RCDPResult, RCDPStatus,
-                        RCQPResult, RCQPStatus, brute_force_rcdp,
+                        IncompletenessCertificate, MissingAnswersReport,
+                        RCDPResult, RCDPStatus, RCQPResult, RCQPStatus,
+                        SearchStatistics, brute_force_rcdp,
                         brute_force_rcqp, decide_rcdp, decide_rcqp,
                         decide_rcqp_with_inds, enumerate_missing_answers,
-                        make_complete, minimize_witness)
+                        make_complete, minimize_witness,
+                        missing_answers_report)
 from repro.errors import (ConstraintError, DomainError, EvaluationError,
-                          NotPartiallyClosedError, ParseError, QueryError,
-                          ReproError, SchemaError,
+                          ExecutionInterrupted, NotPartiallyClosedError,
+                          ParseError, QueryError, ReproError, SchemaError,
                           SearchBudgetExceededError,
                           UndecidableConfigurationError,
                           UnsatisfiableQueryError)
+from repro.runtime import (Budget, CancellationToken, Deadline,
+                           ExecutionGovernor, FaultInjector,
+                           SearchCheckpoint)
 from repro.queries import (ConjunctiveQuery, Const, DatalogQuery, EFOQuery,
                            Eq, FOQuery, Neq, RelAtom, Rule, Tableau,
                            UnionOfConjunctiveQueries, Var, cq, eq, neq,
@@ -62,22 +67,24 @@ from repro.relational import (Attribute, BOOLEAN, DatabaseSchema,
 __version__ = "1.0.0"
 
 __all__ = [
-    "ActiveDomain", "Attribute", "BOOLEAN", "CompletionOutcome",
-    "ConditionalFunctionalDependency", "ConditionalInclusionDependency",
-    "ConjunctiveQuery", "Const", "ConstraintError",
-    "ContainmentConstraint", "DatabaseSchema", "DatalogQuery",
-    "DenialConstraint", "DomainError", "EFOQuery", "Eq", "EvaluationError",
-    "FOQuery", "FiniteDomain", "FreshValue", "FunctionalDependency",
-    "INFINITE", "InclusionDependency", "IncompletenessCertificate",
-    "Instance", "Neq", "NotPartiallyClosedError", "ParseError",
+    "ActiveDomain", "Attribute", "BOOLEAN", "Budget", "CancellationToken",
+    "CompletionOutcome", "ConditionalFunctionalDependency",
+    "ConditionalInclusionDependency", "ConjunctiveQuery", "Const",
+    "ConstraintError", "ContainmentConstraint", "DatabaseSchema",
+    "DatalogQuery", "Deadline", "DenialConstraint", "DomainError",
+    "EFOQuery", "Eq", "EvaluationError", "ExecutionGovernor",
+    "ExecutionInterrupted", "FOQuery", "FaultInjector", "FiniteDomain",
+    "FreshValue", "FunctionalDependency", "INFINITE",
+    "InclusionDependency", "IncompletenessCertificate", "Instance",
+    "MissingAnswersReport", "Neq", "NotPartiallyClosedError", "ParseError",
     "Projection", "QueryError", "RCDPResult", "RCDPStatus", "RCQPResult",
     "RCQPStatus", "RelAtom", "RelationSchema", "ReproError", "Rule",
-    "SchemaError", "SearchBudgetExceededError", "Tableau",
-    "UndecidableConfigurationError", "UnionOfConjunctiveQueries",
-    "UnsatisfiableQueryError", "Var", "brute_force_rcdp",
-    "brute_force_rcqp", "compile_all", "compile_to_containment", "cq",
-    "decide_rcdp", "decide_rcqp", "decide_rcqp_with_inds", "eq",
-    "enumerate_missing_answers", "make_complete", "minimize_witness",
-    "neq", "rel", "rule", "satisfies_all", "ucq", "var",
-    "violated_constraints",
+    "SchemaError", "SearchBudgetExceededError", "SearchCheckpoint",
+    "SearchStatistics", "Tableau", "UndecidableConfigurationError",
+    "UnionOfConjunctiveQueries", "UnsatisfiableQueryError", "Var",
+    "brute_force_rcdp", "brute_force_rcqp", "compile_all",
+    "compile_to_containment", "cq", "decide_rcdp", "decide_rcqp",
+    "decide_rcqp_with_inds", "eq", "enumerate_missing_answers",
+    "make_complete", "minimize_witness", "missing_answers_report", "neq",
+    "rel", "rule", "satisfies_all", "ucq", "var", "violated_constraints",
 ]

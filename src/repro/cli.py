@@ -28,6 +28,17 @@ Subcommands
     Run the paper's CRM example end to end and print the §2.3 audit.
 
 Bundles are JSON files in the format of :mod:`repro.io.json_io`.
+
+Execution governor flags (``rcdp``, ``rcqp``, ``complete``, ``audit``,
+``missing``): ``--budget N`` caps the total units of search work,
+``--timeout SECONDS`` sets a wall-clock deadline, and
+``--on-exhausted {error,partial}`` picks between failing fast (exit
+code 3) and degrading gracefully to a partial, checkpointed result
+(also exit code 3, but with the best-so-far output printed).
+
+Exit codes: 0 — affirmative verdict (complete / nonempty /
+trustworthy / no missing answers); 1 — negative verdict; 2 — error;
+3 — the governed search was interrupted before reaching a verdict.
 """
 
 from __future__ import annotations
@@ -36,20 +47,54 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.rcdp import decide_rcdp
+from repro.core.rcdp import decide_rcdp, missing_answers_report
 from repro.core.rcqp import decide_rcqp
 from repro.core.results import RCDPStatus, RCQPStatus
 from repro.core.witness import make_complete
-from repro.errors import ReproError
+from repro.errors import ExecutionInterrupted, ReproError
 from repro.io.json_io import load_bundle
+from repro.runtime import EXHAUSTION_MODES, ExecutionGovernor
 
 __all__ = ["main"]
+
+#: Exit code for searches interrupted by a budget or deadline.
+EXIT_EXHAUSTED = 3
+
+
+def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="cap the total units of search work (valuations, candidate "
+             "sets, solver nodes, ...) across the whole command")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for the whole command")
+    parser.add_argument(
+        "--on-exhausted", choices=EXHAUSTION_MODES, default="partial",
+        help="when the budget or deadline trips: 'error' fails fast, "
+             "'partial' (default) prints the best-so-far partial result")
+
+
+def _governor_from_args(args: argparse.Namespace) -> ExecutionGovernor | None:
+    budget = getattr(args, "budget", None)
+    timeout = getattr(args, "timeout", None)
+    if budget is None and timeout is None:
+        return None
+    return ExecutionGovernor.from_limits(budget=budget, timeout=timeout)
+
+
+def _print_exhaustion(result) -> None:
+    print(f"search interrupted: {result.interrupted}")
+    if result.checkpoint is not None:
+        print(f"resumable checkpoint: {result.checkpoint!r}")
 
 
 def _cmd_rcdp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
     result = decide_rcdp(bundle["query"], bundle["database"],
-                         bundle["master"], bundle["constraints"])
+                         bundle["master"], bundle["constraints"],
+                         governor=_governor_from_args(args),
+                         on_exhausted=args.on_exhausted)
     print(f"RCDP: {result.status.value}")
     print(result.explanation)
     if result.certificate is not None:
@@ -57,6 +102,9 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
         for name, row in result.certificate.extension_facts:
             print(f"  + {name}{row!r}")
         print(f"new answer: {result.certificate.new_answer!r}")
+    if result.is_exhausted:
+        _print_exhaustion(result)
+        return EXIT_EXHAUSTED
     return 0 if result.status is RCDPStatus.COMPLETE else 1
 
 
@@ -64,12 +112,17 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
     result = decide_rcqp(bundle["query"], bundle["master"],
                          bundle["constraints"], bundle["schema"],
-                         max_valuation_set_size=args.max_set_size)
+                         max_valuation_set_size=args.max_set_size,
+                         governor=_governor_from_args(args),
+                         on_exhausted=args.on_exhausted)
     print(f"RCQP: {result.status.value}")
     print(result.explanation)
     if result.witness is not None:
         print("witness database:")
         print(result.witness.pretty())
+    if result.is_exhausted:
+        _print_exhaustion(result)
+        return EXIT_EXHAUSTED
     return 0 if result.status is RCQPStatus.NONEMPTY else 1
 
 
@@ -77,7 +130,9 @@ def _cmd_complete(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
     outcome = make_complete(bundle["query"], bundle["database"],
                             bundle["master"], bundle["constraints"],
-                            max_rounds=args.max_rounds)
+                            max_rounds=args.max_rounds,
+                            governor=_governor_from_args(args),
+                            on_exhausted=args.on_exhausted)
     if outcome.complete:
         print(f"complete after {outcome.rounds} round(s); collect:")
     else:
@@ -85,35 +140,47 @@ def _cmd_complete(args: argparse.Namespace) -> int:
               f"partial guidance:")
     for name, row in outcome.added_facts:
         print(f"  + {name}{row!r}")
+    if outcome.interrupted is not None:
+        print(f"search interrupted: {outcome.interrupted}")
+        return EXIT_EXHAUSTED
     return 0 if outcome.complete else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    from repro.mdm.audit import CompletenessAudit
+    from repro.mdm.audit import AuditVerdict, CompletenessAudit
 
     bundle = load_bundle(args.bundle)
     audit = CompletenessAudit(
         master=bundle["master"], constraints=bundle["constraints"],
         schema=bundle["schema"],
         rcqp_valuation_set_size=args.max_set_size)
-    report = audit.assess(bundle["query"], bundle["database"])
+    report = audit.assess(bundle["query"], bundle["database"],
+                          governor=_governor_from_args(args),
+                          on_exhausted=args.on_exhausted)
     print(report.summary())
+    if report.verdict is AuditVerdict.INCONCLUSIVE:
+        return EXIT_EXHAUSTED
     return 0 if report.verdict.value == "trustworthy" else 1
 
 
 def _cmd_missing(args: argparse.Namespace) -> int:
-    from repro.core.rcdp import enumerate_missing_answers
-
     bundle = load_bundle(args.bundle)
-    missing = enumerate_missing_answers(
+    report = missing_answers_report(
         bundle["query"], bundle["database"], bundle["master"],
-        bundle["constraints"], limit=args.limit)
-    if not missing:
+        bundle["constraints"], limit=args.limit,
+        governor=_governor_from_args(args),
+        on_exhausted=args.on_exhausted)
+    if not report.answers and report.exhaustive:
         print("no missing answers: the database is relatively complete")
         return 0
-    print(f"{len(missing)} answer(s) the query could still gain:")
-    for row in sorted(missing, key=repr):
+    qualifier = "" if report.exhaustive else "at least "
+    print(f"{qualifier}{len(report.answers)} answer(s) the query could "
+          f"still gain:")
+    for row in sorted(report.answers, key=repr):
         print(f"  ? {row!r}")
+    if report.interrupted is not None:
+        _print_exhaustion(report)
+        return EXIT_EXHAUSTED
     return 1
 
 
@@ -156,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     rcdp = subparsers.add_parser(
         "rcdp", help="is the database complete for the query?")
     rcdp.add_argument("bundle", help="JSON problem bundle")
+    _add_governor_arguments(rcdp)
     rcdp.set_defaults(func=_cmd_rcdp)
 
     rcqp = subparsers.add_parser(
@@ -163,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     rcqp.add_argument("bundle", help="JSON problem bundle")
     rcqp.add_argument("--max-set-size", type=int, default=2,
                       help="valuation-set budget for the E2 search")
+    _add_governor_arguments(rcqp)
     rcqp.set_defaults(func=_cmd_rcqp)
 
     complete = subparsers.add_parser(
@@ -170,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "complete")
     complete.add_argument("bundle", help="JSON problem bundle")
     complete.add_argument("--max-rounds", type=int, default=32)
+    _add_governor_arguments(complete)
     complete.set_defaults(func=_cmd_complete)
 
     audit = subparsers.add_parser(
@@ -177,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("bundle", help="JSON problem bundle")
     audit.add_argument("--max-set-size", type=int, default=1,
                        help="valuation-set budget for the RCQP step")
+    _add_governor_arguments(audit)
     audit.set_defaults(func=_cmd_audit)
 
     missing = subparsers.add_parser(
@@ -184,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     missing.add_argument("bundle", help="JSON problem bundle")
     missing.add_argument("--limit", type=int, default=None,
                          help="stop after this many missing answers")
+    _add_governor_arguments(missing)
     missing.set_defaults(func=_cmd_missing)
 
     demo = subparsers.add_parser(
@@ -197,6 +269,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ExecutionInterrupted as interrupt:
+        print(f"search interrupted: {interrupt.reason} — {interrupt}",
+              file=sys.stderr)
+        if interrupt.checkpoint is not None:
+            print(f"resumable checkpoint: {interrupt.checkpoint!r}",
+                  file=sys.stderr)
+        return EXIT_EXHAUSTED
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -6,9 +6,11 @@ from repro.core.bounded import (brute_force_rcdp, brute_force_rcqp,
                                 candidate_fact_pool, default_value_pool)
 from repro.core.rcdp import (assert_decidable_configuration, decide_rcdp,
                              ensure_partially_closed,
-                             enumerate_missing_answers)
+                             enumerate_missing_answers,
+                             missing_answers_report, split_ind_constraints)
 from repro.core.rcqp import decide_rcqp, decide_rcqp_with_inds
-from repro.core.results import (IncompletenessCertificate, RCDPResult,
+from repro.core.results import (IncompletenessCertificate,
+                                MissingAnswersReport, RCDPResult,
                                 RCDPStatus, RCQPResult, RCQPStatus,
                                 SearchStatistics)
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
@@ -20,6 +22,7 @@ __all__ = [
     "BoundednessReport",
     "CompletionOutcome",
     "IncompletenessCertificate",
+    "MissingAnswersReport",
     "RCDPResult",
     "RCDPStatus",
     "RCQPResult",
@@ -41,4 +44,6 @@ __all__ = [
     "iter_valid_valuations",
     "make_complete",
     "minimize_witness",
+    "missing_answers_report",
+    "split_ind_constraints",
 ]

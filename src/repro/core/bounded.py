@@ -28,10 +28,12 @@ from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
 from repro.core.results import (IncompletenessCertificate, RCDPResult,
                                 RCDPStatus, RCQPResult, RCQPStatus,
                                 SearchStatistics)
-from repro.errors import UndecidableConfigurationError
+from repro.errors import ExecutionInterrupted, UndecidableConfigurationError
 from repro.relational.domain import FreshValueSupply
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
+from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
+                           resolve_governor, validate_exhaustion_mode)
 
 __all__ = ["candidate_fact_pool", "default_value_pool",
            "brute_force_rcdp", "brute_force_rcqp"]
@@ -89,7 +91,12 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                      *, max_extra_facts: int,
                      values: Sequence[Any] | None = None,
                      relations: Iterable[str] | None = None,
-                     check_partially_closed: bool = True) -> RCDPResult:
+                     check_partially_closed: bool = True,
+                     budget: int | None = None,
+                     governor: ExecutionGovernor | None = None,
+                     on_exhausted: str = "error",
+                     resume_from: SearchCheckpoint | None = None,
+                     ) -> RCDPResult:
     """Check relative completeness by exhaustive extension enumeration.
 
     Enumerates every set ``Δ`` of at most *max_extra_facts* new facts over
@@ -100,7 +107,13 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
 
     Works for **any** query language the library evaluates, including FO
     and FP, where this is the only procedure available.
+
+    Governed like the exact deciders (``"extensions"`` ticks, one per
+    candidate ``Δ``); the checkpoint cursor is the flat count of extension
+    sets already examined, in deterministic smallest-first order.
     """
+    validate_exhaustion_mode(on_exhausted)
+    governor = resolve_governor(governor, budget)
     if check_partially_closed:
         ensure_partially_closed(database, master, constraints)
     if values is None:
@@ -113,37 +126,71 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                                                  relations=relations)
             if fact not in existing]
 
+    base_stats = SearchStatistics()
+    to_skip = 0
+    if resume_from is not None:
+        resume_from.require("brute-rcdp")
+        (to_skip,) = resume_from.cursor
+        base_stats = resume_from.base_statistics()
+    position = to_skip
     examined = 0
     checks = 0
-    for size in range(1, max_extra_facts + 1):
-        for combo in itertools.combinations(pool, size):
-            examined += 1
-            extended = _extend_unvalidated(database, list(combo))
-            checks += 1
-            if not satisfies_all(extended, master, constraints):
-                continue
-            if query.evaluate(extended) != baseline:
-                new_answers = query.evaluate(extended) - baseline
-                answer = next(iter(new_answers)) if new_answers else ()
-                return RCDPResult(
-                    status=RCDPStatus.INCOMPLETE,
-                    certificate=IncompletenessCertificate(
-                        extension_facts=tuple(combo), new_answer=answer),
-                    explanation=(
-                        f"brute force found a {size}-fact consistent "
-                        f"extension changing the answer"),
-                    statistics=SearchStatistics(
-                        valuations_examined=examined,
-                        constraint_checks=checks),
-                    bound=max_extra_facts)
+
+    def _stats() -> SearchStatistics:
+        return base_stats.merged(SearchStatistics(
+            valuations_examined=examined, constraint_checks=checks))
+
+    try:
+        skip = to_skip
+        for size in range(1, max_extra_facts + 1):
+            for combo in itertools.combinations(pool, size):
+                if skip > 0:
+                    skip -= 1
+                    continue
+                if governor is not None:
+                    governor.tick("extensions")
+                examined += 1
+                extended = _extend_unvalidated(database, list(combo))
+                checks += 1
+                if satisfies_all(extended, master, constraints) \
+                        and query.evaluate(extended) != baseline:
+                    new_answers = query.evaluate(extended) - baseline
+                    answer = next(iter(new_answers)) if new_answers else ()
+                    return RCDPResult(
+                        status=RCDPStatus.INCOMPLETE,
+                        certificate=IncompletenessCertificate(
+                            extension_facts=tuple(combo), new_answer=answer),
+                        explanation=(
+                            f"brute force found a {size}-fact consistent "
+                            f"extension changing the answer"),
+                        statistics=_stats(),
+                        bound=max_extra_facts)
+                position += 1
+    except ExecutionInterrupted as interrupt:
+        checkpoint = SearchCheckpoint(
+            procedure="brute-rcdp", cursor=(position,),
+            statistics=_stats())
+        partial = RCDPResult(
+            status=RCDPStatus.EXHAUSTED,
+            explanation=(
+                f"brute-force search interrupted ({interrupt.reason}) "
+                f"after {position} extension set(s); resume from the "
+                f"checkpoint to continue"),
+            statistics=_stats(), checkpoint=checkpoint,
+            interrupted=interrupt.reason, bound=max_extra_facts)
+        if on_exhausted == "error":
+            interrupt.statistics = partial.statistics
+            interrupt.partial_result = partial
+            interrupt.checkpoint = checkpoint
+            raise
+        return partial
     return RCDPResult(
         status=RCDPStatus.COMPLETE_UP_TO_BOUND,
         explanation=(
             f"no consistent answer-changing extension of ≤ "
             f"{max_extra_facts} fact(s) over a pool of {len(pool)} "
             f"candidates"),
-        statistics=SearchStatistics(valuations_examined=examined,
-                                    constraint_checks=checks),
+        statistics=_stats(),
         bound=max_extra_facts)
 
 
@@ -152,7 +199,12 @@ def brute_force_rcqp(query: Any, master: Instance,
                      schema: DatabaseSchema,
                      *, max_database_size: int,
                      values: Sequence[Any] | None = None,
-                     completeness_bound: int | None = None) -> RCQPResult:
+                     completeness_bound: int | None = None,
+                     budget: int | None = None,
+                     governor: ExecutionGovernor | None = None,
+                     on_exhausted: str = "error",
+                     resume_from: SearchCheckpoint | None = None,
+                     ) -> RCQPResult:
     """Search for a relatively complete database by enumeration.
 
     Enumerates candidate databases ``D`` of at most *max_database_size*
@@ -168,7 +220,13 @@ def brute_force_rcqp(query: Any, master: Instance,
     Exhausting the search yields ``EMPTY_UP_TO_BOUND``; an exact EMPTY
     answer for decidable configurations comes from
     :func:`repro.core.rcqp.decide_rcqp`.
+
+    Governed (``"candidates"`` ticks, one per candidate database, with the
+    nested completeness checks charging the same governor); the checkpoint
+    cursor is the flat count of candidate databases fully processed.
     """
+    validate_exhaustion_mode(on_exhausted)
+    governor = resolve_governor(governor, budget)
     if values is None:
         values = default_value_pool(
             schema, (master,),
@@ -188,40 +246,81 @@ def brute_force_rcqp(query: Any, master: Instance,
                 "brute_force_rcqp on an undecidable configuration needs "
                 "an explicit completeness_bound")
 
+    base_stats = SearchStatistics()
+    to_skip = 0
+    if resume_from is not None:
+        resume_from.require("brute-rcqp")
+        (to_skip,) = resume_from.cursor
+        base_stats = resume_from.base_statistics()
+    position = to_skip
     examined = 0
-    for size in range(0, max_database_size + 1):
-        for combo in itertools.combinations(pool, size):
-            examined += 1
-            candidate = _extend_unvalidated(empty, list(combo))
-            if not satisfies_all(candidate, master, constraints):
-                continue
-            if decidable:
-                verdict = decide_rcdp(query, candidate, master, constraints,
-                                      check_partially_closed=False)
-                sound = verdict.status is RCDPStatus.COMPLETE
-            else:
-                verdict = brute_force_rcdp(
-                    query, candidate, master, constraints,
-                    max_extra_facts=completeness_bound,
-                    values=values, check_partially_closed=False)
-                sound = verdict.status is RCDPStatus.COMPLETE_UP_TO_BOUND
-            if sound:
-                note = ("witness verified by the exact RCDP decider"
-                        if decidable else
-                        f"witness only checked up to extensions of "
-                        f"{completeness_bound} fact(s) — configuration is "
-                        f"undecidable")
-                return RCQPResult(
-                    status=RCQPStatus.NONEMPTY,
-                    witness=candidate,
-                    explanation=note,
-                    statistics=SearchStatistics(
-                        candidate_sets_examined=examined),
-                    bound=max_database_size)
+
+    def _stats() -> SearchStatistics:
+        return base_stats.merged(SearchStatistics(
+            candidate_sets_examined=examined))
+
+    try:
+        skip = to_skip
+        for size in range(0, max_database_size + 1):
+            for combo in itertools.combinations(pool, size):
+                if skip > 0:
+                    skip -= 1
+                    continue
+                if governor is not None:
+                    governor.tick("candidates")
+                examined += 1
+                candidate = _extend_unvalidated(empty, list(combo))
+                if not satisfies_all(candidate, master, constraints):
+                    position += 1
+                    continue
+                if decidable:
+                    verdict = decide_rcdp(query, candidate, master,
+                                          constraints,
+                                          check_partially_closed=False,
+                                          governor=governor)
+                    sound = verdict.status is RCDPStatus.COMPLETE
+                else:
+                    verdict = brute_force_rcdp(
+                        query, candidate, master, constraints,
+                        max_extra_facts=completeness_bound,
+                        values=values, check_partially_closed=False,
+                        governor=governor)
+                    sound = verdict.status is RCDPStatus.COMPLETE_UP_TO_BOUND
+                if sound:
+                    note = ("witness verified by the exact RCDP decider"
+                            if decidable else
+                            f"witness only checked up to extensions of "
+                            f"{completeness_bound} fact(s) — configuration "
+                            f"is undecidable")
+                    return RCQPResult(
+                        status=RCQPStatus.NONEMPTY,
+                        witness=candidate,
+                        explanation=note,
+                        statistics=_stats(),
+                        bound=max_database_size)
+                position += 1
+    except ExecutionInterrupted as interrupt:
+        checkpoint = SearchCheckpoint(
+            procedure="brute-rcqp", cursor=(position,),
+            statistics=_stats())
+        partial = RCQPResult(
+            status=RCQPStatus.EXHAUSTED,
+            explanation=(
+                f"brute-force search interrupted ({interrupt.reason}) "
+                f"after {position} candidate database(s); resume from "
+                f"the checkpoint to continue"),
+            statistics=_stats(), checkpoint=checkpoint,
+            interrupted=interrupt.reason, bound=max_database_size)
+        if on_exhausted == "error":
+            interrupt.statistics = partial.statistics
+            interrupt.partial_result = partial
+            interrupt.checkpoint = checkpoint
+            raise
+        return partial
     return RCQPResult(
         status=RCQPStatus.EMPTY_UP_TO_BOUND,
         explanation=(
             f"no relatively complete database of ≤ {max_database_size} "
             f"fact(s) over a pool of {len(pool)} candidate facts"),
-        statistics=SearchStatistics(candidate_sets_examined=examined),
+        statistics=_stats(),
         bound=max_database_size)

@@ -18,6 +18,15 @@ CQ), Corollary 3.4 (C3 for INDs), and Corollary 3.5 (C4 for UCQ):
    instantiated tableau is returned as a certificate.  If no guess survives,
    ``D`` is COMPLETE.
 
+The enumeration is *governed* (:mod:`repro.runtime`): a budget, deadline,
+cancellation token, or injected fault can interrupt it at any valuation
+boundary.  Under ``on_exhausted="partial"`` the decider then degrades
+gracefully — it returns an :class:`~repro.core.results.RCDPStatus.EXHAUSTED`
+result carrying the statistics accumulated so far and a resumable
+:class:`~repro.runtime.checkpoint.SearchCheckpoint`; under the default
+``"error"`` mode it raises :class:`~repro.errors.SearchBudgetExceededError`
+with the same data attached.
+
 FO / FP queries or constraints raise
 :class:`~repro.errors.UndecidableConfigurationError` (Theorem 3.1); use
 :mod:`repro.core.bounded` for best-effort semi-decision.
@@ -25,24 +34,29 @@ FO / FP queries or constraints raise
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all,
                                            violated_constraints)
-from repro.core.results import (IncompletenessCertificate, RCDPResult,
+from repro.core.results import (IncompletenessCertificate,
+                                MissingAnswersReport, RCDPResult,
                                 RCDPStatus, SearchStatistics)
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
-from repro.errors import (NotPartiallyClosedError,
-                          SearchBudgetExceededError,
+from repro.errors import (ExecutionInterrupted, NotPartiallyClosedError,
                           UndecidableConfigurationError)
 from repro.queries.tableau import Tableau
 from repro.relational.instance import Instance
+from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
+                           resolve_governor, validate_exhaustion_mode)
 
 __all__ = ["decide_rcdp", "enumerate_missing_answers",
+           "missing_answers_report", "split_ind_constraints",
            "assert_decidable_configuration", "ensure_partially_closed"]
 
 _DECIDABLE = frozenset({"CQ", "UCQ", "EFO"})
+
+RowFilter = Callable[[str, tuple], bool]
 
 
 def assert_decidable_configuration(
@@ -88,11 +102,49 @@ def _extend_unvalidated(database: Instance,
     return Instance(database.schema, contents, validate=False)
 
 
+def split_ind_constraints(
+        constraints: Sequence[ContainmentConstraint], master: Instance,
+        *, use_ind_pruning: bool = True,
+        ) -> tuple[RowFilter | None, list[ContainmentConstraint]]:
+    """Compile IND constraints into a tuple-local row filter.
+
+    IND constraints are tuple-local, so they can prune the valuation
+    enumeration row-by-row (Corollary 3.4 made operational): a single
+    instantiated tableau row whose projection leaves the master projection
+    kills the whole branch.  Returns ``(row_filter, other_constraints)``
+    where *row_filter* is ``None`` when no IND is available (or pruning is
+    disabled) and *other_constraints* are the ones that still need the
+    full ``(D ∪ Δ, Dm) ⊨ V`` check per surviving valuation.
+    """
+    ind_projections: dict[str, list[tuple[tuple[int, ...], frozenset]]] = {}
+    other_constraints: list[ContainmentConstraint] = []
+    for constraint in constraints:
+        if use_ind_pruning and constraint.is_ind():
+            relation, columns = constraint.ind_source()
+            ind_projections.setdefault(relation, []).append(
+                (columns, constraint.projection.evaluate(master)))
+        else:
+            other_constraints.append(constraint)
+    if not ind_projections:
+        return None, other_constraints
+
+    def row_filter(relation: str, row: tuple) -> bool:
+        for columns, allowed in ind_projections.get(relation, ()):
+            if tuple(row[c] for c in columns) not in allowed:
+                return False
+        return True
+
+    return row_filter, other_constraints
+
+
 def decide_rcdp(query: Any, database: Instance, master: Instance,
                 constraints: Sequence[ContainmentConstraint],
                 *, check_partially_closed: bool = True,
                 budget: int | None = None,
-                use_ind_pruning: bool = True) -> RCDPResult:
+                use_ind_pruning: bool = True,
+                governor: ExecutionGovernor | None = None,
+                on_exhausted: str = "error",
+                resume_from: SearchCheckpoint | None = None) -> RCDPResult:
     """Decide whether *database* is complete for *query* relative to
     ``(master, constraints)``.
 
@@ -109,21 +161,40 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         :class:`NotPartiallyClosedError` otherwise — RCDP is only defined
         for partially closed inputs.
     budget:
-        Optional cap on the number of valuations examined; exceeding it
-        raises :class:`SearchBudgetExceededError`.  The problem is
-        Πᵖ₂-complete, so adversarial inputs are necessarily expensive.
+        Shorthand for a governor capping the number of valuations
+        examined.  The problem is Πᵖ₂-complete, so adversarial inputs are
+        necessarily expensive.  Mutually exclusive with *governor*.
     use_ind_pruning:
         When True (default), IND constraints prune the valuation
         enumeration row-by-row instead of being re-checked per candidate
         extension (Corollary 3.4 made operational).  Setting it to False
         is for the ablation benchmarks only — the verdict is identical.
+    governor:
+        An :class:`~repro.runtime.ExecutionGovernor` checked at every
+        valuation; may be shared with enclosing searches for unified
+        accounting.
+    on_exhausted:
+        ``"error"`` (default): interruption raises
+        :class:`~repro.errors.SearchBudgetExceededError` with statistics,
+        partial result, and checkpoint attached.  ``"partial"``: the
+        decider returns an ``EXHAUSTED`` result instead.
+    resume_from:
+        A checkpoint from a previous interrupted ``decide_rcdp`` run *on
+        the same inputs*; the enumeration fast-forwards past the already-
+        examined (and rejected) prefix without charging the governor, and
+        statistics are reported cumulatively.
 
     Returns
     -------
     RCDPResult
-        COMPLETE, or INCOMPLETE with an
-        :class:`~repro.core.results.IncompletenessCertificate`.
+        COMPLETE, INCOMPLETE with an
+        :class:`~repro.core.results.IncompletenessCertificate`, or
+        EXHAUSTED (only under ``on_exhausted="partial"``) with a
+        checkpoint.  The checkpoint cursor is ``(tableau_index,
+        valuations_consumed_in_that_tableau)``.
     """
+    validate_exhaustion_mode(on_exhausted)
+    governor = resolve_governor(governor, budget)
     assert_decidable_configuration(query, constraints)
     query.validate(database.schema)
     if check_partially_closed:
@@ -138,68 +209,89 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
 
     answers = query.evaluate(database)
 
-    # IND constraints are tuple-local, so they prune the valuation
-    # enumeration row-by-row (Corollary 3.4): a single instantiated tableau
-    # row whose projection leaves the master projection kills the branch.
-    # Only the remaining (non-IND) constraints need the full
-    # ``(D ∪ Δ, Dm) ⊨ V`` check per surviving valuation.
-    ind_projections: dict[str, list[tuple[tuple[int, ...], frozenset]]] = {}
-    other_constraints = []
-    for constraint in constraints:
-        if use_ind_pruning and constraint.is_ind():
-            relation, columns = constraint.ind_source()
-            ind_projections.setdefault(relation, []).append(
-                (columns, constraint.projection.evaluate(master)))
-        else:
-            other_constraints.append(constraint)
+    row_filter, other_constraints = split_ind_constraints(
+        constraints, master, use_ind_pruning=use_ind_pruning)
 
-    def row_filter(relation: str, row: tuple) -> bool:
-        for columns, allowed in ind_projections.get(relation, ()):
-            if tuple(row[c] for c in columns) not in allowed:
-                return False
-        return True
+    start_tableau, start_position = 0, 0
+    base_stats = SearchStatistics()
+    if resume_from is not None:
+        resume_from.require("rcdp")
+        start_tableau, start_position = resume_from.cursor
+        base_stats = resume_from.base_statistics()
 
     examined = 0
     constraint_checks = 0
-    for tableau in tableaux:
-        if not tableau.satisfiable:
-            continue
-        for valuation in iter_valid_valuations(
-                tableau, adom, fresh="own",
-                row_filter=row_filter if ind_projections else None):
-            examined += 1
-            if budget is not None and examined > budget:
-                raise SearchBudgetExceededError(
-                    f"RCDP budget of {budget} valuations exceeded")
-            summary = tableau.summary_under(valuation)
-            if summary in answers:
+    tableau_index = start_tableau
+    position = start_position
+    try:
+        for tableau_index, tableau in enumerate(tableaux):
+            if tableau_index < start_tableau or not tableau.satisfiable:
                 continue
-            delta = tableau.instantiate(valuation)
-            constraint_checks += 1
-            if not other_constraints:
-                satisfied = True
-            else:
-                candidate = _extend_unvalidated(database, delta)
-                satisfied = satisfies_all(candidate, master,
-                                          other_constraints)
-            if satisfied:
-                stats = SearchStatistics(
-                    valuations_examined=examined,
-                    constraint_checks=constraint_checks)
-                certificate = IncompletenessCertificate(
-                    extension_facts=tuple(delta),
-                    new_answer=summary,
-                    disjunct_name=tableau.query.name)
-                return RCDPResult(
-                    status=RCDPStatus.INCOMPLETE,
-                    certificate=certificate,
-                    explanation=(
-                        f"adding {len(delta)} fact(s) keeps V satisfied "
-                        f"but produces the new answer {summary!r}"),
-                    statistics=stats)
+            to_skip = (start_position if tableau_index == start_tableau
+                       else 0)
+            position = to_skip
+            for valuation in iter_valid_valuations(
+                    tableau, adom, fresh="own", row_filter=row_filter):
+                if to_skip > 0:
+                    to_skip -= 1
+                    continue
+                if governor is not None:
+                    governor.tick("valuations")
+                examined += 1
+                summary = tableau.summary_under(valuation)
+                if summary in answers:
+                    position += 1
+                    continue
+                delta = tableau.instantiate(valuation)
+                constraint_checks += 1
+                if not other_constraints:
+                    satisfied = True
+                else:
+                    candidate = _extend_unvalidated(database, delta)
+                    satisfied = satisfies_all(candidate, master,
+                                              other_constraints)
+                if satisfied:
+                    stats = base_stats.merged(SearchStatistics(
+                        valuations_examined=examined,
+                        constraint_checks=constraint_checks))
+                    certificate = IncompletenessCertificate(
+                        extension_facts=tuple(delta),
+                        new_answer=summary,
+                        disjunct_name=tableau.query.name)
+                    return RCDPResult(
+                        status=RCDPStatus.INCOMPLETE,
+                        certificate=certificate,
+                        explanation=(
+                            f"adding {len(delta)} fact(s) keeps V satisfied "
+                            f"but produces the new answer {summary!r}"),
+                        statistics=stats)
+                position += 1
+    except ExecutionInterrupted as interrupt:
+        stats = base_stats.merged(SearchStatistics(
+            valuations_examined=examined,
+            constraint_checks=constraint_checks))
+        checkpoint = SearchCheckpoint(
+            procedure="rcdp", cursor=(tableau_index, position),
+            statistics=stats)
+        partial = RCDPResult(
+            status=RCDPStatus.EXHAUSTED,
+            explanation=(
+                f"search interrupted ({interrupt.reason}) after "
+                f"{stats.valuations_examined} valuation(s); resume from "
+                f"the checkpoint to continue"),
+            statistics=stats,
+            checkpoint=checkpoint,
+            interrupted=interrupt.reason)
+        if on_exhausted == "error":
+            interrupt.statistics = stats
+            interrupt.partial_result = partial
+            interrupt.checkpoint = checkpoint
+            raise
+        return partial
 
-    stats = SearchStatistics(valuations_examined=examined,
-                             constraint_checks=constraint_checks)
+    stats = base_stats.merged(SearchStatistics(
+        valuations_examined=examined,
+        constraint_checks=constraint_checks))
     return RCDPResult(
         status=RCDPStatus.COMPLETE,
         explanation=(
@@ -209,26 +301,39 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         statistics=stats)
 
 
-def enumerate_missing_answers(query: Any, database: Instance,
-                              master: Instance,
-                              constraints: Sequence[ContainmentConstraint],
-                              *, limit: int | None = None,
-                              check_partially_closed: bool = True,
-                              ) -> frozenset[tuple]:
+def missing_answers_report(query: Any, database: Instance,
+                           master: Instance,
+                           constraints: Sequence[ContainmentConstraint],
+                           *, limit: int | None = None,
+                           check_partially_closed: bool = True,
+                           budget: int | None = None,
+                           governor: ExecutionGovernor | None = None,
+                           on_exhausted: str = "partial",
+                           resume_from: SearchCheckpoint | None = None,
+                           ) -> MissingAnswersReport:
     """All answers the query could still gain over the active domain.
 
     Example 1.1 observes that when an employee supports at most ``k``
     customers and ``k'`` are known, "we need to add at most ``k − k'``
     tuples to make it complete": this function makes that kind of margin
-    computable.  It returns every tuple ``s ∉ Q(D)`` such that some valid
+    computable.  It reports every tuple ``s ∉ Q(D)`` such that some valid
     valuation over the active domain yields ``s`` via a constraint-
     consistent extension.  The database is relatively complete iff the
-    result is empty (same enumeration as :func:`decide_rcdp`, without the
-    early exit).
+    full enumeration is empty (same enumeration as :func:`decide_rcdp`,
+    without the early exit).
 
-    *limit*, when given, truncates the enumeration once that many missing
-    answers have been found (the set is then a lower bound).
+    *limit* truncates the enumeration once that many missing answers have
+    been found; a *budget*/*governor* interrupts it mid-search.  In both
+    cases ``exhaustive`` is False and the answer set is a lower bound; an
+    interrupted report additionally carries a resumable checkpoint whose
+    payload preserves the answers already found (cursor layout:
+    ``(tableau_index, valuations_consumed)``).  *on_exhausted* defaults
+    to ``"partial"`` here — a truncated margin is still useful — but
+    ``"error"`` gives strict-mode callers the historical raising behavior
+    with the partial report attached to the exception.
     """
+    validate_exhaustion_mode(on_exhausted)
+    governor = resolve_governor(governor, budget)
     assert_decidable_configuration(query, constraints)
     query.validate(database.schema)
     if check_partially_closed:
@@ -242,38 +347,100 @@ def enumerate_missing_answers(query: Any, database: Instance,
         tableaux=[t for t in tableaux if t.satisfiable])
     answers = query.evaluate(database)
 
-    ind_projections: dict[str, list[tuple[tuple[int, ...], frozenset]]] = {}
-    other_constraints = []
-    for constraint in constraints:
-        if constraint.is_ind():
-            relation, columns = constraint.ind_source()
-            ind_projections.setdefault(relation, []).append(
-                (columns, constraint.projection.evaluate(master)))
-        else:
-            other_constraints.append(constraint)
+    row_filter, other_constraints = split_ind_constraints(
+        constraints, master)
 
-    def row_filter(relation: str, row: tuple) -> bool:
-        for columns, allowed in ind_projections.get(relation, ()):
-            if tuple(row[c] for c in columns) not in allowed:
-                return False
-        return True
-
+    start_tableau, start_position = 0, 0
+    base_stats = SearchStatistics()
     missing: set[tuple] = set()
-    for tableau in tableaux:
-        if not tableau.satisfiable:
-            continue
-        for valuation in iter_valid_valuations(
-                tableau, adom, fresh="own",
-                row_filter=row_filter if ind_projections else None):
-            summary = tableau.summary_under(valuation)
-            if summary in answers or summary in missing:
+    if resume_from is not None:
+        resume_from.require("missing")
+        start_tableau, start_position = resume_from.cursor
+        base_stats = resume_from.base_statistics()
+        missing.update(resume_from.payload)
+
+    examined = 0
+    constraint_checks = 0
+    tableau_index = start_tableau
+    position = start_position
+
+    def _stats() -> SearchStatistics:
+        return base_stats.merged(SearchStatistics(
+            valuations_examined=examined,
+            constraint_checks=constraint_checks))
+
+    try:
+        for tableau_index, tableau in enumerate(tableaux):
+            if tableau_index < start_tableau or not tableau.satisfiable:
                 continue
-            if other_constraints:
-                candidate = _extend_unvalidated(
-                    database, tableau.instantiate(valuation))
-                if not satisfies_all(candidate, master, other_constraints):
+            to_skip = (start_position if tableau_index == start_tableau
+                       else 0)
+            position = to_skip
+            for valuation in iter_valid_valuations(
+                    tableau, adom, fresh="own", row_filter=row_filter):
+                if to_skip > 0:
+                    to_skip -= 1
                     continue
-            missing.add(summary)
-            if limit is not None and len(missing) >= limit:
-                return frozenset(missing)
-    return frozenset(missing)
+                if governor is not None:
+                    governor.tick("valuations")
+                examined += 1
+                position += 1
+                summary = tableau.summary_under(valuation)
+                if summary in answers or summary in missing:
+                    continue
+                if other_constraints:
+                    constraint_checks += 1
+                    candidate = _extend_unvalidated(
+                        database, tableau.instantiate(valuation))
+                    if not satisfies_all(candidate, master,
+                                         other_constraints):
+                        continue
+                missing.add(summary)
+                if limit is not None and len(missing) >= limit:
+                    return MissingAnswersReport(
+                        answers=frozenset(missing), exhaustive=False,
+                        statistics=_stats())
+    except ExecutionInterrupted as interrupt:
+        checkpoint = SearchCheckpoint(
+            procedure="missing", cursor=(tableau_index, position),
+            statistics=_stats(),
+            payload=tuple(sorted(missing, key=repr)))
+        report = MissingAnswersReport(
+            answers=frozenset(missing), exhaustive=False,
+            statistics=_stats(), checkpoint=checkpoint,
+            interrupted=interrupt.reason)
+        if on_exhausted == "error":
+            interrupt.statistics = report.statistics
+            interrupt.partial_result = report
+            interrupt.checkpoint = checkpoint
+            raise
+        return report
+    return MissingAnswersReport(
+        answers=frozenset(missing), exhaustive=True, statistics=_stats())
+
+
+def enumerate_missing_answers(query: Any, database: Instance,
+                              master: Instance,
+                              constraints: Sequence[ContainmentConstraint],
+                              *, limit: int | None = None,
+                              check_partially_closed: bool = True,
+                              budget: int | None = None,
+                              governor: ExecutionGovernor | None = None,
+                              on_exhausted: str = "error",
+                              resume_from: SearchCheckpoint | None = None,
+                              ) -> frozenset[tuple]:
+    """Plain-set façade over :func:`missing_answers_report`.
+
+    Historically this enumeration accepted no budget at all and could hang
+    on adversarial inputs even though :func:`decide_rcdp` was capped; it
+    is now governed identically.  Under ``on_exhausted="partial"`` an
+    interrupted enumeration returns the lower-bound set found so far (use
+    :func:`missing_answers_report` when you also need the checkpoint);
+    under the default ``"error"`` it raises, with the partial report
+    attached to the exception.
+    """
+    return missing_answers_report(
+        query, database, master, constraints, limit=limit,
+        check_partially_closed=check_partially_closed, budget=budget,
+        governor=governor, on_exhausted=on_exhausted,
+        resume_from=resume_from).answers

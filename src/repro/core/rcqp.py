@@ -23,6 +23,14 @@ The general search is parameterized (valuation-set size, rows instantiated
 per partial valuation); the problem is NEXPTIME-complete, so *some* budget
 is unavoidable.  When the budget covers the whole unit space the EMPTY
 verdict is exact; otherwise it is reported as ``EMPTY_UP_TO_BOUND``.
+
+Both engines are *governed* (:mod:`repro.runtime`): one
+:class:`~repro.runtime.ExecutionGovernor` is threaded through the unit
+enumeration, the candidate-set search, and every nested ``decide_rcdp`` /
+``make_complete`` call, so a single budget bounds the whole composite
+NEXPTIME decision.  Interrupted searches degrade to an ``EXHAUSTED``
+result with statistics and a resumable checkpoint (or raise with those
+attached, under ``on_exhausted="error"``).
 """
 
 from __future__ import annotations
@@ -39,12 +47,14 @@ from repro.core.results import (RCDPStatus, RCQPResult, RCQPStatus,
                                 SearchStatistics)
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
 from repro.core.witness import make_complete
-from repro.errors import ConstraintError, ReproError
+from repro.errors import (ConstraintError, ExecutionInterrupted, ReproError)
 from repro.queries.tableau import Tableau
 from repro.queries.terms import Const, Var
 from repro.relational.domain import is_fresh
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
+from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
+                           resolve_governor, validate_exhaustion_mode)
 
 __all__ = ["decide_rcqp", "decide_rcqp_with_inds", "ValuationUnit"]
 
@@ -87,7 +97,12 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                           constraints: Sequence[ContainmentConstraint],
                           schema: DatabaseSchema,
                           *, construct_witness: bool = True,
-                          verify_witness: bool = True) -> RCQPResult:
+                          verify_witness: bool = True,
+                          budget: int | None = None,
+                          governor: ExecutionGovernor | None = None,
+                          on_exhausted: str = "error",
+                          resume_from: SearchCheckpoint | None = None,
+                          ) -> RCQPResult:
     """Decide RCQP when every containment constraint is an IND.
 
     Implements Proposition 4.3: ``RCQ(Q, Dm, V)`` is nonempty iff every
@@ -98,7 +113,14 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
     On NONEMPTY the witness database from the proof is constructed: for
     every achievable output tuple over the active domain, one instantiated
     tableau producing it.
+
+    Governed like :func:`decide_rcdp`; the checkpoint cursor is
+    ``(phase, index, consumed)`` where phase 0 is the relevance/
+    boundedness scan (index into the tableau list) and phase 1 the
+    witness construction (index into the relevant-tableau list).
     """
+    validate_exhaustion_mode(on_exhausted)
+    governor = resolve_governor(governor, budget)
     assert_decidable_configuration(query, constraints)
     for constraint in constraints:
         if not constraint.is_ind():
@@ -113,46 +135,146 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
         queries=[query] + [c.query for c in constraints],
         tableaux=tableaux)
 
-    examined = 0
-    relevant: list[Tableau] = []
-    for tableau in tableaux:
-        compatible_exists = False
-        for valuation in iter_valid_valuations(tableau, adom, fresh="own"):
-            examined += 1
-            delta = _facts_instance(schema, tableau.instantiate(valuation))
-            if satisfies_all(delta, master, constraints):
-                compatible_exists = True
-                break
-        if not compatible_exists:
-            # The disjunct can never fire in a partially closed database;
-            # it cannot break boundedness (second case of Prop. 4.3).
-            continue
-        relevant.append(tableau)
-        for variable in sorted(tableau.summary_variables(),
-                               key=lambda v: v.name):
-            if tableau.has_finite_domain(variable):
-                continue  # condition E3
-            if not _ind_covers_variable(tableau, variable, constraints):
-                return RCQPResult(
-                    status=RCQPStatus.EMPTY,
-                    explanation=(
-                        f"output variable {variable!r} of disjunct "
-                        f"{tableau.query.name!r} has an infinite domain and "
-                        f"is not covered by any IND (conditions E3/E4 both "
-                        f"fail)"),
-                    statistics=SearchStatistics(
-                        valuations_examined=examined))
+    phase, start_index, start_consumed = 0, 0, 0
+    base_stats = SearchStatistics()
+    relevant_indices: list[int] = []
+    witness_facts: list[Fact] = []
+    covered_seed: tuple = ()
+    if resume_from is not None:
+        resume_from.require("rcqp-inds")
+        phase, start_index, start_consumed = resume_from.cursor
+        base_stats = resume_from.base_statistics()
+        if phase == 0:
+            relevant_indices = list(resume_from.payload[0]) \
+                if resume_from.payload else []
+        else:
+            rel_idx, facts, covered_seed = resume_from.payload
+            relevant_indices = list(rel_idx)
+            witness_facts = list(facts)
 
-    witness = None
-    if construct_witness:
-        witness = _build_ind_witness(schema, master, constraints, relevant,
-                                     adom)
-        if verify_witness:
-            verdict = decide_rcdp(query, witness, master, constraints)
-            if verdict.status is not RCDPStatus.COMPLETE:
-                raise ReproError(
-                    "internal error: Proposition 4.3 witness failed RCDP "
-                    "verification — please report this as a bug")
+    examined = 0
+
+    def _stats() -> SearchStatistics:
+        return base_stats.merged(
+            SearchStatistics(valuations_examined=examined))
+
+    # Mutable frontier the except-block snapshots into a checkpoint.
+    frontier: dict[str, Any] = {
+        "phase": phase, "index": start_index, "consumed": start_consumed,
+        "covered": set(covered_seed)}
+
+    try:
+        if phase == 0:
+            for t_index, tableau in enumerate(tableaux):
+                if t_index < start_index:
+                    continue
+                to_skip = (start_consumed if t_index == start_index else 0)
+                frontier["index"], frontier["consumed"] = t_index, to_skip
+                compatible_exists = False
+                for valuation in iter_valid_valuations(
+                        tableau, adom, fresh="own"):
+                    if to_skip > 0:
+                        to_skip -= 1
+                        continue
+                    if governor is not None:
+                        governor.tick("valuations")
+                    examined += 1
+                    delta = _facts_instance(
+                        schema, tableau.instantiate(valuation))
+                    if satisfies_all(delta, master, constraints):
+                        compatible_exists = True
+                        break
+                    frontier["consumed"] += 1
+                if not compatible_exists:
+                    # The disjunct can never fire in a partially closed
+                    # database; it cannot break boundedness (second case
+                    # of Prop. 4.3).
+                    continue
+                relevant_indices.append(t_index)
+                for variable in sorted(tableau.summary_variables(),
+                                       key=lambda v: v.name):
+                    if tableau.has_finite_domain(variable):
+                        continue  # condition E3
+                    if not _ind_covers_variable(tableau, variable,
+                                                constraints):
+                        return RCQPResult(
+                            status=RCQPStatus.EMPTY,
+                            explanation=(
+                                f"output variable {variable!r} of disjunct "
+                                f"{tableau.query.name!r} has an infinite "
+                                f"domain and is not covered by any IND "
+                                f"(conditions E3/E4 both fail)"),
+                            statistics=_stats())
+            frontier.update(phase=1, index=0, consumed=0)
+            start_index, start_consumed = 0, 0
+            covered_seed = ()
+
+        witness = None
+        if construct_witness:
+            relevant = [tableaux[i] for i in relevant_indices]
+            frontier["phase"] = 1
+            for r_pos, tableau in enumerate(relevant):
+                if r_pos < start_index:
+                    continue
+                to_skip = (start_consumed if r_pos == start_index else 0)
+                covered: set[tuple] = (set(covered_seed)
+                                       if r_pos == start_index else set())
+                frontier.update(index=r_pos, consumed=to_skip,
+                                covered=covered)
+                for valuation in iter_valid_valuations(
+                        tableau, adom, fresh="own"):
+                    if to_skip > 0:
+                        to_skip -= 1
+                        continue
+                    if governor is not None:
+                        governor.tick("valuations")
+                    examined += 1
+                    summary = tableau.summary_under(valuation)
+                    if summary not in covered:
+                        delta = tableau.instantiate(valuation)
+                        if satisfies_all(_facts_instance(schema, delta),
+                                         master, constraints):
+                            covered.add(summary)
+                            witness_facts.extend(delta)
+                    frontier["consumed"] += 1
+            # Verification restarts from scratch on resume: mark the
+            # frontier past the whole build so a resumed run re-enters
+            # here directly with the payload facts.
+            frontier.update(index=len(relevant), consumed=0,
+                            covered=set())
+            witness = _facts_instance(schema, witness_facts)
+            if verify_witness:
+                verdict = decide_rcdp(query, witness, master, constraints,
+                                      governor=governor)
+                if verdict.status is not RCDPStatus.COMPLETE:
+                    raise ReproError(
+                        "internal error: Proposition 4.3 witness failed "
+                        "RCDP verification — please report this as a bug")
+    except ExecutionInterrupted as interrupt:
+        if frontier["phase"] == 0:
+            payload: tuple = (tuple(relevant_indices),)
+        else:
+            payload = (tuple(relevant_indices), tuple(witness_facts),
+                       tuple(sorted(frontier["covered"], key=repr)))
+        checkpoint = SearchCheckpoint(
+            procedure="rcqp-inds",
+            cursor=(frontier["phase"], frontier["index"],
+                    frontier["consumed"]),
+            statistics=_stats(), payload=payload)
+        partial = RCQPResult(
+            status=RCQPStatus.EXHAUSTED,
+            explanation=(
+                f"search interrupted ({interrupt.reason}) after "
+                f"{_stats().valuations_examined} valuation(s); resume "
+                f"from the checkpoint to continue"),
+            statistics=_stats(), checkpoint=checkpoint,
+            interrupted=interrupt.reason)
+        if on_exhausted == "error":
+            interrupt.statistics = _stats()
+            interrupt.partial_result = partial
+            interrupt.checkpoint = checkpoint
+            raise
+        return partial
     return RCQPResult(
         status=RCQPStatus.NONEMPTY,
         witness=witness,
@@ -160,32 +282,7 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
             "every relevant disjunct is syntactically bounded "
             "(conditions E3/E4); witness covers all achievable output "
             "tuples over the active domain"),
-        statistics=SearchStatistics(valuations_examined=examined))
-
-
-def _build_ind_witness(schema: DatabaseSchema, master: Instance,
-                       constraints: Sequence[ContainmentConstraint],
-                       tableaux: Sequence[Tableau],
-                       adom: ActiveDomain) -> Instance:
-    """Proof of Proposition 4.3: a minimal relatively complete database.
-
-    For each distinct output tuple achievable by a constraint-compatible
-    valid valuation over the active domain, include one instantiated
-    tableau that produces it.
-    """
-    facts: list[Fact] = []
-    for tableau in tableaux:
-        covered: set[tuple] = set()
-        for valuation in iter_valid_valuations(tableau, adom, fresh="own"):
-            summary = tableau.summary_under(valuation)
-            if summary in covered:
-                continue
-            delta = tableau.instantiate(valuation)
-            if satisfies_all(_facts_instance(schema, delta), master,
-                             constraints):
-                covered.add(summary)
-                facts.extend(delta)
-    return _facts_instance(schema, facts)
+        statistics=_stats())
 
 
 # ---------------------------------------------------------------------------
@@ -224,16 +321,26 @@ def _constraint_tableaux(constraints: Sequence[ContainmentConstraint],
 
 
 def _enumerate_units(cc_tableaux: Sequence[Tableau], adom: ActiveDomain,
-                     max_rows_per_unit: int) -> list[ValuationUnit]:
+                     max_rows_per_unit: int,
+                     governor: ExecutionGovernor | None = None,
+                     skip: int = 0,
+                     progress: dict | None = None) -> list[ValuationUnit]:
     """All partial valuations of constraint tableaux over the active domain.
 
     Each infinite-domain variable ranges over the shared constants plus its
     own dedicated fresh value (see the dedicated-fresh discussion in
     :mod:`repro.core.valuations`); *max_rows_per_unit* caps how many tuple
     templates one partial valuation instantiates.
+
+    The enumeration charges one ``"units"`` tick per candidate partial
+    valuation; the first *skip* candidates are charged nothing (they were
+    already paid for by the interrupted run being resumed).  *progress*,
+    when given, tracks the number of completed candidates under the key
+    ``"units"`` so an interrupt handler can checkpoint the frontier.
     """
     units: list[ValuationUnit] = []
     seen: set[tuple[frozenset, frozenset]] = set()
+    completed = 0
     for tableau in cc_tableaux:
         rows = tableau.rows
         row_indices = range(len(rows))
@@ -248,6 +355,8 @@ def _enumerate_units(cc_tableaux: Sequence[Tableau], adom: ActiveDomain,
                     adom.candidates_for(tableau, v, fresh="own")
                     for v in variables]
                 for combo in itertools.product(*candidate_lists):
+                    if governor is not None and completed >= skip:
+                        governor.tick("units")
                     valuation = dict(zip(variables, combo))
                     facts = frozenset(
                         (row.relation, row.instantiate(valuation))
@@ -259,6 +368,9 @@ def _enumerate_units(cc_tableaux: Sequence[Tableau], adom: ActiveDomain,
                         elif term in valuation:
                             summary_values.append(valuation[term])
                     key = (facts, frozenset(summary_values))
+                    completed += 1
+                    if progress is not None:
+                        progress["units"] = completed
                     if key in seen:
                         continue
                     seen.add(key)
@@ -273,7 +385,9 @@ def _candidate_is_bounding(schema: DatabaseSchema, master: Instance,
                            q_tableaux: Sequence[Tableau],
                            adom: ActiveDomain,
                            dv_facts: frozenset[Fact],
-                           bound_values: frozenset) -> bool:
+                           bound_values: frozenset,
+                           governor: ExecutionGovernor | None = None,
+                           ) -> bool:
     """Condition E2/E6 for one candidate set: every constraint-compatible
     valid valuation must have all its infinite-domain output variables
     bounded by the candidate's summary values."""
@@ -291,6 +405,8 @@ def _candidate_is_bounding(schema: DatabaseSchema, master: Instance,
         for valuation in iter_valid_valuations(
                 tableau, adom, fresh="own", extra=sorted(
                     extra_values, key=repr)):
+            if governor is not None:
+                governor.tick("valuations")
             if all(valuation[v] in bound_values for v in infinite_vars):
                 continue
             extended = _extend_unvalidated(
@@ -306,7 +422,11 @@ def decide_rcqp(query: Any, master: Instance,
                 *, max_valuation_set_size: int = 2,
                 max_rows_per_unit: int = 1,
                 max_completion_rounds: int = 64,
-                verify_witness: bool = True) -> RCQPResult:
+                verify_witness: bool = True,
+                budget: int | None = None,
+                governor: ExecutionGovernor | None = None,
+                on_exhausted: str = "error",
+                resume_from: SearchCheckpoint | None = None) -> RCQPResult:
     """Decide RCQP for CQ/UCQ/∃FO⁺ queries and constraints.
 
     Dispatches to the syntactic IND algorithm when every constraint is an
@@ -328,11 +448,23 @@ def decide_rcqp(query: Any, master: Instance,
 
     EMPTY is exact when the unit budget covers the whole unit space;
     otherwise ``EMPTY_UP_TO_BOUND`` is returned.
+
+    The shared *governor* spans unit enumeration (``"units"`` ticks), the
+    candidate-set loop (``"candidate_sets"`` ticks), and every nested
+    bounding check, completion, and RCDP verification (``"valuations"``
+    ticks).  The checkpoint cursor is ``(phase, n)``: phase 0 is the unit
+    enumeration (*n* partial valuations built), phase 1 the candidate-set
+    search (*n* candidate sets fully processed).
     """
-    assert_decidable_configuration(query, constraints)
+    validate_exhaustion_mode(on_exhausted)
     if constraints and all(c.is_ind() for c in constraints):
         return decide_rcqp_with_inds(query, master, constraints, schema,
-                                     verify_witness=verify_witness)
+                                     verify_witness=verify_witness,
+                                     budget=budget, governor=governor,
+                                     on_exhausted=on_exhausted,
+                                     resume_from=resume_from)
+    governor = resolve_governor(governor, budget)
+    assert_decidable_configuration(query, constraints)
     query.validate(schema)
 
     q_tableaux = _query_tableaux(query, schema)
@@ -349,74 +481,142 @@ def decide_rcqp(query: Any, master: Instance,
             explanation="the query is unsatisfiable; every partially "
                         "closed database is trivially complete")
 
-    # Condition E1/E5: all output variables range over finite domains.
-    if all(tableau.has_finite_domain(v)
-           for tableau in q_tableaux
-           for v in tableau.summary_variables()):
-        outcome = make_complete(
-            query, Instance.empty(schema), master, constraints,
-            max_rounds=max_completion_rounds)
-        if outcome.complete:
-            return RCQPResult(
-                status=RCQPStatus.NONEMPTY,
-                witness=outcome.database,
-                explanation=(
-                    "all output variables have finite domains "
-                    "(condition E1/E5); witness built by certificate "
-                    "completion"))
-        raise ReproError(
-            "internal error: E1/E5 completion did not converge — raise "
-            "max_completion_rounds or report this as a bug")
+    phase, start_n = 0, 0
+    base_stats = SearchStatistics()
+    if resume_from is not None:
+        resume_from.require("rcqp")
+        phase, start_n = resume_from.cursor
+        base_stats = resume_from.base_statistics()
 
-    # Condition E2/E6: search for a bounding set of partial valuations.
-    units = _enumerate_units(cc_tableaux, adom, max_rows_per_unit)
     examined = 0
-    ground_rows: list[Fact] = [
-        (row.relation, row.instantiate({}))
-        for tableau in q_tableaux for row in tableau.ground_rows()]
-    max_size = min(max_valuation_set_size, len(units))
-    for size in range(0, max_size + 1):
-        for combo in itertools.combinations(units, size):
-            examined += 1
-            dv_facts = frozenset().union(*(u.facts for u in combo)) \
-                if combo else frozenset()
-            bound_values = frozenset().union(
-                *(u.summary_values for u in combo)) if combo else frozenset()
-            if not _candidate_is_bounding(
-                    schema, master, constraints, q_tableaux, adom,
-                    dv_facts, bound_values):
-                continue
-            witness = _facts_instance(
-                schema, list(dv_facts) + ground_rows)
-            if not satisfies_all(witness, master, constraints):
-                continue
+    new_units = 0
+    frontier: dict[str, Any] = {"phase": phase, "units": start_n,
+                                "sets": start_n if phase == 1 else 0}
+
+    def _stats() -> SearchStatistics:
+        return base_stats.merged(SearchStatistics(
+            candidate_sets_examined=examined, units_examined=new_units))
+
+    def _interrupted_result(interrupt: ExecutionInterrupted) -> RCQPResult:
+        if frontier["phase"] == 0:
+            cursor = (0, frontier["units"])
+        else:
+            cursor = (1, frontier["sets"])
+        checkpoint = SearchCheckpoint(
+            procedure="rcqp", cursor=cursor, statistics=_stats())
+        partial = RCQPResult(
+            status=RCQPStatus.EXHAUSTED,
+            explanation=(
+                f"search interrupted ({interrupt.reason}) at "
+                f"{'unit enumeration' if cursor[0] == 0 else 'candidate-set search'}"
+                f" position {cursor[1]}; resume from the checkpoint "
+                f"to continue"),
+            statistics=_stats(), checkpoint=checkpoint,
+            interrupted=interrupt.reason)
+        if on_exhausted == "error":
+            interrupt.statistics = partial.statistics
+            interrupt.partial_result = partial
+            interrupt.checkpoint = checkpoint
+        return partial
+
+    try:
+        # Condition E1/E5: all output variables range over finite domains.
+        if all(tableau.has_finite_domain(v)
+               for tableau in q_tableaux
+               for v in tableau.summary_variables()):
             outcome = make_complete(
-                query, witness, master, constraints,
-                max_rounds=max_completion_rounds)
-            if not outcome.complete:
-                continue
-            if verify_witness:
-                verdict = decide_rcdp(query, outcome.database, master,
-                                      constraints)
-                if verdict.status is not RCDPStatus.COMPLETE:
-                    continue  # conservative: keep searching
-            return RCQPResult(
-                status=RCQPStatus.NONEMPTY,
-                witness=outcome.database,
-                explanation=(
-                    f"bounding valuation set of size {size} found "
-                    f"(condition E2/E6); witness verified complete"),
-                statistics=SearchStatistics(
-                    candidate_sets_examined=examined))
+                query, Instance.empty(schema), master, constraints,
+                max_rounds=max_completion_rounds, governor=governor,
+                on_exhausted="error")
+            if outcome.complete:
+                return RCQPResult(
+                    status=RCQPStatus.NONEMPTY,
+                    witness=outcome.database,
+                    explanation=(
+                        "all output variables have finite domains "
+                        "(condition E1/E5); witness built by certificate "
+                        "completion"))
+            raise ReproError(
+                "internal error: E1/E5 completion did not converge — raise "
+                "max_completion_rounds or report this as a bug")
+
+        # Condition E2/E6: search for a bounding set of partial valuations.
+        if phase == 0:
+            units = _enumerate_units(
+                cc_tableaux, adom, max_rows_per_unit,
+                governor=governor, skip=start_n, progress=frontier)
+            new_units = max(0, frontier["units"] - start_n)
+            frontier.update(phase=1, sets=0)
+            to_skip = 0
+        else:
+            # Units were fully enumerated (and charged) before the
+            # interruption; rebuild them without re-charging.
+            units = _enumerate_units(cc_tableaux, adom, max_rows_per_unit)
+            to_skip = start_n
+
+        ground_rows: list[Fact] = [
+            (row.relation, row.instantiate({}))
+            for tableau in q_tableaux for row in tableau.ground_rows()]
+        max_size = min(max_valuation_set_size, len(units))
+        total_sets = 0
+        for size in range(0, max_size + 1):
+            for combo in itertools.combinations(units, size):
+                total_sets += 1
+                if total_sets <= to_skip:
+                    continue
+                if governor is not None:
+                    governor.tick("candidate_sets")
+                examined += 1
+                dv_facts = frozenset().union(*(u.facts for u in combo)) \
+                    if combo else frozenset()
+                bound_values = frozenset().union(
+                    *(u.summary_values for u in combo)) \
+                    if combo else frozenset()
+                if not _candidate_is_bounding(
+                        schema, master, constraints, q_tableaux, adom,
+                        dv_facts, bound_values, governor=governor):
+                    frontier["sets"] = total_sets
+                    continue
+                witness = _facts_instance(
+                    schema, list(dv_facts) + ground_rows)
+                if not satisfies_all(witness, master, constraints):
+                    frontier["sets"] = total_sets
+                    continue
+                outcome = make_complete(
+                    query, witness, master, constraints,
+                    max_rounds=max_completion_rounds, governor=governor,
+                    on_exhausted="error")
+                if not outcome.complete:
+                    frontier["sets"] = total_sets
+                    continue
+                if verify_witness:
+                    verdict = decide_rcdp(query, outcome.database, master,
+                                          constraints, governor=governor)
+                    if verdict.status is not RCDPStatus.COMPLETE:
+                        frontier["sets"] = total_sets
+                        continue  # conservative: keep searching
+                return RCQPResult(
+                    status=RCQPStatus.NONEMPTY,
+                    witness=outcome.database,
+                    explanation=(
+                        f"bounding valuation set of size {size} found "
+                        f"(condition E2/E6); witness verified complete"),
+                    statistics=_stats())
+    except ExecutionInterrupted as interrupt:
+        partial = _interrupted_result(interrupt)
+        if on_exhausted == "error":
+            raise
+        return partial
 
     exhausted = max_valuation_set_size >= len(units)
     status = RCQPStatus.EMPTY if exhausted else RCQPStatus.EMPTY_UP_TO_BOUND
+    total_examined = base_stats.candidate_sets_examined + examined
     return RCQPResult(
         status=status,
         explanation=(
-            f"no bounding valuation set among {examined} candidate "
+            f"no bounding valuation set among {total_examined} candidate "
             f"set(s) over {len(units)} unit(s)"
             + ("" if exhausted else
                f" (search capped at size {max_valuation_set_size})")),
-        statistics=SearchStatistics(candidate_sets_examined=examined),
+        statistics=_stats(),
         bound=None if exhausted else max_valuation_set_size)

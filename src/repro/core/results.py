@@ -6,7 +6,13 @@ Every verdict is explicit about its strength:
   answers from the characterization-based deciders;
 * the ``*_UP_TO_BOUND`` statuses come from the bounded semi-decision
   procedures (the only ones available for FO/FP, where the problems are
-  undecidable) and make no claim beyond the explored bound.
+  undecidable) and make no claim beyond the explored bound;
+* the ``EXHAUSTED`` statuses come from the execution governor
+  (:mod:`repro.runtime`): the search was interrupted by a budget,
+  deadline, cancellation, or injected fault before reaching a verdict.
+  Such results carry best-so-far statistics and a resumable
+  :class:`~repro.runtime.checkpoint.SearchCheckpoint` — the paid-for
+  Πᵖ₂/NEXPTIME work is never thrown away.
 
 INCOMPLETE verdicts carry a *certificate*: a concrete set of facts whose
 addition is consistent with the containment constraints yet changes the
@@ -18,12 +24,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.relational.instance import Instance
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.runtime.checkpoint import SearchCheckpoint
+
 __all__ = [
     "RCDPStatus", "RCQPStatus", "IncompletenessCertificate", "RCDPResult",
-    "RCQPResult", "SearchStatistics",
+    "RCQPResult", "SearchStatistics", "MissingAnswersReport",
 ]
 
 Fact = tuple[str, tuple]
@@ -36,6 +46,9 @@ class RCDPStatus(enum.Enum):
     INCOMPLETE = "incomplete"
     #: Bounded procedure found no counterexample within the bound.
     COMPLETE_UP_TO_BOUND = "complete-up-to-bound"
+    #: The governed search was interrupted before reaching a verdict;
+    #: the result carries statistics and a resumable checkpoint.
+    EXHAUSTED = "exhausted"
 
 
 class RCQPStatus(enum.Enum):
@@ -45,6 +58,8 @@ class RCQPStatus(enum.Enum):
     EMPTY = "empty"
     #: Bounded search found no witness within the bound.
     EMPTY_UP_TO_BOUND = "empty-up-to-bound"
+    #: The governed search was interrupted before reaching a verdict.
+    EXHAUSTED = "exhausted"
 
 
 @dataclass(frozen=True)
@@ -79,11 +94,32 @@ class IncompletenessCertificate:
 
 @dataclass(frozen=True)
 class SearchStatistics:
-    """Counters the deciders expose for the benchmark harness."""
+    """Counters the deciders expose for the benchmark harness.
+
+    All counters default to 0, so procedures only populate the ones they
+    track.  :meth:`merged` sums two snapshots — resumed searches use it
+    to report cumulative totals across interruptions.
+    """
 
     valuations_examined: int = 0
     constraint_checks: int = 0
     candidate_sets_examined: int = 0
+    #: Partial valuations enumerated by the RCQP E2/E6 unit phase.
+    units_examined: int = 0
+    #: Search nodes explored by the auxiliary solvers (DPLL branches,
+    #: tiling placements, 2-head DFA words, QBF expansions).
+    nodes_examined: int = 0
+
+    def merged(self, other: "SearchStatistics") -> "SearchStatistics":
+        """Field-wise sum of two statistics snapshots."""
+        return SearchStatistics(
+            valuations_examined=(self.valuations_examined
+                                 + other.valuations_examined),
+            constraint_checks=self.constraint_checks + other.constraint_checks,
+            candidate_sets_examined=(self.candidate_sets_examined
+                                     + other.candidate_sets_examined),
+            units_examined=self.units_examined + other.units_examined,
+            nodes_examined=self.nodes_examined + other.nodes_examined)
 
 
 @dataclass(frozen=True)
@@ -96,6 +132,11 @@ class RCDPResult:
     statistics: SearchStatistics = field(default_factory=SearchStatistics)
     #: For bounded procedures: the explored extension-size bound.
     bound: int | None = None
+    #: For EXHAUSTED results: the resumable search frontier.
+    checkpoint: "SearchCheckpoint | None" = None
+    #: For EXHAUSTED results: what stopped the search
+    #: (``"budget"``, ``"deadline"``, or ``"cancelled"``).
+    interrupted: str | None = None
 
     @property
     def is_complete(self) -> bool:
@@ -105,6 +146,11 @@ class RCDPResult:
     @property
     def is_incomplete(self) -> bool:
         return self.status is RCDPStatus.INCOMPLETE
+
+    @property
+    def is_exhausted(self) -> bool:
+        """True when the governed search was interrupted mid-decision."""
+        return self.status is RCDPStatus.EXHAUSTED
 
     def __bool__(self) -> bool:
         # Deliberately undefined truthiness: force callers to test the
@@ -123,6 +169,10 @@ class RCQPResult:
     explanation: str = ""
     statistics: SearchStatistics = field(default_factory=SearchStatistics)
     bound: int | None = None
+    #: For EXHAUSTED results: the resumable search frontier.
+    checkpoint: "SearchCheckpoint | None" = None
+    #: For EXHAUSTED results: what stopped the search.
+    interrupted: str | None = None
 
     @property
     def is_nonempty(self) -> bool:
@@ -133,6 +183,34 @@ class RCQPResult:
         """True only for an exact EMPTY verdict."""
         return self.status is RCQPStatus.EMPTY
 
+    @property
+    def is_exhausted(self) -> bool:
+        """True when the governed search was interrupted mid-decision."""
+        return self.status is RCQPStatus.EXHAUSTED
+
     def __bool__(self) -> bool:
         raise TypeError(
             "RCQPResult has no truth value; inspect .status instead")
+
+
+@dataclass(frozen=True)
+class MissingAnswersReport:
+    """Outcome of a governed missing-answer enumeration.
+
+    ``answers`` is the full missing-answer set when ``exhaustive`` is
+    True; otherwise (a ``limit`` was hit or the governor interrupted the
+    search) it is a *lower bound* — every member is genuinely attainable,
+    but more may exist.  Interrupted enumerations carry a resumable
+    checkpoint whose payload preserves the answers found so far.
+    """
+
+    answers: frozenset[tuple]
+    exhaustive: bool
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    checkpoint: "SearchCheckpoint | None" = None
+    interrupted: str | None = None
+
+    def __repr__(self) -> str:
+        kind = "all" if self.exhaustive else "≥"
+        return (f"MissingAnswers[{kind} {len(self.answers)} answer(s)"
+                f"{', interrupted: ' + self.interrupted if self.interrupted else ''}]")

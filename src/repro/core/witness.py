@@ -20,8 +20,9 @@ from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all)
 from repro.core.rcdp import _extend_unvalidated, decide_rcdp
 from repro.core.results import RCDPResult, RCDPStatus
-from repro.errors import ReproError
+from repro.errors import ExecutionInterrupted, ReproError
 from repro.relational.instance import Instance
+from repro.runtime import ExecutionGovernor, validate_exhaustion_mode
 
 __all__ = ["CompletionOutcome", "make_complete", "minimize_witness"]
 
@@ -47,16 +48,24 @@ class CompletionOutcome:
     complete: bool
     rounds: int
     added_facts: tuple[tuple[str, tuple], ...]
+    #: Set when a governed run was interrupted mid-completion
+    #: (``"budget"``, ``"deadline"``, or ``"cancelled"``); the partially
+    #: completed database and the facts applied so far are preserved.
+    interrupted: str | None = None
 
     def __repr__(self) -> str:
         state = "complete" if self.complete else "still incomplete"
+        if self.interrupted:
+            state += f", interrupted: {self.interrupted}"
         return (f"CompletionOutcome[{state} after {self.rounds} round(s), "
                 f"{len(self.added_facts)} fact(s) added]")
 
 
 def make_complete(query: Any, database: Instance, master: Instance,
                   constraints: Sequence[ContainmentConstraint],
-                  *, max_rounds: int = 32) -> CompletionOutcome:
+                  *, max_rounds: int = 32,
+                  governor: ExecutionGovernor | None = None,
+                  on_exhausted: str = "partial") -> CompletionOutcome:
     """Repeatedly apply incompleteness certificates until the database is
     complete for *query* relative to ``(master, constraints)`` or
     *max_rounds* certificates have been applied.
@@ -67,28 +76,46 @@ def make_complete(query: Any, database: Instance, master: Instance,
     mark *which* records are missing (e.g. "a domestic customer with this
     id"); here they make the final database a genuine member of
     ``RCQ(Q, Dm, V)`` whenever the loop converges.
+
+    A *governor* bounds the whole loop (all rounds charge the same
+    budget).  When it trips, ``on_exhausted="partial"`` (default) returns
+    the partially completed database with ``interrupted`` set — the facts
+    already collected remain valid guidance — while ``"error"``
+    propagates the governor's exception.
     """
+    validate_exhaustion_mode(on_exhausted)
     current = database
     added: list[tuple[str, tuple]] = []
-    for round_index in range(max_rounds):
-        verdict: RCDPResult = decide_rcdp(
-            query, current, master, constraints,
-            check_partially_closed=(round_index == 0))
-        if verdict.status is RCDPStatus.COMPLETE:
-            return CompletionOutcome(
-                database=current, complete=True, rounds=round_index,
-                added_facts=tuple(added))
-        certificate = verdict.certificate
-        assert certificate is not None
-        new_facts = [
-            fact for fact in certificate.extension_facts
-            if fact[1] not in current.relation(fact[0])]
-        if not new_facts:  # pragma: no cover - certificate always adds
-            break
-        added.extend(new_facts)
-        current = _extend_unvalidated(current, new_facts)
-    verdict = decide_rcdp(query, current, master, constraints,
-                          check_partially_closed=False)
+    rounds_done = 0
+    try:
+        for round_index in range(max_rounds):
+            rounds_done = round_index
+            verdict: RCDPResult = decide_rcdp(
+                query, current, master, constraints,
+                check_partially_closed=(round_index == 0),
+                governor=governor)
+            if verdict.status is RCDPStatus.COMPLETE:
+                return CompletionOutcome(
+                    database=current, complete=True, rounds=round_index,
+                    added_facts=tuple(added))
+            certificate = verdict.certificate
+            assert certificate is not None
+            new_facts = [
+                fact for fact in certificate.extension_facts
+                if fact[1] not in current.relation(fact[0])]
+            if not new_facts:  # pragma: no cover - certificate always adds
+                break
+            added.extend(new_facts)
+            current = _extend_unvalidated(current, new_facts)
+        verdict = decide_rcdp(query, current, master, constraints,
+                              check_partially_closed=False,
+                              governor=governor)
+    except ExecutionInterrupted as interrupt:
+        if on_exhausted == "error":
+            raise
+        return CompletionOutcome(
+            database=current, complete=False, rounds=rounds_done,
+            added_facts=tuple(added), interrupted=interrupt.reason)
     return CompletionOutcome(
         database=current,
         complete=verdict.status is RCDPStatus.COMPLETE,

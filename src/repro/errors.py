@@ -73,4 +73,42 @@ class SearchBudgetExceededError(ReproError):
 
     The exact deciders solve problems that are Πᵖ₂- to NEXPTIME-complete;
     budgets keep runaway instances from hanging the caller.
+
+    The exception does not discard the search's progress.  Attributes:
+
+    ``reason``
+        What tripped: ``"budget"``, ``"deadline"``, or ``"cancelled"``
+        (injected faults report the condition they simulate).
+    ``statistics``
+        :class:`~repro.core.results.SearchStatistics` at the moment of
+        interruption, when the raising procedure tracked them.
+    ``partial_result``
+        The structured ``EXHAUSTED`` result the procedure would have
+        returned under ``on_exhausted="partial"`` (best-so-far data).
+    ``checkpoint``
+        A :class:`~repro.runtime.checkpoint.SearchCheckpoint` that the
+        procedure's ``resume_from`` parameter accepts to continue the
+        search under a fresh budget.
+    """
+
+    def __init__(self, message: str = "", *, reason: str = "budget",
+                 statistics=None, partial_result=None,
+                 checkpoint=None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.statistics = statistics
+        self.partial_result = partial_result
+        self.checkpoint = checkpoint
+
+
+class ExecutionInterrupted(SearchBudgetExceededError):
+    """Raised by :class:`~repro.runtime.governor.ExecutionGovernor` when a
+    budget, deadline, cancellation token, or injected fault trips.
+
+    Subclasses :class:`SearchBudgetExceededError` so existing callers that
+    catch budget exhaustion transparently catch every governed stop
+    condition.  Deciders intercept this exception in the hot loop, attach
+    statistics and a checkpoint, and either re-raise it
+    (``on_exhausted="error"``) or degrade to a structured ``EXHAUSTED``
+    result (``on_exhausted="partial"``).
     """

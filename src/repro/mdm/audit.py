@@ -26,6 +26,7 @@ from repro.core.results import (RCDPResult, RCDPStatus, RCQPResult,
 from repro.core.witness import CompletionOutcome, make_complete
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
+from repro.runtime import ExecutionGovernor, validate_exhaustion_mode
 
 __all__ = ["AuditVerdict", "AuditReport", "CompletenessAudit"]
 
@@ -42,6 +43,9 @@ class AuditVerdict(enum.Enum):
     #: Incomplete; the bounded RCQP search found no witness, so the
     #: recommendation is heuristic.
     COLLECT_DATA_OR_EXPAND = "collect-data-or-expand"
+    #: A governed analysis ran out of budget/deadline before reaching a
+    #: verdict; the report carries the partial results and checkpoints.
+    INCONCLUSIVE = "inconclusive"
 
 
 @dataclass(frozen=True)
@@ -68,8 +72,13 @@ class AuditReport:
         """Human-readable one-paragraph summary."""
         lines = [f"verdict: {self.verdict.value}"]
         lines.append(f"RCDP: {self.rcdp.status.value}")
+        if self.rcdp.interrupted:
+            lines.append(f"RCDP interrupted by: {self.rcdp.interrupted}")
         if self.rcqp is not None:
             lines.append(f"RCQP: {self.rcqp.status.value}")
+            if self.rcqp.interrupted:
+                lines.append(
+                    f"RCQP interrupted by: {self.rcqp.interrupted}")
         if self.suggested_facts:
             facts = ", ".join(
                 f"{name}{row!r}" for name, row in self.suggested_facts[:5])
@@ -92,20 +101,38 @@ class CompletenessAudit:
     max_completion_rounds: int = 32
     rcqp_valuation_set_size: int = 1
 
-    def assess(self, query: Any, database: Instance) -> AuditReport:
-        """Run the full §2.3 cascade for *query* on *database*."""
+    def assess(self, query: Any, database: Instance,
+               *, governor: ExecutionGovernor | None = None,
+               on_exhausted: str = "partial") -> AuditReport:
+        """Run the full §2.3 cascade for *query* on *database*.
+
+        A *governor* bounds the whole cascade under one budget/deadline.
+        Under ``on_exhausted="partial"`` (default) an interrupted stage
+        yields an ``INCONCLUSIVE`` report carrying the partial results
+        and their checkpoints; ``"error"`` propagates the governor's
+        exception instead.
+        """
+        validate_exhaustion_mode(on_exhausted)
         rcdp = decide_rcdp(query, database, self.master,
-                           list(self.constraints))
+                           list(self.constraints), governor=governor,
+                           on_exhausted=on_exhausted)
+        if rcdp.is_exhausted:
+            return AuditReport(verdict=AuditVerdict.INCONCLUSIVE, rcdp=rcdp)
         if rcdp.status is RCDPStatus.COMPLETE:
             return AuditReport(verdict=AuditVerdict.TRUSTWORTHY, rcdp=rcdp)
 
         rcqp = decide_rcqp(
             query, self.master, list(self.constraints), self.schema,
-            max_valuation_set_size=self.rcqp_valuation_set_size)
+            max_valuation_set_size=self.rcqp_valuation_set_size,
+            governor=governor, on_exhausted=on_exhausted)
+        if rcqp.is_exhausted:
+            return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
+                               rcdp=rcdp, rcqp=rcqp)
         if rcqp.status is RCQPStatus.NONEMPTY:
             completion = make_complete(
                 query, database, self.master, list(self.constraints),
-                max_rounds=self.max_completion_rounds)
+                max_rounds=self.max_completion_rounds, governor=governor,
+                on_exhausted=on_exhausted)
             return AuditReport(verdict=AuditVerdict.COLLECT_DATA,
                                rcdp=rcdp, rcqp=rcqp, completion=completion)
         boundedness = analyze_boundedness(query, list(self.constraints),

@@ -1,0 +1,40 @@
+"""Execution governor: budgets, deadlines, degradation, fault injection.
+
+The problems this library decides are Πᵖ₂- to NEXPTIME-complete, so every
+exact search needs to be *boundable* and *interruptible* without throwing
+away the work it has done.  This package provides the machinery:
+
+* :class:`~repro.runtime.budget.Budget` — unified work accounting across
+  valuations, candidate sets, units, solver nodes, ...;
+* :class:`~repro.runtime.control.Deadline` /
+  :class:`~repro.runtime.control.CancellationToken` — wall-clock limits
+  and cooperative cancellation;
+* :class:`~repro.runtime.governor.ExecutionGovernor` — the single object
+  threaded through every hot loop;
+* :class:`~repro.runtime.checkpoint.SearchCheckpoint` — resumable search
+  frontiers for graceful degradation;
+* :class:`~repro.runtime.faults.FaultInjector` — deterministic, seedable
+  fault injection so the degradation paths are themselves testable.
+
+See ``docs/RUNTIME.md`` for the full story.
+"""
+
+from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import SearchCheckpoint
+from repro.runtime.control import CancellationToken, Deadline
+from repro.runtime.faults import FaultInjector
+from repro.runtime.governor import (EXHAUSTION_MODES, ExecutionGovernor,
+                                    resolve_governor,
+                                    validate_exhaustion_mode)
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "Deadline",
+    "EXHAUSTION_MODES",
+    "ExecutionGovernor",
+    "FaultInjector",
+    "SearchCheckpoint",
+    "resolve_governor",
+    "validate_exhaustion_mode",
+]

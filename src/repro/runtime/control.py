@@ -1,0 +1,68 @@
+"""Wall-clock deadlines and cooperative cancellation.
+
+Both are *cooperative*: nothing is preempted.  The hot enumeration loops
+of the deciders and solvers call :meth:`ExecutionGovernor.tick`, which
+consults these objects; a search only stops at a tick boundary, which is
+exactly what makes the checkpoints it leaves behind resumable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import ReproError
+
+__all__ = ["Deadline", "CancellationToken"]
+
+
+class Deadline:
+    """A point on the monotonic clock after which a search must stop."""
+
+    __slots__ = ("at",)
+
+    def __init__(self, at: float) -> None:
+        self.at = float(at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline *seconds* from now."""
+        if seconds < 0:
+            raise ReproError(
+                f"deadline must be nonnegative, got {seconds}")
+        return cls(time.monotonic() + seconds)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.at
+
+    def remaining(self) -> float:
+        """Seconds left; 0.0 once expired."""
+        return max(0.0, self.at - time.monotonic())
+
+    def __repr__(self) -> str:
+        return f"Deadline[{self.remaining():.3f}s left]"
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancellation flag.
+
+    A caller (another thread, a signal handler, a UI) calls
+    :meth:`cancel`; the governed search observes it at its next tick and
+    degrades gracefully, returning a checkpointed partial result rather
+    than dying mid-loop.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def __repr__(self) -> str:
+        return f"CancellationToken[{'cancelled' if self.cancelled else 'live'}]"

@@ -1,0 +1,108 @@
+"""Deterministic, seedable fault injection for the execution governor.
+
+The graceful-degradation paths (exhaustion, deadline expiry, cooperative
+cancellation) are the hardest code in the library to exercise naturally:
+a real budget trip depends on instance size, a real deadline on machine
+speed.  :class:`FaultInjector` makes them reproducible — it rides on the
+governor's tick stream and *simulates* each stop condition at an exact,
+configurable tick, or probabilistically under a fixed seed.  An injected
+fault is deliberately indistinguishable from the real condition (same
+reason string, same exception, same checkpoint machinery), so the tests
+that exercise degradation exercise the production paths.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.errors import ReproError
+
+__all__ = ["FaultInjector"]
+
+_REASONS = ("budget", "deadline", "cancelled")
+
+
+class FaultInjector:
+    """Injects stop conditions and delays into a governed search.
+
+    Parameters
+    ----------
+    exhaust_after, deadline_after, cancel_after:
+        Fire the corresponding stop condition once the global tick count
+        reaches the given value (the Nth tick is the first one reported;
+        ``exhaust_after=3`` lets 3 ticks of work complete).
+    delay_every, delay_seconds:
+        Sleep *delay_seconds* before every *delay_every*-th tick — for
+        making deadline expiry reproducible without huge instances.
+    exhaust_probability:
+        Per-tick probability of simulated exhaustion, drawn from a
+        private :class:`random.Random` seeded with *seed* — deterministic
+        across runs for a fixed seed and tick stream.
+    seed:
+        Seed for the probabilistic faults (default 0).
+    """
+
+    __slots__ = ("exhaust_after", "deadline_after", "cancel_after",
+                 "delay_every", "delay_seconds", "exhaust_probability",
+                 "_rng", "ticks", "fired")
+
+    def __init__(self, *, exhaust_after: int | None = None,
+                 deadline_after: int | None = None,
+                 cancel_after: int | None = None,
+                 delay_every: int | None = None,
+                 delay_seconds: float = 0.0,
+                 exhaust_probability: float = 0.0,
+                 seed: int = 0) -> None:
+        for name, value in (("exhaust_after", exhaust_after),
+                            ("deadline_after", deadline_after),
+                            ("cancel_after", cancel_after)):
+            if value is not None and value < 0:
+                raise ReproError(f"{name} must be nonnegative, got {value}")
+        if delay_every is not None and delay_every <= 0:
+            raise ReproError(
+                f"delay_every must be positive, got {delay_every}")
+        if not 0.0 <= exhaust_probability <= 1.0:
+            raise ReproError(
+                f"exhaust_probability must be in [0, 1], "
+                f"got {exhaust_probability}")
+        self.exhaust_after = exhaust_after
+        self.deadline_after = deadline_after
+        self.cancel_after = cancel_after
+        self.delay_every = delay_every
+        self.delay_seconds = delay_seconds
+        self.exhaust_probability = exhaust_probability
+        self._rng = random.Random(seed)
+        self.ticks = 0
+        self.fired: str | None = None
+
+    def before_work(self, amount: int = 1) -> str | None:
+        """Advance the fault clock by *amount*; return a stop reason or None.
+
+        Called by the governor before each unit of work is performed, so
+        a fired fault means that unit was *not* examined — mirroring how
+        a real budget breach stops the search before the over-budget
+        step.  Once fired, the injector keeps reporting the same reason
+        (faults are sticky, like real exhaustion).
+        """
+        if self.fired is not None:
+            return self.fired
+        self.ticks += amount
+        if self.delay_every is not None and self.delay_seconds > 0 \
+                and self.ticks % self.delay_every == 0:
+            time.sleep(self.delay_seconds)
+        if self.exhaust_after is not None and self.ticks > self.exhaust_after:
+            self.fired = "budget"
+        elif self.deadline_after is not None \
+                and self.ticks > self.deadline_after:
+            self.fired = "deadline"
+        elif self.cancel_after is not None and self.ticks > self.cancel_after:
+            self.fired = "cancelled"
+        elif self.exhaust_probability > 0.0 \
+                and self._rng.random() < self.exhaust_probability:
+            self.fired = "budget"
+        return self.fired
+
+    def __repr__(self) -> str:
+        state = f"fired={self.fired}" if self.fired else "armed"
+        return f"FaultInjector[{state} @ tick {self.ticks}]"

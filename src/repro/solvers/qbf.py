@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ReproError
+from repro.runtime import ExecutionGovernor
 from repro.solvers.sat import CNF, dpll_satisfiable, random_3sat
 
 __all__ = ["ForallExists3SAT", "ExistsForall3SAT", "ExistsForallExists3SAT",
@@ -45,12 +46,19 @@ class ForallExists3SAT:
         object.__setattr__(self, "matrix", matrix)
         _check_partition(matrix, self.universal, self.existential)
 
-    def is_true(self) -> bool:
-        """Evaluate by expanding the ∀ block and calling DPLL per branch."""
+    def is_true(self, governor: ExecutionGovernor | None = None) -> bool:
+        """Evaluate by expanding the ∀ block and calling DPLL per branch.
+
+        A *governor* charges one ``"nodes"`` tick per ∀-branch (plus the
+        inner DPLL's own node ticks) and interrupts cooperatively.
+        """
         for values in itertools.product((False, True),
                                         repeat=len(self.universal)):
+            if governor is not None:
+                governor.tick("nodes")
             assumptions = dict(zip(self.universal, values))
-            if dpll_satisfiable(self.matrix, assumptions) is None:
+            if dpll_satisfiable(self.matrix, assumptions,
+                                governor=governor) is None:
                 return False
         return True
 
@@ -74,16 +82,25 @@ class ExistsForall3SAT:
         object.__setattr__(self, "matrix", matrix)
         _check_partition(matrix, self.existential, self.universal)
 
-    def is_true(self) -> bool:
+    def is_true(self, governor: ExecutionGovernor | None = None) -> bool:
         """Evaluate by expanding both blocks (the matrix is quantifier
-        free, so the inner check is plain CNF evaluation)."""
+        free, so the inner check is plain CNF evaluation).
+
+        A *governor* charges one ``"nodes"`` tick per expanded
+        assignment and interrupts cooperatively.
+        """
         from repro.solvers.sat import evaluate_cnf
+
+        def _holds(x_map: dict[int, bool], y: tuple[bool, ...]) -> bool:
+            if governor is not None:
+                governor.tick("nodes")
+            return evaluate_cnf(
+                self.matrix, {**x_map, **dict(zip(self.universal, y))})
 
         for x_values in itertools.product((False, True),
                                           repeat=len(self.existential)):
             x_map = dict(zip(self.existential, x_values))
-            if all(evaluate_cnf(self.matrix,
-                                {**x_map, **dict(zip(self.universal, y))})
+            if all(_holds(x_map, y)
                    for y in itertools.product(
                        (False, True), repeat=len(self.universal))):
                 return True
@@ -127,15 +144,26 @@ class ExistsForallExists3SAT:
         _check_partition(matrix, self.outer_existential, self.universal,
                          self.inner_existential)
 
-    def is_true(self) -> bool:
-        """Expand ∃X and ∀Y; decide the innermost ∃Z with DPLL."""
+    def is_true(self, governor: ExecutionGovernor | None = None) -> bool:
+        """Expand ∃X and ∀Y; decide the innermost ∃Z with DPLL.
+
+        A *governor* charges one ``"nodes"`` tick per expanded outer
+        assignment (plus the inner DPLL's node ticks) and interrupts
+        cooperatively.
+        """
+        def _branch_sat(x_assumptions: dict[int, bool],
+                        y_values: tuple[bool, ...]) -> bool:
+            if governor is not None:
+                governor.tick("nodes")
+            return dpll_satisfiable(
+                self.matrix,
+                {**x_assumptions, **dict(zip(self.universal, y_values))},
+                governor=governor) is not None
+
         for x_values in itertools.product((False, True),
                                           repeat=len(self.outer_existential)):
             x_assumptions = dict(zip(self.outer_existential, x_values))
-            if all(dpll_satisfiable(
-                    self.matrix,
-                    {**x_assumptions, **dict(zip(self.universal, y_values))})
-                    is not None
+            if all(_branch_sat(x_assumptions, y_values)
                    for y_values in itertools.product(
                        (False, True), repeat=len(self.universal))):
                 return True

@@ -15,7 +15,9 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
-from repro.errors import ReproError
+from repro.core.results import SearchStatistics
+from repro.errors import ExecutionInterrupted, ReproError
+from repro.runtime import ExecutionGovernor
 
 __all__ = ["CNF", "dpll_satisfiable", "random_3sat", "evaluate_cnf"]
 
@@ -87,12 +89,18 @@ def _simplify(clauses: list[tuple[int, ...]], literal: int
 
 def dpll_satisfiable(cnf: CNF,
                      assumptions: Mapping[int, bool] | None = None,
+                     governor: ExecutionGovernor | None = None,
                      ) -> Assignment | None:
     """DPLL with unit propagation and pure-literal elimination.
 
     Returns a satisfying total assignment, or None when unsatisfiable.
     *assumptions* pre-assigns some variables (used by the QBF expander).
+
+    A *governor* charges one ``"nodes"`` tick per DPLL search node; on
+    interruption :class:`~repro.errors.ExecutionInterrupted` propagates
+    with the node count attached as statistics.
     """
+    nodes = 0
     clauses = list(cnf.clauses)
     assignment: Assignment = {}
     if assumptions:
@@ -106,6 +114,10 @@ def dpll_satisfiable(cnf: CNF,
 
     def search(clauses: list[tuple[int, ...]],
                assignment: Assignment) -> Assignment | None:
+        nonlocal nodes
+        if governor is not None:
+            governor.tick("nodes")
+        nodes += 1
         # Unit propagation.
         while True:
             units = [clause[0] for clause in clauses if len(clause) == 1]
@@ -157,7 +169,12 @@ def dpll_satisfiable(cnf: CNF,
                     return solution
         return None
 
-    solution = search(clauses, assignment)
+    try:
+        solution = search(clauses, assignment)
+    except ExecutionInterrupted as interrupt:
+        if interrupt.statistics is None:
+            interrupt.statistics = SearchStatistics(nodes_examined=nodes)
+        raise
     if solution is None:
         return None
     for variable in cnf.variables:

@@ -17,7 +17,9 @@ import random
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.errors import ReproError
+from repro.core.results import SearchStatistics
+from repro.errors import ExecutionInterrupted, ReproError
+from repro.runtime import ExecutionGovernor
 
 __all__ = ["TilingInstance", "solve_tiling", "random_tiling_instance",
            "verify_tiling"]
@@ -84,14 +86,20 @@ def verify_tiling(instance: TilingInstance, grid: Sequence[Sequence[Tile]],
     return True
 
 
-def solve_tiling(instance: TilingInstance) -> Grid | None:
+def solve_tiling(instance: TilingInstance,
+                 governor: ExecutionGovernor | None = None) -> Grid | None:
     """Backtracking search for a tiling; None when none exists.
 
     Cells are filled row-major; each placement is checked against the tile
     above and to the left, so the partial grid is always consistent.
+
+    A *governor* charges one ``"nodes"`` tick per cell expansion; on
+    interruption :class:`~repro.errors.ExecutionInterrupted` propagates
+    with the node count attached as statistics.
     """
     side = instance.side
     grid: Grid = [[-1] * side for _ in range(side)]
+    nodes = 0
 
     def candidates(i: int, j: int) -> Iterable[Tile]:
         if i == 0 and j == 0:
@@ -106,8 +114,12 @@ def solve_tiling(instance: TilingInstance) -> Grid | None:
         return True
 
     def fill(position: int) -> bool:
+        nonlocal nodes
         if position == side * side:
             return True
+        if governor is not None:
+            governor.tick("nodes")
+        nodes += 1
         i, j = divmod(position, side)
         for tile in candidates(i, j):
             if fits(i, j, tile):
@@ -117,8 +129,13 @@ def solve_tiling(instance: TilingInstance) -> Grid | None:
                 grid[i][j] = -1
         return False
 
-    if fill(0):
-        return grid
+    try:
+        if fill(0):
+            return grid
+    except ExecutionInterrupted as interrupt:
+        if interrupt.statistics is None:
+            interrupt.statistics = SearchStatistics(nodes_examined=nodes)
+        raise
     return None
 
 

@@ -22,7 +22,9 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
-from repro.errors import ReproError
+from repro.core.results import SearchStatistics
+from repro.errors import ExecutionInterrupted, ReproError
+from repro.runtime import ExecutionGovernor
 
 __all__ = ["TwoHeadDFA", "bounded_emptiness"]
 
@@ -79,12 +81,15 @@ class TwoHeadDFA:
         return (target, min(pos1 + move1, len(word)),
                 min(pos2 + move2, len(word)))
 
-    def accepts(self, word: str, max_steps: int | None = None) -> bool:
+    def accepts(self, word: str, max_steps: int | None = None,
+                governor: ExecutionGovernor | None = None) -> bool:
         """Simulate the (deterministic) run on *word*.
 
         The run halts on the accepting state, a missing transition, or a
         repeated configuration (the machine is deterministic, so a repeat
-        means divergence).  *max_steps* optionally caps the run length.
+        means divergence).  *max_steps* optionally caps the run length; a
+        *governor* charges one ``"nodes"`` tick per simulation step and
+        interrupts cooperatively.
         """
         if any(symbol not in "01" for symbol in word):
             raise ReproError(f"input {word!r} is not over Σ = {{0,1}}")
@@ -100,6 +105,8 @@ class TwoHeadDFA:
             seen.add(config)
             if max_steps is not None and steps >= max_steps:
                 return False
+            if governor is not None:
+                governor.tick("nodes")
             step = self._step(state, word, pos1, pos2)
             if step is None:
                 return False
@@ -125,6 +132,7 @@ class TwoHeadDFA:
 
 
 def bounded_emptiness(automaton: TwoHeadDFA, max_length: int,
+                      governor: ExecutionGovernor | None = None,
                       ) -> str | None:
     """Search for an accepted word of length ≤ *max_length*.
 
@@ -132,10 +140,24 @@ def bounded_emptiness(automaton: TwoHeadDFA, max_length: int,
     bound is rejected.  Emptiness itself is undecidable (Spielmann 2000),
     which is exactly why the paper's Theorems 3.1 and 4.1 hold; this
     bounded search is the best any implementation can do.
+
+    A *governor* charges one ``"nodes"`` tick per candidate word (the
+    per-step ticks of each simulation ride on the same governor); on
+    interruption :class:`~repro.errors.ExecutionInterrupted` propagates
+    with the word count attached as statistics.
     """
-    for length in range(max_length + 1):
-        for symbols in itertools.product("01", repeat=length):
-            word = "".join(symbols)
-            if automaton.accepts(word):
-                return word
+    words = 0
+    try:
+        for length in range(max_length + 1):
+            for symbols in itertools.product("01", repeat=length):
+                word = "".join(symbols)
+                if governor is not None:
+                    governor.tick("nodes")
+                words += 1
+                if automaton.accepts(word, governor=governor):
+                    return word
+    except ExecutionInterrupted as interrupt:
+        if interrupt.statistics is None:
+            interrupt.statistics = SearchStatistics(nodes_examined=words)
+        raise
     return None

@@ -1,0 +1,342 @@
+"""Exhaustion, cancellation, and resume paths of the governed deciders.
+
+Every decider is interrupted mid-search via deterministic fault
+injection, the partial result is checked for well-formedness (status,
+statistics, reason, checkpoint), and the checkpoint is resumed under a
+fresh (or absent) budget to reach the same verdict as an uninterrupted
+run — the graceful-degradation contract of the execution governor.
+"""
+
+import pytest
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection)
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.ind import InclusionDependency
+from repro.core.bounded import brute_force_rcdp, brute_force_rcqp
+from repro.core.rcdp import (decide_rcdp, enumerate_missing_answers,
+                             missing_answers_report)
+from repro.core.rcqp import decide_rcqp, decide_rcqp_with_inds
+from repro.core.results import (MissingAnswersReport, RCDPStatus,
+                                RCQPStatus)
+from repro.core.witness import make_complete
+from repro.errors import (ExecutionInterrupted, ReproError,
+                          SearchBudgetExceededError)
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.runtime import (CancellationToken, Deadline, ExecutionGovernor,
+                           FaultInjector, SearchCheckpoint)
+
+SCHEMA = DatabaseSchema([
+    RelationSchema("CustD", ["cid", "name", "ac", "phn"]),
+    RelationSchema("Supt", ["eid", "dept", "cid"]),
+])
+MASTER_SCHEMA = DatabaseSchema([
+    RelationSchema("DCust", ["cid", "name", "ac", "phn"]),
+])
+DM = Instance(MASTER_SCHEMA, {
+    "DCust": {("c1", "ann", "908", "555-0001"),
+              ("c2", "bob", "908", "555-0002"),
+              ("c3", "cecilia", "212", "555-0003")},
+})
+
+
+def supt_cid_ind():
+    return InclusionDependency(
+        "Supt", ["cid"], "DCust", ["cid"],
+        name="supt⊆dcust").to_containment_constraint(SCHEMA, MASTER_SCHEMA)
+
+
+def q2():
+    return cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))],
+              name="Q2")
+
+
+def incomplete_db():
+    return Instance(SCHEMA, {"Supt": {("e0", "sales", "c1")}})
+
+
+def injected(after, **kwargs):
+    """A governor that trips after *after* admitted ticks."""
+    return ExecutionGovernor(
+        faults=FaultInjector(exhaust_after=after, **kwargs))
+
+
+class TestRCDPDegradation:
+    def test_partial_mode_returns_exhausted_result(self):
+        result = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                             governor=injected(1), on_exhausted="partial")
+        assert result.status is RCDPStatus.EXHAUSTED
+        assert result.is_exhausted
+        assert result.interrupted == "budget"
+        assert result.checkpoint is not None
+        assert result.checkpoint.procedure == "rcdp"
+        assert result.statistics.valuations_examined == 1
+
+    def test_error_mode_raises_with_progress_attached(self):
+        with pytest.raises(SearchBudgetExceededError) as excinfo:
+            decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                        governor=injected(1), on_exhausted="error")
+        error = excinfo.value
+        assert error.reason == "budget"
+        assert error.statistics.valuations_examined == 1
+        assert error.partial_result.status is RCDPStatus.EXHAUSTED
+        assert error.checkpoint.procedure == "rcdp"
+
+    def test_resume_reaches_uninterrupted_verdict(self):
+        unbounded = decide_rcdp(q2(), incomplete_db(), DM,
+                                [supt_cid_ind()])
+        partial = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                              governor=injected(1), on_exhausted="partial")
+        resumed = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                              resume_from=partial.checkpoint)
+        assert resumed.status is unbounded.status
+        assert resumed.certificate is not None
+        # cumulative statistics cover both legs of the search
+        assert resumed.statistics.valuations_examined >= \
+            unbounded.statistics.valuations_examined
+
+    def test_resume_is_not_recharged(self):
+        partial = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                              governor=injected(2), on_exhausted="partial")
+        # The resumed leg gets a budget smaller than the work already
+        # done; skipping the examined prefix must not consume it.
+        resumed = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                              budget=1000, resume_from=partial.checkpoint)
+        assert resumed.status is not RCDPStatus.EXHAUSTED
+
+    def test_deadline_interrupt_reports_deadline(self):
+        governor = ExecutionGovernor(deadline=Deadline.after(0))
+        result = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                             governor=governor, on_exhausted="partial")
+        assert result.status is RCDPStatus.EXHAUSTED
+        assert result.interrupted == "deadline"
+
+    def test_cancellation_interrupt_reports_cancelled(self):
+        token = CancellationToken()
+        token.cancel()
+        governor = ExecutionGovernor(cancellation=token)
+        result = decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                             governor=governor, on_exhausted="partial")
+        assert result.interrupted == "cancelled"
+
+    def test_checkpoint_from_other_procedure_rejected(self):
+        foreign = SearchCheckpoint(procedure="rcqp", cursor=(0, 0))
+        with pytest.raises(ReproError):
+            decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                        resume_from=foreign)
+
+    def test_budget_and_governor_together_rejected(self):
+        with pytest.raises(ReproError):
+            decide_rcdp(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                        budget=5, governor=ExecutionGovernor())
+
+
+class TestMissingAnswersGovernance:
+    def test_enumerate_honors_budget_kwarg(self):
+        with pytest.raises(SearchBudgetExceededError):
+            enumerate_missing_answers(q2(), incomplete_db(), DM,
+                                      [supt_cid_ind()], budget=1)
+
+    def test_report_degrades_to_lower_bound(self):
+        full = missing_answers_report(q2(), incomplete_db(), DM,
+                                      [supt_cid_ind()])
+        assert full.exhaustive
+        partial = missing_answers_report(
+            q2(), incomplete_db(), DM, [supt_cid_ind()],
+            governor=injected(2))
+        assert isinstance(partial, MissingAnswersReport)
+        assert not partial.exhaustive
+        assert partial.interrupted == "budget"
+        assert partial.checkpoint.procedure == "missing"
+        assert partial.answers <= full.answers
+
+    def test_resumed_report_recovers_the_full_answer_set(self):
+        full = missing_answers_report(q2(), incomplete_db(), DM,
+                                      [supt_cid_ind()])
+        partial = missing_answers_report(
+            q2(), incomplete_db(), DM, [supt_cid_ind()],
+            governor=injected(2))
+        resumed = missing_answers_report(
+            q2(), incomplete_db(), DM, [supt_cid_ind()],
+            resume_from=partial.checkpoint)
+        assert resumed.exhaustive
+        assert resumed.answers == full.answers
+
+    def test_limit_is_distinct_from_interruption(self):
+        limited = missing_answers_report(q2(), incomplete_db(), DM,
+                                         [supt_cid_ind()], limit=1)
+        assert not limited.exhaustive
+        assert limited.interrupted is None
+        assert len(limited.answers) == 1
+
+
+class TestCompletionGovernance:
+    def test_interrupted_completion_keeps_partial_guidance(self):
+        outcome = make_complete(q2(), incomplete_db(), DM,
+                                [supt_cid_ind()], governor=injected(1))
+        assert not outcome.complete
+        assert outcome.interrupted == "budget"
+
+    def test_error_mode_propagates(self):
+        with pytest.raises(ExecutionInterrupted):
+            make_complete(q2(), incomplete_db(), DM, [supt_cid_ind()],
+                          governor=injected(1), on_exhausted="error")
+
+    def test_ungoverned_completion_unaffected(self):
+        outcome = make_complete(q2(), incomplete_db(), DM,
+                                [supt_cid_ind()])
+        assert outcome.complete
+        assert outcome.interrupted is None
+
+
+RCQP_SCHEMA = DatabaseSchema([RelationSchema("Supt",
+                                             ["eid", "dept", "cid"])])
+RCQP_MASTER = DatabaseSchema([RelationSchema("DCust", ["cid"])])
+RCQP_DM = Instance(RCQP_MASTER, {"DCust": {("c1",), ("c2",)}})
+
+
+def rcqp_cid_ind():
+    return InclusionDependency(
+        "Supt", ["cid"], "DCust", ["cid"]).to_containment_constraint(
+        RCQP_SCHEMA, RCQP_MASTER)
+
+
+def q4():
+    return cq([var("e"), var("d"), var("c")],
+              [rel("Supt", var("e"), var("d"), var("c")),
+               eq(var("e"), "e0"), eq(var("d"), "d0")], name="Q4")
+
+
+def fd_constraints():
+    return FunctionalDependency(
+        "Supt", ["eid"], ["dept"]).to_containment_constraints(RCQP_SCHEMA)
+
+
+class TestRCQPGeneralDegradation:
+    def test_exhausted_result_carries_checkpoint(self):
+        result = decide_rcqp(q4(), Instance(RCQP_MASTER), fd_constraints(),
+                             RCQP_SCHEMA, governor=injected(3),
+                             on_exhausted="partial")
+        assert result.status is RCQPStatus.EXHAUSTED
+        assert result.interrupted == "budget"
+        assert result.checkpoint.procedure == "rcqp"
+
+    def test_error_mode_attaches_partial_result(self):
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            decide_rcqp(q4(), Instance(RCQP_MASTER), fd_constraints(),
+                        RCQP_SCHEMA, governor=injected(3))
+        assert excinfo.value.partial_result.status is RCQPStatus.EXHAUSTED
+        assert excinfo.value.checkpoint.procedure == "rcqp"
+
+    @pytest.mark.parametrize("after", [1, 5, 25, 100])
+    def test_resume_matches_unbounded_verdict(self, after):
+        unbounded = decide_rcqp(q4(), Instance(RCQP_MASTER),
+                                fd_constraints(), RCQP_SCHEMA)
+        partial = decide_rcqp(q4(), Instance(RCQP_MASTER),
+                              fd_constraints(), RCQP_SCHEMA,
+                              governor=injected(after),
+                              on_exhausted="partial")
+        if partial.status is not RCQPStatus.EXHAUSTED:
+            assert partial.status is unbounded.status
+            return
+        resumed = decide_rcqp(q4(), Instance(RCQP_MASTER),
+                              fd_constraints(), RCQP_SCHEMA,
+                              resume_from=partial.checkpoint)
+        assert resumed.status is unbounded.status
+
+    def test_legacy_budget_kwarg_caps_total_work(self):
+        with pytest.raises(SearchBudgetExceededError):
+            decide_rcqp(q4(), Instance(RCQP_MASTER), fd_constraints(),
+                        RCQP_SCHEMA, budget=2)
+
+
+class TestRCQPIndDegradation:
+    def _query(self):
+        return cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+
+    def test_exhausted_result_carries_checkpoint(self):
+        result = decide_rcqp_with_inds(
+            self._query(), RCQP_DM, [rcqp_cid_ind()], RCQP_SCHEMA,
+            governor=injected(1), on_exhausted="partial")
+        assert result.status is RCQPStatus.EXHAUSTED
+        assert result.checkpoint.procedure == "rcqp-inds"
+
+    @pytest.mark.parametrize("after", [1, 3, 10, 50])
+    def test_resume_matches_unbounded_verdict(self, after):
+        unbounded = decide_rcqp_with_inds(
+            self._query(), RCQP_DM, [rcqp_cid_ind()], RCQP_SCHEMA)
+        partial = decide_rcqp_with_inds(
+            self._query(), RCQP_DM, [rcqp_cid_ind()], RCQP_SCHEMA,
+            governor=injected(after), on_exhausted="partial")
+        if partial.status is not RCQPStatus.EXHAUSTED:
+            assert partial.status is unbounded.status
+            return
+        resumed = decide_rcqp_with_inds(
+            self._query(), RCQP_DM, [rcqp_cid_ind()], RCQP_SCHEMA,
+            resume_from=partial.checkpoint)
+        assert resumed.status is unbounded.status
+
+    def test_dispatch_passes_governor_through(self):
+        result = decide_rcqp(self._query(), RCQP_DM, [rcqp_cid_ind()],
+                             RCQP_SCHEMA, governor=injected(1),
+                             on_exhausted="partial")
+        assert result.status is RCQPStatus.EXHAUSTED
+        assert result.checkpoint.procedure == "rcqp-inds"
+
+
+class TestBruteForceDegradation:
+    def test_brute_rcdp_resume_matches(self):
+        unbounded = brute_force_rcdp(
+            q2(), incomplete_db(), DM, [supt_cid_ind()], max_extra_facts=1,
+            relations=["Supt"])
+        partial = brute_force_rcdp(
+            q2(), incomplete_db(), DM, [supt_cid_ind()], max_extra_facts=1,
+            relations=["Supt"], governor=injected(2),
+            on_exhausted="partial")
+        assert partial.status is RCDPStatus.EXHAUSTED
+        assert partial.checkpoint.procedure == "brute-rcdp"
+        resumed = brute_force_rcdp(
+            q2(), incomplete_db(), DM, [supt_cid_ind()], max_extra_facts=1,
+            relations=["Supt"], resume_from=partial.checkpoint)
+        assert resumed.status is unbounded.status
+
+    def test_brute_rcqp_exhausts_and_resumes(self):
+        q = cq([var("c")], [rel("Supt", "e0", var("d"), var("c"))])
+        kwargs = dict(max_database_size=1,
+                      values=["e0", "d0", "c1"])
+        unbounded = brute_force_rcqp(q, RCQP_DM, [rcqp_cid_ind()],
+                                     RCQP_SCHEMA, **kwargs)
+        partial = brute_force_rcqp(q, RCQP_DM, [rcqp_cid_ind()],
+                                   RCQP_SCHEMA, governor=injected(1),
+                                   on_exhausted="partial", **kwargs)
+        assert partial.status is RCQPStatus.EXHAUSTED
+        assert partial.checkpoint.procedure == "brute-rcqp"
+        resumed = brute_force_rcqp(q, RCQP_DM, [rcqp_cid_ind()],
+                                   RCQP_SCHEMA,
+                                   resume_from=partial.checkpoint,
+                                   **kwargs)
+        assert resumed.status is unbounded.status
+
+
+class TestAuditGovernance:
+    def test_inconclusive_verdict_on_exhaustion(self):
+        from repro.mdm.audit import AuditVerdict, CompletenessAudit
+
+        audit = CompletenessAudit(master=DM, constraints=[supt_cid_ind()],
+                                  schema=SCHEMA)
+        report = audit.assess(q2(), incomplete_db(), governor=injected(1))
+        assert report.verdict is AuditVerdict.INCONCLUSIVE
+        assert report.rcdp.is_exhausted
+        assert "interrupted" in report.summary()
+
+    def test_ungoverned_audit_unchanged(self):
+        from repro.mdm.audit import AuditVerdict, CompletenessAudit
+
+        audit = CompletenessAudit(master=DM, constraints=[supt_cid_ind()],
+                                  schema=SCHEMA)
+        report = audit.assess(q2(), incomplete_db())
+        assert report.verdict is not AuditVerdict.INCONCLUSIVE

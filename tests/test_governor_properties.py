@@ -1,0 +1,141 @@
+"""Property tests for the interrupt/resume contract of the governor.
+
+The acceptance criterion of the execution governor: interrupting a
+decider at an *arbitrary* point of its search and resuming from the
+returned checkpoint must yield exactly the verdict of an uninterrupted
+run.  Queries and instances are drawn from ``tests.strategies``; the
+interruption point is itself randomized through deterministic fault
+injection.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.cfd import FunctionalDependency
+from repro.constraints.containment import satisfies_all
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp, missing_answers_report
+from repro.core.rcqp import decide_rcqp
+from repro.core.results import RCDPStatus, RCQPStatus
+from repro.errors import ReproError, SearchBudgetExceededError
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.runtime import ExecutionGovernor, FaultInjector
+
+from tests.strategies import SCHEMA, conjunctive_queries, instances
+
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["c"])])
+DM = Instance(MASTER_SCHEMA, {"M": {(0,), (1,)}})
+
+# R[b] ⊆ M[c]: random instances whose R carries a 2 in column b are not
+# partially closed and get filtered out below.
+IND = InclusionDependency(
+    "R", ["b"], "M", ["c"]).to_containment_constraint(
+    SCHEMA, MASTER_SCHEMA)
+
+
+def injected(after):
+    return ExecutionGovernor(faults=FaultInjector(exhaust_after=after))
+
+
+class TestRCDPInterruptResume:
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(allow_inequalities=False),
+           db=instances(), after=st.integers(0, 25))
+    def test_resumed_verdict_matches_unbounded(self, query, db, after):
+        assume(satisfies_all(db, DM, [IND]))
+        try:
+            unbounded = decide_rcdp(query, db, DM, [IND])
+        except ReproError:
+            assume(False)
+        partial = decide_rcdp(query, db, DM, [IND],
+                              governor=injected(after),
+                              on_exhausted="partial")
+        if partial.status is not RCDPStatus.EXHAUSTED:
+            # The search finished before the injected fault fired.
+            assert partial.status is unbounded.status
+            return
+        assert partial.interrupted == "budget"
+        assert partial.checkpoint is not None
+        resumed = decide_rcdp(query, db, DM, [IND],
+                              resume_from=partial.checkpoint)
+        assert resumed.status is unbounded.status
+        # Cumulative statistics: resumption never forgets the first leg.
+        assert resumed.statistics.valuations_examined >= \
+            partial.statistics.valuations_examined
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=conjunctive_queries(allow_inequalities=False),
+           db=instances(), after=st.integers(0, 25))
+    def test_error_mode_is_partial_mode_raised(self, query, db, after):
+        assume(satisfies_all(db, DM, [IND]))
+        try:
+            partial = decide_rcdp(query, db, DM, [IND],
+                                  governor=injected(after),
+                                  on_exhausted="partial")
+        except ReproError:
+            assume(False)
+        if partial.status is not RCDPStatus.EXHAUSTED:
+            return
+        try:
+            decide_rcdp(query, db, DM, [IND], governor=injected(after),
+                        on_exhausted="error")
+        except SearchBudgetExceededError as error:
+            assert error.partial_result.status is RCDPStatus.EXHAUSTED
+            assert error.checkpoint == partial.checkpoint
+        else:
+            raise AssertionError("error mode did not raise")
+
+
+class TestMissingAnswersInterruptResume:
+    @settings(max_examples=50, deadline=None)
+    @given(query=conjunctive_queries(allow_inequalities=False),
+           db=instances(), after=st.integers(0, 25))
+    def test_interrupted_answers_are_a_lower_bound(self, query, db,
+                                                   after):
+        assume(satisfies_all(db, DM, [IND]))
+        try:
+            full = missing_answers_report(query, db, DM, [IND])
+        except ReproError:
+            assume(False)
+        assert full.exhaustive
+        partial = missing_answers_report(query, db, DM, [IND],
+                                         governor=injected(after))
+        if partial.exhaustive:
+            assert partial.answers == full.answers
+            return
+        assert partial.answers <= full.answers
+        resumed = missing_answers_report(query, db, DM, [IND],
+                                         resume_from=partial.checkpoint)
+        assert resumed.exhaustive
+        assert resumed.answers == full.answers
+
+
+RCQP_FDS = FunctionalDependency(
+    "R", ["a"], ["b"]).to_containment_constraints(SCHEMA)
+
+
+class TestRCQPInterruptResume:
+    @settings(max_examples=25, deadline=None)
+    @given(query=conjunctive_queries(max_atoms=2,
+                                     allow_inequalities=False),
+           after=st.integers(0, 40))
+    def test_resumed_verdict_matches_unbounded(self, query, after):
+        assume(query.relations_used() == {"R"})
+        kwargs = dict(max_valuation_set_size=1, max_rows_per_unit=1)
+        try:
+            unbounded = decide_rcqp(query, Instance(MASTER_SCHEMA),
+                                    list(RCQP_FDS), SCHEMA, **kwargs)
+        except ReproError:
+            assume(False)
+        partial = decide_rcqp(query, Instance(MASTER_SCHEMA),
+                              list(RCQP_FDS), SCHEMA,
+                              governor=injected(after),
+                              on_exhausted="partial", **kwargs)
+        if partial.status is not RCQPStatus.EXHAUSTED:
+            assert partial.status is unbounded.status
+            return
+        resumed = decide_rcqp(query, Instance(MASTER_SCHEMA),
+                              list(RCQP_FDS), SCHEMA,
+                              resume_from=partial.checkpoint, **kwargs)
+        assert resumed.status is unbounded.status

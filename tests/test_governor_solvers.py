@@ -1,0 +1,146 @@
+"""Governed interruption of the reduction solvers (SAT, QBF, tiling, 2DFA).
+
+Each backtracking solver ticks the shared execution governor per node
+expansion; these tests verify that an injected or real budget stops the
+search with node statistics attached, and that governing a search to
+completion never changes its answer.
+"""
+
+import pytest
+
+from repro.core.results import SearchStatistics
+from repro.errors import ExecutionInterrupted, SearchBudgetExceededError
+from repro.runtime import Budget, ExecutionGovernor, FaultInjector
+from repro.solvers.qbf import (ExistsForallExists3SAT, ForallExists3SAT)
+from repro.solvers.sat import CNF, dpll_satisfiable
+from repro.solvers.tiling import TilingInstance, solve_tiling, verify_tiling
+from repro.solvers.twohead import EPSILON, TwoHeadDFA, bounded_emptiness
+
+
+def injected(after):
+    return ExecutionGovernor(faults=FaultInjector(exhaust_after=after))
+
+
+PIGEONHOLE = CNF(
+    [(1, 2), (3, 4), (5, 6)]
+    + [(-a, -b) for h in (0, 1)
+       for i, a in enumerate([1 + h, 3 + h, 5 + h])
+       for b in [1 + h, 3 + h, 5 + h][i + 1:]])
+
+
+class TestGovernedDPLL:
+    def test_interrupt_carries_node_statistics(self):
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            dpll_satisfiable(PIGEONHOLE, governor=injected(2))
+        assert excinfo.value.reason == "budget"
+        assert isinstance(excinfo.value.statistics, SearchStatistics)
+        assert excinfo.value.statistics.nodes_examined == 2
+
+    def test_real_budget_trips_too(self):
+        governor = ExecutionGovernor(budget=Budget(nodes=1))
+        with pytest.raises(SearchBudgetExceededError):
+            dpll_satisfiable(PIGEONHOLE, governor=governor)
+
+    def test_governed_run_matches_ungoverned(self):
+        cnf = CNF([(1, 2, 3), (-1, -2), (-2, -3), (2,)])
+        governor = ExecutionGovernor()
+        assert dpll_satisfiable(cnf, governor=governor) == \
+            dpll_satisfiable(cnf)
+        assert governor.ticks > 0
+
+    def test_ungoverned_call_unchanged(self):
+        assert dpll_satisfiable(CNF([(1,)])) == {1: True}
+
+
+class TestGovernedQBF:
+    def test_forall_exists_interrupt(self):
+        formula = ForallExists3SAT([1, 2], [3], CNF([(1, 2, 3), (-3, 1)]))
+        with pytest.raises(ExecutionInterrupted):
+            formula.is_true(governor=injected(1))
+
+    def test_forall_exists_governed_answer_unchanged(self):
+        formula = ForallExists3SAT([1], [2], CNF([(1, 2), (-1, -2)]))
+        governor = ExecutionGovernor()
+        assert formula.is_true(governor=governor) is formula.is_true()
+        assert governor.ticks > 0
+
+    def test_exists_forall_exists_interrupt(self):
+        formula = ExistsForallExists3SAT(
+            [1], [2], [3], CNF([(1,), (3, -2), (3, 2)]))
+        with pytest.raises(ExecutionInterrupted):
+            formula.is_true(governor=injected(1))
+
+    def test_exists_forall_exists_governed_answer_unchanged(self):
+        formula = ExistsForallExists3SAT(
+            [1], [2], [3], CNF([(2,), (1, -1), (3, -3)]))
+        assert formula.is_true(governor=ExecutionGovernor()) is \
+            formula.is_true()
+
+
+class TestGovernedTiling:
+    def _checkerboard(self):
+        return TilingInstance(
+            tiles=(0, 1),
+            vertical={(0, 1), (1, 0)},
+            horizontal={(0, 1), (1, 0)},
+            first_tile=0, exponent=1)
+
+    def test_interrupt_carries_node_statistics(self):
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            solve_tiling(self._checkerboard(), governor=injected(1))
+        assert excinfo.value.statistics.nodes_examined >= 1
+
+    def test_governed_solution_still_valid(self):
+        instance = self._checkerboard()
+        grid = solve_tiling(instance, governor=ExecutionGovernor())
+        assert grid == [[0, 1], [1, 0]]
+        assert verify_tiling(instance, grid)
+
+
+def equal_halves_automaton():
+    transitions = {
+        ("s", "0", "0"): ("s", 0, 1),
+        ("s", "0", "1"): ("m", 1, 1),
+        ("m", "0", "1"): ("m", 1, 1),
+        ("m", "1", EPSILON): ("acc", 0, 0),
+    }
+    return TwoHeadDFA(states={"s", "m", "acc"}, transitions=transitions,
+                      initial="s", accepting="acc")
+
+
+class TestGovernedTwoHead:
+    def test_simulation_interrupt(self):
+        with pytest.raises(ExecutionInterrupted):
+            equal_halves_automaton().accepts("000111",
+                                             governor=injected(2))
+
+    def test_governed_simulation_answer_unchanged(self):
+        automaton = equal_halves_automaton()
+        governor = ExecutionGovernor()
+        assert automaton.accepts("0011", governor=governor)
+        assert not automaton.accepts("0010", governor=governor)
+        assert governor.ticks > 0
+
+    def test_emptiness_interrupt_counts_words(self):
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            bounded_emptiness(equal_halves_automaton(), max_length=4,
+                              governor=injected(3))
+        assert isinstance(excinfo.value.statistics, SearchStatistics)
+
+    def test_governed_emptiness_answer_unchanged(self):
+        automaton = equal_halves_automaton()
+        governed = bounded_emptiness(automaton, max_length=3,
+                                     governor=ExecutionGovernor())
+        assert governed == bounded_emptiness(automaton, max_length=3)
+
+
+class TestSharedGovernorAcrossSolvers:
+    def test_one_budget_spans_heterogeneous_searches(self):
+        governor = ExecutionGovernor(budget=Budget(limit=50))
+        dpll_satisfiable(CNF([(1, 2), (-1, 2)]), governor=governor)
+        solve_tiling(TilingInstance(
+            tiles=(0,), vertical={(0, 0)}, horizontal={(0, 0)},
+            first_tile=0, exponent=1), governor=governor)
+        spent = governor.budget.spent_for("nodes")
+        assert spent == governor.ticks
+        assert 0 < spent <= 50

@@ -1,0 +1,233 @@
+"""Unit tests for the execution-governor runtime primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.results import SearchStatistics
+from repro.errors import ExecutionInterrupted, ReproError
+from repro.runtime import (Budget, CancellationToken, Deadline,
+                           EXHAUSTION_MODES, ExecutionGovernor,
+                           FaultInjector, SearchCheckpoint,
+                           resolve_governor, validate_exhaustion_mode)
+
+
+class TestBudget:
+    def test_unlimited_budget_never_breaches(self):
+        budget = Budget()
+        for _ in range(1000):
+            assert budget.charge("valuations") is None
+        assert not budget.exhausted
+        assert budget.remaining is None
+
+    def test_total_limit_admits_exactly_n_ticks(self):
+        budget = Budget(limit=3)
+        assert [budget.charge() for _ in range(3)] == [None, None, None]
+        assert budget.charge() == "total"
+        assert budget.exhausted
+
+    def test_breach_is_sticky(self):
+        budget = Budget(limit=1)
+        budget.charge()
+        assert budget.charge() == "total"
+        assert budget.charge() == "total"
+
+    def test_per_kind_limit(self):
+        budget = Budget(valuations=2)
+        assert budget.charge("valuations") is None
+        assert budget.charge("nodes") is None  # different kind, uncapped
+        assert budget.charge("valuations") is None
+        assert budget.charge("valuations") == "valuations"
+        assert budget.spent_for("valuations") == 3
+        assert budget.spent_for("nodes") == 1
+
+    def test_total_and_kind_limits_combine(self):
+        budget = Budget(limit=10, nodes=1)
+        assert budget.charge("nodes") is None
+        assert budget.charge("nodes") == "nodes"
+
+    def test_snapshot_and_remaining(self):
+        budget = Budget(limit=5)
+        budget.charge("a", 2)
+        budget.charge("b")
+        assert budget.snapshot() == {"a": 2, "b": 1}
+        assert budget.remaining == 2
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ReproError):
+            Budget(limit=-1)
+        with pytest.raises(ReproError):
+            Budget(valuations=-5)
+
+
+class TestDeadlineAndCancellation:
+    def test_deadline_expiry(self):
+        assert Deadline.after(0).expired()
+        future = Deadline.after(60)
+        assert not future.expired()
+        assert future.remaining() > 0
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ReproError):
+            Deadline.after(-1)
+
+    def test_cancellation_token(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+
+    def test_cancellation_from_another_thread(self):
+        token = CancellationToken()
+        thread = threading.Thread(target=token.cancel)
+        thread.start()
+        thread.join()
+        assert token.cancelled
+
+
+class TestFaultInjector:
+    def test_exhaust_after_lets_n_ticks_complete(self):
+        faults = FaultInjector(exhaust_after=3)
+        assert [faults.before_work() for _ in range(3)] == [None] * 3
+        assert faults.before_work() == "budget"
+
+    def test_faults_are_sticky(self):
+        faults = FaultInjector(cancel_after=0)
+        assert faults.before_work() == "cancelled"
+        assert faults.before_work() == "cancelled"
+
+    def test_each_reason_maps_to_its_condition(self):
+        assert FaultInjector(exhaust_after=0).before_work() == "budget"
+        assert FaultInjector(deadline_after=0).before_work() == "deadline"
+        assert FaultInjector(cancel_after=0).before_work() == "cancelled"
+
+    def test_probabilistic_faults_are_seed_deterministic(self):
+        def trace(seed):
+            faults = FaultInjector(exhaust_probability=0.3, seed=seed)
+            return [faults.before_work() for _ in range(50)]
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)
+
+    def test_delay_injection_sleeps(self):
+        faults = FaultInjector(delay_every=1, delay_seconds=0.02)
+        start = time.monotonic()
+        faults.before_work()
+        assert time.monotonic() - start >= 0.015
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            FaultInjector(exhaust_after=-1)
+        with pytest.raises(ReproError):
+            FaultInjector(delay_every=0)
+        with pytest.raises(ReproError):
+            FaultInjector(exhaust_probability=1.5)
+
+
+class TestExecutionGovernor:
+    def test_bare_governor_is_a_tick_counter(self):
+        governor = ExecutionGovernor()
+        for _ in range(5):
+            governor.tick()
+        assert governor.ticks == 5
+
+    def test_budget_trip_raises_with_reason(self):
+        governor = ExecutionGovernor(budget=Budget(limit=2))
+        governor.tick()
+        governor.tick()
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            governor.tick()
+        assert excinfo.value.reason == "budget"
+
+    def test_interrupt_is_catchable_as_legacy_budget_error(self):
+        from repro.errors import SearchBudgetExceededError
+
+        governor = ExecutionGovernor(budget=Budget(limit=0))
+        with pytest.raises(SearchBudgetExceededError):
+            governor.tick()
+
+    def test_deadline_trip(self):
+        governor = ExecutionGovernor(deadline=Deadline.after(0))
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            governor.tick()
+        assert excinfo.value.reason == "deadline"
+
+    def test_cancellation_trip(self):
+        token = CancellationToken()
+        governor = ExecutionGovernor(cancellation=token)
+        governor.tick()
+        token.cancel()
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            governor.tick()
+        assert excinfo.value.reason == "cancelled"
+
+    def test_injected_fault_trip(self):
+        governor = ExecutionGovernor(faults=FaultInjector(exhaust_after=1))
+        governor.tick()
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            governor.tick()
+        assert excinfo.value.reason == "budget"
+
+    def test_check_observes_without_charging(self):
+        governor = ExecutionGovernor(budget=Budget(limit=1),
+                                     cancellation=CancellationToken())
+        for _ in range(10):
+            governor.check()  # never charges the budget
+        governor.tick()
+        governor.cancellation.cancel()
+        with pytest.raises(ExecutionInterrupted) as excinfo:
+            governor.check()
+        assert excinfo.value.reason == "cancelled"
+
+    def test_from_limits(self):
+        governor = ExecutionGovernor.from_limits(budget=5, timeout=60)
+        assert governor.budget.limit == 5
+        assert not governor.deadline.expired()
+        assert ExecutionGovernor.from_limits().budget is None
+
+
+class TestSearchCheckpoint:
+    def test_require_accepts_own_procedure(self):
+        checkpoint = SearchCheckpoint(procedure="rcdp", cursor=(0, 0))
+        assert checkpoint.require("rcdp") is checkpoint
+
+    def test_require_rejects_other_procedures(self):
+        checkpoint = SearchCheckpoint(procedure="rcdp", cursor=(0, 0))
+        with pytest.raises(ReproError):
+            checkpoint.require("rcqp")
+
+    def test_base_statistics_defaults_to_zeros(self):
+        checkpoint = SearchCheckpoint(procedure="rcdp", cursor=(0,))
+        assert checkpoint.base_statistics() == SearchStatistics()
+        stats = SearchStatistics(valuations_examined=7)
+        assert SearchCheckpoint(
+            procedure="rcdp", cursor=(0,),
+            statistics=stats).base_statistics() is stats
+
+
+class TestResolveGovernor:
+    def test_passing_both_is_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_governor(ExecutionGovernor(), budget=5)
+
+    def test_legacy_budget_becomes_total_cap(self):
+        governor = resolve_governor(None, budget=3)
+        assert governor.budget.limit == 3
+        assert resolve_governor(None, None) is None
+
+    def test_exhaustion_mode_validation(self):
+        for mode in EXHAUSTION_MODES:
+            assert validate_exhaustion_mode(mode) == mode
+        with pytest.raises(ReproError):
+            validate_exhaustion_mode("explode")
+
+
+class TestStatisticsMerging:
+    def test_merged_is_fieldwise_sum(self):
+        a = SearchStatistics(valuations_examined=3, nodes_examined=1)
+        b = SearchStatistics(valuations_examined=4, units_examined=2)
+        merged = a.merged(b)
+        assert merged.valuations_examined == 7
+        assert merged.units_examined == 2
+        assert merged.nodes_examined == 1
