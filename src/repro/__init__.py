@@ -47,6 +47,7 @@ from repro.core import (ActiveDomain, CompletionOutcome,
                         decide_rcqp_with_inds, enumerate_missing_answers,
                         make_complete, minimize_witness,
                         missing_answers_report)
+from repro.engine import EvaluationContext
 from repro.errors import (ConstraintError, DomainError, EvaluationError,
                           ExecutionInterrupted, NotPartiallyClosedError,
                           ParseError, QueryError, ReproError, SchemaError,
@@ -72,7 +73,8 @@ __all__ = [
     "ConditionalInclusionDependency", "ConjunctiveQuery", "Const",
     "ConstraintError", "ContainmentConstraint", "DatabaseSchema",
     "DatalogQuery", "Deadline", "DenialConstraint", "DomainError",
-    "EFOQuery", "Eq", "EvaluationError", "ExecutionGovernor",
+    "EFOQuery", "Eq", "EvaluationContext", "EvaluationError",
+    "ExecutionGovernor",
     "ExecutionInterrupted", "FOQuery", "FaultInjector", "FiniteDomain",
     "FreshValue", "FunctionalDependency", "INFINITE",
     "InclusionDependency", "IncompletenessCertificate", "Instance",

@@ -20,7 +20,7 @@ from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
 
 __all__ = ["Projection", "ContainmentConstraint", "satisfies_all",
-           "violated_constraints"]
+           "satisfies_all_extension", "violated_constraints"]
 
 #: Query languages whose queries the exact deciders can handle in CCs.
 _DECIDABLE_LANGUAGES = frozenset({"CQ", "UCQ", "EFO"})
@@ -71,8 +71,17 @@ class Projection:
                     f"projection column {column} out of range for master "
                     f"relation {self.relation!r} of arity {relation.arity}")
 
-    def evaluate(self, master: Instance) -> frozenset[tuple]:
-        """Compute ``p(Dm)``."""
+    def evaluate(self, master: Instance, *,
+                 context: Any = None) -> frozenset[tuple]:
+        """Compute ``p(Dm)``.
+
+        With an :class:`~repro.engine.context.EvaluationContext` the
+        result is memoized per (projection, master) pair — ``Dm`` is
+        fixed for an entire decision, so each projection is computed at
+        most once instead of on every constraint check.
+        """
+        if context is not None:
+            return context.projection_rows(self, master)
         if self.relation is None:
             return frozenset()
         rows = master.relation(self.relation)
@@ -159,33 +168,79 @@ class ContainmentConstraint:
         self.query.validate(schema)
         self.projection.validate(master_schema)
 
-    def is_satisfied(self, database: Instance, master: Instance) -> bool:
+    def is_satisfied(self, database: Instance, master: Instance, *,
+                     context: Any = None) -> bool:
         """``(D, Dm) ⊨ q ⊆ p``."""
-        answers = self.query.evaluate(database)
+        answers = (context.evaluate(self.query, database)
+                   if context is not None
+                   else self.query.evaluate(database))
         if not answers:
             return True
         if self.projection.is_empty_target:
             return False
-        return answers <= self.projection.evaluate(master)
+        return answers <= self.projection.evaluate(master, context=context)
+
+    def is_satisfied_extension(self, base: Instance,
+                               delta_facts: Iterable[tuple[str, tuple]],
+                               master: Instance, *,
+                               context: Any = None) -> bool:
+        """``(base ∪ Δ, Dm) ⊨ q ⊆ p`` without materializing the union.
+
+        With a context, ``q(base ∪ Δ)`` comes from the semi-naive delta
+        rule over the cached ``q(base)``; without one the union is
+        materialized — same verdict either way.
+        """
+        if context is None:
+            from repro.relational.instance import extend_unvalidated
+
+            return self.is_satisfied(extend_unvalidated(base, delta_facts),
+                                     master)
+        answers = context.evaluate_extension(self.query, base, delta_facts)
+        if not answers:
+            return True
+        if self.projection.is_empty_target:
+            return False
+        return answers <= self.projection.evaluate(master, context=context)
 
     def violating_answers(self, database: Instance,
-                          master: Instance) -> frozenset[tuple]:
+                          master: Instance, *,
+                          context: Any = None) -> frozenset[tuple]:
         """The answers of ``q(D)`` missing from ``p(Dm)`` (evidence)."""
-        answers = self.query.evaluate(database)
-        return frozenset(answers - self.projection.evaluate(master))
+        answers = (context.evaluate(self.query, database)
+                   if context is not None
+                   else self.query.evaluate(database))
+        return frozenset(
+            answers - self.projection.evaluate(master, context=context))
 
     def __repr__(self) -> str:
         return f"{self.name}: {self.query!r} ⊆ {self.projection!r}"
 
 
 def satisfies_all(database: Instance, master: Instance,
-                  constraints: Sequence[ContainmentConstraint]) -> bool:
+                  constraints: Sequence[ContainmentConstraint], *,
+                  context: Any = None) -> bool:
     """``(D, Dm) ⊨ V``."""
-    return all(c.is_satisfied(database, master) for c in constraints)
+    return all(c.is_satisfied(database, master, context=context)
+               for c in constraints)
+
+
+def satisfies_all_extension(base: Instance,
+                            delta_facts: Iterable[tuple[str, tuple]],
+                            master: Instance,
+                            constraints: Sequence[ContainmentConstraint], *,
+                            context: Any = None) -> bool:
+    """``(base ∪ Δ, Dm) ⊨ V`` — the candidate-extension check the
+    decider hot loops run per valuation, on the delta path when a
+    context is supplied."""
+    delta_facts = list(delta_facts)
+    return all(c.is_satisfied_extension(base, delta_facts, master,
+                                        context=context)
+               for c in constraints)
 
 
 def violated_constraints(database: Instance, master: Instance,
-                         constraints: Sequence[ContainmentConstraint],
-                         ) -> list[ContainmentConstraint]:
+                         constraints: Sequence[ContainmentConstraint], *,
+                         context: Any = None) -> list[ContainmentConstraint]:
     """The subset of *constraints* violated by ``(D, Dm)``."""
-    return [c for c in constraints if not c.is_satisfied(database, master)]
+    return [c for c in constraints
+            if not c.is_satisfied(database, master, context=context)]

@@ -19,15 +19,18 @@ Two roles:
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from typing import Any, Iterable, Sequence
 
 from repro.constraints.containment import (ContainmentConstraint,
-                                           satisfies_all)
+                                           satisfies_all,
+                                           satisfies_all_extension)
 from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
-                             ensure_partially_closed)
+                             ensure_partially_closed, resolve_context)
 from repro.core.results import (IncompletenessCertificate, RCDPResult,
                                 RCDPStatus, RCQPResult, RCQPStatus,
                                 SearchStatistics)
+from repro.engine import EvaluationContext
 from repro.errors import ExecutionInterrupted, UndecidableConfigurationError
 from repro.relational.domain import FreshValueSupply
 from repro.relational.instance import Instance
@@ -96,6 +99,8 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                      governor: ExecutionGovernor | None = None,
                      on_exhausted: str = "error",
                      resume_from: SearchCheckpoint | None = None,
+                     use_engine: bool = True,
+                     context: EvaluationContext | None = None,
                      ) -> RCDPResult:
     """Check relative completeness by exhaustive extension enumeration.
 
@@ -114,13 +119,28 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
     """
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    context = resolve_context(context, use_engine)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
     if check_partially_closed:
-        ensure_partially_closed(database, master, constraints)
+        ensure_partially_closed(database, master, constraints, context)
     if values is None:
-        values = default_value_pool(
-            database.schema, (database, master),
-            [query] + [c.query for c in constraints])
-    baseline = query.evaluate(database)
+        queries = [query] + [c.query for c in constraints]
+
+        def _build_pool() -> list[Any]:
+            return default_value_pool(
+                database.schema, (database, master), queries)
+
+        if context is not None:
+            values = context.memo(
+                ("value-pool", id(database), id(master), id(query),
+                 tuple(id(c) for c in constraints)),
+                _build_pool,
+                pin=(database, master, query, *constraints))
+        else:
+            values = _build_pool()
+    baseline = (context.evaluate(query, database) if context is not None
+                else query.evaluate(database))
     existing = set(database.facts())
     pool = [fact for fact in candidate_fact_pool(database.schema, values,
                                                  relations=relations)
@@ -137,35 +157,57 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
     checks = 0
 
     def _stats() -> SearchStatistics:
-        return base_stats.merged(SearchStatistics(
+        stats = base_stats.merged(SearchStatistics(
             valuations_examined=examined, constraint_checks=checks))
+        if engine_base is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
 
+    governed = (context.governed(governor) if context is not None
+                else nullcontext())
     try:
         skip = to_skip
-        for size in range(1, max_extra_facts + 1):
-            for combo in itertools.combinations(pool, size):
-                if skip > 0:
-                    skip -= 1
-                    continue
-                if governor is not None:
-                    governor.tick("extensions")
-                examined += 1
-                extended = _extend_unvalidated(database, list(combo))
-                checks += 1
-                if satisfies_all(extended, master, constraints) \
-                        and query.evaluate(extended) != baseline:
-                    new_answers = query.evaluate(extended) - baseline
-                    answer = next(iter(new_answers)) if new_answers else ()
-                    return RCDPResult(
-                        status=RCDPStatus.INCOMPLETE,
-                        certificate=IncompletenessCertificate(
-                            extension_facts=tuple(combo), new_answer=answer),
-                        explanation=(
-                            f"brute force found a {size}-fact consistent "
-                            f"extension changing the answer"),
-                        statistics=_stats(),
-                        bound=max_extra_facts)
-                position += 1
+        with governed:
+            for size in range(1, max_extra_facts + 1):
+                for combo in itertools.combinations(pool, size):
+                    if skip > 0:
+                        skip -= 1
+                        continue
+                    if governor is not None:
+                        governor.tick("extensions")
+                    examined += 1
+                    delta = list(combo)
+                    checks += 1
+                    # Evaluate Q(D ∪ Δ) at most once per candidate; the
+                    # != test (not ⊋) also catches FO answer *loss*.
+                    if context is not None:
+                        compatible = satisfies_all_extension(
+                            database, delta, master, constraints,
+                            context=context)
+                        extended_answers = (
+                            context.evaluate_extension(query, database, delta)
+                            if compatible else None)
+                    else:
+                        extended = _extend_unvalidated(database, delta)
+                        compatible = satisfies_all(extended, master,
+                                                   constraints)
+                        extended_answers = (query.evaluate(extended)
+                                            if compatible else None)
+                    if compatible and extended_answers != baseline:
+                        new_answers = extended_answers - baseline
+                        answer = (next(iter(new_answers)) if new_answers
+                                  else ())
+                        return RCDPResult(
+                            status=RCDPStatus.INCOMPLETE,
+                            certificate=IncompletenessCertificate(
+                                extension_facts=tuple(combo),
+                                new_answer=answer),
+                            explanation=(
+                                f"brute force found a {size}-fact "
+                                f"consistent extension changing the answer"),
+                            statistics=_stats(),
+                            bound=max_extra_facts)
+                    position += 1
     except ExecutionInterrupted as interrupt:
         checkpoint = SearchCheckpoint(
             procedure="brute-rcdp", cursor=(position,),
@@ -204,6 +246,8 @@ def brute_force_rcqp(query: Any, master: Instance,
                      governor: ExecutionGovernor | None = None,
                      on_exhausted: str = "error",
                      resume_from: SearchCheckpoint | None = None,
+                     use_engine: bool = True,
+                     context: EvaluationContext | None = None,
                      ) -> RCQPResult:
     """Search for a relatively complete database by enumeration.
 
@@ -227,10 +271,23 @@ def brute_force_rcqp(query: Any, master: Instance,
     """
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    context = resolve_context(context, use_engine)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
     if values is None:
-        values = default_value_pool(
-            schema, (master,),
-            [query] + [c.query for c in constraints])
+        queries = [query] + [c.query for c in constraints]
+
+        def _build_pool() -> list[Any]:
+            return default_value_pool(schema, (master,), queries)
+
+        if context is not None:
+            values = context.memo(
+                ("value-pool", id(master), id(query),
+                 tuple(id(c) for c in constraints)),
+                _build_pool,
+                pin=(master, query, *constraints))
+        else:
+            values = _build_pool()
     pool = candidate_fact_pool(schema, values)
     empty = Instance.empty(schema)
 
@@ -256,49 +313,68 @@ def brute_force_rcqp(query: Any, master: Instance,
     examined = 0
 
     def _stats() -> SearchStatistics:
-        return base_stats.merged(SearchStatistics(
+        stats = base_stats.merged(SearchStatistics(
             candidate_sets_examined=examined))
+        if engine_base is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
 
+    governed = (context.governed(governor) if context is not None
+                else nullcontext())
     try:
         skip = to_skip
-        for size in range(0, max_database_size + 1):
-            for combo in itertools.combinations(pool, size):
-                if skip > 0:
-                    skip -= 1
-                    continue
-                if governor is not None:
-                    governor.tick("candidates")
-                examined += 1
-                candidate = _extend_unvalidated(empty, list(combo))
-                if not satisfies_all(candidate, master, constraints):
+        with governed:
+            for size in range(0, max_database_size + 1):
+                for combo in itertools.combinations(pool, size):
+                    if skip > 0:
+                        skip -= 1
+                        continue
+                    if governor is not None:
+                        governor.tick("candidates")
+                    examined += 1
+                    combo_facts = list(combo)
+                    if context is not None:
+                        compatible = satisfies_all_extension(
+                            empty, combo_facts, master, constraints,
+                            context=context)
+                    else:
+                        candidate = _extend_unvalidated(empty, combo_facts)
+                        compatible = satisfies_all(candidate, master,
+                                                   constraints)
+                    if not compatible:
+                        position += 1
+                        continue
+                    if context is not None:
+                        candidate = _extend_unvalidated(empty, combo_facts)
+                    if decidable:
+                        verdict = decide_rcdp(
+                            query, candidate, master, constraints,
+                            check_partially_closed=False,
+                            governor=governor, context=context,
+                            use_engine=context is not None)
+                        sound = verdict.status is RCDPStatus.COMPLETE
+                    else:
+                        verdict = brute_force_rcdp(
+                            query, candidate, master, constraints,
+                            max_extra_facts=completeness_bound,
+                            values=values, check_partially_closed=False,
+                            governor=governor, context=context,
+                            use_engine=context is not None)
+                        sound = (verdict.status
+                                 is RCDPStatus.COMPLETE_UP_TO_BOUND)
+                    if sound:
+                        note = ("witness verified by the exact RCDP decider"
+                                if decidable else
+                                f"witness only checked up to extensions of "
+                                f"{completeness_bound} fact(s) — "
+                                f"configuration is undecidable")
+                        return RCQPResult(
+                            status=RCQPStatus.NONEMPTY,
+                            witness=candidate,
+                            explanation=note,
+                            statistics=_stats(),
+                            bound=max_database_size)
                     position += 1
-                    continue
-                if decidable:
-                    verdict = decide_rcdp(query, candidate, master,
-                                          constraints,
-                                          check_partially_closed=False,
-                                          governor=governor)
-                    sound = verdict.status is RCDPStatus.COMPLETE
-                else:
-                    verdict = brute_force_rcdp(
-                        query, candidate, master, constraints,
-                        max_extra_facts=completeness_bound,
-                        values=values, check_partially_closed=False,
-                        governor=governor)
-                    sound = verdict.status is RCDPStatus.COMPLETE_UP_TO_BOUND
-                if sound:
-                    note = ("witness verified by the exact RCDP decider"
-                            if decidable else
-                            f"witness only checked up to extensions of "
-                            f"{completeness_bound} fact(s) — configuration "
-                            f"is undecidable")
-                    return RCQPResult(
-                        status=RCQPStatus.NONEMPTY,
-                        witness=candidate,
-                        explanation=note,
-                        statistics=_stats(),
-                        bound=max_database_size)
-                position += 1
     except ExecutionInterrupted as interrupt:
         checkpoint = SearchCheckpoint(
             procedure="brute-rcqp", cursor=(position,),

@@ -34,29 +34,47 @@ FO / FP queries or constraints raise
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Callable, Sequence
 
 from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all,
+                                           satisfies_all_extension,
                                            violated_constraints)
 from repro.core.results import (IncompletenessCertificate,
                                 MissingAnswersReport, RCDPResult,
                                 RCDPStatus, SearchStatistics)
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
+from repro.engine import EvaluationContext
 from repro.errors import (ExecutionInterrupted, NotPartiallyClosedError,
                           UndecidableConfigurationError)
 from repro.queries.tableau import Tableau
-from repro.relational.instance import Instance
+from repro.relational.instance import Instance, extend_unvalidated
 from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
                            resolve_governor, validate_exhaustion_mode)
 
 __all__ = ["decide_rcdp", "enumerate_missing_answers",
            "missing_answers_report", "split_ind_constraints",
-           "assert_decidable_configuration", "ensure_partially_closed"]
+           "assert_decidable_configuration", "ensure_partially_closed",
+           "resolve_context"]
 
 _DECIDABLE = frozenset({"CQ", "UCQ", "EFO"})
 
 RowFilter = Callable[[str, tuple], bool]
+
+
+def resolve_context(context: EvaluationContext | None,
+                    use_engine: bool) -> EvaluationContext | None:
+    """Normalize a decider's ``(context, use_engine)`` pair.
+
+    ``use_engine=False`` forces the pre-engine evaluation paths (for
+    ablation and the engine-equivalence property tests); otherwise a
+    private context is created when the caller did not supply a shared
+    one.
+    """
+    if not use_engine:
+        return None
+    return context if context is not None else EvaluationContext()
 
 
 def assert_decidable_configuration(
@@ -84,27 +102,27 @@ def assert_decidable_configuration(
 
 def ensure_partially_closed(
         database: Instance, master: Instance,
-        constraints: Sequence[ContainmentConstraint]) -> None:
+        constraints: Sequence[ContainmentConstraint],
+        context: EvaluationContext | None = None) -> None:
     """Raise :class:`NotPartiallyClosedError` unless ``(D, Dm) ⊨ V``."""
-    violated = violated_constraints(database, master, constraints)
+    violated = violated_constraints(database, master, constraints,
+                                    context=context)
     if violated:
         names = ", ".join(c.name for c in violated)
         raise NotPartiallyClosedError(
             f"database is not partially closed: violates {names}")
 
 
-def _extend_unvalidated(database: Instance,
-                        facts: list[tuple[str, tuple]]) -> Instance:
-    """``D ∪ Δ`` without re-validating domains (Δ may hold fresh values)."""
-    contents = {name: set(rows) for name, rows in database}
-    for name, row in facts:
-        contents[name].add(row)
-    return Instance(database.schema, contents, validate=False)
+#: ``D ∪ Δ`` without re-validating domains (Δ may hold fresh values).
+#: Lives in :mod:`repro.relational.instance` now; re-exported here under
+#: its historical name for the other core modules that import it.
+_extend_unvalidated = extend_unvalidated
 
 
 def split_ind_constraints(
         constraints: Sequence[ContainmentConstraint], master: Instance,
         *, use_ind_pruning: bool = True,
+        context: EvaluationContext | None = None,
         ) -> tuple[RowFilter | None, list[ContainmentConstraint]]:
     """Compile IND constraints into a tuple-local row filter.
 
@@ -122,7 +140,8 @@ def split_ind_constraints(
         if use_ind_pruning and constraint.is_ind():
             relation, columns = constraint.ind_source()
             ind_projections.setdefault(relation, []).append(
-                (columns, constraint.projection.evaluate(master)))
+                (columns,
+                 constraint.projection.evaluate(master, context=context)))
         else:
             other_constraints.append(constraint)
     if not ind_projections:
@@ -137,6 +156,33 @@ def split_ind_constraints(
     return row_filter, other_constraints
 
 
+def _prepare_search(query: Any, database: Instance, master: Instance,
+                    constraints: Sequence[ContainmentConstraint],
+                    context: EvaluationContext | None,
+                    ) -> tuple[list[Tableau], ActiveDomain]:
+    """Tableaux and active domain for one ``(Q, D, Dm, V)`` decision.
+
+    With a shared context these are memoized, so repeated decisions on
+    the same inputs (audits, completion loops, benchmarks) stop paying
+    the per-entry rebuild cost."""
+
+    def build() -> tuple[list[Tableau], ActiveDomain]:
+        disjuncts = query.to_cq_disjuncts()
+        tableaux = [Tableau(d, database.schema) for d in disjuncts]
+        adom = ActiveDomain.build(
+            instances=(database, master),
+            queries=[query] + [c.query for c in constraints],
+            tableaux=[t for t in tableaux if t.satisfiable])
+        return tableaux, adom
+
+    if context is None:
+        return build()
+    key = ("rcdp-search", id(query), id(database), id(master),
+           tuple(id(c) for c in constraints))
+    return context.memo(key, build,
+                        pin=(query, database, master, *constraints))
+
+
 def decide_rcdp(query: Any, database: Instance, master: Instance,
                 constraints: Sequence[ContainmentConstraint],
                 *, check_partially_closed: bool = True,
@@ -144,7 +190,9 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
                 use_ind_pruning: bool = True,
                 governor: ExecutionGovernor | None = None,
                 on_exhausted: str = "error",
-                resume_from: SearchCheckpoint | None = None) -> RCDPResult:
+                resume_from: SearchCheckpoint | None = None,
+                use_engine: bool = True,
+                context: EvaluationContext | None = None) -> RCDPResult:
     """Decide whether *database* is complete for *query* relative to
     ``(master, constraints)``.
 
@@ -183,6 +231,19 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         the same inputs*; the enumeration fast-forwards past the already-
         examined (and rejected) prefix without charging the governor, and
         statistics are reported cumulatively.
+    use_engine:
+        When True (default), evaluation runs on the
+        :mod:`repro.engine` — compiled plans, hash-indexed joins, and
+        semi-naive delta evaluation of each candidate's ``(D ∪ Δ, Dm)
+        ⊨ V`` check.  False forces the pre-engine naive paths (ablation
+        and equivalence testing); the verdict is identical.
+    context:
+        A shared :class:`~repro.engine.EvaluationContext` carrying
+        plan/index/answer caches across calls (audits, completion
+        loops).  Defaults to a fresh private context when the engine is
+        enabled.  The decider attaches its governor to the context only
+        while the search loop runs, so engine work during setup is
+        never charged.
 
     Returns
     -------
@@ -195,22 +256,22 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
     """
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    context = resolve_context(context, use_engine)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
     assert_decidable_configuration(query, constraints)
     query.validate(database.schema)
     if check_partially_closed:
-        ensure_partially_closed(database, master, constraints)
+        ensure_partially_closed(database, master, constraints, context)
 
-    disjuncts = query.to_cq_disjuncts()
-    tableaux = [Tableau(d, database.schema) for d in disjuncts]
-    adom = ActiveDomain.build(
-        instances=(database, master),
-        queries=[query] + [c.query for c in constraints],
-        tableaux=[t for t in tableaux if t.satisfiable])
-
-    answers = query.evaluate(database)
+    tableaux, adom = _prepare_search(query, database, master, constraints,
+                                     context)
+    answers = (context.evaluate(query, database) if context is not None
+               else query.evaluate(database))
 
     row_filter, other_constraints = split_ind_constraints(
-        constraints, master, use_ind_pruning=use_ind_pruning)
+        constraints, master, use_ind_pruning=use_ind_pruning,
+        context=context)
 
     start_tableau, start_position = 0, 0
     base_stats = SearchStatistics()
@@ -219,57 +280,68 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         start_tableau, start_position = resume_from.cursor
         base_stats = resume_from.base_statistics()
 
+    def _stats() -> SearchStatistics:
+        stats = base_stats.merged(SearchStatistics(
+            valuations_examined=examined,
+            constraint_checks=constraint_checks))
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
+
     examined = 0
     constraint_checks = 0
     tableau_index = start_tableau
     position = start_position
+    governed = (context.governed(governor) if context is not None
+                else nullcontext())
     try:
-        for tableau_index, tableau in enumerate(tableaux):
-            if tableau_index < start_tableau or not tableau.satisfiable:
-                continue
-            to_skip = (start_position if tableau_index == start_tableau
-                       else 0)
-            position = to_skip
-            for valuation in iter_valid_valuations(
-                    tableau, adom, fresh="own", row_filter=row_filter):
-                if to_skip > 0:
-                    to_skip -= 1
+        with governed:
+            for tableau_index, tableau in enumerate(tableaux):
+                if tableau_index < start_tableau or not tableau.satisfiable:
                     continue
-                if governor is not None:
-                    governor.tick("valuations")
-                examined += 1
-                summary = tableau.summary_under(valuation)
-                if summary in answers:
+                to_skip = (start_position if tableau_index == start_tableau
+                           else 0)
+                position = to_skip
+                for valuation in iter_valid_valuations(
+                        tableau, adom, fresh="own", row_filter=row_filter):
+                    if to_skip > 0:
+                        to_skip -= 1
+                        continue
+                    if governor is not None:
+                        governor.tick("valuations")
+                    examined += 1
+                    summary = tableau.summary_under(valuation)
+                    if summary in answers:
+                        position += 1
+                        continue
+                    delta = tableau.instantiate(valuation)
+                    constraint_checks += 1
+                    if not other_constraints:
+                        satisfied = True
+                    elif context is not None:
+                        satisfied = satisfies_all_extension(
+                            database, delta, master, other_constraints,
+                            context=context)
+                    else:
+                        candidate = _extend_unvalidated(database, delta)
+                        satisfied = satisfies_all(candidate, master,
+                                                  other_constraints)
+                    if satisfied:
+                        certificate = IncompletenessCertificate(
+                            extension_facts=tuple(delta),
+                            new_answer=summary,
+                            disjunct_name=tableau.query.name)
+                        return RCDPResult(
+                            status=RCDPStatus.INCOMPLETE,
+                            certificate=certificate,
+                            explanation=(
+                                f"adding {len(delta)} fact(s) keeps V "
+                                f"satisfied but produces the new answer "
+                                f"{summary!r}"),
+                            statistics=_stats())
                     position += 1
-                    continue
-                delta = tableau.instantiate(valuation)
-                constraint_checks += 1
-                if not other_constraints:
-                    satisfied = True
-                else:
-                    candidate = _extend_unvalidated(database, delta)
-                    satisfied = satisfies_all(candidate, master,
-                                              other_constraints)
-                if satisfied:
-                    stats = base_stats.merged(SearchStatistics(
-                        valuations_examined=examined,
-                        constraint_checks=constraint_checks))
-                    certificate = IncompletenessCertificate(
-                        extension_facts=tuple(delta),
-                        new_answer=summary,
-                        disjunct_name=tableau.query.name)
-                    return RCDPResult(
-                        status=RCDPStatus.INCOMPLETE,
-                        certificate=certificate,
-                        explanation=(
-                            f"adding {len(delta)} fact(s) keeps V satisfied "
-                            f"but produces the new answer {summary!r}"),
-                        statistics=stats)
-                position += 1
     except ExecutionInterrupted as interrupt:
-        stats = base_stats.merged(SearchStatistics(
-            valuations_examined=examined,
-            constraint_checks=constraint_checks))
+        stats = _stats()
         checkpoint = SearchCheckpoint(
             procedure="rcdp", cursor=(tableau_index, position),
             statistics=stats)
@@ -289,16 +361,13 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
             raise
         return partial
 
-    stats = base_stats.merged(SearchStatistics(
-        valuations_examined=examined,
-        constraint_checks=constraint_checks))
     return RCDPResult(
         status=RCDPStatus.COMPLETE,
         explanation=(
             "no valid valuation over the active domain extends D "
             "consistently with V while changing Q(D) "
             "(conditions C1/C2 hold)"),
-        statistics=stats)
+        statistics=_stats())
 
 
 def missing_answers_report(query: Any, database: Instance,
@@ -310,6 +379,8 @@ def missing_answers_report(query: Any, database: Instance,
                            governor: ExecutionGovernor | None = None,
                            on_exhausted: str = "partial",
                            resume_from: SearchCheckpoint | None = None,
+                           use_engine: bool = True,
+                           context: EvaluationContext | None = None,
                            ) -> MissingAnswersReport:
     """All answers the query could still gain over the active domain.
 
@@ -334,21 +405,21 @@ def missing_answers_report(query: Any, database: Instance,
     """
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    context = resolve_context(context, use_engine)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
     assert_decidable_configuration(query, constraints)
     query.validate(database.schema)
     if check_partially_closed:
-        ensure_partially_closed(database, master, constraints)
+        ensure_partially_closed(database, master, constraints, context)
 
-    disjuncts = query.to_cq_disjuncts()
-    tableaux = [Tableau(d, database.schema) for d in disjuncts]
-    adom = ActiveDomain.build(
-        instances=(database, master),
-        queries=[query] + [c.query for c in constraints],
-        tableaux=[t for t in tableaux if t.satisfiable])
-    answers = query.evaluate(database)
+    tableaux, adom = _prepare_search(query, database, master, constraints,
+                                     context)
+    answers = (context.evaluate(query, database) if context is not None
+               else query.evaluate(database))
 
     row_filter, other_constraints = split_ind_constraints(
-        constraints, master)
+        constraints, master, context=context)
 
     start_tableau, start_position = 0, 0
     base_stats = SearchStatistics()
@@ -363,43 +434,54 @@ def missing_answers_report(query: Any, database: Instance,
     constraint_checks = 0
     tableau_index = start_tableau
     position = start_position
-
     def _stats() -> SearchStatistics:
-        return base_stats.merged(SearchStatistics(
+        stats = base_stats.merged(SearchStatistics(
             valuations_examined=examined,
             constraint_checks=constraint_checks))
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
 
+    governed = (context.governed(governor) if context is not None
+                else nullcontext())
     try:
-        for tableau_index, tableau in enumerate(tableaux):
-            if tableau_index < start_tableau or not tableau.satisfiable:
-                continue
-            to_skip = (start_position if tableau_index == start_tableau
-                       else 0)
-            position = to_skip
-            for valuation in iter_valid_valuations(
-                    tableau, adom, fresh="own", row_filter=row_filter):
-                if to_skip > 0:
-                    to_skip -= 1
+        with governed:
+            for tableau_index, tableau in enumerate(tableaux):
+                if tableau_index < start_tableau or not tableau.satisfiable:
                     continue
-                if governor is not None:
-                    governor.tick("valuations")
-                examined += 1
-                position += 1
-                summary = tableau.summary_under(valuation)
-                if summary in answers or summary in missing:
-                    continue
-                if other_constraints:
-                    constraint_checks += 1
-                    candidate = _extend_unvalidated(
-                        database, tableau.instantiate(valuation))
-                    if not satisfies_all(candidate, master,
-                                         other_constraints):
+                to_skip = (start_position if tableau_index == start_tableau
+                           else 0)
+                position = to_skip
+                for valuation in iter_valid_valuations(
+                        tableau, adom, fresh="own", row_filter=row_filter):
+                    if to_skip > 0:
+                        to_skip -= 1
                         continue
-                missing.add(summary)
-                if limit is not None and len(missing) >= limit:
-                    return MissingAnswersReport(
-                        answers=frozenset(missing), exhaustive=False,
-                        statistics=_stats())
+                    if governor is not None:
+                        governor.tick("valuations")
+                    examined += 1
+                    position += 1
+                    summary = tableau.summary_under(valuation)
+                    if summary in answers or summary in missing:
+                        continue
+                    if other_constraints:
+                        constraint_checks += 1
+                        delta = tableau.instantiate(valuation)
+                        if context is not None:
+                            if not satisfies_all_extension(
+                                    database, delta, master,
+                                    other_constraints, context=context):
+                                continue
+                        else:
+                            candidate = _extend_unvalidated(database, delta)
+                            if not satisfies_all(candidate, master,
+                                                 other_constraints):
+                                continue
+                    missing.add(summary)
+                    if limit is not None and len(missing) >= limit:
+                        return MissingAnswersReport(
+                            answers=frozenset(missing), exhaustive=False,
+                            statistics=_stats())
     except ExecutionInterrupted as interrupt:
         checkpoint = SearchCheckpoint(
             procedure="missing", cursor=(tableau_index, position),
@@ -428,6 +510,8 @@ def enumerate_missing_answers(query: Any, database: Instance,
                               governor: ExecutionGovernor | None = None,
                               on_exhausted: str = "error",
                               resume_from: SearchCheckpoint | None = None,
+                              use_engine: bool = True,
+                              context: EvaluationContext | None = None,
                               ) -> frozenset[tuple]:
     """Plain-set façade over :func:`missing_answers_report`.
 
@@ -443,4 +527,5 @@ def enumerate_missing_answers(query: Any, database: Instance,
         query, database, master, constraints, limit=limit,
         check_partially_closed=check_partially_closed, budget=budget,
         governor=governor, on_exhausted=on_exhausted,
-        resume_from=resume_from).answers
+        resume_from=resume_from, use_engine=use_engine,
+        context=context).answers

@@ -40,11 +40,14 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.constraints.containment import (ContainmentConstraint,
-                                           satisfies_all)
+                                           satisfies_all,
+                                           satisfies_all_extension)
 from repro.core.rcdp import (_extend_unvalidated,
-                             assert_decidable_configuration, decide_rcdp)
+                             assert_decidable_configuration, decide_rcdp,
+                             resolve_context)
 from repro.core.results import (RCDPStatus, RCQPResult, RCQPStatus,
                                 SearchStatistics)
+from repro.engine import EvaluationContext
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
 from repro.core.witness import make_complete
 from repro.errors import (ConstraintError, ExecutionInterrupted, ReproError)
@@ -102,6 +105,8 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                           governor: ExecutionGovernor | None = None,
                           on_exhausted: str = "error",
                           resume_from: SearchCheckpoint | None = None,
+                          use_engine: bool = True,
+                          context: EvaluationContext | None = None,
                           ) -> RCQPResult:
     """Decide RCQP when every containment constraint is an IND.
 
@@ -121,6 +126,9 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
     """
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    context = resolve_context(context, use_engine)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
     assert_decidable_configuration(query, constraints)
     for constraint in constraints:
         if not constraint.is_ind():
@@ -134,6 +142,9 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
         instances=(master,),
         queries=[query] + [c.query for c in constraints],
         tableaux=tableaux)
+    # All per-valuation Δ-instances extend the one empty base, so with a
+    # context their constraint checks run on the delta path against it.
+    empty_base = Instance.empty(schema)
 
     phase, start_index, start_consumed = 0, 0, 0
     base_stats = SearchStatistics()
@@ -153,16 +164,21 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
             witness_facts = list(facts)
 
     examined = 0
-
     def _stats() -> SearchStatistics:
-        return base_stats.merged(
+        stats = base_stats.merged(
             SearchStatistics(valuations_examined=examined))
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
 
     # Mutable frontier the except-block snapshots into a checkpoint.
     frontier: dict[str, Any] = {
         "phase": phase, "index": start_index, "consumed": start_consumed,
         "covered": set(covered_seed)}
 
+    prev_governor = context.governor if context is not None else None
+    if context is not None:
+        context.governor = governor
     try:
         if phase == 0:
             for t_index, tableau in enumerate(tableaux):
@@ -179,9 +195,16 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                     if governor is not None:
                         governor.tick("valuations")
                     examined += 1
-                    delta = _facts_instance(
-                        schema, tableau.instantiate(valuation))
-                    if satisfies_all(delta, master, constraints):
+                    delta = tableau.instantiate(valuation)
+                    if context is not None:
+                        compatible = satisfies_all_extension(
+                            empty_base, delta, master, constraints,
+                            context=context)
+                    else:
+                        compatible = satisfies_all(
+                            _facts_instance(schema, delta), master,
+                            constraints)
+                    if compatible:
                         compatible_exists = True
                         break
                     frontier["consumed"] += 1
@@ -232,8 +255,15 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                     summary = tableau.summary_under(valuation)
                     if summary not in covered:
                         delta = tableau.instantiate(valuation)
-                        if satisfies_all(_facts_instance(schema, delta),
-                                         master, constraints):
+                        if context is not None:
+                            compatible = satisfies_all_extension(
+                                empty_base, delta, master, constraints,
+                                context=context)
+                        else:
+                            compatible = satisfies_all(
+                                _facts_instance(schema, delta), master,
+                                constraints)
+                        if compatible:
                             covered.add(summary)
                             witness_facts.extend(delta)
                     frontier["consumed"] += 1
@@ -245,7 +275,8 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
             witness = _facts_instance(schema, witness_facts)
             if verify_witness:
                 verdict = decide_rcdp(query, witness, master, constraints,
-                                      governor=governor)
+                                      governor=governor, context=context,
+                                      use_engine=context is not None)
                 if verdict.status is not RCDPStatus.COMPLETE:
                     raise ReproError(
                         "internal error: Proposition 4.3 witness failed "
@@ -275,6 +306,9 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
             interrupt.checkpoint = checkpoint
             raise
         return partial
+    finally:
+        if context is not None:
+            context.governor = prev_governor
     return RCQPResult(
         status=RCQPStatus.NONEMPTY,
         witness=witness,
@@ -387,12 +421,13 @@ def _candidate_is_bounding(schema: DatabaseSchema, master: Instance,
                            dv_facts: frozenset[Fact],
                            bound_values: frozenset,
                            governor: ExecutionGovernor | None = None,
+                           context: EvaluationContext | None = None,
                            ) -> bool:
     """Condition E2/E6 for one candidate set: every constraint-compatible
     valid valuation must have all its infinite-domain output variables
     bounded by the candidate's summary values."""
     dv_instance = _facts_instance(schema, dv_facts)
-    if not satisfies_all(dv_instance, master, constraints):
+    if not satisfies_all(dv_instance, master, constraints, context=context):
         return False
     extra_values = {value for _, row in dv_facts for value in row
                     if is_fresh(value)}
@@ -409,9 +444,16 @@ def _candidate_is_bounding(schema: DatabaseSchema, master: Instance,
                 governor.tick("valuations")
             if all(valuation[v] in bound_values for v in infinite_vars):
                 continue
-            extended = _extend_unvalidated(
-                dv_instance, tableau.instantiate(valuation))
-            if satisfies_all(extended, master, constraints):
+            delta = tableau.instantiate(valuation)
+            if context is not None:
+                compatible = satisfies_all_extension(
+                    dv_instance, delta, master, constraints,
+                    context=context)
+            else:
+                compatible = satisfies_all(
+                    _extend_unvalidated(dv_instance, delta), master,
+                    constraints)
+            if compatible:
                 return False
     return True
 
@@ -426,7 +468,9 @@ def decide_rcqp(query: Any, master: Instance,
                 budget: int | None = None,
                 governor: ExecutionGovernor | None = None,
                 on_exhausted: str = "error",
-                resume_from: SearchCheckpoint | None = None) -> RCQPResult:
+                resume_from: SearchCheckpoint | None = None,
+                use_engine: bool = True,
+                context: EvaluationContext | None = None) -> RCQPResult:
     """Decide RCQP for CQ/UCQ/∃FO⁺ queries and constraints.
 
     Dispatches to the syntactic IND algorithm when every constraint is an
@@ -462,8 +506,13 @@ def decide_rcqp(query: Any, master: Instance,
                                      verify_witness=verify_witness,
                                      budget=budget, governor=governor,
                                      on_exhausted=on_exhausted,
-                                     resume_from=resume_from)
+                                     resume_from=resume_from,
+                                     use_engine=use_engine,
+                                     context=context)
     governor = resolve_governor(governor, budget)
+    context = resolve_context(context, use_engine)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
     assert_decidable_configuration(query, constraints)
     query.validate(schema)
 
@@ -492,10 +541,12 @@ def decide_rcqp(query: Any, master: Instance,
     new_units = 0
     frontier: dict[str, Any] = {"phase": phase, "units": start_n,
                                 "sets": start_n if phase == 1 else 0}
-
     def _stats() -> SearchStatistics:
-        return base_stats.merged(SearchStatistics(
+        stats = base_stats.merged(SearchStatistics(
             candidate_sets_examined=examined, units_examined=new_units))
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
 
     def _interrupted_result(interrupt: ExecutionInterrupted) -> RCQPResult:
         if frontier["phase"] == 0:
@@ -519,6 +570,9 @@ def decide_rcqp(query: Any, master: Instance,
             interrupt.checkpoint = checkpoint
         return partial
 
+    prev_governor = context.governor if context is not None else None
+    if context is not None:
+        context.governor = governor
     try:
         # Condition E1/E5: all output variables range over finite domains.
         if all(tableau.has_finite_domain(v)
@@ -527,7 +581,8 @@ def decide_rcqp(query: Any, master: Instance,
             outcome = make_complete(
                 query, Instance.empty(schema), master, constraints,
                 max_rounds=max_completion_rounds, governor=governor,
-                on_exhausted="error")
+                on_exhausted="error", context=context,
+                use_engine=context is not None)
             if outcome.complete:
                 return RCQPResult(
                     status=RCQPStatus.NONEMPTY,
@@ -574,24 +629,29 @@ def decide_rcqp(query: Any, master: Instance,
                     if combo else frozenset()
                 if not _candidate_is_bounding(
                         schema, master, constraints, q_tableaux, adom,
-                        dv_facts, bound_values, governor=governor):
+                        dv_facts, bound_values, governor=governor,
+                        context=context):
                     frontier["sets"] = total_sets
                     continue
                 witness = _facts_instance(
                     schema, list(dv_facts) + ground_rows)
-                if not satisfies_all(witness, master, constraints):
+                if not satisfies_all(witness, master, constraints,
+                                     context=context):
                     frontier["sets"] = total_sets
                     continue
                 outcome = make_complete(
                     query, witness, master, constraints,
                     max_rounds=max_completion_rounds, governor=governor,
-                    on_exhausted="error")
+                    on_exhausted="error", context=context,
+                    use_engine=context is not None)
                 if not outcome.complete:
                     frontier["sets"] = total_sets
                     continue
                 if verify_witness:
                     verdict = decide_rcdp(query, outcome.database, master,
-                                          constraints, governor=governor)
+                                          constraints, governor=governor,
+                                          context=context,
+                                          use_engine=context is not None)
                     if verdict.status is not RCDPStatus.COMPLETE:
                         frontier["sets"] = total_sets
                         continue  # conservative: keep searching
@@ -607,6 +667,9 @@ def decide_rcqp(query: Any, master: Instance,
         if on_exhausted == "error":
             raise
         return partial
+    finally:
+        if context is not None:
+            context.governor = prev_governor
 
     exhausted = max_valuation_set_size >= len(units)
     status = RCQPStatus.EMPTY if exhausted else RCQPStatus.EMPTY_UP_TO_BOUND

@@ -23,7 +23,7 @@ data to collect.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING
 
 from repro.relational.instance import Instance
@@ -109,17 +109,21 @@ class SearchStatistics:
     #: Search nodes explored by the auxiliary solvers (DPLL branches,
     #: tiling placements, 2-head DFA words, QBF expansions).
     nodes_examined: int = 0
+    #: Evaluation-engine counters (:mod:`repro.engine`): query plans
+    #: compiled, hash indexes built, answer/projection cache hits, and
+    #: how many ``Q(D ∪ Δ)`` evaluations ran on the semi-naive delta
+    #: path versus a full (re-)evaluation.
+    plans_compiled: int = 0
+    index_builds: int = 0
+    engine_cache_hits: int = 0
+    delta_evaluations: int = 0
+    full_evaluations: int = 0
 
     def merged(self, other: "SearchStatistics") -> "SearchStatistics":
         """Field-wise sum of two statistics snapshots."""
-        return SearchStatistics(
-            valuations_examined=(self.valuations_examined
-                                 + other.valuations_examined),
-            constraint_checks=self.constraint_checks + other.constraint_checks,
-            candidate_sets_examined=(self.candidate_sets_examined
-                                     + other.candidate_sets_examined),
-            units_examined=self.units_examined + other.units_examined,
-            nodes_examined=self.nodes_examined + other.nodes_examined)
+        return SearchStatistics(**{
+            f.name: getattr(self, f.name) + getattr(other, f.name)
+            for f in fields(self)})
 
 
 @dataclass(frozen=True)

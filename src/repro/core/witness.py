@@ -18,8 +18,10 @@ from typing import Any, Sequence
 
 from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all)
-from repro.core.rcdp import _extend_unvalidated, decide_rcdp
+from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
+                             resolve_context)
 from repro.core.results import RCDPResult, RCDPStatus
+from repro.engine import EvaluationContext
 from repro.errors import ExecutionInterrupted, ReproError
 from repro.relational.instance import Instance
 from repro.runtime import ExecutionGovernor, validate_exhaustion_mode
@@ -65,7 +67,10 @@ def make_complete(query: Any, database: Instance, master: Instance,
                   constraints: Sequence[ContainmentConstraint],
                   *, max_rounds: int = 32,
                   governor: ExecutionGovernor | None = None,
-                  on_exhausted: str = "partial") -> CompletionOutcome:
+                  on_exhausted: str = "partial",
+                  use_engine: bool = True,
+                  context: EvaluationContext | None = None,
+                  ) -> CompletionOutcome:
     """Repeatedly apply incompleteness certificates until the database is
     complete for *query* relative to ``(master, constraints)`` or
     *max_rounds* certificates have been applied.
@@ -84,6 +89,7 @@ def make_complete(query: Any, database: Instance, master: Instance,
     propagates the governor's exception.
     """
     validate_exhaustion_mode(on_exhausted)
+    context = resolve_context(context, use_engine)
     current = database
     added: list[tuple[str, tuple]] = []
     rounds_done = 0
@@ -93,7 +99,8 @@ def make_complete(query: Any, database: Instance, master: Instance,
             verdict: RCDPResult = decide_rcdp(
                 query, current, master, constraints,
                 check_partially_closed=(round_index == 0),
-                governor=governor)
+                governor=governor, context=context,
+                use_engine=context is not None)
             if verdict.status is RCDPStatus.COMPLETE:
                 return CompletionOutcome(
                     database=current, complete=True, rounds=round_index,
@@ -109,7 +116,8 @@ def make_complete(query: Any, database: Instance, master: Instance,
             current = _extend_unvalidated(current, new_facts)
         verdict = decide_rcdp(query, current, master, constraints,
                               check_partially_closed=False,
-                              governor=governor)
+                              governor=governor, context=context,
+                              use_engine=context is not None)
     except ExecutionInterrupted as interrupt:
         if on_exhausted == "error":
             raise
@@ -125,7 +133,8 @@ def make_complete(query: Any, database: Instance, master: Instance,
 
 def minimize_witness(query: Any, database: Instance, master: Instance,
                      constraints: Sequence[ContainmentConstraint],
-                     ) -> Instance:
+                     *, use_engine: bool = True,
+                     context: EvaluationContext | None = None) -> Instance:
     """Shrink a relatively complete database while keeping it complete.
 
     RCQP witnesses (and completion results) can contain more facts than
@@ -136,7 +145,10 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
     Raises :class:`~repro.errors.ReproError` if *database* is not
     relatively complete to begin with.
     """
-    verdict = decide_rcdp(query, database, master, constraints)
+    context = resolve_context(context, use_engine)
+    verdict = decide_rcdp(query, database, master, constraints,
+                          context=context,
+                          use_engine=context is not None)
     if verdict.status is not RCDPStatus.COMPLETE:
         raise ReproError(
             "minimize_witness requires a relatively complete database")
@@ -148,10 +160,13 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
             contents = {rel_name: set(rows) for rel_name, rows in current}
             contents[name] = contents[name] - {row}
             candidate = Instance(current.schema, contents, validate=False)
-            if not satisfies_all(candidate, master, constraints):
+            if not satisfies_all(candidate, master, constraints,
+                                 context=context):
                 continue
             shrunk = decide_rcdp(query, candidate, master, constraints,
-                                 check_partially_closed=False)
+                                 check_partially_closed=False,
+                                 context=context,
+                                 use_engine=context is not None)
             if shrunk.status is RCDPStatus.COMPLETE:
                 current = candidate
                 changed = True

@@ -1,0 +1,35 @@
+"""The evaluation engine: compiled plans, hash-indexed joins, memoized
+master projections, and semi-naive delta evaluation.
+
+All query evaluation in the library routes through this package — either
+explicitly via an :class:`EvaluationContext` threaded through a decision
+procedure, or implicitly when ``query.evaluate(instance)`` is called
+without one (each CQ then runs its compiled plan over per-call indexes).
+The pre-engine backtracking evaluators survive as ``evaluate_naive`` on
+every query class and serve as the cross-validation oracle in the
+property tests (see ``docs/ENGINE.md``).
+"""
+
+from repro.engine.context import (ENGINE_LANGUAGES, EngineStatistics,
+                                  EvaluationContext)
+from repro.engine.executor import (ChainSource, DeltaSource, IndexedSource,
+                                   evaluate_plan, iter_rows, plan_holds)
+from repro.engine.indexes import InstanceIndexes, build_index
+from repro.engine.plan import CompiledPlan, PlanStep, compile_plan
+
+__all__ = [
+    "ENGINE_LANGUAGES",
+    "EngineStatistics",
+    "EvaluationContext",
+    "ChainSource",
+    "DeltaSource",
+    "IndexedSource",
+    "evaluate_plan",
+    "iter_rows",
+    "plan_holds",
+    "InstanceIndexes",
+    "build_index",
+    "CompiledPlan",
+    "PlanStep",
+    "compile_plan",
+]

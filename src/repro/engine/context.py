@@ -1,0 +1,343 @@
+"""The :class:`EvaluationContext`: shared caches for one decision.
+
+Every decision procedure in this library evaluates the same handful of
+queries and constraints against the same master data and a stream of
+candidate extensions.  The context is the object that makes that cheap:
+
+* **compiled plans** per query body (and per pinned first atom, for
+  delta plans) — compiled once, reused for every instance;
+* **hash indexes** per instance, built lazily per ``(relation, bound
+  positions)`` pair and charged to the attached governor;
+* **answer memoization** ``Q(D)`` per ``(query, instance)`` pair;
+* **master projections** ``p(Dm)`` per ``(projection, master)`` pair —
+  previously recomputed on every single constraint check;
+* **delta evaluation** ``Q(D ∪ Δ)`` from cached ``Q(D)`` via the
+  semi-naive rule (at least one atom must match a new Δ-fact).
+
+Instances cannot be weak-referenced (``__slots__`` without
+``__weakref__``), so caches are keyed by ``id()`` with the instance
+pinned in an LRU table; eviction purges every dependent cache entry, so
+a recycled ``id()`` can never alias stale answers.
+
+A context is optional everywhere: every public API works without one,
+and creates no cross-call state when none is given.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.engine.executor import (ChainSource, DeltaSource, IndexedSource,
+                                   iter_rows)
+from repro.engine.indexes import InstanceIndexes
+from repro.engine.plan import CompiledPlan, compile_plan
+from repro.relational.instance import Instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import SearchStatistics
+    from repro.runtime.governor import ExecutionGovernor
+
+__all__ = ["EngineStatistics", "EvaluationContext", "ENGINE_LANGUAGES"]
+
+#: Query languages the compiled/indexed/delta paths understand.  They are
+#: exactly the monotone languages of the paper's decidable fragment —
+#: monotonicity is what makes the semi-naive delta rule sound.  FO and FP
+#: queries fall back to their own evaluators (still answer-cached).
+ENGINE_LANGUAGES = frozenset({"CQ", "UCQ", "EFO"})
+
+#: Facts are ``(relation name, row)`` pairs throughout the library.
+Fact = tuple[str, tuple]
+
+
+class EngineStatistics:
+    """Mutable engine counters; snapshot with :meth:`copy`, diff with
+    :meth:`since` to fold a decision's share into its result stats."""
+
+    __slots__ = ("plans_compiled", "index_builds", "cache_hits",
+                 "cache_misses", "delta_evaluations", "full_evaluations")
+
+    def __init__(self) -> None:
+        self.plans_compiled = 0
+        self.index_builds = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.delta_evaluations = 0
+        self.full_evaluations = 0
+
+    def copy(self) -> "EngineStatistics":
+        snapshot = EngineStatistics()
+        for field in self.__slots__:
+            setattr(snapshot, field, getattr(self, field))
+        return snapshot
+
+    def since(self, earlier: "EngineStatistics") -> "SearchStatistics":
+        """The work done between *earlier* and now, as the immutable
+        :class:`~repro.core.results.SearchStatistics` deciders report."""
+        from repro.core.results import SearchStatistics
+
+        return SearchStatistics(
+            plans_compiled=self.plans_compiled - earlier.plans_compiled,
+            index_builds=self.index_builds - earlier.index_builds,
+            engine_cache_hits=self.cache_hits - earlier.cache_hits,
+            delta_evaluations=(self.delta_evaluations
+                               - earlier.delta_evaluations),
+            full_evaluations=(self.full_evaluations
+                              - earlier.full_evaluations))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{field}={getattr(self, field)}"
+                          for field in self.__slots__)
+        return f"EngineStatistics({parts})"
+
+
+class EvaluationContext:
+    """Shared evaluation state for one decision (or one audit session).
+
+    ``governor`` is deliberately a plain mutable attribute: deciders
+    attach their governor only around the search loop (via
+    :meth:`governed`), so engine work during setup — baseline answers,
+    master projections — is never charged, keeping the governor's tick
+    accounting identical to the pre-engine code.
+    """
+
+    __slots__ = ("governor", "statistics", "max_cached_instances",
+                 "_instances", "_indexes", "_answers", "_projections",
+                 "_queries", "_plans", "_memo", "_pinned")
+
+    def __init__(self, *, governor: "ExecutionGovernor | None" = None,
+                 max_cached_instances: int = 256) -> None:
+        self.governor = governor
+        self.statistics = EngineStatistics()
+        self.max_cached_instances = max_cached_instances
+        #: LRU of pinned instances: id -> Instance (insertion-ordered).
+        self._instances: dict[int, Instance] = {}
+        self._indexes: dict[int, InstanceIndexes] = {}
+        #: per-instance answer cache: instance id -> {query id: answers}.
+        self._answers: dict[int, dict[int, frozenset[tuple]]] = {}
+        #: per-instance projection cache: instance id -> {p: p(Dm)}.
+        self._projections: dict[int, dict[Any, frozenset[tuple]]] = {}
+        #: queries pinned forever (there are few of them).
+        self._queries: dict[int, Any] = {}
+        self._plans: dict[tuple[int, int | None], CompiledPlan] = {}
+        self._memo: dict[Any, Any] = {}
+        self._pinned: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Pinning and eviction
+    # ------------------------------------------------------------------
+
+    def _pin_instance(self, instance: Instance) -> int:
+        """Pin *instance* in the LRU; return its ``id()`` cache key."""
+        key = id(instance)
+        if key in self._instances:
+            # refresh LRU position
+            self._instances[key] = self._instances.pop(key)
+            return key
+        self._instances[key] = instance
+        if len(self._instances) > self.max_cached_instances:
+            oldest = next(iter(self._instances))
+            self._evict_instance(oldest)
+        return key
+
+    def _evict_instance(self, key: int) -> None:
+        """Drop an instance and every cache entry derived from it, so a
+        future object reusing the same ``id()`` cannot alias it."""
+        self._instances.pop(key, None)
+        self._indexes.pop(key, None)
+        self._answers.pop(key, None)
+        self._projections.pop(key, None)
+
+    def _pin_query(self, query: Any) -> int:
+        key = id(query)
+        if key not in self._queries:
+            self._queries[key] = query
+        return key
+
+    # ------------------------------------------------------------------
+    # Plans and indexes
+    # ------------------------------------------------------------------
+
+    def plan_for(self, query: Any,
+                 first_atom: int | None = None) -> CompiledPlan:
+        """The compiled plan of a CQ *query* (cached per first-atom pin)."""
+        key = (self._pin_query(query), first_atom)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_plan(query, first_atom)
+            self._plans[key] = plan
+            self.statistics.plans_compiled += 1
+        return plan
+
+    def indexes_for(self, instance: Instance) -> InstanceIndexes:
+        """The (lazily populated) hash indexes of *instance*."""
+        key = self._pin_instance(instance)
+        indexes = self._indexes.get(key)
+        if indexes is None:
+            indexes = InstanceIndexes(instance, on_build=self._on_build)
+            self._indexes[key] = indexes
+        return indexes
+
+    def _on_build(self, relation: str, positions: tuple[int, ...]) -> None:
+        if self.governor is not None:
+            self.governor.tick("index_builds")
+        self.statistics.index_builds += 1
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: Any, instance: Instance) -> frozenset[tuple]:
+        """``Q(D)``, memoized per (query, instance) pair.
+
+        CQ/UCQ/∃FO⁺ run on the compiled, indexed path; other languages
+        (FO, FP — non-monotone, not plannable here) fall back to their
+        own evaluators, still benefiting from the answer cache.
+        """
+        instance_key = self._pin_instance(instance)
+        query_key = self._pin_query(query)
+        per_instance = self._answers.setdefault(instance_key, {})
+        cached = per_instance.get(query_key)
+        if cached is not None:
+            self.statistics.cache_hits += 1
+            return cached
+        self.statistics.cache_misses += 1
+        if getattr(query, "language", None) in ENGINE_LANGUAGES:
+            answers = self._engine_evaluate(query, instance)
+        else:
+            answers = query.evaluate(instance)
+        self.statistics.full_evaluations += 1
+        per_instance[query_key] = answers
+        return answers
+
+    def holds(self, query: Any, instance: Instance) -> bool:
+        """``Q(D) ≠ ∅`` (Boolean queries: truth)."""
+        return bool(self.evaluate(query, instance))
+
+    def _engine_evaluate(self, query: Any,
+                         instance: Instance) -> frozenset[tuple]:
+        source = IndexedSource(self.indexes_for(instance))
+        answers: set[tuple] = set()
+        for disjunct in query.to_cq_disjuncts():
+            plan = self.plan_for(disjunct)
+            sources = (source,) * len(plan.steps)
+            answers.update(iter_rows(plan, sources))
+        return frozenset(answers)
+
+    # ------------------------------------------------------------------
+    # Delta evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate_extension(self, query: Any, base: Instance,
+                           delta_facts: Iterable[Fact]) -> frozenset[tuple]:
+        """``Q(base ∪ Δ)`` without materializing the union.
+
+        For the monotone engine languages this uses the semi-naive rule:
+        every genuinely new answer has at least one atom matched by a new
+        Δ-fact, so for each disjunct and each atom position ``j`` a delta
+        plan is run in which atom ``j`` ranges over ``Δ \\ D`` only,
+        atoms at earlier body positions over ``D`` only, and later ones
+        over ``D ∪ Δ`` — partitioning the new bindings by their minimal
+        Δ-atom so none is enumerated twice.  Non-monotone languages
+        (FO, FP) materialize the union and evaluate it directly.
+        """
+        new_rows: dict[str, list[tuple]] = {}
+        for name, row in delta_facts:
+            row = tuple(row)
+            if row not in base.relation(name):
+                rows = new_rows.setdefault(name, [])
+                if row not in rows:
+                    rows.append(row)
+        if getattr(query, "language", None) not in ENGINE_LANGUAGES:
+            # Non-monotone fallback: materialize D ∪ Δ.  The union is
+            # ephemeral (one per candidate), so it is not answer-cached.
+            if not new_rows:
+                return query.evaluate(base)
+            from repro.relational.instance import extend_unvalidated
+
+            delta = [(name, row) for name, rows in new_rows.items()
+                     for row in rows]
+            self.statistics.full_evaluations += 1
+            return query.evaluate(extend_unvalidated(base, delta))
+        base_answers = self.evaluate(query, base)
+        if not new_rows:
+            return base_answers
+        if getattr(query, "arity", None) == 0 and base_answers:
+            # Boolean query already true on the base; monotonicity keeps
+            # it true under any extension.
+            return base_answers
+        self.statistics.delta_evaluations += 1
+        base_source = IndexedSource(self.indexes_for(base))
+        delta_source = DeltaSource(new_rows)
+        chain_source = ChainSource(base_source, delta_source)
+        answers = set(base_answers)
+        for disjunct in query.to_cq_disjuncts():
+            atoms = disjunct.relation_atoms
+            for j, atom in enumerate(atoms):
+                if atom.relation not in new_rows:
+                    continue
+                plan = self.plan_for(disjunct, first_atom=j)
+                sources = tuple(
+                    delta_source if step.atom_index == j
+                    else base_source if step.atom_index < j
+                    else chain_source
+                    for step in plan.steps)
+                answers.update(iter_rows(plan, sources))
+        return frozenset(answers)
+
+    # ------------------------------------------------------------------
+    # Master projections
+    # ------------------------------------------------------------------
+
+    def projection_rows(self, projection: Any,
+                        master: Instance) -> frozenset[tuple]:
+        """``p(Dm)``, memoized per (projection, master) pair."""
+        key = self._pin_instance(master)
+        per_master = self._projections.setdefault(key, {})
+        rows = per_master.get(projection)
+        if rows is None:
+            self.statistics.cache_misses += 1
+            rows = projection.evaluate(master)
+            per_master[projection] = rows
+        else:
+            self.statistics.cache_hits += 1
+        return rows
+
+    # ------------------------------------------------------------------
+    # Generic memoization and governor attachment
+    # ------------------------------------------------------------------
+
+    def memo(self, key: Any, factory: Callable[[], Any],
+             pin: Iterable[Any] = ()) -> Any:
+        """Get-or-compute an arbitrary decision-scoped value.
+
+        Callers keying on ``id()`` of objects must pass those objects in
+        *pin* so their ids stay stable for the context's lifetime (used
+        by the deciders for tableaux, active domains, and value pools).
+        """
+        if key in self._memo:
+            self.statistics.cache_hits += 1
+            return self._memo[key]
+        for obj in pin:
+            self._pinned.setdefault(id(obj), obj)
+        value = factory()
+        self._memo[key] = value
+        return value
+
+    @contextmanager
+    def governed(self, governor: "ExecutionGovernor | None"
+                 ) -> Iterator["EvaluationContext"]:
+        """Attach *governor* to the context for the duration of a search
+        loop, restoring the previous one afterwards.  Index builds that
+        happen inside the block tick the governor; engine work outside
+        it (setup, baselines) stays uncharged."""
+        previous = self.governor
+        self.governor = governor
+        try:
+            yield self
+        finally:
+            self.governor = previous
+
+    def __repr__(self) -> str:
+        return (f"EvaluationContext[instances={len(self._instances)}, "
+                f"plans={len(self._plans)}, {self.statistics!r}]")

@@ -14,7 +14,7 @@ Given master data, containment constraints, a database, and a query, an
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.constraints.containment import ContainmentConstraint
@@ -24,6 +24,7 @@ from repro.core.rcqp import decide_rcqp
 from repro.core.results import (RCDPResult, RCDPStatus, RCQPResult,
                                 RCQPStatus)
 from repro.core.witness import CompletionOutcome, make_complete
+from repro.engine import EvaluationContext
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
 from repro.runtime import ExecutionGovernor, validate_exhaustion_mode
@@ -100,6 +101,22 @@ class CompletenessAudit:
     schema: DatabaseSchema
     max_completion_rounds: int = 32
     rcqp_valuation_set_size: int = 1
+    #: Turn off to run every stage on the naive evaluators (ablation).
+    use_engine: bool = True
+    #: One evaluation context for the audit's whole lifetime: ``Dm`` and
+    #: ``V`` are fixed across :meth:`assess` calls, so compiled plans,
+    #: master projections, and constraint-query answers carry over from
+    #: one assessment to the next.
+    _context: EvaluationContext | None = field(
+        default=None, init=False, repr=False, compare=False)
+
+    @property
+    def context(self) -> EvaluationContext | None:
+        """The audit's persistent evaluation context (None when the
+        engine is disabled)."""
+        if self.use_engine and self._context is None:
+            self._context = EvaluationContext()
+        return self._context
 
     def assess(self, query: Any, database: Instance,
                *, governor: ExecutionGovernor | None = None,
@@ -113,9 +130,12 @@ class CompletenessAudit:
         exception instead.
         """
         validate_exhaustion_mode(on_exhausted)
+        context = self.context
         rcdp = decide_rcdp(query, database, self.master,
                            list(self.constraints), governor=governor,
-                           on_exhausted=on_exhausted)
+                           on_exhausted=on_exhausted,
+                           context=context,
+                           use_engine=context is not None)
         if rcdp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE, rcdp=rcdp)
         if rcdp.status is RCDPStatus.COMPLETE:
@@ -124,7 +144,8 @@ class CompletenessAudit:
         rcqp = decide_rcqp(
             query, self.master, list(self.constraints), self.schema,
             max_valuation_set_size=self.rcqp_valuation_set_size,
-            governor=governor, on_exhausted=on_exhausted)
+            governor=governor, on_exhausted=on_exhausted,
+            context=context, use_engine=context is not None)
         if rcqp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
                                rcdp=rcdp, rcqp=rcqp)
@@ -132,7 +153,8 @@ class CompletenessAudit:
             completion = make_complete(
                 query, database, self.master, list(self.constraints),
                 max_rounds=self.max_completion_rounds, governor=governor,
-                on_exhausted=on_exhausted)
+                on_exhausted=on_exhausted,
+                context=context, use_engine=context is not None)
             return AuditReport(verdict=AuditVerdict.COLLECT_DATA,
                                rcdp=rcdp, rcqp=rcqp, completion=completion)
         boundedness = analyze_boundedness(query, list(self.constraints),

@@ -18,7 +18,7 @@ objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Iterable
 
 from repro.constraints.containment import (ContainmentConstraint,
                                            Projection)
@@ -26,9 +26,9 @@ from repro.constraints.ind import InclusionDependency
 from repro.queries.atoms import RelAtom, eq, neq, rel
 from repro.queries.cq import ConjunctiveQuery, cq
 from repro.queries.datalog import DatalogQuery, rule
-from repro.queries.terms import Var, var
+from repro.queries.terms import var
 from repro.relational.instance import Instance
-from repro.relational.schema import (Attribute, DatabaseSchema,
+from repro.relational.schema import (DatabaseSchema,
                                      RelationSchema)
 
 __all__ = ["CustomerRecord", "CRMScenario", "DOMESTIC_COUNTRY_CODE"]

@@ -22,7 +22,7 @@ from repro.queries.tableau import Tableau
 from repro.relational.domain import FreshValueSupply
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
-from repro.queries.terms import Const, Var
+from repro.queries.terms import Var
 
 __all__ = ["canonical_database", "is_contained_in", "is_equivalent",
            "is_ucq_contained_in", "minimize"]

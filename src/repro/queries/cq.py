@@ -40,11 +40,13 @@ class ConjunctiveQuery:
 
     language = "CQ"
 
-    __slots__ = ("name", "head", "body", "_rel_atoms", "_comparisons")
+    __slots__ = ("name", "head", "body", "_rel_atoms", "_comparisons",
+                 "_plan_cache")
 
     def __init__(self, head: Sequence[Any], body: Iterable[Any],
                  name: str = "Q") -> None:
         self.name = name
+        self._plan_cache = None
         self.head = tuple(as_term(t) for t in head)
         self.body = tuple(body)
         rel_atoms: list[RelAtom] = []
@@ -158,17 +160,56 @@ class ConjunctiveQuery:
     # Evaluation
     # ------------------------------------------------------------------
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
-        """Evaluate the query over *instance* (set semantics)."""
+    def evaluate(self, instance: Instance, *,
+                 context: Any = None) -> frozenset[tuple]:
+        """Evaluate the query over *instance* (set semantics).
+
+        Evaluation runs on the engine's compiled, hash-indexed plan
+        (see :mod:`repro.engine`).  With an
+        :class:`~repro.engine.context.EvaluationContext`, plans,
+        indexes, and answers are shared across calls; without one the
+        plan is still cached on the query but indexes are per-call.
+        The pre-engine backtracking path survives as
+        :meth:`evaluate_naive`, the testing oracle.
+        """
+        if context is not None:
+            return context.evaluate(self, instance)
+        from repro.engine.executor import IndexedSource, evaluate_plan
+        from repro.engine.indexes import InstanceIndexes
+
+        plan = self._compiled_plan()
+        source = IndexedSource(InstanceIndexes(instance))
+        return evaluate_plan(plan, (source,) * len(plan.steps))
+
+    def evaluate_naive(self, instance: Instance) -> frozenset[tuple]:
+        """The original backtracking-join evaluation, kept verbatim as
+        the cross-validation oracle for the engine's property tests."""
         results: set[tuple] = set()
         for binding in self._bindings(instance):
             row = tuple(self._apply(term, binding) for term in self.head)
             results.add(row)
         return frozenset(results)
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: Instance, *, context: Any = None) -> bool:
         """True when the query has at least one answer in *instance*."""
-        return any(True for _ in self._bindings(instance))
+        if context is not None:
+            return context.holds(self, instance)
+        from repro.engine.executor import IndexedSource, plan_holds
+        from repro.engine.indexes import InstanceIndexes
+
+        plan = self._compiled_plan()
+        source = IndexedSource(InstanceIndexes(instance))
+        return plan_holds(plan, (source,) * len(plan.steps))
+
+    def _compiled_plan(self):
+        """The query's full evaluation plan, compiled on first use."""
+        plan = self._plan_cache
+        if plan is None:
+            from repro.engine.plan import compile_plan
+
+            plan = compile_plan(self)
+            self._plan_cache = plan
+        return plan
 
     def _bindings(self, instance: Instance) -> Iterator[Binding]:
         """Yield all satisfying bindings of the body over *instance*."""

@@ -276,11 +276,18 @@ class DatalogQuery:
                  if name not in delta_names}
         return Instance(combined_schema, final, validate=False)
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+    def evaluate(self, instance: Instance, *,
+                 context: Any = None) -> frozenset[tuple]:
+        # Fixpoint semantics has no compiled-plan form in the engine;
+        # *context* is accepted for interface uniformity (the engine's
+        # answer cache calls back here without one).
+        del context
         fixpoint = self.fixpoint(instance)
         return fixpoint.relation(self.goal)
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: Instance, *, context: Any = None) -> bool:
+        if context is not None:
+            return context.holds(self, instance)
         return bool(self.evaluate(instance))
 
     def __repr__(self) -> str:

@@ -280,10 +280,19 @@ class EFOQuery:
     def to_cq_disjuncts(self) -> list[ConjunctiveQuery]:
         return self.to_ucq().to_cq_disjuncts()
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+    def evaluate(self, instance: Instance, *,
+                 context: Any = None) -> frozenset[tuple]:
+        if context is not None:
+            return context.evaluate(self, instance)
         return self.to_ucq().evaluate(instance)
 
-    def holds_in(self, instance: Instance) -> bool:
+    def evaluate_naive(self, instance: Instance) -> frozenset[tuple]:
+        """Backtracking oracle over the unfolded UCQ."""
+        return self.to_ucq().evaluate_naive(instance)
+
+    def holds_in(self, instance: Instance, *, context: Any = None) -> bool:
+        if context is not None:
+            return context.holds(self, instance)
         return self.to_ucq().holds_in(instance)
 
     def __repr__(self) -> str:

@@ -358,7 +358,13 @@ class FOQuery:
         """Active domain used for quantification."""
         return instance.active_domain() | frozenset(self.constants())
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+    def evaluate(self, instance: Instance, *,
+                 context: Any = None) -> frozenset[tuple]:
+        # FO is not monotone, so the engine's compiled/delta paths do not
+        # apply; *context* is accepted for interface uniformity (answer
+        # caching happens in EvaluationContext.evaluate, which calls back
+        # here without a context).
+        del context
         domain = self.evaluation_domain(instance)
         head_vars = tuple(sorted(self.head_variables(),
                                  key=lambda v: v.name))
@@ -380,7 +386,9 @@ class FOQuery:
         assign(0, {})
         return frozenset(results)
 
-    def holds_in(self, instance: Instance) -> bool:
+    def holds_in(self, instance: Instance, *, context: Any = None) -> bool:
+        if context is not None:
+            return context.holds(self, instance)
         return bool(self.evaluate(instance))
 
     def __repr__(self) -> str:

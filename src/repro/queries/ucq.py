@@ -6,7 +6,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import QueryError
 from repro.queries.cq import ConjunctiveQuery
@@ -74,13 +74,25 @@ class UnionOfConjunctiveQueries:
     def to_cq_disjuncts(self) -> list[ConjunctiveQuery]:
         return list(self.disjuncts)
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+    def evaluate(self, instance: Instance, *,
+                 context: Any = None) -> frozenset[tuple]:
+        if context is not None:
+            return context.evaluate(self, instance)
         answers: set[tuple] = set()
         for disjunct in self.disjuncts:
             answers |= disjunct.evaluate(instance)
         return frozenset(answers)
 
-    def holds_in(self, instance: Instance) -> bool:
+    def evaluate_naive(self, instance: Instance) -> frozenset[tuple]:
+        """Backtracking oracle: union of the disjuncts' naive answers."""
+        answers: set[tuple] = set()
+        for disjunct in self.disjuncts:
+            answers |= disjunct.evaluate_naive(instance)
+        return frozenset(answers)
+
+    def holds_in(self, instance: Instance, *, context: Any = None) -> bool:
+        if context is not None:
+            return context.holds(self, instance)
         return any(d.holds_in(instance) for d in self.disjuncts)
 
     def __eq__(self, other: object) -> bool:

@@ -14,7 +14,7 @@ from typing import Any, Iterable, Iterator, Mapping
 from repro.errors import SchemaError
 from repro.relational.schema import DatabaseSchema
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "extend_unvalidated"]
 
 Row = tuple
 
@@ -203,3 +203,25 @@ class Instance:
             for row in sorted(rows, key=repr):
                 lines.append("  " + ", ".join(repr(v) for v in row))
         return "\n".join(lines)
+
+
+def extend_unvalidated(instance: Instance,
+                       facts: Iterable[tuple[str, Row]]) -> Instance:
+    """``instance ∪ facts`` without re-validating domains.
+
+    The candidate-extension loops of the deciders build millions of
+    ``D ∪ Δ`` instances whose facts were already drawn from validated
+    pools, so the per-tuple domain checks of :meth:`Instance.with_facts`
+    are pure overhead there.  Facts are ``(relation name, row)`` pairs;
+    an unknown relation name still raises ``SchemaError``.
+    """
+    grouped: dict[str, set[Row]] = {}
+    for name, row in facts:
+        grouped.setdefault(name, set()).add(tuple(row))
+    if not grouped:
+        return instance
+    contents: dict[str, frozenset[Row]] = dict(instance._relations)
+    for name, rows in grouped.items():
+        existing = instance.relation(name)
+        contents[name] = existing | rows
+    return Instance(instance.schema, contents, validate=False)

@@ -94,3 +94,21 @@ _t_rows = st.frozensets(
 def instances(draw) -> Instance:
     """A small random instance of the shared schema."""
     return Instance(SCHEMA, {"R": draw(_r_rows), "T": draw(_t_rows)})
+
+
+_r_fact = st.tuples(
+    st.just("R"),
+    st.tuples(st.sampled_from(_CONSTANTS), st.sampled_from(_CONSTANTS)))
+_t_fact = st.tuples(
+    st.just("T"),
+    st.tuples(st.sampled_from(_CONSTANTS), st.sampled_from(_CONSTANTS),
+              st.sampled_from(_CONSTANTS)))
+
+
+@st.composite
+def extension_facts(draw, max_facts: int = 4) -> list[tuple[str, tuple]]:
+    """A small random Δ over the shared schema, as ``(relation, row)``
+    facts.  Deliberately *may* overlap an instance drawn from
+    :func:`instances` — the delta-evaluation path must filter Δ ∩ D
+    itself, so the tests feed it unfiltered extensions."""
+    return draw(st.lists(st.one_of(_r_fact, _t_fact), max_size=max_facts))

@@ -9,9 +9,8 @@ from repro.errors import EvaluationError, SchemaError
 from repro.queries.atoms import eq, rel
 from repro.queries.cq import cq
 from repro.queries.terms import var
-from repro.relational.algebra import (Difference, NamedRelation, Product,
-                                      Rename, Union, scan, select_eq,
-                                      select_neq)
+from repro.relational.algebra import (Difference, NamedRelation, Union,
+                                      scan, select_eq, select_neq)
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema, RelationSchema
 

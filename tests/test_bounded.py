@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.constraints.containment import (ContainmentConstraint,
-                                           Projection)
 from repro.constraints.ind import InclusionDependency
 from repro.core.bounded import (brute_force_rcdp, brute_force_rcqp,
                                 candidate_fact_pool, default_value_pool)

@@ -1,0 +1,183 @@
+"""Property tests for the evaluation engine (:mod:`repro.engine`).
+
+The pre-engine backtracking evaluators survive as ``evaluate_naive`` on
+every query class; they are the oracle here.  Three independent
+agreements are checked on random queries and instances:
+
+1. the compiled/indexed engine path equals the naive evaluator;
+2. the semi-naive delta rule ``Q(D ∪ Δ)`` equals naive evaluation of the
+   materialized union (with Δ deliberately allowed to overlap ``D``);
+3. the RCDP decider reaches the same verdict with the engine on and off.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           Projection, satisfies_all)
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp
+from repro.core.results import RCDPStatus
+from repro.engine import EvaluationContext, compile_plan
+from repro.queries.atoms import rel
+from repro.queries.cq import cq
+from repro.queries.terms import Var, var
+from repro.relational.instance import Instance, extend_unvalidated
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+from tests.strategies import (conjunctive_queries, extension_facts,
+                              instances, union_queries)
+
+
+class TestEngineMatchesNaive:
+    @settings(max_examples=100, deadline=None)
+    @given(query=conjunctive_queries(), instance=instances())
+    def test_cq_evaluate(self, query, instance):
+        assert query.evaluate(instance) == query.evaluate_naive(instance)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=union_queries(), instance=instances())
+    def test_ucq_evaluate(self, query, instance):
+        assert query.evaluate(instance) == query.evaluate_naive(instance)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), instance=instances())
+    def test_cq_holds(self, query, instance):
+        assert query.holds_in(instance) == bool(
+            query.evaluate_naive(instance))
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), instance=instances())
+    def test_context_evaluate_and_cache(self, query, instance):
+        context = EvaluationContext()
+        first = context.evaluate(query, instance)
+        assert first == query.evaluate_naive(instance)
+        again = context.evaluate(query, instance)
+        assert again == first
+        assert context.statistics.cache_hits >= 1
+        assert context.statistics.full_evaluations == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), instance=instances())
+    def test_plan_compiles_once_per_query(self, query, instance):
+        context = EvaluationContext()
+        context.evaluate(query, instance)
+        compiled_once = context.statistics.plans_compiled
+        context.evaluate(query, instance)
+        assert context.statistics.plans_compiled == compiled_once
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=conjunctive_queries())
+    def test_plan_binds_every_head_variable(self, query):
+        # The first occurrence of any variable is always an output, so a
+        # safe query's head variables must all appear as plan outputs.
+        plan = compile_plan(query)
+        if not plan.satisfiable:
+            return
+        bound = {variable for step in plan.steps
+                 for _, variable in step.outputs}
+        for term in query.head:
+            if isinstance(term, Var):
+                assert term in bound
+
+
+class TestDeltaMatchesFull:
+    @settings(max_examples=100, deadline=None)
+    @given(query=conjunctive_queries(), base=instances(),
+           delta=extension_facts())
+    def test_cq_delta(self, query, base, delta):
+        context = EvaluationContext()
+        via_delta = context.evaluate_extension(query, base, delta)
+        materialized = extend_unvalidated(base, delta)
+        assert via_delta == query.evaluate_naive(materialized)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=union_queries(), base=instances(),
+           delta=extension_facts())
+    def test_ucq_delta(self, query, base, delta):
+        context = EvaluationContext()
+        via_delta = context.evaluate_extension(query, base, delta)
+        materialized = extend_unvalidated(base, delta)
+        assert via_delta == query.evaluate_naive(materialized)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), base=instances(),
+           delta=extension_facts())
+    def test_delta_reuses_cached_base(self, query, base, delta):
+        context = EvaluationContext()
+        context.evaluate(query, base)  # warm the base answer cache
+        via_delta = context.evaluate_extension(query, base, delta)
+        materialized = extend_unvalidated(base, delta)
+        assert via_delta == query.evaluate_naive(materialized)
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), base=instances(),
+           delta=extension_facts())
+    def test_repeated_delta_is_stable(self, query, base, delta):
+        context = EvaluationContext()
+        first = context.evaluate_extension(query, base, delta)
+        second = context.evaluate_extension(query, base, delta)
+        assert first == second
+
+
+# A tiny RCDP workload for the engine-on/engine-off ablation: suppliers
+# constrained to master customers (the paper's Example 1.1 shape).
+_SCHEMA = DatabaseSchema([RelationSchema("S", ["eid", "cid"])])
+_MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["cid"])])
+_DM = Instance(_MASTER_SCHEMA, {"M": {("c1",), ("c2",)}})
+_IND = InclusionDependency(
+    "S", ["cid"], "M", ["cid"]).to_containment_constraint(
+    _SCHEMA, _MASTER_SCHEMA)
+_EMPTY_CC = ContainmentConstraint(
+    cq([], [rel("S", "e9", var("c"))]), Projection.empty(), name="ban-e9")
+_Q = cq([var("c")], [rel("S", "e0", var("c"))], name="Q")
+
+_s_rows = st.frozensets(
+    st.tuples(st.sampled_from(["e0", "e1"]),
+              st.sampled_from(["c1", "c2"])),
+    max_size=4)
+
+
+class TestDeciderAblation:
+    @settings(max_examples=50, deadline=None)
+    @given(rows=_s_rows)
+    def test_rcdp_engine_matches_naive_decider(self, rows):
+        db = Instance(_SCHEMA, {"S": rows})
+        constraints = [_IND, _EMPTY_CC]
+        if not satisfies_all(db, _DM, constraints):
+            return
+        engine = decide_rcdp(_Q, db, _DM, constraints, use_engine=True)
+        naive = decide_rcdp(_Q, db, _DM, constraints, use_engine=False)
+        assert engine.status is naive.status
+        assert (engine.certificate is None) == (naive.certificate is None)
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=_s_rows)
+    def test_shared_context_matches_fresh(self, rows):
+        db = Instance(_SCHEMA, {"S": rows})
+        constraints = [_IND]
+        if not satisfies_all(db, _DM, constraints):
+            return
+        shared = EvaluationContext()
+        first = decide_rcdp(_Q, db, _DM, constraints, context=shared)
+        second = decide_rcdp(_Q, db, _DM, constraints, context=shared)
+        fresh = decide_rcdp(_Q, db, _DM, constraints)
+        assert first.status is second.status is fresh.status
+
+    def test_engine_statistics_populated(self):
+        db = Instance(_SCHEMA, {"S": {("e0", "c1")}})
+        context = EvaluationContext()
+        result = decide_rcdp(_Q, db, _DM, [_IND], context=context)
+        assert result.status is RCDPStatus.INCOMPLETE
+        stats = result.statistics
+        assert stats.plans_compiled >= 1
+        assert stats.full_evaluations >= 1
+        assert stats.delta_evaluations + stats.full_evaluations >= 2
+
+    def test_delta_statistics_counted(self):
+        base = Instance(_SCHEMA, {"S": {("e0", "c1")}})
+        context = EvaluationContext()
+        answers = context.evaluate_extension(
+            _Q, base, [("S", ("e0", "c2"))])
+        assert answers == frozenset({("c1",), ("c2",)})
+        assert context.statistics.delta_evaluations == 1

@@ -9,8 +9,6 @@ run — the graceful-degradation contract of the execution governor.
 
 import pytest
 
-from repro.constraints.containment import (ContainmentConstraint,
-                                           Projection)
 from repro.constraints.cfd import FunctionalDependency
 from repro.constraints.ind import InclusionDependency
 from repro.core.bounded import brute_force_rcdp, brute_force_rcqp
@@ -22,7 +20,7 @@ from repro.core.results import (MissingAnswersReport, RCDPStatus,
 from repro.core.witness import make_complete
 from repro.errors import (ExecutionInterrupted, ReproError,
                           SearchBudgetExceededError)
-from repro.queries.atoms import eq, neq, rel
+from repro.queries.atoms import eq, rel
 from repro.queries.cq import cq
 from repro.queries.terms import var
 from repro.relational.instance import Instance

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.constraints.containment import satisfies_all
-from repro.core.rcdp import decide_rcdp
 from repro.core.results import RCDPStatus
 from repro.mdm.audit import AuditVerdict, CompletenessAudit
 from repro.mdm.generators import GeneratorConfig, generate_scenario

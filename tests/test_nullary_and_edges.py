@@ -1,7 +1,6 @@
 """Edge cases: nullary relations, empty bodies, and other corners the
 paper's constructions rely on (e.g. the 0-ary ``Rme`` relation)."""
 
-import pytest
 
 from repro.constraints.containment import (ContainmentConstraint,
                                            Projection)

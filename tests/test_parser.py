@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ParseError
 from repro.queries.cq import ConjunctiveQuery
 from repro.queries.parser import parse_program, parse_query, parse_rules
-from repro.queries.terms import Const, Var
+from repro.queries.terms import Const
 from repro.queries.ucq import UnionOfConjunctiveQueries
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema, RelationSchema

@@ -7,7 +7,6 @@ tests miss.
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.rcdp import _extend_unvalidated
 from repro.core.valuations import ActiveDomain, iter_valid_valuations

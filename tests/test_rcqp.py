@@ -3,8 +3,6 @@
 import pytest
 
 from repro.constraints.cfd import FunctionalDependency
-from repro.constraints.containment import (ContainmentConstraint,
-                                           Projection)
 from repro.constraints.ind import InclusionDependency
 from repro.core.rcdp import decide_rcdp
 from repro.core.rcqp import decide_rcqp, decide_rcqp_with_inds

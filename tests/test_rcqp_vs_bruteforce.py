@@ -14,8 +14,6 @@ other:
 import pytest
 
 from repro.constraints.cfd import FunctionalDependency
-from repro.constraints.containment import (ContainmentConstraint,
-                                           Projection)
 from repro.constraints.ind import InclusionDependency
 from repro.core.bounded import brute_force_rcqp
 from repro.core.rcdp import decide_rcdp

@@ -8,7 +8,7 @@ from repro.core.rcdp import decide_rcdp
 from repro.core.results import RCDPStatus
 from repro.errors import UndecidableConfigurationError
 from repro.queries.atoms import rel
-from repro.queries.fo import FOQuery, fo_and, fo_atom, fo_exists, fo_not
+from repro.queries.fo import FOQuery, fo_and, fo_atom, fo_not
 from repro.queries.terms import var
 from repro.reductions.dfa_encodings import (encode_word,
                                             reduce_dfa_emptiness_to_rcdp,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchemaError
-from repro.relational.domain import BOOLEAN, FiniteDomain, INFINITE
+from repro.relational.domain import BOOLEAN, INFINITE
 from repro.relational.schema import (Attribute, DatabaseSchema,
                                      RelationSchema)
 

@@ -1,7 +1,6 @@
 """Semi-naive vs naive datalog evaluation: same fixpoint, fewer
 derivations."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -7,7 +7,7 @@ from repro.queries.atoms import eq, neq, rel
 from repro.queries.cq import cq
 from repro.queries.efo import (EFOQuery, and_, atom_f, exists, or_)
 from repro.queries.terms import Var, var
-from repro.queries.ucq import UnionOfConjunctiveQueries, ucq
+from repro.queries.ucq import ucq
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema, RelationSchema
 
