@@ -1,0 +1,133 @@
+"""Analyzer benchmark: lint cost as scenarios grow.
+
+The static analyzer runs inside every decider call (the cheap pass) and
+over whole bundles in CI (the deep pass), so its cost has to stay
+negligible next to the exponential searches it guards.  This bench times
+both passes on generated bundles with a growing constraint set:
+
+* **cheap** — ``lint_bundle(deep=False)``: what the deciders pay on
+  every call (parse + safety + schema + union-find satisfiability);
+* **deep** — ``lint_bundle(deep=True)``: adds the NP-hard
+  Chandra–Merlin minimization (RC005) and pairwise constraint
+  subsumption (RC103), which is quadratic in the constraint count.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--smoke]
+
+Writes ``BENCH_lint.json``.  Unless ``--smoke``, asserts the cheap pass
+stays under ``CHEAP_BUDGET_S`` per bundle at the largest size — the
+regression guard for the decider fast-fail path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.analysis import lint_bundle
+
+#: The decider-path pass must stay well under a millisecond-scale
+#: budget; a 50 ms ceiling at 48 constraints leaves 10× headroom.
+CHEAP_BUDGET_S = 0.050
+
+
+def make_bundle(num_constraints: int) -> dict:
+    """A bundle whose constraint set grows linearly: one IND anchor,
+    then alternating narrowed (subsumed), vacuous, and fresh-column
+    variants so every rule family has work to do."""
+    constraints = [
+        {"name": "anchor", "query": {"language": "CQ",
+         "text": "V(x) :- R(x, y)"},
+         "projection": {"relation": "M", "columns": [0]}},
+    ]
+    for index in range(num_constraints - 1):
+        kind = index % 3
+        if kind == 0:      # subsumed by the anchor (RC103 work)
+            text = f"V(x) :- R(x, {index})"
+        elif kind == 1:    # vacuous (RC102 work)
+            text = f"V(x) :- R(x, y), x = {index}, x = {index + 1}"
+        else:              # distinct self-join (containment work)
+            text = f"V(x) :- R(x, y), R(y, z), z = {index}"
+        constraints.append(
+            {"name": f"c{index}", "query": {"language": "CQ",
+             "text": text},
+             "projection": {"relation": "M", "columns": [0]}})
+    return {
+        "schema": {"relations": [
+            {"name": "R",
+             "attributes": [{"name": "a"}, {"name": "b"}]}]},
+        "master_schema": {"relations": [
+            {"name": "M", "attributes": [{"name": "a"}]}]},
+        "database": {"R": [[0, 1], [1, 2]]},
+        "master": {"M": [[0], [1], [2]]},
+        "query": {"language": "UCQ", "text":
+                  "Q(x) :- R(x, y), R(y, z)\n"
+                  "Q(x) :- R(x, y), R(x, w), y = 0"},
+        "constraints": constraints,
+    }
+
+
+def _time(fn, repeats: int):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes, one repeat, no assertions")
+    args = parser.parse_args(argv)
+
+    sizes = [3, 6] if args.smoke else [6, 12, 24, 48]
+    repeats = 1 if args.smoke else 5
+
+    rows = []
+    for size in sizes:
+        bundle = make_bundle(size)
+        cheap_s, cheap_report = _time(
+            lambda bundle=bundle: lint_bundle(bundle, deep=False),
+            repeats)
+        deep_s, deep_report = _time(
+            lambda bundle=bundle: lint_bundle(bundle, deep=True),
+            repeats)
+        row = {
+            "constraints": size,
+            "cheap_s": cheap_s,
+            "deep_s": deep_s,
+            "cheap_diagnostics": len(cheap_report),
+            "deep_diagnostics": len(deep_report),
+        }
+        rows.append(row)
+        print(f"constraints={size:3d}  cheap={cheap_s * 1e3:8.3f} ms "
+              f"({len(cheap_report)} findings)  "
+              f"deep={deep_s * 1e3:8.3f} ms "
+              f"({len(deep_report)} findings)")
+        # The generated bundles are intentionally warning-laden but must
+        # never produce errors — the bench measures analysis, not
+        # rejection.
+        assert deep_report.exit_code <= 1, deep_report.render()
+
+    payload = {"smoke": args.smoke, "rows": rows}
+    with open("BENCH_lint.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print("wrote BENCH_lint.json")
+
+    if not args.smoke:
+        worst_cheap = max(row["cheap_s"] for row in rows)
+        if worst_cheap > CHEAP_BUDGET_S:
+            print(f"FAIL: cheap pass took {worst_cheap * 1e3:.1f} ms "
+                  f"(budget {CHEAP_BUDGET_S * 1e3:.0f} ms)")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Export the CRM example scenarios as JSON bundles.
+
+Writes the bundles under ``examples/bundles/``; CI lints them
+(``repro lint examples/bundles/*.json``) and expects every one to come
+out clean (exit 0 — info-level findings allowed).  Run this script again
+after changing :mod:`repro.mdm.scenario` or the wire format.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.io.json_io import dump_bundle  # noqa: E402
+from repro.mdm.scenario import CRMScenario  # noqa: E402
+
+BUNDLES_DIR = pathlib.Path(__file__).resolve().parent / "bundles"
+
+
+def export() -> list[pathlib.Path]:
+    BUNDLES_DIR.mkdir(exist_ok=True)
+    scenario = CRMScenario.example()
+    written = []
+
+    # q0 over the default constraint set (φ0, cust01, manage⊆managem):
+    # the paper's "domestic customers in area code 908" query.
+    path = BUNDLES_DIR / "crm_q0_area_code.json"
+    dump_bundle(str(path), schema=scenario.schema,
+                master_schema=scenario.master_schema,
+                database=scenario.database(), master=scenario.master(),
+                query=scenario.q0_customers_with_area_code(),
+                constraints=scenario.default_constraints())
+    written.append(path)
+
+    # q1 (customers supported by e0 in area 908) — Example 1.1's query.
+    path = BUNDLES_DIR / "crm_q1_supported.json"
+    dump_bundle(str(path), schema=scenario.schema,
+                master_schema=scenario.master_schema,
+                database=scenario.database(), master=scenario.master(),
+                query=scenario.q1_customers_supported_by(),
+                constraints=scenario.default_constraints())
+    written.append(path)
+
+    # q2 (all customers supported by e0) against the domestic-support
+    # IND: the support table is restricted to domestic customers so that
+    # (D, Dm) is partially closed under supt⊆dcust.
+    domestic = CRMScenario.example()
+    domestic.support = {(e, d, c) for e, d, c in domestic.support
+                        if not c.startswith("i")}
+    path = BUNDLES_DIR / "crm_q2_supported_ind.json"
+    dump_bundle(str(path), schema=domestic.schema,
+                master_schema=domestic.master_schema,
+                database=domestic.database(), master=domestic.master(),
+                query=domestic.q2_all_supported_by(),
+                constraints=[domestic.supt_cid_ind()])
+    written.append(path)
+
+    return written
+
+
+if __name__ == "__main__":
+    for path in export():
+        print(f"wrote {path}")

@@ -32,6 +32,9 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the reproduction of the paper's complexity tables.
 """
 
+from repro.analysis import (AnalysisFacts, Diagnostic, Fixit, Report,
+                            Severity, Span, analyze, lint_bundle,
+                            lint_path, validate_for_decision)
 from repro.constraints import (ConditionalFunctionalDependency,
                                ConditionalInclusionDependency,
                                ContainmentConstraint, DenialConstraint,
@@ -48,7 +51,8 @@ from repro.core import (ActiveDomain, CompletionOutcome,
                         make_complete, minimize_witness,
                         missing_answers_report)
 from repro.engine import EvaluationContext
-from repro.errors import (ConstraintError, DomainError, EvaluationError,
+from repro.errors import (AnalysisError, ConstraintError, DomainError,
+                          EvaluationError,
                           ExecutionInterrupted, NotPartiallyClosedError,
                           ParseError, QueryError, ReproError, SchemaError,
                           SearchBudgetExceededError,
@@ -68,25 +72,32 @@ from repro.relational import (Attribute, BOOLEAN, DatabaseSchema,
 __version__ = "1.0.0"
 
 __all__ = [
-    "ActiveDomain", "Attribute", "BOOLEAN", "Budget", "CancellationToken",
+    "ActiveDomain", "AnalysisError", "AnalysisFacts", "Attribute",
+    "BOOLEAN", "Budget", "CancellationToken",
     "CompletionOutcome", "ConditionalFunctionalDependency",
     "ConditionalInclusionDependency", "ConjunctiveQuery", "Const",
     "ConstraintError", "ContainmentConstraint", "DatabaseSchema",
-    "DatalogQuery", "Deadline", "DenialConstraint", "DomainError",
+    "DatalogQuery", "Deadline", "DenialConstraint", "Diagnostic",
+    "DomainError",
     "EFOQuery", "Eq", "EvaluationContext", "EvaluationError",
     "ExecutionGovernor",
     "ExecutionInterrupted", "FOQuery", "FaultInjector", "FiniteDomain",
-    "FreshValue", "FunctionalDependency", "INFINITE",
+    "Fixit", "FreshValue", "FunctionalDependency", "INFINITE",
     "InclusionDependency", "IncompletenessCertificate", "Instance",
     "MissingAnswersReport", "Neq", "NotPartiallyClosedError", "ParseError",
     "Projection", "QueryError", "RCDPResult", "RCDPStatus", "RCQPResult",
-    "RCQPStatus", "RelAtom", "RelationSchema", "ReproError", "Rule",
+    "RCQPStatus", "RelAtom", "RelationSchema", "Report", "ReproError",
+    "Rule",
     "SchemaError", "SearchBudgetExceededError", "SearchCheckpoint",
-    "SearchStatistics", "Tableau", "UndecidableConfigurationError",
+    "SearchStatistics", "Severity", "Span", "Tableau",
+    "UndecidableConfigurationError",
     "UnionOfConjunctiveQueries", "UnsatisfiableQueryError", "Var",
+    "analyze",
     "brute_force_rcdp", "brute_force_rcqp", "compile_all",
     "compile_to_containment", "cq", "decide_rcdp", "decide_rcqp",
     "decide_rcqp_with_inds", "eq", "enumerate_missing_answers",
+    "lint_bundle", "lint_path",
     "make_complete", "minimize_witness", "missing_answers_report", "neq",
-    "rel", "rule", "satisfies_all", "ucq", "var", "violated_constraints",
+    "rel", "rule", "satisfies_all", "ucq", "var",
+    "validate_for_decision", "violated_constraints",
 ]

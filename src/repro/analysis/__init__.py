@@ -1,0 +1,34 @@
+"""Static analysis over queries, constraints, and scenarios.
+
+The analyzer (``repro lint``) runs a registry of rules with stable codes
+over an RCDP/RCQP scenario and reports :class:`Diagnostic` findings with
+source spans and fix-its, plus machine-consumable :class:`AnalysisFacts`
+(provably-empty queries, minimized bodies, droppable constraints) that
+the deciders and the evaluation engine act on.
+
+* :mod:`repro.analysis.diagnostics` — Severity/Span/Fixit/Diagnostic/
+  Report vocabulary;
+* :mod:`repro.analysis.rules` — the rule registry (``RC0xx`` query,
+  ``RC1xx`` constraint, ``RC2xx`` scenario rules);
+* :mod:`repro.analysis.driver` — :func:`analyze` /
+  :func:`validate_for_decision` / :func:`lint_bundle` entry points;
+* :mod:`repro.analysis.boundedness` — the E3/E4 boundedness analysis
+  (also exposed as rule ``RC202``).
+"""
+
+from repro.analysis.boundedness import (BoundednessReport, VariableReport,
+                                        VariableStatus,
+                                        analyze_boundedness)
+from repro.analysis.diagnostics import (AnalysisFacts, Diagnostic, Fixit,
+                                        Report, Severity, Span)
+from repro.analysis.driver import (analyze, lint_bundle, lint_path,
+                                   validate_for_decision)
+from repro.analysis.rules import RULES, LintRule, RuleContext, lint_rule
+
+__all__ = [
+    "Severity", "Span", "Fixit", "Diagnostic", "AnalysisFacts", "Report",
+    "LintRule", "RuleContext", "RULES", "lint_rule",
+    "analyze", "validate_for_decision", "lint_bundle", "lint_path",
+    "VariableStatus", "VariableReport", "BoundednessReport",
+    "analyze_boundedness",
+]

@@ -1,0 +1,241 @@
+"""The diagnostics vocabulary of the static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable rule ``code`` (``RC0xx``
+for query rules, ``RC1xx`` for constraint rules, ``RC2xx`` for scenario
+rules), a :class:`Severity`, a message, a :class:`Span` pointing into the
+source it was found in, and optionally a :class:`Fixit` with a concrete
+replacement.  A :class:`Report` collects the diagnostics of one
+:func:`~repro.analysis.driver.analyze` run together with the
+machine-consumable :class:`AnalysisFacts` the deciders and the engine
+act on (provably-empty queries, minimized bodies, droppable
+constraints).
+
+Severity drives exit codes and decider behavior:
+
+* ``ERROR`` — the input is unusable (schema mismatch, unsafe rule,
+  violated partial closedness); deciders raise
+  :class:`~repro.errors.AnalysisError`, ``repro lint`` exits 2.
+* ``WARNING`` — the input is legal but wasteful or suspicious (empty
+  query, vacuous or subsumed constraint, undecidable language);
+  deciders fold the count into result statistics, lint exits 1.
+* ``INFO`` — stylistic observations (single-use variables, empty master
+  targets); never affects the exit code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+__all__ = ["Severity", "Span", "Fixit", "Diagnostic", "AnalysisFacts",
+           "Report"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; comparable (``INFO < WARNING < ERROR``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Span:
+    """A region of one analyzed source.
+
+    ``source`` names which input the span points into — ``"query"``,
+    ``"constraints[2]"``, ``"scenario"`` — and the coordinates are
+    relative to that source's text (1-based line/column, 0-based
+    character offset).  Object-level analyses (no text available) use
+    the default whole-source span.
+    """
+
+    source: str = "scenario"
+    line: int = 1
+    column: int = 1
+    offset: int = 0
+    length: int = 0
+
+    def to_dict(self) -> dict:
+        return {"source": self.source, "line": self.line,
+                "column": self.column, "offset": self.offset,
+                "length": self.length}
+
+
+@dataclass(frozen=True)
+class Fixit:
+    """A suggested edit: human description plus, when renderable, the
+    replacement text for the whole source the diagnostic points into."""
+
+    description: str
+    replacement: str | None = None
+
+    def to_dict(self) -> dict:
+        entry: dict[str, Any] = {"description": self.description}
+        if self.replacement is not None:
+            entry["replacement"] = self.replacement
+        return entry
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one rule."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span = field(default_factory=Span)
+    rule: str = ""
+    fixit: Fixit | None = None
+
+    def to_dict(self) -> dict:
+        entry: dict[str, Any] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "rule": self.rule,
+            "message": self.message,
+            "span": self.span.to_dict(),
+        }
+        if self.fixit is not None:
+            entry["fixit"] = self.fixit.to_dict()
+        return entry
+
+    def render(self, sources: Mapping[str, str] | None = None) -> str:
+        """One text block: location line, then (when the source text is
+        available) the offending line with a caret underneath."""
+        span = self.span
+        lines = [f"{span.source}:{span.line}:{span.column}: "
+                 f"{self.severity}[{self.code}]: {self.message}"]
+        text = (sources or {}).get(span.source)
+        if text is not None:
+            source_lines = text.splitlines()
+            if 0 < span.line <= len(source_lines):
+                code_line = source_lines[span.line - 1]
+                lines.append("    " + code_line)
+                width = max(1, min(span.length or 1,
+                                   len(code_line) - span.column + 1))
+                lines.append("    " + " " * (span.column - 1)
+                             + "^" * width)
+        if self.fixit is not None:
+            lines.append(f"  fixit: {self.fixit.description}")
+            if self.fixit.replacement is not None:
+                for replacement_line in self.fixit.replacement.splitlines():
+                    lines.append(f"    | {replacement_line}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AnalysisFacts:
+    """Machine-consumable conclusions the deciders and engine act on."""
+
+    #: Every disjunct's ``=``/``≠`` graph is contradictory: the query
+    #: evaluates to ∅ on *every* instance, so it is trivially relatively
+    #: complete (no extension can add answers).
+    query_provably_empty: bool = False
+    #: Names of individually unsatisfiable disjuncts.
+    empty_disjuncts: tuple[str, ...] = ()
+    #: An equivalent query with redundant atoms folded away (Chandra–
+    #: Merlin cores per disjunct); ``None`` when nothing was foldable.
+    minimized_query: Any = None
+    #: Names of constraints provably droppable without changing any
+    #: verdict (vacuous, duplicate, or subsumed CCs).
+    redundant_constraints: tuple[str, ...] = ()
+    #: False when the query is outside the monotone decidable fragment
+    #: (FO/FP) — the engine's semi-naive delta path is gated on this.
+    monotone: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "query_provably_empty": self.query_provably_empty,
+            "empty_disjuncts": list(self.empty_disjuncts),
+            "minimized_query": (
+                None if self.minimized_query is None
+                else getattr(self.minimized_query, "name",
+                             repr(self.minimized_query))),
+            "redundant_constraints": list(self.redundant_constraints),
+            "monotone": self.monotone,
+        }
+
+
+@dataclass(frozen=True)
+class Report:
+    """Everything one analysis run produced."""
+
+    diagnostics: tuple[Diagnostic, ...] = ()
+    facts: AnalysisFacts = field(default_factory=AnalysisFacts)
+    #: The analyzed source texts (for caret rendering), when available.
+    sources: Mapping[str, str] = field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics
+                     if d.severity is Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        """``repro lint`` semantics: 0 clean, 1 warnings, 2 errors
+        (infos never affect the exit code)."""
+        if self.has_errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def codes(self) -> tuple[str, ...]:
+        """Distinct rule codes that fired, in first-occurrence order."""
+        return tuple(dict.fromkeys(d.code for d in self.diagnostics))
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def summary(self) -> str:
+        counts = []
+        for label, group in (("error", self.errors),
+                             ("warning", self.warnings),
+                             ("info", self.infos)):
+            if group:
+                plural = "s" if len(group) != 1 else ""
+                counts.append(f"{len(group)} {label}{plural}")
+        return ", ".join(counts) if counts else "clean"
+
+    def render(self, sources: Mapping[str, str] | None = None) -> str:
+        """Full text rendering — one block per diagnostic, most severe
+        first, followed by a summary line."""
+        sources = dict(self.sources) | dict(sources or {})
+        ordered = sorted(self.diagnostics,
+                         key=lambda d: (-int(d.severity), d.code))
+        blocks = [d.render(sources) for d in ordered]
+        blocks.append(self.summary())
+        return "\n".join(blocks)
+
+    def to_dict(self) -> dict:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "facts": self.facts.to_dict(),
+            "summary": self.summary(),
+            "exit_code": self.exit_code,
+        }

@@ -24,6 +24,16 @@ Subcommands
     Enumerate the answers the query could still gain over the active
     domain (the completeness *margin*).
 
+``lint BUNDLE.json [...]``
+    Run the static analyzer (:mod:`repro.analysis`) over one or more
+    bundles without deciding anything: schema mismatches, unsafe or
+    provably empty queries, vacuous/subsumed constraints, violated
+    partial closedness, unbounded output variables — each finding with
+    a stable ``RCxxx`` code, a source span (rendered with a caret), and,
+    where possible, a fix-it.  ``--format json`` emits the report as
+    machine-readable JSON.  Exit codes: 0 clean (infos allowed),
+    1 warnings, 2 errors.
+
 ``demo``
     Run the paper's CRM example end to end and print the §2.3 audit.
 
@@ -51,7 +61,7 @@ from repro.core.rcdp import decide_rcdp, missing_answers_report
 from repro.core.rcqp import decide_rcqp
 from repro.core.results import RCDPStatus, RCQPStatus
 from repro.core.witness import make_complete
-from repro.errors import ExecutionInterrupted, ReproError
+from repro.errors import (AnalysisError, ExecutionInterrupted, ReproError)
 from repro.io.json_io import load_bundle
 from repro.runtime import EXHAUSTION_MODES, ExecutionGovernor
 
@@ -184,6 +194,28 @@ def _cmd_missing(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import lint_path
+
+    worst = 0
+    payloads = []
+    for path in args.bundles:
+        report = lint_path(path, deep=not args.fast)
+        worst = max(worst, report.exit_code)
+        if args.format == "json":
+            payloads.append({"bundle": path, **report.to_dict()})
+        else:
+            if len(args.bundles) > 1:
+                print(f"== {path}")
+            print(report.render())
+    if args.format == "json":
+        print(json.dumps(payloads if len(args.bundles) > 1
+                         else payloads[0], indent=2, sort_keys=True))
+    return worst
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.mdm.audit import CompletenessAudit
     from repro.mdm.scenario import CRMScenario
@@ -258,6 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_governor_arguments(missing)
     missing.set_defaults(func=_cmd_missing)
 
+    lint = subparsers.add_parser(
+        "lint", help="statically analyze bundles without deciding "
+                     "anything")
+    lint.add_argument("bundles", nargs="+", metavar="bundle",
+                      help="JSON problem bundle(s)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", help="output format")
+    lint.add_argument("--fast", action="store_true",
+                      help="skip the NP-hard minimization/containment "
+                           "rules (RC005, RC103)")
+    lint.set_defaults(func=_cmd_lint)
+
     demo = subparsers.add_parser(
         "demo", help="run the paper's CRM example")
     demo.set_defaults(func=_cmd_demo)
@@ -276,6 +320,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"resumable checkpoint: {interrupt.checkpoint!r}",
                   file=sys.stderr)
         return EXIT_EXHAUSTED
+    except AnalysisError as error:
+        print(f"error: {error}", file=sys.stderr)
+        if error.report is not None:
+            print(error.report.render(), file=sys.stderr)
+        return 2
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -296,12 +296,12 @@ def brute_force_rcqp(query: Any, master: Instance,
         from repro.core.rcdp import assert_decidable_configuration
 
         assert_decidable_configuration(query, constraints)
-    except UndecidableConfigurationError:
+    except UndecidableConfigurationError as exc:
         decidable = False
         if completeness_bound is None:
             raise UndecidableConfigurationError(
                 "brute_force_rcqp on an undecidable configuration needs "
-                "an explicit completeness_bound")
+                "an explicit completeness_bound") from exc
 
     base_stats = SearchStatistics()
     to_skip = 0

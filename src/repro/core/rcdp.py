@@ -37,6 +37,8 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Any, Callable, Sequence
 
+from repro.analysis.diagnostics import Report
+from repro.analysis.driver import validate_for_decision
 from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all,
                                            satisfies_all_extension,
@@ -56,7 +58,7 @@ from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
 __all__ = ["decide_rcdp", "enumerate_missing_answers",
            "missing_answers_report", "split_ind_constraints",
            "assert_decidable_configuration", "ensure_partially_closed",
-           "resolve_context"]
+           "resolve_context", "resolve_analysis"]
 
 _DECIDABLE = frozenset({"CQ", "UCQ", "EFO"})
 
@@ -98,6 +100,27 @@ def assert_decidable_configuration(
                 f"{constraint.language}: RCDP/RCQP are undecidable beyond "
                 f"∃FO⁺ (Theorem 3.1 / 4.1); use repro.core.bounded for a "
                 f"bounded semi-decision")
+
+
+def resolve_analysis(query: Any,
+                     constraints: Sequence[ContainmentConstraint],
+                     database: Instance, master: Instance,
+                     analysis: Report | None,
+                     analyze: bool) -> Report | None:
+    """Normalize a decider's ``(analysis, analyze)`` pair.
+
+    A caller-supplied report (audits, completion loops — one pass shared
+    across many decisions) wins; otherwise the cheap decider rules run
+    here.  ``analyze=False`` disables the pass entirely (for ablation
+    and for inner loops that already validated).  Error-severity
+    findings raise :class:`~repro.errors.AnalysisError` from inside
+    :func:`~repro.analysis.driver.validate_for_decision`.
+    """
+    if analysis is not None or not analyze:
+        return analysis
+    return validate_for_decision(
+        query, constraints, schema=database.schema,
+        master_schema=master.schema, database=database, master=master)
 
 
 def ensure_partially_closed(
@@ -192,7 +215,9 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
                 on_exhausted: str = "error",
                 resume_from: SearchCheckpoint | None = None,
                 use_engine: bool = True,
-                context: EvaluationContext | None = None) -> RCDPResult:
+                context: EvaluationContext | None = None,
+                analyze: bool = True,
+                analysis: Report | None = None) -> RCDPResult:
     """Decide whether *database* is complete for *query* relative to
     ``(master, constraints)``.
 
@@ -244,6 +269,19 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         enabled.  The decider attaches its governor to the context only
         while the search loop runs, so engine work during setup is
         never charged.
+    analyze:
+        When True (default), the static analyzer's cheap decider rules
+        (:mod:`repro.analysis`) run first: error-severity findings
+        (schema mismatches, invalid constraints) raise
+        :class:`~repro.errors.AnalysisError` carrying the full report;
+        warning counts fold into ``statistics.analysis_warnings``; and a
+        query the analyzer proves empty short-circuits to COMPLETE
+        without searching (``Q(D') = ∅`` for every ``D'``, so no
+        extension changes the answer).
+    analysis:
+        A precomputed :class:`~repro.analysis.diagnostics.Report` to use
+        instead of re-running the pass (audits and completion loops
+        analyze once and share).
 
     Returns
     -------
@@ -260,9 +298,29 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
+    analysis = resolve_analysis(query, constraints, database, master,
+                                analysis, analyze)
+    # Resumed searches already counted the warnings in the checkpoint's
+    # base statistics; recounting would double them.
+    fresh_warnings = (len(analysis.warnings)
+                      if analysis is not None and resume_from is None
+                      else 0)
     query.validate(database.schema)
     if check_partially_closed:
         ensure_partially_closed(database, master, constraints, context)
+
+    if analysis is not None and analysis.facts.query_provably_empty:
+        stats = SearchStatistics(analysis_warnings=fresh_warnings)
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return RCDPResult(
+            status=RCDPStatus.COMPLETE,
+            explanation=(
+                "static analysis proved the query empty (contradictory "
+                "=/≠ atoms in every disjunct): Q(D') = ∅ for every D', "
+                "so no extension can add an answer and D is trivially "
+                "relatively complete"),
+            statistics=stats)
 
     tableaux, adom = _prepare_search(query, database, master, constraints,
                                      context)
@@ -283,7 +341,8 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
     def _stats() -> SearchStatistics:
         stats = base_stats.merged(SearchStatistics(
             valuations_examined=examined,
-            constraint_checks=constraint_checks))
+            constraint_checks=constraint_checks,
+            analysis_warnings=fresh_warnings))
         if context is not None:
             stats = stats.merged(context.statistics.since(engine_base))
         return stats
@@ -381,6 +440,8 @@ def missing_answers_report(query: Any, database: Instance,
                            resume_from: SearchCheckpoint | None = None,
                            use_engine: bool = True,
                            context: EvaluationContext | None = None,
+                           analyze: bool = True,
+                           analysis: Report | None = None,
                            ) -> MissingAnswersReport:
     """All answers the query could still gain over the active domain.
 
@@ -409,9 +470,21 @@ def missing_answers_report(query: Any, database: Instance,
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
+    analysis = resolve_analysis(query, constraints, database, master,
+                                analysis, analyze)
+    fresh_warnings = (len(analysis.warnings)
+                      if analysis is not None and resume_from is None
+                      else 0)
     query.validate(database.schema)
     if check_partially_closed:
         ensure_partially_closed(database, master, constraints, context)
+
+    if analysis is not None and analysis.facts.query_provably_empty:
+        stats = SearchStatistics(analysis_warnings=fresh_warnings)
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return MissingAnswersReport(answers=frozenset(),
+                                    exhaustive=True, statistics=stats)
 
     tableaux, adom = _prepare_search(query, database, master, constraints,
                                      context)
@@ -437,7 +510,8 @@ def missing_answers_report(query: Any, database: Instance,
     def _stats() -> SearchStatistics:
         stats = base_stats.merged(SearchStatistics(
             valuations_examined=examined,
-            constraint_checks=constraint_checks))
+            constraint_checks=constraint_checks,
+            analysis_warnings=fresh_warnings))
         if context is not None:
             stats = stats.merged(context.statistics.since(engine_base))
         return stats
@@ -512,6 +586,8 @@ def enumerate_missing_answers(query: Any, database: Instance,
                               resume_from: SearchCheckpoint | None = None,
                               use_engine: bool = True,
                               context: EvaluationContext | None = None,
+                              analyze: bool = True,
+                              analysis: Report | None = None,
                               ) -> frozenset[tuple]:
     """Plain-set façade over :func:`missing_answers_report`.
 
@@ -528,4 +604,4 @@ def enumerate_missing_answers(query: Any, database: Instance,
         check_partially_closed=check_partially_closed, budget=budget,
         governor=governor, on_exhausted=on_exhausted,
         resume_from=resume_from, use_engine=use_engine,
-        context=context).answers
+        context=context, analyze=analyze, analysis=analysis).answers

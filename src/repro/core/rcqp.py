@@ -39,6 +39,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.analysis.driver import validate_for_decision
 from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all,
                                            satisfies_all_extension)
@@ -470,7 +471,9 @@ def decide_rcqp(query: Any, master: Instance,
                 on_exhausted: str = "error",
                 resume_from: SearchCheckpoint | None = None,
                 use_engine: bool = True,
-                context: EvaluationContext | None = None) -> RCQPResult:
+                context: EvaluationContext | None = None,
+                analyze: bool = True,
+                analysis: Any = None) -> RCQPResult:
     """Decide RCQP for CQ/UCQ/∃FO⁺ queries and constraints.
 
     Dispatches to the syntactic IND algorithm when every constraint is an
@@ -514,6 +517,15 @@ def decide_rcqp(query: Any, master: Instance,
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
+    if analysis is None and analyze:
+        # RCQP has no database D — the scenario rules that need one
+        # (partial closedness) skip themselves.
+        analysis = validate_for_decision(
+            query, constraints, schema=schema,
+            master_schema=master.schema, master=master)
+    fresh_warnings = (len(analysis.warnings)
+                      if analysis is not None and resume_from is None
+                      else 0)
     query.validate(schema)
 
     q_tableaux = _query_tableaux(query, schema)
@@ -528,7 +540,9 @@ def decide_rcqp(query: Any, master: Instance,
             status=RCQPStatus.NONEMPTY,
             witness=Instance.empty(schema),
             explanation="the query is unsatisfiable; every partially "
-                        "closed database is trivially complete")
+                        "closed database is trivially complete",
+            statistics=SearchStatistics(
+                analysis_warnings=fresh_warnings))
 
     phase, start_n = 0, 0
     base_stats = SearchStatistics()
@@ -543,7 +557,8 @@ def decide_rcqp(query: Any, master: Instance,
                                 "sets": start_n if phase == 1 else 0}
     def _stats() -> SearchStatistics:
         stats = base_stats.merged(SearchStatistics(
-            candidate_sets_examined=examined, units_examined=new_units))
+            candidate_sets_examined=examined, units_examined=new_units,
+            analysis_warnings=fresh_warnings))
         if context is not None:
             stats = stats.merged(context.statistics.since(engine_base))
         return stats

@@ -118,6 +118,10 @@ class SearchStatistics:
     engine_cache_hits: int = 0
     delta_evaluations: int = 0
     full_evaluations: int = 0
+    #: Warning-severity diagnostics the static analyzer
+    #: (:mod:`repro.analysis`) reported during the decider's fast-fail
+    #: pass (error diagnostics raise instead of being counted).
+    analysis_warnings: int = 0
 
     def merged(self, other: "SearchStatistics") -> "SearchStatistics":
         """Field-wise sum of two statistics snapshots."""

@@ -16,11 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from repro.analysis.diagnostics import Report
 from repro.constraints.containment import (ContainmentConstraint,
                                            satisfies_all)
 from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
-                             resolve_context)
-from repro.core.results import RCDPResult, RCDPStatus
+                             resolve_analysis, resolve_context)
+from repro.core.results import RCDPResult, RCDPStatus, SearchStatistics
 from repro.engine import EvaluationContext
 from repro.errors import ExecutionInterrupted, ReproError
 from repro.relational.instance import Instance
@@ -54,6 +55,10 @@ class CompletionOutcome:
     #: (``"budget"``, ``"deadline"``, or ``"cancelled"``); the partially
     #: completed database and the facts applied so far are preserved.
     interrupted: str | None = None
+    #: Search counters accumulated across all completion rounds; in
+    #: particular ``analysis_warnings`` carries the static analyzer's
+    #: warning count for the scenario (the pass runs once up front).
+    statistics: SearchStatistics = SearchStatistics()
 
     def __repr__(self) -> str:
         state = "complete" if self.complete else "still incomplete"
@@ -70,6 +75,8 @@ def make_complete(query: Any, database: Instance, master: Instance,
                   on_exhausted: str = "partial",
                   use_engine: bool = True,
                   context: EvaluationContext | None = None,
+                  analyze: bool = True,
+                  analysis: Report | None = None,
                   ) -> CompletionOutcome:
     """Repeatedly apply incompleteness certificates until the database is
     complete for *query* relative to ``(master, constraints)`` or
@@ -87,9 +94,30 @@ def make_complete(query: Any, database: Instance, master: Instance,
     the partially completed database with ``interrupted`` set — the facts
     already collected remain valid guidance — while ``"error"``
     propagates the governor's exception.
+
+    The static analyzer's decider pass runs *once* up front (unless
+    *analyze* is False or a precomputed *analysis* report is supplied)
+    and is shared by every round's RCDP decision; its warning count is
+    reported once in ``outcome.statistics.analysis_warnings``.
     """
+    from dataclasses import replace
+
     validate_exhaustion_mode(on_exhausted)
     context = resolve_context(context, use_engine)
+    analysis = resolve_analysis(query, constraints, database, master,
+                                analysis, analyze)
+    analysis_stats = SearchStatistics(
+        analysis_warnings=len(analysis.warnings)
+        if analysis is not None else 0)
+    totals = SearchStatistics()
+
+    def _merge(verdict_stats: SearchStatistics) -> None:
+        # The shared report's warnings would be recounted every round;
+        # they are added exactly once via analysis_stats instead.
+        nonlocal totals
+        totals = totals.merged(replace(verdict_stats,
+                                       analysis_warnings=0))
+
     current = database
     added: list[tuple[str, tuple]] = []
     rounds_done = 0
@@ -100,11 +128,14 @@ def make_complete(query: Any, database: Instance, master: Instance,
                 query, current, master, constraints,
                 check_partially_closed=(round_index == 0),
                 governor=governor, context=context,
-                use_engine=context is not None)
+                use_engine=context is not None, analysis=analysis,
+                analyze=False)
+            _merge(verdict.statistics)
             if verdict.status is RCDPStatus.COMPLETE:
                 return CompletionOutcome(
                     database=current, complete=True, rounds=round_index,
-                    added_facts=tuple(added))
+                    added_facts=tuple(added),
+                    statistics=totals.merged(analysis_stats))
             certificate = verdict.certificate
             assert certificate is not None
             new_facts = [
@@ -117,18 +148,22 @@ def make_complete(query: Any, database: Instance, master: Instance,
         verdict = decide_rcdp(query, current, master, constraints,
                               check_partially_closed=False,
                               governor=governor, context=context,
-                              use_engine=context is not None)
+                              use_engine=context is not None,
+                              analysis=analysis, analyze=False)
+        _merge(verdict.statistics)
     except ExecutionInterrupted as interrupt:
         if on_exhausted == "error":
             raise
         return CompletionOutcome(
             database=current, complete=False, rounds=rounds_done,
-            added_facts=tuple(added), interrupted=interrupt.reason)
+            added_facts=tuple(added), interrupted=interrupt.reason,
+            statistics=totals.merged(analysis_stats))
     return CompletionOutcome(
         database=current,
         complete=verdict.status is RCDPStatus.COMPLETE,
         rounds=max_rounds,
-        added_facts=tuple(added))
+        added_facts=tuple(added),
+        statistics=totals.merged(analysis_stats))
 
 
 def minimize_witness(query: Any, database: Instance, master: Instance,
@@ -146,9 +181,12 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
     relatively complete to begin with.
     """
     context = resolve_context(context, use_engine)
+    analysis = resolve_analysis(query, constraints, database, master,
+                                None, True)
     verdict = decide_rcdp(query, database, master, constraints,
                           context=context,
-                          use_engine=context is not None)
+                          use_engine=context is not None,
+                          analysis=analysis, analyze=False)
     if verdict.status is not RCDPStatus.COMPLETE:
         raise ReproError(
             "minimize_witness requires a relatively complete database")
@@ -166,7 +204,8 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
             shrunk = decide_rcdp(query, candidate, master, constraints,
                                  check_partially_closed=False,
                                  context=context,
-                                 use_engine=context is not None)
+                                 use_engine=context is not None,
+                                 analysis=analysis, analyze=False)
             if shrunk.status is RCDPStatus.COMPLETE:
                 current = candidate
                 changed = True

@@ -101,8 +101,9 @@ def _greedy_order(query: ConjunctiveQuery,
         bound |= atoms[first_atom].variables()
     while remaining:
         best = max(remaining,
-                   key=lambda i: (len(atoms[i].variables() & bound),
-                                  -len(atoms[i].variables())))
+                   key=lambda i, bound=bound: (
+                       len(atoms[i].variables() & bound),
+                       -len(atoms[i].variables())))
         ordered.append(best)
         remaining.remove(best)
         bound |= atoms[best].variables()

@@ -40,18 +40,29 @@ class EvaluationError(ReproError):
 
 
 class ParseError(ReproError):
-    """The textual query/constraint syntax could not be parsed."""
+    """The textual query/constraint syntax could not be parsed.
+
+    Carries the position of the offending token — ``line``/``column``
+    (1-based) plus the absolute character ``offset`` and token ``length``
+    — so tools like ``repro lint`` can render a caret under the exact
+    span.  The position is also folded into the message.
+    """
 
     def __init__(self, message: str, line: int | None = None,
-                 column: int | None = None) -> None:
+                 column: int | None = None, offset: int | None = None,
+                 length: int = 1) -> None:
         location = ""
         if line is not None:
             location = f" at line {line}"
             if column is not None:
                 location += f", column {column}"
+            if offset is not None:
+                location += f" (offset {offset})"
         super().__init__(f"{message}{location}")
         self.line = line
         self.column = column
+        self.offset = offset
+        self.length = length
 
 
 class UndecidableConfigurationError(ReproError):
@@ -61,6 +72,22 @@ class UndecidableConfigurationError(ReproError):
     Callers who want a best-effort answer must explicitly use the bounded
     semi-decision procedures in :mod:`repro.core.bounded`.
     """
+
+
+class AnalysisError(ReproError):
+    """Static analysis (:mod:`repro.analysis`) found error-severity
+    diagnostics in a decision procedure's inputs.
+
+    The deciders run a fast-fail validation pass before searching; when
+    the pass reports errors (schema mismatches, invalid constraints, …)
+    they raise this exception instead of crashing mid-search or burning
+    budget on a malformed instance.  The full
+    :class:`~repro.analysis.Report` is attached as ``report``.
+    """
+
+    def __init__(self, message: str, *, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class NotPartiallyClosedError(ReproError):

@@ -19,7 +19,8 @@ disk and tuples again on load.
 from __future__ import annotations
 
 import json
-from typing import Any
+import re
+from typing import Any, Iterable
 
 from repro.constraints.containment import (ContainmentConstraint,
                                            Projection)
@@ -102,17 +103,61 @@ def query_to_dict(query: Any) -> dict:
         text = "\n".join(_render_cq(d) for d in disjuncts)
         return {"language": language, "text": text}
     if language == "FP":
-        text = "\n".join(_render_rule(r.head, r.body) for r in query.rules)
+        rename = _variable_renaming(
+            name for r in query.rules
+            for atom in (r.head, *r.body)
+            for name in _atom_variable_names(atom))
+        text = "\n".join(_render_rule(r.head, r.body, rename)
+                         for r in query.rules)
         return {"language": "FP", "text": text, "goal": query.goal}
     raise ReproError(
         f"JSON serialization supports CQ/UCQ/FP queries, not {language}")
 
 
-def _render_term(term: Any) -> str:
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
+
+
+def _atom_variable_names(atom: Any) -> list[str]:
+    from repro.queries.atoms import RelAtom
+    from repro.queries.terms import Var
+
+    terms = (atom.terms if isinstance(atom, RelAtom)
+             else (atom.left, atom.right))
+    return [t.name for t in terms if isinstance(t, Var)]
+
+
+def _variable_renaming(names: Iterable[str]) -> dict[str, str]:
+    """Map variable names onto parser-legal identifiers.
+
+    Queries compiled from constraint classes embed the constraint name
+    in their variables (``manage⊆managem.eid1``), which the textual rule
+    syntax cannot express; those are rewritten (collision-free) so the
+    bundle round-trips.  Legal names pass through untouched.
+    """
+    distinct = sorted(set(names))
+    used = {name for name in distinct if _IDENTIFIER_RE.match(name)}
+    rename: dict[str, str] = {}
+    for name in distinct:
+        if _IDENTIFIER_RE.match(name):
+            rename[name] = name
+            continue
+        base = re.sub(r"[^A-Za-z0-9_]+", "_", name).strip("_") or "v"
+        if not re.match(r"[A-Za-z_]", base):
+            base = "v_" + base
+        candidate, suffix = base, 1
+        while candidate in used:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        used.add(candidate)
+        rename[name] = candidate
+    return rename
+
+
+def _render_term(term: Any, rename: dict[str, str] | None = None) -> str:
     from repro.queries.terms import Var
 
     if isinstance(term, Var):
-        return term.name
+        return rename.get(term.name, term.name) if rename else term.name
     value = term.value
     if isinstance(value, bool) or not isinstance(value, (int, str)):
         raise ReproError(
@@ -127,28 +172,34 @@ def _render_term(term: Any) -> str:
     return "'" + value + "'"
 
 
-def _render_atom(atom: Any) -> str:
+def _render_atom(atom: Any, rename: dict[str, str] | None = None) -> str:
     from repro.queries.atoms import Eq, RelAtom
 
     if isinstance(atom, RelAtom):
-        inner = ", ".join(_render_term(t) for t in atom.terms)
+        inner = ", ".join(_render_term(t, rename) for t in atom.terms)
         return f"{atom.relation}({inner})"
     symbol = "=" if isinstance(atom, Eq) else "!="
-    return f"{_render_term(atom.left)} {symbol} {_render_term(atom.right)}"
+    return (f"{_render_term(atom.left, rename)} {symbol} "
+            f"{_render_term(atom.right, rename)}")
 
 
-def _render_rule(head: Any, body: Any) -> str:
-    head_text = _render_atom(head)
+def _render_rule(head: Any, body: Any,
+                 rename: dict[str, str] | None = None) -> str:
+    head_text = _render_atom(head, rename)
     if not body:
         return head_text
-    return head_text + " :- " + ", ".join(_render_atom(a) for a in body)
+    return head_text + " :- " + ", ".join(_render_atom(a, rename)
+                                          for a in body)
 
 
 def _render_cq(query: Any) -> str:
     from repro.queries.atoms import RelAtom
 
     head = RelAtom("Q", query.head)
-    return _render_rule(head, query.body)
+    rename = _variable_renaming(
+        name for atom in (head, *query.body)
+        for name in _atom_variable_names(atom))
+    return _render_rule(head, query.body, rename)
 
 
 def query_from_dict(data: dict) -> Any:

@@ -17,9 +17,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.analysis.diagnostics import Report
 from repro.constraints.containment import ContainmentConstraint
 from repro.core.analysis import BoundednessReport, analyze_boundedness
-from repro.core.rcdp import decide_rcdp
+from repro.core.rcdp import decide_rcdp, resolve_analysis
 from repro.core.rcqp import decide_rcqp
 from repro.core.results import (RCDPResult, RCDPStatus, RCQPResult,
                                 RCQPStatus)
@@ -58,6 +59,9 @@ class AuditReport:
     rcqp: RCQPResult | None = None
     completion: CompletionOutcome | None = None
     boundedness: BoundednessReport | None = None
+    #: The static analyzer's report for the audited scenario (run once
+    #: up front and shared by every stage).
+    analysis: Report | None = None
 
     @property
     def suggested_facts(self) -> tuple[tuple[str, tuple], ...]:
@@ -72,6 +76,8 @@ class AuditReport:
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""
         lines = [f"verdict: {self.verdict.value}"]
+        if self.analysis is not None and len(self.analysis):
+            lines.append(f"analysis: {self.analysis.summary()}")
         lines.append(f"RCDP: {self.rcdp.status.value}")
         if self.rcdp.interrupted:
             lines.append(f"RCDP interrupted by: {self.rcdp.interrupted}")
@@ -131,37 +137,48 @@ class CompletenessAudit:
         """
         validate_exhaustion_mode(on_exhausted)
         context = self.context
+        # One analysis pass for the whole cascade; error findings raise
+        # AnalysisError here, before any search runs.
+        analysis = resolve_analysis(query, list(self.constraints),
+                                    database, self.master, None, True)
         rcdp = decide_rcdp(query, database, self.master,
                            list(self.constraints), governor=governor,
                            on_exhausted=on_exhausted,
                            context=context,
-                           use_engine=context is not None)
+                           use_engine=context is not None,
+                           analysis=analysis, analyze=False)
         if rcdp.is_exhausted:
-            return AuditReport(verdict=AuditVerdict.INCONCLUSIVE, rcdp=rcdp)
+            return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
+                               rcdp=rcdp, analysis=analysis)
         if rcdp.status is RCDPStatus.COMPLETE:
-            return AuditReport(verdict=AuditVerdict.TRUSTWORTHY, rcdp=rcdp)
+            return AuditReport(verdict=AuditVerdict.TRUSTWORTHY,
+                               rcdp=rcdp, analysis=analysis)
 
         rcqp = decide_rcqp(
             query, self.master, list(self.constraints), self.schema,
             max_valuation_set_size=self.rcqp_valuation_set_size,
             governor=governor, on_exhausted=on_exhausted,
-            context=context, use_engine=context is not None)
+            context=context, use_engine=context is not None,
+            analysis=analysis, analyze=False)
         if rcqp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
-                               rcdp=rcdp, rcqp=rcqp)
+                               rcdp=rcdp, rcqp=rcqp, analysis=analysis)
         if rcqp.status is RCQPStatus.NONEMPTY:
             completion = make_complete(
                 query, database, self.master, list(self.constraints),
                 max_rounds=self.max_completion_rounds, governor=governor,
                 on_exhausted=on_exhausted,
-                context=context, use_engine=context is not None)
+                context=context, use_engine=context is not None,
+                analysis=analysis, analyze=False)
             return AuditReport(verdict=AuditVerdict.COLLECT_DATA,
-                               rcdp=rcdp, rcqp=rcqp, completion=completion)
+                               rcdp=rcdp, rcqp=rcqp, completion=completion,
+                               analysis=analysis)
         boundedness = analyze_boundedness(query, list(self.constraints),
                                           self.schema)
         if rcqp.status is RCQPStatus.EMPTY:
             return AuditReport(verdict=AuditVerdict.EXPAND_MASTER_DATA,
                                rcdp=rcdp, rcqp=rcqp,
-                               boundedness=boundedness)
+                               boundedness=boundedness, analysis=analysis)
         return AuditReport(verdict=AuditVerdict.COLLECT_DATA_OR_EXPAND,
-                           rcdp=rcdp, rcqp=rcqp, boundedness=boundedness)
+                           rcdp=rcdp, rcqp=rcqp, boundedness=boundedness,
+                           analysis=analysis)

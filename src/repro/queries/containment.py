@@ -8,8 +8,12 @@ query analysis and because tests use them to sanity-check the tableau and
 evaluation machinery against each other.
 
 For queries **with inequality atoms** containment is no longer characterized
-by a single canonical database, so :func:`is_contained_in` refuses them
-(raising :class:`QueryError`) rather than silently answering wrongly.
+by a single canonical database (it is Πᵖ₂-complete), so the tests refuse
+them by default.  Callers that merely *consume* containment facts — the
+static analyzer's subsumption and minimization rules — pass
+``on_inequality="unknown"`` / ``"skip"`` to degrade gracefully instead:
+:func:`is_contained_in` then answers ``None`` ("unknown") and
+:func:`minimize` returns the query unchanged.
 """
 
 from __future__ import annotations
@@ -26,6 +30,11 @@ from repro.queries.terms import Var
 
 __all__ = ["canonical_database", "is_contained_in", "is_equivalent",
            "is_ucq_contained_in", "minimize"]
+
+#: Accepted ``on_inequality`` modes: ``"raise"`` (default, historical
+#: behavior), ``"unknown"`` (containment tests return ``None``), and
+#: ``"skip"`` (:func:`minimize` returns its input unchanged).
+_INEQUALITY_MODES = frozenset({"raise", "unknown", "skip"})
 
 
 def canonical_database(query: ConjunctiveQuery, schema: DatabaseSchema,
@@ -54,10 +63,21 @@ def canonical_database(query: ConjunctiveQuery, schema: DatabaseSchema,
     return instance, head
 
 
-def _require_inequality_free(query: ConjunctiveQuery) -> None:
+def _check_mode(on_inequality: str) -> None:
+    if on_inequality not in _INEQUALITY_MODES:
+        raise ValueError(
+            f"on_inequality must be one of {sorted(_INEQUALITY_MODES)}, "
+            f"got {on_inequality!r}")
+
+
+def _has_inequality(query: ConjunctiveQuery) -> bool:
     from repro.queries.atoms import Neq
 
-    if any(isinstance(c, Neq) for c in query.comparisons):
+    return any(isinstance(c, Neq) for c in query.comparisons)
+
+
+def _require_inequality_free(query: ConjunctiveQuery) -> None:
+    if _has_inequality(query):
         raise QueryError(
             f"containment test supports inequality-free CQs only; "
             f"{query.name!r} uses ≠ (containment with ≠ is "
@@ -65,14 +85,23 @@ def _require_inequality_free(query: ConjunctiveQuery) -> None:
 
 
 def is_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery,
-                    schema: DatabaseSchema) -> bool:
+                    schema: DatabaseSchema, *,
+                    on_inequality: str = "raise") -> bool | None:
     """Decide ``sub ⊆ sup`` for inequality-free CQs (Chandra–Merlin).
 
     An unsatisfiable *sub* is contained in everything; containment in an
     unsatisfiable *sup* holds only if *sub* is unsatisfiable too.
+
+    With ``on_inequality="unknown"``, inequality-bearing inputs yield
+    ``None`` ("unknown") instead of raising — the sound choice for
+    consumers that only act on definite answers.
     """
-    _require_inequality_free(sub)
-    _require_inequality_free(sup)
+    _check_mode(on_inequality)
+    if _has_inequality(sub) or _has_inequality(sup):
+        if on_inequality == "raise":
+            _require_inequality_free(sub)
+            _require_inequality_free(sup)
+        return None
     if sub.arity != sup.arity:
         raise QueryError(
             f"containment needs equal arities, got {sub.arity} and "
@@ -85,14 +114,21 @@ def is_contained_in(sub: ConjunctiveQuery, sup: ConjunctiveQuery,
 
 
 def is_equivalent(left: ConjunctiveQuery, right: ConjunctiveQuery,
-                  schema: DatabaseSchema) -> bool:
-    """Mutual containment."""
-    return (is_contained_in(left, right, schema)
-            and is_contained_in(right, left, schema))
+                  schema: DatabaseSchema, *,
+                  on_inequality: str = "raise") -> bool | None:
+    """Mutual containment (``None`` when either direction is unknown)."""
+    forward = is_contained_in(left, right, schema,
+                              on_inequality=on_inequality)
+    if forward is None:
+        return None
+    if not forward:
+        return False
+    return is_contained_in(right, left, schema,
+                           on_inequality=on_inequality)
 
 
-def minimize(query: ConjunctiveQuery,
-             schema: DatabaseSchema) -> ConjunctiveQuery:
+def minimize(query: ConjunctiveQuery, schema: DatabaseSchema, *,
+             on_inequality: str = "raise") -> ConjunctiveQuery:
     """Compute a minimal equivalent CQ (the *core*), for inequality-free
     queries.
 
@@ -101,8 +137,16 @@ def minimize(query: ConjunctiveQuery,
     always contained in the original; only the converse needs checking).
     The result has no redundant atoms; it is unique up to variable
     renaming.
+
+    With ``on_inequality="skip"``, an inequality-bearing query is
+    returned unchanged (folding atoms under ≠ can change the query, so
+    no minimization is attempted).
     """
-    _require_inequality_free(query)
+    _check_mode(on_inequality)
+    if _has_inequality(query):
+        if on_inequality == "raise":
+            _require_inequality_free(query)
+        return query
     current_atoms = list(query.relation_atoms)
     comparisons = [c for c in query.body
                    if c not in query.relation_atoms]
@@ -130,20 +174,25 @@ def minimize(query: ConjunctiveQuery,
                             name=query.name)
 
 
-def is_ucq_contained_in(sub: Any, sup: Any,
-                        schema: DatabaseSchema) -> bool:
+def is_ucq_contained_in(sub: Any, sup: Any, schema: DatabaseSchema, *,
+                        on_inequality: str = "raise") -> bool | None:
     """Sagiv–Yannakakis containment for unions of conjunctive queries.
 
     ``Q1 ⊆ Q2`` holds iff every disjunct of ``Q1`` is contained in ``Q2``,
     which the canonical-database test decides: freeze the disjunct and
     check its head against the *whole* union ``Q2``.  Plain CQs are
     accepted on either side (a CQ is a one-disjunct union).  Inequality
-    atoms are rejected as in :func:`is_contained_in`.
+    atoms are rejected as in :func:`is_contained_in` (or yield ``None``
+    under ``on_inequality="unknown"``).
     """
+    _check_mode(on_inequality)
     sub_disjuncts = sub.to_cq_disjuncts()
     sup_disjuncts = sup.to_cq_disjuncts()
-    for disjunct in sub_disjuncts + sup_disjuncts:
-        _require_inequality_free(disjunct)
+    if any(_has_inequality(d) for d in sub_disjuncts + sup_disjuncts):
+        if on_inequality == "raise":
+            for disjunct in sub_disjuncts + sup_disjuncts:
+                _require_inequality_free(disjunct)
+        return None
     if sub.arity != sup.arity:
         raise QueryError(
             f"containment needs equal arities, got {sub.arity} and "

@@ -224,8 +224,9 @@ class ConjunctiveQuery:
         bound: set[Var] = set()
         while remaining:
             best = max(remaining,
-                       key=lambda a: (len(a.variables() & bound),
-                                      -len(a.variables())))
+                       key=lambda a, bound=bound: (
+                           len(a.variables() & bound),
+                           -len(a.variables())))
             ordered.append(best)
             remaining.remove(best)
             bound |= best.variables()

@@ -28,12 +28,20 @@ Examples::
 
 Variables are identifiers; anything quoted or numeric is a constant.
 Comments run from ``#`` to end of line.
+
+Every token carries its 0-based character ``offset`` in addition to the
+1-based ``line``/``column``, and the parser records a
+:class:`RuleSpans` per rule — the extent of the whole rule, its head,
+each body literal, and the first occurrence of every variable.  The
+``*_spanned`` variants return those alongside the parsed objects; the
+static analyzer (:mod:`repro.analysis`) uses them to point diagnostics
+at exact source spans.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.errors import ParseError
@@ -43,7 +51,9 @@ from repro.queries.datalog import DatalogQuery, Rule
 from repro.queries.terms import Const, Term, Var
 from repro.queries.ucq import UnionOfConjunctiveQueries
 
-__all__ = ["parse_query", "parse_program", "parse_rules"]
+__all__ = ["parse_query", "parse_program", "parse_rules",
+           "parse_query_spanned", "parse_rules_spanned",
+           "SourceSpan", "RuleSpans"]
 
 _TOKEN_SPEC = [
     ("COMMENT", r"#[^\n]*"),
@@ -71,6 +81,34 @@ class _Token:
     text: str
     line: int
     column: int
+    offset: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.offset + len(self.text)
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A contiguous region of the parsed text (1-based line/column,
+    0-based character offset)."""
+
+    line: int
+    column: int
+    offset: int
+    length: int
+
+
+@dataclass(frozen=True)
+class RuleSpans:
+    """Where the pieces of one parsed rule live in the source text."""
+
+    rule: SourceSpan
+    head: SourceSpan
+    #: One span per body literal, in body order (atoms and comparisons).
+    literals: tuple[SourceSpan, ...]
+    #: First occurrence of each variable name (head included).
+    variables: dict[str, SourceSpan] = field(default_factory=dict)
 
 
 def _tokenize(text: str) -> Iterator[_Token]:
@@ -81,7 +119,7 @@ def _tokenize(text: str) -> Iterator[_Token]:
         value = match.group()
         column = match.start() - line_start + 1
         if kind == "NEWLINE":
-            yield _Token("NEWLINE", value, line, column)
+            yield _Token("NEWLINE", value, line, column, match.start())
             line += 1
             line_start = match.end()
             continue
@@ -89,15 +127,23 @@ def _tokenize(text: str) -> Iterator[_Token]:
             continue
         if kind == "BAD":
             raise ParseError(f"unexpected character {value!r}",
-                             line=line, column=column)
-        yield _Token(kind, value, line, column)
-    yield _Token("EOF", "", line, 0)
+                             line=line, column=column,
+                             offset=match.start())
+        yield _Token(kind, value, line, column, match.start())
+    yield _Token("EOF", "", line, 0, len(text))
+
+
+def _token_span(token: _Token) -> SourceSpan:
+    return SourceSpan(token.line, token.column, token.offset,
+                      max(1, len(token.text)))
 
 
 class _Parser:
     def __init__(self, text: str) -> None:
         self._tokens = list(_tokenize(text))
         self._position = 0
+        self.rule_spans: list[RuleSpans] = []
+        self._variables: dict[str, SourceSpan] = {}
 
     # -- token plumbing -------------------------------------------------
 
@@ -114,12 +160,19 @@ class _Parser:
         if token.kind != kind:
             raise ParseError(
                 f"expected {kind}, found {token.kind} {token.text!r}",
-                line=token.line, column=token.column)
+                line=token.line, column=token.column, offset=token.offset,
+                length=max(1, len(token.text)))
         return self._advance()
 
     def _skip_separators(self) -> None:
         while self._peek().kind in ("NEWLINE", "SEMI"):
             self._advance()
+
+    def _span_from(self, start: _Token) -> SourceSpan:
+        """Extent from *start* up to the last consumed token."""
+        last = self._tokens[self._position - 1]
+        return SourceSpan(start.line, start.column, start.offset,
+                          max(1, last.end - start.offset))
 
     # -- grammar ---------------------------------------------------------
 
@@ -130,21 +183,32 @@ class _Parser:
             rules.append(self._rule())
             self._skip_separators()
         if not rules:
-            raise ParseError("no rules found")
+            raise ParseError("no rules found", line=1, column=1, offset=0)
         return rules
 
     def _rule(self) -> tuple[RelAtom, list[Any]]:
+        start = self._peek()
+        self._variables = {}
         head = self._atom()
+        head_span = self._span_from(start)
         body: list[Any] = []
+        literal_spans: list[SourceSpan] = []
         if self._peek().kind == "ARROW":
             self._advance()
+            literal_start = self._peek()
             body.append(self._literal())
+            literal_spans.append(self._span_from(literal_start))
             while self._peek().kind == "COMMA":
                 self._advance()
                 # tolerate a line break after the comma
                 while self._peek().kind == "NEWLINE":
                     self._advance()
+                literal_start = self._peek()
                 body.append(self._literal())
+                literal_spans.append(self._span_from(literal_start))
+        self.rule_spans.append(RuleSpans(
+            rule=self._span_from(start), head=head_span,
+            literals=tuple(literal_spans), variables=self._variables))
         return head, body
 
     def _literal(self) -> Any:
@@ -163,7 +227,8 @@ class _Parser:
             return Neq(left, self._term())
         raise ParseError(
             f"expected '=' or '!=' after term, found {op.text!r}",
-            line=op.line, column=op.column)
+            line=op.line, column=op.column, offset=op.offset,
+            length=max(1, len(op.text)))
 
     def _atom(self) -> RelAtom:
         name = self._expect("NAME")
@@ -181,6 +246,7 @@ class _Parser:
         token = self._peek()
         if token.kind == "NAME":
             self._advance()
+            self._variables.setdefault(token.text, _token_span(token))
             return Var(token.text)
         if token.kind == "STRING":
             self._advance()
@@ -190,12 +256,50 @@ class _Parser:
             return Const(int(token.text))
         raise ParseError(
             f"expected a term, found {token.kind} {token.text!r}",
-            line=token.line, column=token.column)
+            line=token.line, column=token.column, offset=token.offset,
+            length=max(1, len(token.text)))
 
 
 def parse_rules(text: str) -> list[tuple[RelAtom, list[Any]]]:
     """Parse *text* into raw ``(head, body)`` rule pairs."""
     return _Parser(text).parse_rules()
+
+
+def parse_rules_spanned(text: str) -> tuple[
+        list[tuple[RelAtom, list[Any]]], list[RuleSpans]]:
+    """Like :func:`parse_rules`, also returning one :class:`RuleSpans`
+    per rule (aligned by index)."""
+    parser = _Parser(text)
+    rules = parser.parse_rules()
+    return rules, parser.rule_spans
+
+
+def _build_query(rules: list[tuple[RelAtom, list[Any]]],
+                 spans: list[RuleSpans]):
+    head_name = rules[0][0].relation
+    disjuncts = []
+    for index, (head, body) in enumerate(rules):
+        if head.relation != head_name:
+            where = spans[index].head
+            raise ParseError(
+                f"all rules of a query must share one head predicate; "
+                f"found {head.relation!r} and {head_name!r}",
+                line=where.line, column=where.column, offset=where.offset,
+                length=where.length)
+        for literal_index, atom in enumerate(body):
+            if isinstance(atom, RelAtom) and atom.relation == head_name:
+                where = spans[index].literals[literal_index]
+                raise ParseError(
+                    f"recursive use of {head_name!r}: use parse_program "
+                    f"for datalog",
+                    line=where.line, column=where.column,
+                    offset=where.offset, length=where.length)
+        disjuncts.append(ConjunctiveQuery(
+            head.terms, body, name=f"{head_name}.{index}"
+            if len(rules) > 1 else head_name))
+    if len(disjuncts) == 1:
+        return disjuncts[0]
+    return UnionOfConjunctiveQueries(disjuncts, name=head_name)
 
 
 def parse_query(text: str):
@@ -206,25 +310,15 @@ def parse_query(text: str):
     One rule yields a :class:`ConjunctiveQuery`, several a
     :class:`UnionOfConjunctiveQueries`.
     """
-    rules = parse_rules(text)
-    head_name = rules[0][0].relation
-    disjuncts = []
-    for index, (head, body) in enumerate(rules):
-        if head.relation != head_name:
-            raise ParseError(
-                f"all rules of a query must share one head predicate; "
-                f"found {head.relation!r} and {head_name!r}")
-        for atom in body:
-            if isinstance(atom, RelAtom) and atom.relation == head_name:
-                raise ParseError(
-                    f"recursive use of {head_name!r}: use parse_program "
-                    f"for datalog")
-        disjuncts.append(ConjunctiveQuery(
-            head.terms, body, name=f"{head_name}.{index}"
-            if len(rules) > 1 else head_name))
-    if len(disjuncts) == 1:
-        return disjuncts[0]
-    return UnionOfConjunctiveQueries(disjuncts, name=head_name)
+    rules, spans = parse_rules_spanned(text)
+    return _build_query(rules, spans)
+
+
+def parse_query_spanned(text: str) -> tuple[Any, list[RuleSpans]]:
+    """Like :func:`parse_query`, also returning the per-rule spans
+    (one :class:`RuleSpans` per disjunct, aligned by disjunct index)."""
+    rules, spans = parse_rules_spanned(text)
+    return _build_query(rules, spans), spans
 
 
 def parse_program(text: str, goal: str, name: str = "Q") -> DatalogQuery:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SchemaError
+from repro.errors import DomainError, SchemaError
 from repro.relational.domain import BOOLEAN
 from repro.relational.instance import Instance
 from repro.relational.schema import (Attribute, DatabaseSchema,
@@ -39,7 +39,7 @@ class TestConstruction:
         schema = DatabaseSchema([
             RelationSchema("F", [Attribute("v", BOOLEAN)])])
         Instance(schema, {"F": {(0,), (1,)}})
-        with pytest.raises(Exception):
+        with pytest.raises(DomainError):
             Instance(schema, {"F": {(7,)}})
 
     def test_rows_coerced_to_tuples(self, schema):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import SchemaError
+from repro.errors import DomainError, SchemaError
 from repro.relational.domain import BOOLEAN, INFINITE
 from repro.relational.schema import (Attribute, DatabaseSchema,
                                      RelationSchema)
@@ -60,7 +60,7 @@ class TestRelationSchema:
     def test_validate_tuple_domain(self):
         rel = RelationSchema("R", [Attribute("f", BOOLEAN)])
         rel.validate_tuple((1,))
-        with pytest.raises(Exception):
+        with pytest.raises(DomainError):
             rel.validate_tuple(("not-bool",))
 
     def test_equality_and_hash(self):
