@@ -44,7 +44,10 @@ Execution governor flags (``rcdp``, ``rcqp``, ``complete``, ``audit``,
 ``--timeout SECONDS`` sets a wall-clock deadline, and
 ``--on-exhausted {error,partial}`` picks between failing fast (exit
 code 3) and degrading gracefully to a partial, checkpointed result
-(also exit code 3, but with the best-so-far output printed).
+(also exit code 3, but with the best-so-far output printed).  The same
+subcommands accept ``--workers N`` to shard the search across N worker
+processes (0 = all cores; see ``docs/PARALLEL.md``) — the verdict is
+identical for every worker count.
 
 Exit codes: 0 — affirmative verdict (complete / nonempty /
 trustworthy / no missing answers); 1 — negative verdict; 2 — error;
@@ -83,6 +86,11 @@ def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
         "--on-exhausted", choices=EXHAUSTION_MODES, default="partial",
         help="when the budget or deadline trips: 'error' fails fast, "
              "'partial' (default) prints the best-so-far partial result")
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the search across N worker processes (default 1 = "
+             "serial, 0 = all cores); the verdict is identical for "
+             "every worker count")
 
 
 def _governor_from_args(args: argparse.Namespace) -> ExecutionGovernor | None:
@@ -104,7 +112,8 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
     result = decide_rcdp(bundle["query"], bundle["database"],
                          bundle["master"], bundle["constraints"],
                          governor=_governor_from_args(args),
-                         on_exhausted=args.on_exhausted)
+                         on_exhausted=args.on_exhausted,
+                         workers=args.workers)
     print(f"RCDP: {result.status.value}")
     print(result.explanation)
     if result.certificate is not None:
@@ -124,7 +133,8 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
                          bundle["constraints"], bundle["schema"],
                          max_valuation_set_size=args.max_set_size,
                          governor=_governor_from_args(args),
-                         on_exhausted=args.on_exhausted)
+                         on_exhausted=args.on_exhausted,
+                         workers=args.workers)
     print(f"RCQP: {result.status.value}")
     print(result.explanation)
     if result.witness is not None:
@@ -142,7 +152,8 @@ def _cmd_complete(args: argparse.Namespace) -> int:
                             bundle["master"], bundle["constraints"],
                             max_rounds=args.max_rounds,
                             governor=_governor_from_args(args),
-                            on_exhausted=args.on_exhausted)
+                            on_exhausted=args.on_exhausted,
+                            workers=args.workers)
     if outcome.complete:
         print(f"complete after {outcome.rounds} round(s); collect:")
     else:
@@ -163,7 +174,8 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     audit = CompletenessAudit(
         master=bundle["master"], constraints=bundle["constraints"],
         schema=bundle["schema"],
-        rcqp_valuation_set_size=args.max_set_size)
+        rcqp_valuation_set_size=args.max_set_size,
+        workers=args.workers)
     report = audit.assess(bundle["query"], bundle["database"],
                           governor=_governor_from_args(args),
                           on_exhausted=args.on_exhausted)
@@ -179,7 +191,7 @@ def _cmd_missing(args: argparse.Namespace) -> int:
         bundle["query"], bundle["database"], bundle["master"],
         bundle["constraints"], limit=args.limit,
         governor=_governor_from_args(args),
-        on_exhausted=args.on_exhausted)
+        on_exhausted=args.on_exhausted, workers=args.workers)
     if not report.answers and report.exhaustive:
         print("no missing answers: the database is relatively complete")
         return 0

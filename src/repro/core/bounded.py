@@ -30,7 +30,7 @@ from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
 from repro.core.results import (IncompletenessCertificate, RCDPResult,
                                 RCDPStatus, RCQPResult, RCQPStatus,
                                 SearchStatistics)
-from repro.engine import EvaluationContext
+from repro.engine import EvaluationContext, decision_key
 from repro.errors import ExecutionInterrupted, UndecidableConfigurationError
 from repro.relational.domain import FreshValueSupply
 from repro.relational.instance import Instance
@@ -39,7 +39,7 @@ from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
                            resolve_governor, validate_exhaustion_mode)
 
 __all__ = ["candidate_fact_pool", "default_value_pool",
-           "brute_force_rcdp", "brute_force_rcqp"]
+           "resolve_value_pool", "brute_force_rcdp", "brute_force_rcqp"]
 
 Fact = tuple[str, tuple]
 
@@ -89,6 +89,40 @@ def candidate_fact_pool(schema: DatabaseSchema,
     return facts
 
 
+def resolve_value_pool(query: Any,
+                       constraints: Sequence[ContainmentConstraint],
+                       schema: DatabaseSchema,
+                       instances: Sequence[Instance],
+                       values: Sequence[Any] | None,
+                       context: EvaluationContext | None = None,
+                       ) -> Sequence[Any]:
+    """The brute-force value pool for one decision, memoized by content.
+
+    A caller-supplied *values* sequence wins.  Otherwise the default pool
+    is built from *instances* and the query/constraint constants, and —
+    when a shared context is available — memoized under a
+    :func:`~repro.engine.keys.decision_key`.  Content-based keys make the
+    memo entry independent of object identity, so the key is picklable
+    and stays valid across process boundaries (the parallel workers
+    rebuild their own contexts from pickled inputs; an ``id()``-based key
+    would silently never hit there, and could collide after the pinned
+    objects are collected).
+    """
+    if values is not None:
+        return values
+    queries = [query] + [c.query for c in constraints]
+
+    def _build_pool() -> list[Any]:
+        return default_value_pool(schema, instances, queries)
+
+    if context is None:
+        return _build_pool()
+    return context.memo(
+        decision_key("value-pool", schema, *instances, query, *constraints),
+        _build_pool,
+        pin=(*instances, query, *constraints))
+
+
 def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                      constraints: Sequence[ContainmentConstraint],
                      *, max_extra_facts: int,
@@ -101,6 +135,7 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                      resume_from: SearchCheckpoint | None = None,
                      use_engine: bool = True,
                      context: EvaluationContext | None = None,
+                     workers: int | None = 1,
                      ) -> RCDPResult:
     """Check relative completeness by exhaustive extension enumeration.
 
@@ -116,7 +151,23 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
     Governed like the exact deciders (``"extensions"`` ticks, one per
     candidate ``Δ``); the checkpoint cursor is the flat count of extension
     sets already examined, in deterministic smallest-first order.
+    *workers* shards the enumeration across processes
+    (``docs/PARALLEL.md``); the verdict is worker-count invariant.
     """
+    from repro.parallel.partition import resolve_workers
+
+    count = resolve_workers(workers)
+    if count > 1:
+        from repro.parallel.api import brute_force_rcdp_parallel
+
+        return brute_force_rcdp_parallel(
+            query, database, master, constraints, workers=count,
+            max_extra_facts=max_extra_facts, values=values,
+            relations=relations,
+            check_partially_closed=check_partially_closed, budget=budget,
+            governor=governor, on_exhausted=on_exhausted,
+            resume_from=resume_from, use_engine=use_engine,
+            context=context)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     context = resolve_context(context, use_engine)
@@ -124,21 +175,8 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                    else None)
     if check_partially_closed:
         ensure_partially_closed(database, master, constraints, context)
-    if values is None:
-        queries = [query] + [c.query for c in constraints]
-
-        def _build_pool() -> list[Any]:
-            return default_value_pool(
-                database.schema, (database, master), queries)
-
-        if context is not None:
-            values = context.memo(
-                ("value-pool", id(database), id(master), id(query),
-                 tuple(id(c) for c in constraints)),
-                _build_pool,
-                pin=(database, master, query, *constraints))
-        else:
-            values = _build_pool()
+    values = resolve_value_pool(query, constraints, database.schema,
+                                (database, master), values, context)
     baseline = (context.evaluate(query, database) if context is not None
                 else query.evaluate(database))
     existing = set(database.facts())
@@ -248,6 +286,7 @@ def brute_force_rcqp(query: Any, master: Instance,
                      resume_from: SearchCheckpoint | None = None,
                      use_engine: bool = True,
                      context: EvaluationContext | None = None,
+                     workers: int | None = 1,
                      ) -> RCQPResult:
     """Search for a relatively complete database by enumeration.
 
@@ -268,26 +307,29 @@ def brute_force_rcqp(query: Any, master: Instance,
     Governed (``"candidates"`` ticks, one per candidate database, with the
     nested completeness checks charging the same governor); the checkpoint
     cursor is the flat count of candidate databases fully processed.
+    *workers* shards the candidate enumeration across processes
+    (``docs/PARALLEL.md``); the verdict is worker-count invariant.
     """
+    from repro.parallel.partition import resolve_workers
+
+    count = resolve_workers(workers)
+    if count > 1:
+        from repro.parallel.api import brute_force_rcqp_parallel
+
+        return brute_force_rcqp_parallel(
+            query, master, constraints, schema, workers=count,
+            max_database_size=max_database_size, values=values,
+            completeness_bound=completeness_bound, budget=budget,
+            governor=governor, on_exhausted=on_exhausted,
+            resume_from=resume_from, use_engine=use_engine,
+            context=context)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
-    if values is None:
-        queries = [query] + [c.query for c in constraints]
-
-        def _build_pool() -> list[Any]:
-            return default_value_pool(schema, (master,), queries)
-
-        if context is not None:
-            values = context.memo(
-                ("value-pool", id(master), id(query),
-                 tuple(id(c) for c in constraints)),
-                _build_pool,
-                pin=(master, query, *constraints))
-        else:
-            values = _build_pool()
+    values = resolve_value_pool(query, constraints, schema, (master,),
+                                values, context)
     pool = candidate_fact_pool(schema, values)
     empty = Instance.empty(schema)
 

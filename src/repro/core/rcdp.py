@@ -47,7 +47,7 @@ from repro.core.results import (IncompletenessCertificate,
                                 MissingAnswersReport, RCDPResult,
                                 RCDPStatus, SearchStatistics)
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
-from repro.engine import EvaluationContext
+from repro.engine import EvaluationContext, decision_key
 from repro.errors import (ExecutionInterrupted, NotPartiallyClosedError,
                           UndecidableConfigurationError)
 from repro.queries.tableau import Tableau
@@ -200,8 +200,10 @@ def _prepare_search(query: Any, database: Instance, master: Instance,
 
     if context is None:
         return build()
-    key = ("rcdp-search", id(query), id(database), id(master),
-           tuple(id(c) for c in constraints))
+    # Content-based key: identical across processes, so parallel workers
+    # that rebuild the search space from pickled inputs hit the same memo
+    # entry a resumed or repeated run would.
+    key = decision_key("rcdp-search", query, database, master, *constraints)
     return context.memo(key, build,
                         pin=(query, database, master, *constraints))
 
@@ -217,7 +219,8 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
                 use_engine: bool = True,
                 context: EvaluationContext | None = None,
                 analyze: bool = True,
-                analysis: Report | None = None) -> RCDPResult:
+                analysis: Report | None = None,
+                workers: int | None = 1) -> RCDPResult:
     """Decide whether *database* is complete for *query* relative to
     ``(master, constraints)``.
 
@@ -282,6 +285,12 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         A precomputed :class:`~repro.analysis.diagnostics.Report` to use
         instead of re-running the pass (audits and completion loops
         analyze once and share).
+    workers:
+        Shard the valuation search across this many worker processes
+        (``1`` = serial, ``0`` = all cores; see ``docs/PARALLEL.md``).
+        The verdict — including which witness is reported — is identical
+        for every worker count.  Parallel checkpoints record the worker
+        count and must be resumed with the same one.
 
     Returns
     -------
@@ -292,6 +301,19 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         checkpoint.  The checkpoint cursor is ``(tableau_index,
         valuations_consumed_in_that_tableau)``.
     """
+    from repro.parallel.partition import resolve_workers
+
+    count = resolve_workers(workers)
+    if count > 1:
+        from repro.parallel.api import decide_rcdp_parallel
+
+        return decide_rcdp_parallel(
+            query, database, master, constraints, workers=count,
+            check_partially_closed=check_partially_closed, budget=budget,
+            use_ind_pruning=use_ind_pruning, governor=governor,
+            on_exhausted=on_exhausted, resume_from=resume_from,
+            use_engine=use_engine, context=context, analyze=analyze,
+            analysis=analysis)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     context = resolve_context(context, use_engine)
@@ -442,6 +464,7 @@ def missing_answers_report(query: Any, database: Instance,
                            context: EvaluationContext | None = None,
                            analyze: bool = True,
                            analysis: Report | None = None,
+                           workers: int | None = 1,
                            ) -> MissingAnswersReport:
     """All answers the query could still gain over the active domain.
 
@@ -464,6 +487,18 @@ def missing_answers_report(query: Any, database: Instance,
     ``"error"`` gives strict-mode callers the historical raising behavior
     with the partial report attached to the exception.
     """
+    from repro.parallel.partition import resolve_workers
+
+    count = resolve_workers(workers)
+    if count > 1:
+        from repro.parallel.api import missing_answers_parallel
+
+        return missing_answers_parallel(
+            query, database, master, constraints, workers=count,
+            limit=limit, check_partially_closed=check_partially_closed,
+            budget=budget, governor=governor, on_exhausted=on_exhausted,
+            resume_from=resume_from, use_engine=use_engine,
+            context=context, analyze=analyze, analysis=analysis)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     context = resolve_context(context, use_engine)
@@ -588,6 +623,7 @@ def enumerate_missing_answers(query: Any, database: Instance,
                               context: EvaluationContext | None = None,
                               analyze: bool = True,
                               analysis: Report | None = None,
+                              workers: int | None = 1,
                               ) -> frozenset[tuple]:
     """Plain-set façade over :func:`missing_answers_report`.
 
@@ -604,4 +640,5 @@ def enumerate_missing_answers(query: Any, database: Instance,
         check_partially_closed=check_partially_closed, budget=budget,
         governor=governor, on_exhausted=on_exhausted,
         resume_from=resume_from, use_engine=use_engine,
-        context=context, analyze=analyze, analysis=analysis).answers
+        context=context, analyze=analyze, analysis=analysis,
+        workers=workers).answers

@@ -108,6 +108,7 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                           resume_from: SearchCheckpoint | None = None,
                           use_engine: bool = True,
                           context: EvaluationContext | None = None,
+                          workers: int | None = 1,
                           ) -> RCQPResult:
     """Decide RCQP when every containment constraint is an IND.
 
@@ -124,7 +125,22 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
     ``(phase, index, consumed)`` where phase 0 is the relevance/
     boundedness scan (index into the tableau list) and phase 1 the
     witness construction (index into the relevant-tableau list).
+    *workers* shards both valuation scans across processes
+    (``docs/PARALLEL.md``); the verdict is worker-count invariant.
     """
+    from repro.parallel.partition import resolve_workers
+
+    count = resolve_workers(workers)
+    if count > 1:
+        from repro.parallel.api import decide_rcqp_with_inds_parallel
+
+        return decide_rcqp_with_inds_parallel(
+            query, master, constraints, schema, workers=count,
+            construct_witness=construct_witness,
+            verify_witness=verify_witness, budget=budget,
+            governor=governor, on_exhausted=on_exhausted,
+            resume_from=resume_from, use_engine=use_engine,
+            context=context)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     context = resolve_context(context, use_engine)
@@ -473,7 +489,8 @@ def decide_rcqp(query: Any, master: Instance,
                 use_engine: bool = True,
                 context: EvaluationContext | None = None,
                 analyze: bool = True,
-                analysis: Any = None) -> RCQPResult:
+                analysis: Any = None,
+                workers: int | None = 1) -> RCQPResult:
     """Decide RCQP for CQ/UCQ/∃FO⁺ queries and constraints.
 
     Dispatches to the syntactic IND algorithm when every constraint is an
@@ -502,7 +519,13 @@ def decide_rcqp(query: Any, master: Instance,
     ticks).  The checkpoint cursor is ``(phase, n)``: phase 0 is the unit
     enumeration (*n* partial valuations built), phase 1 the candidate-set
     search (*n* candidate sets fully processed).
+
+    *workers* shards the search across processes (``docs/PARALLEL.md``);
+    the verdict is worker-count invariant, and parallel checkpoints must
+    be resumed with the same worker count.
     """
+    from repro.parallel.partition import resolve_workers
+
     validate_exhaustion_mode(on_exhausted)
     if constraints and all(c.is_ind() for c in constraints):
         return decide_rcqp_with_inds(query, master, constraints, schema,
@@ -511,7 +534,20 @@ def decide_rcqp(query: Any, master: Instance,
                                      on_exhausted=on_exhausted,
                                      resume_from=resume_from,
                                      use_engine=use_engine,
-                                     context=context)
+                                     context=context, workers=workers)
+    count = resolve_workers(workers)
+    if count > 1:
+        from repro.parallel.api import decide_rcqp_parallel
+
+        return decide_rcqp_parallel(
+            query, master, constraints, schema, workers=count,
+            max_valuation_set_size=max_valuation_set_size,
+            max_rows_per_unit=max_rows_per_unit,
+            max_completion_rounds=max_completion_rounds,
+            verify_witness=verify_witness, budget=budget,
+            governor=governor, on_exhausted=on_exhausted,
+            resume_from=resume_from, use_engine=use_engine,
+            context=context, analyze=analyze, analysis=analysis)
     governor = resolve_governor(governor, budget)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None

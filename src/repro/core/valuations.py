@@ -25,6 +25,7 @@ full pool (``fresh="all"``).
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ConstraintError
@@ -33,7 +34,8 @@ from repro.queries.terms import Var
 from repro.relational.domain import FreshValue, FreshValueSupply
 from repro.relational.instance import Instance
 
-__all__ = ["ActiveDomain", "iter_valid_valuations"]
+__all__ = ["ActiveDomain", "iter_valid_valuations",
+           "iter_sharded_valuations"]
 
 Valuation = dict[Var, Any]
 
@@ -136,6 +138,46 @@ class ActiveDomain:
 RowFilter = "Callable[[str, tuple], bool]"
 
 
+def _prepare_enumeration(tableau: Tableau, adom: ActiveDomain,
+                         fresh: str, extra: Iterable[Any], row_filter):
+    """Shared setup of the serial and sharded enumerators.
+
+    Returns ``(variables, candidates, checks_at, rows_at, viable)``;
+    *viable* is False when a ground tableau row already fails the row
+    filter, making the whole enumeration empty.
+    """
+    variables = tableau.ordered_variables()
+    candidates = {
+        v: adom.candidates_for(tableau, v, fresh=fresh, extra=extra)
+        for v in variables}
+    order_index = {v: i for i, v in enumerate(variables)}
+
+    # Pre-compile inequality checks: for each variable, the checks that
+    # become decidable once it is bound (both endpoints bound or constant).
+    checks_at: dict[Var, list[tuple[Any, Any]]] = {v: [] for v in variables}
+    for left, right in tableau.inequalities:
+        endpoints = [t for t in (left, right) if isinstance(t, Var)]
+        if not endpoints:
+            continue  # ground inequalities handled by Tableau construction
+        latest = max(endpoints, key=lambda v: order_index[v])
+        checks_at[latest].append((left, right))
+
+    # Pre-compile row-completion points: each tableau row is checked at the
+    # moment its last (per order) variable is bound.
+    rows_at: dict[Var, list] = {v: [] for v in variables}
+    viable = True
+    if row_filter is not None:
+        for row in tableau.rows:
+            row_vars = row.variables()
+            if not row_vars:
+                if not row_filter(row.relation, row.instantiate({})):
+                    viable = False
+            else:
+                latest = max(row_vars, key=lambda v: order_index[v])
+                rows_at[latest].append(row)
+    return variables, candidates, checks_at, rows_at, viable
+
+
 def iter_valid_valuations(tableau: Tableau, adom: ActiveDomain,
                           fresh: str = "own",
                           extra: Iterable[Any] = (),
@@ -159,35 +201,10 @@ def iter_valid_valuations(tableau: Tableau, adom: ActiveDomain,
     """
     if not tableau.satisfiable:
         return
-    variables = tableau.ordered_variables()
-    candidates = {
-        v: adom.candidates_for(tableau, v, fresh=fresh, extra=extra)
-        for v in variables}
-    order_index = {v: i for i, v in enumerate(variables)}
-
-    # Pre-compile inequality checks: for each variable, the checks that
-    # become decidable once it is bound (both endpoints bound or constant).
-    checks_at: dict[Var, list[tuple[Any, Any]]] = {v: [] for v in variables}
-    for left, right in tableau.inequalities:
-        endpoints = [t for t in (left, right) if isinstance(t, Var)]
-        if not endpoints:
-            continue  # ground inequalities handled by Tableau construction
-        latest = max(endpoints, key=lambda v: order_index[v])
-        checks_at[latest].append((left, right))
-
-    # Pre-compile row-completion points: each tableau row is checked at the
-    # moment its last (per order) variable is bound.
-    rows_at: dict[Var, list] = {v: [] for v in variables}
-    if row_filter is not None:
-        for row in tableau.rows:
-            row_vars = row.variables()
-            if not row_vars:
-                if not row_filter(row.relation, row.instantiate({})):
-                    return
-            else:
-                latest = max(row_vars, key=lambda v: order_index[v])
-                rows_at[latest].append(row)
-
+    variables, candidates, checks_at, rows_at, viable = \
+        _prepare_enumeration(tableau, adom, fresh, extra, row_filter)
+    if not viable:
+        return
     valuation: Valuation = {}
 
     def value_of(term: Any) -> Any:
@@ -218,3 +235,116 @@ def iter_valid_valuations(tableau: Tableau, adom: ActiveDomain,
         yield {}
         return
     yield from assign(0)
+
+#: Prefix-space oversubscription of the sharded enumerator: the prefix
+#: depth is grown until the raw prefix space holds at least this many
+#: prefixes per shard, so round-robin ownership stays balanced even when
+#: the top-level candidate lists are tiny (e.g. BOOLEAN columns).
+_OVERSUBSCRIBE = 4
+
+
+def iter_sharded_valuations(tableau: Tableau, adom: ActiveDomain,
+                            *, shard_index: int, shard_count: int,
+                            fresh: str = "own",
+                            extra: Iterable[Any] = (),
+                            row_filter=None,
+                            ) -> Iterator[tuple[int, int, Valuation]]:
+    """One shard's slice of :func:`iter_valid_valuations`, with ranks.
+
+    The valuation tree is split at a *prefix depth* ``k``: the first
+    ``k`` variables are flattened into a lexicographic product whose raw
+    combinations are numbered ``prefix_index = 0, 1, 2, ...`` (invalid
+    prefixes — failed inequality or row-filter checks — keep their
+    number but yield nothing).  Shard ``i`` of ``n`` owns exactly the
+    prefixes with ``prefix_index % n == i`` and runs the ordinary DFS
+    below each owned prefix, yielding ``(prefix_index, position,
+    valuation)`` where *position* numbers the valid valuations within
+    the prefix.
+
+    Determinism guarantees:
+
+    * The multiset union of all shards' valuations equals the serial
+      stream, for every ``shard_count`` — ownership is a pure function
+      of the prefix number.
+    * Sorting the union by ``(prefix_index, position)`` reproduces the
+      serial order exactly, because the prefix product enumerates the
+      outermost DFS levels in DFS order.  A witness's rank therefore
+      identifies "how early" the serial search would have found it, and
+      the minimum rank across shards *is* the serial-first witness.
+    * Each shard's own stream is rank-increasing, so a shard's first
+      hit is its best.
+
+    ``k`` is chosen as the smallest depth whose raw prefix space
+    reaches ``shard_count × _OVERSUBSCRIBE`` combinations (capped at
+    the variable count): sharding only the top variable would cap the
+    useful parallelism at its candidate-list size, which is 2 for
+    boolean columns.
+    """
+    if not 0 <= shard_index < shard_count:
+        raise ConstraintError(
+            f"shard_index must be in [0, {shard_count}), got {shard_index}")
+    if not tableau.satisfiable:
+        return
+    variables, candidates, checks_at, rows_at, viable = \
+        _prepare_enumeration(tableau, adom, fresh, extra, row_filter)
+    if not viable:
+        return
+
+    if not variables:
+        # Ground tableau: a single empty valuation, owned by shard 0.
+        if shard_index == 0:
+            yield (0, 0, {})
+        return
+
+    depth, space = 0, 1
+    target = shard_count * _OVERSUBSCRIBE
+    while depth < len(variables) and space < target:
+        space *= len(candidates[variables[depth]])
+        depth += 1
+    prefix_vars = variables[:depth]
+
+    valuation: Valuation = {}
+
+    def value_of(term: Any) -> Any:
+        if isinstance(term, Var):
+            return valuation[term]
+        return term.value
+
+    def admissible(variable: Var) -> bool:
+        """The pruning checks of the serial DFS, for one bound variable."""
+        if not all(value_of(left) != value_of(right)
+                   for left, right in checks_at[variable]):
+            return False
+        if row_filter is not None and not all(
+                row_filter(row.relation, row.instantiate(valuation))
+                for row in rows_at[variable]):
+            return False
+        return True
+
+    def assign(index: int) -> Iterator[Valuation]:
+        if index == len(variables):
+            yield dict(valuation)
+            return
+        variable = variables[index]
+        for candidate in candidates[variable]:
+            valuation[variable] = candidate
+            if admissible(variable):
+                yield from assign(index + 1)
+        del valuation[variable]
+
+    prefix_lists = [candidates[v] for v in prefix_vars]
+    for prefix_index, combo in enumerate(itertools.product(*prefix_lists)):
+        if prefix_index % shard_count != shard_index:
+            continue
+        valid = True
+        for variable, candidate in zip(prefix_vars, combo):
+            valuation[variable] = candidate
+            if not admissible(variable):
+                valid = False
+                break
+        if valid:
+            position = 0
+            for complete in assign(depth):
+                yield (prefix_index, position, complete)
+                position += 1
+        valuation.clear()

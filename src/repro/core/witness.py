@@ -77,6 +77,7 @@ def make_complete(query: Any, database: Instance, master: Instance,
                   context: EvaluationContext | None = None,
                   analyze: bool = True,
                   analysis: Report | None = None,
+                  workers: int | None = 1,
                   ) -> CompletionOutcome:
     """Repeatedly apply incompleteness certificates until the database is
     complete for *query* relative to ``(master, constraints)`` or
@@ -129,7 +130,7 @@ def make_complete(query: Any, database: Instance, master: Instance,
                 check_partially_closed=(round_index == 0),
                 governor=governor, context=context,
                 use_engine=context is not None, analysis=analysis,
-                analyze=False)
+                analyze=False, workers=workers)
             _merge(verdict.statistics)
             if verdict.status is RCDPStatus.COMPLETE:
                 return CompletionOutcome(
@@ -149,7 +150,8 @@ def make_complete(query: Any, database: Instance, master: Instance,
                               check_partially_closed=False,
                               governor=governor, context=context,
                               use_engine=context is not None,
-                              analysis=analysis, analyze=False)
+                              analysis=analysis, analyze=False,
+                              workers=workers)
         _merge(verdict.statistics)
     except ExecutionInterrupted as interrupt:
         if on_exhausted == "error":

@@ -15,9 +15,12 @@ from repro.engine.context import (ENGINE_LANGUAGES, EngineStatistics,
 from repro.engine.executor import (ChainSource, DeltaSource, IndexedSource,
                                    evaluate_plan, iter_rows, plan_holds)
 from repro.engine.indexes import InstanceIndexes, build_index
+from repro.engine.keys import decision_key, stable_key
 from repro.engine.plan import CompiledPlan, PlanStep, compile_plan
 
 __all__ = [
+    "decision_key",
+    "stable_key",
     "ENGINE_LANGUAGES",
     "EngineStatistics",
     "EvaluationContext",

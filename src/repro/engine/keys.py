@@ -1,0 +1,44 @@
+"""Stable, picklable cache keys for decision-scoped memoization.
+
+The :meth:`~repro.engine.context.EvaluationContext.memo` table was
+historically keyed by ``id()`` tuples, with the keyed objects pinned in
+the context so their ids could not be recycled.  That works within one
+process but makes the keys meaningless anywhere else: a key built in the
+parent is a different tuple in a worker even for byte-identical inputs,
+so per-worker contexts silently miss every cache the parent warmed, and
+keys cannot ride along in a pickled task description at all.
+
+:func:`stable_key` replaces the id tuples with *content* tuples.  Every
+object this library memoizes on — :class:`~repro.relational.instance.
+Instance`, the query classes, :class:`~repro.constraints.containment.
+ContainmentConstraint` — has a deterministic, content-complete ``repr``
+(instances sort their relations and rows), so ``(qualname, repr)`` is a
+stable fingerprint: equal content yields equal keys in every process,
+and the keys are plain tuples of strings, hence picklable.  Two distinct
+objects with identical content collapse onto one memo entry, which is
+exactly the sharing the caches want.
+
+Callers still pass the objects through ``pin=`` — pinning controls
+*lifetime* for the id-keyed instance LRU (answers, indexes), which is a
+separate concern from memo-key identity.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["stable_key", "decision_key"]
+
+
+def stable_key(obj: Any) -> tuple[str, str]:
+    """A content-based, picklable fingerprint of *obj*.
+
+    Relies on the deterministic reprs of the library's value-like
+    objects; suitable as a dict key and stable across processes.
+    """
+    return (type(obj).__qualname__, repr(obj))
+
+
+def decision_key(tag: str, *objects: Any) -> tuple:
+    """A memo key for one *tag*-named computation over *objects*."""
+    return (tag, *(stable_key(obj) for obj in objects))

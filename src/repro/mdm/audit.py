@@ -109,6 +109,9 @@ class CompletenessAudit:
     rcqp_valuation_set_size: int = 1
     #: Turn off to run every stage on the naive evaluators (ablation).
     use_engine: bool = True
+    #: Shard every stage's search across this many worker processes
+    #: (1 = serial, 0 = all cores); verdicts are worker-count invariant.
+    workers: int = 1
     #: One evaluation context for the audit's whole lifetime: ``Dm`` and
     #: ``V`` are fixed across :meth:`assess` calls, so compiled plans,
     #: master projections, and constraint-query answers carry over from
@@ -146,7 +149,8 @@ class CompletenessAudit:
                            on_exhausted=on_exhausted,
                            context=context,
                            use_engine=context is not None,
-                           analysis=analysis, analyze=False)
+                           analysis=analysis, analyze=False,
+                           workers=self.workers)
         if rcdp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
                                rcdp=rcdp, analysis=analysis)
@@ -159,7 +163,7 @@ class CompletenessAudit:
             max_valuation_set_size=self.rcqp_valuation_set_size,
             governor=governor, on_exhausted=on_exhausted,
             context=context, use_engine=context is not None,
-            analysis=analysis, analyze=False)
+            analysis=analysis, analyze=False, workers=self.workers)
         if rcqp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
                                rcdp=rcdp, rcqp=rcqp, analysis=analysis)
@@ -169,7 +173,7 @@ class CompletenessAudit:
                 max_rounds=self.max_completion_rounds, governor=governor,
                 on_exhausted=on_exhausted,
                 context=context, use_engine=context is not None,
-                analysis=analysis, analyze=False)
+                analysis=analysis, analyze=False, workers=self.workers)
             return AuditReport(verdict=AuditVerdict.COLLECT_DATA,
                                rcdp=rcdp, rcqp=rcqp, completion=completion,
                                analysis=analysis)

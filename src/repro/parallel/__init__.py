@@ -1,0 +1,56 @@
+"""Parallel execution of the exact search procedures.
+
+The deciders in :mod:`repro.core` enumerate deterministic,
+``Adom``-bounded search spaces — candidate valuations, extension sets,
+candidate databases, valuation-unit sets.  This package shards those
+enumerations across a ``multiprocessing`` worker pool without changing
+any verdict:
+
+* :mod:`~repro.parallel.partition` — deterministic shard ownership,
+  governor splitting, and parallel checkpoint state;
+* :mod:`~repro.parallel.beacon` — the shared early-exit signal that
+  carries the best witness rank found so far;
+* :mod:`~repro.parallel.worker` — shard-local images of the serial
+  search loops;
+* :mod:`~repro.parallel.pool` — the fan-out/fan-in process driver;
+* :mod:`~repro.parallel.api` — the parent-side front-ends the serial
+  deciders delegate to when ``workers > 1``.
+
+Users normally never import this package: every decider and the CLI
+expose a ``workers=`` / ``--workers`` knob (1 = serial, 0 = all cores).
+See ``docs/PARALLEL.md`` for the sharding model and its determinism
+proof obligations.
+"""
+
+from repro.parallel.api import (brute_force_rcdp_parallel,
+                                brute_force_rcqp_parallel,
+                                decide_rcdp_parallel,
+                                decide_rcqp_parallel,
+                                decide_rcqp_with_inds_parallel,
+                                missing_answers_parallel)
+from repro.parallel.beacon import WitnessBeacon
+from repro.parallel.partition import (EventCancellation, GovernorSpec,
+                                      ShardSpec, materialize_governor,
+                                      resolve_workers, split_governor)
+from repro.parallel.pool import merged_ticks, run_shards
+from repro.parallel.worker import ShardOutcome, ShardTask
+
+__all__ = [
+    "decide_rcdp_parallel",
+    "missing_answers_parallel",
+    "brute_force_rcdp_parallel",
+    "brute_force_rcqp_parallel",
+    "decide_rcqp_parallel",
+    "decide_rcqp_with_inds_parallel",
+    "resolve_workers",
+    "split_governor",
+    "materialize_governor",
+    "ShardSpec",
+    "GovernorSpec",
+    "EventCancellation",
+    "ShardTask",
+    "ShardOutcome",
+    "WitnessBeacon",
+    "run_shards",
+    "merged_ticks",
+]

@@ -1,0 +1,72 @@
+"""Early-exit broadcast for parallel witness searches.
+
+When one worker finds a counterexample witness, the other workers only
+need to keep searching the part of their shard that could contain an
+*earlier* witness — earlier in the deterministic serial order, measured
+by each candidate's rank tuple (for RCDP: ``(tableau_index,
+prefix_index, position)``).  The beacon is the shared-memory cell that
+carries the best (minimum) witness rank found so far:
+
+* a lock-free flag byte that readers poll once per candidate — until a
+  witness exists anywhere, the cost of the beacon is one shared-memory
+  load per candidate;
+* a locked rank array consulted only after the flag is set.
+
+The parent then takes the minimum rank across all witness outcomes,
+which is exactly the witness the serial search would have returned
+first: ranks are unique per candidate, and the worker owning the
+minimum-rank witness can never be stopped by the beacon, because any
+cutoff it observes is a strictly larger rank than candidates it still
+has to examine.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["WitnessBeacon", "RANK_WIDTH"]
+
+#: Maximum rank-tuple arity carried by the beacon.  RCDP ranks are
+#: 3-wide, the bounded/RCQP searches use 1- or 2-wide ranks; shorter
+#: ranks are right-padded with zeros, which preserves the lexicographic
+#: order because all ranks within one search have the same arity.
+RANK_WIDTH = 4
+
+_SENTINEL = (1 << 62) - 1
+
+
+class WitnessBeacon:
+    """A shared minimum over witness rank tuples."""
+
+    def __init__(self, ctx: Any) -> None:
+        self._flag = ctx.Value("b", 0, lock=False)
+        self._best = ctx.Array("q", [_SENTINEL] * RANK_WIDTH)
+
+    @staticmethod
+    def _pad(rank: tuple[int, ...]) -> tuple[int, ...]:
+        return tuple(rank) + (0,) * (RANK_WIDTH - len(rank))
+
+    def offer(self, rank: tuple[int, ...]) -> None:
+        """Publish a witness at *rank*; the beacon keeps the minimum."""
+        padded = self._pad(rank)
+        with self._best.get_lock():
+            if padded < tuple(self._best):
+                self._best[:] = padded
+        # The flag is written last so a reader that sees it set is
+        # guaranteed to find a real rank behind the lock.
+        self._flag.value = 1
+
+    def cutoff(self) -> tuple[int, ...] | None:
+        """The best published rank, or None if no witness exists yet."""
+        if not self._flag.value:
+            return None
+        with self._best.get_lock():
+            return tuple(self._best)
+
+    def superseded(self, rank: tuple[int, ...]) -> bool:
+        """True when a candidate at *rank* can no longer be the serial-first
+        witness, so the caller's shard may stop early."""
+        if not self._flag.value:
+            return False
+        cutoff = self.cutoff()
+        return cutoff is not None and self._pad(rank) >= cutoff

@@ -1,0 +1,212 @@
+"""Deterministic partitioning of a search space across worker shards.
+
+The parallel drivers split three things:
+
+* **the enumeration** — via :class:`ShardSpec`: shard ``i`` of ``n``
+  owns exactly the candidates whose deterministic position satisfies
+  ``position % n == i``, so the union over shards is the serial stream
+  for *every* shard count (the determinism guarantee the differential
+  tests pin down);
+* **the governor** — via :class:`GovernorSpec`: each worker receives a
+  picklable description of its share of the parent's *remaining* budget
+  (floor division, remainder to the lowest shards), the parent's
+  absolute deadline (monotonic clocks are system-wide on Linux, so the
+  instant transfers across ``fork``), a private copy of the fault
+  injector (fault clocks are per-worker), and a flag wiring it to the
+  pool's shared cancellation event;
+* **resume state** — per-shard consumed counts and done flags, carried
+  in parallel checkpoints and unpacked by :func:`unpack_parallel_state`.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import ReproError
+from repro.runtime import Budget, Deadline, ExecutionGovernor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.faults import FaultInjector
+
+__all__ = ["resolve_workers", "ShardSpec", "GovernorSpec",
+           "split_governor", "materialize_governor", "EventCancellation",
+           "parallel_checkpoint_state", "unpack_parallel_state"]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize the deciders' ``workers=`` knob to a positive count.
+
+    ``None`` and ``1`` select the serial path; ``0`` means "all cores"
+    (:func:`os.cpu_count`); negative counts are rejected.
+    """
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ReproError(
+            f"workers must be nonnegative (0 = all cores), got {workers}")
+    if workers == 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's slice of a deterministic enumeration.
+
+    *skip* fast-forwards past owned candidates a previous (interrupted)
+    run already processed; *done* marks a shard whose slice was fully
+    exhausted before the interruption, so resuming skips it entirely.
+    """
+
+    index: int
+    count: int
+    skip: int = 0
+    done: bool = False
+
+    def owns(self, position: int) -> bool:
+        return position % self.count == self.index
+
+
+def _shares(total: int | None, order: Sequence[int],
+            count: int) -> list[int | None]:
+    """Shares of *total* per shard index, split across the shards listed
+    in *order* (remainder to the earliest entries); shards not in *order*
+    get 0.  ``None`` (unlimited) passes through to everyone."""
+    if total is None:
+        return [None] * count
+    result = [0] * count
+    base, remainder = divmod(total, len(order))
+    for position, index in enumerate(order):
+        result[index] = base + (1 if position < remainder else 0)
+    return result
+
+
+@dataclass(frozen=True)
+class GovernorSpec:
+    """Picklable description of one worker's governor."""
+
+    budget_limit: int | None = None
+    kind_limits: dict[str, int] = field(default_factory=dict)
+    deadline_at: float | None = None
+    faults: "FaultInjector | None" = None
+    watch_cancellation: bool = False
+
+
+def split_governor(governor: ExecutionGovernor | None, count: int,
+                   *, consumed: Sequence[int] | None = None,
+                   done: Sequence[bool] | None = None,
+                   ) -> list[GovernorSpec | None]:
+    """Split *governor*'s remaining allowance into *count* worker specs.
+
+    The total budget and every per-kind cap are divided by floor across
+    the shards that still have work (*done* marks finished ones), so the
+    shares sum exactly to the remaining allowance: the pool as a whole
+    can never admit more work than the serial search would have.  The
+    division remainder goes to the least-advanced shards (*consumed*
+    ascending) — this makes multi-leg resumption live even when the
+    remaining budget is smaller than the worker count, because every leg
+    hands at least one admissible tick to a shard that was starved on
+    the previous one.  Deadlines pass through as absolute instants; the
+    fault injector is copied per worker (each worker advances its own
+    fault clock — see ``docs/PARALLEL.md``).
+    """
+    if governor is None:
+        return [None] * count
+    done = list(done) if done is not None else [False] * count
+    consumed = list(consumed) if consumed is not None else [0] * count
+    active = [index for index in range(count) if not done[index]]
+    if not active:
+        active = list(range(count))
+    order = sorted(active, key=lambda index: (consumed[index], index))
+    budget = governor.budget
+    total_shares = _shares(
+        budget.remaining if budget is not None else None, order, count)
+    kind_shares: dict[str, list[int | None]] = {}
+    if budget is not None:
+        for kind, cap in budget.kind_limits.items():
+            kind_shares[kind] = _shares(
+                max(0, cap - budget.spent_for(kind)), order, count)
+    deadline_at = (governor.deadline.at
+                   if governor.deadline is not None else None)
+    return [GovernorSpec(
+        budget_limit=total_shares[index],
+        kind_limits={kind: shares[index]
+                     for kind, shares in kind_shares.items()},
+        deadline_at=deadline_at,
+        faults=governor.faults,
+        watch_cancellation=governor.cancellation is not None,
+    ) for index in range(count)]
+
+
+class EventCancellation:
+    """Duck-typed cancellation token over a shared process Event.
+
+    The real :class:`~repro.runtime.control.CancellationToken` wraps a
+    ``threading.Event`` and cannot cross a process boundary; the pool
+    shares one ``multiprocessing`` event instead, which the parent sets
+    when its own token is cancelled.  The governor only reads
+    ``.cancelled``, so this adapter is all a worker needs.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Any) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+def materialize_governor(spec: GovernorSpec | None,
+                         cancel_event: Any) -> ExecutionGovernor | None:
+    """Build a worker-local governor from its picklable *spec*.
+
+    Even a spec with no limits yields a governor with an unlimited
+    budget: that budget is the worker's tick *ledger*, whose per-kind
+    snapshot travels back in the shard outcome so the parent can absorb
+    the exact charges into its own governor.
+    """
+    if spec is None:
+        return None
+    budget = Budget(limit=spec.budget_limit, **spec.kind_limits)
+    deadline = (Deadline(spec.deadline_at)
+                if spec.deadline_at is not None else None)
+    cancellation = (EventCancellation(cancel_event)
+                    if spec.watch_cancellation and cancel_event is not None
+                    else None)
+    faults = copy.deepcopy(spec.faults) if spec.faults is not None else None
+    return ExecutionGovernor(budget=budget, deadline=deadline,
+                             cancellation=cancellation, faults=faults)
+
+
+def parallel_checkpoint_state(outcomes: Any) -> tuple[tuple[int, ...],
+                                                      tuple[bool, ...]]:
+    """Per-shard ``(consumed, done)`` state for a parallel checkpoint."""
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    return (tuple(o.consumed for o in ordered),
+            tuple(o.kind == "complete" for o in ordered))
+
+
+def unpack_parallel_state(checkpoint: Any, procedure: str, workers: int,
+                          ) -> tuple[list[int], list[bool]]:
+    """Validate and unpack a parallel checkpoint's per-shard state.
+
+    Parallel checkpoints record the shard count they were taken under
+    (``cursor[0]``); the partition is a function of that count, so a
+    resumed run must use the same number of workers.
+    """
+    checkpoint.require(procedure)
+    count = checkpoint.cursor[0]
+    if count != workers:
+        raise ReproError(
+            f"checkpoint from a workers={count} run cannot resume with "
+            f"workers={workers}: shard ownership depends on the count")
+    consumed, done = checkpoint.payload[0], checkpoint.payload[1]
+    return list(consumed), list(done)

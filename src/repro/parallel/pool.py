@@ -1,0 +1,126 @@
+"""The worker-pool driver: spawn shards, collect outcomes, reconcile.
+
+One :func:`run_shards` call is one fan-out/fan-in round: every
+:class:`~repro.parallel.worker.ShardTask` becomes a worker process (a
+shard already marked ``done`` by a resumed checkpoint is answered
+inline), outcomes stream back over a queue, and the parent
+
+* propagates its own governor's cancellation token into the shared
+  event the worker governors watch,
+* synthesizes an ``"error"`` outcome for any worker that dies without
+  reporting (crash, OOM kill), so the pool can never hang on a dead
+  child, and
+* on return hands the caller one outcome per shard, in shard order.
+
+``fork`` is the preferred start method (cheap, inherits the prepared
+objects); every task and outcome is nevertheless fully picklable, so
+the ``spawn`` fallback works where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.parallel.beacon import WitnessBeacon
+from repro.parallel.worker import ShardOutcome, ShardTask, shard_entry
+from repro.runtime import ExecutionGovernor
+
+__all__ = ["run_shards", "merged_ticks"]
+
+#: Grace period before a dead, silent worker is declared lost.
+_DEAD_WORKER_GRACE = 1.0
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_shards(tasks: Sequence[ShardTask],
+               *, governor: ExecutionGovernor | None = None,
+               use_beacon: bool = True) -> list[ShardOutcome]:
+    """Run every task in its own worker process; return outcomes in
+    shard order.
+
+    Worker failures come back as ``"error"`` outcomes and raise
+    :class:`~repro.errors.ReproError` here, with the worker tracebacks
+    attached — a crashed worker means an unscanned slice of the search
+    space, so no sound verdict can be assembled from the rest.
+    """
+    ctx = _mp_context()
+    beacon = WitnessBeacon(ctx) if use_beacon else None
+    cancel_event = ctx.Event()
+    outcome_queue = ctx.Queue()
+    outcomes: dict[int, ShardOutcome] = {}
+    processes: dict[int, multiprocessing.process.BaseProcess] = {}
+
+    for task in tasks:
+        if task.shard.done:
+            # Fully scanned before the interruption; nothing left to run.
+            outcomes[task.shard.index] = ShardOutcome(
+                index=task.shard.index, kind="complete",
+                consumed=task.shard.skip)
+            continue
+        processes[task.shard.index] = ctx.Process(
+            target=shard_entry,
+            args=(task, beacon, cancel_event, outcome_queue),
+            daemon=True)
+
+    for process in processes.values():
+        process.start()
+
+    grace: dict[int, float] = {}
+    try:
+        while len(outcomes) < len(tasks):
+            if (governor is not None and governor.cancellation is not None
+                    and governor.cancellation.cancelled):
+                cancel_event.set()
+            try:
+                outcome = outcome_queue.get(timeout=0.05)
+            except queue_module.Empty:
+                for index, process in processes.items():
+                    if index in outcomes or process.is_alive():
+                        continue
+                    deadline = grace.setdefault(
+                        index, time.monotonic() + _DEAD_WORKER_GRACE)
+                    if time.monotonic() >= deadline:
+                        outcomes[index] = ShardOutcome(
+                            index=index, kind="error",
+                            error=(f"worker {index} exited with code "
+                                   f"{process.exitcode} before reporting "
+                                   f"a result"))
+                continue
+            outcomes[outcome.index] = outcome
+    finally:
+        for process in processes.values():
+            if process.is_alive():
+                process.join(timeout=2.0)
+            if process.is_alive():
+                cancel_event.set()
+                process.terminate()
+                process.join(timeout=2.0)
+        outcome_queue.close()
+
+    errors = [o for o in outcomes.values() if o.kind == "error"]
+    if errors:
+        details = "\n".join(
+            f"[shard {o.index}] {o.error}" for o in errors)
+        raise ReproError(
+            f"{len(errors)} of {len(tasks)} search worker(s) failed:\n"
+            f"{details}")
+    return [outcomes[task.shard.index] for task in tasks]
+
+
+def merged_ticks(outcomes: Sequence[ShardOutcome]) -> dict[str, int]:
+    """Sum the per-kind budget-ledger snapshots of all outcomes, for
+    :meth:`~repro.runtime.governor.ExecutionGovernor.absorb`."""
+    totals: dict[str, int] = {}
+    for outcome in outcomes:
+        for kind, amount in outcome.ticks.items():
+            totals[kind] = totals.get(kind, 0) + amount
+    return totals

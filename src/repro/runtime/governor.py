@@ -104,6 +104,28 @@ class ExecutionGovernor:
                 f"deadline expired after {self.ticks - amount} tick(s)",
                 reason="deadline")
 
+    def absorb(self, counts: "dict[str, int] | None") -> None:
+        """Record work that *workers* performed against split-off budget
+        slices, without re-checking any limit.
+
+        The parallel drivers (:mod:`repro.parallel`) hand each worker a
+        share of this governor's *remaining* budget; after the pool is
+        reconciled, the per-kind tick counts actually consumed come back
+        through this method so the parent ledger stays exact across
+        serial and parallel phases.  Charges here can never overdraw —
+        the slices were carved out of ``budget.remaining`` — so breach
+        reports are deliberately ignored; a worker that exhausted its
+        slice already surfaced that as an ``EXHAUSTED`` outcome.
+        """
+        if not counts:
+            return
+        for kind, amount in counts.items():
+            if amount <= 0:
+                continue
+            self.ticks += amount
+            if self.budget is not None:
+                self.budget.charge(kind, amount)
+
     def check(self) -> None:
         """A zero-cost checkpoint: observe deadline/cancellation/faults
         without charging the budget."""
