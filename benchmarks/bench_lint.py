@@ -15,18 +15,20 @@ Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_lint.py [--smoke]
 
-Writes ``BENCH_lint.json``.  Unless ``--smoke``, asserts the cheap pass
-stays under ``CHEAP_BUDGET_S`` per bundle at the largest size — the
-regression guard for the decider fast-fail path.
+Writes ``BENCH_lint.json`` (normalized ``report_schema`` shape).
+Unless ``--smoke``, gates on the cheap pass staying under
+``CHEAP_BUDGET_S`` per bundle at the largest size — the regression
+guard for the decider fast-fail path.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
+from report_schema import (bench_gate, bench_report, bench_row,
+                           check_gates, write_report)
 from repro.analysis import lint_bundle
 
 #: The decider-path pass must stay well under a millisecond-scale
@@ -115,18 +117,22 @@ def main(argv=None) -> int:
         # rejection.
         assert deep_report.exit_code <= 1, deep_report.render()
 
-    payload = {"smoke": args.smoke, "rows": rows}
-    with open("BENCH_lint.json", "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-    print("wrote BENCH_lint.json")
-
-    if not args.smoke:
-        worst_cheap = max(row["cheap_s"] for row in rows)
-        if worst_cheap > CHEAP_BUDGET_S:
-            print(f"FAIL: cheap pass took {worst_cheap * 1e3:.1f} ms "
-                  f"(budget {CHEAP_BUDGET_S * 1e3:.0f} ms)")
-            return 1
-    return 0
+    worst_cheap = max(row["cheap_s"] for row in rows)
+    report = bench_report(
+        "lint",
+        [bench_row(f"lint/constraints={row['constraints']}",
+                   row["cheap_s"],
+                   verdicts={"cheap_diagnostics":
+                             row["cheap_diagnostics"],
+                             "deep_diagnostics": row["deep_diagnostics"]},
+                   extra=row) for row in rows],
+        smoke=args.smoke,
+        gates=[bench_gate("cheap_pass_budget_s", required=CHEAP_BUDGET_S,
+                          measured=worst_cheap, higher_is_better=False,
+                          enforced=not args.smoke)],
+        extra={"cheap_budget_s": CHEAP_BUDGET_S})
+    write_report("BENCH_lint.json", report)
+    return check_gates(report, stream=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -16,8 +16,9 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/bench_parallel.py [--smoke]
         [--stats-out STATS.json]
 
-Writes ``BENCH_parallel.json`` (and, with ``--stats-out``, the merged
-``SearchStatistics`` of every run for CI artifact upload).  Speedup
+Writes ``BENCH_parallel.json`` (normalized ``report_schema`` shape;
+with ``--stats-out``, also the merged ``SearchStatistics`` of every run
+for CI artifact upload).  Speedup
 gates apply only when the host actually has the cores to parallelize
 on (``os.cpu_count()``): ≥ ``SMOKE_SPEEDUP`` at 2 workers in smoke mode
 on ≥ 2 cores, ≥ ``FULL_SPEEDUP`` at 4 workers in full mode on ≥ 4
@@ -35,6 +36,8 @@ import os
 import sys
 import time
 
+from report_schema import (bench_gate, bench_report, bench_row,
+                           check_gates, write_report)
 from repro.core.rcdp import decide_rcdp
 from repro.core.results import RCDPStatus, SearchStatistics
 from repro.reductions.qsat_to_rcdp import reduce_forall_exists_3sat_to_rcdp
@@ -134,34 +137,41 @@ def main(argv: list[str] | None = None) -> int:
         print(f"n={size}: {row['valuations']} valuations, "
               f"serial {row['serial_s']:.3f}s, {per_worker}")
 
-    gate = None
     gate_workers = 2 if args.smoke else 4
     required = SMOKE_SPEEDUP if args.smoke else FULL_SPEEDUP
     largest = rows[-1]
     measured = largest["workers"].get(str(gate_workers), {}).get("speedup")
-    if cores >= gate_workers and measured is not None:
-        gate = {"workers": gate_workers, "required": required,
-                "measured": measured, "enforced": True}
-    else:
-        gate = {"workers": gate_workers, "required": required,
-                "measured": measured, "enforced": False,
-                "note": f"host has {cores} core(s); wall-clock scaling "
-                        f"is not measurable, invariance checks only"}
-        print(f"speedup gate skipped: {gate['note']}")
+    enforced = cores >= gate_workers and measured is not None
+    note = None
+    if not enforced:
+        note = (f"host has {cores} core(s); wall-clock scaling is not "
+                f"measurable, invariance checks only")
+        print(f"speedup gate skipped: {note}")
 
-    report = {
-        "workload": "RCDP qsat true-family ∀x1..xn ∃y ⋀(xi ∨ y) "
-                    "(Theorem 3.6 reduction, full enumeration)",
-        "smoke": args.smoke,
-        "cores": cores,
-        "gate": gate,
-        "sizes": [{key: value for key, value in row.items()
-                   if key != "stats_rows"} for row in rows],
-    }
-    with open(args.output, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, ensure_ascii=False)
-        handle.write("\n")
-    print(f"wrote {args.output}")
+    bench_rows = []
+    for row in rows:
+        detail = {key: value for key, value in row.items()
+                  if key != "stats_rows"}
+        bench_rows.append(bench_row(
+            f"serial/n={row['universal_vars']}", row["serial_s"],
+            ticks={"valuations": row["valuations"]},
+            verdicts={"complete": 1}, extra=detail))
+        for count, data in row["workers"].items():
+            bench_rows.append(bench_row(
+                f"workers={count}/n={row['universal_vars']}",
+                data["elapsed_s"],
+                ticks={"valuations": row["valuations"]},
+                verdicts={"complete": 1},
+                extra={"speedup": data["speedup"]}))
+    report = bench_report(
+        "parallel", bench_rows, smoke=args.smoke,
+        gates=[bench_gate(f"speedup_at_{gate_workers}_workers",
+                          required=required, measured=measured,
+                          enforced=enforced, note=note)],
+        extra={"workload": "RCDP qsat true-family ∀x1..xn ∃y ⋀(xi ∨ y) "
+                           "(Theorem 3.6 reduction, full enumeration)",
+               "cores": cores})
+    write_report(args.output, report)
 
     if args.stats_out:
         merged = SearchStatistics()
@@ -179,11 +189,7 @@ def main(argv: list[str] | None = None) -> int:
             handle.write("\n")
         print(f"wrote {args.stats_out}")
 
-    if gate["enforced"] and measured < required:
-        print(f"FAIL: speedup {measured}x at workers={gate_workers} is "
-              f"below the required {required}x", file=sys.stderr)
-        return 1
-    return 0
+    return check_gates(report, stream=sys.stderr)
 
 
 if __name__ == "__main__":

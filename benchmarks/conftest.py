@@ -18,3 +18,7 @@ import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+# The JSON-writing benches import the shared report schema bare
+# (``from report_schema import ...``) so they run as plain scripts;
+# mirror the script-mode sys.path here for pytest collection.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

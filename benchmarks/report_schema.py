@@ -1,0 +1,113 @@
+"""Shared shape of every ``BENCH_*.json`` report.
+
+Each ``benchmarks/bench_*.py`` entry point that writes a JSON report
+routes it through this module, so CI artifacts and local runs share one
+schema regardless of which bench produced them::
+
+    {
+      "bench_report_version": 1,
+      "name": "engine",              # bench identity (BENCH_<name>.json)
+      "smoke": false,
+      "rows": [                      # one normalized row per measurement
+        {"name": "rcdp/n=6",
+         "wall_s": 0.41,             # the row's headline wall time
+         "ticks": {"valuations": 6144},   # governor tick ledger (or {})
+         "verdicts": {"complete": 1},     # verdict → count (or {})
+         "extra": {...}}             # bench-specific detail, free-form
+      ],
+      "gates": [                     # regression gates, pass/fail
+        {"name": "engine_speedup", "required": 5.0, "measured": 27.3,
+         "higher_is_better": true, "enforced": true, "passed": true}
+      ],
+      "extra": {...}                 # bench-specific report detail
+    }
+
+The helpers are deliberately dumb: rows and gates are plain dicts, the
+writer pretty-prints with a trailing newline, and :func:`check_gates`
+is the one place the "did any enforced gate fail" exit-code logic
+lives.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REPORT_VERSION = 1
+
+__all__ = ["REPORT_VERSION", "bench_row", "bench_gate", "bench_report",
+           "write_report", "check_gates"]
+
+
+def bench_row(name: str, wall_s: float, *,
+              ticks: dict | None = None,
+              verdicts: dict | None = None,
+              extra: dict | None = None) -> dict:
+    """One normalized measurement row."""
+    return {
+        "name": name,
+        "wall_s": round(float(wall_s), 6),
+        "ticks": dict(ticks or {}),
+        "verdicts": dict(verdicts or {}),
+        "extra": dict(extra or {}),
+    }
+
+
+def bench_gate(name: str, *, required: float, measured: float | None,
+               higher_is_better: bool = True, enforced: bool = True,
+               note: str | None = None) -> dict:
+    """One regression gate.  ``passed`` is computed here so every bench
+    agrees on the comparison direction; an unenforced or unmeasured gate
+    trivially passes (it is recorded, not judged)."""
+    if measured is None or not enforced:
+        passed = True
+    elif higher_is_better:
+        passed = measured >= required
+    else:
+        passed = measured <= required
+    gate = {
+        "name": name,
+        "required": required,
+        "measured": measured,
+        "higher_is_better": higher_is_better,
+        "enforced": enforced,
+        "passed": passed,
+    }
+    if note:
+        gate["note"] = note
+    return gate
+
+
+def bench_report(name: str, rows: list[dict], *, smoke: bool,
+                 gates: list[dict] | None = None,
+                 extra: dict | None = None) -> dict:
+    return {
+        "bench_report_version": REPORT_VERSION,
+        "name": name,
+        "smoke": bool(smoke),
+        "rows": list(rows),
+        "gates": list(gates or []),
+        "extra": dict(extra or {}),
+    }
+
+
+def write_report(path: str, report: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, ensure_ascii=False)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def check_gates(report: dict, *, stream=None) -> int:
+    """Print a FAIL line per failed enforced gate; return the exit code
+    (0 = all gates pass, 1 = at least one failed)."""
+    stream = stream if stream is not None else sys.stderr
+    failed = 0
+    for gate in report.get("gates", []):
+        if gate.get("enforced") and not gate.get("passed"):
+            direction = "≥" if gate.get("higher_is_better", True) else "≤"
+            print(f"FAIL: gate {gate['name']}: measured "
+                  f"{gate['measured']} violates required {direction} "
+                  f"{gate['required']}", file=stream)
+            failed += 1
+    return 1 if failed else 0

@@ -34,10 +34,23 @@ Subcommands
     machine-readable JSON.  Exit codes: 0 clean (infos allowed),
     1 warnings, 2 errors.
 
+``trace FILE.jsonl``
+    Inspect a JSONL trace written by ``--trace``: print its phase
+    profile, or with ``--check`` validate it (span-tree well-formedness
+    and tick accounting — see ``docs/OBSERVABILITY.md``) and exit 0/2.
+
 ``demo``
     Run the paper's CRM example end to end and print the §2.3 audit.
 
 Bundles are JSON files in the format of :mod:`repro.io.json_io`.
+
+Observability flags (same subcommands as the governor flags):
+``--trace FILE`` writes a JSONL span trace, ``--metrics FILE`` writes
+the metrics-registry snapshot as JSON, ``--profile`` prints a phase
+profile table, and ``--stats`` prints the search statistics (including
+the engine's ``plans_compiled`` / ``index_builds`` / ``cache_hits``
+counters).  Any of the first three attaches a tick-ledger governor so
+phases can be attributed even without ``--budget``/``--timeout``.
 
 Execution governor flags (``rcdp``, ``rcqp``, ``complete``, ``audit``,
 ``missing``): ``--budget N`` caps the total units of search work,
@@ -91,14 +104,98 @@ def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
         help="shard the search across N worker processes (default 1 = "
              "serial, 0 = all cores); the verdict is identical for "
              "every worker count")
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSONL span trace of the decision to FILE "
+             "(validate it with 'repro trace --check FILE')")
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the metrics-registry snapshot (counters, gauges, "
+             "histograms) as JSON to FILE")
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase profile table (calls, total/own time, "
+             "attributed ticks) after the verdict")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print the search statistics, including the evaluation "
+             "engine's plans_compiled/index_builds/cache_hits counters")
+
+
+def _observability_requested(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", None)
+                or getattr(args, "metrics", None)
+                or getattr(args, "profile", False))
 
 
 def _governor_from_args(args: argparse.Namespace) -> ExecutionGovernor | None:
     budget = getattr(args, "budget", None)
     timeout = getattr(args, "timeout", None)
-    if budget is None and timeout is None:
+    observed = _observability_requested(args)
+    if budget is None and timeout is None and not observed:
         return None
-    return ExecutionGovernor.from_limits(budget=budget, timeout=timeout)
+    governor = ExecutionGovernor.from_limits(budget=budget, timeout=timeout)
+    if observed:
+        from repro.obs import Observation
+        from repro.runtime import Budget
+
+        if governor.budget is None:
+            # An unlimited budget is the tick *ledger* spans diff to
+            # attribute work to phases; it never trips.
+            governor.budget = Budget()
+        Observation.attach(governor)
+    return governor
+
+
+def _statistics_lines(statistics) -> list[str]:
+    from dataclasses import fields
+
+    return [f"  {field.name}: {getattr(statistics, field.name)}"
+            for field in fields(statistics)]
+
+
+def _finish_observability(args: argparse.Namespace,
+                          governor: ExecutionGovernor | None, *,
+                          procedure: str, statistics,
+                          verdict: str, exhausted: bool) -> None:
+    """Render/export everything the obs flags asked for, after a verdict.
+
+    The statistics block (``--stats``, or implied by any obs flag)
+    surfaces the full :class:`~repro.core.results.SearchStatistics` —
+    engine counters included.  With an observation attached, the
+    governor ledger and statistics are folded into the registry, the
+    profile table is printed, and trace/metrics files are written.
+    """
+    from repro.obs import obs_of, render_profile, trace_records, write_trace
+
+    observation = obs_of(governor)
+    if statistics is not None and (getattr(args, "stats", False)
+                                   or observation is not None):
+        print("statistics:")
+        for line in _statistics_lines(statistics):
+            print(line)
+    if observation is None:
+        return
+    observation.finalize(governor, statistics)
+    payload = observation.payload()
+    if getattr(args, "profile", False):
+        print(render_profile(payload["spans"]))
+    if getattr(args, "trace", None):
+        ticks = (dict(governor.budget.snapshot())
+                 if governor.budget is not None else {})
+        write_trace(args.trace, trace_records(
+            payload["spans"], procedure=procedure,
+            command=f"{procedure} {getattr(args, 'bundle', '')}".strip(),
+            metrics=payload["metrics"], statistics=statistics,
+            ticks=ticks, verdict=verdict, exhausted=exhausted))
+        print(f"trace written to {args.trace}")
+    if getattr(args, "metrics", None):
+        import json
+
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            json.dump(payload["metrics"], handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics written to {args.metrics}")
 
 
 def _print_exhaustion(result) -> None:
@@ -109,9 +206,10 @@ def _print_exhaustion(result) -> None:
 
 def _cmd_rcdp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
+    governor = _governor_from_args(args)
     result = decide_rcdp(bundle["query"], bundle["database"],
                          bundle["master"], bundle["constraints"],
-                         governor=_governor_from_args(args),
+                         governor=governor,
                          on_exhausted=args.on_exhausted,
                          workers=args.workers)
     print(f"RCDP: {result.status.value}")
@@ -121,6 +219,10 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
         for name, row in result.certificate.extension_facts:
             print(f"  + {name}{row!r}")
         print(f"new answer: {result.certificate.new_answer!r}")
+    _finish_observability(args, governor, procedure="rcdp",
+                          statistics=result.statistics,
+                          verdict=result.status.value,
+                          exhausted=result.is_exhausted)
     if result.is_exhausted:
         _print_exhaustion(result)
         return EXIT_EXHAUSTED
@@ -129,10 +231,11 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
 
 def _cmd_rcqp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
+    governor = _governor_from_args(args)
     result = decide_rcqp(bundle["query"], bundle["master"],
                          bundle["constraints"], bundle["schema"],
                          max_valuation_set_size=args.max_set_size,
-                         governor=_governor_from_args(args),
+                         governor=governor,
                          on_exhausted=args.on_exhausted,
                          workers=args.workers)
     print(f"RCQP: {result.status.value}")
@@ -140,6 +243,10 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
     if result.witness is not None:
         print("witness database:")
         print(result.witness.pretty())
+    _finish_observability(args, governor, procedure="rcqp",
+                          statistics=result.statistics,
+                          verdict=result.status.value,
+                          exhausted=result.is_exhausted)
     if result.is_exhausted:
         _print_exhaustion(result)
         return EXIT_EXHAUSTED
@@ -148,10 +255,11 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
 
 def _cmd_complete(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
+    governor = _governor_from_args(args)
     outcome = make_complete(bundle["query"], bundle["database"],
                             bundle["master"], bundle["constraints"],
                             max_rounds=args.max_rounds,
-                            governor=_governor_from_args(args),
+                            governor=governor,
                             on_exhausted=args.on_exhausted,
                             workers=args.workers)
     if outcome.complete:
@@ -161,6 +269,11 @@ def _cmd_complete(args: argparse.Namespace) -> int:
               f"partial guidance:")
     for name, row in outcome.added_facts:
         print(f"  + {name}{row!r}")
+    _finish_observability(
+        args, governor, procedure="complete",
+        statistics=outcome.statistics,
+        verdict="complete" if outcome.complete else "incomplete",
+        exhausted=outcome.interrupted is not None)
     if outcome.interrupted is not None:
         print(f"search interrupted: {outcome.interrupted}")
         return EXIT_EXHAUSTED
@@ -171,15 +284,25 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.mdm.audit import AuditVerdict, CompletenessAudit
 
     bundle = load_bundle(args.bundle)
+    governor = _governor_from_args(args)
     audit = CompletenessAudit(
         master=bundle["master"], constraints=bundle["constraints"],
         schema=bundle["schema"],
         rcqp_valuation_set_size=args.max_set_size,
         workers=args.workers)
     report = audit.assess(bundle["query"], bundle["database"],
-                          governor=_governor_from_args(args),
+                          governor=governor,
                           on_exhausted=args.on_exhausted)
     print(report.summary())
+    statistics = report.rcdp.statistics
+    if report.rcqp is not None:
+        statistics = statistics.merged(report.rcqp.statistics)
+    if report.completion is not None:
+        statistics = statistics.merged(report.completion.statistics)
+    _finish_observability(
+        args, governor, procedure="audit", statistics=statistics,
+        verdict=report.verdict.value,
+        exhausted=report.verdict is AuditVerdict.INCONCLUSIVE)
     if report.verdict is AuditVerdict.INCONCLUSIVE:
         return EXIT_EXHAUSTED
     return 0 if report.verdict.value == "trustworthy" else 1
@@ -187,19 +310,28 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 def _cmd_missing(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle)
+    governor = _governor_from_args(args)
     report = missing_answers_report(
         bundle["query"], bundle["database"], bundle["master"],
         bundle["constraints"], limit=args.limit,
-        governor=_governor_from_args(args),
+        governor=governor,
         on_exhausted=args.on_exhausted, workers=args.workers)
     if not report.answers and report.exhaustive:
         print("no missing answers: the database is relatively complete")
+        _finish_observability(args, governor, procedure="missing",
+                              statistics=report.statistics,
+                              verdict="none", exhausted=False)
         return 0
     qualifier = "" if report.exhaustive else "at least "
     print(f"{qualifier}{len(report.answers)} answer(s) the query could "
           f"still gain:")
     for row in sorted(report.answers, key=repr):
         print(f"  ? {row!r}")
+    _finish_observability(
+        args, governor, procedure="missing",
+        statistics=report.statistics,
+        verdict="exhaustive" if report.exhaustive else "partial",
+        exhausted=report.interrupted is not None)
     if report.interrupted is not None:
         _print_exhaustion(report)
         return EXIT_EXHAUSTED
@@ -226,6 +358,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(json.dumps(payloads if len(args.bundles) > 1
                          else payloads[0], indent=2, sort_keys=True))
     return worst
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import check_trace, read_trace, render_profile
+
+    try:
+        records = read_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    problems = check_trace(records)
+    spans = [r for r in records if r.get("type") == "span"]
+    if problems:
+        print(f"{args.file}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 2
+    if args.check:
+        print(f"{args.file}: OK ({len(spans)} span(s))")
+        return 0
+    print(render_profile(spans))
+    return 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -265,7 +419,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     rcdp = subparsers.add_parser(
-        "rcdp", help="is the database complete for the query?")
+        "rcdp", aliases=["decide"],
+        help="is the database complete for the query?")
     rcdp.add_argument("bundle", help="JSON problem bundle")
     _add_governor_arguments(rcdp)
     rcdp.set_defaults(func=_cmd_rcdp)
@@ -313,6 +468,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the NP-hard minimization/containment "
                            "rules (RC005, RC103)")
     lint.set_defaults(func=_cmd_lint)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect or validate a JSONL trace written by "
+                      "--trace")
+    trace.add_argument("file", help="JSONL trace file")
+    trace.add_argument("--check", action="store_true",
+                       help="validate only (span-tree well-formedness "
+                            "and tick accounting); exit 0 when valid, "
+                            "2 otherwise")
+    trace.set_defaults(func=_cmd_trace)
 
     demo = subparsers.add_parser(
         "demo", help="run the paper's CRM example")

@@ -32,6 +32,7 @@ from repro.core.results import (IncompletenessCertificate, RCDPResult,
                                 SearchStatistics)
 from repro.engine import EvaluationContext, decision_key
 from repro.errors import ExecutionInterrupted, UndecidableConfigurationError
+from repro.obs import obs_of, obs_span, traced
 from repro.relational.domain import FreshValueSupply
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
@@ -123,6 +124,7 @@ def resolve_value_pool(query: Any,
         pin=(*instances, query, *constraints))
 
 
+@traced("brute_force_rcdp")
 def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                      constraints: Sequence[ContainmentConstraint],
                      *, max_extra_facts: int,
@@ -170,15 +172,18 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
             context=context)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     if check_partially_closed:
-        ensure_partially_closed(database, master, constraints, context)
+        with obs_span(obs, "check_ccs"):
+            ensure_partially_closed(database, master, constraints, context)
     values = resolve_value_pool(query, constraints, database.schema,
                                 (database, master), values, context)
-    baseline = (context.evaluate(query, database) if context is not None
-                else query.evaluate(database))
+    with obs_span(obs, "evaluate_Q"):
+        baseline = (context.evaluate(query, database)
+                    if context is not None else query.evaluate(database))
     existing = set(database.facts())
     pool = [fact for fact in candidate_fact_pool(database.schema, values,
                                                  relations=relations)
@@ -205,7 +210,7 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                 else nullcontext())
     try:
         skip = to_skip
-        with governed:
+        with governed, obs_span(obs, "enumerate_extensions"):
             for size in range(1, max_extra_facts + 1):
                 for combo in itertools.combinations(pool, size):
                     if skip > 0:
@@ -274,6 +279,7 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
         bound=max_extra_facts)
 
 
+@traced("brute_force_rcqp")
 def brute_force_rcqp(query: Any, master: Instance,
                      constraints: Sequence[ContainmentConstraint],
                      schema: DatabaseSchema,
@@ -325,6 +331,7 @@ def brute_force_rcqp(query: Any, master: Instance,
             context=context)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
@@ -365,7 +372,7 @@ def brute_force_rcqp(query: Any, master: Instance,
                 else nullcontext())
     try:
         skip = to_skip
-        with governed:
+        with governed, obs_span(obs, "enumerate_candidates"):
             for size in range(0, max_database_size + 1):
                 for combo in itertools.combinations(pool, size):
                     if skip > 0:

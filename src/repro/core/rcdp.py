@@ -50,6 +50,7 @@ from repro.core.valuations import ActiveDomain, iter_valid_valuations
 from repro.engine import EvaluationContext, decision_key
 from repro.errors import (ExecutionInterrupted, NotPartiallyClosedError,
                           UndecidableConfigurationError)
+from repro.obs import obs_of, obs_span, traced
 from repro.queries.tableau import Tableau
 from repro.relational.instance import Instance, extend_unvalidated
 from repro.runtime import (ExecutionGovernor, SearchCheckpoint,
@@ -208,6 +209,7 @@ def _prepare_search(query: Any, database: Instance, master: Instance,
                         pin=(query, database, master, *constraints))
 
 
+@traced("decide_rcdp")
 def decide_rcdp(query: Any, database: Instance, master: Instance,
                 constraints: Sequence[ContainmentConstraint],
                 *, check_partially_closed: bool = True,
@@ -316,12 +318,14 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
             analysis=analysis)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
-    analysis = resolve_analysis(query, constraints, database, master,
-                                analysis, analyze)
+    with obs_span(obs, "analyze"):
+        analysis = resolve_analysis(query, constraints, database, master,
+                                    analysis, analyze)
     # Resumed searches already counted the warnings in the checkpoint's
     # base statistics; recounting would double them.
     fresh_warnings = (len(analysis.warnings)
@@ -329,7 +333,8 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
                       else 0)
     query.validate(database.schema)
     if check_partially_closed:
-        ensure_partially_closed(database, master, constraints, context)
+        with obs_span(obs, "check_ccs"):
+            ensure_partially_closed(database, master, constraints, context)
 
     if analysis is not None and analysis.facts.query_provably_empty:
         stats = SearchStatistics(analysis_warnings=fresh_warnings)
@@ -344,10 +349,12 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
                 "relatively complete"),
             statistics=stats)
 
-    tableaux, adom = _prepare_search(query, database, master, constraints,
-                                     context)
-    answers = (context.evaluate(query, database) if context is not None
-               else query.evaluate(database))
+    with obs_span(obs, "compile_plans"):
+        tableaux, adom = _prepare_search(query, database, master,
+                                         constraints, context)
+    with obs_span(obs, "evaluate_Q"):
+        answers = (context.evaluate(query, database)
+                   if context is not None else query.evaluate(database))
 
     row_filter, other_constraints = split_ind_constraints(
         constraints, master, use_ind_pruning=use_ind_pruning,
@@ -376,7 +383,7 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
     governed = (context.governed(governor) if context is not None
                 else nullcontext())
     try:
-        with governed:
+        with governed, obs_span(obs, "enumerate_valuations"):
             for tableau_index, tableau in enumerate(tableaux):
                 if tableau_index < start_tableau or not tableau.satisfiable:
                     continue
@@ -451,6 +458,7 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         statistics=_stats())
 
 
+@traced("missing_answers_report")
 def missing_answers_report(query: Any, database: Instance,
                            master: Instance,
                            constraints: Sequence[ContainmentConstraint],
@@ -501,18 +509,21 @@ def missing_answers_report(query: Any, database: Instance,
             context=context, analyze=analyze, analysis=analysis)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
-    analysis = resolve_analysis(query, constraints, database, master,
-                                analysis, analyze)
+    with obs_span(obs, "analyze"):
+        analysis = resolve_analysis(query, constraints, database, master,
+                                    analysis, analyze)
     fresh_warnings = (len(analysis.warnings)
                       if analysis is not None and resume_from is None
                       else 0)
     query.validate(database.schema)
     if check_partially_closed:
-        ensure_partially_closed(database, master, constraints, context)
+        with obs_span(obs, "check_ccs"):
+            ensure_partially_closed(database, master, constraints, context)
 
     if analysis is not None and analysis.facts.query_provably_empty:
         stats = SearchStatistics(analysis_warnings=fresh_warnings)
@@ -521,10 +532,12 @@ def missing_answers_report(query: Any, database: Instance,
         return MissingAnswersReport(answers=frozenset(),
                                     exhaustive=True, statistics=stats)
 
-    tableaux, adom = _prepare_search(query, database, master, constraints,
-                                     context)
-    answers = (context.evaluate(query, database) if context is not None
-               else query.evaluate(database))
+    with obs_span(obs, "compile_plans"):
+        tableaux, adom = _prepare_search(query, database, master,
+                                         constraints, context)
+    with obs_span(obs, "evaluate_Q"):
+        answers = (context.evaluate(query, database)
+                   if context is not None else query.evaluate(database))
 
     row_filter, other_constraints = split_ind_constraints(
         constraints, master, context=context)
@@ -554,7 +567,7 @@ def missing_answers_report(query: Any, database: Instance,
     governed = (context.governed(governor) if context is not None
                 else nullcontext())
     try:
-        with governed:
+        with governed, obs_span(obs, "enumerate_valuations"):
             for tableau_index, tableau in enumerate(tableaux):
                 if tableau_index < start_tableau or not tableau.satisfiable:
                     continue

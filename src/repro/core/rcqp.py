@@ -52,6 +52,7 @@ from repro.engine import EvaluationContext
 from repro.core.valuations import ActiveDomain, iter_valid_valuations
 from repro.core.witness import make_complete
 from repro.errors import (ConstraintError, ExecutionInterrupted, ReproError)
+from repro.obs import obs_of, obs_span, traced
 from repro.queries.tableau import Tableau
 from repro.queries.terms import Const, Var
 from repro.relational.domain import is_fresh
@@ -97,6 +98,7 @@ def _ind_covers_variable(tableau: Tableau, variable: Var,
     return False
 
 
+@traced("decide_rcqp_with_inds")
 def decide_rcqp_with_inds(query: Any, master: Instance,
                           constraints: Sequence[ContainmentConstraint],
                           schema: DatabaseSchema,
@@ -143,6 +145,7 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
             context=context)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
@@ -198,79 +201,23 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
         context.governor = governor
     try:
         if phase == 0:
-            for t_index, tableau in enumerate(tableaux):
-                if t_index < start_index:
-                    continue
-                to_skip = (start_consumed if t_index == start_index else 0)
-                frontier["index"], frontier["consumed"] = t_index, to_skip
-                compatible_exists = False
-                for valuation in iter_valid_valuations(
-                        tableau, adom, fresh="own"):
-                    if to_skip > 0:
-                        to_skip -= 1
+            with obs_span(obs, "enumerate_E3"):
+                for t_index, tableau in enumerate(tableaux):
+                    if t_index < start_index:
                         continue
-                    if governor is not None:
-                        governor.tick("valuations")
-                    examined += 1
-                    delta = tableau.instantiate(valuation)
-                    if context is not None:
-                        compatible = satisfies_all_extension(
-                            empty_base, delta, master, constraints,
-                            context=context)
-                    else:
-                        compatible = satisfies_all(
-                            _facts_instance(schema, delta), master,
-                            constraints)
-                    if compatible:
-                        compatible_exists = True
-                        break
-                    frontier["consumed"] += 1
-                if not compatible_exists:
-                    # The disjunct can never fire in a partially closed
-                    # database; it cannot break boundedness (second case
-                    # of Prop. 4.3).
-                    continue
-                relevant_indices.append(t_index)
-                for variable in sorted(tableau.summary_variables(),
-                                       key=lambda v: v.name):
-                    if tableau.has_finite_domain(variable):
-                        continue  # condition E3
-                    if not _ind_covers_variable(tableau, variable,
-                                                constraints):
-                        return RCQPResult(
-                            status=RCQPStatus.EMPTY,
-                            explanation=(
-                                f"output variable {variable!r} of disjunct "
-                                f"{tableau.query.name!r} has an infinite "
-                                f"domain and is not covered by any IND "
-                                f"(conditions E3/E4 both fail)"),
-                            statistics=_stats())
-            frontier.update(phase=1, index=0, consumed=0)
-            start_index, start_consumed = 0, 0
-            covered_seed = ()
-
-        witness = None
-        if construct_witness:
-            relevant = [tableaux[i] for i in relevant_indices]
-            frontier["phase"] = 1
-            for r_pos, tableau in enumerate(relevant):
-                if r_pos < start_index:
-                    continue
-                to_skip = (start_consumed if r_pos == start_index else 0)
-                covered: set[tuple] = (set(covered_seed)
-                                       if r_pos == start_index else set())
-                frontier.update(index=r_pos, consumed=to_skip,
-                                covered=covered)
-                for valuation in iter_valid_valuations(
-                        tableau, adom, fresh="own"):
-                    if to_skip > 0:
-                        to_skip -= 1
-                        continue
-                    if governor is not None:
-                        governor.tick("valuations")
-                    examined += 1
-                    summary = tableau.summary_under(valuation)
-                    if summary not in covered:
+                    to_skip = (start_consumed if t_index == start_index
+                               else 0)
+                    frontier["index"], frontier["consumed"] = \
+                        t_index, to_skip
+                    compatible_exists = False
+                    for valuation in iter_valid_valuations(
+                            tableau, adom, fresh="own"):
+                        if to_skip > 0:
+                            to_skip -= 1
+                            continue
+                        if governor is not None:
+                            governor.tick("valuations")
+                        examined += 1
                         delta = tableau.instantiate(valuation)
                         if context is not None:
                             compatible = satisfies_all_extension(
@@ -281,9 +228,72 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                                 _facts_instance(schema, delta), master,
                                 constraints)
                         if compatible:
-                            covered.add(summary)
-                            witness_facts.extend(delta)
-                    frontier["consumed"] += 1
+                            compatible_exists = True
+                            break
+                        frontier["consumed"] += 1
+                    if not compatible_exists:
+                        # The disjunct can never fire in a partially
+                        # closed database; it cannot break boundedness
+                        # (second case of Prop. 4.3).
+                        continue
+                    relevant_indices.append(t_index)
+                    for variable in sorted(tableau.summary_variables(),
+                                           key=lambda v: v.name):
+                        if tableau.has_finite_domain(variable):
+                            continue  # condition E3
+                        if not _ind_covers_variable(tableau, variable,
+                                                    constraints):
+                            return RCQPResult(
+                                status=RCQPStatus.EMPTY,
+                                explanation=(
+                                    f"output variable {variable!r} of "
+                                    f"disjunct {tableau.query.name!r} "
+                                    f"has an infinite domain and is not "
+                                    f"covered by any IND (conditions "
+                                    f"E3/E4 both fail)"),
+                                statistics=_stats())
+            frontier.update(phase=1, index=0, consumed=0)
+            start_index, start_consumed = 0, 0
+            covered_seed = ()
+
+        witness = None
+        if construct_witness:
+            relevant = [tableaux[i] for i in relevant_indices]
+            frontier["phase"] = 1
+            with obs_span(obs, "enumerate_E4"):
+                for r_pos, tableau in enumerate(relevant):
+                    if r_pos < start_index:
+                        continue
+                    to_skip = (start_consumed if r_pos == start_index
+                               else 0)
+                    covered: set[tuple] = (
+                        set(covered_seed) if r_pos == start_index
+                        else set())
+                    frontier.update(index=r_pos, consumed=to_skip,
+                                    covered=covered)
+                    for valuation in iter_valid_valuations(
+                            tableau, adom, fresh="own"):
+                        if to_skip > 0:
+                            to_skip -= 1
+                            continue
+                        if governor is not None:
+                            governor.tick("valuations")
+                        examined += 1
+                        summary = tableau.summary_under(valuation)
+                        if summary not in covered:
+                            delta = tableau.instantiate(valuation)
+                            if context is not None:
+                                compatible = satisfies_all_extension(
+                                    empty_base, delta, master,
+                                    constraints, context=context)
+                            else:
+                                compatible = satisfies_all(
+                                    _facts_instance(schema, delta),
+                                    master, constraints)
+                            if compatible:
+                                covered.add(summary)
+                                witness_facts.extend(delta)
+                        frontier["consumed"] += 1
             # Verification restarts from scratch on resume: mark the
             # frontier past the whole build so a resumed run re-enters
             # here directly with the payload facts.
@@ -291,9 +301,11 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                             covered=set())
             witness = _facts_instance(schema, witness_facts)
             if verify_witness:
-                verdict = decide_rcdp(query, witness, master, constraints,
-                                      governor=governor, context=context,
-                                      use_engine=context is not None)
+                with obs_span(obs, "verify_witness"):
+                    verdict = decide_rcdp(
+                        query, witness, master, constraints,
+                        governor=governor, context=context,
+                        use_engine=context is not None)
                 if verdict.status is not RCDPStatus.COMPLETE:
                     raise ReproError(
                         "internal error: Proposition 4.3 witness failed "
@@ -475,6 +487,7 @@ def _candidate_is_bounding(schema: DatabaseSchema, master: Instance,
     return True
 
 
+@traced("decide_rcqp")
 def decide_rcqp(query: Any, master: Instance,
                 constraints: Sequence[ContainmentConstraint],
                 schema: DatabaseSchema,
@@ -549,6 +562,7 @@ def decide_rcqp(query: Any, master: Instance,
             resume_from=resume_from, use_engine=use_engine,
             context=context, analyze=analyze, analysis=analysis)
     governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
@@ -556,9 +570,10 @@ def decide_rcqp(query: Any, master: Instance,
     if analysis is None and analyze:
         # RCQP has no database D — the scenario rules that need one
         # (partial closedness) skip themselves.
-        analysis = validate_for_decision(
-            query, constraints, schema=schema,
-            master_schema=master.schema, master=master)
+        with obs_span(obs, "analyze"):
+            analysis = validate_for_decision(
+                query, constraints, schema=schema,
+                master_schema=master.schema, master=master)
     fresh_warnings = (len(analysis.warnings)
                       if analysis is not None and resume_from is None
                       else 0)
@@ -648,16 +663,19 @@ def decide_rcqp(query: Any, master: Instance,
 
         # Condition E2/E6: search for a bounding set of partial valuations.
         if phase == 0:
-            units = _enumerate_units(
-                cc_tableaux, adom, max_rows_per_unit,
-                governor=governor, skip=start_n, progress=frontier)
+            with obs_span(obs, "enumerate_units"):
+                units = _enumerate_units(
+                    cc_tableaux, adom, max_rows_per_unit,
+                    governor=governor, skip=start_n, progress=frontier)
             new_units = max(0, frontier["units"] - start_n)
             frontier.update(phase=1, sets=0)
             to_skip = 0
         else:
             # Units were fully enumerated (and charged) before the
             # interruption; rebuild them without re-charging.
-            units = _enumerate_units(cc_tableaux, adom, max_rows_per_unit)
+            with obs_span(obs, "enumerate_units"):
+                units = _enumerate_units(cc_tableaux, adom,
+                                         max_rows_per_unit)
             to_skip = start_n
 
         ground_rows: list[Fact] = [
@@ -665,54 +683,59 @@ def decide_rcqp(query: Any, master: Instance,
             for tableau in q_tableaux for row in tableau.ground_rows()]
         max_size = min(max_valuation_set_size, len(units))
         total_sets = 0
-        for size in range(0, max_size + 1):
-            for combo in itertools.combinations(units, size):
-                total_sets += 1
-                if total_sets <= to_skip:
-                    continue
-                if governor is not None:
-                    governor.tick("candidate_sets")
-                examined += 1
-                dv_facts = frozenset().union(*(u.facts for u in combo)) \
-                    if combo else frozenset()
-                bound_values = frozenset().union(
-                    *(u.summary_values for u in combo)) \
-                    if combo else frozenset()
-                if not _candidate_is_bounding(
-                        schema, master, constraints, q_tableaux, adom,
-                        dv_facts, bound_values, governor=governor,
-                        context=context):
-                    frontier["sets"] = total_sets
-                    continue
-                witness = _facts_instance(
-                    schema, list(dv_facts) + ground_rows)
-                if not satisfies_all(witness, master, constraints,
-                                     context=context):
-                    frontier["sets"] = total_sets
-                    continue
-                outcome = make_complete(
-                    query, witness, master, constraints,
-                    max_rounds=max_completion_rounds, governor=governor,
-                    on_exhausted="error", context=context,
-                    use_engine=context is not None)
-                if not outcome.complete:
-                    frontier["sets"] = total_sets
-                    continue
-                if verify_witness:
-                    verdict = decide_rcdp(query, outcome.database, master,
-                                          constraints, governor=governor,
-                                          context=context,
-                                          use_engine=context is not None)
-                    if verdict.status is not RCDPStatus.COMPLETE:
+        with obs_span(obs, "enumerate_candidate_sets"):
+            for size in range(0, max_size + 1):
+                for combo in itertools.combinations(units, size):
+                    total_sets += 1
+                    if total_sets <= to_skip:
+                        continue
+                    if governor is not None:
+                        governor.tick("candidate_sets")
+                    examined += 1
+                    dv_facts = frozenset().union(
+                        *(u.facts for u in combo)) \
+                        if combo else frozenset()
+                    bound_values = frozenset().union(
+                        *(u.summary_values for u in combo)) \
+                        if combo else frozenset()
+                    if not _candidate_is_bounding(
+                            schema, master, constraints, q_tableaux, adom,
+                            dv_facts, bound_values, governor=governor,
+                            context=context):
                         frontier["sets"] = total_sets
-                        continue  # conservative: keep searching
-                return RCQPResult(
-                    status=RCQPStatus.NONEMPTY,
-                    witness=outcome.database,
-                    explanation=(
-                        f"bounding valuation set of size {size} found "
-                        f"(condition E2/E6); witness verified complete"),
-                    statistics=_stats())
+                        continue
+                    witness = _facts_instance(
+                        schema, list(dv_facts) + ground_rows)
+                    if not satisfies_all(witness, master, constraints,
+                                         context=context):
+                        frontier["sets"] = total_sets
+                        continue
+                    outcome = make_complete(
+                        query, witness, master, constraints,
+                        max_rounds=max_completion_rounds,
+                        governor=governor, on_exhausted="error",
+                        context=context, use_engine=context is not None)
+                    if not outcome.complete:
+                        frontier["sets"] = total_sets
+                        continue
+                    if verify_witness:
+                        with obs_span(obs, "verify_witness"):
+                            verdict = decide_rcdp(
+                                query, outcome.database, master,
+                                constraints, governor=governor,
+                                context=context,
+                                use_engine=context is not None)
+                        if verdict.status is not RCDPStatus.COMPLETE:
+                            frontier["sets"] = total_sets
+                            continue  # conservative: keep searching
+                    return RCQPResult(
+                        status=RCQPStatus.NONEMPTY,
+                        witness=outcome.database,
+                        explanation=(
+                            f"bounding valuation set of size {size} "
+                            f"found (condition E2/E6); witness verified "
+                            f"complete"),
+                        statistics=_stats())
     except ExecutionInterrupted as interrupt:
         partial = _interrupted_result(interrupt)
         if on_exhausted == "error":

@@ -24,6 +24,7 @@ from repro.core.rcdp import (_extend_unvalidated, decide_rcdp,
 from repro.core.results import RCDPResult, RCDPStatus, SearchStatistics
 from repro.engine import EvaluationContext
 from repro.errors import ExecutionInterrupted, ReproError
+from repro.obs import obs_of, obs_span, traced
 from repro.relational.instance import Instance
 from repro.runtime import ExecutionGovernor, validate_exhaustion_mode
 
@@ -68,6 +69,7 @@ class CompletionOutcome:
                 f"{len(self.added_facts)} fact(s) added]")
 
 
+@traced("make_complete")
 def make_complete(query: Any, database: Instance, master: Instance,
                   constraints: Sequence[ContainmentConstraint],
                   *, max_rounds: int = 32,
@@ -104,9 +106,11 @@ def make_complete(query: Any, database: Instance, master: Instance,
     from dataclasses import replace
 
     validate_exhaustion_mode(on_exhausted)
+    obs = obs_of(governor)
     context = resolve_context(context, use_engine)
-    analysis = resolve_analysis(query, constraints, database, master,
-                                analysis, analyze)
+    with obs_span(obs, "analyze"):
+        analysis = resolve_analysis(query, constraints, database, master,
+                                    analysis, analyze)
     analysis_stats = SearchStatistics(
         analysis_warnings=len(analysis.warnings)
         if analysis is not None else 0)
@@ -171,7 +175,8 @@ def make_complete(query: Any, database: Instance, master: Instance,
 def minimize_witness(query: Any, database: Instance, master: Instance,
                      constraints: Sequence[ContainmentConstraint],
                      *, use_engine: bool = True,
-                     context: EvaluationContext | None = None) -> Instance:
+                     context: EvaluationContext | None = None,
+                     governor: ExecutionGovernor | None = None) -> Instance:
     """Shrink a relatively complete database while keeping it complete.
 
     RCQP witnesses (and completion results) can contain more facts than
@@ -183,33 +188,39 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
     relatively complete to begin with.
     """
     context = resolve_context(context, use_engine)
+    obs = obs_of(governor)
     analysis = resolve_analysis(query, constraints, database, master,
                                 None, True)
     verdict = decide_rcdp(query, database, master, constraints,
                           context=context,
                           use_engine=context is not None,
-                          analysis=analysis, analyze=False)
+                          analysis=analysis, analyze=False,
+                          governor=governor)
     if verdict.status is not RCDPStatus.COMPLETE:
         raise ReproError(
             "minimize_witness requires a relatively complete database")
     current = database
     changed = True
-    while changed:
-        changed = False
-        for name, row in sorted(current.facts(), key=repr):
-            contents = {rel_name: set(rows) for rel_name, rows in current}
-            contents[name] = contents[name] - {row}
-            candidate = Instance(current.schema, contents, validate=False)
-            if not satisfies_all(candidate, master, constraints,
-                                 context=context):
-                continue
-            shrunk = decide_rcdp(query, candidate, master, constraints,
-                                 check_partially_closed=False,
-                                 context=context,
-                                 use_engine=context is not None,
-                                 analysis=analysis, analyze=False)
-            if shrunk.status is RCDPStatus.COMPLETE:
-                current = candidate
-                changed = True
-                break
+    with obs_span(obs, "witness_minimize"):
+        while changed:
+            changed = False
+            for name, row in sorted(current.facts(), key=repr):
+                contents = {rel_name: set(rows)
+                            for rel_name, rows in current}
+                contents[name] = contents[name] - {row}
+                candidate = Instance(current.schema, contents,
+                                     validate=False)
+                if not satisfies_all(candidate, master, constraints,
+                                     context=context):
+                    continue
+                shrunk = decide_rcdp(query, candidate, master, constraints,
+                                     check_partially_closed=False,
+                                     context=context,
+                                     use_engine=context is not None,
+                                     analysis=analysis, analyze=False,
+                                     governor=governor)
+                if shrunk.status is RCDPStatus.COMPLETE:
+                    current = candidate
+                    changed = True
+                    break
     return current

@@ -26,6 +26,7 @@ from repro.core.results import (RCDPResult, RCDPStatus, RCQPResult,
                                 RCQPStatus)
 from repro.core.witness import CompletionOutcome, make_complete
 from repro.engine import EvaluationContext
+from repro.obs import obs_of, obs_span
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
 from repro.runtime import ExecutionGovernor, validate_exhaustion_mode
@@ -139,18 +140,21 @@ class CompletenessAudit:
         exception instead.
         """
         validate_exhaustion_mode(on_exhausted)
+        obs = obs_of(governor)
         context = self.context
         # One analysis pass for the whole cascade; error findings raise
         # AnalysisError here, before any search runs.
-        analysis = resolve_analysis(query, list(self.constraints),
-                                    database, self.master, None, True)
-        rcdp = decide_rcdp(query, database, self.master,
-                           list(self.constraints), governor=governor,
-                           on_exhausted=on_exhausted,
-                           context=context,
-                           use_engine=context is not None,
-                           analysis=analysis, analyze=False,
-                           workers=self.workers)
+        with obs_span(obs, "analyze"):
+            analysis = resolve_analysis(query, list(self.constraints),
+                                        database, self.master, None, True)
+        with obs_span(obs, "audit_rcdp"):
+            rcdp = decide_rcdp(query, database, self.master,
+                               list(self.constraints), governor=governor,
+                               on_exhausted=on_exhausted,
+                               context=context,
+                               use_engine=context is not None,
+                               analysis=analysis, analyze=False,
+                               workers=self.workers)
         if rcdp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
                                rcdp=rcdp, analysis=analysis)
@@ -158,27 +162,30 @@ class CompletenessAudit:
             return AuditReport(verdict=AuditVerdict.TRUSTWORTHY,
                                rcdp=rcdp, analysis=analysis)
 
-        rcqp = decide_rcqp(
-            query, self.master, list(self.constraints), self.schema,
-            max_valuation_set_size=self.rcqp_valuation_set_size,
-            governor=governor, on_exhausted=on_exhausted,
-            context=context, use_engine=context is not None,
-            analysis=analysis, analyze=False, workers=self.workers)
+        with obs_span(obs, "audit_rcqp"):
+            rcqp = decide_rcqp(
+                query, self.master, list(self.constraints), self.schema,
+                max_valuation_set_size=self.rcqp_valuation_set_size,
+                governor=governor, on_exhausted=on_exhausted,
+                context=context, use_engine=context is not None,
+                analysis=analysis, analyze=False, workers=self.workers)
         if rcqp.is_exhausted:
             return AuditReport(verdict=AuditVerdict.INCONCLUSIVE,
                                rcdp=rcdp, rcqp=rcqp, analysis=analysis)
         if rcqp.status is RCQPStatus.NONEMPTY:
-            completion = make_complete(
-                query, database, self.master, list(self.constraints),
-                max_rounds=self.max_completion_rounds, governor=governor,
-                on_exhausted=on_exhausted,
-                context=context, use_engine=context is not None,
-                analysis=analysis, analyze=False, workers=self.workers)
+            with obs_span(obs, "audit_completion"):
+                completion = make_complete(
+                    query, database, self.master, list(self.constraints),
+                    max_rounds=self.max_completion_rounds,
+                    governor=governor, on_exhausted=on_exhausted,
+                    context=context, use_engine=context is not None,
+                    analysis=analysis, analyze=False, workers=self.workers)
             return AuditReport(verdict=AuditVerdict.COLLECT_DATA,
                                rcdp=rcdp, rcqp=rcqp, completion=completion,
                                analysis=analysis)
-        boundedness = analyze_boundedness(query, list(self.constraints),
-                                          self.schema)
+        with obs_span(obs, "audit_boundedness"):
+            boundedness = analyze_boundedness(query, list(self.constraints),
+                                              self.schema)
         if rcqp.status is RCQPStatus.EMPTY:
             return AuditReport(verdict=AuditVerdict.EXPAND_MASTER_DATA,
                                rcdp=rcdp, rcqp=rcqp,

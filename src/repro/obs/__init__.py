@@ -1,0 +1,156 @@
+"""``repro.obs`` — unified tracing, metrics, and profiling.
+
+The observability layer rides on the :class:`ExecutionGovernor`: an
+:class:`Observation` (one :class:`~repro.obs.tracer.Tracer` plus one
+:class:`~repro.obs.metrics.MetricsRegistry`) attaches to the
+governor's ``obs`` slot and every instrumented site reaches it through
+:func:`obs_of`.  No governor — or a governor without an observation —
+means :func:`obs_span` hands back a shared null context and the hot
+paths stay exactly as fast as before; that invariant is gated by
+``benchmarks/bench_engine.py``.
+
+Two hard rules keep tracing *observation-only* (property-tested in
+``tests/test_obs.py``):
+
+* instrumentation never charges the governor, touches the search
+  order, or changes any verdict/witness/statistics;
+* spans read the budget ledger (``budget.snapshot``) to attribute
+  ticks to phases, but never write it.
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy, the metrics
+catalog, and the JSONL trace format.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Any, Callable, ContextManager
+
+from repro.obs.metrics import MetricsRegistry, merged_span_ticks
+from repro.obs.profile import profile_rows, render_profile
+from repro.obs.tracer import Span, Tracer
+from repro.obs.trace_io import (PROCEDURE_TICK_FIELDS, TRACE_VERSION,
+                                check_trace, read_trace, trace_records,
+                                write_trace)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.governor import ExecutionGovernor
+
+__all__ = [
+    "Observation", "obs_of", "obs_span", "traced",
+    "Tracer", "Span", "MetricsRegistry",
+    "profile_rows", "render_profile", "merged_span_ticks",
+    "trace_records", "write_trace", "read_trace", "check_trace",
+    "TRACE_VERSION", "PROCEDURE_TICK_FIELDS",
+]
+
+#: Shared, stateless "not tracing" context — ``nullcontext`` keeps no
+#: per-use state, so one instance serves every disabled span site.
+_NULL_SPAN: ContextManager[None] = nullcontext()
+
+
+class Observation:
+    """One tracer + one metrics registry, bound to a governor."""
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, *, tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Bridge: every completed span lands in the registry as a call
+        # counter + duration histogram.
+        self.tracer.on_span_end.append(self.metrics.record_span)
+
+    @classmethod
+    def attach(cls, governor: "ExecutionGovernor", *,
+               enabled: bool = True,
+               max_spans: int = 100_000) -> "Observation":
+        """Create an observation and bind it to *governor*: spans will
+        diff the governor's budget ledger for tick attribution, and
+        every instrumented site on the governor's path will see it."""
+        observation = cls(tracer=Tracer(enabled=enabled,
+                                        max_spans=max_spans))
+        if governor.budget is not None:
+            observation.tracer.bind_tick_source(governor.budget.snapshot)
+        governor.obs = observation
+        return observation
+
+    # ------------------------------------------------------------------
+    # Finalization and parallel merge
+    # ------------------------------------------------------------------
+
+    def finalize(self, governor: "ExecutionGovernor | None" = None,
+                 statistics: Any | None = None) -> None:
+        """Absorb the run's terminal counters into the registry: the
+        governor's per-kind tick ledger and the decision's
+        ``SearchStatistics`` (engine counters and analyzer warnings
+        included)."""
+        if governor is not None and governor.budget is not None:
+            self.metrics.record_ticks(governor.budget.snapshot())
+        if statistics is not None:
+            self.metrics.record_statistics(statistics)
+
+    def payload(self) -> dict:
+        """The picklable wire form a worker ships home on its
+        :class:`~repro.parallel.worker.ShardOutcome`."""
+        return {"spans": self.tracer.to_records(),
+                "metrics": self.metrics.snapshot()}
+
+    def absorb_outcomes(self, outcomes: Any) -> None:
+        """Rank-merge worker observations (and per-shard bookkeeping)
+        into this one, in shard order.  Outcomes without a payload —
+        done shards answered inline by the pool — still contribute
+        their consumed/done gauges."""
+        for outcome in sorted(outcomes, key=lambda o: o.index):
+            self.metrics.record_shard(
+                outcome.index, consumed=outcome.consumed,
+                done=(outcome.kind == "complete"))
+            payload = getattr(outcome, "obs", None)
+            if not payload:
+                continue
+            self.tracer.absorb(payload.get("spans") or [],
+                               lane=f"shard-{outcome.index}")
+            self.metrics.merge(payload.get("metrics") or {})
+
+    def __repr__(self) -> str:
+        return f"Observation[{self.tracer!r}, {self.metrics!r}]"
+
+
+def obs_of(governor: "ExecutionGovernor | None") -> Observation | None:
+    """The observation attached to *governor*, if any."""
+    return getattr(governor, "obs", None)
+
+
+def obs_span(observation: Observation | None, name: str,
+             **attributes: Any) -> ContextManager[Span | None]:
+    """A phase span under *observation*, or the shared null context
+    when nothing is observing — the one-line instrumentation entry
+    point used by every decider, solver, and worker."""
+    if observation is None or not observation.tracer.enabled:
+        return _NULL_SPAN
+    return observation.tracer.span(name, **attributes)
+
+
+def traced(name: str) -> Callable:
+    """Wrap a decision procedure in a root span named *name*.
+
+    The procedure's keyword-only ``governor`` argument carries the
+    observation (if any); without one the wrapper is a single dict
+    lookup and the call proceeds untouched.  Used on the public
+    deciders so one span brackets the whole decision — setup phases,
+    the governed search loop, nested verification calls, and (via the
+    pool's reconciliation) any grafted worker spans."""
+
+    def decorate(procedure: Callable) -> Callable:
+        @functools.wraps(procedure)
+        def wrapped(*args: Any, **kwargs: Any) -> Any:
+            observation = obs_of(kwargs.get("governor"))
+            if observation is None or not observation.tracer.enabled:
+                return procedure(*args, **kwargs)
+            with observation.tracer.span(name):
+                return procedure(*args, **kwargs)
+        return wrapped
+
+    return decorate

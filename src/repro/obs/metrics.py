@@ -1,0 +1,190 @@
+"""The metrics registry: counters, gauges, histograms, one snapshot API.
+
+Before this module the library's runtime counters lived in four
+unrelated places — ``ExecutionGovernor.ticks`` (+ the per-kind budget
+ledger), ``EngineStatistics`` on the evaluation context, the immutable
+:class:`~repro.core.results.SearchStatistics` on every result, and the
+per-shard tick dicts the parallel workers ship home.  The registry is
+the common sink: each of those feeds it through a ``record_*`` absorber
+under a stable dotted name (see ``docs/OBSERVABILITY.md`` for the
+catalog), and :meth:`MetricsRegistry.as_search_statistics` rebuilds a
+``SearchStatistics`` from the ``search.*`` counters — making the result
+dataclass a *view* over the registry rather than a parallel
+bookkeeping path.
+
+Metric kinds:
+
+* **counter** — monotone int, merged by addition (``governor.ticks.*``,
+  ``search.*``, ``span.*.calls``);
+* **gauge** — last-written float (``parallel.shard.N.consumed``);
+* **histogram** — count/total/min/max summary, merged pointwise
+  (``span.*.seconds``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import SearchStatistics
+    from repro.obs.tracer import Span
+
+__all__ = ["MetricsRegistry", "merged_span_ticks",
+           "SEARCH_PREFIX", "TICK_PREFIX"]
+
+#: Counter namespace fed by :meth:`MetricsRegistry.record_statistics`.
+SEARCH_PREFIX = "search."
+#: Counter namespace fed by :meth:`MetricsRegistry.record_ticks`.
+TICK_PREFIX = "governor.ticks."
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with snapshot + merge."""
+
+    __slots__ = ("counters", "gauges", "histograms", "on_snapshot")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        #: name -> {"count": int, "total": float, "min": float,
+        #:          "max": float}
+        self.histograms: dict[str, dict[str, float]] = {}
+        self.on_snapshot: list[Callable[[dict], None]] = []
+
+    # ------------------------------------------------------------------
+    # Primitive instruments
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        summary = self.histograms.get(name)
+        if summary is None:
+            self.histograms[name] = {"count": 1, "total": value,
+                                     "min": value, "max": value}
+            return
+        summary["count"] += 1
+        summary["total"] += value
+        summary["min"] = min(summary["min"], value)
+        summary["max"] = max(summary["max"], value)
+
+    # ------------------------------------------------------------------
+    # Snapshot and merge
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of everything; fires ``on_snapshot`` hooks
+        with the copy (external sinks may ship it wherever they like)."""
+        data = {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {name: dict(summary)
+                           for name, summary in self.histograms.items()},
+        }
+        for hook in self.on_snapshot:
+            hook(data)
+        return data
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one
+        (counters add, gauges last-write-wins, histograms combine) —
+        how worker registries reach the parent."""
+        for name, amount in (snapshot.get("counters") or {}).items():
+            self.count(name, amount)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            self.gauge(name, value)
+        for name, other in (snapshot.get("histograms") or {}).items():
+            summary = self.histograms.get(name)
+            if summary is None:
+                self.histograms[name] = dict(other)
+                continue
+            summary["count"] += other["count"]
+            summary["total"] += other["total"]
+            summary["min"] = min(summary["min"], other["min"])
+            summary["max"] = max(summary["max"], other["max"])
+
+    # ------------------------------------------------------------------
+    # Absorbers for the pre-existing ad-hoc counters
+    # ------------------------------------------------------------------
+
+    def record_ticks(self, ticks: dict[str, int] | None) -> None:
+        """Absorb a governor budget ledger (``{kind: ticks}``)."""
+        for kind, amount in (ticks or {}).items():
+            if amount > 0:
+                self.count(TICK_PREFIX + kind, amount)
+
+    def record_statistics(self, statistics: "SearchStatistics") -> None:
+        """Absorb a decision's ``SearchStatistics`` — including the
+        engine counters (``plans_compiled``, ``index_builds``,
+        ``engine_cache_hits``) and the analyzer's warning count the
+        deciders already fold into it."""
+        from dataclasses import fields
+
+        for field in fields(statistics):
+            value = getattr(statistics, field.name)
+            if value:
+                self.count(SEARCH_PREFIX + field.name, value)
+
+    def record_span(self, span: "Span") -> None:
+        """Tracer ``on_span_end`` bridge: per-phase call counts and
+        duration histograms."""
+        self.count(f"span.{span.name}.calls")
+        self.observe(f"span.{span.name}.seconds", span.duration)
+
+    def record_shard(self, index: int, *, consumed: int,
+                     done: bool) -> None:
+        """Absorb one shard's reconciliation state."""
+        self.gauge(f"parallel.shard.{index}.consumed", consumed)
+        self.count("parallel.shards")
+        if done:
+            self.count("parallel.shards_done")
+
+    # ------------------------------------------------------------------
+    # The SearchStatistics view
+    # ------------------------------------------------------------------
+
+    def as_search_statistics(self) -> "SearchStatistics":
+        """Rebuild a :class:`~repro.core.results.SearchStatistics` from
+        the ``search.*`` counters.  After ``record_statistics(stats)``
+        this returns a value equal to ``stats`` (modulo earlier
+        recordings, which merge additively — same as
+        ``SearchStatistics.merged``)."""
+        from dataclasses import fields
+
+        from repro.core.results import SearchStatistics
+
+        values: dict[str, int] = {}
+        for field in fields(SearchStatistics):
+            values[field.name] = self.counters.get(
+                SEARCH_PREFIX + field.name, 0)
+        return SearchStatistics(**values)
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry[{len(self.counters)} counter(s), "
+                f"{len(self.gauges)} gauge(s), "
+                f"{len(self.histograms)} histogram(s)]")
+
+
+def _merge_tick_dicts(into: dict[str, int],
+                      ticks: dict[str, int]) -> dict[str, int]:
+    for kind, amount in ticks.items():
+        into[kind] = into.get(kind, 0) + amount
+    return into
+
+
+def merged_span_ticks(records: list[dict[str, Any]],
+                      roots_only: bool = True) -> dict[str, int]:
+    """Sum the tick deltas of span *records* (roots only by default —
+    child deltas are already contained in their parents')."""
+    totals: dict[str, int] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        if roots_only and record.get("parent") is not None:
+            continue
+        _merge_tick_dicts(totals, record.get("ticks") or {})
+    return totals

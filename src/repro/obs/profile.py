@@ -1,0 +1,65 @@
+"""The phase-profile table: where did the decision spend its time?
+
+Aggregates span records by phase name into a fixed-width text table in
+the spirit of ``cProfile``'s output — one row per phase, sorted by
+total time — with *own* time (total minus time attributed to child
+spans) and the per-kind governor ticks charged inside the phase.  See
+``docs/OBSERVABILITY.md`` for a reading guide.
+"""
+
+from __future__ import annotations
+
+__all__ = ["profile_rows", "render_profile"]
+
+
+def profile_rows(records: list[dict]) -> list[dict]:
+    """Aggregate span *records* (wire form) into per-phase rows:
+    ``{"name", "calls", "total_s", "own_s", "ticks"}``, sorted by
+    ``total_s`` descending."""
+    child_time: dict[int, float] = {}
+    spans = [r for r in records if r.get("type") == "span"]
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            child_time[parent] = (child_time.get(parent, 0.0)
+                                  + record["dur"])
+    phases: dict[str, dict] = {}
+    for record in spans:
+        row = phases.setdefault(record["name"], {
+            "name": record["name"], "calls": 0,
+            "total_s": 0.0, "own_s": 0.0, "ticks": {}})
+        row["calls"] += 1
+        row["total_s"] += record["dur"]
+        row["own_s"] += max(
+            0.0, record["dur"] - child_time.get(record["id"], 0.0))
+        for kind, amount in (record.get("ticks") or {}).items():
+            row["ticks"][kind] = row["ticks"].get(kind, 0) + amount
+    return sorted(phases.values(),
+                  key=lambda row: (-row["total_s"], row["name"]))
+
+
+def _format_ticks(ticks: dict[str, int]) -> str:
+    if not ticks:
+        return "-"
+    return ", ".join(f"{kind}={amount}"
+                     for kind, amount in sorted(ticks.items()))
+
+
+def render_profile(records: list[dict]) -> str:
+    """The text phase-profile table for span *records*."""
+    rows = profile_rows(records)
+    if not rows:
+        return "phase profile: no spans recorded"
+    name_width = max(5, max(len(row["name"]) for row in rows))
+    lines = [
+        f"{'phase':<{name_width}}  {'calls':>6}  {'total s':>10}  "
+        f"{'own s':>10}  ticks",
+        f"{'-' * name_width}  {'-' * 6}  {'-' * 10}  {'-' * 10}  "
+        f"{'-' * 5}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:<{name_width}}  {row['calls']:>6}  "
+            f"{row['total_s']:>10.6f}  {row['own_s']:>10.6f}  "
+            f"{_format_ticks(row['ticks'])}")
+    return "\n".join(lines)

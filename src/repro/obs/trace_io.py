@@ -1,0 +1,209 @@
+"""JSONL trace export, import, and validation.
+
+A trace file is one JSON object per line:
+
+* ``{"type": "header", "version": 1, "procedure": ..., "command": ...}``
+  — exactly one, first;
+* ``{"type": "span", "id", "parent", "name", "start", "end", "dur",
+  "ticks", "attrs"}`` — one per completed span, in completion order;
+* ``{"type": "metrics", "counters", "gauges", "histograms"}`` — the
+  registry snapshot (optional);
+* ``{"type": "statistics", "procedure", "fields", "ticks", "verdict",
+  "exhausted"}`` — the decision's ``SearchStatistics`` (``fields``) and
+  the governor's final per-kind tick ledger (``ticks``), optional.
+
+:func:`check_trace` is the validator behind ``repro trace --check``:
+structural well-formedness (unique ids, no orphans, children inside
+their parents, no overlap between spans that shared a thread of
+execution) plus the accounting invariants — the root spans' tick deltas
+must sum to the governor ledger, and for procedures whose search loop
+ticks once per examined unit, the ledger must equal the corresponding
+``SearchStatistics`` field.
+
+Spans grafted from parallel workers carry a ``lane`` attribute
+(``shard-N``); overlap and duration-sum checks apply *per lane*, since
+two workers legitimately run wall-clock-concurrently under one parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.results import SearchStatistics
+
+__all__ = ["TRACE_VERSION", "trace_records", "write_trace",
+           "read_trace", "check_trace", "PROCEDURE_TICK_FIELDS"]
+
+TRACE_VERSION = 1
+
+#: Procedures whose hot loop ticks the governor exactly once per unit
+#: folded into the named ``SearchStatistics`` field — for these,
+#: ``check_trace`` enforces ledger == statistics equality (on
+#: non-exhausted runs; an interrupting tick is admitted to the ledger
+#: but its unit of work never ran).
+PROCEDURE_TICK_FIELDS: dict[str, dict[str, str]] = {
+    "rcdp": {"valuations": "valuations_examined"},
+    "missing": {"valuations": "valuations_examined"},
+    "brute-rcdp": {"extensions": "valuations_examined"},
+    "brute-rcqp": {"candidates": "candidate_sets_examined"},
+}
+
+_SPAN_KEYS = ("id", "parent", "name", "start", "end", "dur", "ticks")
+
+
+def trace_records(span_records: Iterable[dict], *,
+                  procedure: str | None = None,
+                  command: str | None = None,
+                  metrics: dict | None = None,
+                  statistics: "SearchStatistics | None" = None,
+                  ticks: dict[str, int] | None = None,
+                  verdict: str | None = None,
+                  exhausted: bool = False) -> list[dict]:
+    """Assemble the full record stream for one traced decision."""
+    records: list[dict] = [{"type": "header", "version": TRACE_VERSION,
+                            "procedure": procedure, "command": command}]
+    records.extend(span_records)
+    if metrics is not None:
+        records.append({"type": "metrics", **metrics})
+    if statistics is not None or ticks is not None:
+        records.append({
+            "type": "statistics",
+            "procedure": procedure,
+            "fields": (dataclasses.asdict(statistics)
+                       if statistics is not None else {}),
+            "ticks": dict(ticks or {}),
+            "verdict": verdict,
+            "exhausted": exhausted,
+        })
+    return records
+
+
+def write_trace(path: str, records: Iterable[dict]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, ensure_ascii=False,
+                                    default=repr))
+            handle.write("\n")
+
+
+def read_trace(path: str) -> list[dict]:
+    records = []
+    with open(path, encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"line {line_number} is not valid JSON: {error}"
+                    ) from error
+    return records
+
+
+def _lane(record: dict) -> str:
+    return (record.get("attrs") or {}).get("lane", "main")
+
+
+def check_trace(records: list[dict], *,
+                eps: float = 1e-6) -> list[str]:
+    """Validate a trace; returns the list of problems (empty = valid)."""
+    problems: list[str] = []
+    headers = [r for r in records if r.get("type") == "header"]
+    if len(headers) != 1:
+        problems.append(f"expected exactly one header record, "
+                        f"found {len(headers)}")
+    elif headers[0].get("version") != TRACE_VERSION:
+        problems.append(f"unsupported trace version "
+                        f"{headers[0].get('version')!r}")
+    elif records[0].get("type") != "header":
+        problems.append("header record is not first")
+
+    spans = [r for r in records if r.get("type") == "span"]
+    by_id: dict[Any, dict] = {}
+    for span in spans:
+        missing = [key for key in _SPAN_KEYS if key not in span]
+        if missing:
+            problems.append(f"span record missing keys {missing}: "
+                            f"{span.get('name', '?')}")
+            continue
+        if span["id"] in by_id:
+            problems.append(f"duplicate span id {span['id']}")
+            continue
+        by_id[span["id"]] = span
+        if span["end"] < span["start"] - eps:
+            problems.append(
+                f"span {span['name']}#{span['id']} ends before it "
+                f"starts")
+
+    children: dict[Any, list[dict]] = {}
+    for span in by_id.values():
+        parent = span["parent"]
+        if parent is None:
+            children.setdefault(None, []).append(span)
+            continue
+        if parent not in by_id:
+            problems.append(f"orphan span {span['name']}#{span['id']}: "
+                            f"parent {parent} does not exist")
+            continue
+        children.setdefault(parent, []).append(span)
+        outer = by_id[parent]
+        if (span["start"] < outer["start"] - eps
+                or span["end"] > outer["end"] + eps):
+            problems.append(
+                f"span {span['name']}#{span['id']} is not contained "
+                f"in its parent {outer['name']}#{outer['id']}")
+
+    for parent, group in children.items():
+        lanes: dict[str, list[dict]] = {}
+        for span in group:
+            lanes.setdefault(_lane(span), []).append(span)
+        for lane, siblings in lanes.items():
+            siblings.sort(key=lambda s: (s["start"], s["end"]))
+            for earlier, later in zip(siblings, siblings[1:]):
+                if later["start"] < earlier["end"] - eps:
+                    problems.append(
+                        f"spans {earlier['name']}#{earlier['id']} and "
+                        f"{later['name']}#{later['id']} overlap in "
+                        f"lane {lane!r}")
+            if parent is not None:
+                total = sum(s["dur"] for s in siblings)
+                outer = by_id[parent]
+                if total > outer["dur"] + eps:
+                    problems.append(
+                        f"children of {outer['name']}#{outer['id']} in "
+                        f"lane {lane!r} total {total:.6f}s, exceeding "
+                        f"the parent's {outer['dur']:.6f}s")
+
+    stats_records = [r for r in records if r.get("type") == "statistics"]
+    if len(stats_records) > 1:
+        problems.append(f"expected at most one statistics record, "
+                        f"found {len(stats_records)}")
+    if stats_records:
+        record = stats_records[0]
+        ledger = record.get("ticks") or {}
+        root_ticks: dict[str, int] = {}
+        for span in children.get(None, ()):
+            for kind, amount in (span.get("ticks") or {}).items():
+                root_ticks[kind] = root_ticks.get(kind, 0) + amount
+        for kind in sorted(set(ledger) | set(root_ticks)):
+            if ledger.get(kind, 0) != root_ticks.get(kind, 0):
+                problems.append(
+                    f"root spans attribute {root_ticks.get(kind, 0)} "
+                    f"{kind!r} tick(s) but the governor ledger records "
+                    f"{ledger.get(kind, 0)}")
+        mapping = PROCEDURE_TICK_FIELDS.get(record.get("procedure"))
+        if mapping and not record.get("exhausted"):
+            fields = record.get("fields") or {}
+            for kind, field in mapping.items():
+                if kind in ledger or field in fields:
+                    if ledger.get(kind, 0) != fields.get(field, 0):
+                        problems.append(
+                            f"ledger {kind!r} = {ledger.get(kind, 0)} "
+                            f"!= statistics {field} = "
+                            f"{fields.get(field, 0)}")
+    return problems

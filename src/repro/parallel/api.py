@@ -48,6 +48,7 @@ from repro.core.results import (IncompletenessCertificate,
 from repro.engine import EvaluationContext
 from repro.errors import (ConstraintError, ExecutionInterrupted,
                           ReproError, UndecidableConfigurationError)
+from repro.obs import obs_of
 from repro.parallel.partition import (parallel_checkpoint_state,
                                       split_governor,
                                       unpack_parallel_state)
@@ -87,6 +88,9 @@ def _reconcile(outcomes: Sequence[ShardOutcome],
                governor: ExecutionGovernor | None) -> None:
     if governor is not None:
         governor.absorb(merged_ticks(outcomes))
+        observation = obs_of(governor)
+        if observation is not None:
+            observation.absorb_outcomes(outcomes)
 
 
 def _sum_statistics(outcomes: Sequence[ShardOutcome]) -> SearchStatistics:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.errors import ReproError
+from repro.obs import Observation, obs_of
 from repro.runtime import Budget, Deadline, ExecutionGovernor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -93,6 +94,10 @@ class GovernorSpec:
     deadline_at: float | None = None
     faults: "FaultInjector | None" = None
     watch_cancellation: bool = False
+    #: Mirror the parent's tracing into the worker: the worker attaches
+    #: its own :class:`~repro.obs.Observation`, whose spans/metrics come
+    #: back on the shard outcome and are rank-merged by the parent.
+    trace: bool = False
 
 
 def split_governor(governor: ExecutionGovernor | None, count: int,
@@ -131,6 +136,8 @@ def split_governor(governor: ExecutionGovernor | None, count: int,
                 max(0, cap - budget.spent_for(kind)), order, count)
     deadline_at = (governor.deadline.at
                    if governor.deadline is not None else None)
+    observation = obs_of(governor)
+    trace = observation is not None and observation.tracer.enabled
     return [GovernorSpec(
         budget_limit=total_shares[index],
         kind_limits={kind: shares[index]
@@ -138,6 +145,7 @@ def split_governor(governor: ExecutionGovernor | None, count: int,
         deadline_at=deadline_at,
         faults=governor.faults,
         watch_cancellation=governor.cancellation is not None,
+        trace=trace,
     ) for index in range(count)]
 
 
@@ -182,8 +190,11 @@ def materialize_governor(spec: GovernorSpec | None,
                     if spec.watch_cancellation and cancel_event is not None
                     else None)
     faults = copy.deepcopy(spec.faults) if spec.faults is not None else None
-    return ExecutionGovernor(budget=budget, deadline=deadline,
-                             cancellation=cancellation, faults=faults)
+    governor = ExecutionGovernor(budget=budget, deadline=deadline,
+                                 cancellation=cancellation, faults=faults)
+    if spec.trace:
+        Observation.attach(governor)
+    return governor
 
 
 def parallel_checkpoint_state(outcomes: Any) -> tuple[tuple[int, ...],

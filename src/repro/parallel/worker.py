@@ -31,6 +31,7 @@ from repro.core.results import RCDPStatus, SearchStatistics
 from repro.core.valuations import ActiveDomain, iter_sharded_valuations
 from repro.engine import EvaluationContext
 from repro.errors import ExecutionInterrupted
+from repro.obs import obs_of, obs_span
 from repro.relational.instance import Instance, extend_unvalidated
 from repro.parallel.beacon import WitnessBeacon
 from repro.parallel.partition import (GovernorSpec, ShardSpec,
@@ -78,6 +79,10 @@ class ShardOutcome:
     ticks: dict[str, int] = field(default_factory=dict)
     reason: str | None = None
     error: str | None = None
+    #: When the parent traces, the worker observation's picklable
+    #: ``{"spans": ..., "metrics": ...}`` payload, grafted into the
+    #: parent's trace as a ``shard-N`` lane on reconciliation.
+    obs: dict | None = None
 
 
 def _worker_context(task: ShardTask) -> tuple[EvaluationContext | None, Any]:
@@ -751,7 +756,12 @@ def shard_entry(task: ShardTask, beacon: WitnessBeacon | None,
     """Process entry point: run the task's shard, report one outcome."""
     try:
         governor = materialize_governor(task.governor, cancel_event)
-        outcome = _RUNNERS[task.kind](task, beacon, governor)
+        observation = obs_of(governor)
+        with obs_span(observation, "shard", kind=task.kind,
+                      index=task.shard.index):
+            outcome = _RUNNERS[task.kind](task, beacon, governor)
+        if observation is not None:
+            outcome.obs = observation.payload()
     except BaseException:
         outcome = ShardOutcome(index=task.shard.index, kind="error",
                                error=traceback.format_exc())

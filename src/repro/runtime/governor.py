@@ -48,17 +48,24 @@ class ExecutionGovernor:
     witnesses — so a single budget bounds the whole composite decision.
     """
 
-    __slots__ = ("budget", "deadline", "cancellation", "faults", "ticks")
+    __slots__ = ("budget", "deadline", "cancellation", "faults", "ticks",
+                 "obs")
 
     def __init__(self, budget: Budget | None = None,
                  deadline: Deadline | None = None,
                  cancellation: CancellationToken | None = None,
-                 faults: "FaultInjector | None" = None) -> None:
+                 faults: "FaultInjector | None" = None,
+                 obs: object | None = None) -> None:
         self.budget = budget
         self.deadline = deadline
         self.cancellation = cancellation
         self.faults = faults
         self.ticks = 0
+        #: Optional :class:`repro.obs.Observation` — tracing/metrics
+        #: ride on the governor because it already travels down every
+        #: search path; :meth:`tick` never touches it, so observation
+        #: costs nothing when detached.
+        self.obs = obs
 
     @classmethod
     def from_limits(cls, *, budget: int | None = None,

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ReproError
+from repro.obs import obs_of, obs_span
 from repro.runtime import ExecutionGovernor
 from repro.solvers.sat import CNF, dpll_satisfiable, random_3sat
 
@@ -52,15 +53,16 @@ class ForallExists3SAT:
         A *governor* charges one ``"nodes"`` tick per ∀-branch (plus the
         inner DPLL's own node ticks) and interrupts cooperatively.
         """
-        for values in itertools.product((False, True),
-                                        repeat=len(self.universal)):
-            if governor is not None:
-                governor.tick("nodes")
-            assumptions = dict(zip(self.universal, values))
-            if dpll_satisfiable(self.matrix, assumptions,
-                                governor=governor) is None:
-                return False
-        return True
+        with obs_span(obs_of(governor), "solve_qbf", prefix="forall-exists"):
+            for values in itertools.product((False, True),
+                                            repeat=len(self.universal)):
+                if governor is not None:
+                    governor.tick("nodes")
+                assumptions = dict(zip(self.universal, values))
+                if dpll_satisfiable(self.matrix, assumptions,
+                                    governor=governor) is None:
+                    return False
+            return True
 
     def __repr__(self) -> str:
         return (f"∀{list(self.universal)}∃{list(self.existential)}."
@@ -97,14 +99,15 @@ class ExistsForall3SAT:
             return evaluate_cnf(
                 self.matrix, {**x_map, **dict(zip(self.universal, y))})
 
-        for x_values in itertools.product((False, True),
-                                          repeat=len(self.existential)):
-            x_map = dict(zip(self.existential, x_values))
-            if all(_holds(x_map, y)
-                   for y in itertools.product(
-                       (False, True), repeat=len(self.universal))):
-                return True
-        return False
+        with obs_span(obs_of(governor), "solve_qbf", prefix="exists-forall"):
+            for x_values in itertools.product((False, True),
+                                              repeat=len(self.existential)):
+                x_map = dict(zip(self.existential, x_values))
+                if all(_holds(x_map, y)
+                       for y in itertools.product(
+                           (False, True), repeat=len(self.universal))):
+                    return True
+            return False
 
     def __repr__(self) -> str:
         return (f"∃{list(self.existential)}∀{list(self.universal)}."
@@ -160,14 +163,16 @@ class ExistsForallExists3SAT:
                 {**x_assumptions, **dict(zip(self.universal, y_values))},
                 governor=governor) is not None
 
-        for x_values in itertools.product((False, True),
-                                          repeat=len(self.outer_existential)):
-            x_assumptions = dict(zip(self.outer_existential, x_values))
-            if all(_branch_sat(x_assumptions, y_values)
-                   for y_values in itertools.product(
-                       (False, True), repeat=len(self.universal))):
-                return True
-        return False
+        with obs_span(obs_of(governor), "solve_qbf",
+                      prefix="exists-forall-exists"):
+            for x_values in itertools.product(
+                    (False, True), repeat=len(self.outer_existential)):
+                x_assumptions = dict(zip(self.outer_existential, x_values))
+                if all(_branch_sat(x_assumptions, y_values)
+                       for y_values in itertools.product(
+                           (False, True), repeat=len(self.universal))):
+                    return True
+            return False
 
     def __repr__(self) -> str:
         return (f"∃{list(self.outer_existential)}∀{list(self.universal)}"

@@ -17,6 +17,7 @@ from typing import Iterable, Mapping
 
 from repro.core.results import SearchStatistics
 from repro.errors import ExecutionInterrupted, ReproError
+from repro.obs import obs_of, obs_span
 from repro.runtime import ExecutionGovernor
 
 __all__ = ["CNF", "dpll_satisfiable", "random_3sat", "evaluate_cnf"]
@@ -170,7 +171,8 @@ def dpll_satisfiable(cnf: CNF,
         return None
 
     try:
-        solution = search(clauses, assignment)
+        with obs_span(obs_of(governor), "solve_sat"):
+            solution = search(clauses, assignment)
     except ExecutionInterrupted as interrupt:
         if interrupt.statistics is None:
             interrupt.statistics = SearchStatistics(nodes_examined=nodes)

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 from repro.core.results import SearchStatistics
 from repro.errors import ExecutionInterrupted, ReproError
+from repro.obs import obs_of, obs_span
 from repro.runtime import ExecutionGovernor
 
 __all__ = ["TilingInstance", "solve_tiling", "random_tiling_instance",
@@ -130,8 +131,10 @@ def solve_tiling(instance: TilingInstance,
         return False
 
     try:
-        if fill(0):
-            return grid
+        with obs_span(obs_of(governor), "solve_tiling",
+                      side=side, tiles=len(instance.tiles)):
+            if fill(0):
+                return grid
     except ExecutionInterrupted as interrupt:
         if interrupt.statistics is None:
             interrupt.statistics = SearchStatistics(nodes_examined=nodes)

@@ -24,6 +24,7 @@ from typing import Iterable, Mapping
 
 from repro.core.results import SearchStatistics
 from repro.errors import ExecutionInterrupted, ReproError
+from repro.obs import obs_of, obs_span
 from repro.runtime import ExecutionGovernor
 
 __all__ = ["TwoHeadDFA", "bounded_emptiness"]
@@ -148,14 +149,16 @@ def bounded_emptiness(automaton: TwoHeadDFA, max_length: int,
     """
     words = 0
     try:
-        for length in range(max_length + 1):
-            for symbols in itertools.product("01", repeat=length):
-                word = "".join(symbols)
-                if governor is not None:
-                    governor.tick("nodes")
-                words += 1
-                if automaton.accepts(word, governor=governor):
-                    return word
+        with obs_span(obs_of(governor), "solve_twohead",
+                      max_length=max_length):
+            for length in range(max_length + 1):
+                for symbols in itertools.product("01", repeat=length):
+                    word = "".join(symbols)
+                    if governor is not None:
+                        governor.tick("nodes")
+                    words += 1
+                    if automaton.accepts(word, governor=governor):
+                        return word
     except ExecutionInterrupted as interrupt:
         if interrupt.statistics is None:
             interrupt.statistics = SearchStatistics(nodes_examined=words)

@@ -121,3 +121,96 @@ class TestMissingCommand:
         assert main(["missing", path, "--limit", "1"]) == 1
         out = capsys.readouterr().out
         assert "1 answer(s)" in out
+
+
+class TestObservabilityFlags:
+    def test_decide_alias_with_trace_profile_stats(self, bundle_path,
+                                                   tmp_path, capsys):
+        import json
+
+        from repro.obs import check_trace, read_trace
+
+        path = bundle_path({("e0", "c1")})
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["decide", path, "--trace", str(trace),
+                     "--metrics", str(metrics), "--profile"]) == 1
+        out = capsys.readouterr().out
+        # satellite: engine counters surface in the statistics block
+        assert "statistics:" in out
+        assert "plans_compiled" in out
+        assert "phase" in out and "decide_rcdp" in out
+        records = read_trace(str(trace))
+        assert check_trace(records) == []
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        assert "governor.ticks.valuations" in snapshot["counters"]
+
+    def test_traced_run_keeps_the_untraced_verdict(self, bundle_path,
+                                                   tmp_path, capsys):
+        path = bundle_path({("e0", "c1"), ("e0", "c2")})
+        plain = main(["rcdp", path])
+        traced = main(["rcdp", path, "--trace",
+                       str(tmp_path / "t.jsonl")])
+        assert traced == plain == 0
+
+    def test_workers_two_trace_validates(self, bundle_path, tmp_path,
+                                         capsys):
+        from repro.obs import check_trace, read_trace
+
+        path = bundle_path({("e0", "c1")})
+        trace = tmp_path / "trace.jsonl"
+        assert main(["decide", path, "--workers", "2",
+                     "--trace", str(trace)]) == 1
+        records = read_trace(str(trace))
+        assert check_trace(records) == []
+        lanes = {(r.get("attrs") or {}).get("lane")
+                 for r in records if r.get("type") == "span"
+                 and r["name"] == "shard"}
+        assert lanes == {"shard-0", "shard-1"}
+
+    def test_stats_flag_without_observability(self, bundle_path, capsys):
+        path = bundle_path({("e0", "c1")})
+        assert main(["rcdp", path, "--stats"]) == 1
+        assert "valuations_examined" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_check_valid_trace(self, bundle_path, tmp_path, capsys):
+        path = bundle_path({("e0", "c1")})
+        trace = tmp_path / "trace.jsonl"
+        main(["decide", path, "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", str(trace), "--check"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_renders_profile_by_default(self, bundle_path, tmp_path,
+                                        capsys):
+        path = bundle_path({("e0", "c1")})
+        trace = tmp_path / "trace.jsonl"
+        main(["decide", path, "--trace", str(trace)])
+        capsys.readouterr()
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "decide_rcdp" in out
+
+    def test_check_rejects_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["trace", str(bad), "--check"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_check_flags_invalid_span_tree(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "orphan.jsonl"
+        records = [
+            {"type": "header", "version": 1, "procedure": "rcdp",
+             "command": None},
+            {"type": "span", "id": 1, "parent": 99, "name": "analyze",
+             "start": 0.0, "end": 1.0, "dur": 1.0, "ticks": {},
+             "attrs": {}},
+        ]
+        bad.write_text("\n".join(json.dumps(r) for r in records) + "\n",
+                       encoding="utf-8")
+        assert main(["trace", str(bad), "--check"]) == 2
+        assert "orphan" in capsys.readouterr().out
