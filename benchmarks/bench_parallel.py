@@ -25,6 +25,11 @@ on ≥ 2 cores, ≥ ``FULL_SPEEDUP`` at 4 workers in full mode on ≥ 4
 cores.  On smaller hosts the invariance checks still run and the gate
 is skipped with a note — a 1-core container can validate determinism
 but not wall-clock scaling.
+
+A second gate is host-independent: the default supervised pool
+(heartbeat snapshots + the supervisor's collection loop) must stay
+within ``SUPERVISION_OVERHEAD`` of the retry-disabled pool on the same
+fault-free 2-worker workload.
 """
 
 from __future__ import annotations
@@ -48,6 +53,10 @@ from repro.solvers.sat import CNF
 FULL_SPEEDUP = 2.0
 #: Required speedup at 2 workers (smoke mode, ≥ 2 cores).
 SMOKE_SPEEDUP = 1.15
+#: Max wall-clock ratio of the default supervised pool over the
+#: retry-disabled pool (2 workers, best-of-N): heartbeat publishing and
+#: the supervisor's collection loop must cost less than 5%.
+SUPERVISION_OVERHEAD = 1.05
 
 
 def _workload(num_universal: int):
@@ -110,6 +119,58 @@ def bench_size(num_universal: int, worker_counts: list[int],
     return row
 
 
+def bench_supervision_overhead(num_universal: int, rounds: int) -> dict:
+    """Supervised (default policy) vs retry-disabled pool at 2 workers.
+
+    Fault-free runs, so the two pools do identical search work; the
+    ratio isolates the cost of heartbeat snapshots plus the
+    supervisor's collection loop.  Measured as the **median of paired
+    ratios** over *rounds* back-to-back (disabled, supervised) pairs
+    with alternating order inside each pair — host-load drift between
+    samples then cancels within a pair instead of biasing a ratio of
+    minima, which matters on small shared hosts.  No multi-core
+    requirement."""
+    import statistics
+
+    from repro import ExecutionGovernor, RetryPolicy
+
+    instance = _workload(num_universal)
+    args = (instance.query, instance.database, instance.master,
+            list(instance.constraints))
+
+    def run(retry):
+        start = time.perf_counter()
+        result = decide_rcdp(*args, workers=2,
+                             governor=ExecutionGovernor(retry=retry))
+        elapsed = time.perf_counter() - start
+        assert result.status is RCDPStatus.COMPLETE
+        return elapsed, result
+
+    ratios = []
+    disabled_best = supervised_best = float("inf")
+    for index in range(rounds):
+        first, second = (None, RetryPolicy.disabled())
+        if index % 2 == 0:
+            first, second = second, first
+        elapsed_a, result_a = run(first)
+        elapsed_b, result_b = run(second)
+        assert (result_a.statistics.valuations_examined
+                == result_b.statistics.valuations_examined)
+        disabled_s, supervised_s = ((elapsed_a, elapsed_b)
+                                    if index % 2 == 0
+                                    else (elapsed_b, elapsed_a))
+        ratios.append(supervised_s / disabled_s)
+        disabled_best = min(disabled_best, disabled_s)
+        supervised_best = min(supervised_best, supervised_s)
+    return {
+        "universal_vars": num_universal,
+        "rounds": rounds,
+        "disabled_s": round(disabled_best, 6),
+        "supervised_s": round(supervised_best, 6),
+        "ratio": round(statistics.median(ratios), 4),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -137,6 +198,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"n={size}: {row['valuations']} valuations, "
               f"serial {row['serial_s']:.3f}s, {per_worker}")
 
+    overhead = bench_supervision_overhead(sizes[-1],
+                                          rounds=5 if args.smoke else 9)
+    print(f"supervision overhead (n={overhead['universal_vars']}, "
+          f"2 workers, {overhead['rounds']} paired rounds): best "
+          f"disabled {overhead['disabled_s']:.3f}s, best supervised "
+          f"{overhead['supervised_s']:.3f}s -> median paired ratio "
+          f"{overhead['ratio']}")
+
     gate_workers = 2 if args.smoke else 4
     required = SMOKE_SPEEDUP if args.smoke else FULL_SPEEDUP
     largest = rows[-1]
@@ -163,11 +232,19 @@ def main(argv: list[str] | None = None) -> int:
                 ticks={"valuations": row["valuations"]},
                 verdicts={"complete": 1},
                 extra={"speedup": data["speedup"]}))
+    bench_rows.append(bench_row(
+        f"supervision-overhead/n={overhead['universal_vars']}",
+        overhead["supervised_s"], verdicts={"complete": 1},
+        extra=overhead))
     report = bench_report(
         "parallel", bench_rows, smoke=args.smoke,
         gates=[bench_gate(f"speedup_at_{gate_workers}_workers",
                           required=required, measured=measured,
-                          enforced=enforced, note=note)],
+                          enforced=enforced, note=note),
+               bench_gate("supervision_overhead_at_2_workers",
+                          required=SUPERVISION_OVERHEAD,
+                          measured=overhead["ratio"],
+                          higher_is_better=False)],
         extra={"workload": "RCDP qsat true-family ∀x1..xn ∃y ⋀(xi ∨ y) "
                            "(Theorem 3.6 reduction, full enumeration)",
                "cores": cores})

@@ -57,9 +57,9 @@ from repro.errors import (AnalysisError, ConstraintError, DomainError,
                           ParseError, QueryError, ReproError, SchemaError,
                           SearchBudgetExceededError,
                           UndecidableConfigurationError,
-                          UnsatisfiableQueryError)
+                          UnsatisfiableQueryError, WorkerPoolError)
 from repro.runtime import (Budget, CancellationToken, Deadline,
-                           ExecutionGovernor, FaultInjector,
+                           ExecutionGovernor, FaultInjector, RetryPolicy,
                            SearchCheckpoint)
 from repro.queries import (ConjunctiveQuery, Const, DatalogQuery, EFOQuery,
                            Eq, FOQuery, Neq, RelAtom, Rule, Tableau,
@@ -87,11 +87,12 @@ __all__ = [
     "MissingAnswersReport", "Neq", "NotPartiallyClosedError", "ParseError",
     "Projection", "QueryError", "RCDPResult", "RCDPStatus", "RCQPResult",
     "RCQPStatus", "RelAtom", "RelationSchema", "Report", "ReproError",
-    "Rule",
+    "RetryPolicy", "Rule",
     "SchemaError", "SearchBudgetExceededError", "SearchCheckpoint",
     "SearchStatistics", "Severity", "Span", "Tableau",
     "UndecidableConfigurationError",
     "UnionOfConjunctiveQueries", "UnsatisfiableQueryError", "Var",
+    "WorkerPoolError",
     "analyze",
     "brute_force_rcdp", "brute_force_rcqp", "compile_all",
     "compile_to_containment", "cq", "decide_rcdp", "decide_rcqp",

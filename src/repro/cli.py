@@ -62,9 +62,18 @@ subcommands accept ``--workers N`` to shard the search across N worker
 processes (0 = all cores; see ``docs/PARALLEL.md``) — the verdict is
 identical for every worker count.
 
+Fault-tolerance flags (same subcommands): ``--max-retries N`` bounds
+how often a crashed or silent worker shard is respawned from its last
+progress snapshot before quarantine, ``--heartbeat SECONDS`` sets the
+progress-snapshot interval liveness detection keys off, and
+``--no-retry`` disables supervision entirely, restoring the legacy
+fail-fast behavior where any worker death aborts the command.
+
 Exit codes: 0 — affirmative verdict (complete / nonempty /
 trustworthy / no missing answers); 1 — negative verdict; 2 — error;
-3 — the governed search was interrupted before reaching a verdict.
+3 — the governed search was interrupted before reaching a verdict;
+4 — an unrecovered worker-pool failure (a worker reported an
+unexpected exception, or died under ``--no-retry``).
 """
 
 from __future__ import annotations
@@ -77,14 +86,17 @@ from repro.core.rcdp import decide_rcdp, missing_answers_report
 from repro.core.rcqp import decide_rcqp
 from repro.core.results import RCDPStatus, RCQPStatus
 from repro.core.witness import make_complete
-from repro.errors import (AnalysisError, ExecutionInterrupted, ReproError)
+from repro.errors import (AnalysisError, ExecutionInterrupted, ReproError,
+                          WorkerPoolError)
 from repro.io.json_io import load_bundle
-from repro.runtime import EXHAUSTION_MODES, ExecutionGovernor
+from repro.runtime import EXHAUSTION_MODES, ExecutionGovernor, RetryPolicy
 
 __all__ = ["main"]
 
 #: Exit code for searches interrupted by a budget or deadline.
 EXIT_EXHAUSTED = 3
+#: Exit code for unrecovered worker-pool failures.
+EXIT_POOL_FAILURE = 4
 
 
 def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -104,6 +116,19 @@ def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
         help="shard the search across N worker processes (default 1 = "
              "serial, 0 = all cores); the verdict is identical for "
              "every worker count")
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="respawn a crashed or silent worker shard from its last "
+             "progress snapshot up to N times before quarantining it "
+             "to an in-process serial re-run (default 2)")
+    parser.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="worker progress-snapshot interval; a shard silent for "
+             "~40 heartbeats is presumed hung and retried (default 0.25)")
+    parser.add_argument(
+        "--no-retry", action="store_true",
+        help="disable shard supervision: any worker death aborts the "
+             "command with exit code 4 (the pre-supervision behavior)")
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="write a JSONL span trace of the decision to FILE "
@@ -128,13 +153,34 @@ def _observability_requested(args: argparse.Namespace) -> bool:
                 or getattr(args, "profile", False))
 
 
+def _retry_from_args(args: argparse.Namespace) -> "RetryPolicy | None":
+    """The retry policy the flags ask for, or None for the default."""
+    max_retries = getattr(args, "max_retries", None)
+    heartbeat = getattr(args, "heartbeat", None)
+    if getattr(args, "no_retry", False):
+        if max_retries is not None or heartbeat is not None:
+            raise ReproError("--no-retry conflicts with --max-retries "
+                             "and --heartbeat")
+        return RetryPolicy.disabled()
+    if max_retries is None and heartbeat is None:
+        return None
+    defaults = RetryPolicy()
+    return RetryPolicy(
+        max_retries=(max_retries if max_retries is not None
+                     else defaults.max_retries),
+        heartbeat=(heartbeat if heartbeat is not None
+                   else defaults.heartbeat))
+
+
 def _governor_from_args(args: argparse.Namespace) -> ExecutionGovernor | None:
     budget = getattr(args, "budget", None)
     timeout = getattr(args, "timeout", None)
     observed = _observability_requested(args)
-    if budget is None and timeout is None and not observed:
+    retry = _retry_from_args(args)
+    if budget is None and timeout is None and not observed and retry is None:
         return None
-    governor = ExecutionGovernor.from_limits(budget=budget, timeout=timeout)
+    governor = ExecutionGovernor.from_limits(budget=budget, timeout=timeout,
+                                             retry=retry)
     if observed:
         from repro.obs import Observation
         from repro.runtime import Budget
@@ -502,6 +548,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if error.report is not None:
             print(error.report.render(), file=sys.stderr)
         return 2
+    except WorkerPoolError as error:
+        # One-line diagnostic; the per-shard tracebacks are in
+        # ``error.details`` for interactive debugging, not the console.
+        print(f"error: worker pool failure — {error.summary}",
+              file=sys.stderr)
+        return EXIT_POOL_FAILURE
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -95,6 +95,28 @@ class NotPartiallyClosedError(ReproError):
     constraints, i.e. it is not partially closed w.r.t. ``(Dm, V)``."""
 
 
+class WorkerPoolError(ReproError):
+    """The parallel worker pool failed and could not recover.
+
+    Raised by the shard supervisor when a worker reports an unexpected
+    exception (a deterministic bug — retrying would reproduce it), when
+    a poison shard exhausts its retries under ``on_poison="error"``, or
+    when supervision is disabled and any worker dies.  A crashed worker
+    means an unscanned slice of the search space, so no sound verdict
+    can be assembled from the remaining shards.
+
+    ``summary`` carries the one-line form (shard counts and reasons);
+    the full message appends per-shard details such as worker
+    tracebacks.  The CLI maps this error to its own exit code (4) and
+    prints only the summary.
+    """
+
+    def __init__(self, summary: str, *, details: str = "") -> None:
+        super().__init__(f"{summary}\n{details}" if details else summary)
+        self.summary = summary
+        self.details = details
+
+
 class SearchBudgetExceededError(ReproError):
     """An exact decision procedure exceeded its configured search budget.
 

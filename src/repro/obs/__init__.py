@@ -110,8 +110,14 @@ class Observation:
             payload = getattr(outcome, "obs", None)
             if not payload:
                 continue
-            self.tracer.absorb(payload.get("spans") or [],
-                               lane=f"shard-{outcome.index}")
+            # Retried shards get a per-attempt lane (``shard-N.aK``) so
+            # the per-lane overlap checks of ``check_trace`` stay valid
+            # even though attempts of one shard overlap in time.
+            lane = f"shard-{outcome.index}"
+            attempt = getattr(outcome, "attempt", 0)
+            if attempt:
+                lane += f".a{attempt}"
+            self.tracer.absorb(payload.get("spans") or [], lane=lane)
             self.metrics.merge(payload.get("metrics") or {})
 
     def __repr__(self) -> str:

@@ -143,6 +143,16 @@ class MetricsRegistry:
         if done:
             self.count("parallel.shards_done")
 
+    def record_supervision(self, event: str, *,
+                           shard: int | None = None) -> None:
+        """Count one shard-supervisor event: ``"crash"`` (a worker died
+        or went silent without reporting), ``"retry"`` (a respawn was
+        scheduled), or ``"quarantine"`` (a poison shard fell back to an
+        in-process serial re-run)."""
+        self.count(f"parallel.{event}")
+        if shard is not None:
+            self.count(f"parallel.shard.{shard}.{event}")
+
     # ------------------------------------------------------------------
     # The SearchStatistics view
     # ------------------------------------------------------------------

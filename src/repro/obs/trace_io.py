@@ -21,8 +21,15 @@ ticks once per examined unit, the ledger must equal the corresponding
 ``SearchStatistics`` field.
 
 Spans grafted from parallel workers carry a ``lane`` attribute
-(``shard-N``); overlap and duration-sum checks apply *per lane*, since
-two workers legitimately run wall-clock-concurrently under one parent.
+(``shard-N``, or ``shard-N.aK`` for a supervised retry's attempt K);
+overlap and duration-sum checks apply *per lane*, since two workers —
+or two attempts at the same shard — legitimately run wall-clock-
+concurrently under one parent.  The shard supervisor additionally
+emits ``supervisor.retry`` event spans (zero-duration markers with
+``index``/``attempt``/``reason`` attributes) and a
+``supervisor.quarantine`` span bracketing a poison shard's in-process
+re-run; both live in the main lane and charge no ticks, so the root
+tick-delta accounting is unaffected.
 """
 
 from __future__ import annotations

@@ -12,6 +12,8 @@ any verdict:
   carries the best witness rank found so far;
 * :mod:`~repro.parallel.worker` — shard-local images of the serial
   search loops;
+* :mod:`~repro.parallel.supervise` — the fault-tolerant supervisor:
+  heartbeat liveness, checkpoint-based retry, poison-shard quarantine;
 * :mod:`~repro.parallel.pool` — the fan-out/fan-in process driver;
 * :mod:`~repro.parallel.api` — the parent-side front-ends the serial
   deciders delegate to when ``workers > 1``.
@@ -33,6 +35,7 @@ from repro.parallel.partition import (EventCancellation, GovernorSpec,
                                       ShardSpec, materialize_governor,
                                       resolve_workers, split_governor)
 from repro.parallel.pool import merged_ticks, run_shards
+from repro.parallel.supervise import ShardSupervisor
 from repro.parallel.worker import ShardOutcome, ShardTask
 
 __all__ = [
@@ -50,6 +53,7 @@ __all__ = [
     "EventCancellation",
     "ShardTask",
     "ShardOutcome",
+    "ShardSupervisor",
     "WitnessBeacon",
     "run_shards",
     "merged_ticks",

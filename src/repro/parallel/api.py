@@ -25,6 +25,16 @@ Determinism contract (see ``docs/PARALLEL.md``):
   ticks are absorbed back into the parent governor, and per-shard resume
   cursors make interrupted parallel runs resumable — with the same
   worker count, since shard ownership is a function of it.
+* **Fault tolerance**: worker death does not change any of the above.
+  The pool's :class:`~repro.parallel.supervise.ShardSupervisor` respawns
+  crashed or silent shards from their last progress snapshot (the
+  committed prefix's statistics, ticks, and partial data are folded into
+  the replacement's outcome, so merged totals stay exact), and shards
+  that exhaust their :class:`~repro.runtime.RetryPolicy` budget are
+  quarantined to an in-process serial re-run of the identical slice.
+  Retried shards draw from the same governor ledger — budget shares are
+  reduced by committed ticks and the deadline stays absolute — so
+  exhaustion under faults still yields a resumable checkpoint.
 
 These functions are not called directly in normal use: the serial
 deciders in :mod:`repro.core` grow a ``workers=`` parameter and delegate

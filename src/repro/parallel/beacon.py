@@ -65,8 +65,16 @@ class WitnessBeacon:
 
     def superseded(self, rank: tuple[int, ...]) -> bool:
         """True when a candidate at *rank* can no longer be the serial-first
-        witness, so the caller's shard may stop early."""
+        witness, so the caller's shard may stop early.
+
+        The comparison is strict: ranks are unique per candidate, so a
+        candidate *equal* to the cutoff is the published witness itself
+        being re-examined — which happens when a supervised retry
+        replays a shard whose previous attempt offered a witness and
+        then died before reporting it.  The replay must re-report the
+        witness, not stop as superseded.
+        """
         if not self._flag.value:
             return False
         cutoff = self.cutoff()
-        return cutoff is not None and self._pad(rank) >= cutoff
+        return cutoff is not None and self._pad(rank) > cutoff

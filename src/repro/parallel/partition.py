@@ -31,6 +31,7 @@ from repro.runtime import Budget, Deadline, ExecutionGovernor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.faults import FaultInjector
+    from repro.runtime.retry import RetryPolicy
 
 __all__ = ["resolve_workers", "ShardSpec", "GovernorSpec",
            "split_governor", "materialize_governor", "EventCancellation",
@@ -98,6 +99,11 @@ class GovernorSpec:
     #: its own :class:`~repro.obs.Observation`, whose spans/metrics come
     #: back on the shard outcome and are rank-merged by the parent.
     trace: bool = False
+    #: The parent governor's :class:`~repro.runtime.retry.RetryPolicy`,
+    #: threaded through so a respawned shard's governor spec carries the
+    #: same policy — retried attempts draw from the same budget ledger
+    #: and honor the same absolute deadline as their predecessors.
+    retry: "RetryPolicy | None" = None
 
 
 def split_governor(governor: ExecutionGovernor | None, count: int,
@@ -146,6 +152,7 @@ def split_governor(governor: ExecutionGovernor | None, count: int,
         faults=governor.faults,
         watch_cancellation=governor.cancellation is not None,
         trace=trace,
+        retry=governor.retry,
     ) for index in range(count)]
 
 
@@ -172,14 +179,20 @@ class EventCancellation:
         return self._event.is_set()
 
 
-def materialize_governor(spec: GovernorSpec | None,
-                         cancel_event: Any) -> ExecutionGovernor | None:
+def materialize_governor(spec: GovernorSpec | None, cancel_event: Any,
+                         *, arm_process_faults: bool = True,
+                         ) -> ExecutionGovernor | None:
     """Build a worker-local governor from its picklable *spec*.
 
     Even a spec with no limits yields a governor with an unlimited
     budget: that budget is the worker's tick *ledger*, whose per-kind
     snapshot travels back in the shard outcome so the parent can absorb
     the exact charges into its own governor.
+
+    *arm_process_faults* enables the injector's process-level fault
+    kinds (``worker_crash``/``worker_hang``/``outcome_drop``) — true in
+    a worker process, false for a quarantined in-process re-run, which
+    must not be crashable by the faults that forced it.
     """
     if spec is None:
         return None
@@ -190,8 +203,11 @@ def materialize_governor(spec: GovernorSpec | None,
                     if spec.watch_cancellation and cancel_event is not None
                     else None)
     faults = copy.deepcopy(spec.faults) if spec.faults is not None else None
+    if faults is not None and arm_process_faults:
+        faults.arm_process_faults()
     governor = ExecutionGovernor(budget=budget, deadline=deadline,
-                                 cancellation=cancellation, faults=faults)
+                                 cancellation=cancellation, faults=faults,
+                                 retry=spec.retry)
     if spec.trace:
         Observation.attach(governor)
     return governor

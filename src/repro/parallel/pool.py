@@ -3,117 +3,58 @@
 One :func:`run_shards` call is one fan-out/fan-in round: every
 :class:`~repro.parallel.worker.ShardTask` becomes a worker process (a
 shard already marked ``done`` by a resumed checkpoint is answered
-inline), outcomes stream back over a queue, and the parent
+inline), outcomes stream back over a queue, and the parent reconciles
+one outcome per shard, in shard order.
 
-* propagates its own governor's cancellation token into the shared
-  event the worker governors watch,
-* synthesizes an ``"error"`` outcome for any worker that dies without
-  reporting (crash, OOM kill), so the pool can never hang on a dead
-  child, and
-* on return hands the caller one outcome per shard, in shard order.
+Since the supervision layer landed, the pool is fault tolerant by
+default: the collection loop lives in
+:class:`~repro.parallel.supervise.ShardSupervisor`, which detects dead
+or silent workers via heartbeat progress snapshots, respawns failed
+shards from their last snapshot cursor under the governing
+:class:`~repro.runtime.RetryPolicy`, and quarantines poison shards to
+an in-process serial re-run — see ``docs/PARALLEL.md`` ("Fault
+tolerance").  ``RetryPolicy.disabled()`` restores the legacy fail-fast
+behavior, where any worker death raises
+:class:`~repro.errors.WorkerPoolError`.
 
 ``fork`` is the preferred start method (cheap, inherits the prepared
 objects); every task and outcome is nevertheless fully picklable, so
-the ``spawn`` fallback works where ``fork`` is unavailable.
+the ``spawn`` fallback works where ``fork`` is unavailable, and the
+``REPRO_PARALLEL_START_METHOD`` environment variable forces a specific
+method (the CI exercises ``spawn`` explicitly).
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import queue as queue_module
-import time
 from typing import Sequence
 
-from repro.errors import ReproError
-from repro.parallel.beacon import WitnessBeacon
-from repro.parallel.worker import ShardOutcome, ShardTask, shard_entry
-from repro.runtime import ExecutionGovernor
+from repro.parallel.supervise import ShardSupervisor
+from repro.parallel.worker import ShardOutcome, ShardTask
+from repro.runtime import ExecutionGovernor, RetryPolicy
 
 __all__ = ["run_shards", "merged_ticks"]
-
-#: Grace period before a dead, silent worker is declared lost.
-_DEAD_WORKER_GRACE = 1.0
-
-
-def _mp_context() -> multiprocessing.context.BaseContext:
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn")
 
 
 def run_shards(tasks: Sequence[ShardTask],
                *, governor: ExecutionGovernor | None = None,
-               use_beacon: bool = True) -> list[ShardOutcome]:
+               use_beacon: bool = True,
+               retry: RetryPolicy | None = None) -> list[ShardOutcome]:
     """Run every task in its own worker process; return outcomes in
     shard order.
 
-    Worker failures come back as ``"error"`` outcomes and raise
-    :class:`~repro.errors.ReproError` here, with the worker tracebacks
-    attached — a crashed worker means an unscanned slice of the search
-    space, so no sound verdict can be assembled from the rest.
+    Worker death is recoverable: failed shards are retried from their
+    last progress snapshot and, past the retry budget, quarantined to
+    an in-process serial re-run, so the returned outcomes always cover
+    the full union of shard slices.  *retry* overrides the policy; by
+    default the parent governor's ``retry`` slot applies, falling back
+    to ``RetryPolicy()``.  Only unrecovered failures — a worker that
+    *reported* an unexpected exception, or any death under a disabled
+    policy — raise :class:`~repro.errors.WorkerPoolError`, with the
+    worker details attached.
     """
-    ctx = _mp_context()
-    beacon = WitnessBeacon(ctx) if use_beacon else None
-    cancel_event = ctx.Event()
-    outcome_queue = ctx.Queue()
-    outcomes: dict[int, ShardOutcome] = {}
-    processes: dict[int, multiprocessing.process.BaseProcess] = {}
-
-    for task in tasks:
-        if task.shard.done:
-            # Fully scanned before the interruption; nothing left to run.
-            outcomes[task.shard.index] = ShardOutcome(
-                index=task.shard.index, kind="complete",
-                consumed=task.shard.skip)
-            continue
-        processes[task.shard.index] = ctx.Process(
-            target=shard_entry,
-            args=(task, beacon, cancel_event, outcome_queue),
-            daemon=True)
-
-    for process in processes.values():
-        process.start()
-
-    grace: dict[int, float] = {}
-    try:
-        while len(outcomes) < len(tasks):
-            if (governor is not None and governor.cancellation is not None
-                    and governor.cancellation.cancelled):
-                cancel_event.set()
-            try:
-                outcome = outcome_queue.get(timeout=0.05)
-            except queue_module.Empty:
-                for index, process in processes.items():
-                    if index in outcomes or process.is_alive():
-                        continue
-                    deadline = grace.setdefault(
-                        index, time.monotonic() + _DEAD_WORKER_GRACE)
-                    if time.monotonic() >= deadline:
-                        outcomes[index] = ShardOutcome(
-                            index=index, kind="error",
-                            error=(f"worker {index} exited with code "
-                                   f"{process.exitcode} before reporting "
-                                   f"a result"))
-                continue
-            outcomes[outcome.index] = outcome
-    finally:
-        for process in processes.values():
-            if process.is_alive():
-                process.join(timeout=2.0)
-            if process.is_alive():
-                cancel_event.set()
-                process.terminate()
-                process.join(timeout=2.0)
-        outcome_queue.close()
-
-    errors = [o for o in outcomes.values() if o.kind == "error"]
-    if errors:
-        details = "\n".join(
-            f"[shard {o.index}] {o.error}" for o in errors)
-        raise ReproError(
-            f"{len(errors)} of {len(tasks)} search worker(s) failed:\n"
-            f"{details}")
-    return [outcomes[task.shard.index] for task in tasks]
+    supervisor = ShardSupervisor(tasks, governor=governor,
+                                 use_beacon=use_beacon, retry=retry)
+    return supervisor.run()
 
 
 def merged_ticks(outcomes: Sequence[ShardOutcome]) -> dict[str, int]:

@@ -15,11 +15,21 @@ A runner returns a :class:`ShardOutcome` — never raises:
 outcome carrying the shard's resume cursor, and any other exception is
 caught by :func:`shard_entry` and shipped back as an ``"error"``
 outcome with the formatted traceback.
+
+Under supervision (:mod:`repro.parallel.supervise`) a worker also
+publishes periodic ``"progress"`` outcomes: full snapshots (consumed
+count, statistics, ledger, partial data) taken at a candidate boundary,
+so each doubles as a liveness heartbeat *and* an exact restart
+checkpoint.  A :class:`_Beat` daemon thread arms a flag on the
+heartbeat interval; the search loop checks the flag between candidates
+and publishes — a loop that stops advancing therefore goes silent,
+which is exactly how the supervisor detects a hung worker.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import traceback
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -61,7 +71,9 @@ class ShardOutcome:
     found), ``"witness"`` (found a counterexample/witness at *rank*),
     ``"superseded"`` (stopped early because the beacon carries a
     strictly earlier witness), ``"exhausted"`` (governor tripped;
-    *consumed* is the resume cursor), or ``"error"``.
+    *consumed* is the resume cursor), ``"progress"`` (a mid-run
+    heartbeat snapshot under supervision — same fields, not final), or
+    ``"error"``.
 
     *consumed* counts the owned candidates this shard has fully
     processed across its lifetime — including the skip prefix of a
@@ -81,8 +93,12 @@ class ShardOutcome:
     error: str | None = None
     #: When the parent traces, the worker observation's picklable
     #: ``{"spans": ..., "metrics": ...}`` payload, grafted into the
-    #: parent's trace as a ``shard-N`` lane on reconciliation.
+    #: parent's trace as a ``shard-N`` lane (``shard-N.aK`` for retry
+    #: attempt K) on reconciliation.
     obs: dict | None = None
+    #: Which attempt at this shard produced the outcome (0 = first);
+    #: the supervisor discards messages from attempts it gave up on.
+    attempt: int = 0
 
 
 def _worker_context(task: ShardTask) -> tuple[EvaluationContext | None, Any]:
@@ -104,13 +120,48 @@ def _ledger(governor: Any) -> dict[str, int]:
     return dict(governor.budget.snapshot())
 
 
+class _Beat:
+    """Worker-side heartbeat pacing.
+
+    A daemon timer thread arms :attr:`due` every *interval* seconds;
+    the search loop polls the flag between candidates (one attribute
+    read on the hot path) and, when due, publishes a ``"progress"``
+    snapshot outcome.  Publishing from the loop — not the timer — keeps
+    snapshots consistent (taken at a candidate boundary) and makes a
+    hung loop go silent, which is the supervisor's hang signal.
+    """
+
+    __slots__ = ("queue", "attempt", "due", "_stop")
+
+    def __init__(self, queue: Any, interval: float, attempt: int) -> None:
+        self.queue = queue
+        self.attempt = attempt
+        self.due = False
+        self._stop = threading.Event()
+        thread = threading.Thread(
+            target=self._pace, args=(interval,), daemon=True)
+        thread.start()
+
+    def _pace(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            self.due = True
+
+    def publish(self, outcome: "ShardOutcome") -> None:
+        self.due = False
+        outcome.attempt = self.attempt
+        self.queue.put(outcome)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
 # ---------------------------------------------------------------------------
 # RCDP: one shard of the valid-valuation enumeration
 # ---------------------------------------------------------------------------
 
 
 def _run_rcdp(task: ShardTask, beacon: WitnessBeacon | None,
-              governor: Any) -> ShardOutcome:
+              governor: Any, beat: "_Beat | None" = None) -> ShardOutcome:
     from repro.core.rcdp import _prepare_search, split_ind_constraints
 
     p = task.payload
@@ -158,6 +209,8 @@ def _run_rcdp(task: ShardTask, beacon: WitnessBeacon | None,
                     if skip > 0:
                         skip -= 1
                         continue
+                    if beat is not None and beat.due:
+                        beat.publish(_outcome("progress"))
                     rank = (tableau_index, prefix_index, position)
                     if beacon is not None and beacon.superseded(rank):
                         return _outcome("superseded")
@@ -199,7 +252,7 @@ def _run_rcdp(task: ShardTask, beacon: WitnessBeacon | None,
 
 
 def _run_missing(task: ShardTask, beacon: WitnessBeacon | None,
-                 governor: Any) -> ShardOutcome:
+                 governor: Any, beat: "_Beat | None" = None) -> ShardOutcome:
     from repro.core.rcdp import _prepare_search, split_ind_constraints
 
     p = task.payload
@@ -252,6 +305,8 @@ def _run_missing(task: ShardTask, beacon: WitnessBeacon | None,
                     if skip > 0:
                         skip -= 1
                         continue
+                    if beat is not None and beat.due:
+                        beat.publish(_outcome("progress"))
                     if governor is not None:
                         governor.tick("valuations")
                     examined += 1
@@ -289,7 +344,8 @@ def _run_missing(task: ShardTask, beacon: WitnessBeacon | None,
 
 
 def _run_brute_rcdp(task: ShardTask, beacon: WitnessBeacon | None,
-                    governor: Any) -> ShardOutcome:
+                    governor: Any,
+                    beat: "_Beat | None" = None) -> ShardOutcome:
     import itertools
 
     from repro.core.bounded import candidate_fact_pool
@@ -337,6 +393,8 @@ def _run_brute_rcdp(task: ShardTask, beacon: WitnessBeacon | None,
                     if skip > 0:
                         skip -= 1
                         continue
+                    if beat is not None and beat.due:
+                        beat.publish(_outcome("progress"))
                     rank = (flat,)
                     if beacon is not None and beacon.superseded(rank):
                         return _outcome("superseded")
@@ -379,7 +437,8 @@ def _run_brute_rcdp(task: ShardTask, beacon: WitnessBeacon | None,
 
 
 def _run_brute_rcqp(task: ShardTask, beacon: WitnessBeacon | None,
-                    governor: Any) -> ShardOutcome:
+                    governor: Any,
+                    beat: "_Beat | None" = None) -> ShardOutcome:
     import itertools
 
     from repro.core.bounded import brute_force_rcdp, candidate_fact_pool
@@ -425,6 +484,8 @@ def _run_brute_rcqp(task: ShardTask, beacon: WitnessBeacon | None,
                     if skip > 0:
                         skip -= 1
                         continue
+                    if beat is not None and beat.due:
+                        beat.publish(_outcome("progress"))
                     rank = (flat,)
                     if beacon is not None and beacon.superseded(rank):
                         return _outcome("superseded")
@@ -495,7 +556,8 @@ def _rcqp_search_space(p: dict[str, Any]) -> tuple[Any, Any, ActiveDomain]:
 
 
 def _run_rcqp_sets(task: ShardTask, beacon: WitnessBeacon | None,
-                   governor: Any) -> ShardOutcome:
+                   governor: Any,
+                   beat: "_Beat | None" = None) -> ShardOutcome:
     import itertools
 
     from repro.core.rcdp import decide_rcdp
@@ -542,6 +604,8 @@ def _run_rcqp_sets(task: ShardTask, beacon: WitnessBeacon | None,
                     if skip > 0:
                         skip -= 1
                         continue
+                    if beat is not None and beat.due:
+                        beat.publish(_outcome("progress"))
                     rank = (flat,)
                     if beacon is not None and beacon.superseded(rank):
                         return _outcome("superseded")
@@ -596,7 +660,8 @@ def _run_rcqp_sets(task: ShardTask, beacon: WitnessBeacon | None,
 
 
 def _run_inds_scan(task: ShardTask, beacon: WitnessBeacon | None,
-                   governor: Any) -> ShardOutcome:
+                   governor: Any,
+                   beat: "_Beat | None" = None) -> ShardOutcome:
     """Phase-0 shard: does *this* tableau admit a constraint-compatible
     valid valuation?  First find wins (existential — any find proves
     relevance, the beacon lets sibling shards stop)."""
@@ -641,6 +706,8 @@ def _run_inds_scan(task: ShardTask, beacon: WitnessBeacon | None,
                 if skip > 0:
                     skip -= 1
                     continue
+                if beat is not None and beat.due:
+                    beat.publish(_outcome("progress"))
                 rank = (prefix_index, position)
                 if beacon is not None and beacon.superseded(rank):
                     return _outcome("superseded")
@@ -666,7 +733,8 @@ def _run_inds_scan(task: ShardTask, beacon: WitnessBeacon | None,
 
 
 def _run_inds_build(task: ShardTask, beacon: WitnessBeacon | None,
-                    governor: Any) -> ShardOutcome:
+                    governor: Any,
+                    beat: "_Beat | None" = None) -> ShardOutcome:
     """Phase-1 shard: collect, per output summary, the shard's first
     constraint-compatible instantiation of one tableau.  Full scan — the
     parent merges per-summary rank minima across shards."""
@@ -717,6 +785,8 @@ def _run_inds_build(task: ShardTask, beacon: WitnessBeacon | None,
                 if skip > 0:
                     skip -= 1
                     continue
+                if beat is not None and beat.due:
+                    beat.publish(_outcome("progress"))
                 if governor is not None:
                     governor.tick("valuations")
                 examined += 1
@@ -752,19 +822,38 @@ _RUNNERS = {
 
 
 def shard_entry(task: ShardTask, beacon: WitnessBeacon | None,
-                cancel_event: Any, queue: Any) -> None:
-    """Process entry point: run the task's shard, report one outcome."""
+                cancel_event: Any, queue: Any,
+                heartbeat: float | None = None, attempt: int = 0) -> None:
+    """Process entry point: run the task's shard, report one outcome.
+
+    Under supervision, *heartbeat* sets the progress-snapshot interval
+    and *attempt* stamps every message, so the supervisor can discard
+    stragglers from attempts it already gave up on.  The worker also
+    honors the injector's ``outcome_drop`` fault here: the final
+    outcome is silently discarded, simulating a report lost in flight.
+    """
+    governor = None
+    beat = None
     try:
         governor = materialize_governor(task.governor, cancel_event)
+        if heartbeat is not None and heartbeat > 0:
+            beat = _Beat(queue, heartbeat, attempt)
         observation = obs_of(governor)
         with obs_span(observation, "shard", kind=task.kind,
-                      index=task.shard.index):
-            outcome = _RUNNERS[task.kind](task, beacon, governor)
+                      index=task.shard.index, attempt=attempt):
+            outcome = _RUNNERS[task.kind](task, beacon, governor, beat)
         if observation is not None:
             outcome.obs = observation.payload()
     except BaseException:
         outcome = ShardOutcome(index=task.shard.index, kind="error",
                                error=traceback.format_exc())
+    finally:
+        if beat is not None:
+            beat.stop()
+    outcome.attempt = attempt
+    faults = governor.faults if governor is not None else None
+    if faults is not None and faults.should_drop_outcome():
+        return
     try:
         queue.put(outcome)
     except BaseException:  # pragma: no cover - queue teardown race

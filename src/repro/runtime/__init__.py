@@ -14,7 +14,10 @@ away the work it has done.  This package provides the machinery:
 * :class:`~repro.runtime.checkpoint.SearchCheckpoint` — resumable search
   frontiers for graceful degradation;
 * :class:`~repro.runtime.faults.FaultInjector` — deterministic, seedable
-  fault injection so the degradation paths are themselves testable.
+  fault injection (including process-level worker faults) so the
+  degradation paths are themselves testable;
+* :class:`~repro.runtime.retry.RetryPolicy` — how the parallel shard
+  supervisor retries, backs off, and quarantines failed workers.
 
 See ``docs/RUNTIME.md`` for the full story.
 """
@@ -22,18 +25,22 @@ See ``docs/RUNTIME.md`` for the full story.
 from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import SearchCheckpoint
 from repro.runtime.control import CancellationToken, Deadline
-from repro.runtime.faults import FaultInjector
+from repro.runtime.faults import CRASH_EXIT_CODE, FaultInjector
 from repro.runtime.governor import (EXHAUSTION_MODES, ExecutionGovernor,
                                     resolve_governor,
                                     validate_exhaustion_mode)
+from repro.runtime.retry import POISON_MODES, RetryPolicy
 
 __all__ = [
     "Budget",
+    "CRASH_EXIT_CODE",
     "CancellationToken",
     "Deadline",
     "EXHAUSTION_MODES",
     "ExecutionGovernor",
     "FaultInjector",
+    "POISON_MODES",
+    "RetryPolicy",
     "SearchCheckpoint",
     "resolve_governor",
     "validate_exhaustion_mode",

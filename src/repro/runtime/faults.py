@@ -9,10 +9,31 @@ configurable tick, or probabilistically under a fixed seed.  An injected
 fault is deliberately indistinguishable from the real condition (same
 reason string, same exception, same checkpoint machinery), so the tests
 that exercise degradation exercise the production paths.
+
+Besides the cooperative stop conditions, the injector carries three
+*process-level* fault kinds that exist to test the parallel shard
+supervisor (:mod:`repro.parallel.supervise`):
+
+* ``worker_crash`` — the process dies instantly (``os._exit``), as if
+  OOM-killed, either at a fixed tick (``crash_after``) or per tick with
+  probability ``crash_probability``;
+* ``worker_hang`` — the process stops making progress but stays alive
+  (``hang_after``), exercising heartbeat-based silence detection;
+* ``outcome_drop`` — the worker completes but its final outcome is
+  lost with probability ``drop_outcome``, as if the queue write never
+  happened.
+
+Process faults are inert until :meth:`arm_process_faults` is called —
+which only :func:`~repro.parallel.partition.materialize_governor` does,
+inside a worker process.  A serial run, a parent governor, or a
+quarantined in-process re-run never crashes from them, which is what
+guarantees a supervised search terminates even when every worker
+attempt is doomed.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -21,6 +42,10 @@ from repro.errors import ReproError
 __all__ = ["FaultInjector"]
 
 _REASONS = ("budget", "deadline", "cancelled")
+
+#: Exit code used by an injected ``worker_crash`` — distinctive, so a
+#: test (or a trace reader) can tell an injected crash from a real one.
+CRASH_EXIT_CODE = 173
 
 
 class FaultInjector:
@@ -39,13 +64,24 @@ class FaultInjector:
         Per-tick probability of simulated exhaustion, drawn from a
         private :class:`random.Random` seeded with *seed* — deterministic
         across runs for a fixed seed and tick stream.
+    crash_after, hang_after:
+        Process faults (armed workers only): kill the process after the
+        given tick count, or stop making progress while staying alive.
+    crash_probability:
+        Per-tick probability of an injected ``worker_crash`` (armed
+        workers only), drawn from the same seeded stream.
+    drop_outcome:
+        Probability that an armed worker's final outcome is dropped
+        instead of reported — the worker exits cleanly but silently.
     seed:
         Seed for the probabilistic faults (default 0).
     """
 
     __slots__ = ("exhaust_after", "deadline_after", "cancel_after",
                  "delay_every", "delay_seconds", "exhaust_probability",
-                 "_rng", "ticks", "fired")
+                 "crash_after", "hang_after", "crash_probability",
+                 "drop_outcome", "seed", "_rng", "ticks", "fired",
+                 "process_armed")
 
     def __init__(self, *, exhaust_after: int | None = None,
                  deadline_after: int | None = None,
@@ -53,28 +89,73 @@ class FaultInjector:
                  delay_every: int | None = None,
                  delay_seconds: float = 0.0,
                  exhaust_probability: float = 0.0,
+                 crash_after: int | None = None,
+                 hang_after: int | None = None,
+                 crash_probability: float = 0.0,
+                 drop_outcome: float = 0.0,
                  seed: int = 0) -> None:
         for name, value in (("exhaust_after", exhaust_after),
                             ("deadline_after", deadline_after),
-                            ("cancel_after", cancel_after)):
+                            ("cancel_after", cancel_after),
+                            ("crash_after", crash_after),
+                            ("hang_after", hang_after)):
             if value is not None and value < 0:
                 raise ReproError(f"{name} must be nonnegative, got {value}")
         if delay_every is not None and delay_every <= 0:
             raise ReproError(
                 f"delay_every must be positive, got {delay_every}")
-        if not 0.0 <= exhaust_probability <= 1.0:
-            raise ReproError(
-                f"exhaust_probability must be in [0, 1], "
-                f"got {exhaust_probability}")
+        for name, value in (("exhaust_probability", exhaust_probability),
+                            ("crash_probability", crash_probability),
+                            ("drop_outcome", drop_outcome)):
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(
+                    f"{name} must be in [0, 1], got {value}")
         self.exhaust_after = exhaust_after
         self.deadline_after = deadline_after
         self.cancel_after = cancel_after
         self.delay_every = delay_every
         self.delay_seconds = delay_seconds
         self.exhaust_probability = exhaust_probability
+        self.crash_after = crash_after
+        self.hang_after = hang_after
+        self.crash_probability = crash_probability
+        self.drop_outcome = drop_outcome
+        self.seed = seed
         self._rng = random.Random(seed)
         self.ticks = 0
         self.fired: str | None = None
+        self.process_armed = False
+
+    def arm_process_faults(self) -> None:
+        """Enable the process-level fault kinds.
+
+        Called by ``materialize_governor`` inside a worker process —
+        and deliberately *not* for a quarantined in-process re-run, so
+        graceful degradation to serial can never be crashed by the
+        faults that forced it.
+        """
+        self.process_armed = True
+
+    def reseeded(self, offset: int) -> "FaultInjector":
+        """A fresh copy (clocks reset, disarmed) with ``seed + offset``.
+
+        The supervisor reseeds the injector per respawn attempt so a
+        probabilistic crash schedule differs across attempts — with any
+        per-attempt crash probability below 1 a retried shard can
+        eventually get through.
+        """
+        return FaultInjector(
+            exhaust_after=self.exhaust_after,
+            deadline_after=self.deadline_after,
+            cancel_after=self.cancel_after,
+            delay_every=self.delay_every,
+            delay_seconds=self.delay_seconds,
+            exhaust_probability=self.exhaust_probability,
+            crash_after=self.crash_after,
+            hang_after=self.hang_after,
+            crash_probability=self.crash_probability,
+            drop_outcome=self.drop_outcome,
+            seed=self.seed + offset)
 
     def before_work(self, amount: int = 1) -> str | None:
         """Advance the fault clock by *amount*; return a stop reason or None.
@@ -91,6 +172,8 @@ class FaultInjector:
         if self.delay_every is not None and self.delay_seconds > 0 \
                 and self.ticks % self.delay_every == 0:
             time.sleep(self.delay_seconds)
+        if self.process_armed:
+            self._process_fault()
         if self.exhaust_after is not None and self.ticks > self.exhaust_after:
             self.fired = "budget"
         elif self.deadline_after is not None \
@@ -103,6 +186,24 @@ class FaultInjector:
             self.fired = "budget"
         return self.fired
 
+    def _process_fault(self) -> None:
+        if self.crash_after is not None and self.ticks > self.crash_after:
+            os._exit(CRASH_EXIT_CODE)
+        if self.hang_after is not None and self.ticks > self.hang_after:
+            while True:  # stay alive, make no progress; killed by SIGTERM
+                time.sleep(0.05)
+        if self.crash_probability > 0.0 \
+                and self._rng.random() < self.crash_probability:
+            os._exit(CRASH_EXIT_CODE)
+
+    def should_drop_outcome(self) -> bool:
+        """Whether an armed worker's final outcome should be lost."""
+        if not self.process_armed or self.drop_outcome <= 0.0:
+            return False
+        return self._rng.random() < self.drop_outcome
+
     def __repr__(self) -> str:
         state = f"fired={self.fired}" if self.fired else "armed"
+        if self.process_armed:
+            state += ", process faults live"
         return f"FaultInjector[{state} @ tick {self.ticks}]"

@@ -30,6 +30,7 @@ from repro.runtime.control import CancellationToken, Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.faults import FaultInjector
+    from repro.runtime.retry import RetryPolicy
 
 __all__ = ["ExecutionGovernor", "resolve_governor",
            "validate_exhaustion_mode", "EXHAUSTION_MODES"]
@@ -49,13 +50,14 @@ class ExecutionGovernor:
     """
 
     __slots__ = ("budget", "deadline", "cancellation", "faults", "ticks",
-                 "obs")
+                 "obs", "retry")
 
     def __init__(self, budget: Budget | None = None,
                  deadline: Deadline | None = None,
                  cancellation: CancellationToken | None = None,
                  faults: "FaultInjector | None" = None,
-                 obs: object | None = None) -> None:
+                 obs: object | None = None,
+                 retry: "RetryPolicy | None" = None) -> None:
         self.budget = budget
         self.deadline = deadline
         self.cancellation = cancellation
@@ -66,19 +68,26 @@ class ExecutionGovernor:
         #: search path; :meth:`tick` never touches it, so observation
         #: costs nothing when detached.
         self.obs = obs
+        #: Optional :class:`repro.runtime.retry.RetryPolicy` — how the
+        #: parallel shard supervisor handles worker failure.  Like
+        #: ``obs``, it rides on the governor (the one object already
+        #: threaded everywhere) and :meth:`tick` never consults it.
+        self.retry = retry
 
     @classmethod
     def from_limits(cls, *, budget: int | None = None,
                     timeout: float | None = None,
                     cancellation: CancellationToken | None = None,
                     faults: "FaultInjector | None" = None,
+                    retry: "RetryPolicy | None" = None,
                     ) -> "ExecutionGovernor":
         """Convenience constructor from plain numbers (CLI-flag shaped)."""
         return cls(
             budget=Budget(limit=budget) if budget is not None else None,
             deadline=Deadline.after(timeout) if timeout is not None else None,
             cancellation=cancellation,
-            faults=faults)
+            faults=faults,
+            retry=retry)
 
     def tick(self, kind: str = "work", amount: int = 1) -> None:
         """Charge *amount* units of *kind* work; raise on any trip.

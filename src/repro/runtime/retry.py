@@ -1,0 +1,134 @@
+"""Retry policy for supervised parallel execution.
+
+A :class:`RetryPolicy` tells the :class:`~repro.parallel.supervise.
+ShardSupervisor` how to react when a worker process dies (or goes
+silent) without reporting an outcome: how many times to respawn the
+shard from its last progress snapshot, how long to back off between
+attempts, how often workers must prove liveness, and what to do with a
+*poison* shard that keeps crashing.
+
+The policy rides on :class:`~repro.runtime.governor.ExecutionGovernor`
+(its ``retry`` slot) and is threaded through
+:class:`~repro.parallel.partition.GovernorSpec`, so retried shards draw
+from the same budget ledger as their failed predecessors and absolute
+deadlines are honored across attempts — a retry is a *resumption*, not
+a fresh run.
+
+Quarantine (``on_poison="serial"``, the default) is the graceful-
+degradation endpoint: after ``max_retries`` failed respawns the shard's
+slice is re-run **in-process serially**, with process-level fault
+injection disarmed, so the union of scanned slices stays exact and the
+supervised run always terminates with the worker-count-invariant
+verdict.  ``on_poison="error"`` fails fast with
+:class:`~repro.errors.WorkerPoolError` instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["RetryPolicy", "POISON_MODES"]
+
+#: Valid values for :attr:`RetryPolicy.on_poison`.
+POISON_MODES = ("serial", "error")
+
+#: Without an explicit ``silent_after``, a worker is declared hung
+#: after this many missed heartbeat intervals.  Generous on purpose:
+#: a false positive only costs a retry (the run stays correct), but a
+#: spawn-start worker pays module-import time before its first beat.
+_SILENT_HEARTBEATS = 40.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the shard supervisor handles worker failure.
+
+    Attributes
+    ----------
+    max_retries:
+        Respawn attempts per shard beyond the first run; a shard that
+        fails ``max_retries + 1`` times is poison and falls to
+        *on_poison*.
+    backoff_base, backoff_cap, backoff_jitter:
+        Respawn delay: ``min(cap, base * 2**retries_used)`` seconds,
+        stretched by up to ``jitter`` (fractional, seeded — the delay
+        is deterministic for a fixed policy seed and failure history).
+    heartbeat:
+        Interval at which workers publish progress snapshots, which
+        double as liveness beats and exact restart checkpoints.
+    silent_after:
+        A live worker that has not been heard from for this many
+        seconds is declared hung, killed, and retried; ``None`` means
+        40 heartbeat intervals.
+    on_poison:
+        ``"serial"`` (default) re-runs a poison shard in-process with
+        process faults disarmed; ``"error"`` raises
+        :class:`~repro.errors.WorkerPoolError`.
+    supervise:
+        ``False`` selects the legacy fail-fast pool: no heartbeats, no
+        retries — any worker death aborts the decision.
+    seed:
+        Seed for the backoff jitter.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    backoff_jitter: float = 0.1
+    heartbeat: float = 0.25
+    silent_after: float | None = None
+    on_poison: str = "serial"
+    supervise: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ReproError(
+                f"max_retries must be nonnegative, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ReproError(
+                f"backoff_base must be nonnegative, got {self.backoff_base}")
+        if self.backoff_cap < self.backoff_base:
+            raise ReproError(
+                f"backoff_cap ({self.backoff_cap}) must be >= backoff_base "
+                f"({self.backoff_base})")
+        if self.backoff_jitter < 0:
+            raise ReproError(
+                f"backoff_jitter must be nonnegative, "
+                f"got {self.backoff_jitter}")
+        if self.heartbeat <= 0:
+            raise ReproError(
+                f"heartbeat must be positive, got {self.heartbeat}")
+        if self.silent_after is not None and self.silent_after <= 0:
+            raise ReproError(
+                f"silent_after must be positive, got {self.silent_after}")
+        if self.on_poison not in POISON_MODES:
+            raise ReproError(
+                f"on_poison must be one of {POISON_MODES}, "
+                f"got {self.on_poison!r}")
+
+    @classmethod
+    def disabled(cls) -> "RetryPolicy":
+        """The legacy fail-fast pool: no supervision, no retries."""
+        return cls(supervise=False, max_retries=0, on_poison="error")
+
+    @property
+    def effective_silent_after(self) -> float:
+        return (self.silent_after if self.silent_after is not None
+                else self.heartbeat * _SILENT_HEARTBEATS)
+
+    def backoff_delay(self, retries_used: int, key: int = 0) -> float:
+        """Seconds to wait before respawn number ``retries_used + 1``.
+
+        Deterministic for a fixed ``(seed, key, retries_used)`` triple;
+        *key* decorrelates shards so a correlated crash (e.g. OOM) does
+        not respawn every shard at the same instant.
+        """
+        base = min(self.backoff_cap,
+                   self.backoff_base * (2.0 ** max(0, retries_used)))
+        rng = random.Random(self.seed * 1_000_003 + key * 8191
+                            + retries_used)
+        return base * (1.0 + self.backoff_jitter * rng.random())

@@ -282,6 +282,33 @@ class TestWorkerKnob:
                 == serial.statistics.valuations_examined)
 
 
+class TestStartMethods:
+    """The differential contract holds under every multiprocessing
+    start method — ``spawn`` in particular re-imports the worker module
+    and re-pickles every task, the path ``fork`` never exercises."""
+
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_fixed_scenarios_under_forced_start_method(
+            self, monkeypatch, method):
+        import multiprocessing
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", method)
+        serial = decide_rcdp(COMPLETE_QUERY, COMPLETE_DB, DM, [IND])
+        _assert_same_rcdp(serial, decide_rcdp(
+            COMPLETE_QUERY, COMPLETE_DB, DM, [IND], workers=2))
+        serial = decide_rcdp(WITNESS_QUERY, WITNESS_DB, DM, [IND])
+        _assert_same_rcdp(serial, decide_rcdp(
+            WITNESS_QUERY, WITNESS_DB, DM, [IND], workers=2))
+
+    def test_unknown_start_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_START_METHOD", "bogus")
+        with pytest.raises(ReproError,
+                           match="REPRO_PARALLEL_START_METHOD"):
+            decide_rcdp(COMPLETE_QUERY, COMPLETE_DB, DM, [IND],
+                        workers=2)
+
+
 _RCQP_IND = InclusionDependency(
     "R", ["a"], "M", ["c"]).to_containment_constraint(
     SCHEMA, MASTER_SCHEMA)
