@@ -244,7 +244,15 @@ def main(argv: list[str] | None = None) -> int:
                bench_gate("supervision_overhead_at_2_workers",
                           required=SUPERVISION_OVERHEAD,
                           measured=overhead["ratio"],
-                          higher_is_better=False)],
+                          higher_is_better=False,
+                          # On a single core the 2-worker pool and the
+                          # supervisor's heartbeat threads time-slice
+                          # one CPU, so the ratio measures scheduler
+                          # contention, not supervision cost.
+                          enforced=cores >= 2,
+                          note=(None if cores >= 2 else
+                                f"host has {cores} core(s); the paired "
+                                f"ratio is scheduler noise there"))],
         extra={"workload": "RCDP qsat true-family ∀x1..xn ∃y ⋀(xi ∨ y) "
                            "(Theorem 3.6 reduction, full enumeration)",
                "cores": cores})

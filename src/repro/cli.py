@@ -89,6 +89,7 @@ from repro.core.witness import make_complete
 from repro.errors import (AnalysisError, ExecutionInterrupted, ReproError,
                           WorkerPoolError)
 from repro.io.json_io import load_bundle
+from repro.relational.backends import BACKEND_NAMES
 from repro.runtime import EXHAUSTION_MODES, ExecutionGovernor, RetryPolicy
 
 __all__ = ["main"]
@@ -145,6 +146,11 @@ def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
         "--stats", action="store_true",
         help="print the search statistics, including the evaluation "
              "engine's plans_compiled/index_builds/cache_hits counters")
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="instance storage backend for the evaluation engine "
+             "(default: $REPRO_BACKEND or 'python'); the verdict is "
+             "identical for every backend")
 
 
 def _observability_requested(args: argparse.Namespace) -> bool:
@@ -251,12 +257,13 @@ def _print_exhaustion(result) -> None:
 
 
 def _cmd_rcdp(args: argparse.Namespace) -> int:
-    bundle = load_bundle(args.bundle)
+    bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     result = decide_rcdp(bundle["query"], bundle["database"],
                          bundle["master"], bundle["constraints"],
                          governor=governor,
                          on_exhausted=args.on_exhausted,
+                         backend=args.backend,
                          workers=args.workers)
     print(f"RCDP: {result.status.value}")
     print(result.explanation)
@@ -276,13 +283,14 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
 
 
 def _cmd_rcqp(args: argparse.Namespace) -> int:
-    bundle = load_bundle(args.bundle)
+    bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     result = decide_rcqp(bundle["query"], bundle["master"],
                          bundle["constraints"], bundle["schema"],
                          max_valuation_set_size=args.max_set_size,
                          governor=governor,
                          on_exhausted=args.on_exhausted,
+                         backend=args.backend,
                          workers=args.workers)
     print(f"RCQP: {result.status.value}")
     print(result.explanation)
@@ -300,13 +308,14 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
 
 
 def _cmd_complete(args: argparse.Namespace) -> int:
-    bundle = load_bundle(args.bundle)
+    bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     outcome = make_complete(bundle["query"], bundle["database"],
                             bundle["master"], bundle["constraints"],
                             max_rounds=args.max_rounds,
                             governor=governor,
                             on_exhausted=args.on_exhausted,
+                            backend=args.backend,
                             workers=args.workers)
     if outcome.complete:
         print(f"complete after {outcome.rounds} round(s); collect:")
@@ -329,12 +338,13 @@ def _cmd_complete(args: argparse.Namespace) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.mdm.audit import AuditVerdict, CompletenessAudit
 
-    bundle = load_bundle(args.bundle)
+    bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     audit = CompletenessAudit(
         master=bundle["master"], constraints=bundle["constraints"],
         schema=bundle["schema"],
         rcqp_valuation_set_size=args.max_set_size,
+        backend=args.backend,
         workers=args.workers)
     report = audit.assess(bundle["query"], bundle["database"],
                           governor=governor,
@@ -355,12 +365,12 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_missing(args: argparse.Namespace) -> int:
-    bundle = load_bundle(args.bundle)
+    bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     report = missing_answers_report(
         bundle["query"], bundle["database"], bundle["master"],
         bundle["constraints"], limit=args.limit,
-        governor=governor,
+        governor=governor, backend=args.backend,
         on_exhausted=args.on_exhausted, workers=args.workers)
     if not report.answers and report.exhaustive:
         print("no missing answers: the database is relatively complete")

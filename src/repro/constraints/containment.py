@@ -186,21 +186,20 @@ class ContainmentConstraint:
                                context: Any = None) -> bool:
         """``(base ∪ Δ, Dm) ⊨ q ⊆ p`` without materializing the union.
 
-        With a context, ``q(base ∪ Δ)`` comes from the semi-naive delta
-        rule over the cached ``q(base)``; without one the union is
-        materialized — same verdict either way.
+        With a context, the check is delegated to
+        :meth:`~repro.engine.context.EvaluationContext
+        .extension_satisfies` — the semi-naive delta rule over the
+        cached ``q(base)`` on the python backend, a pushed-down
+        violation probe on the others; without one the union is
+        materialized.  Same verdict every way.
         """
         if context is None:
             from repro.relational.instance import extend_unvalidated
 
             return self.is_satisfied(extend_unvalidated(base, delta_facts),
                                      master)
-        answers = context.evaluate_extension(self.query, base, delta_facts)
-        if not answers:
-            return True
-        if self.projection.is_empty_target:
-            return False
-        return answers <= self.projection.evaluate(master, context=context)
+        return context.extension_satisfies(self.query, base, delta_facts,
+                                           self.projection, master)
 
     def violating_answers(self, database: Instance,
                           master: Instance, *,

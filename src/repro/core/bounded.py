@@ -137,6 +137,7 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
                      resume_from: SearchCheckpoint | None = None,
                      use_engine: bool = True,
                      context: EvaluationContext | None = None,
+                     backend: str | None = None,
                      workers: int | None = 1,
                      ) -> RCDPResult:
     """Check relative completeness by exhaustive extension enumeration.
@@ -169,11 +170,11 @@ def brute_force_rcdp(query: Any, database: Instance, master: Instance,
             check_partially_closed=check_partially_closed, budget=budget,
             governor=governor, on_exhausted=on_exhausted,
             resume_from=resume_from, use_engine=use_engine,
-            context=context)
+            context=context, backend=backend)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     if check_partially_closed:
@@ -292,6 +293,7 @@ def brute_force_rcqp(query: Any, master: Instance,
                      resume_from: SearchCheckpoint | None = None,
                      use_engine: bool = True,
                      context: EvaluationContext | None = None,
+                     backend: str | None = None,
                      workers: int | None = 1,
                      ) -> RCQPResult:
     """Search for a relatively complete database by enumeration.
@@ -328,11 +330,11 @@ def brute_force_rcqp(query: Any, master: Instance,
             completeness_bound=completeness_bound, budget=budget,
             governor=governor, on_exhausted=on_exhausted,
             resume_from=resume_from, use_engine=use_engine,
-            context=context)
+            context=context, backend=backend)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     values = resolve_value_pool(query, constraints, schema, (master,),

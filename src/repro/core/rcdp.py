@@ -67,17 +67,22 @@ RowFilter = Callable[[str, tuple], bool]
 
 
 def resolve_context(context: EvaluationContext | None,
-                    use_engine: bool) -> EvaluationContext | None:
-    """Normalize a decider's ``(context, use_engine)`` pair.
+                    use_engine: bool,
+                    backend: str | None = None) -> EvaluationContext | None:
+    """Normalize a decider's ``(context, use_engine, backend)`` triple.
 
     ``use_engine=False`` forces the pre-engine evaluation paths (for
     ablation and the engine-equivalence property tests); otherwise a
     private context is created when the caller did not supply a shared
-    one.
+    one, running on *backend* (one of
+    :data:`~repro.relational.backends.BACKEND_NAMES`, ``None`` resolving
+    via ``$REPRO_BACKEND``).  A caller-supplied context keeps its own
+    backend.
     """
     if not use_engine:
         return None
-    return context if context is not None else EvaluationContext()
+    return context if context is not None else EvaluationContext(
+        backend=backend)
 
 
 def assert_decidable_configuration(
@@ -220,6 +225,7 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
                 resume_from: SearchCheckpoint | None = None,
                 use_engine: bool = True,
                 context: EvaluationContext | None = None,
+                backend: str | None = None,
                 analyze: bool = True,
                 analysis: Report | None = None,
                 workers: int | None = 1) -> RCDPResult:
@@ -274,6 +280,12 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
         enabled.  The decider attaches its governor to the context only
         while the search loop runs, so engine work during setup is
         never charged.
+    backend:
+        Storage backend for the private context — ``"python"``
+        (default), ``"columnar"``, or ``"sqlite"`` (see
+        ``docs/BACKENDS.md``); ``None`` resolves via ``$REPRO_BACKEND``.
+        The verdict, witness, and search statistics are identical across
+        backends.  Ignored when *context* is supplied (it has its own).
     analyze:
         When True (default), the static analyzer's cheap decider rules
         (:mod:`repro.analysis`) run first: error-severity findings
@@ -314,12 +326,12 @@ def decide_rcdp(query: Any, database: Instance, master: Instance,
             check_partially_closed=check_partially_closed, budget=budget,
             use_ind_pruning=use_ind_pruning, governor=governor,
             on_exhausted=on_exhausted, resume_from=resume_from,
-            use_engine=use_engine, context=context, analyze=analyze,
-            analysis=analysis)
+            use_engine=use_engine, context=context, backend=backend,
+            analyze=analyze, analysis=analysis)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -470,6 +482,7 @@ def missing_answers_report(query: Any, database: Instance,
                            resume_from: SearchCheckpoint | None = None,
                            use_engine: bool = True,
                            context: EvaluationContext | None = None,
+                           backend: str | None = None,
                            analyze: bool = True,
                            analysis: Report | None = None,
                            workers: int | None = 1,
@@ -506,11 +519,12 @@ def missing_answers_report(query: Any, database: Instance,
             limit=limit, check_partially_closed=check_partially_closed,
             budget=budget, governor=governor, on_exhausted=on_exhausted,
             resume_from=resume_from, use_engine=use_engine,
-            context=context, analyze=analyze, analysis=analysis)
+            context=context, backend=backend, analyze=analyze,
+            analysis=analysis)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -634,6 +648,7 @@ def enumerate_missing_answers(query: Any, database: Instance,
                               resume_from: SearchCheckpoint | None = None,
                               use_engine: bool = True,
                               context: EvaluationContext | None = None,
+                              backend: str | None = None,
                               analyze: bool = True,
                               analysis: Report | None = None,
                               workers: int | None = 1,
@@ -653,5 +668,5 @@ def enumerate_missing_answers(query: Any, database: Instance,
         check_partially_closed=check_partially_closed, budget=budget,
         governor=governor, on_exhausted=on_exhausted,
         resume_from=resume_from, use_engine=use_engine,
-        context=context, analyze=analyze, analysis=analysis,
-        workers=workers).answers
+        context=context, backend=backend, analyze=analyze,
+        analysis=analysis, workers=workers).answers

@@ -110,6 +110,7 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
                           resume_from: SearchCheckpoint | None = None,
                           use_engine: bool = True,
                           context: EvaluationContext | None = None,
+                          backend: str | None = None,
                           workers: int | None = 1,
                           ) -> RCQPResult:
     """Decide RCQP when every containment constraint is an IND.
@@ -142,11 +143,11 @@ def decide_rcqp_with_inds(query: Any, master: Instance,
             verify_witness=verify_witness, budget=budget,
             governor=governor, on_exhausted=on_exhausted,
             resume_from=resume_from, use_engine=use_engine,
-            context=context)
+            context=context, backend=backend)
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -501,6 +502,7 @@ def decide_rcqp(query: Any, master: Instance,
                 resume_from: SearchCheckpoint | None = None,
                 use_engine: bool = True,
                 context: EvaluationContext | None = None,
+                backend: str | None = None,
                 analyze: bool = True,
                 analysis: Any = None,
                 workers: int | None = 1) -> RCQPResult:
@@ -547,7 +549,8 @@ def decide_rcqp(query: Any, master: Instance,
                                      on_exhausted=on_exhausted,
                                      resume_from=resume_from,
                                      use_engine=use_engine,
-                                     context=context, workers=workers)
+                                     context=context, backend=backend,
+                                     workers=workers)
     count = resolve_workers(workers)
     if count > 1:
         from repro.parallel.api import decide_rcqp_parallel
@@ -560,10 +563,11 @@ def decide_rcqp(query: Any, master: Instance,
             verify_witness=verify_witness, budget=budget,
             governor=governor, on_exhausted=on_exhausted,
             resume_from=resume_from, use_engine=use_engine,
-            context=context, analyze=analyze, analysis=analysis)
+            context=context, backend=backend, analyze=analyze,
+            analysis=analysis)
     governor = resolve_governor(governor, budget)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)

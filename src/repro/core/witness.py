@@ -77,6 +77,7 @@ def make_complete(query: Any, database: Instance, master: Instance,
                   on_exhausted: str = "partial",
                   use_engine: bool = True,
                   context: EvaluationContext | None = None,
+                  backend: str | None = None,
                   analyze: bool = True,
                   analysis: Report | None = None,
                   workers: int | None = 1,
@@ -107,7 +108,7 @@ def make_complete(query: Any, database: Instance, master: Instance,
 
     validate_exhaustion_mode(on_exhausted)
     obs = obs_of(governor)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     with obs_span(obs, "analyze"):
         analysis = resolve_analysis(query, constraints, database, master,
                                     analysis, analyze)
@@ -176,6 +177,7 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
                      constraints: Sequence[ContainmentConstraint],
                      *, use_engine: bool = True,
                      context: EvaluationContext | None = None,
+                     backend: str | None = None,
                      governor: ExecutionGovernor | None = None) -> Instance:
     """Shrink a relatively complete database while keeping it complete.
 
@@ -187,7 +189,7 @@ def minimize_witness(query: Any, database: Instance, master: Instance,
     Raises :class:`~repro.errors.ReproError` if *database* is not
     relatively complete to begin with.
     """
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     obs = obs_of(governor)
     analysis = resolve_analysis(query, constraints, database, master,
                                 None, True)

@@ -8,6 +8,11 @@ without one (each CQ then runs its compiled plan over per-call indexes).
 The pre-engine backtracking evaluators survive as ``evaluate_naive`` on
 every query class and serve as the cross-validation oracle in the
 property tests (see ``docs/ENGINE.md``).
+
+Execution is backend-pluggable: the context routes through the storage
+backends of :mod:`repro.relational.backends` (tuple-at-a-time python
+rows, set-at-a-time columnar, SQL pushdown via :mod:`repro.engine.sql`
+— see ``docs/BACKENDS.md``).
 """
 
 from repro.engine.context import (ENGINE_LANGUAGES, EngineStatistics,
@@ -17,6 +22,7 @@ from repro.engine.executor import (ChainSource, DeltaSource, IndexedSource,
 from repro.engine.indexes import InstanceIndexes, build_index
 from repro.engine.keys import decision_key, stable_key
 from repro.engine.plan import CompiledPlan, PlanStep, compile_plan
+from repro.engine.sql import LoweredPlan, lower_plan
 
 __all__ = [
     "decision_key",
@@ -35,4 +41,6 @@ __all__ = [
     "CompiledPlan",
     "PlanStep",
     "compile_plan",
+    "LoweredPlan",
+    "lower_plan",
 ]

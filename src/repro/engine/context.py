@@ -32,10 +32,12 @@ from repro.engine.executor import (ChainSource, DeltaSource, IndexedSource,
                                    iter_rows)
 from repro.engine.indexes import InstanceIndexes
 from repro.engine.plan import CompiledPlan, compile_plan
+from repro.relational.backends import resolve_backend_name
 from repro.relational.instance import Instance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.results import SearchStatistics
+    from repro.relational.backends import StorageBackend
     from repro.runtime.governor import ExecutionGovernor
 
 __all__ = ["EngineStatistics", "EvaluationContext", "ENGINE_LANGUAGES"]
@@ -99,15 +101,25 @@ class EvaluationContext:
     :meth:`governed`), so engine work during setup — baseline answers,
     master projections — is never charged, keeping the governor's tick
     accounting identical to the pre-engine code.
+
+    ``backend`` selects the storage backend every evaluation routes
+    through (:mod:`repro.relational.backends`): ``"python"`` keeps the
+    original tuple-at-a-time executor and semi-naive delta rule;
+    ``"columnar"`` and ``"sqlite"`` run set-at-a-time / pushed-down SQL
+    plans with identical answers.  ``None`` resolves via the
+    ``REPRO_BACKEND`` environment variable.
     """
 
     __slots__ = ("governor", "statistics", "max_cached_instances",
-                 "_instances", "_indexes", "_answers", "_projections",
-                 "_queries", "_plans", "_memo", "_pinned")
+                 "backend", "_instances", "_indexes", "_answers",
+                 "_projections", "_queries", "_plans", "_memo", "_pinned",
+                 "_charged_indexes")
 
     def __init__(self, *, governor: "ExecutionGovernor | None" = None,
-                 max_cached_instances: int = 256) -> None:
+                 max_cached_instances: int = 256,
+                 backend: str | None = None) -> None:
         self.governor = governor
+        self.backend = resolve_backend_name(backend)
         self.statistics = EngineStatistics()
         self.max_cached_instances = max_cached_instances
         #: LRU of pinned instances: id -> Instance (insertion-ordered).
@@ -122,6 +134,10 @@ class EvaluationContext:
         self._plans: dict[tuple[int, int | None], CompiledPlan] = {}
         self._memo: dict[Any, Any] = {}
         self._pinned: dict[int, Any] = {}
+        #: indexes already charged to this context, per instance id —
+        #: storages are shared across contexts, so build accounting
+        #: must be deduplicated here to stay run-deterministic.
+        self._charged_indexes: dict[int, set[tuple[str, tuple]]] = {}
 
     # ------------------------------------------------------------------
     # Pinning and eviction
@@ -147,6 +163,7 @@ class EvaluationContext:
         self._indexes.pop(key, None)
         self._answers.pop(key, None)
         self._projections.pop(key, None)
+        self._charged_indexes.pop(key, None)
 
     def _pin_query(self, query: Any) -> int:
         key = id(query)
@@ -178,10 +195,37 @@ class EvaluationContext:
             self._indexes[key] = indexes
         return indexes
 
+    def storage_for(self, instance: Instance) -> "StorageBackend":
+        """The instance's storage for this context's backend (pinned so
+        the storage-holding instance survives the LRU)."""
+        self._pin_instance(instance)
+        return instance.storage(self.backend)
+
     def _on_build(self, relation: str, positions: tuple[int, ...]) -> None:
         if self.governor is not None:
             self.governor.tick("index_builds")
         self.statistics.index_builds += 1
+
+    def _storage_on_build(self, instance: Instance) -> Callable:
+        """An ``on_build`` callback for *instance*'s shared storage.
+
+        Storages outlive contexts (they are cached on the instance), so
+        they report every index a plan *requires*; this wrapper charges
+        each ``(relation, positions)`` pair once per instance per
+        context — exactly what a cold run would build — keeping the
+        counters identical whether or not the storage is pre-warmed.
+        """
+        key = self._pin_instance(instance)
+        charged = self._charged_indexes.setdefault(key, set())
+
+        def on_build(relation: str, positions: tuple[int, ...]) -> None:
+            index_key = (relation, positions)
+            if index_key in charged:
+                return
+            charged.add(index_key)
+            self._on_build(relation, positions)
+
+        return on_build
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -216,8 +260,16 @@ class EvaluationContext:
 
     def _engine_evaluate(self, query: Any,
                          instance: Instance) -> frozenset[tuple]:
+        if self.backend != "python":
+            storage = self.storage_for(instance)
+            on_build = self._storage_on_build(instance)
+            answers: set[tuple] = set()
+            for disjunct in query.to_cq_disjuncts():
+                answers.update(storage.plan_rows(
+                    self.plan_for(disjunct), on_build=on_build))
+            return frozenset(answers)
         source = IndexedSource(self.indexes_for(instance))
-        answers: set[tuple] = set()
+        answers = set()
         for disjunct in query.to_cq_disjuncts():
             plan = self.plan_for(disjunct)
             sources = (source,) * len(plan.steps)
@@ -241,13 +293,7 @@ class EvaluationContext:
         Δ-atom so none is enumerated twice.  Non-monotone languages
         (FO, FP) materialize the union and evaluate it directly.
         """
-        new_rows: dict[str, list[tuple]] = {}
-        for name, row in delta_facts:
-            row = tuple(row)
-            if row not in base.relation(name):
-                rows = new_rows.setdefault(name, [])
-                if row not in rows:
-                    rows.append(row)
+        new_rows = self._new_rows(base, delta_facts)
         if getattr(query, "language", None) not in ENGINE_LANGUAGES:
             # Non-monotone fallback: materialize D ∪ Δ.  The union is
             # ephemeral (one per candidate), so it is not answer-cached.
@@ -267,6 +313,15 @@ class EvaluationContext:
             # it true under any extension.
             return base_answers
         self.statistics.delta_evaluations += 1
+        if self.backend != "python":
+            storage = self.storage_for(base)
+            on_build = self._storage_on_build(base)
+            answers = set(base_answers)
+            for disjunct in query.to_cq_disjuncts():
+                answers.update(storage.plan_rows_extended(
+                    self.plan_for(disjunct), new_rows,
+                    on_build=on_build))
+            return frozenset(answers)
         base_source = IndexedSource(self.indexes_for(base))
         delta_source = DeltaSource(new_rows)
         chain_source = ChainSource(base_source, delta_source)
@@ -284,6 +339,57 @@ class EvaluationContext:
                     for step in plan.steps)
                 answers.update(iter_rows(plan, sources))
         return frozenset(answers)
+
+    @staticmethod
+    def _new_rows(base: Instance, delta_facts: Iterable[Fact],
+                  ) -> dict[str, list[tuple]]:
+        """Δ-facts grouped by relation, minus rows already in *base*."""
+        new_rows: dict[str, list[tuple]] = {}
+        for name, row in delta_facts:
+            row = tuple(row)
+            if row not in base.relation(name):
+                rows = new_rows.setdefault(name, [])
+                if row not in rows:
+                    rows.append(row)
+        return new_rows
+
+    def extension_satisfies(self, query: Any, base: Instance,
+                            delta_facts: Iterable[Fact], projection: Any,
+                            master: Instance) -> bool:
+        """Whether ``Q(base ∪ Δ) ⊆ p(master)`` — the containment
+        constraint check on a candidate extension.
+
+        On the non-python backends this is the pushdown fast path: the
+        storage decides *violation* directly (``plan_violates``), so an
+        at-most-``k`` constraint (empty target) becomes a single
+        existence probe that stops at the first answer instead of
+        materializing ``Q(base ∪ Δ)``.  The python backend (and
+        non-engine languages) keep the exact original evaluation, so
+        verdicts and counters there are byte-identical to the
+        pre-backend code.
+        """
+        if (self.backend != "python"
+                and getattr(query, "language", None) in ENGINE_LANGUAGES):
+            delta_facts = list(delta_facts)
+            new_rows = self._new_rows(base, delta_facts)
+            if new_rows:
+                storage = self.storage_for(base)
+                on_build = self._storage_on_build(base)
+                allowed = (None if projection.is_empty_target
+                           else self.projection_rows(projection, master))
+                self.statistics.delta_evaluations += 1
+                for disjunct in query.to_cq_disjuncts():
+                    plan = self.plan_for(disjunct)
+                    if storage.plan_violates(plan, new_rows, allowed,
+                                             on_build=on_build):
+                        return False
+                return True
+        answers = self.evaluate_extension(query, base, delta_facts)
+        if not answers:
+            return True
+        if projection.is_empty_target:
+            return False
+        return answers <= self.projection_rows(projection, master)
 
     # ------------------------------------------------------------------
     # Master projections

@@ -85,10 +85,17 @@ def instance_to_dict(instance: Instance) -> dict:
             for name, rows in instance if rows}
 
 
-def instance_from_dict(data: dict, schema: DatabaseSchema) -> Instance:
+def instance_from_dict(data: dict, schema: DatabaseSchema, *,
+                       validate: bool = True) -> Instance:
+    """Build an :class:`Instance` from the wire format.
+
+    ``validate=False`` is the bulk-load fast path: arity and domain
+    checks are skipped, which is sound for bundles this module wrote
+    itself (``dump_bundle`` only serializes validated instances).
+    """
     contents = {name: {tuple(row) for row in rows}
                 for name, rows in data.items()}
-    return Instance(schema, contents)
+    return Instance(schema, contents, validate=validate)
 
 
 # ---------------------------------------------------------------------------
@@ -262,19 +269,33 @@ def dump_bundle(path: str, *, schema: DatabaseSchema,
         json.dump(payload, handle, indent=2, sort_keys=True)
 
 
-def load_bundle(path: str) -> dict:
+def load_bundle(path: str, *, validate: bool = True,
+                backend: str | None = None) -> dict:
     """Load a bundle written by :func:`dump_bundle`; returns a dict with
     keys ``schema``, ``master_schema``, ``database``, ``master``,
-    ``query``, ``constraints``."""
+    ``query``, ``constraints``.
+
+    ``validate=False`` skips per-row arity/domain validation (the bulk
+    fast path for trusted bundles).  *backend* eagerly attaches that
+    storage backend (``"python"``, ``"columnar"``, ``"sqlite"``) to the
+    loaded instances so the first decision doesn't pay the load cost.
+    """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     schema = schema_from_dict(payload["schema"])
     master_schema = schema_from_dict(payload["master_schema"])
+    database = instance_from_dict(payload["database"], schema,
+                                  validate=validate)
+    master = instance_from_dict(payload["master"], master_schema,
+                                validate=validate)
+    if backend is not None:
+        database.storage(backend)
+        master.storage(backend)
     return {
         "schema": schema,
         "master_schema": master_schema,
-        "database": instance_from_dict(payload["database"], schema),
-        "master": instance_from_dict(payload["master"], master_schema),
+        "database": database,
+        "master": master,
         "query": query_from_dict(payload["query"]),
         "constraints": [constraint_from_dict(c)
                         for c in payload["constraints"]],

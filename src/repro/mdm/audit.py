@@ -110,6 +110,9 @@ class CompletenessAudit:
     rcqp_valuation_set_size: int = 1
     #: Turn off to run every stage on the naive evaluators (ablation).
     use_engine: bool = True
+    #: Storage backend for the audit's context (``"python"``,
+    #: ``"columnar"``, ``"sqlite"``; None resolves via $REPRO_BACKEND).
+    backend: str | None = None
     #: Shard every stage's search across this many worker processes
     #: (1 = serial, 0 = all cores); verdicts are worker-count invariant.
     workers: int = 1
@@ -125,7 +128,7 @@ class CompletenessAudit:
         """The audit's persistent evaluation context (None when the
         engine is disabled)."""
         if self.use_engine and self._context is None:
-            self._context = EvaluationContext()
+            self._context = EvaluationContext(backend=self.backend)
         return self._context
 
     def assess(self, query: Any, database: Instance,

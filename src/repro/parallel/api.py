@@ -84,14 +84,21 @@ Fact = tuple[str, tuple]
 def _make_tasks(kind: str, workers: int,
                 specs: Sequence[Any], consumed: Sequence[int],
                 done: Sequence[bool], use_engine: bool,
-                payload: dict[str, Any]) -> list[ShardTask]:
+                payload: dict[str, Any], *,
+                backend: str = "python") -> list[ShardTask]:
     return [ShardTask(kind=kind,
                       shard=ShardSpec(index=index, count=workers,
                                       skip=consumed[index],
                                       done=done[index]),
                       governor=specs[index], use_engine=use_engine,
-                      payload=payload)
+                      payload=payload, backend=backend)
             for index in range(workers)]
+
+
+def _task_backend(context: EvaluationContext | None) -> str:
+    """The backend worker contexts should run on: the parent context's
+    (so a ``--backend`` choice reaches every shard) or the default."""
+    return context.backend if context is not None else "python"
 
 
 def _reconcile(outcomes: Sequence[ShardOutcome],
@@ -155,12 +162,13 @@ def decide_rcdp_parallel(query: Any, database: Instance, master: Instance,
                          resume_from: SearchCheckpoint | None = None,
                          use_engine: bool = True,
                          context: EvaluationContext | None = None,
+                         backend: str | None = None,
                          analyze: bool = True,
                          analysis: Report | None = None) -> RCDPResult:
     """``decide_rcdp`` with the valuation search sharded over *workers*."""
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -202,7 +210,8 @@ def decide_rcdp_parallel(query: Any, database: Instance, master: Instance,
         "rcdp", workers, specs, consumed, done, use_engine,
         dict(query=query, database=database, master=master,
              constraints=tuple(constraints),
-             use_ind_pruning=use_ind_pruning))
+             use_ind_pruning=use_ind_pruning),
+        backend=_task_backend(context))
     outcomes = run_shards(tasks, governor=governor)
     _reconcile(outcomes, governor)
 
@@ -270,6 +279,7 @@ def missing_answers_parallel(query: Any, database: Instance,
                              resume_from: SearchCheckpoint | None = None,
                              use_engine: bool = True,
                              context: EvaluationContext | None = None,
+                             backend: str | None = None,
                              analyze: bool = True,
                              analysis: Report | None = None,
                              ) -> MissingAnswersReport:
@@ -284,7 +294,7 @@ def missing_answers_parallel(query: Any, database: Instance,
     """
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -322,7 +332,8 @@ def missing_answers_parallel(query: Any, database: Instance,
     tasks = _make_tasks(
         "missing", workers, specs, consumed, done, use_engine,
         dict(query=query, database=database, master=master,
-             constraints=tuple(constraints), limit=limit))
+             constraints=tuple(constraints), limit=limit),
+        backend=_task_backend(context))
     outcomes = run_shards(tasks, governor=governor, use_beacon=False)
     _reconcile(outcomes, governor)
 
@@ -394,13 +405,14 @@ def brute_force_rcdp_parallel(query: Any, database: Instance,
                               resume_from: SearchCheckpoint | None = None,
                               use_engine: bool = True,
                               context: EvaluationContext | None = None,
+                              backend: str | None = None,
                               ) -> RCDPResult:
     """``brute_force_rcdp`` with the extension-set enumeration sharded."""
     from repro.core.bounded import candidate_fact_pool, resolve_value_pool
 
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     if check_partially_closed:
@@ -430,7 +442,8 @@ def brute_force_rcdp_parallel(query: Any, database: Instance,
         dict(query=query, database=database, master=master,
              constraints=tuple(constraints),
              max_extra_facts=max_extra_facts, values=tuple(values),
-             relations=relations))
+             relations=relations),
+        backend=_task_backend(context))
     outcomes = run_shards(tasks, governor=governor)
     _reconcile(outcomes, governor)
 
@@ -491,13 +504,14 @@ def brute_force_rcqp_parallel(query: Any, master: Instance,
                               resume_from: SearchCheckpoint | None = None,
                               use_engine: bool = True,
                               context: EvaluationContext | None = None,
+                              backend: str | None = None,
                               ) -> RCQPResult:
     """``brute_force_rcqp`` with the candidate-database search sharded."""
     from repro.core.bounded import candidate_fact_pool, resolve_value_pool
 
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     values = resolve_value_pool(query, constraints, schema, (master,),
@@ -528,7 +542,8 @@ def brute_force_rcqp_parallel(query: Any, master: Instance,
         dict(query=query, master=master, constraints=tuple(constraints),
              schema=schema, max_database_size=max_database_size,
              values=tuple(values), completeness_bound=completeness_bound,
-             decidable=decidable))
+             decidable=decidable),
+        backend=_task_backend(context))
     outcomes = run_shards(tasks, governor=governor)
     _reconcile(outcomes, governor)
 
@@ -594,6 +609,7 @@ def decide_rcqp_parallel(query: Any, master: Instance,
                          resume_from: SearchCheckpoint | None = None,
                          use_engine: bool = True,
                          context: EvaluationContext | None = None,
+                         backend: str | None = None,
                          analyze: bool = True,
                          analysis: Any = None) -> RCQPResult:
     """``decide_rcqp`` (general E2/E6 search) with the candidate-set
@@ -611,7 +627,7 @@ def decide_rcqp_parallel(query: Any, master: Instance,
 
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -727,7 +743,8 @@ def decide_rcqp_parallel(query: Any, master: Instance,
         dict(query=query, master=master, constraints=tuple(constraints),
              schema=schema, units=tuple(units), max_size=max_size,
              max_completion_rounds=max_completion_rounds,
-             verify_witness=verify_witness))
+             verify_witness=verify_witness),
+        backend=_task_backend(context))
     outcomes = run_shards(tasks, governor=governor)
     _reconcile(outcomes, governor)
 
@@ -795,7 +812,8 @@ def decide_rcqp_with_inds_parallel(
         on_exhausted: str = "error",
         resume_from: SearchCheckpoint | None = None,
         use_engine: bool = True,
-        context: EvaluationContext | None = None) -> RCQPResult:
+        context: EvaluationContext | None = None,
+        backend: str | None = None) -> RCQPResult:
     """``decide_rcqp_with_inds`` with both valuation scans sharded.
 
     Phase 0 (is the disjunct relevant?) runs one pool per tableau with
@@ -811,7 +829,7 @@ def decide_rcqp_with_inds_parallel(
 
     validate_exhaustion_mode(on_exhausted)
     governor = resolve_governor(governor, budget)
-    context = resolve_context(context, use_engine)
+    context = resolve_context(context, use_engine, backend)
     engine_base = (context.statistics.copy() if context is not None
                    else None)
     assert_decidable_configuration(query, constraints)
@@ -895,7 +913,8 @@ def decide_rcqp_with_inds_parallel(
                                    consumed=consumed, done=done)
             tasks = _make_tasks(
                 "inds-scan", workers, specs, consumed, done, use_engine,
-                dict(base_payload, tableau_index=t_index))
+                dict(base_payload, tableau_index=t_index),
+                backend=_task_backend(context))
             outcomes = run_shards(tasks, governor=governor)
             _reconcile(outcomes, governor)
             accumulated = accumulated.merged(_sum_statistics(outcomes))
@@ -943,7 +962,8 @@ def decide_rcqp_with_inds_parallel(
                                    consumed=consumed, done=done)
             tasks = _make_tasks(
                 "inds-build", workers, specs, consumed, done, use_engine,
-                dict(base_payload, tableau_index=tableau_index))
+                dict(base_payload, tableau_index=tableau_index),
+                backend=_task_backend(context))
             outcomes = run_shards(tasks, governor=governor,
                                   use_beacon=False)
             _reconcile(outcomes, governor)

@@ -54,13 +54,21 @@ Fact = tuple[str, tuple]
 
 @dataclass(frozen=True)
 class ShardTask:
-    """A picklable description of one worker's job."""
+    """A picklable description of one worker's job.
+
+    *backend* names the storage backend the worker's private
+    :class:`~repro.engine.EvaluationContext` runs on.  Storages
+    themselves never cross the process boundary (they may hold an
+    sqlite connection); each worker re-attaches fresh ones to the
+    unpickled instances on first use.
+    """
 
     kind: str
     shard: ShardSpec
     governor: GovernorSpec | None
     use_engine: bool
     payload: dict[str, Any]
+    backend: str = "python"
 
 
 @dataclass
@@ -102,7 +110,8 @@ class ShardOutcome:
 
 
 def _worker_context(task: ShardTask) -> tuple[EvaluationContext | None, Any]:
-    context = EvaluationContext() if task.use_engine else None
+    context = (EvaluationContext(backend=task.backend)
+               if task.use_engine else None)
     base = context.statistics.copy() if context is not None else None
     return context, base
 

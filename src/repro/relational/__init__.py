@@ -1,5 +1,8 @@
-"""Relational substrate: domains, schemas, and set-semantics instances."""
+"""Relational substrate: domains, schemas, set-semantics instances, and
+pluggable storage backends."""
 
+from repro.relational.backends import (BACKEND_NAMES, StorageBackend,
+                                       create_storage, resolve_backend_name)
 from repro.relational.domain import (BOOLEAN, FiniteDomain, FreshValue,
                                      FreshValueSupply, INFINITE,
                                      InfiniteDomain, is_fresh)
@@ -9,6 +12,7 @@ from repro.relational.schema import (Attribute, DatabaseSchema,
 
 __all__ = [
     "Attribute",
+    "BACKEND_NAMES",
     "BOOLEAN",
     "DatabaseSchema",
     "FiniteDomain",
@@ -18,5 +22,8 @@ __all__ = [
     "InfiniteDomain",
     "Instance",
     "RelationSchema",
+    "StorageBackend",
+    "create_storage",
     "is_fresh",
+    "resolve_backend_name",
 ]

@@ -9,10 +9,13 @@ instances.  Containment ``D ⊆ D'`` (relation-wise) is the paper's notion of
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 from repro.relational.schema import DatabaseSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.backends import StorageBackend
 
 __all__ = ["Instance", "extend_unvalidated"]
 
@@ -25,9 +28,16 @@ class Instance:
     Relations not mentioned in *contents* are empty.  Every tuple is
     validated against its relation schema (arity and domains) on
     construction, so downstream algorithms can assume well-formed data.
+
+    The frozenset-of-tuples contents are the ground truth: equality,
+    hashing, ``repr`` (and therefore the engine's content-based memo
+    keys) depend only on them.  Execution-oriented *storage backends*
+    (:mod:`repro.relational.backends`) attach lazily via :meth:`storage`
+    and are pure acceleration structures — transient, excluded from
+    pickling, and rebuilt on demand wherever the instance travels.
     """
 
-    __slots__ = ("schema", "_relations")
+    __slots__ = ("schema", "_relations", "_adom", "_storages")
 
     def __init__(self, schema: DatabaseSchema,
                  contents: Mapping[str, Iterable[Row]] | None = None,
@@ -47,6 +57,8 @@ class Instance:
                         rel.validate_tuple(row)
                 relations[name] = frozen
         self._relations = relations
+        self._adom: frozenset[Any] | None = None
+        self._storages: dict[str, "StorageBackend"] = {}
 
     # ------------------------------------------------------------------
     # Constructors
@@ -85,12 +97,56 @@ class Instance:
         return all(not rows for rows in self._relations.values())
 
     def active_domain(self) -> frozenset[Any]:
-        """All constants appearing in any tuple of the instance."""
-        values: set[Any] = set()
-        for rows in self._relations.values():
-            for row in rows:
-                values.update(row)
-        return frozenset(values)
+        """All constants appearing in any tuple of the instance.
+
+        Computed lazily once per instance: immutability makes the result
+        permanent, and the decider hot loops (:mod:`repro.core.bounded`,
+        :mod:`repro.core.valuations`) ask repeatedly.
+        """
+        if self._adom is None:
+            values: set[Any] = set()
+            for rows in self._relations.values():
+                for row in rows:
+                    values.update(row)
+            self._adom = frozenset(values)
+        return self._adom
+
+    # ------------------------------------------------------------------
+    # Storage backends
+    # ------------------------------------------------------------------
+
+    def storage(self, kind: str | None = None) -> "StorageBackend":
+        """The instance's storage backend of *kind*, built on first use.
+
+        *kind* is one of :data:`~repro.relational.backends.BACKEND_NAMES`
+        (``None`` resolves via the ``REPRO_BACKEND`` environment
+        variable, defaulting to ``"python"``).  Storages are cached per
+        kind for the instance's lifetime — immutability makes them safe
+        to share — but never pickled; a worker process re-attaches its
+        own on first use.
+        """
+        from repro.relational.backends import (create_storage,
+                                               resolve_backend_name)
+
+        kind = resolve_backend_name(kind)
+        stored = self._storages.get(kind)
+        if stored is None:
+            stored = create_storage(kind, self)
+            self._storages[kind] = stored
+        return stored
+
+    # ------------------------------------------------------------------
+    # Pickling: storages (which may hold unpicklable state, e.g. an
+    # sqlite connection) and caches are transient.
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        return (self.schema, self._relations)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.schema, self._relations = state
+        self._adom = None
+        self._storages = {}
 
     # ------------------------------------------------------------------
     # Algebra
@@ -214,6 +270,12 @@ def extend_unvalidated(instance: Instance,
     pools, so the per-tuple domain checks of :meth:`Instance.with_facts`
     are pure overhead there.  Facts are ``(relation name, row)`` pairs;
     an unknown relation name still raises ``SchemaError``.
+
+    Extension is also a backend op: storages attached to *instance* are
+    asked to :meth:`~repro.relational.backends.StorageBackend.derive` a
+    cheap overlay for the union, so a backend that supports it (the
+    columnar one appends Δ to its column arrays) never rebuilds from
+    scratch on the ``D ∪ Δ`` hot path.
     """
     grouped: dict[str, set[Row]] = {}
     for name, row in facts:
@@ -221,7 +283,16 @@ def extend_unvalidated(instance: Instance,
     if not grouped:
         return instance
     contents: dict[str, frozenset[Row]] = dict(instance._relations)
+    new_rows: dict[str, list[Row]] = {}
     for name, rows in grouped.items():
         existing = instance.relation(name)
         contents[name] = existing | rows
-    return Instance(instance.schema, contents, validate=False)
+        fresh = [row for row in rows if row not in existing]
+        if fresh:
+            new_rows[name] = fresh
+    extended = Instance(instance.schema, contents, validate=False)
+    for kind, storage in instance._storages.items():
+        derived = storage.derive(extended, new_rows)
+        if derived is not None:
+            extended._storages[kind] = derived
+    return extended

@@ -1,0 +1,313 @@
+"""Differential tests for the pluggable instance storage backends.
+
+The :mod:`repro.relational.backends` contract is that the backend is
+*invisible* in every result: for any query, any extension Δ, any
+constraint, and any decider, the python (frozenset-of-tuples), columnar
+(set-at-a-time), and sqlite (SQL pushdown) backends return the same
+answers, the same verdicts, the same witnesses, and the same
+search-level statistics.  The backtracking ``evaluate_naive`` is the
+shared oracle; these tests pin every backend to it with
+Hypothesis-random queries and instances, then cross-check the deciders
+end to end at worker counts 1 and 2.
+
+Engine-internal counters (cache hits, delta vs full evaluations) are
+deliberately *not* compared across backends — the backends differ in
+how they evaluate, and only search-level statistics (valuations
+examined, constraint checks) are part of the equivalence contract.
+"""
+
+import pickle
+import random
+
+import pytest
+from hypothesis import assume, given, settings
+
+from repro.constraints.containment import (Projection, satisfies_all,
+                                           satisfies_all_extension)
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp, missing_answers_report
+from repro.core.results import RCDPStatus
+from repro.engine import EvaluationContext
+from repro.errors import ReproError
+from repro.mdm.generators import GeneratorConfig, generate_scenario
+from repro.relational.backends import (BACKEND_NAMES, StorageBackend,
+                                       create_storage,
+                                       resolve_backend_name)
+from repro.relational.instance import Instance, extend_unvalidated
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+from tests.strategies import (SCHEMA, conjunctive_queries, extension_facts,
+                              instances, union_queries)
+
+MASTER_SCHEMA = DatabaseSchema([RelationSchema("M", ["c"])])
+DM = Instance(MASTER_SCHEMA, {"M": {(0,), (1,)}})
+
+IND = InclusionDependency(
+    "R", ["b"], "M", ["c"]).to_containment_constraint(
+    SCHEMA, MASTER_SCHEMA)
+
+NON_PYTHON = tuple(name for name in BACKEND_NAMES if name != "python")
+
+
+# ---------------------------------------------------------------------------
+# Backend resolution and attachment
+# ---------------------------------------------------------------------------
+
+
+class TestResolution:
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sqlite")
+        assert resolve_backend_name("columnar") == "columnar"
+
+    def test_env_var_is_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "columnar")
+        assert resolve_backend_name(None) == "columnar"
+        assert EvaluationContext().backend == "columnar"
+
+    def test_falls_back_to_python(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend_name(None) == "python"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError):
+            resolve_backend_name("duckdb")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "duckdb")
+        with pytest.raises(ReproError):
+            resolve_backend_name(None)
+
+    def test_storage_cached_per_kind(self):
+        inst = Instance(SCHEMA, {"R": {(1, 2)}})
+        for kind in BACKEND_NAMES:
+            storage = inst.storage(kind)
+            assert isinstance(storage, StorageBackend)
+            assert storage.kind == kind
+            assert inst.storage(kind) is storage
+
+    def test_attach_preserves_equality_hash_repr(self):
+        plain = Instance(SCHEMA, {"R": {(1, 2)}, "T": {(0, 1, 2)}})
+        attached = Instance(SCHEMA, {"R": {(1, 2)}, "T": {(0, 1, 2)}})
+        before = repr(attached)
+        for kind in BACKEND_NAMES:
+            attached.storage(kind)
+        assert attached == plain
+        assert hash(attached) == hash(plain)
+        assert repr(attached) == before
+
+    def test_instance_with_sqlite_storage_pickles(self):
+        inst = Instance(SCHEMA, {"R": {(1, 2)}})
+        inst.storage("sqlite")  # sqlite3.Connection is unpicklable
+        clone = pickle.loads(pickle.dumps(inst))
+        assert clone == inst
+        # The clone re-attaches its own storages on demand.
+        assert clone.storage("sqlite").plan_rows is not None
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation conformance: every backend ≡ evaluate_naive
+# ---------------------------------------------------------------------------
+
+
+class TestEvaluationConformance:
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), db=instances())
+    def test_cq_matches_naive_oracle(self, query, db):
+        expected = query.evaluate_naive(db)
+        for backend in BACKEND_NAMES:
+            context = EvaluationContext(backend=backend)
+            assert context.evaluate(query, db) == expected, backend
+
+    @settings(max_examples=40, deadline=None)
+    @given(query=union_queries(), db=instances())
+    def test_ucq_matches_naive_oracle(self, query, db):
+        expected = query.evaluate_naive(db)
+        for backend in BACKEND_NAMES:
+            context = EvaluationContext(backend=backend)
+            assert context.evaluate(query, db) == expected, backend
+
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), db=instances(),
+           delta=extension_facts())
+    def test_extension_matches_materialized_union(self, query, db, delta):
+        expected = query.evaluate_naive(extend_unvalidated(db, delta))
+        for backend in BACKEND_NAMES:
+            context = EvaluationContext(backend=backend)
+            context.evaluate(query, db)  # warm the base answer
+            assert context.evaluate_extension(query, db, delta) \
+                == expected, backend
+
+
+# ---------------------------------------------------------------------------
+# Constraint checks: plan_violates ≡ the materialized subset test
+# ---------------------------------------------------------------------------
+
+
+class TestConstraintConformance:
+    @settings(max_examples=60, deadline=None)
+    @given(query=conjunctive_queries(), db=instances(),
+           delta=extension_facts())
+    def test_extension_check_matches_contextless(self, query, db, delta):
+        """Both projection shapes per draw: the R[b] ⊆ M[c] IND (the
+        allowed-set path) and q ⊆ ∅ (the existence-probe pushdown)."""
+        from repro.constraints.containment import ContainmentConstraint
+
+        empty_target = ContainmentConstraint(
+            query, Projection.empty(), name="q⊆∅")
+        for constraint in (IND, empty_target):
+            expected = constraint.is_satisfied_extension(
+                db, delta, DM, context=None)
+            for backend in BACKEND_NAMES:
+                context = EvaluationContext(backend=backend)
+                assert constraint.is_satisfied_extension(
+                    db, delta, DM, context=context) == expected, \
+                    (backend, constraint.name)
+
+    @settings(max_examples=30, deadline=None)
+    @given(db=instances(), delta=extension_facts())
+    def test_satisfies_all_extension_across_backends(self, db, delta):
+        expected = satisfies_all_extension(db, delta, DM, [IND],
+                                           context=None)
+        for backend in BACKEND_NAMES:
+            context = EvaluationContext(backend=backend)
+            assert satisfies_all_extension(
+                db, delta, DM, [IND], context=context) == expected, backend
+
+
+# ---------------------------------------------------------------------------
+# Decider differential: backend × worker count is invisible end to end
+# ---------------------------------------------------------------------------
+
+
+def _crm_problem(num_domestic: int = 3):
+    config = GeneratorConfig(
+        num_domestic=num_domestic, num_international=0, num_employees=2,
+        support_probability=1.0, missing_support_fraction=0.0)
+    scenario = generate_scenario(config, random.Random(7))
+    spare = f"c{num_domestic - 1}"
+    database = scenario.database(
+        missing_support=[(f"e{i}", spare) for i in range(2)])
+    constraints = [scenario.supt_cid_ind(),
+                   scenario.phi1_at_most_k(num_domestic - 1)]
+    return (scenario.q2_all_supported_by("e0"), database,
+            scenario.master(), constraints)
+
+
+class TestDeciderDifferential:
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_rcdp_complete_verdict_invariant(self, backend, workers):
+        query, database, master, constraints = _crm_problem()
+        baseline = decide_rcdp(query, database, master, constraints)
+        result = decide_rcdp(query, database, master, constraints,
+                             backend=backend, workers=workers)
+        assert result.status is baseline.status is RCDPStatus.COMPLETE
+        assert (result.statistics.valuations_examined
+                == baseline.statistics.valuations_examined)
+        assert (result.statistics.constraint_checks
+                == baseline.statistics.constraint_checks)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_rcdp_incomplete_certificate_invariant(self, backend, workers):
+        query, database, master, constraints = _crm_problem()
+        # Drop φ1: the spare master customer is now an admissible
+        # extension, so the decider finds a counterexample.
+        baseline = decide_rcdp(query, database, master, constraints[:1])
+        result = decide_rcdp(query, database, master, constraints[:1],
+                             backend=backend, workers=workers)
+        assert result.status is baseline.status is RCDPStatus.INCOMPLETE
+        assert result.certificate is not None
+        assert (result.certificate.extension_facts
+                == baseline.certificate.extension_facts)
+        assert (result.certificate.new_answer
+                == baseline.certificate.new_answer)
+
+    @pytest.mark.parametrize("backend", BACKEND_NAMES)
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_missing_answers_invariant(self, backend, workers):
+        query, database, master, constraints = _crm_problem()
+        baseline = missing_answers_report(query, database, master,
+                                          constraints[:1])
+        report = missing_answers_report(query, database, master,
+                                        constraints[:1], backend=backend,
+                                        workers=workers)
+        assert report.answers == baseline.answers
+        assert report.exhaustive == baseline.exhaustive
+        assert (report.statistics.valuations_examined
+                == baseline.statistics.valuations_examined)
+
+    @settings(max_examples=12, deadline=None)
+    @given(query=conjunctive_queries(allow_inequalities=False),
+           db=instances())
+    def test_random_rcdp_verdict_backend_invariant(self, query, db):
+        assume(satisfies_all(db, DM, [IND]))
+        try:
+            baseline = decide_rcdp(query, db, DM, [IND])
+        except ReproError:
+            assume(False)
+        for backend in NON_PYTHON:
+            result = decide_rcdp(query, db, DM, [IND], backend=backend)
+            assert result.status is baseline.status, backend
+            assert (result.statistics.valuations_examined
+                    == baseline.statistics.valuations_examined), backend
+
+
+# ---------------------------------------------------------------------------
+# Storage-level edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestStorageEdges:
+    def test_nullary_relation_round_trips(self):
+        schema = DatabaseSchema([RelationSchema("P", [])])
+        populated = Instance(schema, {"P": {()}})
+        empty = Instance.empty(schema)
+        from repro.queries.atoms import RelAtom
+        from repro.queries.cq import ConjunctiveQuery
+
+        query = ConjunctiveQuery([], [RelAtom("P", [])], name="boolean")
+        for backend in BACKEND_NAMES:
+            assert EvaluationContext(backend=backend).evaluate(
+                query, populated) == frozenset({()}), backend
+            assert EvaluationContext(backend=backend).evaluate(
+                query, empty) == frozenset(), backend
+
+    def test_interning_respects_python_equality(self):
+        # 1 == True under Python (and SQLite) semantics; the columnar
+        # interner must collapse them exactly like frozenset storage.
+        schema = DatabaseSchema([RelationSchema("R", ["a", "b"])])
+        inst = Instance(schema, {"R": {(1, 2), (True, 2)}})
+        assert len(inst["R"]) == 1
+        from repro.queries.atoms import RelAtom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Const, Var
+
+        query = ConjunctiveQuery(
+            [Var("x")], [RelAtom("R", [Const(True), Var("x")])], name="q")
+        expected = query.evaluate_naive(inst)
+        for backend in BACKEND_NAMES:
+            assert EvaluationContext(backend=backend).evaluate(
+                query, inst) == expected, backend
+
+    def test_derive_keeps_columnar_overlay_consistent(self):
+        inst = Instance(SCHEMA, {"R": {(0, 1)}, "T": {(0, 1, 2)}})
+        storage = inst.storage("columnar")
+        extended = extend_unvalidated(inst, [("R", (1, 2))])
+        derived = extended._storages.get("columnar")
+        assert derived is not None and derived is not storage
+        assert extended.storage("columnar") is derived
+        from repro.queries.atoms import RelAtom
+        from repro.queries.cq import ConjunctiveQuery
+        from repro.queries.terms import Var
+
+        query = ConjunctiveQuery(
+            [Var("x"), Var("y")], [RelAtom("R", [Var("x"), Var("y")])],
+            name="all_r")
+        assert EvaluationContext(backend="columnar").evaluate(
+            query, extended) == extended["R"]
+
+    def test_create_storage_unknown_kind(self):
+        inst = Instance(SCHEMA, {})
+        with pytest.raises(ReproError):
+            create_storage("duckdb", inst)

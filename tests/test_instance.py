@@ -97,6 +97,64 @@ class TestAlgebra:
         assert big.difference_facts(small) == [("R", (3, 4))]
 
 
+class TestAlgebraMismatchedSchemas:
+    """The algebra ops on instances whose schemas differ.
+
+    ``union`` merges schemas, ``contains``/``difference_facts`` compare
+    relation-wise treating absent relations as empty — these shapes show
+    up when restricted sub-instances flow back into whole-schema code.
+    """
+
+    def test_union_merges_disjoint_schemas(self):
+        r_only = DatabaseSchema([RelationSchema("R", ["a", "b"])])
+        s_only = DatabaseSchema([RelationSchema("S", ["x"])])
+        a = Instance(r_only, {"R": {(1, 2)}})
+        b = Instance(s_only, {"S": {(5,)}})
+        u = a.union(b)
+        assert set(u.schema.relation_names) == {"R", "S"}
+        assert u["R"] == frozenset({(1, 2)})
+        assert u["S"] == frozenset({(5,)})
+
+    def test_union_overlapping_schemas_unions_rows(self, schema):
+        r_only = DatabaseSchema([RelationSchema("R", ["a", "b"])])
+        a = Instance(schema, {"R": {(1, 2)}, "S": {(9,)}})
+        b = Instance(r_only, {"R": {(3, 4)}})
+        u = a.union(b)
+        assert u["R"] == frozenset({(1, 2), (3, 4)})
+        assert u["S"] == frozenset({(9,)})
+
+    def test_contains_sub_schema_instance(self, schema):
+        r_only = DatabaseSchema([RelationSchema("R", ["a", "b"])])
+        big = Instance(schema, {"R": {(1, 2)}, "S": {(5,)}})
+        small = Instance(r_only, {"R": {(1, 2)}})
+        assert big.contains(small)
+
+    def test_contains_unknown_nonempty_relation_is_false(self, schema):
+        wider = DatabaseSchema([RelationSchema("R", ["a", "b"]),
+                                RelationSchema("T", ["z"])])
+        base = Instance(schema, {"R": {(1, 2)}})
+        other = Instance(wider, {"R": {(1, 2)}, "T": {(7,)}})
+        assert not base.contains(other)
+
+    def test_contains_unknown_empty_relation_is_true(self, schema):
+        wider = DatabaseSchema([RelationSchema("R", ["a", "b"]),
+                                RelationSchema("T", ["z"])])
+        base = Instance(schema, {"R": {(1, 2)}})
+        other = Instance(wider, {"R": {(1, 2)}})
+        assert base.contains(other)
+
+    def test_restricted_to_roundtrips_through_union(self, schema):
+        inst = Instance(schema, {"R": {(1, 2)}, "S": {(5,)}})
+        rebuilt = inst.restricted_to(["R"]).union(inst.restricted_to(["S"]))
+        assert rebuilt == inst
+
+    def test_difference_facts_against_sub_schema(self, schema):
+        r_only = DatabaseSchema([RelationSchema("R", ["a", "b"])])
+        big = Instance(schema, {"R": {(1, 2)}, "S": {(5,)}})
+        small = Instance(r_only, {"R": {(1, 2)}})
+        assert big.difference_facts(small) == [("S", (5,))]
+
+
 class TestEqualityHash:
     def test_equality_ignores_insertion_order(self, schema):
         a = Instance(schema, {"R": {(1, 2), (3, 4)}})
