@@ -1,0 +1,107 @@
+"""Cost-model benchmark: predicted vs. actual governor ticks.
+
+The static cost model (:mod:`repro.analysis.cost`) predicts the
+valuation ticks of a decision before the first tick is spent; the
+governor's ``suggest_budget`` and the CLI preflight advisory are only as
+good as that prediction.  This bench runs the *full* missing-answer
+enumeration of every shipped bundle under a ledger governor and compares
+``CostEstimate.predicted_ticks`` to the actual per-kind charges.
+
+Full enumeration is the honest case for the model — RCDP proper may
+exit at the first incompleteness certificate, so its actuals are a lower
+bound the model deliberately brackets with ``lo=0``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_cost.py [--smoke]
+
+Writes ``BENCH_cost.json`` (normalized ``report_schema`` shape) and
+gates on every ratio staying within ``RATIO_GATE``× in either
+direction.  ``--smoke`` skips bundles whose predicted enumeration
+exceeds ``SMOKE_TICK_CEILING`` ticks (crm_q1's 6.4M-valuation space
+takes minutes); the ratio gate stays enforced on the bundles that run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from report_schema import (bench_gate, bench_report, bench_row,
+                           check_gates, write_report)
+from repro.analysis.cost import estimate_decision
+from repro.core.rcdp import missing_answers_report
+from repro.io.json_io import load_bundle
+from repro.runtime import Budget, ExecutionGovernor
+
+#: Acceptance bar: predicted within 4× of actual, both directions.
+RATIO_GATE = 4.0
+
+#: Bundles predicted beyond this are skipped under ``--smoke``.
+SMOKE_TICK_CEILING = 500_000
+
+BUNDLES = Path(__file__).resolve().parent.parent / "examples" / "bundles"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="skip bundles with huge predicted spaces")
+    args = parser.parse_args(argv)
+
+    rows = []
+    worst_ratio = None
+    skipped = []
+    for path in sorted(BUNDLES.glob("*.json")):
+        bundle = load_bundle(str(path))
+        started = time.perf_counter()
+        estimate = estimate_decision(
+            "missing", bundle["query"], bundle["database"],
+            bundle["master"], tuple(bundle["constraints"]))
+        estimate_s = time.perf_counter() - started
+        predicted = estimate.total_predicted
+        if args.smoke and predicted > SMOKE_TICK_CEILING:
+            skipped.append(path.stem)
+            print(f"{path.stem}: skipped under --smoke "
+                  f"(predicted {predicted} ticks)")
+            continue
+        governor = ExecutionGovernor(budget=Budget())
+        started = time.perf_counter()
+        report = missing_answers_report(
+            bundle["query"], bundle["database"], bundle["master"],
+            bundle["constraints"], governor=governor)
+        search_s = time.perf_counter() - started
+        actual = governor.budget.spent_for("valuations")
+        ratio = (predicted / actual) if actual else float("inf")
+        spread = max(ratio, 1.0 / ratio) if actual else float("inf")
+        worst_ratio = (spread if worst_ratio is None
+                       else max(worst_ratio, spread))
+        rows.append(bench_row(
+            f"cost/{path.stem}", search_s,
+            ticks={"predicted": predicted, "actual": actual},
+            verdicts={"missing_answers": len(report.answers),
+                      "exhaustive": report.exhaustive},
+            extra={"ratio": round(ratio, 4),
+                   "estimate_s": round(estimate_s, 6),
+                   "adom_size": estimate.adom_size,
+                   "dominant_phase": estimate.dominant_phase}))
+        print(f"{path.stem}: predicted={predicted} actual={actual} "
+              f"ratio={ratio:.3f} (estimate {estimate_s * 1e3:.2f} ms, "
+              f"search {search_s:.2f} s)")
+
+    report = bench_report(
+        "cost", rows, smoke=args.smoke,
+        gates=[bench_gate(
+            "prediction_within_4x", required=RATIO_GATE,
+            measured=worst_ratio, higher_is_better=False,
+            note="max over bundles of max(pred/actual, actual/pred) "
+                 "for full missing-answer enumerations")],
+        extra={"ratio_gate": RATIO_GATE, "skipped": skipped})
+    write_report("BENCH_cost.json", report)
+    return check_gates(report, stream=sys.stderr)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

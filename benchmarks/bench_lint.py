@@ -5,11 +5,16 @@ over whole bundles in CI (the deep pass), so its cost has to stay
 negligible next to the exponential searches it guards.  This bench times
 both passes on generated bundles with a growing constraint set:
 
-* **cheap** — ``lint_bundle(deep=False)``: what the deciders pay on
-  every call (parse + safety + schema + union-find satisfiability);
-* **deep** — ``lint_bundle(deep=True)``: adds the NP-hard
+* **cheap** — ``lint_bundle(deep=False, flow=False)``: what the
+  deciders pay on every call (parse + safety + schema + union-find
+  satisfiability);
+* **deep** — ``lint_bundle(deep=True, flow=False)``: adds the NP-hard
   Chandra–Merlin minimization (RC005) and pairwise constraint
-  subsumption (RC103), which is quadratic in the constraint count.
+  subsumption (RC103), which is quadratic in the constraint count;
+* **flow** — ``lint_bundle(deep=True, flow=True)``: adds the
+  whole-scenario pass (RC3xx interaction graph + RC4xx cost model);
+  its *delta* over the deep pass is gated, since ``repro lint`` runs
+  it by default.
 
 Run from the repository root::
 
@@ -34,6 +39,10 @@ from repro.analysis import lint_bundle
 #: The decider-path pass must stay well under a millisecond-scale
 #: budget; a 50 ms ceiling at 48 constraints leaves 10× headroom.
 CHEAP_BUDGET_S = 0.050
+
+#: The flow pass rides on every ``repro lint`` invocation; its delta
+#: over the deep pass must stay interactive at the largest size.
+FLOW_BUDGET_S = 0.200
 
 
 def make_bundle(num_constraints: int) -> dict:
@@ -95,42 +104,61 @@ def main(argv=None) -> int:
     for size in sizes:
         bundle = make_bundle(size)
         cheap_s, cheap_report = _time(
-            lambda bundle=bundle: lint_bundle(bundle, deep=False),
+            lambda bundle=bundle: lint_bundle(bundle, deep=False,
+                                              flow=False),
             repeats)
         deep_s, deep_report = _time(
-            lambda bundle=bundle: lint_bundle(bundle, deep=True),
+            lambda bundle=bundle: lint_bundle(bundle, deep=True,
+                                              flow=False),
+            repeats)
+        flow_s, flow_report = _time(
+            lambda bundle=bundle: lint_bundle(bundle, deep=True,
+                                              flow=True),
             repeats)
         row = {
             "constraints": size,
             "cheap_s": cheap_s,
             "deep_s": deep_s,
+            "flow_s": flow_s,
+            "flow_delta_s": max(0.0, flow_s - deep_s),
             "cheap_diagnostics": len(cheap_report),
             "deep_diagnostics": len(deep_report),
+            "flow_diagnostics": len(flow_report),
         }
         rows.append(row)
         print(f"constraints={size:3d}  cheap={cheap_s * 1e3:8.3f} ms "
               f"({len(cheap_report)} findings)  "
               f"deep={deep_s * 1e3:8.3f} ms "
-              f"({len(deep_report)} findings)")
+              f"({len(deep_report)} findings)  "
+              f"flow={flow_s * 1e3:8.3f} ms "
+              f"({len(flow_report)} findings)")
         # The generated bundles are intentionally warning-laden but must
         # never produce errors — the bench measures analysis, not
         # rejection.
-        assert deep_report.exit_code <= 1, deep_report.render()
+        assert flow_report.exit_code <= 1, flow_report.render()
 
     worst_cheap = max(row["cheap_s"] for row in rows)
+    worst_flow_delta = max(row["flow_delta_s"] for row in rows)
     report = bench_report(
         "lint",
         [bench_row(f"lint/constraints={row['constraints']}",
                    row["cheap_s"],
                    verdicts={"cheap_diagnostics":
                              row["cheap_diagnostics"],
-                             "deep_diagnostics": row["deep_diagnostics"]},
+                             "deep_diagnostics": row["deep_diagnostics"],
+                             "flow_diagnostics": row["flow_diagnostics"]},
                    extra=row) for row in rows],
         smoke=args.smoke,
         gates=[bench_gate("cheap_pass_budget_s", required=CHEAP_BUDGET_S,
                           measured=worst_cheap, higher_is_better=False,
+                          enforced=not args.smoke),
+               bench_gate("flow_pass_delta_budget_s",
+                          required=FLOW_BUDGET_S,
+                          measured=worst_flow_delta,
+                          higher_is_better=False,
                           enforced=not args.smoke)],
-        extra={"cheap_budget_s": CHEAP_BUDGET_S})
+        extra={"cheap_budget_s": CHEAP_BUDGET_S,
+               "flow_budget_s": FLOW_BUDGET_S})
     write_report("BENCH_lint.json", report)
     return check_gates(report, stream=sys.stderr)
 

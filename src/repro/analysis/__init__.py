@@ -3,13 +3,22 @@
 The analyzer (``repro lint``) runs a registry of rules with stable codes
 over an RCDP/RCQP scenario and reports :class:`Diagnostic` findings with
 source spans and fix-its, plus machine-consumable :class:`AnalysisFacts`
-(provably-empty queries, minimized bodies, droppable constraints) that
-the deciders and the evaluation engine act on.
+(provably-empty queries, minimized bodies, droppable constraints, chase
+classification, cost estimates) that the deciders and the evaluation
+engine act on.
 
 * :mod:`repro.analysis.diagnostics` — Severity/Span/Fixit/Diagnostic/
   Report vocabulary;
 * :mod:`repro.analysis.rules` — the rule registry (``RC0xx`` query,
   ``RC1xx`` constraint, ``RC2xx`` scenario rules);
+* :mod:`repro.analysis.flow` — the whole-scenario flow pass (``RC3xx``
+  interaction rules, ``RC4xx`` cost rules);
+* :mod:`repro.analysis.interaction` — constraint-interaction graphs and
+  chase-termination classification;
+* :mod:`repro.analysis.cost` — the static cost model (interval domain
+  over compiled plans, the ``|Adom|^k`` valuation-space formula);
+* :mod:`repro.analysis.planlint` — plan-shape findings over compiled
+  plans;
 * :mod:`repro.analysis.driver` — :func:`analyze` /
   :func:`validate_for_decision` / :func:`lint_bundle` entry points;
 * :mod:`repro.analysis.boundedness` — the E3/E4 boundedness analysis
@@ -19,10 +28,21 @@ the deciders and the evaluation engine act on.
 from repro.analysis.boundedness import (BoundednessReport, VariableReport,
                                         VariableStatus,
                                         analyze_boundedness)
+from repro.analysis.cost import (CostEstimate, DisjunctCost, Interval,
+                                 PlanEstimate, StepEstimate,
+                                 estimate_decision, estimate_plan,
+                                 suggested_budget)
 from repro.analysis.diagnostics import (AnalysisFacts, Diagnostic, Fixit,
                                         Report, Severity, Span)
 from repro.analysis.driver import (analyze, lint_bundle, lint_path,
                                    validate_for_decision)
+from repro.analysis.interaction import (ChaseClass, InteractionEdge,
+                                        InteractionGraph,
+                                        build_interaction_graph,
+                                        drop_inapplicable,
+                                        forced_empty_relations,
+                                        inapplicable_constraints)
+from repro.analysis.planlint import PlanFinding, lint_plan
 from repro.analysis.rules import RULES, LintRule, RuleContext, lint_rule
 
 __all__ = [
@@ -31,4 +51,11 @@ __all__ = [
     "analyze", "validate_for_decision", "lint_bundle", "lint_path",
     "VariableStatus", "VariableReport", "BoundednessReport",
     "analyze_boundedness",
+    "ChaseClass", "InteractionEdge", "InteractionGraph",
+    "build_interaction_graph", "forced_empty_relations",
+    "inapplicable_constraints", "drop_inapplicable",
+    "Interval", "DisjunctCost", "StepEstimate", "PlanEstimate",
+    "CostEstimate", "estimate_decision", "estimate_plan",
+    "suggested_budget",
+    "PlanFinding", "lint_plan",
 ]

@@ -2,7 +2,8 @@
 
 A :class:`Diagnostic` is one finding: a stable rule ``code`` (``RC0xx``
 for query rules, ``RC1xx`` for constraint rules, ``RC2xx`` for scenario
-rules), a :class:`Severity`, a message, a :class:`Span` pointing into the
+rules, ``RC3xx`` for cross-constraint interaction rules, ``RC4xx`` for
+cost rules), a :class:`Severity`, a message, a :class:`Span` pointing into the
 source it was found in, and optionally a :class:`Fixit` with a concrete
 replacement.  A :class:`Report` collects the diagnostics of one
 :func:`~repro.analysis.driver.analyze` run together with the
@@ -147,6 +148,17 @@ class AnalysisFacts:
     #: False when the query is outside the monotone decidable fragment
     #: (FO/FP) — the engine's semi-naive delta path is gated on this.
     monotone: bool = True
+    #: Chase-termination class of the constraint set from the interaction
+    #: graph (``"acyclic"`` / ``"weakly-acyclic"`` / ``"divergent"``), or
+    #: ``None`` when the flow pass did not run.
+    chase: str | None = None
+    #: Names of constraints that can never fire against the given master
+    #: data (RC302/RC303); `repro.analysis.flow.drop_inapplicable`
+    #: removes them verdict-preservingly.
+    inapplicable_constraints: tuple[str, ...] = ()
+    #: The flow pass's `repro.analysis.cost.CostEstimate` for the
+    #: scenario's decision, or ``None`` when it was not computed.
+    cost_estimate: Any = None
 
     def to_dict(self) -> dict:
         return {
@@ -158,6 +170,11 @@ class AnalysisFacts:
                              repr(self.minimized_query))),
             "redundant_constraints": list(self.redundant_constraints),
             "monotone": self.monotone,
+            "chase": self.chase,
+            "inapplicable_constraints": list(
+                self.inapplicable_constraints),
+            "cost_estimate": (None if self.cost_estimate is None
+                              else self.cost_estimate.to_dict()),
         }
 
 

@@ -23,6 +23,9 @@ from typing import Any, Mapping
 
 from repro.analysis.diagnostics import Diagnostic, Report, Severity, Span
 from repro.analysis.rules import RULES, RuleContext, _diag
+# Importing the flow module registers the RC3xx/RC4xx whole-scenario
+# rules (cost="flow"); nothing is referenced directly.
+from repro.analysis import flow as _flow  # noqa: F401
 from repro.errors import (AnalysisError, ParseError, QueryError,
                           ReproError)
 from repro.queries.parser import (parse_query_spanned, parse_rules_spanned)
@@ -31,11 +34,13 @@ __all__ = ["analyze", "validate_for_decision", "lint_bundle", "lint_path"]
 
 
 def _run_rules(ctx: RuleContext, *, deep: bool,
-               decider_only: bool) -> list[Diagnostic]:
+               decider_only: bool, flow: bool = False) -> list[Diagnostic]:
     diagnostics: list[Diagnostic] = []
     for code in sorted(RULES):
         rule = RULES[code]
         if rule.cost == "deep" and not deep:
+            continue
+        if rule.cost == "flow" and not flow:
             continue
         if decider_only and not rule.decider:
             continue
@@ -47,6 +52,7 @@ def analyze(query: Any = None, constraints: Any = (), *,
             schema: Any = None, master_schema: Any = None,
             database: Any = None, master: Any = None,
             deep: bool = True, decider_only: bool = False,
+            flow: bool = False,
             sources: Mapping[str, str] | None = None,
             spans: Mapping[str, list] | None = None,
             raw_rules: Mapping[str, list] | None = None,
@@ -57,10 +63,15 @@ def analyze(query: Any = None, constraints: Any = (), *,
     :class:`~repro.analysis.diagnostics.Report`.
 
     ``deep=False`` skips the NP-hard minimization/containment rules
-    (``RC005``, ``RC103``); ``decider_only=True`` additionally skips
-    rules the deciders already enforce with dedicated exceptions
-    (``RC201`` partial closedness).  Schemas default to the instances'
-    own schemas when instances are given.
+    (``RC005``, ``RC103``); ``flow=True`` adds the whole-scenario
+    interaction/cost pass (``RC3xx``/``RC4xx``,
+    :mod:`repro.analysis.flow`); ``decider_only=True`` additionally
+    skips rules the deciders already enforce with dedicated exceptions
+    (``RC201`` partial closedness) — flow rules all carry
+    ``decider=False``, so the deciders' fast-fail pass never runs them
+    and decider statistics are identical with the pass on or off.
+    Schemas default to the instances' own schemas when instances are
+    given.
     """
     if schema is None and database is not None:
         schema = database.schema
@@ -75,7 +86,8 @@ def analyze(query: Any = None, constraints: Any = (), *,
                       parse_failures=dict(parse_failures or {}),
                       constraint_sources=list(constraint_sources or []),
                       deep=deep)
-    diagnostics = _run_rules(ctx, deep=deep, decider_only=decider_only)
+    diagnostics = _run_rules(ctx, deep=deep, decider_only=decider_only,
+                             flow=flow)
     return Report(diagnostics=tuple(diagnostics), facts=ctx.facts(),
                   sources=dict(ctx.sources))
 
@@ -107,7 +119,8 @@ def validate_for_decision(query: Any, constraints: Any, *,
 # ---------------------------------------------------------------------------
 
 
-def _parse_spanned(source: str, data: Mapping[str, Any], state: dict):
+def _parse_spanned(source: str, data: Mapping[str, Any],
+                   state: dict) -> Any:
     """Parse one query payload with span tracking; record text, spans,
     raw rules, and failures under *source* in *state*.  Returns the
     constructed query or ``None`` (a diagnostic will explain why)."""
@@ -140,9 +153,14 @@ def _parse_spanned(source: str, data: Mapping[str, Any], state: dict):
         return None
 
 
-def lint_bundle(payload: Mapping[str, Any], *, deep: bool = True) -> Report:
+def lint_bundle(payload: Mapping[str, Any], *, deep: bool = True,
+                flow: bool = True) -> Report:
     """Analyze a JSON bundle payload (the :func:`repro.io.json_io.
-    dump_bundle` wire format) with source-span tracking."""
+    dump_bundle` wire format) with source-span tracking.
+
+    The whole-scenario flow pass (``RC3xx``/``RC4xx``) is on by default
+    here — ``repro lint`` is the surface those rules were built for;
+    pass ``flow=False`` to restrict to the per-object rules."""
     from repro.constraints.containment import (ContainmentConstraint,
                                                Projection)
     from repro.io.json_io import instance_from_dict, schema_from_dict
@@ -177,7 +195,7 @@ def lint_bundle(payload: Mapping[str, Any], *, deep: bool = True) -> Report:
         constraint_sources.append(source)
     report = analyze(query, constraints, schema=schema,
                      master_schema=master_schema, database=database,
-                     master=master, deep=deep,
+                     master=master, deep=deep, flow=flow,
                      sources=state["sources"], spans=state["spans"],
                      raw_rules=state["raw_rules"],
                      parse_failures=state["parse_failures"],
@@ -200,13 +218,48 @@ def lint_bundle(payload: Mapping[str, Any], *, deep: bool = True) -> Report:
     return report
 
 
-def lint_path(path: str, *, deep: bool = True) -> Report:
-    """Lint a bundle JSON file on disk."""
-    import json
+def _prefix_report(report: Report, prefix: str) -> Report:
+    """Re-key a report's sources and spans under ``prefix:source``."""
+    from dataclasses import replace
 
+    diagnostics = tuple(
+        replace(d, span=replace(d.span, source=f"{prefix}:{d.span.source}"))
+        for d in report.diagnostics)
+    sources = {f"{prefix}:{key}": text
+               for key, text in report.sources.items()}
+    return Report(diagnostics=diagnostics, facts=report.facts,
+                  sources=sources)
+
+
+def lint_path(path: str, *, deep: bool = True, flow: bool = True) -> Report:
+    """Lint a bundle JSON file — or a directory of ``*.json`` bundles.
+
+    A directory is linted file by file in sorted name order and merged
+    into one report whose diagnostic sources are prefixed with the file
+    name (``bundle.json:query``), so the aggregate exit code is the
+    worst severity across the directory and deterministic for any
+    listing order the OS returns.  The merged report's facts are the
+    default (facts are per-scenario; consumers that need them should
+    lint files individually).
+    """
+    import json
+    import os
+
+    if os.path.isdir(path):
+        merged: list[Diagnostic] = []
+        sources: dict[str, str] = {}
+        for name in sorted(os.listdir(path)):
+            if not name.endswith(".json"):
+                continue
+            report = _prefix_report(
+                lint_path(os.path.join(path, name), deep=deep, flow=flow),
+                name)
+            merged.extend(report.diagnostics)
+            sources.update(report.sources)
+        return Report(diagnostics=tuple(merged), sources=sources)
     with open(path, encoding="utf-8") as handle:
         try:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise QueryError(f"{path} is not valid JSON: {exc}") from exc
-    return lint_bundle(payload, deep=deep)
+    return lint_bundle(payload, deep=deep, flow=flow)

@@ -1,0 +1,106 @@
+"""Plan linting: walk compiled plans for avoidable evaluation cost.
+
+The engine compiles every CQ body once (:mod:`repro.engine.plan`); the
+shape of that plan is known statically, and three anti-patterns are worth
+surfacing before a decision spends its budget on them:
+
+* **Cross products** — a step with no index key rescans its whole
+  relation per pending binding.  When the body's join graph is connected
+  the greedy order always finds a shared variable, so a mid-plan scan
+  means the body is genuinely disconnected (`RC401`).
+* **Post-filter equalities** — ``x = y`` / ``x = 'c'`` survive as
+  comparison checks instead of being folded into the atom terms, so rows
+  are enumerated first and discarded after (`RC402`).
+* **Missed constant keys** — the greedy order seeds on shared variables
+  only; when the chosen first atom scans while another atom carries
+  constants, starting from the selective atom turns the scan into an
+  index probe (`RC403`, with a reorder fix-it).
+
+These are *findings*, not diagnostics: :mod:`repro.analysis.flow` wraps
+them into RC4xx `Diagnostic`s with spans into the bundle sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.queries.atoms import Eq
+from repro.queries.cq import ConjunctiveQuery
+from repro.queries.terms import Const
+
+__all__ = ["PlanFinding", "lint_plan"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlanFinding:
+    """One plan-shape finding, pre-diagnostic."""
+
+    kind: str  # "cross-product" | "post-filter-equality" | "unkeyed-start"
+    message: str
+    atom_index: int | None = None
+    suggestion: str | None = None
+
+
+def _render_atom(atom: object) -> str:
+    return repr(atom)
+
+
+def lint_plan(query: ConjunctiveQuery) -> list[PlanFinding]:
+    """Findings for the compiled plan of one CQ disjunct."""
+    from repro.engine.plan import compile_plan
+
+    plan = compile_plan(query)
+    findings: list[PlanFinding] = []
+    if not plan.satisfiable or not plan.steps:
+        return findings
+    atoms = query.relation_atoms
+
+    components = plan.join_components()
+    if len(components) > 1:
+        rendered = " | ".join(
+            "{" + ", ".join(atoms[i].relation for i in sorted(c)) + "}"
+            for c in components)
+        findings.append(PlanFinding(
+            kind="cross-product",
+            message=(f"body joins {len(components)} disconnected atom "
+                     f"groups ({rendered}); every group multiplies the "
+                     f"bindings of the others"),
+            atom_index=min(components[1]),
+            suggestion=("split the disjunct into independent queries, or "
+                        "add a join variable linking the groups")))
+
+    for step in plan.steps:
+        for comparison in step.comparisons:
+            if isinstance(comparison, Eq):
+                findings.append(PlanFinding(
+                    kind="post-filter-equality",
+                    message=(f"equality {comparison!r} is checked as a "
+                             f"post-filter after step "
+                             f"{step.relation!r} binds its variables"),
+                    atom_index=step.atom_index,
+                    suggestion=("substitute the equality into the atom "
+                                "terms so the index key prunes before "
+                                "enumeration")))
+
+    first = plan.steps[0]
+    if first.is_scan:
+        keyed_alternatives = [
+            index for index, atom in enumerate(atoms)
+            if index != first.atom_index
+            and any(isinstance(t, Const) for t in atom.terms)]
+        for index in keyed_alternatives:
+            replan = compile_plan(query, first_atom=index)
+            if replan.steps and replan.steps[0].key_positions:
+                findings.append(PlanFinding(
+                    kind="unkeyed-start",
+                    message=(f"the plan opens with a full scan of "
+                             f"{first.relation!r} although "
+                             f"{atoms[index].relation!r} carries "
+                             f"constants"),
+                    atom_index=first.atom_index,
+                    suggestion=(f"start the join from "
+                                f"{_render_atom(atoms[index])} (atom "
+                                f"{index}): its constants become the "
+                                f"index key")))
+                break
+    return findings

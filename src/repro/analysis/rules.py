@@ -7,13 +7,19 @@ Code blocks
   redundancy, language);
 * ``RC1xx`` — constraint rules (schema, vacuity, subsumption, language);
 * ``RC2xx`` — scenario rules (partial closedness, boundedness, master
-  coverage).
+  coverage);
+* ``RC3xx`` — cross-constraint interaction rules (chase termination,
+  unreachable and contradictory constraints; :mod:`repro.analysis.flow`);
+* ``RC4xx`` — cost rules (plan shapes and the valuation-space estimate;
+  :mod:`repro.analysis.flow`).
 
 Each rule declares a *cost* (``"cheap"`` rules run everywhere, ``"deep"``
 rules — the Chandra–Merlin containment/minimization ones — only in full
-``repro lint`` runs) and whether it participates in the deciders'
-fast-fail pass (``decider=False`` for checks the deciders already
-perform with dedicated exceptions, like partial closedness).
+``repro lint`` runs, ``"flow"`` rules — the whole-scenario interaction
+and cost pass — only when the flow pass is enabled) and whether it
+participates in the deciders' fast-fail pass (``decider=False`` for
+checks the deciders already perform with dedicated exceptions, like
+partial closedness).
 
 Rules are generators over a :class:`RuleContext`; they *yield*
 :class:`~repro.analysis.diagnostics.Diagnostic` objects and record
@@ -55,7 +61,9 @@ class LintRule:
     #: Where in the paper (or classic literature) the rule comes from.
     reference: str
     #: ``"cheap"`` rules run in every pass; ``"deep"`` ones (containment
-    #: and minimization — NP-hard per check) only under ``deep=True``.
+    #: and minimization — NP-hard per check) only under ``deep=True``;
+    #: ``"flow"`` ones (the whole-scenario interaction/cost pass of
+    #: :mod:`repro.analysis.flow`) only under ``flow=True``.
     cost: str = "cheap"
     #: Whether the rule runs in the deciders' fast-fail pass.
     decider: bool = True
@@ -67,7 +75,7 @@ RULES: dict[str, LintRule] = {}
 
 def lint_rule(code: str, name: str, severity: Severity, description: str,
               reference: str, *, cost: str = "cheap",
-              decider: bool = True):
+              decider: bool = True) -> "Callable[[Callable], Callable]":
     """Register a checker under a stable code."""
 
     def decorate(check: Callable) -> Callable:
@@ -126,6 +134,12 @@ class RuleContext:
     #: True when RC002 fired — satisfiability/minimization rules skip
     #: the query rather than crash on the schema mismatch again.
     query_schema_ok: bool = True
+    #: Chase class set by RC301 ("acyclic"/"weakly-acyclic"/"divergent").
+    chase_class: str | None = None
+    #: Names of constraints RC302/RC303 proved unable to ever fire.
+    inapplicable_constraints: list[str] = field(default_factory=list)
+    #: The `repro.analysis.cost.CostEstimate` RC404 computed, if any.
+    cost_estimate: Any = None
 
     # -- span helpers ---------------------------------------------------
 
@@ -183,7 +197,10 @@ class RuleContext:
             empty_disjuncts=tuple(self.empty_disjuncts),
             minimized_query=self.minimized_query,
             redundant_constraints=tuple(self.redundant_constraints),
-            monotone=self.monotone)
+            monotone=self.monotone,
+            chase=self.chase_class,
+            inapplicable_constraints=tuple(self.inapplicable_constraints),
+            cost_estimate=self.cost_estimate)
 
 
 def _spans_align(ctx: RuleContext, source: str) -> bool:

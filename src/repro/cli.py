@@ -26,13 +26,19 @@ Subcommands
 
 ``lint BUNDLE.json [...]``
     Run the static analyzer (:mod:`repro.analysis`) over one or more
-    bundles without deciding anything: schema mismatches, unsafe or
-    provably empty queries, vacuous/subsumed constraints, violated
-    partial closedness, unbounded output variables — each finding with
-    a stable ``RCxxx`` code, a source span (rendered with a caret), and,
-    where possible, a fix-it.  ``--format json`` emits the report as
-    machine-readable JSON.  Exit codes: 0 clean (infos allowed),
-    1 warnings, 2 errors.
+    bundles — or directories of bundles — without deciding anything:
+    schema mismatches, unsafe or provably empty queries,
+    vacuous/subsumed constraints, violated partial closedness,
+    unbounded output variables, plus the whole-scenario flow pass
+    (chase termination, unreachable/dead constraints, plan shapes,
+    search-space cost) — each finding with a stable ``RCxxx`` code, a
+    source span (rendered with a caret), and, where possible, a fix-it.
+    ``--format json`` emits the report as machine-readable JSON;
+    ``--explain-cost`` prints the static cost estimate (predicted
+    governor ticks, dominant phase, per-disjunct breakdown).  Exit
+    codes: 0 clean (infos allowed), 1 warnings, 2 errors.  A directory
+    argument is linted file by file in sorted name order; the exit code
+    is the worst severity found anywhere.
 
 ``trace FILE.jsonl``
     Inspect a JSONL trace written by ``--trace``: print its phase
@@ -53,7 +59,10 @@ counters).  Any of the first three attaches a tick-ledger governor so
 phases can be attributed even without ``--budget``/``--timeout``.
 
 Execution governor flags (``rcdp``, ``rcqp``, ``complete``, ``audit``,
-``missing``): ``--budget N`` caps the total units of search work,
+``missing``): ``--budget N`` caps the total units of search work —
+before the search starts, a static cost preflight compares the
+predicted ticks against the budget and prints an advisory (with a
+suggested budget and worker count) when the budget looks too small —
 ``--timeout SECONDS`` sets a wall-clock deadline, and
 ``--on-exhausted {error,partial}`` picks between failing fast (exit
 code 3) and degrading gracefully to a partial, checkpointed result
@@ -250,6 +259,51 @@ def _finish_observability(args: argparse.Namespace,
         print(f"metrics written to {args.metrics}")
 
 
+def _preflight(args: argparse.Namespace,
+               governor: ExecutionGovernor | None,
+               bundle, procedure: str) -> None:
+    """Static cost check before a decision: annotate the trace root span
+    with the prediction and warn when it exceeds ``--budget``.
+
+    Advisory only — estimation failures are swallowed and the decision
+    proceeds untouched (the differential tests pin verdict/witness/
+    statistics identity with and without a governor attached).
+    """
+    if governor is None:
+        return
+    try:
+        from repro.analysis.cost import estimate_decision, suggested_budget
+
+        if procedure == "rcqp":
+            estimate = estimate_decision(
+                "rcqp", bundle["query"], None, bundle["master"],
+                bundle["constraints"], schema=bundle["schema"])
+        else:
+            kind = "missing" if procedure == "missing" else "rcdp"
+            estimate = estimate_decision(
+                kind, bundle["query"], bundle.get("database"),
+                bundle["master"], bundle["constraints"])
+    except Exception:
+        return
+    from repro.obs import obs_of
+
+    observation = obs_of(governor)
+    if observation is not None:
+        observation.annotate(
+            cost_estimate=estimate.total_predicted,
+            cost_dominant_phase=estimate.dominant_phase)
+    budget = governor.budget
+    if (budget is not None and budget.limit is not None
+            and estimate.total_predicted > budget.limit):
+        from repro.parallel import suggest_workers
+
+        print(f"preflight: predicted ~{estimate.total_predicted} tick(s) "
+              f"exceeds --budget {budget.limit} (dominant phase "
+              f"{estimate.dominant_phase}); suggested budget "
+              f"{governor.suggest_budget(estimate)}, suggested workers "
+              f"{suggest_workers(estimate)}")
+
+
 def _print_exhaustion(result) -> None:
     print(f"search interrupted: {result.interrupted}")
     if result.checkpoint is not None:
@@ -259,6 +313,7 @@ def _print_exhaustion(result) -> None:
 def _cmd_rcdp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
+    _preflight(args, governor, bundle, "rcdp")
     result = decide_rcdp(bundle["query"], bundle["database"],
                          bundle["master"], bundle["constraints"],
                          governor=governor,
@@ -285,6 +340,7 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
 def _cmd_rcqp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
+    _preflight(args, governor, bundle, "rcqp")
     result = decide_rcqp(bundle["query"], bundle["master"],
                          bundle["constraints"], bundle["schema"],
                          max_valuation_set_size=args.max_set_size,
@@ -310,6 +366,7 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
 def _cmd_complete(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
+    _preflight(args, governor, bundle, "complete")
     outcome = make_complete(bundle["query"], bundle["database"],
                             bundle["master"], bundle["constraints"],
                             max_rounds=args.max_rounds,
@@ -346,6 +403,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         rcqp_valuation_set_size=args.max_set_size,
         backend=args.backend,
         workers=args.workers)
+    _preflight(args, governor, bundle, "rcdp")
     report = audit.assess(bundle["query"], bundle["database"],
                           governor=governor,
                           on_exhausted=args.on_exhausted)
@@ -367,6 +425,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_missing(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
+    _preflight(args, governor, bundle, "missing")
     report = missing_answers_report(
         bundle["query"], bundle["database"], bundle["master"],
         bundle["constraints"], limit=args.limit,
@@ -410,6 +469,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             if len(args.bundles) > 1:
                 print(f"== {path}")
             print(report.render())
+            if args.explain_cost and report.facts.cost_estimate is not None:
+                print(report.facts.cost_estimate.render())
     if args.format == "json":
         print(json.dumps(payloads if len(args.bundles) > 1
                          else payloads[0], indent=2, sort_keys=True))
@@ -517,12 +578,17 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="statically analyze bundles without deciding "
                      "anything")
     lint.add_argument("bundles", nargs="+", metavar="bundle",
-                      help="JSON problem bundle(s)")
+                      help="JSON problem bundle(s), or directories of "
+                           "them (linted in sorted name order)")
     lint.add_argument("--format", choices=("text", "json"),
                       default="text", help="output format")
     lint.add_argument("--fast", action="store_true",
                       help="skip the NP-hard minimization/containment "
                            "rules (RC005, RC103)")
+    lint.add_argument("--explain-cost", action="store_true",
+                      help="print the static cost estimate (predicted "
+                           "governor ticks, dominant phase, per-disjunct "
+                           "breakdown) after each report")
     lint.set_defaults(func=_cmd_lint)
 
     trace = subparsers.add_parser(

@@ -65,6 +65,19 @@ class PlanStep:
     intra_checks: tuple[tuple[int, Var], ...]
     comparisons: tuple[Any, ...]
 
+    @property
+    def is_scan(self) -> bool:
+        """True when the step probes no index: every row is examined."""
+        return not self.key_positions
+
+    @property
+    def constant_key_positions(self) -> tuple[int, ...]:
+        """The key positions supplied by constants (always available)."""
+        return tuple(position
+                     for position, term in zip(self.key_positions,
+                                               self.key_terms)
+                     if isinstance(term, Const))
+
 
 @dataclass(frozen=True)
 class CompiledPlan:
@@ -83,6 +96,42 @@ class CompiledPlan:
     @property
     def is_boolean(self) -> bool:
         return not self.head
+
+    def scan_steps(self) -> tuple[PlanStep, ...]:
+        """The steps that rescan their whole relation (no index key).
+
+        The first step is a scan by construction unless the atom carries
+        constants; later scans are cross products — the plan linter's
+        RC401 (see :mod:`repro.analysis.planlint`)."""
+        return tuple(step for step in self.steps if step.is_scan)
+
+    def join_components(self) -> tuple[frozenset[int], ...]:
+        """Connected components of the body's join graph (atom indices).
+
+        Two atoms are connected when they share a variable; more than one
+        component means some cross product is inherent in the body, not
+        an artifact of the join order."""
+        atoms = self.query.relation_atoms
+        parent = list(range(len(atoms)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        by_variable: dict[Var, int] = {}
+        for index, atom in enumerate(atoms):
+            for variable in atom.variables():
+                if variable in by_variable:
+                    parent[find(index)] = find(by_variable[variable])
+                else:
+                    by_variable[variable] = index
+        groups: dict[int, set[int]] = {}
+        for index in range(len(atoms)):
+            groups.setdefault(find(index), set()).add(index)
+        return tuple(frozenset(g) for g in
+                     sorted(groups.values(), key=min))
 
 
 def _greedy_order(query: ConjunctiveQuery,

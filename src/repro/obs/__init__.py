@@ -53,12 +53,14 @@ _NULL_SPAN: ContextManager[None] = nullcontext()
 class Observation:
     """One tracer + one metrics registry, bound to a governor."""
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "_annotations")
 
     def __init__(self, *, tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None) -> None:
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Attributes queued for the next root span (see :meth:`annotate`).
+        self._annotations: dict[str, Any] = {}
         # Bridge: every completed span lands in the registry as a call
         # counter + duration histogram.
         self.tracer.on_span_end.append(self.metrics.record_span)
@@ -76,6 +78,26 @@ class Observation:
             observation.tracer.bind_tick_source(governor.budget.snapshot)
         governor.obs = observation
         return observation
+
+    # ------------------------------------------------------------------
+    # Root-span annotations
+    # ------------------------------------------------------------------
+
+    def annotate(self, **attributes: Any) -> None:
+        """Queue *attributes* for the next ``@traced`` root span.
+
+        The CLI preflight records the static cost estimate here before
+        calling a decider; :func:`traced` drains the queue into the
+        decision's root span, so the prediction travels with the trace
+        (``repro trace`` shows it next to the actual tick ledger).
+        Harmless without a consumer — the queue is just dropped.
+        """
+        self._annotations.update(attributes)
+
+    def take_annotations(self) -> dict[str, Any]:
+        """Drain the queued root-span attributes."""
+        taken, self._annotations = self._annotations, {}
+        return taken
 
     # ------------------------------------------------------------------
     # Finalization and parallel merge
@@ -155,7 +177,8 @@ def traced(name: str) -> Callable:
             observation = obs_of(kwargs.get("governor"))
             if observation is None or not observation.tracer.enabled:
                 return procedure(*args, **kwargs)
-            with observation.tracer.span(name):
+            with observation.tracer.span(
+                    name, **observation.take_annotations()):
                 return procedure(*args, **kwargs)
         return wrapped
 

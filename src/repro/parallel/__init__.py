@@ -33,7 +33,8 @@ from repro.parallel.api import (brute_force_rcdp_parallel,
 from repro.parallel.beacon import WitnessBeacon
 from repro.parallel.partition import (EventCancellation, GovernorSpec,
                                       ShardSpec, materialize_governor,
-                                      resolve_workers, split_governor)
+                                      resolve_workers, split_governor,
+                                      suggest_workers)
 from repro.parallel.pool import merged_ticks, run_shards
 from repro.parallel.supervise import ShardSupervisor
 from repro.parallel.worker import ShardOutcome, ShardTask
@@ -46,6 +47,7 @@ __all__ = [
     "decide_rcqp_parallel",
     "decide_rcqp_with_inds_parallel",
     "resolve_workers",
+    "suggest_workers",
     "split_governor",
     "materialize_governor",
     "ShardSpec",

@@ -33,9 +33,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.faults import FaultInjector
     from repro.runtime.retry import RetryPolicy
 
-__all__ = ["resolve_workers", "ShardSpec", "GovernorSpec",
-           "split_governor", "materialize_governor", "EventCancellation",
-           "parallel_checkpoint_state", "unpack_parallel_state"]
+__all__ = ["resolve_workers", "suggest_workers", "ShardSpec",
+           "GovernorSpec", "split_governor", "materialize_governor",
+           "EventCancellation", "parallel_checkpoint_state",
+           "unpack_parallel_state"]
+
+#: Below this many predicted ticks per worker, adding a process costs
+#: more (spawn + pickle + merge) than the slice it would own.
+MIN_TICKS_PER_WORKER = 25_000
+
+
+def suggest_workers(estimate: Any, *,
+                    cpu_count: int | None = None) -> int:
+    """A ``workers=`` suggestion from a static cost estimate.
+
+    *estimate* is anything with a ``total_predicted`` tick count (a
+    `repro.analysis.cost.CostEstimate`) or a plain integer.  The
+    suggestion gives every worker at least :data:`MIN_TICKS_PER_WORKER`
+    predicted ticks — pool startup dominates below that
+    (BENCH_parallel.json) — and never exceeds the machine's cores.
+    """
+    ticks = int(getattr(estimate, "total_predicted", estimate))
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    if ticks <= 0 or cores <= 1:
+        return 1
+    return max(1, min(cores, ticks // MIN_TICKS_PER_WORKER))
 
 
 def resolve_workers(workers: int | None) -> int:

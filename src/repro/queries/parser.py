@@ -130,7 +130,7 @@ def _tokenize(text: str) -> Iterator[_Token]:
                              line=line, column=column,
                              offset=match.start())
         yield _Token(kind, value, line, column, match.start())
-    yield _Token("EOF", "", line, 0, len(text))
+    yield _Token("EOF", "", line, len(text) - line_start + 1, len(text))
 
 
 def _token_span(token: _Token) -> SourceSpan:

@@ -142,6 +142,25 @@ class ExecutionGovernor:
             if self.budget is not None:
                 self.budget.charge(kind, amount)
 
+    def suggest_budget(self, estimate: object, *,
+                       safety: int = 4, adopt: bool = False) -> int:
+        """A budget limit sized to a static cost estimate.
+
+        *estimate* is anything exposing a ``total_predicted`` tick count
+        — a :class:`repro.analysis.cost.CostEstimate` — or a plain
+        integer.  The suggestion multiplies the point estimate by
+        *safety* (the cost model is bench-gated at within-4× agreement
+        on full enumerations, so ``safety=4`` admits every decision the
+        model understands).  With ``adopt=True`` the suggestion is
+        installed as this governor's budget when none is set yet;
+        an existing budget is never overwritten.
+        """
+        predicted = int(getattr(estimate, "total_predicted", estimate))
+        suggestion = max(1, predicted) * max(1, safety)
+        if adopt and self.budget is None:
+            self.budget = Budget(limit=suggestion)
+        return suggestion
+
     def check(self) -> None:
         """A zero-cost checkpoint: observe deadline/cancellation/faults
         without charging the budget."""

@@ -179,7 +179,7 @@ class TestRegistry:
             assert code.startswith("RC") and len(code) == 5
             assert rule.name and rule.description and rule.reference
             assert isinstance(rule.severity, Severity)
-            assert rule.cost in ("cheap", "deep")
+            assert rule.cost in ("cheap", "deep", "flow")
 
     def test_deep_rules_are_the_np_hard_ones(self):
         deep = {code for code, rule in RULES.items()

@@ -127,3 +127,82 @@ class TestParseProgram:
         program = parse_program(
             "P(x, y) :- E(x, y), x != 1", goal="P")
         assert program.evaluate(GRAPH) == frozenset({(2, 3)})
+
+
+class TestSpannedParsing:
+    """Edge cases of the span-carrying parser entry points."""
+
+    def test_multi_line_rules_carry_line_numbers(self):
+        from repro.queries.parser import parse_rules_spanned
+        text = "Q(x) :- E(x, y)\nQ(x) :- L(x, l), l = 'a'\n"
+        rules, spans = parse_rules_spanned(text)
+        assert len(rules) == len(spans) == 2
+        first, second = spans
+        assert (first.rule.line, first.rule.column) == (1, 1)
+        assert (second.rule.line, second.rule.column) == (2, 1)
+        # Offsets are absolute: the second rule starts after the newline.
+        assert text[second.rule.offset:].startswith("Q(x) :- L")
+        # Literal spans are in body order.
+        assert [text[s.offset:s.offset + s.length]
+                for s in second.literals] == ["L(x, l)", "l = 'a'"]
+
+    def test_variable_spans_record_first_occurrence(self):
+        from repro.queries.parser import parse_query_spanned
+        text = "Q(x) :- E(x, y), E(y, z)"
+        _, spans = parse_query_spanned(text)
+        (rule,) = spans
+        assert text[rule.variables["x"].offset] == "x"
+        # y's recorded occurrence is its first, inside the first atom.
+        assert rule.variables["y"].offset == text.index("y")
+
+    def test_tab_counts_as_one_column(self):
+        from repro.queries.parser import parse_rules_spanned
+        text = "\tQ(x) :- E(x,\ty)"
+        _, spans = parse_rules_spanned(text)
+        (rule,) = spans
+        assert (rule.rule.line, rule.rule.column) == (1, 2)
+        assert text[rule.rule.offset] == "Q"
+
+    def test_error_at_eof_points_past_the_last_character(self):
+        text = "Q(x) :- E(x,"
+        with pytest.raises(ParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.line == 1
+        assert error.offset == len(text)
+        assert error.column == len(text) + 1
+
+    def test_eof_column_resets_per_line(self):
+        text = "Q(x) :- E(x, y)\nQ(x) :- E(x,"
+        with pytest.raises(ParseError) as excinfo:
+            parse_query(text)
+        error = excinfo.value
+        assert error.line == 2
+        assert error.column == len("Q(x) :- E(x,") + 1
+
+    def test_parse_error_round_trips_through_report_json(self):
+        import json
+
+        from repro.analysis import lint_bundle
+        text = "Q(x) :- E(x,"
+        payload = {
+            "schema": {"relations": [
+                {"name": "E",
+                 "attributes": [{"name": "a"}, {"name": "b"}]}]},
+            "master_schema": {"relations": [
+                {"name": "M", "attributes": [{"name": "a"}]}]},
+            "query": {"language": "CQ", "text": text},
+            "constraints": [],
+        }
+        report = lint_bundle(payload)
+        decoded = json.loads(json.dumps(report.to_dict()))
+        (entry,) = [d for d in decoded["diagnostics"]
+                    if d["code"] == "RC000"]
+        span = entry["span"]
+        assert span["source"] == "query"
+        assert (span["line"], span["column"]) == (1, len(text) + 1)
+        assert span["offset"] == len(text)
+        # The caret renders on the offending line, past its last char.
+        rendered = report.render()
+        caret_line = rendered.splitlines()[2]
+        assert caret_line == "    " + " " * len(text) + "^"
