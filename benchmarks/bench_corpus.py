@@ -1,0 +1,76 @@
+"""Corpus sweep benchmark: the generator + differential runner at scale.
+
+Generates a seeded scenario corpus (4 domain families × language tiers
+× constraint classes × sizes × target verdicts), runs every scenario
+through the full decider matrix (``python``/``columnar``/``sqlite`` ×
+workers 1/2, counting legs included) against the python-serial oracle,
+and reports per-family pass rates and latency distributions.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_corpus.py [--smoke]
+
+Writes ``BENCH_corpus.json`` (the corpus report already *is* the
+normalized ``report_schema`` shape).  The per-family 100 % pass-rate
+gates are enforced in both modes — a single divergent backend cell is
+a soundness bug, not a perf regression.  ``--smoke`` shrinks the sweep
+(6 scenarios per family instead of 25) for the CI leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+
+from repro.corpus import (build_report, check_report, generate_corpus,
+                          render_report, run_corpus)
+
+DEFAULT_SEED = 9
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep: 6 scenarios per family "
+                             "(the CI mode)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--per-family", type=int, default=None,
+                        help="override the sweep size "
+                             "(default: 25, or 6 with --smoke)")
+    parser.add_argument("--output", default="BENCH_corpus.json")
+    args = parser.parse_args(argv)
+
+    per_family = args.per_family or (6 if args.smoke else 25)
+    with tempfile.TemporaryDirectory(prefix="repro-corpus-") as tmp:
+        start = time.perf_counter()
+        manifest = generate_corpus(tmp, seed=args.seed,
+                                   per_family=per_family)
+        generate_s = time.perf_counter() - start
+        print(f"generated {len(manifest['scenarios'])} scenarios "
+              f"(seed {args.seed}) in {generate_s:.2f}s")
+
+        start = time.perf_counter()
+        result = run_corpus(tmp)
+        run_s = time.perf_counter() - start
+
+    report = build_report(result, smoke=args.smoke)
+    report["extra"]["generate_s"] = round(generate_s, 6)
+    report["extra"]["run_s"] = round(run_s, 6)
+    print(render_report(report))
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    status = check_report(report)
+    if status:
+        print("corpus pass-rate gate FAILED", file=sys.stderr)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

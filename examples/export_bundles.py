@@ -1,22 +1,62 @@
-"""Export the CRM example scenarios as JSON bundles.
+"""Export the example scenarios as JSON bundles.
 
 Writes the bundles under ``examples/bundles/``; CI lints them
 (``repro lint examples/bundles/*.json``) and expects every one to come
-out clean (exit 0 — info-level findings allowed).  Run this script again
-after changing :mod:`repro.mdm.scenario` or the wire format.
+out clean (exit 0 — info-level findings allowed), and the bundle-corpus
+regression test replays each one against its ``expected`` golden block.
+Run this script again after changing :mod:`repro.mdm.scenario`, the
+corpus generator, or the wire format.
+
+Two kinds of bundle are exported:
+
+* the three hand-built CRM bundles of the paper's narrative — their
+  existing golden blocks (``expected``, ``trace``) are *preserved*
+  across re-export, so regenerating the problem payload does not wipe
+  the goldens;
+* one generated corpus scenario per domain family, pinned by seed —
+  their ``expected`` blocks are stamped fresh by the generation oracle,
+  so the goldens move with the generator (bump the pinned seed/index
+  deliberately, never silently).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.io.json_io import dump_bundle  # noqa: E402
+from repro.corpus.generate import dump_scenario  # noqa: E402
 from repro.mdm.scenario import CRMScenario  # noqa: E402
 
 BUNDLES_DIR = pathlib.Path(__file__).resolve().parent / "bundles"
+
+#: (family, index) pinned into examples/bundles/ — a tier/size/verdict
+#: mix: crm #3 and hierarchy #5 are INCOMPLETE (witness goldens), erp #0
+#: and scm #1 are COMPLETE (scm #1 adds the FD denial CCs).
+GOLDEN_SEED = 9
+GOLDEN_SCENARIOS = (("crm", 3), ("erp", 0), ("scm", 1), ("hierarchy", 5))
+
+_PROBLEM_KEYS = frozenset((
+    "schema", "master_schema", "database", "master", "query",
+    "constraints"))
+
+
+def _preserved_extra(path: pathlib.Path) -> dict:
+    """The non-problem blocks of an existing bundle (goldens ride along
+    across re-export instead of being clobbered)."""
+    if not path.exists():
+        return {}
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return {key: value for key, value in payload.items()
+            if key not in _PROBLEM_KEYS}
+
+
+def _dump_preserving(path: pathlib.Path, **problem) -> None:
+    dump_bundle(str(path), extra=_preserved_extra(path), **problem)
 
 
 def export() -> list[pathlib.Path]:
@@ -27,20 +67,22 @@ def export() -> list[pathlib.Path]:
     # q0 over the default constraint set (φ0, cust01, manage⊆managem):
     # the paper's "domestic customers in area code 908" query.
     path = BUNDLES_DIR / "crm_q0_area_code.json"
-    dump_bundle(str(path), schema=scenario.schema,
-                master_schema=scenario.master_schema,
-                database=scenario.database(), master=scenario.master(),
-                query=scenario.q0_customers_with_area_code(),
-                constraints=scenario.default_constraints())
+    _dump_preserving(path, schema=scenario.schema,
+                     master_schema=scenario.master_schema,
+                     database=scenario.database(),
+                     master=scenario.master(),
+                     query=scenario.q0_customers_with_area_code(),
+                     constraints=scenario.default_constraints())
     written.append(path)
 
     # q1 (customers supported by e0 in area 908) — Example 1.1's query.
     path = BUNDLES_DIR / "crm_q1_supported.json"
-    dump_bundle(str(path), schema=scenario.schema,
-                master_schema=scenario.master_schema,
-                database=scenario.database(), master=scenario.master(),
-                query=scenario.q1_customers_supported_by(),
-                constraints=scenario.default_constraints())
+    _dump_preserving(path, schema=scenario.schema,
+                     master_schema=scenario.master_schema,
+                     database=scenario.database(),
+                     master=scenario.master(),
+                     query=scenario.q1_customers_supported_by(),
+                     constraints=scenario.default_constraints())
     written.append(path)
 
     # q2 (all customers supported by e0) against the domestic-support
@@ -50,12 +92,23 @@ def export() -> list[pathlib.Path]:
     domestic.support = {(e, d, c) for e, d, c in domestic.support
                         if not c.startswith("i")}
     path = BUNDLES_DIR / "crm_q2_supported_ind.json"
-    dump_bundle(str(path), schema=domestic.schema,
-                master_schema=domestic.master_schema,
-                database=domestic.database(), master=domestic.master(),
-                query=domestic.q2_all_supported_by(),
-                constraints=[domestic.supt_cid_ind()])
+    _dump_preserving(path, schema=domestic.schema,
+                     master_schema=domestic.master_schema,
+                     database=domestic.database(),
+                     master=domestic.master(),
+                     query=domestic.q2_all_supported_by(),
+                     constraints=[domestic.supt_cid_ind()])
     written.append(path)
+
+    # One generated corpus scenario per family, seed-pinned; the
+    # generation oracle stamps the expected block.
+    for family, index in GOLDEN_SCENARIOS:
+        spec = dump_scenario(
+            str(BUNDLES_DIR / f"gen_{family}_golden.json"),
+            family, GOLDEN_SEED, index)
+        written.append(BUNDLES_DIR / f"gen_{family}_golden.json")
+        print(f"  {family} golden: tier={spec.tier} size={spec.size} "
+              f"target={spec.target}")
 
     return written
 

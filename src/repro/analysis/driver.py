@@ -238,7 +238,10 @@ def lint_path(path: str, *, deep: bool = True, flow: bool = True) -> Report:
     into one report whose diagnostic sources are prefixed with the file
     name (``bundle.json:query``), so the aggregate exit code is the
     worst severity across the directory and deterministic for any
-    listing order the OS returns.  The merged report's facts are the
+    listing order the OS returns.  Sidecar JSON files that are not
+    bundles (no ``schema`` key — e.g. a corpus ``manifest.json`` or a
+    saved run report) are skipped in directory mode; linting such a
+    file directly still fails.  The merged report's facts are the
     default (facts are per-scenario; consumers that need them should
     lint files individually).
     """
@@ -249,11 +252,20 @@ def lint_path(path: str, *, deep: bool = True, flow: bool = True) -> Report:
         merged: list[Diagnostic] = []
         sources: dict[str, str] = {}
         for name in sorted(os.listdir(path)):
-            if not name.endswith(".json"):
+            full = os.path.join(path, name)
+            if not name.endswith(".json") or not os.path.isfile(full):
+                continue
+            try:
+                with open(full, encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                # Unreadable/corrupt files go through the file path
+                # below so they still raise the usual QueryError.
+                payload = {"schema": None}
+            if not isinstance(payload, dict) or "schema" not in payload:
                 continue
             report = _prefix_report(
-                lint_path(os.path.join(path, name), deep=deep, flow=flow),
-                name)
+                lint_path(full, deep=deep, flow=flow), name)
             merged.extend(report.diagnostics)
             sources.update(report.sources)
         return Report(diagnostics=tuple(merged), sources=sources)
@@ -262,4 +274,7 @@ def lint_path(path: str, *, deep: bool = True, flow: bool = True) -> Report:
             payload = json.load(handle)
         except json.JSONDecodeError as exc:
             raise QueryError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise QueryError(f"{path} is not a scenario bundle "
+                         f"(no 'schema' block)")
     return lint_bundle(payload, deep=deep, flow=flow)

@@ -88,6 +88,7 @@ unexpected exception, or died under ``--no-retry``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -527,6 +528,52 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_CORPUS_DIR = "corpus_bundles"
+
+
+def corpus_families() -> tuple[str, ...]:
+    from repro.corpus.spec import FAMILIES
+    return FAMILIES
+
+
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import generate_corpus
+
+    manifest = generate_corpus(
+        args.out, seed=args.seed, per_family=args.per_family,
+        families=tuple(args.families))
+    print(f"generated {len(manifest['scenarios'])} scenarios "
+          f"(seed {manifest['seed']}, families "
+          f"{'/'.join(manifest['families'])}) into {args.out}")
+    return 0
+
+
+def _cmd_corpus_run(args: argparse.Namespace) -> int:
+    from repro.corpus import build_report, check_report, render_report, \
+        run_corpus
+
+    result = run_corpus(args.dir, backends=tuple(args.backends),
+                        workers=tuple(args.workers),
+                        check_counting=not args.no_counting)
+    report = build_report(result, smoke=args.smoke)
+    print(render_report(report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, ensure_ascii=False)
+            handle.write("\n")
+        print(f"wrote {args.report}")
+    return check_report(report)
+
+
+def _cmd_corpus_report(args: argparse.Namespace) -> int:
+    from repro.corpus import check_report, render_report
+    from repro.corpus.report import load_report
+
+    report = load_report(args.file)
+    print(render_report(report))
+    return check_report(report)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -600,6 +647,60 @@ def build_parser() -> argparse.ArgumentParser:
                             "and tick accounting); exit 0 when valid, "
                             "2 otherwise")
     trace.set_defaults(func=_cmd_trace)
+
+    corpus = subparsers.add_parser(
+        "corpus", help="generate and differentially run the scenario "
+                       "corpus (see docs/CORPUS.md)")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command",
+                                       required=True)
+
+    generate = corpus_sub.add_parser(
+        "generate", help="emit a seeded, oracle-verified scenario sweep")
+    generate.add_argument("--out", default=DEFAULT_CORPUS_DIR,
+                          metavar="DIR",
+                          help=f"output directory (default "
+                               f"{DEFAULT_CORPUS_DIR})")
+    generate.add_argument("--seed", type=int, default=9,
+                          help="sweep seed; the same seed reproduces "
+                               "byte-identical bundles (default 9)")
+    generate.add_argument("--per-family", type=int, default=25,
+                          metavar="N",
+                          help="scenarios per domain family (default 25 "
+                               "→ a 100-scenario sweep)")
+    generate.add_argument("--families", nargs="+", metavar="FAMILY",
+                          default=list(corpus_families()),
+                          choices=corpus_families(),
+                          help="domain families to sweep (default: all)")
+    generate.set_defaults(func=_cmd_corpus_generate)
+
+    run = corpus_sub.add_parser(
+        "run", help="re-decide every scenario across the backend × "
+                    "worker matrix against the python-serial oracle")
+    run.add_argument("--dir", default=DEFAULT_CORPUS_DIR, metavar="DIR",
+                     help=f"corpus directory (default "
+                          f"{DEFAULT_CORPUS_DIR})")
+    run.add_argument("--backends", nargs="+", choices=BACKEND_NAMES,
+                     default=list(BACKEND_NAMES),
+                     help="storage backends to cross-check "
+                          "(default: all)")
+    run.add_argument("--workers", nargs="+", type=int, default=[1, 2],
+                     metavar="N", help="worker counts to cross-check "
+                                       "(default: 1 2)")
+    run.add_argument("--no-counting", action="store_true",
+                     help="skip the per-backend missing-answer "
+                          "counting leg")
+    run.add_argument("--smoke", action="store_true",
+                     help="mark the report as a smoke run")
+    run.add_argument("--report", default=None, metavar="FILE",
+                     help="also write the BENCH-format JSON report "
+                          "to FILE")
+    run.set_defaults(func=_cmd_corpus_run)
+
+    corpus_report = corpus_sub.add_parser(
+        "report", help="render a previously written corpus report and "
+                       "re-check its gates")
+    corpus_report.add_argument("file", help="BENCH-format corpus report")
+    corpus_report.set_defaults(func=_cmd_corpus_report)
 
     demo = subparsers.add_parser(
         "demo", help="run the paper's CRM example")

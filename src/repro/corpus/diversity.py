@@ -1,0 +1,129 @@
+"""The corpus diversity gate.
+
+A generated sweep is only useful as an acceptance harness if it keeps
+exercising *different* things: every requested family, both verdicts
+inside each family, every query-language tier, and every constraint
+class.  A refactor of the generator (or a careless ``--families``
+sweep) that collapses one of those axes would silently turn the corpus
+into a monoculture — hundreds of scenarios all proving the same fact.
+The gate measures coverage and fails generation instead.
+
+Checked requirements, in gate order:
+
+1. every requested family contributes at least ``min_per_family``
+   scenarios (default: enough to cycle the tier grid once);
+2. within each family of ≥ 2 scenarios, both verdicts occur;
+3. globally, every language tier (CQ, CQ≠, UCQ) occurs;
+4. globally, every constraint class (cc, ind, denial) occurs —
+   except ``cc`` when the only family that builds CCs was not swept;
+5. no single verdict exceeds ``max_verdict_share`` of the sweep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.corpus.spec import CONSTRAINT_CLASSES, FAMILIES, TIERS
+from repro.errors import DiversityError
+
+__all__ = ["DiversityReport", "check_diversity", "ensure_diverse"]
+
+#: Verdict share above which the sweep counts as a monoculture.
+MAX_VERDICT_SHARE = 0.9
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Coverage measurements plus the list of violated requirements."""
+
+    ok: bool
+    problems: tuple[str, ...]
+    families: Mapping[str, int]
+    verdicts: Mapping[str, int]
+    tiers: Mapping[str, int]
+    classes: Mapping[str, int]
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"{len(self.problems)} problem(s)"
+        return f"DiversityReport[{state}]"
+
+
+def check_diversity(records: Sequence[Mapping], *,
+                    families: Sequence[str] = FAMILIES,
+                    min_per_family: int | None = None,
+                    max_verdict_share: float = MAX_VERDICT_SHARE,
+                    ) -> DiversityReport:
+    """Measure a sweep's coverage.
+
+    Each record needs ``family``, ``tier``, ``verdict``, and
+    ``classes`` keys (the generator's per-scenario records).  The
+    default *min_per_family* is ``min(len(TIERS), observed maximum)``
+    so tiny smoke sweeps are not asked for more scenarios than any
+    family got.
+    """
+    family_counts = Counter(r["family"] for r in records)
+    verdict_counts = Counter(r["verdict"] for r in records)
+    tier_counts = Counter(r["tier"] for r in records)
+    class_counts: Counter = Counter()
+    for record in records:
+        class_counts.update(record["classes"])
+
+    if min_per_family is None:
+        observed_max = max(family_counts.values(), default=0)
+        min_per_family = min(len(TIERS), observed_max) or 1
+
+    problems: list[str] = []
+    for family in families:
+        count = family_counts.get(family, 0)
+        if count < min_per_family:
+            problems.append(
+                f"family {family!r} has {count} scenario(s), "
+                f"needs ≥ {min_per_family}")
+            continue
+        if count >= 2:
+            per_family = {r["verdict"] for r in records
+                          if r["family"] == family}
+            if len(per_family) < 2:
+                only = next(iter(per_family))
+                problems.append(
+                    f"family {family!r} decides {only!r} only — "
+                    f"both verdicts required")
+    for tier in TIERS:
+        if not tier_counts.get(tier):
+            problems.append(f"language tier {tier!r} never generated")
+    for cls in CONSTRAINT_CLASSES:
+        if not class_counts.get(cls):
+            if cls == "cc" and "crm" not in families:
+                continue  # only the CRM family builds general CCs
+            problems.append(f"constraint class {cls!r} never exercised")
+    total = sum(verdict_counts.values())
+    if total:
+        verdict, count = verdict_counts.most_common(1)[0]
+        if count / total > max_verdict_share:
+            problems.append(
+                f"verdict monoculture: {verdict!r} is {count}/{total} "
+                f"of the sweep (> {max_verdict_share:.0%})")
+
+    return DiversityReport(
+        ok=not problems, problems=tuple(problems),
+        families=dict(family_counts), verdicts=dict(verdict_counts),
+        tiers=dict(tier_counts), classes=dict(class_counts))
+
+
+def ensure_diverse(records: Sequence[Mapping], *,
+                   families: Sequence[str] = FAMILIES,
+                   min_per_family: int | None = None,
+                   max_verdict_share: float = MAX_VERDICT_SHARE,
+                   ) -> DiversityReport:
+    """:func:`check_diversity`, raising :class:`DiversityError` when
+    any requirement is violated."""
+    report = check_diversity(records, families=families,
+                             min_per_family=min_per_family,
+                             max_verdict_share=max_verdict_share)
+    if not report.ok:
+        raise DiversityError(
+            "corpus diversity gate tripped:\n  - "
+            + "\n  - ".join(report.problems))
+    return report

@@ -1,0 +1,596 @@
+"""Seeded scenario generation across the four domain families.
+
+Every builder constructs a *verdict-by-construction* scenario: the
+instances are assembled so the target verdict (relatively COMPLETE or
+INCOMPLETE) follows from the constraint structure, then the python
+serial decider is run as an oracle and the generator refuses to emit
+any scenario whose actual verdict disagrees (:class:`CorpusError`).
+The oracle's verdict, witness, and exact missing-answer count are
+stamped into the bundle's ``"expected"`` block, so every generated
+bundle doubles as a golden regression fixture.
+
+Family shapes:
+
+* ``crm`` — the paper's running example (:class:`CRMScenario`) with
+  finite attribute domains derived from the generated data, the φ0 /
+  cust01 CCs, the ``Manage ⊆ Managem`` IND, and (odd indices) the φ1
+  at-most-*k* denial;
+* ``erp`` — purchase orders with three INDs into vendor/dept/item
+  master relations, plus a denial over the nullary ``Freeze()`` flag
+  (always present: it pins the nullary-relation round-trip);
+* ``scm`` — :class:`SCMScenario` with *mixed int/str shipment ids*
+  (pinning the mixed-type row-sort fix) and, on odd indices, the
+  shipment-key FD compiled to denial CCs;
+* ``hierarchy`` — a bare management tree under a two-column IND, with
+  (odd indices) a no-self-management denial.
+
+Instance sizes are deliberately tiny (≤ tens of rows): the corpus buys
+coverage through scenario *count* and axis diversity, and every
+scenario must stay cheap enough to decide ~6 times (backend × worker
+matrix) plus three counting passes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from random import Random
+from typing import Callable, Sequence
+
+from repro.constraints.containment import ContainmentConstraint
+from repro.constraints.denial import DenialConstraint
+from repro.constraints.ind import InclusionDependency
+from repro.core.rcdp import decide_rcdp
+from repro.corpus.diversity import ensure_diverse
+from repro.corpus.spec import (FAMILIES, GENERATOR_VERSION, ScenarioSpec,
+                               scenario_rng, spec_for)
+from repro.errors import CorpusError
+from repro.incomplete.counting import count_missing_answers
+from repro.io.json_io import dump_bundle
+from repro.mdm.scenario import CRMScenario, CustomerRecord
+from repro.mdm.scm import SCMScenario
+from repro.queries.atoms import eq, neq, rel
+from repro.queries.cq import cq
+from repro.queries.terms import var
+from repro.queries.ucq import ucq
+from repro.relational.domain import FiniteDomain, INFINITE
+from repro.relational.instance import Instance
+from repro.relational.schema import (Attribute, DatabaseSchema,
+                                     RelationSchema)
+
+__all__ = ["BuiltScenario", "build_scenario", "dump_scenario",
+           "generate_corpus", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class BuiltScenario:
+    """One generated problem instance, before oracle verification."""
+
+    spec: ScenarioSpec
+    schema: DatabaseSchema
+    master_schema: DatabaseSchema
+    database: Instance
+    master: Instance
+    query: object
+    constraints: list[ContainmentConstraint]
+    #: constraint classes present: subset of {"cc", "ind", "denial"}
+    classes: tuple[str, ...]
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _attr(name: str, values: set) -> Attribute:
+    """An attribute whose domain is the finite *values* set.
+
+    Finite domains make the generated query heads bounded (condition
+    E3) and keep the valuation enumeration proportional to the data
+    rather than to the global active domain.  Sets of fewer than two
+    values stay infinite (:class:`FiniteDomain` requires a genuine
+    choice).
+    """
+    if len(values) < 2:
+        return Attribute(name, INFINITE)
+    return Attribute(name, FiniteDomain(values, name=f"{name}-domain"))
+
+
+def _rebuild(instance: Instance, schema: DatabaseSchema) -> Instance:
+    return Instance(schema, {name: set(rows) for name, rows in instance})
+
+
+# ---------------------------------------------------------------------------
+# Family: CRM (the paper's running example)
+# ---------------------------------------------------------------------------
+
+_CRM_NAMES = ("ann", "bob", "cecilia", "dave", "erin",
+              "fay", "gil", "hana")
+_CRM_ACS = ("908", "212", "973")
+
+
+def _domestic_cust_atoms(c, n, ccv, a, p) -> list:
+    return [rel("Cust", c, n, ccv, a, p), eq(ccv, "01")]
+
+
+def _build_crm(spec: ScenarioSpec, rng: Random) -> BuiltScenario:
+    n = 3 if spec.size == "small" else 5
+    pool = list(_CRM_ACS)
+    rng.shuffle(pool)
+    acs = [pool[i % len(pool)] for i in range(n)]
+    domestic = [CustomerRecord(f"c{i + 1}", _CRM_NAMES[i], acs[i],
+                               f"555-00{10 + i}") for i in range(n)]
+    international = [CustomerRecord("i1", "ines", "+44-20", "555-9001")]
+    support = {("e0" if i % 2 == 0 else "e1", "sales", r.cid)
+               for i, r in enumerate(domestic) if rng.random() < 0.8}
+    if rng.random() < 0.5:
+        support.add(("e1", "sales", "i1"))
+    manage_master = {("e2", "e0"), ("e2", "e1"), ("e3", "e2")}
+    scenario = CRMScenario(domestic=domestic, international=international,
+                           support=support, manage_master=manage_master,
+                           manage=set(manage_master))
+
+    missing: list[str] = []
+    victim = None
+    if spec.target == "incomplete":
+        victim = domestic[rng.randrange(n)]
+        missing = [victim.cid]
+
+    c, nm, ccv, a, p = (var(x) for x in ("c", "nm", "ccv", "a", "p"))
+    if spec.tier == "CQ":
+        ac0 = victim.ac if victim else rng.choice(acs)
+        query = cq([c], _domestic_cust_atoms(c, nm, ccv, a, p)
+                   + [eq(a, ac0)], name=f"Qac[{ac0}]")
+    elif spec.tier == "CQ!=":
+        if victim:
+            excluded = rng.choice(
+                [x for x in _CRM_ACS if x != victim.ac])
+        else:
+            excluded = rng.choice(_CRM_ACS)
+        query = cq([c], _domestic_cust_atoms(c, nm, ccv, a, p)
+                   + [neq(a, excluded)], name=f"Qnotac[{excluded}]")
+    else:
+        ac_a = victim.ac if victim else rng.choice(acs)
+        ac_b = rng.choice([x for x in _CRM_ACS if x != ac_a])
+        query = ucq([
+            cq([c], _domestic_cust_atoms(c, nm, ccv, a, p)
+               + [eq(a, ac_a)], name=f"Qac[{ac_a}]"),
+            cq([c], _domestic_cust_atoms(c, nm, ccv, a, p)
+               + [eq(a, ac_b)], name=f"Qac[{ac_b}]"),
+        ], name=f"Qac[{ac_a}|{ac_b}]")
+
+    constraints = scenario.default_constraints()
+    classes = ("cc", "ind")
+    if spec.index % 2 == 1:
+        constraints.append(scenario.phi1_at_most_k(4))
+        classes = ("cc", "ind", "denial")
+
+    # Domains are computed over the *full* scenario (master included),
+    # so a customer dropped from D to create incompleteness is still a
+    # candidate value — the decider must be able to put them back.
+    records = domestic + international
+    cids = {r.cid for r in records}
+    names = {r.name for r in records}
+    area_codes = {r.ac for r in records}
+    phones = {r.phn for r in records}
+    country_codes = {"01", "44"}
+    eids = {"e0", "e1", "e2", "e3"}
+    schema = DatabaseSchema([
+        RelationSchema("Cust", [
+            _attr("cid", cids), _attr("name", names),
+            _attr("cc", country_codes), _attr("ac", area_codes),
+            _attr("phn", phones)]),
+        RelationSchema("Supt", [
+            _attr("eid", eids), Attribute("dept", INFINITE),
+            _attr("cid", cids)]),
+        RelationSchema("Manage", [_attr("eid1", eids),
+                                  _attr("eid2", eids)]),
+    ])
+    master_schema = DatabaseSchema([
+        RelationSchema("DCust", [
+            _attr("cid", cids), _attr("name", names),
+            _attr("ac", area_codes), _attr("phn", phones)]),
+        RelationSchema("Managem", [_attr("eid1", eids),
+                                   _attr("eid2", eids)]),
+        RelationSchema("Empty", [Attribute("z", INFINITE)]),
+    ])
+    return BuiltScenario(
+        spec=spec, schema=schema, master_schema=master_schema,
+        database=_rebuild(scenario.database(missing_customers=missing),
+                          schema),
+        master=_rebuild(scenario.master(), master_schema),
+        query=query, constraints=constraints, classes=classes)
+
+
+# ---------------------------------------------------------------------------
+# Family: ERP (purchase orders, nullary Freeze flag)
+# ---------------------------------------------------------------------------
+
+
+def _build_erp(spec: ScenarioSpec, rng: Random) -> BuiltScenario:
+    n = 3 if spec.size == "small" else 4
+    vendors = [f"v{i}" for i in range(n)]
+    depts = ["d0", "d1"]
+    items = ["i0", "i1"]
+    schema = DatabaseSchema([
+        RelationSchema("PO", ["po", "vendor", "dept"]),
+        RelationSchema("Recv", ["po", "item"]),
+        RelationSchema("Freeze", []),
+    ])
+    master_schema = DatabaseSchema([
+        RelationSchema("VendorM", ["vendor"]),
+        RelationSchema("DeptM", ["dept"]),
+        RelationSchema("ItemM", ["item"]),
+    ])
+    master = Instance(master_schema, {
+        "VendorM": {(v,) for v in vendors},
+        "DeptM": {(d,) for d in depts},
+        "ItemM": {(i,) for i in items},
+    })
+
+    victim = vendors[rng.randrange(n)] if spec.target == "incomplete" \
+        else None
+    pos: set[tuple[str, str, str]] = set()
+    recv: set[tuple[str, str]] = set()
+    counter = 0
+
+    def add_po(vendor: str, dept: str, item: str | None = None) -> None:
+        nonlocal counter
+        po_id = f"po{counter}"
+        counter += 1
+        pos.add((po_id, vendor, dept))
+        if item is not None:
+            recv.add((po_id, item))
+
+    for vendor in vendors:
+        if spec.tier == "CQ":
+            # Q: vendors with a PO in dept d0.
+            if vendor == victim:
+                add_po(vendor, "d1")
+            else:
+                add_po(vendor, "d0")
+                if rng.random() < 0.5:
+                    add_po(vendor, "d1", item=rng.choice(items))
+        elif spec.tier == "CQ!=":
+            # Q: vendors with a PO outside dept d0.
+            if vendor == victim:
+                add_po(vendor, "d0")
+            else:
+                add_po(vendor, "d1")
+                if rng.random() < 0.5:
+                    add_po(vendor, "d0")
+        else:
+            # Q: vendors with a d0 PO, or with a received i0 item.
+            if vendor == victim:
+                add_po(vendor, "d1", item="i1")
+            elif rng.random() < 0.5:
+                add_po(vendor, "d0")
+            else:
+                add_po(vendor, "d1", item="i0")
+    database = Instance(schema, {"PO": pos, "Recv": recv})
+
+    po, v, d, i = (var(x) for x in ("po", "v", "d", "i"))
+    if spec.tier == "CQ":
+        query = cq([v], [rel("PO", po, v, d), eq(d, "d0")], name="Qd0")
+    elif spec.tier == "CQ!=":
+        query = cq([v], [rel("PO", po, v, d), neq(d, "d0")],
+                   name="Qnotd0")
+    else:
+        query = ucq([
+            cq([v], [rel("PO", po, v, d), eq(d, "d0")], name="Qd0"),
+            cq([v], [rel("PO", po, v, d), rel("Recv", po, i),
+                     eq(i, "i0")], name="Qrecv"),
+        ], name="Qd0|recv")
+
+    constraints = [
+        InclusionDependency("PO", ["vendor"], "VendorM", ["vendor"],
+                            name="po⊆vendorm").to_containment_constraint(
+            schema, master_schema),
+        InclusionDependency("PO", ["dept"], "DeptM", ["dept"],
+                            name="po⊆deptm").to_containment_constraint(
+            schema, master_schema),
+        InclusionDependency("Recv", ["item"], "ItemM", ["item"],
+                            name="recv⊆itemm").to_containment_constraint(
+            schema, master_schema),
+        # A frozen ledger admits no purchase orders: ¬(Freeze ∧ PO).
+        # Freeze is empty in every generated instance, so the denial is
+        # satisfied and verdict-neutral — it rides along to pin the
+        # nullary-relation round-trip through every ERP bundle.
+        DenialConstraint([rel("Freeze"), rel("PO", po, v, d)],
+                         name="freeze-no-po").to_containment_constraint(),
+    ]
+    return BuiltScenario(
+        spec=spec, schema=schema, master_schema=master_schema,
+        database=database, master=master, query=query,
+        constraints=constraints, classes=("ind", "denial"))
+
+
+# ---------------------------------------------------------------------------
+# Family: SCM (supply chain, mixed-type shipment ids)
+# ---------------------------------------------------------------------------
+
+_SCM_CATS = ("bolts", "panels")
+
+
+def _build_scm(spec: ScenarioSpec, rng: Random) -> BuiltScenario:
+    k = 3 if spec.size == "small" else 5
+    parts = [f"p{i}" for i in range(k)]
+    category_of = {parts[i]: _SCM_CATS[i % 2] for i in range(k)}
+    catalog = {(part, category_of[part]) for part in parts}
+    suppliers = ["acme", "globex"] + (["initech"]
+                                      if spec.size == "medium" else [])
+    shipments: set[tuple, ...] = set()
+    counter = 0
+
+    def ship(supplier: str, part: str) -> None:
+        # Alternate int and str shipment ids: mixed-type columns pin the
+        # type-aware bundle row ordering.
+        nonlocal counter
+        sid = counter if counter % 2 == 0 else f"s{counter}"
+        counter += 1
+        shipments.add((sid, supplier, part))
+
+    target_cat = rng.choice(_SCM_CATS)
+    victim = (rng.choice(suppliers) if spec.target == "incomplete"
+              else None)
+    if spec.tier in ("CQ", "CQ!="):
+        # Q(CQ): suppliers that shipped a part of category target_cat;
+        # Q(CQ!=): ... of any category except target_cat.
+        answer_cat = (target_cat if spec.tier == "CQ" else
+                      _SCM_CATS[1 - _SCM_CATS.index(target_cat)])
+        in_cat = [p for p in parts if category_of[p] == answer_cat]
+        off_cat = [p for p in parts if category_of[p] != answer_cat]
+        for supplier in suppliers:
+            if supplier == victim:
+                ship(supplier, rng.choice(off_cat))
+            else:
+                ship(supplier, rng.choice(in_cat))
+                if rng.random() < 0.5:
+                    ship(supplier, rng.choice(off_cat))
+        s, sup, p, cat = (var(x) for x in ("s", "sup", "p", "cat"))
+        body = [rel("Ship", s, sup, p), rel("PartInfo", p, cat)]
+        if spec.tier == "CQ":
+            query = cq([sup], body + [eq(cat, target_cat)],
+                       name=f"Qsup[{target_cat}]")
+        else:
+            query = cq([sup], body + [neq(cat, target_cat)],
+                       name=f"Qsup[!{target_cat}]")
+    else:
+        # Q(UCQ): parts shipped by either of the first two suppliers —
+        # complete iff together they cover the whole catalog.
+        pair = suppliers[:2]
+        hole = rng.choice(parts) if spec.target == "incomplete" else None
+        for part in parts:
+            if part == hole:
+                continue
+            ship(rng.choice(pair), part)
+        if len(suppliers) > 2 and rng.random() < 0.7:
+            ship(suppliers[2], rng.choice(parts))
+        s, sup, p = (var(x) for x in ("s", "sup", "p"))
+        query = ucq([
+            cq([p], [rel("Ship", s, pair[0], p)], name=f"Qp[{pair[0]}]"),
+            cq([p], [rel("Ship", s, pair[1], p)], name=f"Qp[{pair[1]}]"),
+        ], name=f"Qp[{pair[0]}|{pair[1]}]")
+        victim = None  # the hole, not a supplier, is the gap
+
+    scenario = SCMScenario(approved_suppliers=set(suppliers),
+                           catalog=catalog, shipments=shipments,
+                           part_info=set(catalog))
+    constraints = [scenario.supplier_ind(), scenario.part_ind(),
+                   scenario.part_info_ind()]
+    classes = ("ind",)
+    if spec.index % 2 == 1:
+        constraints.extend(scenario.sid_key())
+        classes = ("ind", "denial")
+    return BuiltScenario(
+        spec=spec, schema=scenario.schema,
+        master_schema=scenario.master_schema,
+        database=scenario.database(), master=scenario.master(),
+        query=query, constraints=constraints, classes=classes)
+
+
+# ---------------------------------------------------------------------------
+# Family: hierarchy (management tree under a two-column IND)
+# ---------------------------------------------------------------------------
+
+
+def _build_hierarchy(spec: ScenarioSpec, rng: Random) -> BuiltScenario:
+    m = 5 if spec.size == "small" else 8
+    nodes = [f"n{i}" for i in range(m)]
+    # Forced spine: n2 → n1 → {n0, n3} gives every query a witness with
+    # a deterministic shape; random edges only ever add children n4+.
+    edges = {(nodes[1], nodes[0]), (nodes[2], nodes[1]),
+             (nodes[1], nodes[3])}
+    for child in range(4, m):
+        edges.add((nodes[rng.randrange(child)], nodes[child]))
+
+    schema = DatabaseSchema([RelationSchema("Manage", ["eid1", "eid2"])])
+    master_schema = DatabaseSchema(
+        [RelationSchema("Managem", ["eid1", "eid2"])])
+    master = Instance(master_schema, {"Managem": set(edges)})
+
+    g, mid, s, pa = (var(x) for x in ("g", "mid", "s", "pa"))
+    if spec.tier == "CQ":
+        query = cq([g], [rel("Manage", g, mid), rel("Manage", mid, "n0")],
+                   name="Qgrand")
+        dropped = (nodes[2], nodes[1])
+    elif spec.tier == "CQ!=":
+        query = cq([s], [rel("Manage", pa, "n0"), rel("Manage", pa, s),
+                         neq(s, "n0")], name="Qsibling")
+        dropped = (nodes[1], nodes[3])
+    else:
+        query = ucq([
+            cq([pa], [rel("Manage", pa, "n0")], name="Qparent"),
+            cq([g], [rel("Manage", g, mid), rel("Manage", mid, "n0")],
+               name="Qgrand"),
+        ], name="Qparent|grand")
+        dropped = (nodes[2], nodes[1])
+
+    manage = set(edges)
+    if spec.target == "incomplete":
+        manage.discard(dropped)
+    database = Instance(schema, {"Manage": manage})
+
+    constraints = [InclusionDependency(
+        "Manage", ["eid1", "eid2"], "Managem", ["eid1", "eid2"],
+        name="manage⊆managem").to_containment_constraint(
+        schema, master_schema)]
+    classes = ("ind",)
+    if spec.index % 2 == 1:
+        x = var("x")
+        constraints.append(DenialConstraint(
+            [rel("Manage", x, x)],
+            name="no-self-manage").to_containment_constraint())
+        classes = ("ind", "denial")
+    return BuiltScenario(
+        spec=spec, schema=schema, master_schema=master_schema,
+        database=database, master=master, query=query,
+        constraints=constraints, classes=classes)
+
+
+_BUILDERS: dict[str, Callable[[ScenarioSpec, Random], BuiltScenario]] = {
+    "crm": _build_crm,
+    "erp": _build_erp,
+    "scm": _build_scm,
+    "hierarchy": _build_hierarchy,
+}
+
+
+def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
+    """Build the problem instance for *spec* (no oracle run yet)."""
+    try:
+        builder = _BUILDERS[spec.family]
+    except KeyError:
+        raise CorpusError(
+            f"unknown corpus family {spec.family!r}; "
+            f"expected one of {', '.join(FAMILIES)}") from None
+    return builder(spec, scenario_rng(spec.family, spec.seed, spec.index))
+
+
+# ---------------------------------------------------------------------------
+# Sweep generation
+# ---------------------------------------------------------------------------
+
+
+def _verify_against_oracle(built: BuiltScenario) -> tuple[dict, str]:
+    """Run the python-serial oracle; return (expected block, verdict).
+
+    Raises :class:`CorpusError` when the actual verdict disagrees with
+    the spec's target — a generator bug, never a user error.
+    """
+    result = decide_rcdp(built.query, built.database, built.master,
+                         built.constraints, backend="python", workers=1)
+    verdict = result.status.value
+    if verdict != built.spec.target:
+        raise CorpusError(
+            f"scenario {built.spec.name} self-check failed: built for "
+            f"target {built.spec.target!r} but the oracle decided "
+            f"{verdict!r} ({result.explanation})")
+    count = count_missing_answers(built.query, built.database,
+                                  built.master, built.constraints,
+                                  backend="python")
+    if not count.exhaustive or (count.count == 0) != result.is_complete:
+        raise CorpusError(
+            f"scenario {built.spec.name} self-check failed: "
+            f"missing-answer count {count!r} contradicts verdict "
+            f"{verdict!r}")
+    expected: dict = {"rcdp": verdict, "missing_answers": count.count}
+    if result.certificate is not None:
+        expected["new_answer"] = list(result.certificate.new_answer)
+    return expected, verdict
+
+
+def _dump_built(path: str, built: BuiltScenario, expected: dict) -> None:
+    """Write one oracle-verified scenario with its golden blocks."""
+    spec = built.spec
+    dump_bundle(path, schema=built.schema,
+                master_schema=built.master_schema,
+                database=built.database, master=built.master,
+                query=built.query, constraints=built.constraints,
+                extra={"expected": expected,
+                       "corpus": {
+                           "family": spec.family, "index": spec.index,
+                           "seed": spec.seed, "tier": spec.tier,
+                           "size": spec.size, "target": spec.target,
+                           "classes": list(built.classes),
+                           "generator_version": GENERATOR_VERSION}})
+
+
+def dump_scenario(path: str, family: str, seed: int,
+                  index: int) -> ScenarioSpec:
+    """Oracle-verify and export a single generated scenario.
+
+    The golden-export entry point (``examples/export_bundles.py``): the
+    written bundle carries the oracle-stamped ``expected`` block, so
+    the bundle-corpus regression test treats it like any hand-built
+    golden.  Returns the spec that was exported.
+    """
+    spec = spec_for(family, seed, index)
+    built = build_scenario(spec)
+    expected, _ = _verify_against_oracle(built)
+    _dump_built(path, built, expected)
+    return spec
+
+
+def generate_corpus(out_dir: str, *, seed: int, per_family: int = 25,
+                    families: Sequence[str] = FAMILIES,
+                    min_per_family: int | None = None) -> dict:
+    """Generate ``per_family`` scenarios for each family into *out_dir*.
+
+    Every scenario is oracle-verified before anything is written; the
+    diversity gate then vets the whole sweep (raising
+    :class:`~repro.errors.DiversityError` on coverage collapse), and
+    only a gated sweep reaches disk: bundles plus a ``manifest.json``
+    the runner consumes.  Returns the manifest as a dict.
+    """
+    if per_family < 1:
+        raise CorpusError(f"per_family must be ≥ 1, got {per_family}")
+    for family in families:
+        if family not in _BUILDERS:
+            raise CorpusError(
+                f"unknown corpus family {family!r}; "
+                f"expected one of {', '.join(FAMILIES)}")
+    entries = []
+    bundles = []
+    records = []
+    for family in families:
+        for index in range(per_family):
+            spec = spec_for(family, seed, index)
+            built = build_scenario(spec)
+            expected, verdict = _verify_against_oracle(built)
+            records.append({"family": family, "tier": spec.tier,
+                            "classes": built.classes,
+                            "verdict": verdict})
+            entry = {
+                "file": f"{spec.name}.json",
+                "family": family, "index": index, "seed": seed,
+                "tier": spec.tier, "size": spec.size,
+                "target": spec.target, "classes": list(built.classes),
+                "verdict": verdict,
+                "missing_answers": expected["missing_answers"],
+            }
+            entries.append(entry)
+            bundles.append((built, expected, entry))
+    ensure_diverse(records, families=families,
+                   min_per_family=min_per_family)
+
+    os.makedirs(out_dir, exist_ok=True)
+    for built, expected, entry in bundles:
+        _dump_built(os.path.join(out_dir, entry["file"]), built,
+                    expected)
+    manifest = {
+        "generator_version": GENERATOR_VERSION,
+        "seed": seed,
+        "per_family": per_family,
+        "families": list(families),
+        "scenarios": entries,
+    }
+    with open(os.path.join(out_dir, MANIFEST_NAME), "w",
+              encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True,
+                  ensure_ascii=False)
+        handle.write("\n")
+    return manifest

@@ -1,0 +1,152 @@
+"""Corpus run reports in the shared ``BENCH_*.json`` shape.
+
+The corpus run report uses the exact schema of
+``benchmarks/report_schema.py`` (``bench_report_version`` 1: rows,
+gates, extra), so CI artifact tooling treats a corpus report like any
+other bench report.  One row per family carries the verdict mix and
+the latency distribution; one enforced gate per family requires a
+100 % pass rate, and an unenforced latency gate records the p90 so
+regressions are visible in the artifact without failing the build.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.corpus.runner import CorpusRunResult
+from repro.errors import CorpusError
+
+__all__ = ["build_report", "render_report", "check_report",
+           "load_report", "REPORT_VERSION"]
+
+REPORT_VERSION = 1
+
+#: Every family must pass completely — one divergent backend cell is a
+#: soundness bug, not a flake.
+PASS_RATE_REQUIRED = 1.0
+
+#: Recorded (not enforced): per-scenario p90 latency budget in seconds.
+LATENCY_P90_BUDGET_S = 2.0
+
+
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_report(result: CorpusRunResult, *, name: str = "corpus",
+                 smoke: bool = False) -> dict:
+    """Shape one :class:`CorpusRunResult` into a BENCH report dict."""
+    rows = []
+    gates = []
+    for family, (passed, total) in result.pass_rates().items():
+        outcomes = [s for s in result.scenarios if s.family == family]
+        walls = [s.wall_s for s in outcomes]
+        verdicts: dict[str, int] = {}
+        for scenario in outcomes:
+            verdicts[scenario.verdict] = \
+                verdicts.get(scenario.verdict, 0) + 1
+        failures = [failure for scenario in outcomes
+                    for failure in scenario.all_failures()]
+        p90 = _percentile(walls, 0.9)
+        rows.append({
+            "name": f"corpus/{family}",
+            "wall_s": round(sum(walls), 6),
+            "ticks": {},
+            "verdicts": verdicts,
+            "extra": {
+                "scenarios": total,
+                "passed": passed,
+                "tiers": sorted({s.tier for s in outcomes}),
+                "latency_s": {
+                    "p50": round(_percentile(walls, 0.5), 6),
+                    "p90": round(p90, 6),
+                    "max": round(max(walls, default=0.0), 6),
+                },
+                # Cap the recorded mismatches: one bad refactor can fail
+                # every cell and the report should stay readable.
+                "failures": failures[:20],
+            },
+        })
+        gates.append({
+            "name": f"corpus_pass_rate/{family}",
+            "required": PASS_RATE_REQUIRED,
+            "measured": round(passed / total, 6) if total else None,
+            "higher_is_better": True,
+            "enforced": True,
+            "passed": bool(total) and passed == total,
+        })
+        gates.append({
+            "name": f"corpus_latency_p90/{family}",
+            "required": LATENCY_P90_BUDGET_S,
+            "measured": round(p90, 6),
+            "higher_is_better": False,
+            "enforced": False,
+            "passed": True,
+        })
+    return {
+        "bench_report_version": REPORT_VERSION,
+        "name": name,
+        "smoke": bool(smoke),
+        "rows": rows,
+        "gates": gates,
+        "extra": {
+            "directory": result.directory,
+            "backends": list(result.backends),
+            "workers": list(result.workers),
+            "scenarios": len(result.scenarios),
+            "ok": result.ok,
+        },
+    }
+
+
+def render_report(report: dict) -> str:
+    """A human summary of a corpus report: per-family pass rates and
+    latency distributions, then the gate table."""
+    lines = [f"corpus report: {report['extra'].get('scenarios', '?')} "
+             f"scenarios, backends "
+             f"{'/'.join(report['extra'].get('backends', []))}, workers "
+             f"{'/'.join(str(w) for w in report['extra'].get('workers', []))}"]
+    for row in report.get("rows", []):
+        extra = row.get("extra", {})
+        latency = extra.get("latency_s", {})
+        verdicts = ", ".join(f"{count}×{verdict}" for verdict, count
+                             in sorted(row.get("verdicts", {}).items()))
+        lines.append(
+            f"  {row['name']}: {extra.get('passed', '?')}/"
+            f"{extra.get('scenarios', '?')} passed ({verdicts}); "
+            f"latency p50={latency.get('p50', 0):.3f}s "
+            f"p90={latency.get('p90', 0):.3f}s "
+            f"max={latency.get('max', 0):.3f}s")
+        for failure in extra.get("failures", []):
+            lines.append(f"    FAIL {failure}")
+    for gate in report.get("gates", []):
+        if not gate.get("enforced"):
+            continue
+        direction = "≥" if gate.get("higher_is_better", True) else "≤"
+        state = "pass" if gate.get("passed") else "FAIL"
+        lines.append(f"  gate {gate['name']}: {gate['measured']} "
+                     f"{direction} {gate['required']} … {state}")
+    return "\n".join(lines)
+
+
+def check_report(report: dict) -> int:
+    """Exit-code logic shared with ``report_schema.check_gates``: 0 when
+    every enforced gate passed, 1 otherwise."""
+    failed = [gate for gate in report.get("gates", [])
+              if gate.get("enforced") and not gate.get("passed")]
+    return 1 if failed else 0
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("bench_report_version") != REPORT_VERSION:
+        raise CorpusError(
+            f"{path!r} is not a version-{REPORT_VERSION} bench report")
+    return report

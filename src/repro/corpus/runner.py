@@ -1,0 +1,301 @@
+"""Differential corpus runs: every scenario × every engine cell.
+
+The runner is the corpus's reason to exist: each generated bundle is
+decided once by the python-serial oracle and then re-decided across
+the full backend × worker matrix, asserting
+
+* **verdict equality** — same :class:`RCDPStatus` and explanation;
+* **witness equality** — identical certificate (extension facts and
+  new answer; the parallel drivers guarantee the serial-first witness);
+* **statistics equality** — ``valuations_examined`` and
+  ``constraint_checks`` must match the oracle exactly for serial
+  cells; parallel cells must match on COMPLETE verdicts (full
+  enumeration), while an early-exit INCOMPLETE may legitimately stop a
+  shard at a different point;
+
+plus a **counting leg**: ``missing_answers_report`` per backend must
+return the oracle's answer set, and its cardinality must equal the
+``missing_answers`` golden stamped at generation time.
+
+A scenario failure (mismatch or crash) is recorded, not raised — the
+run always completes and reports per-family pass rates; enforcement
+lives in the report gates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.rcdp import decide_rcdp, missing_answers_report
+from repro.core.results import RCDPStatus
+from repro.corpus.generate import MANIFEST_NAME
+from repro.errors import CorpusError, ReproError
+from repro.incomplete.counting import count_missing_answers
+from repro.io.json_io import load_bundle
+from repro.relational.backends import BACKEND_NAMES
+
+__all__ = ["CellOutcome", "ScenarioOutcome", "CorpusRunResult",
+           "run_corpus"]
+
+ORACLE_BACKEND = "python"
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One (backend, workers) decision compared against the oracle."""
+
+    backend: str
+    workers: int
+    verdict: str
+    wall_s: float
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's full trip through the matrix."""
+
+    name: str
+    family: str
+    tier: str
+    verdict: str
+    wall_s: float
+    cells: tuple[CellOutcome, ...]
+    failures: tuple[str, ...]  # oracle-level: goldens, counting, crashes
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and all(c.ok for c in self.cells)
+
+    def all_failures(self) -> tuple[str, ...]:
+        cell_failures = tuple(
+            f"[{cell.backend}×{cell.workers}] {failure}"
+            for cell in self.cells for failure in cell.failures)
+        return self.failures + cell_failures
+
+
+@dataclass(frozen=True)
+class CorpusRunResult:
+    """Everything a report needs about one corpus run."""
+
+    directory: str
+    backends: tuple[str, ...]
+    workers: tuple[int, ...]
+    scenarios: tuple[ScenarioOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    def pass_rates(self) -> dict[str, tuple[int, int]]:
+        """family → (passed, total)."""
+        rates: dict[str, list[int]] = {}
+        for scenario in self.scenarios:
+            passed, total = rates.setdefault(scenario.family, [0, 0])
+            rates[scenario.family] = [passed + (1 if scenario.ok else 0),
+                                      total + 1]
+        return {family: (passed, total)
+                for family, (passed, total) in sorted(rates.items())}
+
+
+def _bundle_files(directory: str) -> list[str]:
+    """Scenario files from the manifest, or a directory glob fallback."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        return [entry["file"] for entry in manifest["scenarios"]]
+    if not os.path.isdir(directory):
+        raise CorpusError(
+            f"corpus directory {directory!r} does not exist; run "
+            f"`repro corpus generate` first")
+    files = sorted(name for name in os.listdir(directory)
+                   if name.endswith(".json") and name != MANIFEST_NAME)
+    if not files:
+        raise CorpusError(
+            f"no corpus bundles found in {directory!r}; run "
+            f"`repro corpus generate` first")
+    return files
+
+
+def _compare_cell(oracle, result, *, parallel: bool) -> list[str]:
+    failures: list[str] = []
+    if result.status is not oracle.status:
+        failures.append(f"verdict {result.status.value!r} != oracle "
+                        f"{oracle.status.value!r}")
+        return failures  # everything downstream is incomparable
+    if result.explanation != oracle.explanation:
+        failures.append("explanation differs from oracle")
+    if (oracle.certificate is None) != (result.certificate is None):
+        failures.append("certificate presence differs from oracle")
+    elif oracle.certificate is not None:
+        if (result.certificate.extension_facts
+                != oracle.certificate.extension_facts):
+            failures.append("witness extension facts differ from oracle")
+        if result.certificate.new_answer != oracle.certificate.new_answer:
+            failures.append(
+                f"witness new answer {result.certificate.new_answer!r} "
+                f"!= oracle {oracle.certificate.new_answer!r}")
+    exact = not parallel or oracle.status is RCDPStatus.COMPLETE
+    if exact and (result.statistics.valuations_examined
+                  != oracle.statistics.valuations_examined):
+        failures.append(
+            f"valuations_examined "
+            f"{result.statistics.valuations_examined} != oracle "
+            f"{oracle.statistics.valuations_examined}")
+    if not parallel and (result.statistics.constraint_checks
+                         != oracle.statistics.constraint_checks):
+        failures.append(
+            f"constraint_checks {result.statistics.constraint_checks} "
+            f"!= oracle {oracle.statistics.constraint_checks}")
+    return failures
+
+
+def _check_goldens(bundle: dict, payload: Mapping, oracle,
+                   oracle_missing) -> list[str]:
+    """Cross-check the oracle against the bundle's ``expected`` block."""
+    failures: list[str] = []
+    expected = payload.get("expected", {})
+    golden = expected.get("rcdp")
+    if golden is not None and oracle.status.value != golden:
+        failures.append(f"oracle verdict {oracle.status.value!r} != "
+                        f"golden {golden!r}")
+    if "new_answer" in expected:
+        if oracle.certificate is None:
+            failures.append("golden expects a witness, oracle has none")
+        elif (list(oracle.certificate.new_answer)
+                != expected["new_answer"]):
+            failures.append(
+                f"oracle new answer "
+                f"{list(oracle.certificate.new_answer)!r} != golden "
+                f"{expected['new_answer']!r}")
+    if "missing_answers" in expected:
+        if not oracle_missing.exhaustive:
+            failures.append("oracle missing-answer report not exhaustive")
+        elif len(oracle_missing.answers) != expected["missing_answers"]:
+            failures.append(
+                f"oracle missing-answer count "
+                f"{len(oracle_missing.answers)} != golden "
+                f"{expected['missing_answers']}")
+    count = count_missing_answers(
+        bundle["query"], bundle["database"], bundle["master"],
+        bundle["constraints"], backend=ORACLE_BACKEND)
+    if count.count != len(oracle_missing.answers):
+        failures.append(
+            f"count_missing_answers {count.count} != "
+            f"len(missing_answers_report) {len(oracle_missing.answers)}")
+    return failures
+
+
+def _run_scenario(directory: str, filename: str,
+                  backends: Sequence[str], workers: Sequence[int],
+                  check_counting: bool) -> ScenarioOutcome:
+    with open(os.path.join(directory, filename),
+              encoding="utf-8") as handle:
+        payload = json.load(handle)
+    corpus_block = payload.get("corpus", {})
+    family = corpus_block.get("family", "unknown")
+    tier = corpus_block.get("tier", "unknown")
+    name = filename[:-len(".json")]
+
+    started = time.perf_counter()
+    bundle = load_bundle(os.path.join(directory, filename))
+    oracle = decide_rcdp(bundle["query"], bundle["database"],
+                         bundle["master"], bundle["constraints"],
+                         backend=ORACLE_BACKEND, workers=1)
+    oracle_missing = missing_answers_report(
+        bundle["query"], bundle["database"], bundle["master"],
+        bundle["constraints"], backend=ORACLE_BACKEND)
+    failures = _check_goldens(bundle, payload, oracle, oracle_missing)
+
+    cells = []
+    for backend in backends:
+        for worker_count in workers:
+            if backend == ORACLE_BACKEND and worker_count == 1:
+                continue  # that *is* the oracle
+            cell_started = time.perf_counter()
+            try:
+                result = decide_rcdp(
+                    bundle["query"], bundle["database"],
+                    bundle["master"], bundle["constraints"],
+                    backend=backend, workers=worker_count)
+                cell_failures = _compare_cell(
+                    oracle, result, parallel=worker_count > 1)
+                verdict = result.status.value
+            except ReproError as error:
+                cell_failures = [f"decider raised: {error}"]
+                verdict = "error"
+            cells.append(CellOutcome(
+                backend=backend, workers=worker_count, verdict=verdict,
+                wall_s=time.perf_counter() - cell_started,
+                failures=tuple(cell_failures)))
+
+    if check_counting:
+        for backend in backends:
+            if backend == ORACLE_BACKEND:
+                continue
+            try:
+                report = missing_answers_report(
+                    bundle["query"], bundle["database"],
+                    bundle["master"], bundle["constraints"],
+                    backend=backend)
+                if report.answers != oracle_missing.answers:
+                    failures.append(
+                        f"[{backend}] missing-answer set differs "
+                        f"from oracle")
+                if report.exhaustive != oracle_missing.exhaustive:
+                    failures.append(
+                        f"[{backend}] missing-answer exhaustiveness "
+                        f"differs from oracle")
+            except ReproError as error:
+                failures.append(f"[{backend}] counting raised: {error}")
+
+    return ScenarioOutcome(
+        name=name, family=family, tier=tier,
+        verdict=oracle.status.value,
+        wall_s=time.perf_counter() - started,
+        cells=tuple(cells), failures=tuple(failures))
+
+
+def run_corpus(directory: str, *,
+               backends: Sequence[str] = BACKEND_NAMES,
+               workers: Sequence[int] = (1, 2),
+               check_counting: bool = True) -> CorpusRunResult:
+    """Run every bundle in *directory* through the decider matrix.
+
+    Never raises on a scenario mismatch or crash — those become
+    recorded failures that drag the per-family pass rate below its
+    gate.  Raises :class:`CorpusError` only when the corpus itself is
+    unusable (no bundles).
+    """
+    for backend in backends:
+        if backend not in BACKEND_NAMES:
+            raise CorpusError(
+                f"unknown backend {backend!r}; expected one of "
+                f"{', '.join(BACKEND_NAMES)}")
+    scenarios = []
+    for filename in _bundle_files(directory):
+        try:
+            outcome = _run_scenario(directory, filename, tuple(backends),
+                                    tuple(workers), check_counting)
+        except (ReproError, OSError, KeyError, ValueError) as error:
+            # A scenario too broken to even load still counts against
+            # its family's pass rate.
+            outcome = ScenarioOutcome(
+                name=filename[:-len(".json")]
+                if filename.endswith(".json") else filename,
+                family="unknown", tier="unknown", verdict="error",
+                wall_s=0.0, cells=(),
+                failures=(f"scenario crashed: {error}",))
+        scenarios.append(outcome)
+    return CorpusRunResult(
+        directory=directory, backends=tuple(backends),
+        workers=tuple(workers), scenarios=tuple(scenarios))

@@ -1,0 +1,84 @@
+"""Scenario-corpus axes and specifications.
+
+The corpus sweeps four generator axes, each of which changes what the
+deciders have to prove:
+
+* **family** — the application domain shape: the paper's CRM running
+  example, an ERP purchase-order schema (with a nullary freeze flag),
+  the SCM supply-chain scenario, and a bare management hierarchy;
+* **tier** — query language: plain CQs, CQs with ``≠`` comparisons,
+  and genuine unions (UCQ);
+* **constraint classes** — which of the paper's compiled constraint
+  forms appear: general CCs, INDs compiled to CCs, and denial
+  constraints (``q ⊆ ∅``);
+* **size / target verdict** — instance scale and whether the scenario
+  is constructed to be relatively COMPLETE or INCOMPLETE.
+
+A :class:`ScenarioSpec` pins one point on that grid; the generator maps
+``(family, seed, index)`` to a spec deterministically, so the same seed
+always reproduces the same corpus byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+__all__ = ["ScenarioSpec", "FAMILIES", "TIERS", "SIZES", "TARGETS",
+           "CONSTRAINT_CLASSES", "GENERATOR_VERSION", "scenario_rng",
+           "spec_for"]
+
+#: Bumped whenever a family builder changes its output for an existing
+#: (seed, index) pair; pinned goldens record the version they were
+#: generated with.
+GENERATOR_VERSION = 1
+
+FAMILIES = ("crm", "erp", "scm", "hierarchy")
+TIERS = ("CQ", "CQ!=", "UCQ")
+SIZES = ("small", "medium")
+TARGETS = ("complete", "incomplete")
+CONSTRAINT_CLASSES = ("cc", "ind", "denial")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One point on the sweep grid, before any random choices."""
+
+    family: str
+    seed: int
+    index: int
+    tier: str
+    size: str
+    target: str
+
+    @property
+    def name(self) -> str:
+        return f"gen_{self.family}_{self.seed:04d}_{self.index:03d}"
+
+
+def scenario_rng(family: str, seed: int, index: int) -> Random:
+    """The per-scenario PRNG.
+
+    Seeded with a string so the stream is stable across platforms and
+    Python versions, and so scenarios never share state: changing one
+    index cannot perturb any other.
+    """
+    return Random(f"{family}:{seed}:{index}")
+
+
+def spec_for(family: str, seed: int, index: int) -> ScenarioSpec:
+    """Deterministically place ``(family, seed, index)`` on the grid.
+
+    Tier, size, and target cycle through all 3 × 2 × 2 combinations as
+    the index advances, so any sweep of ≥ 12 scenarios per family covers
+    the full grid — which is what the diversity gate checks.
+    """
+    tier = TIERS[index % len(TIERS)]
+    size = SIZES[(index // len(TIERS)) % len(SIZES)]
+    target = TARGETS[(index // (len(TIERS) * len(SIZES))) % len(TARGETS)]
+    # Interleave targets faster than the pure radix order would: flip
+    # the target on odd tier-rows so small sweeps still see both.
+    if (index // len(TIERS)) % 2 == 1:
+        target = TARGETS[1 - TARGETS.index(target)]
+    return ScenarioSpec(family=family, seed=seed, index=index,
+                        tier=tier, size=size, target=target)

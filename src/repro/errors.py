@@ -117,6 +117,23 @@ class WorkerPoolError(ReproError):
         self.details = details
 
 
+class CorpusError(ReproError):
+    """A scenario-corpus generation or run failure.
+
+    Raised when a generated bundle fails its self-check (the oracle
+    verdict disagrees with the scenario's target), when a corpus
+    directory is missing or malformed, or when a run cannot be
+    assembled."""
+
+
+class DiversityError(CorpusError):
+    """The corpus diversity gate tripped.
+
+    Generation refuses to emit a sweep whose family / verdict /
+    language-tier coverage has collapsed; the message lists every
+    violated coverage requirement."""
+
+
 class SearchBudgetExceededError(ReproError):
     """An exact decision procedure exceeded its configured search budget.
 

@@ -12,12 +12,15 @@ from repro.incomplete.completeness import (IncompleteRCDPReport,
 from repro.incomplete.conditions import (Condition, EqCondition,
                                          NeqCondition, TRUE_CONDITION,
                                          conjunction)
+from repro.incomplete.counting import (CountReport, count_missing_answers,
+                                       count_completing_extensions)
 from repro.incomplete.nulls import MarkedNull, is_null, nulls_in_row
 from repro.incomplete.tables import ConditionalRow, IncompleteDatabase
 
 __all__ = [
     "Condition",
     "ConditionalRow",
+    "CountReport",
     "EqCondition",
     "IncompleteDatabase",
     "IncompleteRCDPReport",
@@ -26,6 +29,8 @@ __all__ = [
     "TRUE_CONDITION",
     "WorldVerdict",
     "conjunction",
+    "count_completing_extensions",
+    "count_missing_answers",
     "decide_rcdp_with_missing_values",
     "is_null",
     "nulls_in_row",

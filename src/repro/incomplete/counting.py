@@ -1,0 +1,215 @@
+"""Counting workloads over the relative-completeness margin.
+
+The deciders answer *whether* a database is relatively complete; the
+counting problems ask *how much* is missing — following the counting
+variants of missing-answer reasoning studied by Arenas, Barceló and
+Monet (arXiv:1912.11064), layered on the paper's margin semantics:
+
+* :func:`count_missing_answers` — ``#{s ∉ Q(D) : s is attainable}``,
+  the cardinality of :func:`~repro.core.rcdp.missing_answers_report`'s
+  answer set.  By definition ``count == 0 ⟺ D`` is relatively complete.
+* :func:`count_completing_extensions` — how many *distinct* consistent
+  extensions ``Δ`` (instantiated query tableaux, deduplicated by the
+  fresh facts they add) change the query answer.  This is the number of
+  distinct certificates :func:`~repro.core.rcdp.decide_rcdp` could have
+  returned over the same candidate space: the active domain plus one
+  canonical fresh value per tableau variable.
+
+Both are governed like the deciders (budget / deadline / cancellation
+at every valuation boundary) and degrade gracefully to a lower-bound
+count with ``exhaustive=False``.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.constraints.containment import (ContainmentConstraint,
+                                           satisfies_all,
+                                           satisfies_all_extension)
+from repro.core.rcdp import (assert_decidable_configuration,
+                             ensure_partially_closed,
+                             missing_answers_report, resolve_context,
+                             split_ind_constraints)
+from repro.core.results import SearchStatistics
+from repro.core.valuations import ActiveDomain, iter_valid_valuations
+from repro.engine import EvaluationContext
+from repro.errors import ExecutionInterrupted
+from repro.obs import obs_of, obs_span, traced
+from repro.queries.tableau import Tableau
+from repro.relational.instance import Instance, extend_unvalidated
+from repro.runtime import (ExecutionGovernor, resolve_governor,
+                           validate_exhaustion_mode)
+
+__all__ = ["CountReport", "count_missing_answers",
+           "count_completing_extensions"]
+
+
+@dataclass(frozen=True)
+class CountReport:
+    """Outcome of a counting workload.
+
+    ``count`` is exact when ``exhaustive`` is True and a lower bound
+    otherwise (the enumeration was truncated by a limit, a budget, or a
+    deadline; ``interrupted`` carries the governor's reason when one
+    tripped).
+    """
+
+    count: int
+    exhaustive: bool
+    statistics: SearchStatistics
+    interrupted: str | None = None
+
+    def __repr__(self) -> str:
+        qualifier = "" if self.exhaustive else "≥"
+        return f"CountReport[{qualifier}{self.count}]"
+
+
+def count_missing_answers(query: Any, database: Instance,
+                          master: Instance,
+                          constraints: Sequence[ContainmentConstraint],
+                          *, limit: int | None = None,
+                          check_partially_closed: bool = True,
+                          budget: int | None = None,
+                          governor: ExecutionGovernor | None = None,
+                          on_exhausted: str = "partial",
+                          use_engine: bool = True,
+                          context: EvaluationContext | None = None,
+                          backend: str | None = None,
+                          workers: int | None = 1) -> CountReport:
+    """How many answers could the query still gain?
+
+    Definitionally ``count_missing_answers(...).count ==
+    len(missing_answers_report(...).answers)`` (the property suite pins
+    this), with the same governance, backend- and worker-invariance;
+    *limit* truncates the count at that many distinct answers.
+    """
+    report = missing_answers_report(
+        query, database, master, constraints, limit=limit,
+        check_partially_closed=check_partially_closed, budget=budget,
+        governor=governor, on_exhausted=on_exhausted,
+        use_engine=use_engine, context=context, backend=backend,
+        workers=workers)
+    return CountReport(count=len(report.answers),
+                       exhaustive=report.exhaustive,
+                       statistics=report.statistics,
+                       interrupted=report.interrupted)
+
+
+@traced("count_completing_extensions")
+def count_completing_extensions(
+        query: Any, database: Instance, master: Instance,
+        constraints: Sequence[ContainmentConstraint],
+        *, max_extensions: int | None = None,
+        check_partially_closed: bool = True,
+        budget: int | None = None,
+        governor: ExecutionGovernor | None = None,
+        on_exhausted: str = "partial",
+        use_engine: bool = True,
+        context: EvaluationContext | None = None,
+        backend: str | None = None) -> CountReport:
+    """Count the distinct completing extensions of ``D``.
+
+    A completing extension is a set of fresh facts ``Δ = μ(T_i) ∖ D``
+    for some valid valuation ``μ`` of a disjunct tableau ``T_i`` such
+    that ``(D ∪ Δ, Dm) ⊨ V`` and ``μ(u_i) ∉ Q(D)`` — exactly the
+    witnesses the RCDP decider searches, so ``count == 0`` iff
+    :func:`~repro.core.rcdp.decide_rcdp` returns COMPLETE.  Extensions
+    are deduplicated by their fresh-fact set: two valuations that add
+    the same facts count once, even when they expose different new
+    answers.
+
+    *max_extensions* truncates the count (``exhaustive=False``); the
+    governor interrupts at valuation boundaries like the deciders.
+    """
+    validate_exhaustion_mode(on_exhausted)
+    governor = resolve_governor(governor, budget)
+    obs = obs_of(governor)
+    context = resolve_context(context, use_engine, backend)
+    engine_base = (context.statistics.copy() if context is not None
+                   else None)
+    assert_decidable_configuration(query, constraints)
+    query.validate(database.schema)
+    if check_partially_closed:
+        with obs_span(obs, "check_ccs"):
+            ensure_partially_closed(database, master, constraints, context)
+
+    with obs_span(obs, "compile_plans"):
+        tableaux = [Tableau(d, database.schema)
+                    for d in query.to_cq_disjuncts()]
+        adom = ActiveDomain.build(
+            instances=(database, master),
+            queries=[query] + [c.query for c in constraints],
+            tableaux=[t for t in tableaux if t.satisfiable])
+    with obs_span(obs, "evaluate_Q"):
+        answers = (context.evaluate(query, database)
+                   if context is not None else query.evaluate(database))
+
+    row_filter, other_constraints = split_ind_constraints(
+        constraints, master, context=context)
+
+    extensions: set[frozenset] = set()
+    examined = 0
+    constraint_checks = 0
+
+    def _stats() -> SearchStatistics:
+        stats = SearchStatistics(valuations_examined=examined,
+                                 constraint_checks=constraint_checks)
+        if context is not None:
+            stats = stats.merged(context.statistics.since(engine_base))
+        return stats
+
+    governed = (context.governed(governor) if context is not None
+                else nullcontext())
+    try:
+        with governed, obs_span(obs, "enumerate_valuations"):
+            for tableau in tableaux:
+                if not tableau.satisfiable:
+                    continue
+                for valuation in iter_valid_valuations(
+                        tableau, adom, fresh="own", row_filter=row_filter):
+                    if governor is not None:
+                        governor.tick("valuations")
+                    examined += 1
+                    summary = tableau.summary_under(valuation)
+                    if summary in answers:
+                        continue
+                    delta = tableau.instantiate(valuation)
+                    # A valuation landing entirely inside D would have
+                    # summary ∈ Q(D); surviving deltas add ≥ 1 fact.
+                    fresh = frozenset(
+                        (name, row) for name, row in delta
+                        if row not in database.relation(name))
+                    if fresh in extensions:
+                        continue
+                    if other_constraints:
+                        constraint_checks += 1
+                        if context is not None:
+                            if not satisfies_all_extension(
+                                    database, delta, master,
+                                    other_constraints, context=context):
+                                continue
+                        else:
+                            candidate = extend_unvalidated(database, delta)
+                            if not satisfies_all(candidate, master,
+                                                 other_constraints):
+                                continue
+                    extensions.add(fresh)
+                    if (max_extensions is not None
+                            and len(extensions) >= max_extensions):
+                        return CountReport(count=len(extensions),
+                                           exhaustive=False,
+                                           statistics=_stats())
+    except ExecutionInterrupted as interrupt:
+        report = CountReport(count=len(extensions), exhaustive=False,
+                             statistics=_stats(),
+                             interrupted=interrupt.reason)
+        if on_exhausted == "error":
+            interrupt.statistics = report.statistics
+            interrupt.partial_result = report
+            raise
+        return report
+    return CountReport(count=len(extensions), exhaustive=True,
+                       statistics=_stats())

@@ -81,8 +81,19 @@ def schema_from_dict(data: dict) -> DatabaseSchema:
 
 
 def instance_to_dict(instance: Instance) -> dict:
-    return {name: sorted([list(row) for row in rows])
+    # Rows are ordered by a type-aware key rather than plain ``sorted``:
+    # a relation mixing int and str values in one column (generated
+    # corpora do this) would otherwise crash the comparison.  The key is
+    # deterministic, so identical instances serialize byte-identically.
+    return {name: [list(row) for row in
+                   sorted(rows, key=_row_sort_key)]
             for name, rows in instance if rows}
+
+
+def _row_sort_key(row: tuple) -> tuple:
+    # Values of one type compare natively; across types the type name
+    # decides, so int/str mixtures order deterministically.
+    return tuple((type(value).__name__, value) for value in row)
 
 
 def instance_from_dict(data: dict, schema: DatabaseSchema, *,
@@ -255,8 +266,16 @@ def constraint_from_dict(data: dict) -> ContainmentConstraint:
 def dump_bundle(path: str, *, schema: DatabaseSchema,
                 master_schema: DatabaseSchema, database: Instance,
                 master: Instance, query: Any,
-                constraints: list[ContainmentConstraint]) -> None:
-    """Write a whole RCDP problem instance to a JSON file."""
+                constraints: list[ContainmentConstraint],
+                extra: dict | None = None) -> None:
+    """Write a whole RCDP problem instance to a JSON file.
+
+    *extra* merges additional top-level blocks into the payload —
+    ``"expected"`` golden verdicts, ``"trace"`` expectations, corpus
+    metadata.  :func:`load_bundle` ignores unknown keys, so the blocks
+    ride along without affecting the problem instance; they may not
+    shadow the six problem keys.
+    """
     payload = {
         "schema": schema_to_dict(schema),
         "master_schema": schema_to_dict(master_schema),
@@ -265,8 +284,15 @@ def dump_bundle(path: str, *, schema: DatabaseSchema,
         "query": query_to_dict(query),
         "constraints": [constraint_to_dict(c) for c in constraints],
     }
+    for key, value in (extra or {}).items():
+        if key in payload:
+            raise ReproError(
+                f"bundle extra block {key!r} would shadow a problem key")
+        payload[key] = value
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+        json.dump(payload, handle, indent=2, sort_keys=True,
+                  ensure_ascii=False)
+        handle.write("\n")
 
 
 def load_bundle(path: str, *, validate: bool = True,

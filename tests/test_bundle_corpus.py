@@ -39,6 +39,24 @@ def test_corpus_is_nonempty():
     assert BUNDLES, "examples/bundles/ should ship golden bundles"
 
 
+def test_every_generator_family_has_a_pinned_golden():
+    """One seed-pinned generated scenario per domain family rides in the
+    corpus (exported by ``examples/export_bundles.py``); its ``corpus``
+    block records the generator coordinates that reproduce it."""
+    from repro.corpus import FAMILIES
+    by_name = {path.name: path for path in BUNDLES}
+    for family in FAMILIES:
+        name = f"gen_{family}_golden.json"
+        assert name in by_name, f"missing generated golden for {family}"
+        with open(by_name[name], encoding="utf-8") as handle:
+            payload = json.load(handle)
+        corpus = payload.get("corpus")
+        assert corpus is not None, f"{name} lacks its 'corpus' block"
+        assert corpus["family"] == family
+        assert corpus["seed"] == 9
+        assert "rcdp" in payload["expected"]
+
+
 @pytest.mark.parametrize("workers", [1, 2])
 @pytest.mark.parametrize(
     "path", BUNDLES, ids=[path.stem for path in BUNDLES])

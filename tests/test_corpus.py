@@ -1,0 +1,276 @@
+"""Tests for the scenario corpus engine.
+
+Pins the three guarantees the corpus is built on: seed determinism
+(byte-identical regeneration, including against the golden bundles
+committed under ``examples/bundles/``), differential agreement (every
+backend × worker cell matches the python-serial oracle), and the
+diversity gate (coverage collapse fails generation before anything
+reaches disk).
+"""
+
+import json
+import pathlib
+import shutil
+
+import pytest
+
+from repro.corpus import (CONSTRAINT_CLASSES, FAMILIES, SIZES, TARGETS,
+                          TIERS, build_report, check_diversity,
+                          check_report, ensure_diverse, generate_corpus,
+                          render_report, run_corpus, spec_for)
+from repro.corpus.generate import MANIFEST_NAME, dump_scenario
+from repro.corpus.report import load_report
+from repro.cli import main
+from repro.errors import CorpusError, DiversityError
+
+BUNDLES_DIR = (pathlib.Path(__file__).resolve().parents[1]
+               / "examples" / "bundles")
+
+SEED = 7
+PER_FAMILY = 6
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("corpus")
+    generate_corpus(str(out), seed=SEED, per_family=PER_FAMILY)
+    return out
+
+
+@pytest.fixture(scope="module")
+def run_result(corpus_dir):
+    return run_corpus(str(corpus_dir))
+
+
+def _tree(directory: pathlib.Path) -> dict[str, bytes]:
+    return {path.name: path.read_bytes()
+            for path in sorted(directory.iterdir())}
+
+
+class TestGeneration:
+    def test_manifest_matches_disk(self, corpus_dir):
+        manifest = json.loads(
+            (corpus_dir / MANIFEST_NAME).read_text(encoding="utf-8"))
+        assert manifest["seed"] == SEED
+        assert manifest["families"] == list(FAMILIES)
+        assert len(manifest["scenarios"]) == PER_FAMILY * len(FAMILIES)
+        for entry in manifest["scenarios"]:
+            bundle_path = corpus_dir / entry["file"]
+            assert bundle_path.exists()
+            bundle = json.loads(bundle_path.read_text(encoding="utf-8"))
+            assert bundle["expected"]["rcdp"] == entry["verdict"]
+            assert bundle["corpus"]["family"] == entry["family"]
+            assert entry["verdict"] == entry["target"]
+
+    def test_same_seed_regenerates_byte_identical(self, corpus_dir,
+                                                  tmp_path):
+        generate_corpus(str(tmp_path / "again"), seed=SEED,
+                        per_family=PER_FAMILY)
+        assert _tree(tmp_path / "again") == _tree(corpus_dir)
+
+    def test_different_seed_differs(self, corpus_dir, tmp_path):
+        generate_corpus(str(tmp_path / "other"), seed=SEED + 1,
+                        per_family=PER_FAMILY)
+        ours = [path.read_bytes()
+                for path in sorted((tmp_path / "other").iterdir())
+                if path.name != MANIFEST_NAME]
+        theirs = [path.read_bytes()
+                  for path in sorted(corpus_dir.iterdir())
+                  if path.name != MANIFEST_NAME]
+        assert ours != theirs
+
+    def test_golden_bundles_are_seed_pinned(self, tmp_path):
+        """Regenerating the committed golden scenarios reproduces their
+        bytes exactly — cross-process determinism, pinned in git."""
+        for family, index in (("crm", 3), ("erp", 0), ("scm", 1),
+                              ("hierarchy", 5)):
+            golden = BUNDLES_DIR / f"gen_{family}_golden.json"
+            regenerated = tmp_path / golden.name
+            dump_scenario(str(regenerated), family, 9, index)
+            assert regenerated.read_bytes() == golden.read_bytes(), \
+                f"{golden.name} drifted from the seed-9 generator"
+
+    def test_spec_grid_covers_every_combination(self):
+        for family in FAMILIES:
+            combos = {(spec.tier, spec.size, spec.target)
+                      for spec in (spec_for(family, SEED, index)
+                                   for index in range(12))}
+            assert combos == {(tier, size, target) for tier in TIERS
+                              for size in SIZES for target in TARGETS}
+
+    def test_generated_corpus_lints_clean(self, corpus_dir):
+        """Everything the generator emits must re-lint clean (exit 0,
+        info-level findings allowed); the manifest sidecar is skipped
+        by directory linting rather than tripping it."""
+        assert main(["lint", str(corpus_dir)]) == 0
+
+    def test_rejects_unknown_family_and_bad_size(self, tmp_path):
+        with pytest.raises(CorpusError):
+            generate_corpus(str(tmp_path / "x"), seed=1,
+                            families=("crm", "nope"))
+        with pytest.raises(CorpusError):
+            generate_corpus(str(tmp_path / "x"), seed=1, per_family=0)
+
+
+class TestRunner:
+    def test_full_matrix_agrees_with_oracle(self, run_result):
+        assert run_result.ok, run_result.scenarios
+        for family, (passed, total) in run_result.pass_rates().items():
+            assert (passed, total) == (PER_FAMILY, PER_FAMILY), family
+        for scenario in run_result.scenarios:
+            # python×1 is the oracle itself; the other 5 cells re-decide.
+            assert len(scenario.cells) == 5
+            assert not scenario.all_failures()
+
+    def test_tampered_golden_is_flagged(self, corpus_dir, tmp_path):
+        broken = tmp_path / "tampered"
+        shutil.copytree(corpus_dir, broken)
+        manifest = json.loads(
+            (broken / MANIFEST_NAME).read_text(encoding="utf-8"))
+        entry = manifest["scenarios"][0]
+        bundle_path = broken / entry["file"]
+        bundle = json.loads(bundle_path.read_text(encoding="utf-8"))
+        bundle["expected"]["rcdp"] = (
+            "incomplete" if entry["verdict"] == "complete"
+            else "complete")
+        bundle_path.write_text(json.dumps(bundle), encoding="utf-8")
+
+        result = run_corpus(str(broken), backends=("python",),
+                            workers=(1,), check_counting=False)
+        assert not result.ok
+        bad = [s for s in result.scenarios if not s.ok]
+        assert len(bad) == 1
+        assert any("golden" in failure for failure in bad[0].failures)
+        passed, total = result.pass_rates()[entry["family"]]
+        assert passed == total - 1
+
+    def test_unloadable_bundle_is_a_recorded_failure(self, corpus_dir,
+                                                     tmp_path):
+        broken = tmp_path / "crashed"
+        shutil.copytree(corpus_dir, broken)
+        manifest = json.loads(
+            (broken / MANIFEST_NAME).read_text(encoding="utf-8"))
+        victim = broken / manifest["scenarios"][0]["file"]
+        victim.write_text("{not json", encoding="utf-8")
+
+        result = run_corpus(str(broken), backends=("python",),
+                            workers=(1,), check_counting=False)
+        assert not result.ok
+        crashed = [s for s in result.scenarios if not s.ok]
+        assert len(crashed) == 1
+        assert any("scenario crashed" in failure
+                   for failure in crashed[0].all_failures())
+
+    def test_runner_rejects_unknown_backend_and_empty_dir(self, corpus_dir,
+                                                          tmp_path):
+        with pytest.raises(CorpusError):
+            run_corpus(str(corpus_dir), backends=("fortran",))
+        with pytest.raises(CorpusError):
+            run_corpus(str(tmp_path / "empty_dir_without_bundles"))
+
+
+def _records(families=FAMILIES, tiers=TIERS, verdicts=("complete",
+                                                       "incomplete"),
+             classes=CONSTRAINT_CLASSES):
+    return [{"family": family, "tier": tier, "verdict": verdict,
+             "classes": tuple(classes)}
+            for family in families for tier in tiers
+            for verdict in verdicts]
+
+
+class TestDiversityGate:
+    def test_balanced_sweep_passes(self):
+        report = check_diversity(_records())
+        assert report.ok, report.problems
+
+    def test_missing_family_trips(self):
+        report = check_diversity(_records(families=("crm", "erp", "scm")))
+        assert not report.ok
+        assert any("hierarchy" in problem for problem in report.problems)
+
+    def test_single_tier_trips(self):
+        report = check_diversity(_records(tiers=("CQ",)))
+        assert not report.ok
+        assert any("tier" in problem for problem in report.problems)
+
+    def test_verdict_monoculture_trips(self):
+        report = check_diversity(_records(verdicts=("complete",)))
+        assert not report.ok
+
+    def test_missing_constraint_class_trips(self):
+        report = check_diversity(_records(classes=("cc", "ind")))
+        assert not report.ok
+        assert any("denial" in problem for problem in report.problems)
+
+    def test_ensure_diverse_raises(self):
+        with pytest.raises(DiversityError):
+            ensure_diverse(_records(tiers=("CQ",)))
+
+    def test_collapsed_generation_writes_nothing(self, tmp_path):
+        out = tmp_path / "collapsed"
+        # per_family=1 only ever reaches the CQ tier, so the gate must
+        # trip — and nothing may reach disk when it does.
+        with pytest.raises(DiversityError):
+            generate_corpus(str(out), seed=SEED, per_family=1,
+                            families=("crm",))
+        assert not out.exists()
+
+
+class TestReport:
+    def test_report_shape_and_gates(self, run_result):
+        report = build_report(run_result, smoke=True)
+        assert report["bench_report_version"] == 1
+        assert report["smoke"] is True
+        assert {row["name"] for row in report["rows"]} == {
+            f"corpus/{family}" for family in FAMILIES}
+        enforced = [gate for gate in report["gates"] if gate["enforced"]]
+        assert {gate["name"] for gate in enforced} == {
+            f"corpus_pass_rate/{family}" for family in FAMILIES}
+        assert all(gate["passed"] for gate in enforced)
+        assert check_report(report) == 0
+        rendered = render_report(report)
+        assert "corpus/crm" in rendered and "gate" in rendered
+
+    def test_failed_run_fails_the_gate(self, corpus_dir, tmp_path):
+        broken = tmp_path / "gatefail"
+        shutil.copytree(corpus_dir, broken)
+        manifest = json.loads(
+            (broken / MANIFEST_NAME).read_text(encoding="utf-8"))
+        victim = broken / manifest["scenarios"][0]["file"]
+        victim.write_text("{not json", encoding="utf-8")
+        report = build_report(run_corpus(
+            str(broken), backends=("python",), workers=(1,),
+            check_counting=False))
+        assert check_report(report) == 1
+        assert "FAIL" in render_report(report)
+
+    def test_load_report_round_trip(self, run_result, tmp_path):
+        report = build_report(run_result)
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report), encoding="utf-8")
+        assert load_report(str(path)) == report
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"bench_report_version": 99}', encoding="utf-8")
+        with pytest.raises(CorpusError):
+            load_report(str(bad))
+
+
+class TestCli:
+    def test_generate_run_report_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "clicorpus"
+        report_path = tmp_path / "report.json"
+        assert main(["corpus", "generate", "--out", str(out),
+                     "--seed", "5", "--per-family", "6",
+                     "--families", "crm", "hierarchy"]) == 0
+        assert (out / MANIFEST_NAME).exists()
+        assert main(["corpus", "run", "--dir", str(out),
+                     "--backends", "columnar", "--workers", "1",
+                     "--report", str(report_path)]) == 0
+        assert "corpus report" in capsys.readouterr().out
+        assert main(["corpus", "report", str(report_path)]) == 0
+
+    def test_generate_diversity_failure_exits_2(self, tmp_path):
+        assert main(["corpus", "generate",
+                     "--out", str(tmp_path / "collapsed"),
+                     "--seed", "5", "--per-family", "1",
+                     "--families", "crm"]) == 2
