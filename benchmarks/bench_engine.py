@@ -185,14 +185,17 @@ def bench_extension_check(num_domestic: int, repeats: int) -> dict:
 
 
 def bench_obs_overhead(num_domestic: int, repeats: int) -> dict:
-    """The same governed decider run three ways: no observation,
+    """The same governed decider run four ways: no observation,
     observation attached but disabled (what every governed production
-    run pays), observation enabled (full span capture).
+    run pays), observation enabled (full span capture), and the
+    run-ledger path (decide + one crash-safe ``RunRecord`` append —
+    what ``--ledger`` adds to a production run).
 
     Each timed call builds a fresh governor with an unlimited tick
-    ledger so the three variants differ *only* in the attachment — the
+    ledger so the variants differ *only* in the attachment — the
     disabled case exercises the ``obs_of``/null-span fast path at every
-    instrumented site.
+    instrumented site, and the ledger case pins that persistence is an
+    O(1) post-verdict append, not an in-loop cost.
     """
     scenario = _scenario(num_domestic)
     spare = f"c{num_domestic - 1}"
@@ -210,10 +213,32 @@ def bench_obs_overhead(num_domestic: int, repeats: int) -> dict:
         return decide_rcdp(query, database, master, constraints,
                            governor=governor)
 
+    import os
+    import tempfile
+
+    from repro.obs.ledger import RunRecord, append_record, run_key
+
+    def run_with_ledger(ledger_path: str):
+        governor = ExecutionGovernor(budget=Budget())
+        result = decide_rcdp(query, database, master, constraints,
+                             governor=governor)
+        append_record(ledger_path, RunRecord(
+            procedure="rcdp", label=f"bench-n{num_domestic}",
+            key=run_key("rcdp", query, database, master, constraints),
+            verdict=result.status.value,
+            ticks=dict(governor.budget.snapshot()),
+            statistics={"valuations_examined":
+                        result.statistics.valuations_examined}))
+        return result
+
     gov_s, bare = _time(lambda: run(None), repeats)
     obs_off_s, off = _time(lambda: run(False), repeats)
     obs_on_s, on = _time(lambda: run(True), repeats)
-    assert bare.status is off.status is on.status, (
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        ledger_path = os.path.join(tmp, "ledger.jsonl")
+        ledger_s, led = _time(lambda: run_with_ledger(ledger_path),
+                              repeats)
+    assert bare.status is off.status is on.status is led.status, (
         f"verdict changed under observation at n={num_domestic}")
     return {
         "num_domestic": num_domestic,
@@ -222,8 +247,10 @@ def bench_obs_overhead(num_domestic: int, repeats: int) -> dict:
         "gov_s": round(gov_s, 6),
         "obs_off_s": round(obs_off_s, 6),
         "obs_on_s": round(obs_on_s, 6),
+        "ledger_s": round(ledger_s, 6),
         "off_overhead": round(obs_off_s / gov_s, 4) if gov_s else None,
         "on_overhead": round(obs_on_s / gov_s, 4) if gov_s else None,
+        "ledger_overhead": round(ledger_s / gov_s, 4) if gov_s else None,
     }
 
 
@@ -293,6 +320,11 @@ def main(argv: list[str] | None = None) -> int:
         bench_gate("obs_disabled_overhead", required=OBS_OFF_OVERHEAD,
                    measured=obs_row["off_overhead"],
                    higher_is_better=False, enforced=not args.smoke),
+        bench_gate("ledger_overhead", required=OBS_OFF_OVERHEAD,
+                   measured=obs_row["ledger_overhead"],
+                   higher_is_better=False, enforced=not args.smoke,
+                   note="decide + one RunRecord append vs bare "
+                        "governed decide"),
     ]
     report = bench_report(
         "engine", rows, smoke=args.smoke, gates=gates,

@@ -6,9 +6,19 @@ governor, budget, and deadline variants) are timed against the same
 ungoverned decision and must stay within noise of it — while a run with
 a tight budget must degrade gracefully instead of paying for the full
 search.
+
+Run standalone (``python benchmarks/bench_governor.py``) it writes a
+``BENCH_governor.json`` report with two enforced gates:
+
+* ``governor_overhead`` — governed-with-limits over ungoverned wall
+  time must stay ≤ 1.25×;
+* ``exhaustion_cheap`` — a 16-tick budget exhaustion must cost ≤ 0.5×
+  the full ungoverned search.
 """
 
+import argparse
 import random
+import time
 
 import pytest
 
@@ -122,3 +132,100 @@ def test_rcqp_governed_search(benchmark):
 
     result = benchmark(governed)
     assert result.status is RCQPStatus.NONEMPTY
+
+
+# --------------------------------------------------------------------
+# Standalone report mode: python benchmarks/bench_governor.py
+# --------------------------------------------------------------------
+
+GOVERNOR_OVERHEAD = 1.25
+EXHAUSTION_RATIO = 0.5
+
+
+def _time(fn, repeats):
+    """Best-of-N wall time and the (last) result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def main(argv=None) -> int:
+    from report_schema import (bench_gate, bench_report, bench_row,
+                               check_gates, write_report)
+
+    parser = argparse.ArgumentParser(
+        description="governor overhead benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny instance, gates recorded but not "
+                             "enforced")
+    parser.add_argument("--output", default="BENCH_governor.json")
+    args = parser.parse_args(argv)
+
+    num_vars = 3 if args.smoke else 4
+    repeats = 2 if args.smoke else 5
+    instance = _qsat_instance(num_vars=num_vars, seed=3)
+    tight = _qsat_instance(num_vars=num_vars + 1, seed=5)
+
+    ungoverned_s, base = _time(lambda: _decide(instance), repeats)
+    bare_s, bare = _time(
+        lambda: _decide(instance, governor=ExecutionGovernor()), repeats)
+
+    def with_limits():
+        governor = ExecutionGovernor(budget=Budget(limit=10_000_000),
+                                     deadline=Deadline.after(600))
+        return _decide(instance, governor=governor)
+
+    limits_s, limited = _time(with_limits, repeats)
+
+    def exhausted_run():
+        governor = ExecutionGovernor(budget=Budget(limit=16))
+        return _decide(tight, governor=governor, on_exhausted="partial")
+
+    exhausted_s, exhausted = _time(exhausted_run, repeats)
+
+    assert base.status is bare.status is limited.status
+    assert exhausted.status is RCDPStatus.EXHAUSTED
+
+    def row(name, wall_s, result, size):
+        return bench_row(
+            name, wall_s, verdicts={result.status.value: 1},
+            extra={"valuations":
+                   result.statistics.valuations_examined,
+                   "num_vars": size})
+
+    rows = [
+        row(f"rcdp/ungoverned/n={num_vars}", ungoverned_s, base,
+            num_vars),
+        row(f"rcdp/bare-governor/n={num_vars}", bare_s, bare,
+            num_vars),
+        row(f"rcdp/budget+deadline/n={num_vars}", limits_s, limited,
+            num_vars),
+        row(f"rcdp/tight-budget/n={num_vars + 1}", exhausted_s,
+            exhausted, num_vars + 1),
+    ]
+    gates = [
+        bench_gate("governor_overhead", required=GOVERNOR_OVERHEAD,
+                   measured=round(limits_s / ungoverned_s, 4)
+                   if ungoverned_s else None,
+                   higher_is_better=False, enforced=not args.smoke,
+                   note="budget+deadline governed over ungoverned"),
+        bench_gate("exhaustion_cheap", required=EXHAUSTION_RATIO,
+                   measured=round(exhausted_s / ungoverned_s, 4)
+                   if ungoverned_s else None,
+                   higher_is_better=False, enforced=not args.smoke,
+                   note="16-tick exhaustion over full ungoverned "
+                        "search"),
+    ]
+    report = bench_report("governor", rows, smoke=args.smoke,
+                          gates=gates,
+                          extra={"repeats": repeats})
+    write_report(args.output, report)
+    return check_gates(report)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

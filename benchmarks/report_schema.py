@@ -31,6 +31,7 @@ lives.
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 REPORT_VERSION = 1
@@ -96,6 +97,30 @@ def write_report(path: str, report: dict) -> None:
         json.dump(report, handle, indent=2, ensure_ascii=False)
         handle.write("\n")
     print(f"wrote {path}")
+    _ledger_append(report)
+
+
+def _ledger_append(report: dict) -> None:
+    """With ``$REPRO_LEDGER`` set, every bench row also lands in the
+    persistent run ledger (procedure ``bench-<name>``), so benchmark
+    history accumulates next to CLI and corpus runs."""
+    path = os.environ.get("REPRO_LEDGER")
+    if not path:
+        return
+    try:
+        from repro.obs.ledger import RunRecord, append_record
+    except ImportError:  # pragma: no cover - bench run without src
+        return
+    for row in report.get("rows", []):
+        verdicts = row.get("verdicts") or {}
+        verdict = (max(sorted(verdicts), key=verdicts.get)
+                   if verdicts else "")
+        append_record(path, RunRecord(
+            procedure=f"bench-{report.get('name', '?')}",
+            label=row.get("name", "?"), verdict=verdict, backend="-",
+            workers=0, wall_s=row.get("wall_s", 0.0),
+            ticks=dict(row.get("ticks") or {}),
+            extra={"smoke": bool(report.get("smoke"))}))
 
 
 def check_gates(report: dict, *, stream=None) -> int:

@@ -45,6 +45,20 @@ Subcommands
     profile, or with ``--check`` validate it (span-tree well-formedness
     and tick accounting — see ``docs/OBSERVABILITY.md``) and exit 0/2.
 
+``report``
+    Aggregate a JSONL run ledger (``--ledger FILE`` or
+    ``$REPRO_LEDGER``): latency percentiles, verdict mix, cache hit
+    rates, per-backend comparison; ``--out`` derives a BENCH-format
+    report, ``--prom`` a Prometheus exposition.
+
+``history``
+    Diff fresh runs (a ledger and/or BENCH-format reports) against the
+    committed ``BENCH_*.json`` baselines: exact tick equality and
+    verdict mixes per paired row, a median wall-time ratio against
+    ``--factor``.  ``--gate`` exits nonzero on any regression (the CI
+    mode); ``--slowdown 2`` injects a synthetic regression to prove
+    the gate trips.
+
 ``demo``
     Run the paper's CRM example end to end and print the §2.3 audit.
 
@@ -52,11 +66,18 @@ Bundles are JSON files in the format of :mod:`repro.io.json_io`.
 
 Observability flags (same subcommands as the governor flags):
 ``--trace FILE`` writes a JSONL span trace, ``--metrics FILE`` writes
-the metrics-registry snapshot as JSON, ``--profile`` prints a phase
-profile table, and ``--stats`` prints the search statistics (including
-the engine's ``plans_compiled`` / ``index_builds`` / ``cache_hits``
-counters).  Any of the first three attaches a tick-ledger governor so
-phases can be attributed even without ``--budget``/``--timeout``.
+the metrics-registry snapshot as JSON, ``--prom FILE`` writes a
+Prometheus text exposition, ``--profile`` prints a phase profile
+table, and ``--stats`` prints the search statistics (including the
+engine's ``plans_compiled`` / ``index_builds`` / ``cache_hits``
+counters).  Any of trace/metrics/prom/profile attaches a tick-ledger
+governor so phases can be attributed even without
+``--budget``/``--timeout``.  ``--progress`` renders live
+percent-complete and ETA to stderr (the denominator is the static cost
+model's prediction), and ``--ledger FILE`` (or ``$REPRO_LEDGER``)
+appends a schema-versioned ``RunRecord`` to the crash-safe JSONL run
+ledger — content key, verdict, backend, workers, tick ledger, wall
+time, artifact paths — for ``repro report`` / ``repro history``.
 
 Execution governor flags (``rcdp``, ``rcqp``, ``complete``, ``audit``,
 ``missing``): ``--budget N`` caps the total units of search work —
@@ -89,7 +110,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Sequence
 
 from repro.core.rcdp import decide_rcdp, missing_answers_report
@@ -157,6 +180,21 @@ def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
         help="print the search statistics, including the evaluation "
              "engine's plans_compiled/index_builds/cache_hits counters")
     parser.add_argument(
+        "--progress", action="store_true",
+        help="render live percent-complete and ETA to stderr while the "
+             "search runs (numerator: governor ticks + shard "
+             "heartbeats; denominator: the static cost model's "
+             "predicted ticks)")
+    parser.add_argument(
+        "--ledger", default=None, metavar="FILE",
+        help="append a RunRecord for this decision to the JSONL run "
+             "ledger at FILE (default: $REPRO_LEDGER, else no ledger); "
+             "aggregate with 'repro report', gate with 'repro history'")
+    parser.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="write the metrics registry as Prometheus text exposition "
+             "to FILE after the verdict")
+    parser.add_argument(
         "--backend", choices=BACKEND_NAMES, default=None,
         help="instance storage backend for the evaluation engine "
              "(default: $REPRO_BACKEND or 'python'); the verdict is "
@@ -166,7 +204,18 @@ def _add_governor_arguments(parser: argparse.ArgumentParser) -> None:
 def _observability_requested(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace", None)
                 or getattr(args, "metrics", None)
+                or getattr(args, "prom", None)
                 or getattr(args, "profile", False))
+
+
+def _ledger_path(args: argparse.Namespace) -> str | None:
+    """The run-ledger file: ``--ledger``, else ``$REPRO_LEDGER``."""
+    path = getattr(args, "ledger", None)
+    if path:
+        return path
+    from repro.obs.ledger import LEDGER_ENV
+
+    return os.environ.get(LEDGER_ENV) or None
 
 
 def _retry_from_args(args: argparse.Namespace) -> "RetryPolicy | None":
@@ -192,20 +241,33 @@ def _governor_from_args(args: argparse.Namespace) -> ExecutionGovernor | None:
     budget = getattr(args, "budget", None)
     timeout = getattr(args, "timeout", None)
     observed = _observability_requested(args)
+    progressed = getattr(args, "progress", False)
+    ledgered = _ledger_path(args) is not None
     retry = _retry_from_args(args)
-    if budget is None and timeout is None and not observed and retry is None:
+    if (budget is None and timeout is None and not observed
+            and not progressed and not ledgered and retry is None):
         return None
     governor = ExecutionGovernor.from_limits(budget=budget, timeout=timeout,
                                              retry=retry)
-    if observed:
-        from repro.obs import Observation
+    if observed or progressed or ledgered:
         from repro.runtime import Budget
 
         if governor.budget is None:
             # An unlimited budget is the tick *ledger* spans diff to
-            # attribute work to phases; it never trips.
+            # attribute work to phases (and the progress numerator /
+            # RunRecord tick source); it never trips.
             governor.budget = Budget()
+    if observed:
+        from repro.obs import Observation
+
         Observation.attach(governor)
+    if progressed:
+        from repro.obs import ProgressReporter
+
+        reporter = ProgressReporter(
+            label=getattr(args, "command", None) or "search")
+        governor.progress = reporter
+        reporter.start_polling(governor.budget)
     return governor
 
 
@@ -230,6 +292,9 @@ def _finish_observability(args: argparse.Namespace,
     """
     from repro.obs import obs_of, render_profile, trace_records, write_trace
 
+    progress = getattr(governor, "progress", None)
+    if progress is not None:
+        progress.close()
     observation = obs_of(governor)
     if statistics is not None and (getattr(args, "stats", False)
                                    or observation is not None):
@@ -252,12 +317,16 @@ def _finish_observability(args: argparse.Namespace,
             ticks=ticks, verdict=verdict, exhausted=exhausted))
         print(f"trace written to {args.trace}")
     if getattr(args, "metrics", None):
-        import json
+        from repro.obs import atomic_write_text
 
-        with open(args.metrics, "w", encoding="utf-8") as handle:
-            json.dump(payload["metrics"], handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_text(args.metrics, json.dumps(
+            payload["metrics"], indent=2, sort_keys=True) + "\n")
         print(f"metrics written to {args.metrics}")
+    if getattr(args, "prom", None):
+        from repro.obs import write_prometheus
+
+        write_prometheus(args.prom, payload["metrics"])
+        print(f"prometheus exposition written to {args.prom}")
 
 
 def _preflight(args: argparse.Namespace,
@@ -293,6 +362,11 @@ def _preflight(args: argparse.Namespace,
         observation.annotate(
             cost_estimate=estimate.total_predicted,
             cost_dominant_phase=estimate.dominant_phase)
+    progress = getattr(governor, "progress", None)
+    if progress is not None:
+        # The prediction is the --progress denominator; without it the
+        # reporter falls back to a raw tick counter.
+        progress.set_total(estimate.total_predicted)
     budget = governor.budget
     if (budget is not None and budget.limit is not None
             and estimate.total_predicted > budget.limit):
@@ -305,6 +379,52 @@ def _preflight(args: argparse.Namespace,
               f"{suggest_workers(estimate)}")
 
 
+def _record_run(args: argparse.Namespace,
+                governor: ExecutionGovernor | None, *,
+                procedure: str, bundle, statistics, verdict: str,
+                exhausted: bool, wall_s: float,
+                interrupted: str | None = None) -> None:
+    """Append one :class:`~repro.obs.ledger.RunRecord` for this
+    decision when a ledger is configured (``--ledger``/$REPRO_LEDGER).
+
+    Observation-only: the record is derived *after* the verdict, and
+    failures to compute the content key degrade to an empty key rather
+    than failing the command.
+    """
+    path = _ledger_path(args)
+    if path is None:
+        return
+    from repro.obs import (RunRecord, append_record, run_key,
+                           statistics_fields)
+
+    try:
+        objects = [bundle[name] for name in
+                   ("query", "database", "master", "constraints")
+                   if bundle.get(name) is not None]
+        key = run_key(procedure, *objects)
+    except Exception:
+        key = ""
+    backend = (getattr(args, "backend", None)
+               or os.environ.get("REPRO_BACKEND") or "python")
+    label = os.path.splitext(
+        os.path.basename(getattr(args, "bundle", "") or ""))[0]
+    ticks = (dict(governor.budget.snapshot())
+             if governor is not None and governor.budget is not None
+             else {})
+    artifacts = {name: value for name, value in
+                 (("trace", getattr(args, "trace", None)),
+                  ("metrics", getattr(args, "metrics", None)),
+                  ("prom", getattr(args, "prom", None)))
+                 if value}
+    append_record(path, RunRecord(
+        procedure=procedure, label=label, key=key, verdict=verdict,
+        backend=backend, workers=getattr(args, "workers", 1),
+        wall_s=wall_s, exhausted=exhausted, interrupted=interrupted,
+        ticks=ticks, statistics=statistics_fields(statistics),
+        artifacts=artifacts))
+    print(f"run recorded in {path}", file=sys.stderr)
+
+
 def _print_exhaustion(result) -> None:
     print(f"search interrupted: {result.interrupted}")
     if result.checkpoint is not None:
@@ -315,12 +435,14 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     _preflight(args, governor, bundle, "rcdp")
+    started = time.perf_counter()
     result = decide_rcdp(bundle["query"], bundle["database"],
                          bundle["master"], bundle["constraints"],
                          governor=governor,
                          on_exhausted=args.on_exhausted,
                          backend=args.backend,
                          workers=args.workers)
+    wall_s = time.perf_counter() - started
     print(f"RCDP: {result.status.value}")
     print(result.explanation)
     if result.certificate is not None:
@@ -332,6 +454,12 @@ def _cmd_rcdp(args: argparse.Namespace) -> int:
                           statistics=result.statistics,
                           verdict=result.status.value,
                           exhausted=result.is_exhausted)
+    _record_run(args, governor, procedure="rcdp", bundle=bundle,
+                statistics=result.statistics,
+                verdict=result.status.value,
+                exhausted=result.is_exhausted, wall_s=wall_s,
+                interrupted=(str(result.interrupted)
+                             if result.is_exhausted else None))
     if result.is_exhausted:
         _print_exhaustion(result)
         return EXIT_EXHAUSTED
@@ -342,6 +470,7 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     _preflight(args, governor, bundle, "rcqp")
+    started = time.perf_counter()
     result = decide_rcqp(bundle["query"], bundle["master"],
                          bundle["constraints"], bundle["schema"],
                          max_valuation_set_size=args.max_set_size,
@@ -349,6 +478,7 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
                          on_exhausted=args.on_exhausted,
                          backend=args.backend,
                          workers=args.workers)
+    wall_s = time.perf_counter() - started
     print(f"RCQP: {result.status.value}")
     print(result.explanation)
     if result.witness is not None:
@@ -358,6 +488,12 @@ def _cmd_rcqp(args: argparse.Namespace) -> int:
                           statistics=result.statistics,
                           verdict=result.status.value,
                           exhausted=result.is_exhausted)
+    _record_run(args, governor, procedure="rcqp", bundle=bundle,
+                statistics=result.statistics,
+                verdict=result.status.value,
+                exhausted=result.is_exhausted, wall_s=wall_s,
+                interrupted=(str(result.interrupted)
+                             if result.is_exhausted else None))
     if result.is_exhausted:
         _print_exhaustion(result)
         return EXIT_EXHAUSTED
@@ -368,6 +504,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     _preflight(args, governor, bundle, "complete")
+    started = time.perf_counter()
     outcome = make_complete(bundle["query"], bundle["database"],
                             bundle["master"], bundle["constraints"],
                             max_rounds=args.max_rounds,
@@ -387,6 +524,14 @@ def _cmd_complete(args: argparse.Namespace) -> int:
         statistics=outcome.statistics,
         verdict="complete" if outcome.complete else "incomplete",
         exhausted=outcome.interrupted is not None)
+    _record_run(args, governor, procedure="complete", bundle=bundle,
+                statistics=outcome.statistics,
+                verdict="complete" if outcome.complete else "incomplete",
+                exhausted=outcome.interrupted is not None,
+                wall_s=time.perf_counter() - started,
+                interrupted=(str(outcome.interrupted)
+                             if outcome.interrupted is not None
+                             else None))
     if outcome.interrupted is not None:
         print(f"search interrupted: {outcome.interrupted}")
         return EXIT_EXHAUSTED
@@ -405,9 +550,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         backend=args.backend,
         workers=args.workers)
     _preflight(args, governor, bundle, "rcdp")
+    started = time.perf_counter()
     report = audit.assess(bundle["query"], bundle["database"],
                           governor=governor,
                           on_exhausted=args.on_exhausted)
+    wall_s = time.perf_counter() - started
     print(report.summary())
     statistics = report.rcdp.statistics
     if report.rcqp is not None:
@@ -418,6 +565,10 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         args, governor, procedure="audit", statistics=statistics,
         verdict=report.verdict.value,
         exhausted=report.verdict is AuditVerdict.INCONCLUSIVE)
+    _record_run(args, governor, procedure="audit", bundle=bundle,
+                statistics=statistics, verdict=report.verdict.value,
+                exhausted=report.verdict is AuditVerdict.INCONCLUSIVE,
+                wall_s=wall_s)
     if report.verdict is AuditVerdict.INCONCLUSIVE:
         return EXIT_EXHAUSTED
     return 0 if report.verdict.value == "trustworthy" else 1
@@ -427,16 +578,21 @@ def _cmd_missing(args: argparse.Namespace) -> int:
     bundle = load_bundle(args.bundle, backend=args.backend)
     governor = _governor_from_args(args)
     _preflight(args, governor, bundle, "missing")
+    started = time.perf_counter()
     report = missing_answers_report(
         bundle["query"], bundle["database"], bundle["master"],
         bundle["constraints"], limit=args.limit,
         governor=governor, backend=args.backend,
         on_exhausted=args.on_exhausted, workers=args.workers)
+    wall_s = time.perf_counter() - started
     if not report.answers and report.exhaustive:
         print("no missing answers: the database is relatively complete")
         _finish_observability(args, governor, procedure="missing",
                               statistics=report.statistics,
                               verdict="none", exhausted=False)
+        _record_run(args, governor, procedure="missing", bundle=bundle,
+                    statistics=report.statistics, verdict="none",
+                    exhausted=False, wall_s=wall_s)
         return 0
     qualifier = "" if report.exhaustive else "at least "
     print(f"{qualifier}{len(report.answers)} answer(s) the query could "
@@ -448,6 +604,13 @@ def _cmd_missing(args: argparse.Namespace) -> int:
         statistics=report.statistics,
         verdict="exhaustive" if report.exhaustive else "partial",
         exhausted=report.interrupted is not None)
+    _record_run(args, governor, procedure="missing", bundle=bundle,
+                statistics=report.statistics,
+                verdict="exhaustive" if report.exhaustive else "partial",
+                exhausted=report.interrupted is not None, wall_s=wall_s,
+                interrupted=(str(report.interrupted)
+                             if report.interrupted is not None
+                             else None))
     if report.interrupted is not None:
         _print_exhaustion(report)
         return EXIT_EXHAUSTED
@@ -497,6 +660,85 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"{args.file}: OK ({len(spans)} span(s))")
         return 0
     print(render_profile(spans))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import (atomic_write_text, check_ledger,
+                           ledger_metrics, ledger_report, read_ledger,
+                           render_summary, summarize_ledger,
+                           write_prometheus)
+
+    path = _ledger_path(args)
+    if path is None:
+        raise ReproError("no ledger: pass --ledger FILE or set "
+                         "$REPRO_LEDGER")
+    problems = check_ledger(path)
+    if problems:
+        print(f"{path}: {len(problems)} problem(s)", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 2
+    try:
+        records = read_ledger(path)
+    except (OSError, ValueError) as error:
+        raise ReproError(str(error)) from error
+    summary = summarize_ledger(records)
+    if args.format == "json":
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    if args.out:
+        report = ledger_report(records)
+        atomic_write_text(args.out, json.dumps(
+            report, indent=2, ensure_ascii=False, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if args.prom:
+        write_prometheus(args.prom, ledger_metrics(records))
+        print(f"prometheus exposition written to {args.prom}")
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from repro.obs import ledger_report, read_ledger
+    from repro.obs.history import (HISTORY_FACTOR, diff_reports,
+                                   discover_baselines,
+                                   load_bench_report, render_history)
+
+    baselines = []
+    for path in args.baseline:
+        files = discover_baselines(path)
+        if not files:
+            raise ReproError(f"no BENCH_*.json baselines under {path!r}")
+        for file in files:
+            try:
+                baselines.append((file, load_bench_report(file)))
+            except (OSError, ValueError, json.JSONDecodeError) as error:
+                raise ReproError(f"bad baseline {file}: {error}") \
+                    from error
+
+    currents = []
+    ledger_path = _ledger_path(args)
+    if ledger_path is not None:
+        try:
+            records = read_ledger(ledger_path)
+        except (OSError, ValueError) as error:
+            raise ReproError(str(error)) from error
+        currents.append((ledger_path, ledger_report(records)))
+    for path in args.current:
+        try:
+            currents.append((path, load_bench_report(path)))
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            raise ReproError(f"bad current report {path}: {error}") \
+                from error
+
+    factor = args.factor if args.factor is not None else HISTORY_FACTOR
+    result = diff_reports(baselines, currents, factor=factor,
+                          slowdown=args.slowdown)
+    print(render_history(result))
+    if args.gate and not result.ok:
+        print("history gate FAILED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -554,7 +796,8 @@ def _cmd_corpus_run(args: argparse.Namespace) -> int:
 
     result = run_corpus(args.dir, backends=tuple(args.backends),
                         workers=tuple(args.workers),
-                        check_counting=not args.no_counting)
+                        check_counting=not args.no_counting,
+                        ledger=_ledger_path(args))
     report = build_report(result, smoke=args.smoke)
     print(render_report(report))
     if args.report:
@@ -694,6 +937,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report", default=None, metavar="FILE",
                      help="also write the BENCH-format JSON report "
                           "to FILE")
+    run.add_argument("--ledger", default=None, metavar="FILE",
+                     help="append one RunRecord per scenario to the "
+                          "JSONL run ledger at FILE (default: "
+                          "$REPRO_LEDGER, else no ledger)")
     run.set_defaults(func=_cmd_corpus_run)
 
     corpus_report = corpus_sub.add_parser(
@@ -701,6 +948,50 @@ def build_parser() -> argparse.ArgumentParser:
                        "re-check its gates")
     corpus_report.add_argument("file", help="BENCH-format corpus report")
     corpus_report.set_defaults(func=_cmd_corpus_report)
+
+    report = subparsers.add_parser(
+        "report", help="aggregate a JSONL run ledger: latency "
+                       "percentiles, verdict mix, cache hit rates, "
+                       "per-backend comparison")
+    report.add_argument("--ledger", default=None, metavar="FILE",
+                        help="ledger file (default: $REPRO_LEDGER)")
+    report.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    report.add_argument("--out", default=None, metavar="FILE",
+                        help="also write a BENCH-format report derived "
+                             "from the ledger (the current side of "
+                             "'repro history')")
+    report.add_argument("--prom", default=None, metavar="FILE",
+                        help="write the aggregated metrics as "
+                             "Prometheus text exposition to FILE")
+    report.set_defaults(func=_cmd_report)
+
+    history = subparsers.add_parser(
+        "history", help="diff fresh runs against committed BENCH_*.json "
+                        "baselines; --gate exits nonzero on regression")
+    history.add_argument("--ledger", default=None, metavar="FILE",
+                         help="derive the current side from this run "
+                              "ledger (default: $REPRO_LEDGER if set)")
+    history.add_argument("--baseline", nargs="+", default=["."],
+                         metavar="PATH",
+                         help="baseline report file(s), or directories "
+                              "globbed for BENCH_*.json (default: .)")
+    history.add_argument("--current", nargs="+", default=[],
+                         metavar="FILE",
+                         help="additional current-side BENCH-format "
+                              "report file(s)")
+    history.add_argument("--gate", action="store_true",
+                         help="exit 1 on any baseline problem or "
+                              "regression (the CI mode)")
+    history.add_argument("--factor", type=float, default=None,
+                         help="ceiling on the median paired wall-time "
+                              "ratio (default 1.75)")
+    history.add_argument("--slowdown", type=float, default=1.0,
+                         metavar="X",
+                         help="multiply current wall times by X — a "
+                              "synthetic regression for gate "
+                              "self-tests (default 1.0)")
+    history.set_defaults(func=_cmd_history)
 
     demo = subparsers.add_parser(
         "demo", help="run the paper's CRM example")

@@ -195,9 +195,28 @@ def _check_goldens(bundle: dict, payload: Mapping, oracle,
     return failures
 
 
+def _record_scenario(ledger: str, bundle: dict,
+                     outcome: ScenarioOutcome) -> None:
+    """Append one :class:`~repro.obs.ledger.RunRecord` per scenario:
+    the oracle verdict, the whole-matrix wall time, and a content key
+    so re-runs of the same generated scenario correlate."""
+    from repro.obs.ledger import RunRecord, append_record, run_key
+
+    append_record(ledger, RunRecord(
+        procedure="corpus", label=outcome.name,
+        key=run_key("corpus", bundle["query"], bundle["database"],
+                    bundle["master"], bundle["constraints"]),
+        verdict=outcome.verdict, backend="matrix", workers=0,
+        wall_s=outcome.wall_s,
+        extra={"family": outcome.family, "tier": outcome.tier,
+               "ok": outcome.ok, "cells": len(outcome.cells),
+               "failures": len(outcome.all_failures())}))
+
+
 def _run_scenario(directory: str, filename: str,
                   backends: Sequence[str], workers: Sequence[int],
-                  check_counting: bool) -> ScenarioOutcome:
+                  check_counting: bool,
+                  ledger: str | None = None) -> ScenarioOutcome:
     with open(os.path.join(directory, filename),
               encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -258,23 +277,29 @@ def _run_scenario(directory: str, filename: str,
             except ReproError as error:
                 failures.append(f"[{backend}] counting raised: {error}")
 
-    return ScenarioOutcome(
+    outcome = ScenarioOutcome(
         name=name, family=family, tier=tier,
         verdict=oracle.status.value,
         wall_s=time.perf_counter() - started,
         cells=tuple(cells), failures=tuple(failures))
+    if ledger is not None:
+        _record_scenario(ledger, bundle, outcome)
+    return outcome
 
 
 def run_corpus(directory: str, *,
                backends: Sequence[str] = BACKEND_NAMES,
                workers: Sequence[int] = (1, 2),
-               check_counting: bool = True) -> CorpusRunResult:
+               check_counting: bool = True,
+               ledger: str | None = None) -> CorpusRunResult:
     """Run every bundle in *directory* through the decider matrix.
 
     Never raises on a scenario mismatch or crash — those become
     recorded failures that drag the per-family pass rate below its
     gate.  Raises :class:`CorpusError` only when the corpus itself is
-    unusable (no bundles).
+    unusable (no bundles).  With *ledger* set, every scenario appends
+    a run record to that JSONL ledger file (see
+    :mod:`repro.obs.ledger`).
     """
     for backend in backends:
         if backend not in BACKEND_NAMES:
@@ -285,7 +310,8 @@ def run_corpus(directory: str, *,
     for filename in _bundle_files(directory):
         try:
             outcome = _run_scenario(directory, filename, tuple(backends),
-                                    tuple(workers), check_counting)
+                                    tuple(workers), check_counting,
+                                    ledger=ledger)
         except (ReproError, OSError, KeyError, ValueError) as error:
             # A scenario too broken to even load still counts against
             # its family's pass rate.

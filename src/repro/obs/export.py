@@ -1,0 +1,126 @@
+"""Telemetry export: Prometheus text exposition + a JSONL event stream.
+
+Both renderers work from a :meth:`MetricsRegistry.snapshot
+<repro.obs.metrics.MetricsRegistry.snapshot>` dict — the same wire
+form workers ship on shard outcomes — so anything that has a snapshot
+(a live registry, a merged parallel run, an aggregated ledger via
+:func:`repro.obs.ledger.ledger_metrics`) can be exported.  This is the
+exact telemetry surface the future ``repro serve`` daemon will mount
+at ``/metrics``; today the CLI's ``--prom FILE`` flag and
+``repro report --prom`` write it to disk for scrapers and CI
+artifacts.
+
+Prometheus mapping (text exposition format 0.0.4):
+
+* counter ``a.b.c`` → ``repro_a_b_c_total`` (TYPE counter);
+* gauge ``a.b`` → ``repro_a_b`` (TYPE gauge);
+* histogram summary ``a.b`` → ``repro_a_b_count`` / ``_sum`` /
+  ``_min`` / ``_max`` gauges (the registry keeps count/total/min/max
+  summaries, not buckets).
+
+Dotted metric names are sanitized (every non ``[a-zA-Z0-9_]`` rune
+becomes ``_``); the original name is preserved verbatim in the JSONL
+event stream, one ``{"type": "metric", ...}`` object per instrument
+after a versioned header line.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.obs.trace_io import atomic_write_text
+
+__all__ = ["PROM_PREFIX", "EXPORT_VERSION", "prometheus_lines",
+           "render_prometheus", "write_prometheus", "event_records",
+           "render_events", "write_events"]
+
+PROM_PREFIX = "repro"
+EXPORT_VERSION = 1
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, *, suffix: str = "") -> str:
+    sanitized = _SANITIZE.sub("_", name).strip("_")
+    if not sanitized or not (sanitized[0].isalpha()
+                             or sanitized[0] == "_"):
+        sanitized = f"m_{sanitized}"
+    return f"{PROM_PREFIX}_{sanitized}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def prometheus_lines(snapshot: dict) -> list[str]:
+    """Render a registry snapshot as exposition-format lines."""
+    lines: list[str] = []
+    for name in sorted(snapshot.get("counters") or {}):
+        value = snapshot["counters"][name]
+        metric = _metric_name(name, suffix="_total")
+        lines.append(f"# HELP {metric} counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name in sorted(snapshot.get("gauges") or {}):
+        value = snapshot["gauges"][name]
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name in sorted(snapshot.get("histograms") or {}):
+        summary = snapshot["histograms"][name]
+        base = _metric_name(name)
+        lines.append(f"# HELP {base} summary {name}")
+        for part, key in (("_count", "count"), ("_sum", "total"),
+                          ("_min", "min"), ("_max", "max")):
+            lines.append(f"# TYPE {base}{part} gauge")
+            lines.append(
+                f"{base}{part} {_format_value(summary[key])}")
+    return lines
+
+
+def render_prometheus(snapshot: dict) -> str:
+    return "\n".join(prometheus_lines(snapshot)) + "\n"
+
+
+def write_prometheus(path: str, snapshot: dict) -> None:
+    """Atomically write the exposition text (temp file + rename)."""
+    atomic_write_text(path, render_prometheus(snapshot))
+
+
+def event_records(snapshot: dict, *,
+                  source: str | None = None) -> list[dict]:
+    """The JSONL event stream: a header plus one record per metric,
+    dotted names preserved."""
+    records: list[dict] = [{"type": "header",
+                            "version": EXPORT_VERSION,
+                            "source": source}]
+    for name in sorted(snapshot.get("counters") or {}):
+        records.append({"type": "metric", "kind": "counter",
+                        "name": name,
+                        "value": snapshot["counters"][name]})
+    for name in sorted(snapshot.get("gauges") or {}):
+        records.append({"type": "metric", "kind": "gauge",
+                        "name": name,
+                        "value": snapshot["gauges"][name]})
+    for name in sorted(snapshot.get("histograms") or {}):
+        records.append({"type": "metric", "kind": "histogram",
+                        "name": name,
+                        **snapshot["histograms"][name]})
+    return records
+
+
+def render_events(snapshot: dict, *, source: str | None = None) -> str:
+    return "".join(json.dumps(record, ensure_ascii=False,
+                              sort_keys=True) + "\n"
+                   for record in event_records(snapshot, source=source))
+
+
+def write_events(path: str, snapshot: dict, *,
+                 source: str | None = None) -> None:
+    """Atomically write the event stream (temp file + rename)."""
+    atomic_write_text(path, render_events(snapshot, source=source))

@@ -1,0 +1,235 @@
+"""Regression-gated perf history: diff fresh runs against baselines.
+
+``repro history --gate`` is the CI entry point.  It does three things:
+
+1. **Baseline integrity.**  Every committed ``BENCH_*.json`` report is
+   structurally validated and its recorded *enforced* gates are
+   re-derived from ``required``/``measured`` — a baseline that fails
+   its own gates (or was hand-edited into passing) is a problem even
+   before any current run is considered.
+
+2. **Paired diffing.**  Current reports — typically a
+   :func:`repro.obs.ledger.ledger_report` derived from a fresh ledger
+   — are paired with the baseline of the same report ``name``, row by
+   row (row names are the pairing identity, e.g.
+   ``rcdp/crm_q0_area_code/python/w1``).  For every pair:
+
+   * **ticks** must match exactly on every kind both sides recorded —
+     tick counts are deterministic, so any drift is a real behavioral
+     regression, not noise;
+   * **verdict mixes** must match — a verdict flip is never noise;
+   * **wall times** contribute a ratio ``current / baseline``.
+
+3. **The wall gate.**  Wall clocks are noisy per row, so the judged
+   statistic is the *median* ratio across all pairs, gated against
+   ``--factor`` (default ``1.75`` — comfortably above machine noise,
+   comfortably below the 2× synthetic slowdown CI injects via
+   ``--slowdown`` to prove the gate trips).
+
+Unpaired rows on either side are reported informationally, never
+fatally: baselines legitimately contain rows a quick workload does not
+revisit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import json
+import os
+import statistics as _statistics
+from typing import Sequence
+
+__all__ = ["HISTORY_FACTOR", "RowPair", "HistoryResult",
+           "discover_baselines", "load_bench_report", "report_problems",
+           "diff_reports", "render_history"]
+
+#: Default ceiling on the median paired wall-time ratio.
+HISTORY_FACTOR = 1.75
+
+_REPORT_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class RowPair:
+    """One (baseline row, current row) comparison."""
+
+    report: str
+    name: str
+    baseline_wall_s: float
+    current_wall_s: float
+    #: ``current / baseline`` (slowdown already applied); None when the
+    #: baseline wall is zero.
+    ratio: float | None
+    problems: tuple[str, ...]
+
+
+@dataclasses.dataclass
+class HistoryResult:
+    """Everything ``repro history`` prints and gates on."""
+
+    baseline_problems: list[str]
+    regressions: list[str]
+    pairs: list[RowPair]
+    unpaired_current: list[str]
+    baselines_checked: list[str]
+    median_ratio: float | None
+    factor: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.baseline_problems and not self.regressions
+
+
+def discover_baselines(path: str) -> list[str]:
+    """Baseline report files: a directory is globbed for
+    ``BENCH_*.json``; a file is itself."""
+    if os.path.isdir(path):
+        return sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    return [path]
+
+
+def load_bench_report(path: str) -> dict:
+    """Load and structurally validate one BENCH-shaped report."""
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: report is not a JSON object")
+    if report.get("bench_report_version") != _REPORT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported bench_report_version "
+            f"{report.get('bench_report_version')!r}")
+    if not isinstance(report.get("rows"), list):
+        raise ValueError(f"{path}: missing rows list")
+    return report
+
+
+def report_problems(report: dict, *, source: str = "") -> list[str]:
+    """Re-derive every enforced gate from its recorded
+    required/measured values; a failing one is a baseline problem."""
+    prefix = f"{source}: " if source else ""
+    problems = []
+    for gate in report.get("gates", []):
+        if not gate.get("enforced"):
+            continue
+        measured = gate.get("measured")
+        if measured is None:
+            continue
+        required = gate.get("required")
+        if gate.get("higher_is_better", True):
+            passed = measured >= required
+            direction = "≥"
+        else:
+            passed = measured <= required
+            direction = "≤"
+        if not passed:
+            problems.append(
+                f"{prefix}gate {gate.get('name')}: measured {measured} "
+                f"violates required {direction} {required}")
+    return problems
+
+
+def _tick_problems(base_row: dict, current_row: dict) -> list[str]:
+    problems = []
+    base_ticks = base_row.get("ticks") or {}
+    current_ticks = current_row.get("ticks") or {}
+    for kind in sorted(set(base_ticks) & set(current_ticks)):
+        if base_ticks[kind] != current_ticks[kind]:
+            problems.append(
+                f"ticks[{kind}] {current_ticks[kind]} != baseline "
+                f"{base_ticks[kind]}")
+    return problems
+
+
+def _verdict_problems(base_row: dict, current_row: dict) -> list[str]:
+    base = base_row.get("verdicts") or {}
+    current = current_row.get("verdicts") or {}
+    if base and current and base != current:
+        return [f"verdict mix {current} != baseline {base}"]
+    return []
+
+
+def diff_reports(baselines: Sequence[tuple[str, dict]],
+                 currents: Sequence[tuple[str, dict]], *,
+                 factor: float = HISTORY_FACTOR,
+                 slowdown: float = 1.0) -> HistoryResult:
+    """Judge *currents* against *baselines* (``(source, report)``
+    pairs).  *slowdown* multiplies every current wall time — CI uses
+    ``2.0`` as a self-test proving the gate actually trips."""
+    baseline_problems: list[str] = []
+    regressions: list[str] = []
+    pairs: list[RowPair] = []
+    unpaired: list[str] = []
+    checked: list[str] = []
+
+    by_name: dict[str, dict[str, dict]] = {}
+    for source, report in baselines:
+        checked.append(source)
+        baseline_problems.extend(report_problems(report, source=source))
+        rows = by_name.setdefault(report.get("name", "?"), {})
+        for row in report.get("rows", []):
+            rows[row.get("name", "?")] = row
+
+    for source, report in currents:
+        base_rows = by_name.get(report.get("name", "?"))
+        if base_rows is None:
+            unpaired.append(
+                f"{source}: no committed baseline named "
+                f"{report.get('name')!r}")
+            continue
+        for row in report.get("rows", []):
+            row_name = row.get("name", "?")
+            base_row = base_rows.get(row_name)
+            if base_row is None:
+                unpaired.append(f"{source}: row {row_name!r} has no "
+                                f"baseline row")
+                continue
+            base_wall = float(base_row.get("wall_s") or 0.0)
+            current_wall = float(row.get("wall_s") or 0.0) * slowdown
+            ratio = (current_wall / base_wall) if base_wall > 0 else None
+            problems = (_tick_problems(base_row, row)
+                        + _verdict_problems(base_row, row))
+            pairs.append(RowPair(
+                report=report.get("name", "?"), name=row_name,
+                baseline_wall_s=base_wall, current_wall_s=current_wall,
+                ratio=ratio, problems=tuple(problems)))
+            for problem in problems:
+                regressions.append(f"{row_name}: {problem}")
+
+    ratios = [pair.ratio for pair in pairs if pair.ratio is not None]
+    median_ratio = (round(_statistics.median(ratios), 4)
+                    if ratios else None)
+    if median_ratio is not None and median_ratio > factor:
+        regressions.append(
+            f"median wall-time ratio {median_ratio} over "
+            f"{len(ratios)} paired row(s) exceeds the {factor}× "
+            f"budget")
+    return HistoryResult(
+        baseline_problems=baseline_problems, regressions=regressions,
+        pairs=pairs, unpaired_current=unpaired,
+        baselines_checked=checked, median_ratio=median_ratio,
+        factor=factor)
+
+
+def render_history(result: HistoryResult) -> str:
+    lines = [f"history: {len(result.baselines_checked)} baseline "
+             f"report(s) checked, {len(result.pairs)} row pair(s)"]
+    if result.median_ratio is not None:
+        lines.append(f"  median wall-time ratio {result.median_ratio} "
+                     f"(budget {result.factor}×)")
+    for pair in result.pairs:
+        ratio = (f"{pair.ratio:.2f}×" if pair.ratio is not None
+                 else "n/a")
+        marker = "FAIL" if pair.problems else "ok"
+        lines.append(f"  [{marker}] {pair.name}: "
+                     f"{pair.current_wall_s:.4f}s vs baseline "
+                     f"{pair.baseline_wall_s:.4f}s ({ratio})")
+    for note in result.unpaired_current:
+        lines.append(f"  [unpaired] {note}")
+    for problem in result.baseline_problems:
+        lines.append(f"  BASELINE PROBLEM: {problem}")
+    for regression in result.regressions:
+        lines.append(f"  REGRESSION: {regression}")
+    if result.ok:
+        lines.append("  no regressions")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Live progress and ETA for long decisions (the ``--progress`` flag).
+
+A :class:`ProgressReporter` rides the governor's ``progress`` slot —
+like ``obs``, the governor is the one object already threaded through
+every search path, and :meth:`~repro.runtime.governor.ExecutionGovernor.
+tick` never consults the slot, so the hot loops pay nothing.
+
+Two numerator sources feed it:
+
+* **serial** — a daemon poll thread reads the governor's budget ledger
+  (``budget.snapshot()``) on an interval; the ledger is charged on
+  every tick, so the sum is exactly the work admitted so far;
+* **parallel** — the shard supervisor forwards every heartbeat
+  ``"progress"`` snapshot and final outcome
+  (:meth:`update_shard`), since worker ticks only reach the parent
+  budget at reconciliation.
+
+The two can overlap once the pool reconciles (the parent *absorbs* the
+workers' ticks), so the combined value is
+``max(serial, serial_base_at_first_shard + Σ shard ticks)`` — monotone
+and never double-counted.
+
+The denominator is the static cost model's ``predicted_ticks``
+(:func:`repro.analysis.cost.estimate_decision`), installed by the CLI
+preflight via :meth:`set_total`; the model is bench-gated at within-4×
+agreement, so the ETA is a real estimate, not a spinner.  Without a
+total the reporter degrades to a raw tick counter.
+
+Rendering goes to stderr: a ``\\r``-rewritten line on a TTY, sparse
+full lines otherwise (CI logs).  Everything is observation-only — the
+reporter never touches the search.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, TextIO
+
+__all__ = ["ProgressReporter"]
+
+#: Minimum seconds between TTY repaints.
+_TTY_INTERVAL = 0.1
+#: Minimum seconds between full lines on a non-TTY stream.
+_LINE_INTERVAL = 2.0
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+class ProgressReporter:
+    """Percent-complete + ETA over governor ticks, rendered to stderr."""
+
+    def __init__(self, *, total: int | None = None,
+                 stream: TextIO | None = None, label: str = "",
+                 poll_interval: float = 0.2) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.total = total if total and total > 0 else None
+        self.label = label
+        self._poll_interval = max(0.02, poll_interval)
+        self._serial = 0
+        self._shards: dict[int, int] = {}
+        #: Serial ticks observed when the first shard update arrived —
+        #: the pre-fan-out prefix the shard sums stack on top of.
+        self._shard_base: int | None = None
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._rendered = False
+        self._closed = False
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._poller: threading.Thread | None = None
+        self._final_sample = lambda: None
+        try:
+            self._tty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._tty = False
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+
+    def set_total(self, total: int | None) -> None:
+        """Install the predicted-tick denominator (CLI preflight)."""
+        with self._lock:
+            self.total = total if total and total > 0 else None
+
+    def update_serial(self, ticks: int) -> None:
+        """Absolute tick total from the budget-ledger poll."""
+        with self._lock:
+            self._serial = max(self._serial, int(ticks))
+            self._render()
+
+    def update_shard(self, index: int, ticks: int) -> None:
+        """Absolute tick total one shard has consumed so far (committed
+        prefix + live attempt), from the shard supervisor."""
+        with self._lock:
+            if self._shard_base is None:
+                self._shard_base = self._serial
+            previous = self._shards.get(index, 0)
+            self._shards[index] = max(previous, int(ticks))
+            self._render()
+
+    @property
+    def value(self) -> int:
+        """The monotone combined tick numerator."""
+        combined = self._serial
+        if self._shard_base is not None:
+            combined = max(combined,
+                           self._shard_base + sum(self._shards.values()))
+        return combined
+
+    # ------------------------------------------------------------------
+    # The serial poll thread
+    # ------------------------------------------------------------------
+
+    def start_polling(self, budget: Any) -> None:
+        """Poll ``budget.snapshot()`` on a daemon thread until closed."""
+        if self._poller is not None:
+            return
+
+        def sample() -> None:
+            try:
+                snapshot = budget.snapshot()
+            except Exception:  # pragma: no cover - defensive
+                return
+            self.update_serial(sum(snapshot.values()))
+
+        def poll() -> None:
+            while not self._stop.wait(self._poll_interval):
+                sample()
+
+        self._final_sample = sample
+        self._poller = threading.Thread(
+            target=poll, name="repro-progress", daemon=True)
+        self._poller.start()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def _line(self) -> str:
+        value = self.value
+        elapsed = time.monotonic() - self._started
+        prefix = f"{self.label}: " if self.label else ""
+        if self.total is not None:
+            percent = min(100.0, 100.0 * value / self.total)
+            line = (f"{prefix}{percent:5.1f}% "
+                    f"({value}/{self.total} ticks)")
+            if 0 < value < self.total and elapsed > 0:
+                remaining = (self.total - value) * elapsed / value
+                line += f" eta {_format_eta(remaining)}"
+            return line
+        return (f"{prefix}{value} tick(s) in "
+                f"{_format_eta(elapsed)}")
+
+    def _render(self, force: bool = False) -> None:
+        # Caller holds the lock.
+        if self._closed and not force:
+            return
+        now = time.monotonic()
+        interval = _TTY_INTERVAL if self._tty else _LINE_INTERVAL
+        if not force and now - self._last_render < interval:
+            return
+        self._last_render = now
+        line = self._line()
+        try:
+            if self._tty:
+                self.stream.write(f"\r\x1b[2K{line}")
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            return
+        self._rendered = True
+
+    def close(self) -> None:
+        """Stop polling, paint the final state, terminate the line."""
+        self._stop.set()
+        if self._poller is not None:
+            self._poller.join(timeout=1.0)
+            self._poller = None
+            # One last ledger read so a run that finished between polls
+            # still paints its true final count.
+            self._final_sample()
+        with self._lock:
+            if self._closed:
+                return
+            self._render(force=True)
+            self._closed = True
+            if self._tty and self._rendered:
+                try:
+                    self.stream.write("\n")
+                    self.stream.flush()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+
+    def __repr__(self) -> str:
+        return (f"ProgressReporter[{self.value}"
+                f"/{self.total if self.total is not None else '?'}]")

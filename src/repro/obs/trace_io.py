@@ -36,13 +36,16 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from typing import TYPE_CHECKING, Any, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.results import SearchStatistics
 
 __all__ = ["TRACE_VERSION", "trace_records", "write_trace",
-           "read_trace", "check_trace", "PROCEDURE_TICK_FIELDS"]
+           "read_trace", "check_trace", "PROCEDURE_TICK_FIELDS",
+           "atomic_write_text"]
 
 TRACE_VERSION = 1
 
@@ -88,12 +91,32 @@ def trace_records(span_records: Iterable[dict], *,
     return records
 
 
+def atomic_write_text(path: str, text: str) -> None:
+    """Write *text* crash-safely: a sibling temp file, flushed and
+    fsynced, then atomically renamed over *path*.  An interrupted
+    writer leaves either the old file or the new one — never a
+    truncated artifact that ``repro trace --check`` would reject."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:  # pragma: no cover - already renamed/removed
+            pass
+        raise
+
+
 def write_trace(path: str, records: Iterable[dict]) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        for record in records:
-            handle.write(json.dumps(record, ensure_ascii=False,
-                                    default=repr))
-            handle.write("\n")
+    atomic_write_text(path, "".join(
+        json.dumps(record, ensure_ascii=False, default=repr) + "\n"
+        for record in records))
 
 
 def read_trace(path: str) -> list[dict]:

@@ -369,6 +369,13 @@ class ShardSupervisor:
         state.dead_at = None
         if outcome.kind == "progress":
             state.snapshot = outcome
+            # A heartbeat snapshot is also a live progress sample: ship
+            # the shard's cumulative tick count (committed prefix +
+            # this attempt) to the parent's progress reporter, if any.
+            self._ship_progress(
+                state.task.shard.index,
+                sum(state.committed_ticks.values())
+                + sum((outcome.ticks or {}).values()))
             return
         self._finish(state, outcome)
 
@@ -388,6 +395,20 @@ class ShardSupervisor:
                 + tuple(outcome.data or ())
         state.snapshot = None
         state.final = outcome
+        self._ship_progress(state.task.shard.index,
+                            sum((outcome.ticks or {}).values()))
+
+    def _ship_progress(self, index: int, ticks: int) -> None:
+        """Forward one shard's cumulative tick count to the parent
+        governor's progress reporter.  Observation-only: failures are
+        swallowed and the supervision protocol is untouched."""
+        progress = getattr(self._governor, "progress", None)
+        if progress is None:
+            return
+        try:
+            progress.update_shard(index, ticks)
+        except Exception:  # pragma: no cover - defensive
+            pass
 
     # ------------------------------------------------------------------
     # Plumbing

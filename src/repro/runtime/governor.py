@@ -50,14 +50,15 @@ class ExecutionGovernor:
     """
 
     __slots__ = ("budget", "deadline", "cancellation", "faults", "ticks",
-                 "obs", "retry")
+                 "obs", "retry", "progress")
 
     def __init__(self, budget: Budget | None = None,
                  deadline: Deadline | None = None,
                  cancellation: CancellationToken | None = None,
                  faults: "FaultInjector | None" = None,
                  obs: object | None = None,
-                 retry: "RetryPolicy | None" = None) -> None:
+                 retry: "RetryPolicy | None" = None,
+                 progress: object | None = None) -> None:
         self.budget = budget
         self.deadline = deadline
         self.cancellation = cancellation
@@ -73,6 +74,12 @@ class ExecutionGovernor:
         #: ``obs``, it rides on the governor (the one object already
         #: threaded everywhere) and :meth:`tick` never consults it.
         self.retry = retry
+        #: Optional :class:`repro.obs.progress.ProgressReporter` — live
+        #: percent/ETA rendering.  Parent-side only (never travels in a
+        #: :class:`~repro.parallel.partition.GovernorSpec`); the shard
+        #: supervisor forwards heartbeat snapshots to it, and
+        #: :meth:`tick` never consults it.
+        self.progress = progress
 
     @classmethod
     def from_limits(cls, *, budget: int | None = None,

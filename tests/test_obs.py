@@ -158,6 +158,79 @@ class TestMetrics:
 
 
 # ---------------------------------------------------------------------
+# Property: merge is associative and order-insensitive over
+# shard-style snapshots (satellite: what supervision relies on when it
+# folds worker registries home in completion order, not shard order).
+#
+# Scope of the claim: counter and histogram values are kept integral so
+# float addition is exact, and gauge names are disjoint per shard
+# (``parallel.shard.N.consumed``) — gauges are last-write-wins, so
+# colliding gauge keys are legitimately order-sensitive and real shard
+# snapshots never collide.
+# ---------------------------------------------------------------------
+
+_COUNTER_NAMES = st.sampled_from(
+    ["governor.ticks.valuations", "governor.ticks.nodes",
+     "search.valuations_examined", "search.constraint_checks",
+     "span.enumerate_valuations.calls"])
+_HIST_NAMES = st.sampled_from(
+    ["span.decide_rcdp.seconds", "span.analyze.seconds"])
+
+
+@st.composite
+def _shard_snapshots(draw):
+    """A list of 2–5 worker-registry snapshots with disjoint gauges."""
+    snapshots = []
+    for index in range(draw(st.integers(2, 5))):
+        registry = MetricsRegistry()
+        for name, amount in draw(st.dictionaries(
+                _COUNTER_NAMES, st.integers(0, 1000), max_size=4)).items():
+            registry.count(name, amount)
+        registry.gauge(f"parallel.shard.{index}.consumed",
+                       float(draw(st.integers(0, 1000))))
+        for name, values in draw(st.dictionaries(
+                _HIST_NAMES,
+                st.lists(st.integers(0, 100), min_size=1, max_size=4),
+                max_size=2)).items():
+            for value in values:
+                registry.observe(name, float(value))
+        snapshots.append(registry.snapshot())
+    return snapshots
+
+
+def _fold(*snapshots):
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+class TestMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots=_shard_snapshots(),
+           seed=st.randoms(use_true_random=False))
+    def test_merge_is_order_insensitive(self, snapshots, seed):
+        shuffled = list(snapshots)
+        seed.shuffle(shuffled)
+        assert _fold(*shuffled) == _fold(*snapshots)
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots=_shard_snapshots())
+    def test_merge_is_associative(self, snapshots):
+        a, b, *rest = snapshots
+        left_first = _fold(_fold(a, b), *rest)
+        right_first = _fold(a, _fold(b, *rest))
+        assert left_first == right_first == _fold(*snapshots)
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots=_shard_snapshots())
+    def test_empty_registry_is_identity(self, snapshots):
+        folded = _fold(*snapshots)
+        assert _fold({}, *snapshots) == folded
+        assert _fold(*snapshots, _fold()) == folded
+
+
+# ---------------------------------------------------------------------
 # Unit: trace IO + profile
 # ---------------------------------------------------------------------
 
